@@ -1,0 +1,22 @@
+//! # wm-analysis — statistics, correlation, and result tables
+//!
+//! The numerical toolkit behind the experiment harness:
+//!
+//! * [`stats`] — summary statistics (mean, sample std, standard error,
+//!   normal-approximation confidence intervals) for seed-averaged results;
+//! * [`regression`] — ordinary least squares, Pearson and Spearman
+//!   correlation (the paper's Fig. 8 relates power to bit alignment and
+//!   Hamming weight across experiment configurations);
+//! * [`table`] — markdown and CSV table writers for EXPERIMENTS.md and the
+//!   `results/` directory.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod regression;
+pub mod stats;
+pub mod table;
+
+pub use regression::{ols, pearson, spearman, OlsFit};
+pub use stats::Summary;
+pub use table::Table;

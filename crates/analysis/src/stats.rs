@@ -1,0 +1,118 @@
+//! Summary statistics for seed-averaged measurements.
+
+/// Summary of a sample of observations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n-1 denominator; 0 for n < 2).
+    pub std: f64,
+    /// Minimum observation.
+    pub min: f64,
+    /// Maximum observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarize a slice of observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice — a summary of nothing indicates a runner
+    /// bug upstream.
+    pub fn from_slice(xs: &[f64]) -> Self {
+        assert!(!xs.is_empty(), "cannot summarize an empty sample");
+        let n = xs.len();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Self {
+            n,
+            mean,
+            std: var.sqrt(),
+            min,
+            max,
+        }
+    }
+
+    /// Standard error of the mean.
+    pub fn sem(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.std / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Normal-approximation 95% confidence half-width (`1.96 * sem`).
+    pub fn ci95(&self) -> f64 {
+        1.96 * self.sem()
+    }
+
+    /// Relative spread `(max - min) / mean`; 0 when the mean is 0.
+    pub fn relative_spread(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            (self.max - self.min) / self.mean
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_sample() {
+        let s = Summary::from_slice(&[5.0; 10]);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.sem(), 0.0);
+        assert_eq!((s.min, s.max), (5.0, 5.0));
+    }
+
+    #[test]
+    fn known_values() {
+        let s = Summary::from_slice(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.mean, 5.0);
+        // Sample variance = 32/7.
+        assert!((s.std - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!((s.min, s.max), (2.0, 9.0));
+    }
+
+    #[test]
+    fn singleton_has_zero_std() {
+        let s = Summary::from_slice(&[3.5]);
+        assert_eq!(s.n, 1);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.ci95(), 0.0);
+    }
+
+    #[test]
+    fn ci_shrinks_with_n() {
+        let few = Summary::from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        let many: Vec<f64> = (0..64).map(|i| 1.0 + (i % 4) as f64).collect();
+        let many = Summary::from_slice(&many);
+        assert!(many.ci95() < few.ci95());
+    }
+
+    #[test]
+    fn relative_spread() {
+        let s = Summary::from_slice(&[90.0, 100.0, 110.0]);
+        assert!((s.relative_spread() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_rejected() {
+        Summary::from_slice(&[]);
+    }
+}

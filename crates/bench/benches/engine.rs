@@ -1,0 +1,58 @@
+//! Micro-benchmarks of the simulation hot paths: the sampled activity
+//! walk at several lattice densities, operand encoding, the memory bus
+//! pass, and the power-model evaluation.
+//!
+//! These are throughput benches (how fast the *simulator* runs), used to
+//! pick default sampling densities; the estimator-accuracy trade-off is
+//! tested functionally in `wm-kernels`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wm_bits::Xoshiro256pp;
+use wm_gpu::spec::a100_pcie;
+use wm_kernels::{memory, simulate, EncodedMatrix, GemmConfig, GemmInputs, Sampling};
+use wm_numerics::DType;
+use wm_patterns::{PatternKind, PatternSpec};
+use wm_power::evaluate;
+
+fn bench(c: &mut Criterion) {
+    let dtype = DType::Fp16Tensor;
+    let dim = 512;
+    let mut rng = Xoshiro256pp::seed_from_u64(1);
+    let spec = PatternSpec::new(PatternKind::Gaussian);
+    let a = spec.generate(dtype, dim, dim, &mut rng.fork(0));
+    let b = spec.generate(dtype, dim, dim, &mut rng.fork(1));
+    let inputs = GemmInputs {
+        a: &a,
+        b_stored: &b,
+        c: None,
+    };
+
+    let mut g = wm_bench::configure(c, "engine");
+    for lattice in [8usize, 16, 32] {
+        g.bench_function(format!("simulate_{dim}_lattice_{lattice}"), |bch| {
+            let cfg = GemmConfig::square(dim, dtype).with_sampling(Sampling::Lattice {
+                rows: lattice,
+                cols: lattice,
+            });
+            bch.iter(|| black_box(simulate(&inputs, &cfg)))
+        });
+    }
+    g.bench_function("encode_512_fp16", |bch| {
+        bch.iter(|| black_box(EncodedMatrix::encode(&a, dtype)))
+    });
+    let encoded = EncodedMatrix::encode(&a, dtype);
+    g.bench_function("bus_pass_512", |bch| {
+        bch.iter(|| black_box(memory::bus_pass(&encoded)))
+    });
+    let cfg = GemmConfig::square(dim, dtype);
+    let act = simulate(&inputs, &cfg).activity;
+    let gpu = a100_pcie();
+    g.bench_function("power_evaluate", |bch| {
+        bch.iter(|| black_box(evaluate(&gpu, &act)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Bench target for Fig. 1: iteration runtime by datatype.
+//!
+//! Regenerates the figure's data at the TEST profile while measuring the
+//! simulation pipeline's cost per dtype.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wm_experiments::{fig1_runtime, RunProfile};
+
+fn bench(c: &mut Criterion) {
+    let mut g = wm_bench::configure(c, "fig1");
+    g.bench_function("runtime_by_dtype", |b| {
+        b.iter(|| black_box(fig1_runtime::run(&RunProfile::TEST)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Bench target for Fig. 2: iteration energy by datatype.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wm_experiments::{fig2_energy, RunProfile};
+
+fn bench(c: &mut Criterion) {
+    let mut g = wm_bench::configure(c, "fig2");
+    g.bench_function("energy_by_dtype", |b| {
+        b.iter(|| black_box(fig2_energy::run(&RunProfile::TEST)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

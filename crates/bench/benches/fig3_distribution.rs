@@ -1,0 +1,22 @@
+//! Bench targets for Fig. 3: value-distribution sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wm_experiments::{fig3_distribution, RunProfile};
+
+fn bench(c: &mut Criterion) {
+    let mut g = wm_bench::configure(c, "fig3");
+    g.bench_function("fig3a_sigma_sweep", |b| {
+        b.iter(|| black_box(fig3_distribution::run_3a(&RunProfile::TEST)))
+    });
+    g.bench_function("fig3b_mean_sweep", |b| {
+        b.iter(|| black_box(fig3_distribution::run_3b(&RunProfile::TEST)))
+    });
+    g.bench_function("fig3c_value_sets", |b| {
+        b.iter(|| black_box(fig3_distribution::run_3c(&RunProfile::TEST)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

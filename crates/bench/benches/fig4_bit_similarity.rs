@@ -1,0 +1,22 @@
+//! Bench targets for Fig. 4: bit-similarity sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wm_experiments::{fig4_bit_similarity, RunProfile};
+
+fn bench(c: &mut Criterion) {
+    let mut g = wm_bench::configure(c, "fig4");
+    g.bench_function("fig4a_random_flips", |b| {
+        b.iter(|| black_box(fig4_bit_similarity::run_4a(&RunProfile::TEST)))
+    });
+    g.bench_function("fig4b_random_lsbs", |b| {
+        b.iter(|| black_box(fig4_bit_similarity::run_4b(&RunProfile::TEST)))
+    });
+    g.bench_function("fig4c_random_msbs", |b| {
+        b.iter(|| black_box(fig4_bit_similarity::run_4c(&RunProfile::TEST)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Bench targets for Fig. 5: placement (sorting) sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wm_experiments::{fig5_placement, RunProfile};
+
+fn bench(c: &mut Criterion) {
+    let mut g = wm_bench::configure(c, "fig5");
+    g.bench_function("fig5a_sorted_rows", |b| {
+        b.iter(|| black_box(fig5_placement::run_5a(&RunProfile::TEST)))
+    });
+    g.bench_function("fig5b_sorted_aligned", |b| {
+        b.iter(|| black_box(fig5_placement::run_5b(&RunProfile::TEST)))
+    });
+    g.bench_function("fig5c_sorted_cols", |b| {
+        b.iter(|| black_box(fig5_placement::run_5c(&RunProfile::TEST)))
+    });
+    g.bench_function("fig5d_sorted_within_rows", |b| {
+        b.iter(|| black_box(fig5_placement::run_5d(&RunProfile::TEST)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Bench targets for Fig. 6: sparsity sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wm_experiments::{fig6_sparsity, RunProfile};
+
+fn bench(c: &mut Criterion) {
+    let mut g = wm_bench::configure(c, "fig6");
+    g.bench_function("fig6a_general_sparsity", |b| {
+        b.iter(|| black_box(fig6_sparsity::run_6a(&RunProfile::TEST)))
+    });
+    g.bench_function("fig6b_sorted_then_sparse", |b| {
+        b.iter(|| black_box(fig6_sparsity::run_6b(&RunProfile::TEST)))
+    });
+    g.bench_function("fig6c_zero_lsbs", |b| {
+        b.iter(|| black_box(fig6_sparsity::run_6c(&RunProfile::TEST)))
+    });
+    g.bench_function("fig6d_zero_msbs", |b| {
+        b.iter(|| black_box(fig6_sparsity::run_6d(&RunProfile::TEST)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

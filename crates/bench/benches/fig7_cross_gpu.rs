@@ -1,0 +1,25 @@
+//! Bench targets for Fig. 7: cross-GPU generalization panels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wm_experiments::{fig7_cross_gpu, RunProfile};
+
+fn bench(c: &mut Criterion) {
+    let mut g = wm_bench::configure(c, "fig7");
+    g.bench_function("fig7a_mean", |b| {
+        b.iter(|| black_box(fig7_cross_gpu::run_mean(&RunProfile::TEST)))
+    });
+    g.bench_function("fig7b_msb", |b| {
+        b.iter(|| black_box(fig7_cross_gpu::run_msb(&RunProfile::TEST)))
+    });
+    g.bench_function("fig7c_sorted", |b| {
+        b.iter(|| black_box(fig7_cross_gpu::run_sorted(&RunProfile::TEST)))
+    });
+    g.bench_function("fig7d_sparsity", |b| {
+        b.iter(|| black_box(fig7_cross_gpu::run_sparsity(&RunProfile::TEST)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

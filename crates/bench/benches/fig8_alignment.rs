@@ -1,0 +1,16 @@
+//! Bench target for Fig. 8: the alignment / Hamming-weight battery.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wm_experiments::{fig8_alignment, RunProfile};
+
+fn bench(c: &mut Criterion) {
+    let mut g = wm_bench::configure(c, "fig8");
+    g.bench_function("alignment_battery", |b| {
+        b.iter(|| black_box(fig8_alignment::run(&RunProfile::TEST)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

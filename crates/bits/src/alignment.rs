@@ -1,0 +1,125 @@
+//! The paper's *bit alignment* metric (Fig. 8).
+//!
+//! > "Bit alignment between two values is 0 if all of the bits are
+//! > opposite, and alignment is 1 if all of the bits are the same."
+//!
+//! Alignment is therefore `1 - HD(x, y) / BITS`. The paper plots average
+//! GEMM power against the average alignment between the A and B operand
+//! matrices, finding that higher alignment correlates with lower power for
+//! floating-point datatypes.
+
+use crate::hamming::BitWord;
+
+/// Bit alignment between two words in `[0, 1]`.
+///
+/// `1.0` means every bit matches; `0.0` means every bit is opposite.
+///
+/// ```
+/// assert_eq!(wm_bits::bit_alignment(0xFFu8, 0xFFu8), 1.0);
+/// assert_eq!(wm_bits::bit_alignment(0xFFu8, 0x00u8), 0.0);
+/// assert_eq!(wm_bits::bit_alignment(0b1100u8, 0b1111u8), 0.75);
+/// ```
+#[inline]
+pub fn bit_alignment<W: BitWord>(x: W, y: W) -> f64 {
+    1.0 - f64::from(x.distance(y)) / f64::from(W::BITS)
+}
+
+/// Average bit alignment between corresponding elements of two slices.
+///
+/// This is the Fig. 8 statistic computed over operand matrices: for GEMM
+/// the natural pairing is between the A-element and B-element multiplied
+/// together, which the experiment harness provides by walking the same
+/// traversal order as the kernel.
+///
+/// Returns `1.0` for empty slices (nothing misaligned).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn bit_alignment_slice<W: BitWord>(a: &[W], b: &[W]) -> f64 {
+    assert_eq!(a.len(), b.len(), "alignment requires equal-length slices");
+    if a.is_empty() {
+        return 1.0;
+    }
+    let total_distance: u64 = a
+        .iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| u64::from(x.distance(y)))
+        .sum();
+    let total_bits = (a.len() as u64) * u64::from(W::BITS);
+    1.0 - total_distance as f64 / total_bits as f64
+}
+
+/// Average pairwise bit alignment of a *sample* of cross pairs between two
+/// slices, using a deterministic stride so no RNG is needed.
+///
+/// For Fig. 8 the paper reports the average alignment "between the A and B
+/// matrices"; with N² elements each, the full cross product is infeasible,
+/// so we sample pairs on a fixed lattice: element `i` of `a` against element
+/// `(i * stride) % b.len()` of `b`. With coprime stride this covers `b`
+/// uniformly.
+pub fn bit_alignment_cross_sampled<W: BitWord>(a: &[W], b: &[W], stride: usize) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 1.0;
+    }
+    let mut total_distance: u64 = 0;
+    let mut j = 0usize;
+    for &x in a {
+        total_distance += u64::from(x.distance(b[j]));
+        j = (j + stride) % b.len();
+    }
+    let total_bits = (a.len() as u64) * u64::from(W::BITS);
+    1.0 - total_distance as f64 / total_bits as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extremes() {
+        assert_eq!(bit_alignment(0u32, 0u32), 1.0);
+        assert_eq!(bit_alignment(u32::MAX, 0u32), 0.0);
+        assert_eq!(bit_alignment(u16::MAX, u16::MAX), 1.0);
+    }
+
+    #[test]
+    fn half_aligned() {
+        assert_eq!(bit_alignment(0x0Fu8, 0xFFu8), 0.5);
+        assert_eq!(bit_alignment(0x00FFu16, 0xFFFFu16), 0.5);
+    }
+
+    #[test]
+    fn slice_alignment_averages() {
+        let a = [0xFFu8, 0x00];
+        let b = [0xFFu8, 0xFF];
+        // First pair fully aligned, second fully opposite -> 0.5 average.
+        assert_eq!(bit_alignment_slice(&a, &b), 0.5);
+    }
+
+    #[test]
+    fn empty_slices_are_fully_aligned() {
+        let e: [u8; 0] = [];
+        assert_eq!(bit_alignment_slice(&e, &e), 1.0);
+        assert_eq!(bit_alignment_cross_sampled(&e, &e, 7), 1.0);
+    }
+
+    #[test]
+    fn cross_sampled_identical_slices_with_unit_stride() {
+        let a = [1u8, 2, 3, 4];
+        // stride 0 pairs everything with b[0].
+        let al = bit_alignment_cross_sampled(&a, &a, 0);
+        // HD(1,1)=0, HD(2,1)=2, HD(3,1)=1, HD(4,1)=2 -> total 5 of 32 bits.
+        assert!((al - (1.0 - 5.0 / 32.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alignment_bounds() {
+        for x in [0u8, 1, 37, 0xF0, 0xFF] {
+            for y in [0u8, 2, 99, 0x0F, 0xFF] {
+                let a = bit_alignment(x, y);
+                assert!((0.0..=1.0).contains(&a), "alignment {a} out of range");
+            }
+        }
+    }
+}

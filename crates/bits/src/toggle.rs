@@ -1,0 +1,244 @@
+//! Streaming toggle counters: the latch and bus models at the heart of the
+//! switching-activity engine.
+//!
+//! A CMOS latch dissipates dynamic energy when its stored bit *changes*.
+//! A `ToggleCounter` models one word-wide latch: feed it the sequence of
+//! words the hardware would hold, and it accumulates the total number of
+//! bit transitions. A [`BusToggleTracker`] models a multi-lane structure
+//! (e.g. the 32 operand registers of a warp, or a DRAM burst bus) as an
+//! array of independent latches.
+//!
+//! These are intentionally *exact* counters — no sampling happens at this
+//! level. Sampling decisions are made by `wm-kernels`, which chooses which
+//! lanes to walk.
+
+use crate::hamming::BitWord;
+
+/// Exact toggle counter for a single word-wide latch.
+///
+/// ```
+/// use wm_bits::ToggleCounter;
+/// let mut latch = ToggleCounter::<u16>::new();
+/// latch.latch(0x0000);           // first value: no toggles counted
+/// assert_eq!(latch.latch(0x0001), 1);
+/// assert_eq!(latch.latch(0x0003), 1);
+/// assert_eq!(latch.total(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ToggleCounter<W: BitWord> {
+    previous: Option<W>,
+    total: u64,
+    events: u64,
+}
+
+impl<W: BitWord> Default for ToggleCounter<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W: BitWord> ToggleCounter<W> {
+    /// A counter that has latched nothing yet.
+    pub fn new() -> Self {
+        Self {
+            previous: None,
+            total: 0,
+            events: 0,
+        }
+    }
+
+    /// Latch a new word; returns the number of bits that toggled relative
+    /// to the previously latched word (0 for the very first word, matching
+    /// hardware reset-to-unknown semantics where the first load is not
+    /// charged to the data).
+    #[inline(always)]
+    pub fn latch(&mut self, word: W) -> u32 {
+        let toggles = match self.previous {
+            Some(prev) => prev.distance(word),
+            None => 0,
+        };
+        self.previous = Some(word);
+        self.total += u64::from(toggles);
+        self.events += 1;
+        toggles
+    }
+
+    /// Total bit toggles accumulated so far.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of latch events (words fed in).
+    #[inline]
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Mean toggles per latch event after the first; `0.0` if fewer than
+    /// two events occurred.
+    pub fn mean_toggles(&self) -> f64 {
+        if self.events < 2 {
+            0.0
+        } else {
+            self.total as f64 / (self.events - 1) as f64
+        }
+    }
+
+    /// Forget the latched state but keep the accumulated totals. Models a
+    /// pipeline flush between tiles where the datapath is clock-gated and
+    /// the next value is not charged against the stale one.
+    pub fn flush(&mut self) {
+        self.previous = None;
+    }
+
+    /// Reset both state and totals.
+    pub fn reset(&mut self) {
+        *self = Self::new();
+    }
+}
+
+/// A bank of independent word-wide latches, e.g. one per SIMT lane.
+///
+/// Lane count is fixed at construction; driving an out-of-range lane is a
+/// logic error and panics.
+#[derive(Debug, Clone)]
+pub struct BusToggleTracker<W: BitWord> {
+    lanes: Vec<ToggleCounter<W>>,
+}
+
+impl<W: BitWord> BusToggleTracker<W> {
+    /// Create a tracker with `lanes` independent latches.
+    pub fn new(lanes: usize) -> Self {
+        Self {
+            lanes: vec![ToggleCounter::new(); lanes],
+        }
+    }
+
+    /// Number of lanes.
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Drive `word` onto `lane`; returns the toggles on that lane.
+    #[inline(always)]
+    pub fn drive(&mut self, lane: usize, word: W) -> u32 {
+        self.lanes[lane].latch(word)
+    }
+
+    /// Sum of toggles across all lanes.
+    pub fn total(&self) -> u64 {
+        self.lanes.iter().map(ToggleCounter::total).sum()
+    }
+
+    /// Total latch events across all lanes.
+    pub fn events(&self) -> u64 {
+        self.lanes.iter().map(ToggleCounter::events).sum()
+    }
+
+    /// Flush every lane (see [`ToggleCounter::flush`]).
+    pub fn flush_all(&mut self) {
+        for lane in &mut self.lanes {
+            lane.flush();
+        }
+    }
+}
+
+/// Count the toggles incurred by streaming `words` through one latch,
+/// without constructing a counter. Equivalent to
+/// [`crate::hamming::stream_toggles`]; re-exported here for discoverability
+/// next to the stateful API.
+pub fn count_stream_toggles<W: BitWord>(words: &[W]) -> u64 {
+    crate::hamming::stream_toggles(words)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_latch_is_free() {
+        let mut c = ToggleCounter::<u32>::new();
+        assert_eq!(c.latch(0xFFFF_FFFF), 0);
+        assert_eq!(c.total(), 0);
+        assert_eq!(c.events(), 1);
+    }
+
+    #[test]
+    fn toggles_accumulate() {
+        let mut c = ToggleCounter::<u8>::new();
+        c.latch(0b0000_0000);
+        assert_eq!(c.latch(0b0000_1111), 4);
+        assert_eq!(c.latch(0b1111_1111), 4);
+        assert_eq!(c.latch(0b1111_1111), 0);
+        assert_eq!(c.total(), 8);
+        assert_eq!(c.events(), 4);
+    }
+
+    #[test]
+    fn mean_toggles_excludes_first_event() {
+        let mut c = ToggleCounter::<u8>::new();
+        c.latch(0x00);
+        c.latch(0xFF); // 8 toggles
+        c.latch(0x00); // 8 toggles
+        assert_eq!(c.mean_toggles(), 8.0);
+    }
+
+    #[test]
+    fn mean_toggles_degenerate_cases() {
+        let mut c = ToggleCounter::<u8>::new();
+        assert_eq!(c.mean_toggles(), 0.0);
+        c.latch(0xAB);
+        assert_eq!(c.mean_toggles(), 0.0);
+    }
+
+    #[test]
+    fn flush_suppresses_cross_tile_charge() {
+        let mut c = ToggleCounter::<u8>::new();
+        c.latch(0x00);
+        c.latch(0xFF);
+        let before = c.total();
+        c.flush();
+        assert_eq!(c.latch(0x00), 0, "post-flush latch must be free");
+        assert_eq!(c.total(), before);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut c = ToggleCounter::<u16>::new();
+        c.latch(1);
+        c.latch(2);
+        c.reset();
+        assert_eq!(c.total(), 0);
+        assert_eq!(c.events(), 0);
+    }
+
+    #[test]
+    fn bus_lanes_are_independent() {
+        let mut bus = BusToggleTracker::<u8>::new(2);
+        bus.drive(0, 0x00);
+        bus.drive(1, 0xFF);
+        // Lane 0 goes 0x00 -> 0xFF (8 toggles); lane 1 stays (0 toggles).
+        assert_eq!(bus.drive(0, 0xFF), 8);
+        assert_eq!(bus.drive(1, 0xFF), 0);
+        assert_eq!(bus.total(), 8);
+        assert_eq!(bus.events(), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bus_rejects_out_of_range_lane() {
+        let mut bus = BusToggleTracker::<u8>::new(1);
+        bus.drive(1, 0x00);
+    }
+
+    #[test]
+    fn stateless_matches_stateful() {
+        let words = [0x12u16, 0x34, 0x56, 0x78, 0x9A];
+        let mut c = ToggleCounter::new();
+        for &w in &words {
+            c.latch(w);
+        }
+        assert_eq!(c.total(), count_stream_toggles(&words));
+    }
+}

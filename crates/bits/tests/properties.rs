@@ -1,0 +1,128 @@
+//! Property-based tests for wm-bits invariants.
+
+use proptest::prelude::*;
+use wm_bits::{
+    bit_alignment, flip_random_bits, hamming_distance, hamming_weight, randomize_lsbs,
+    randomize_msbs, zero_lsbs, zero_msbs, ToggleCounter, Xoshiro256pp,
+};
+
+proptest! {
+    #[test]
+    fn hd_is_metric(a: u32, b: u32, c: u32) {
+        // Identity of indiscernibles, symmetry, triangle inequality.
+        prop_assert_eq!(hamming_distance(a, a), 0);
+        prop_assert_eq!(hamming_distance(a, b), hamming_distance(b, a));
+        prop_assert!(
+            hamming_distance(a, c) <= hamming_distance(a, b) + hamming_distance(b, c)
+        );
+    }
+
+    #[test]
+    fn hw_subadditive_over_or(a: u64, b: u64) {
+        prop_assert!(hamming_weight(a | b) <= hamming_weight(a) + hamming_weight(b));
+        // And exact when disjoint.
+        let b_disjoint = b & !a;
+        prop_assert_eq!(
+            hamming_weight(a | b_disjoint),
+            hamming_weight(a) + hamming_weight(b_disjoint)
+        );
+    }
+
+    #[test]
+    fn alignment_complements_distance(a: u16, b: u16) {
+        let al = bit_alignment(a, b);
+        let hd = hamming_distance(a, b) as f64;
+        prop_assert!((al - (1.0 - hd / 16.0)).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&al));
+    }
+
+    #[test]
+    fn zero_lsbs_clears_exactly_low_field(x in any::<u64>(), k in 0u32..=32, width in prop::sample::select(vec![8u32, 16, 32])) {
+        let x = x & ((1u64 << width) - 1);
+        let y = zero_lsbs(x, k, width);
+        let k_eff = k.min(width);
+        // Low field cleared.
+        if k_eff > 0 {
+            prop_assert_eq!(y & ((1u64 << k_eff) - 1), 0);
+        }
+        // High field preserved.
+        prop_assert_eq!(y >> k_eff, x >> k_eff);
+        // Idempotent.
+        prop_assert_eq!(zero_lsbs(y, k, width), y);
+        // Never increases Hamming weight.
+        prop_assert!(hamming_weight(y) <= hamming_weight(x));
+    }
+
+    #[test]
+    fn zero_msbs_clears_exactly_high_field(x in any::<u64>(), k in 0u32..=32, width in prop::sample::select(vec![8u32, 16, 32])) {
+        let x = x & ((1u64 << width) - 1);
+        let y = zero_msbs(x, k, width);
+        let k_eff = k.min(width);
+        let keep = width - k_eff;
+        // High field cleared: nothing at or above `keep`.
+        prop_assert_eq!(y >> keep, 0);
+        // Low field preserved.
+        if keep > 0 {
+            let mask = (1u64 << keep) - 1;
+            prop_assert_eq!(y & mask, x & mask);
+        }
+        prop_assert!(hamming_weight(y) <= hamming_weight(x));
+    }
+
+    #[test]
+    fn lsb_and_msb_zeroing_compose_to_zero(x in any::<u64>(), width in prop::sample::select(vec![8u32, 16, 32])) {
+        let x = x & ((1u64 << width) - 1);
+        prop_assert_eq!(zero_msbs(zero_lsbs(x, width / 2, width), width - width / 2, width), 0);
+    }
+
+    #[test]
+    fn randomize_fields_stay_in_lane(x in any::<u64>(), k in 0u32..=16, seed: u64) {
+        let width = 16u32;
+        let x = x & 0xFFFF;
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let lo = randomize_lsbs(x, k, width, &mut rng);
+        prop_assert_eq!(lo >> k.min(width), x >> k.min(width));
+        let hi = randomize_msbs(x, k, width, &mut rng);
+        let keep = width - k.min(width);
+        if keep > 0 {
+            let mask = (1u64 << keep) - 1;
+            prop_assert_eq!(hi & mask, x & mask);
+        }
+        // Nothing escapes the declared width.
+        prop_assert_eq!(lo >> width, 0);
+        prop_assert_eq!(hi >> width, 0);
+    }
+
+    #[test]
+    fn flip_all_bits_is_involution(x in any::<u64>(), seed: u64, width in prop::sample::select(vec![8u32, 16, 32])) {
+        let x = x & ((1u64 << width) - 1);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let flipped = flip_random_bits(x, 1.0, width, &mut rng);
+        prop_assert_eq!(flipped, x ^ ((1u64 << width) - 1));
+        let mut rng2 = Xoshiro256pp::seed_from_u64(seed);
+        prop_assert_eq!(flip_random_bits(x, 0.0, width, &mut rng2), x);
+    }
+
+    #[test]
+    fn toggle_counter_equals_pairwise_hd(words in prop::collection::vec(any::<u32>(), 0..64)) {
+        let mut counter = ToggleCounter::new();
+        let mut expected = 0u64;
+        let mut prev: Option<u32> = None;
+        for &w in &words {
+            counter.latch(w);
+            if let Some(p) = prev {
+                expected += u64::from(hamming_distance(p, w));
+            }
+            prev = Some(w);
+        }
+        prop_assert_eq!(counter.total(), expected);
+    }
+
+    #[test]
+    fn rng_bounded_uniformity_window(seed: u64, bound in 1usize..1000) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        for _ in 0..32 {
+            prop_assert!(rng.next_bounded(bound) < bound);
+        }
+    }
+}

@@ -1,0 +1,349 @@
+//! The `PowerLab` runner: pattern → GEMM simulation → power → telemetry.
+
+use wm_bits::Xoshiro256pp;
+use wm_gpu::GpuSpec;
+use wm_kernels::{simulate, ActivityRecord, GemmConfig, GemmInputs, Sampling};
+use wm_numerics::DType;
+use wm_patterns::PatternSpec;
+use wm_power::{evaluate, PowerBreakdown};
+use wm_telemetry::{measure, Measurement, MeasurementConfig, VmInstance};
+
+/// Seed-stream separator (golden-ratio increment, as in SplitMix64).
+const SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// A complete experiment-point request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRequest {
+    /// Datatype setup.
+    pub dtype: DType,
+    /// Square problem dimension (the paper uses 2048; 512 for the RTX 6000).
+    pub dim: usize,
+    /// Input pattern for the A operand.
+    pub pattern_a: PatternSpec,
+    /// Input pattern for the B operand (usually the same family, its own
+    /// seed stream — the paper: "A and B matrices use the same pattern").
+    pub pattern_b: PatternSpec,
+    /// The paper's B-transposition switch (default true; Fig. 5a sets false).
+    pub b_transposed: bool,
+    /// Number of seeds to average (the paper uses 10).
+    pub seeds: u64,
+    /// Base seed for the whole request.
+    pub base_seed: u64,
+    /// Iterations per seed; `None` auto-sizes so the telemetry window is
+    /// comfortably longer than the warmup trim.
+    pub iterations: Option<u64>,
+    /// Output-element sampling for the activity engine.
+    pub sampling: Sampling,
+}
+
+impl RunRequest {
+    /// A request with the paper's defaults: same pattern on A and B,
+    /// B transposed, 10 seeds, auto iterations, default sampling lattice.
+    pub fn new(dtype: DType, dim: usize, pattern: PatternSpec) -> Self {
+        Self {
+            dtype,
+            dim,
+            pattern_a: pattern,
+            pattern_b: pattern,
+            b_transposed: true,
+            seeds: 10,
+            base_seed: 0x5EED,
+            iterations: None,
+            sampling: Sampling::DEFAULT,
+        }
+    }
+
+    /// Override the seed count.
+    pub fn with_seeds(mut self, seeds: u64) -> Self {
+        assert!(seeds > 0, "at least one seed required");
+        self.seeds = seeds;
+        self
+    }
+
+    /// Override the base seed.
+    pub fn with_base_seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Use a different pattern for B.
+    pub fn with_pattern_b(mut self, pattern: PatternSpec) -> Self {
+        self.pattern_b = pattern;
+        self
+    }
+
+    /// Set the B-transposition switch.
+    pub fn with_b_transposed(mut self, transposed: bool) -> Self {
+        self.b_transposed = transposed;
+        self
+    }
+
+    /// Override the sampling lattice.
+    pub fn with_sampling(mut self, sampling: Sampling) -> Self {
+        self.sampling = sampling;
+        self
+    }
+
+    /// Fix the per-seed iteration count (paper: 10k, 20k for FP16-T).
+    pub fn with_iterations(mut self, iterations: u64) -> Self {
+        self.iterations = Some(iterations);
+        self
+    }
+}
+
+/// Mean/std/raw-values triple over seeds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeedStat {
+    /// Mean over seeds.
+    pub mean: f64,
+    /// Sample standard deviation over seeds (the paper's error bars).
+    pub std: f64,
+    /// The per-seed values.
+    pub values: Vec<f64>,
+}
+
+impl SeedStat {
+    fn from_values(values: Vec<f64>) -> Self {
+        let n = values.len().max(1) as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = if values.len() > 1 {
+            values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1.0)
+        } else {
+            0.0
+        };
+        Self {
+            mean,
+            std: var.sqrt(),
+            values,
+        }
+    }
+}
+
+/// The seed-averaged outcome of one experiment point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// Measured power over seeds, watts.
+    pub power: SeedStat,
+    /// Measured per-iteration energy over seeds, joules.
+    pub energy_per_iter: SeedStat,
+    /// Measured per-iteration runtime over seeds, seconds.
+    pub runtime: SeedStat,
+    /// The (deterministic) power breakdown of the first seed.
+    pub breakdown: PowerBreakdown,
+    /// Activity merged across seeds (Fig. 8 statistics live here).
+    pub activity: ActivityRecord,
+    /// The raw per-seed telemetry summaries.
+    pub measurements: Vec<Measurement>,
+    /// Whether any seed throttled.
+    pub throttled: bool,
+    /// Mean utilization percentage.
+    pub utilization_pct: f64,
+}
+
+/// The lab: a device, a VM instance, and a measurement configuration.
+#[derive(Debug, Clone)]
+pub struct PowerLab {
+    gpu: GpuSpec,
+    vm: VmInstance,
+    measurement: MeasurementConfig,
+}
+
+impl PowerLab {
+    /// A lab on `gpu`, provisioned as VM instance 0 (the paper pins one
+    /// instance for all experiments).
+    pub fn new(gpu: GpuSpec) -> Self {
+        let vm = VmInstance::provision(&gpu, 0);
+        Self {
+            gpu,
+            vm,
+            measurement: MeasurementConfig::default(),
+        }
+    }
+
+    /// Re-provision onto a different VM instance (used by the methodology
+    /// experiments to demonstrate process variation).
+    pub fn with_vm(mut self, id: u64) -> Self {
+        self.vm = VmInstance::provision(&self.gpu, id);
+        self
+    }
+
+    /// Override the measurement configuration.
+    pub fn with_measurement(mut self, cfg: MeasurementConfig) -> Self {
+        self.measurement = cfg;
+        self
+    }
+
+    /// The device this lab drives.
+    pub fn gpu(&self) -> &GpuSpec {
+        &self.gpu
+    }
+
+    /// The provisioned VM instance.
+    pub fn vm(&self) -> &VmInstance {
+        &self.vm
+    }
+
+    /// Execute a request: per seed, generate operands, simulate, evaluate
+    /// power, and measure through telemetry; then average.
+    pub fn run(&self, req: &RunRequest) -> RunResult {
+        let mut powers = Vec::with_capacity(req.seeds as usize);
+        let mut energies = Vec::with_capacity(req.seeds as usize);
+        let mut runtimes = Vec::with_capacity(req.seeds as usize);
+        let mut measurements = Vec::with_capacity(req.seeds as usize);
+        let mut merged: Option<ActivityRecord> = None;
+        let mut first_breakdown: Option<PowerBreakdown> = None;
+        let mut throttled = false;
+        let mut util_sum = 0.0;
+
+        for s in 0..req.seeds {
+            let mut root = Xoshiro256pp::seed_from_u64(
+                req.base_seed ^ (s.wrapping_mul(SEED_STRIDE).wrapping_add(s + 1)),
+            );
+            let mut rng_a = root.fork(0);
+            let mut rng_b = root.fork(1);
+            let dim = req.dim;
+            let a = req.pattern_a.generate(req.dtype, dim, dim, &mut rng_a);
+            let b = req.pattern_b.generate(req.dtype, dim, dim, &mut rng_b);
+            let cfg = GemmConfig::square(dim, req.dtype)
+                .with_b_transposed(req.b_transposed)
+                .with_sampling(req.sampling);
+            let outcome = simulate(
+                &GemmInputs {
+                    a: &a,
+                    b_stored: &b,
+                    c: None,
+                },
+                &cfg,
+            );
+            let breakdown = evaluate(&self.gpu, &outcome.activity);
+            let iterations = req.iterations.unwrap_or_else(|| {
+                // Auto-size: ~1.6 s of simulated run, comfortably beyond
+                // the 0.5 s warmup trim.
+                ((1.6 / breakdown.t_iter_s).ceil() as u64).max(10)
+            });
+            let (_, m) = measure(
+                &self.gpu,
+                &breakdown,
+                iterations,
+                &self.vm,
+                root.next_u64(),
+                &self.measurement,
+            );
+            powers.push(m.mean_power_w);
+            energies.push(m.energy_per_iter_j);
+            runtimes.push(m.t_iter_mean_s);
+            util_sum += m.utilization_pct;
+            throttled |= m.throttled;
+            measurements.push(m);
+            merged = Some(match merged {
+                None => outcome.activity,
+                Some(prev) => prev.merge(&outcome.activity),
+            });
+            if first_breakdown.is_none() {
+                first_breakdown = Some(breakdown);
+            }
+        }
+
+        RunResult {
+            power: SeedStat::from_values(powers),
+            energy_per_iter: SeedStat::from_values(energies),
+            runtime: SeedStat::from_values(runtimes),
+            breakdown: first_breakdown.expect("at least one seed"),
+            activity: merged.expect("at least one seed"),
+            utilization_pct: util_sum / req.seeds as f64,
+            measurements,
+            throttled,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wm_gpu::spec::a100_pcie;
+    use wm_patterns::{PatternKind, PatternSpec};
+
+    fn quick(dtype: DType, kind: PatternKind) -> RunRequest {
+        RunRequest::new(dtype, 256, PatternSpec::new(kind))
+            .with_seeds(2)
+            .with_sampling(Sampling::Lattice { rows: 8, cols: 8 })
+    }
+
+    #[test]
+    fn run_produces_consistent_statistics() {
+        let lab = PowerLab::new(a100_pcie());
+        let r = lab.run(&quick(DType::Fp16Tensor, PatternKind::Gaussian));
+        assert_eq!(r.power.values.len(), 2);
+        assert_eq!(r.measurements.len(), 2);
+        assert!(r.power.mean > lab.gpu().idle_watts);
+        assert!(r.power.mean < lab.gpu().tdp_watts);
+        assert!(r.runtime.mean > 0.0);
+        assert!((r.energy_per_iter.mean - r.power.mean * r.runtime.mean).abs()
+            < 0.02 * r.energy_per_iter.mean);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let lab = PowerLab::new(a100_pcie());
+        let req = quick(DType::Int8, PatternKind::Gaussian);
+        let a = lab.run(&req);
+        let b = lab.run(&req);
+        assert_eq!(a.power, b.power);
+        assert_eq!(a.activity, b.activity);
+    }
+
+    #[test]
+    fn different_base_seeds_differ() {
+        let lab = PowerLab::new(a100_pcie());
+        let a = lab.run(&quick(DType::Fp32, PatternKind::Gaussian));
+        let b = lab.run(&quick(DType::Fp32, PatternKind::Gaussian).with_base_seed(77));
+        assert_ne!(a.power.mean, b.power.mean);
+    }
+
+    #[test]
+    fn seed_error_bars_are_small_for_random_inputs() {
+        let lab = PowerLab::new(a100_pcie());
+        let r = lab.run(
+            &RunRequest::new(DType::Fp16, 256, PatternSpec::new(PatternKind::Gaussian))
+                .with_seeds(4)
+                .with_sampling(Sampling::Lattice { rows: 8, cols: 8 }),
+        );
+        assert!(
+            r.power.std < 0.05 * r.power.mean,
+            "std {} vs mean {}",
+            r.power.std,
+            r.power.mean
+        );
+    }
+
+    #[test]
+    fn vm_choice_shifts_power() {
+        let req = quick(DType::Fp16Tensor, PatternKind::Gaussian);
+        let lab_a = PowerLab::new(a100_pcie());
+        let lab_b = PowerLab::new(a100_pcie()).with_vm(9);
+        let offset_delta = lab_a.vm().offset_w - lab_b.vm().offset_w;
+        let a = lab_a.run(&req);
+        let b = lab_b.run(&req);
+        // The measured shift tracks the provisioned offset difference to
+        // within sensor-noise averaging error.
+        assert!(
+            ((a.power.mean - b.power.mean) - offset_delta).abs() < 1.0,
+            "measured shift {} vs offset delta {offset_delta}",
+            a.power.mean - b.power.mean
+        );
+    }
+
+    #[test]
+    fn zeros_use_less_power_than_gaussian() {
+        let lab = PowerLab::new(a100_pcie());
+        let z = lab.run(&quick(DType::Fp16Tensor, PatternKind::Zeros));
+        let g = lab.run(&quick(DType::Fp16Tensor, PatternKind::Gaussian));
+        assert!(z.power.mean < g.power.mean);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one seed")]
+    fn zero_seeds_rejected() {
+        let _ = quick(DType::Fp32, PatternKind::Gaussian).with_seeds(0);
+    }
+}

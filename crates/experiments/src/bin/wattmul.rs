@@ -1,0 +1,202 @@
+//! `wattmul` — regenerate any figure of *Input-Dependent Power Usage in
+//! GPUs* (SC 2024) from the simulation pipeline.
+//!
+//! ```text
+//! wattmul list                     # show available experiments
+//! wattmul fig5 --profile quick     # regenerate all Fig. 5 panels
+//! wattmul fig3a --out results/     # one panel, custom output dir
+//! wattmul all --profile paper      # the full evaluation (slow)
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use wm_experiments::{
+    ext_bf16, ext_gemv, fig1_runtime, fig2_energy, fig3_distribution, fig4_bit_similarity, fig5_placement,
+    fig6_sparsity, fig7_cross_gpu, fig8_alignment, methodology, write_figure, FigureResult,
+    RunProfile,
+};
+
+struct Experiment {
+    name: &'static str,
+    description: &'static str,
+    run: fn(&RunProfile) -> Vec<FigureResult>,
+}
+
+fn experiments() -> Vec<Experiment> {
+    vec![
+        Experiment {
+            name: "fig1",
+            description: "iteration runtime by datatype",
+            run: fig1_runtime::run,
+        },
+        Experiment {
+            name: "fig2",
+            description: "iteration energy by datatype",
+            run: fig2_energy::run,
+        },
+        Experiment {
+            name: "fig3",
+            description: "value distribution (sigma, mean, value sets)",
+            run: fig3_distribution::run,
+        },
+        Experiment {
+            name: "fig4",
+            description: "bit similarity (flips, LSBs, MSBs)",
+            run: fig4_bit_similarity::run,
+        },
+        Experiment {
+            name: "fig5",
+            description: "placement (sorting variants)",
+            run: fig5_placement::run,
+        },
+        Experiment {
+            name: "fig6",
+            description: "sparsity (general, after-sort, bit fields)",
+            run: fig6_sparsity::run,
+        },
+        Experiment {
+            name: "fig7",
+            description: "cross-GPU generalization",
+            run: fig7_cross_gpu::run,
+        },
+        Experiment {
+            name: "fig8",
+            description: "bit alignment and Hamming weight scatter",
+            run: fig8_alignment::run,
+        },
+        Experiment {
+            name: "meth",
+            description: "methodology checks (utilization, VM variation, throttling)",
+            run: methodology::run,
+        },
+        Experiment {
+            name: "gemv",
+            description: "extension: the paper's sweeps under memory-bound GEMV",
+            run: ext_gemv::run,
+        },
+        Experiment {
+            name: "bf16",
+            description: "extension: BF16 vs FP16-T bit-level comparison",
+            run: ext_bf16::run,
+        },
+    ]
+}
+
+/// Sub-panel selectors: `fig3a` runs only that panel of `fig3`.
+fn run_selection(selector: &str, profile: &RunProfile) -> Option<Vec<FigureResult>> {
+    let exps = experiments();
+    if let Some(e) = exps.iter().find(|e| e.name == selector) {
+        return Some((e.run)(profile));
+    }
+    // Panel selector: strip a trailing letter and filter by id.
+    if selector.len() > 4 && selector.starts_with("fig") {
+        let base = &selector[..4];
+        if let Some(e) = exps.iter().find(|e| e.name == base) {
+            let figs = (e.run)(profile);
+            let matching: Vec<FigureResult> =
+                figs.into_iter().filter(|f| f.id == selector).collect();
+            if !matching.is_empty() {
+                return Some(matching);
+            }
+        }
+    }
+    None
+}
+
+fn print_usage() {
+    eprintln!("usage: wattmul <list|all|fig1..fig8|fig3a..|meth> [--profile paper|quick|test] [--out DIR]");
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        print_usage();
+        return ExitCode::FAILURE;
+    }
+    let mut command = String::new();
+    let mut profile = RunProfile::QUICK;
+    let mut out = PathBuf::from("results");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--profile" => {
+                i += 1;
+                match args.get(i).and_then(|s| RunProfile::parse(s)) {
+                    Some(p) => profile = p,
+                    None => {
+                        eprintln!("unknown profile {:?}", args.get(i));
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => out = PathBuf::from(dir),
+                    None => {
+                        eprintln!("--out needs a directory");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            other if command.is_empty() => command = other.to_string(),
+            other => {
+                eprintln!("unexpected argument {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    match command.as_str() {
+        "list" => {
+            println!("available experiments (run `wattmul <name>`):");
+            for e in experiments() {
+                println!("  {:5} — {}", e.name, e.description);
+            }
+            ExitCode::SUCCESS
+        }
+        "all" => {
+            for e in experiments() {
+                eprintln!("running {} ({})...", e.name, e.description);
+                for fig in (e.run)(&profile) {
+                    match write_figure(&out, &fig) {
+                        Ok(path) => println!("wrote {}", path.display()),
+                        Err(err) => {
+                            eprintln!("failed writing {}: {err}", fig.id);
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        "" => {
+            print_usage();
+            ExitCode::FAILURE
+        }
+        selector => match run_selection(selector, &profile) {
+            Some(figs) => {
+                for fig in figs {
+                    match write_figure(&out, &fig) {
+                        Ok(path) => {
+                            println!("wrote {}", path.display());
+                            // Also echo the markdown table for immediate reading.
+                            println!("{}", wm_experiments::io::figure_markdown(&fig));
+                        }
+                        Err(err) => {
+                            eprintln!("failed writing {}: {err}", fig.id);
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("unknown experiment {selector:?}");
+                print_usage();
+                ExitCode::FAILURE
+            }
+        },
+    }
+}

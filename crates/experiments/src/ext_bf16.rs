@@ -1,0 +1,125 @@
+//! Extension experiment: **BF16** vs FP16-T — how the exponent/mantissa
+//! split changes the paper's bit-level effects.
+//!
+//! BF16 (extension dtype, not in the paper) shares FP16-T's tensor
+//! pipeline and rate but carries FP32's 8-bit exponent and only 7 mantissa
+//! bits. Two of the paper's experiments separate the fields cleanly:
+//!
+//! * the **mean sweep** (Fig. 3b family) freezes sign+exponent — BF16 has
+//!   more exponent bits to freeze;
+//! * **LSB zeroing** (Fig. 6c family) strips mantissa — BF16 runs out of
+//!   mantissa after 7 bits, so its curve saturates earlier.
+
+use crate::profile::RunProfile;
+use crate::runner::{collect_series, execute, FigureResult, Metric, SweepPoint};
+use wm_gpu::spec::a100_pcie;
+use wm_numerics::DType;
+use wm_patterns::{PatternKind, PatternSpec};
+
+const DTYPES: [DType; 2] = [DType::Fp16Tensor, DType::Bf16];
+
+/// Mean sweep over both 16-bit tensor dtypes.
+pub fn run_mean(profile: &RunProfile) -> FigureResult {
+    let mut points = Vec::new();
+    for &dtype in &DTYPES {
+        for &mean in &profile.thin(&[0.0, 4.0, 16.0, 64.0, 256.0, 1024.0]) {
+            points.push(SweepPoint {
+                series: dtype.label().to_string(),
+                x: mean,
+                request: profile.request(
+                    dtype,
+                    PatternSpec::new(PatternKind::Gaussian)
+                        .with_mean(mean)
+                        .with_std(1.0),
+                ),
+                gpu: a100_pcie(),
+                metric: Metric::PowerW,
+            });
+        }
+    }
+    FigureResult {
+        id: "ext_bf16_mean".into(),
+        title: "Extension: BF16 vs FP16-T under the mean sweep".into(),
+        x_label: "mean".into(),
+        y_label: "power (W)".into(),
+        notes: vec![
+            "Extension (not a paper figure). Both dtypes run the same tensor \
+             pipeline at the same rate; differences are purely bit-level."
+                .into(),
+        ],
+        series: collect_series(&execute(points)),
+    }
+}
+
+/// LSB-zeroing sweep over both 16-bit tensor dtypes (x = bits zeroed).
+pub fn run_zero_lsbs(profile: &RunProfile) -> FigureResult {
+    let mut points = Vec::new();
+    for &dtype in &DTYPES {
+        for &k in &profile.thin(&[0u32, 2, 4, 6, 8, 10, 12, 14, 16]) {
+            points.push(SweepPoint {
+                series: dtype.label().to_string(),
+                x: f64::from(k),
+                request: profile.request(dtype, PatternSpec::new(PatternKind::ZeroLsbs { count: k })),
+                gpu: a100_pcie(),
+                metric: Metric::PowerW,
+            });
+        }
+    }
+    FigureResult {
+        id: "ext_bf16_zero_lsbs".into(),
+        title: "Extension: BF16 vs FP16-T under LSB zeroing".into(),
+        x_label: "bits zeroed".into(),
+        y_label: "power (W)".into(),
+        notes: vec![
+            "BF16 has only 7 mantissa bits, so its curve flattens around \
+             k=7 while FP16-T keeps falling until k=10."
+                .into(),
+        ],
+        series: collect_series(&execute(points)),
+    }
+}
+
+/// Execute the BF16 extension panels.
+pub fn run(profile: &RunProfile) -> Vec<FigureResult> {
+    vec![run_mean(profile), run_zero_lsbs(profile)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_dtypes_show_the_mean_effect() {
+        let fig = run_mean(&RunProfile::TEST);
+        assert_eq!(fig.series.len(), 2);
+        for s in &fig.series {
+            assert!(
+                s.points.last().unwrap().y < s.points.first().unwrap().y,
+                "{}: large means must reduce power",
+                s.name
+            );
+        }
+    }
+
+    #[test]
+    fn bf16_saturates_earlier_under_lsb_zeroing() {
+        // Compare the marginal saving from the second half of the sweep:
+        // BF16's mantissa is exhausted there, FP16-T's is not.
+        let profile = RunProfile {
+            sweep_density: 9,
+            ..RunProfile::TEST
+        };
+        let fig = run_zero_lsbs(&profile);
+        let tail_drop = |name: &str| -> f64 {
+            let s = fig.series.iter().find(|s| s.name == name).unwrap();
+            let at = |k: f64| s.points.iter().find(|p| p.x == k).unwrap().y;
+            at(8.0) - at(14.0)
+        };
+        assert!(
+            tail_drop("BF16") < tail_drop("FP16-T"),
+            "BF16 tail drop {} should be below FP16-T {}",
+            tail_drop("BF16"),
+            tail_drop("FP16-T")
+        );
+    }
+}

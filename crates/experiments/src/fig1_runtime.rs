@@ -1,0 +1,80 @@
+//! Fig. 1 — average iteration runtime by datatype.
+//!
+//! The paper's methodological baseline: runtimes depend only on the
+//! datatype (and device), never on the input pattern, and error bars are
+//! "a magnitude smaller" than the values. We run the Gaussian baseline for
+//! each dtype and report the per-iteration runtime in microseconds.
+
+use crate::profile::RunProfile;
+use crate::runner::{collect_series, execute, FigureResult, Metric, SweepPoint};
+use wm_gpu::spec::a100_pcie;
+use wm_numerics::DType;
+use wm_patterns::{PatternKind, PatternSpec};
+
+/// Execute Fig. 1.
+pub fn run(profile: &RunProfile) -> Vec<FigureResult> {
+    let points: Vec<SweepPoint> = DType::ALL
+        .iter()
+        .map(|&dtype| SweepPoint {
+            series: dtype.label().to_string(),
+            x: 0.0,
+            request: profile.request(dtype, PatternSpec::new(PatternKind::Gaussian)),
+            gpu: a100_pcie(),
+            metric: Metric::RuntimeUs,
+        })
+        .collect();
+    let executed = execute(points);
+    let mut notes = vec![format!(
+        "A100 PCIe, {dim}x{dim} GEMM, Gaussian(0, sigma_dtype) inputs, {seeds} seeds.",
+        dim = profile.dim,
+        seeds = profile.seeds
+    )];
+    // The paper's observation: error bars are an order of magnitude
+    // smaller than the runtimes themselves.
+    for p in &executed {
+        notes.push(format!(
+            "{}: {:.1} us +/- {:.4} us (relative spread {:.2e})",
+            p.series,
+            p.stat.y,
+            p.stat.yerr,
+            p.stat.yerr / p.stat.y
+        ));
+    }
+    vec![FigureResult {
+        id: "fig1".into(),
+        title: "Average iteration runtime by datatype".into(),
+        x_label: "(single configuration)".into(),
+        y_label: "iteration runtime (us)".into(),
+        notes,
+        series: collect_series(&executed),
+    }]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runtime_ordering_and_consistency() {
+        let figs = run(&RunProfile::TEST);
+        assert_eq!(figs.len(), 1);
+        let fig = &figs[0];
+        assert_eq!(fig.series.len(), 4);
+        let by_name = |n: &str| -> f64 {
+            fig.series
+                .iter()
+                .find(|s| s.name == n)
+                .unwrap()
+                .points[0]
+                .y
+        };
+        // FP32 slowest; FP16-T faster than FP16 (tensor cores).
+        assert!(by_name("FP32") > by_name("FP16"));
+        assert!(by_name("FP16") > by_name("FP16-T"));
+        // Error bars an order of magnitude (or more) below the value.
+        for s in &fig.series {
+            let p = s.points[0];
+            assert!(p.yerr < p.y / 10.0, "{}: {} vs {}", s.name, p.yerr, p.y);
+        }
+    }
+}

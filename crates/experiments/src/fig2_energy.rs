@@ -1,0 +1,65 @@
+//! Fig. 2 — average iteration energy by datatype.
+//!
+//! Gaussian random inputs (mean 0, sigma 210 for floating point, 25 for
+//! INT8). The paper notes the energy pattern mirrors the runtime pattern —
+//! random-input power is similar across datatype setups, so energy is
+//! dominated by how long an iteration takes.
+
+use crate::profile::RunProfile;
+use crate::runner::{collect_series, execute, FigureResult, Metric, SweepPoint};
+use wm_gpu::spec::a100_pcie;
+use wm_numerics::DType;
+use wm_patterns::{PatternKind, PatternSpec};
+
+/// Execute Fig. 2.
+pub fn run(profile: &RunProfile) -> Vec<FigureResult> {
+    let points: Vec<SweepPoint> = DType::ALL
+        .iter()
+        .map(|&dtype| SweepPoint {
+            series: dtype.label().to_string(),
+            x: 0.0,
+            request: profile.request(dtype, PatternSpec::new(PatternKind::Gaussian)),
+            gpu: a100_pcie(),
+            metric: Metric::EnergyMj,
+        })
+        .collect();
+    let executed = execute(points);
+    let notes = vec![
+        format!(
+            "A100 PCIe, {dim}x{dim} GEMM, Gaussian(0, sigma_dtype), {seeds} seeds.",
+            dim = profile.dim,
+            seeds = profile.seeds
+        ),
+        "Energy per iteration = mean power x mean iteration time; the shape \
+         mirrors Fig. 1's runtimes, as the paper observes."
+            .to_string(),
+    ];
+    vec![FigureResult {
+        id: "fig2".into(),
+        title: "Average iteration energy by datatype (Gaussian inputs)".into(),
+        x_label: "(single configuration)".into(),
+        y_label: "iteration energy (mJ)".into(),
+        notes,
+        series: collect_series(&executed),
+    }]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_mirrors_runtime_ordering() {
+        let fig = &run(&RunProfile::TEST)[0];
+        let by_name = |n: &str| -> f64 {
+            fig.series.iter().find(|s| s.name == n).unwrap().points[0].y
+        };
+        // FP32 is by far the slowest, so it costs the most energy per
+        // iteration; the tensor path undercuts SIMT FP16.
+        assert!(by_name("FP32") > by_name("FP16"));
+        assert!(by_name("FP16") > by_name("FP16-T"));
+        for s in &fig.series {
+            assert!(s.points[0].y > 0.0);
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Fig. 3 — effects of input value distribution on GPU power.
+//!
+//! * **3a** — Gaussian with fixed mean 0 and varied standard deviation
+//!   (paper takeaway T1: no significant impact).
+//! * **3b** — Gaussian with fixed sigma 1 and varied mean (T2: larger
+//!   means reduce power for floating-point datatypes: the exponent and
+//!   sign fields freeze).
+//! * **3c** — values drawn uniformly with replacement from a set of n
+//!   Gaussian variates (T3: small sets decrease power).
+
+use crate::profile::RunProfile;
+use crate::runner::{collect_series, execute, FigureResult, Metric, SweepPoint};
+use wm_gpu::spec::a100_pcie;
+use wm_numerics::DType;
+use wm_patterns::{PatternKind, PatternSpec};
+
+/// Standard-deviation sweep values per dtype (kept inside each encoding's
+/// practical range, as §III prescribes).
+fn sigma_sweep(dtype: DType) -> Vec<f64> {
+    if dtype == DType::Int8 {
+        vec![1.0, 2.0, 4.0, 8.0, 16.0, 25.0]
+    } else {
+        vec![1.0, 4.0, 16.0, 64.0, 210.0, 1024.0]
+    }
+}
+
+/// Mean sweep values per dtype (sigma fixed at 1).
+fn mean_sweep(dtype: DType) -> Vec<f64> {
+    if dtype == DType::Int8 {
+        vec![0.0, 1.0, 4.0, 16.0, 32.0, 64.0, 96.0]
+    } else {
+        vec![0.0, 1.0, 4.0, 16.0, 64.0, 256.0, 1024.0]
+    }
+}
+
+/// Value-set sizes (3c).
+const SET_SIZES: [usize; 8] = [1, 2, 4, 16, 64, 256, 1024, 4096];
+
+/// Execute Fig. 3a (sigma sweep).
+pub fn run_3a(profile: &RunProfile) -> FigureResult {
+    let mut points = Vec::new();
+    for &dtype in &DType::ALL {
+        for &sigma in &profile.thin(&sigma_sweep(dtype)) {
+            points.push(SweepPoint {
+                series: dtype.label().to_string(),
+                x: sigma,
+                request: profile.request(
+                    dtype,
+                    PatternSpec::new(PatternKind::Gaussian).with_std(sigma),
+                ),
+                gpu: a100_pcie(),
+                metric: Metric::PowerW,
+            });
+        }
+    }
+    let executed = execute(points);
+    FigureResult {
+        id: "fig3a".into(),
+        title: "Distribution standard deviation vs. power (mean 0)".into(),
+        x_label: "sigma".into(),
+        y_label: "power (W)".into(),
+        notes: vec!["T1: standard deviation does not significantly impact power.".into()],
+        series: collect_series(&executed),
+    }
+}
+
+/// Execute Fig. 3b (mean sweep).
+pub fn run_3b(profile: &RunProfile) -> FigureResult {
+    let mut points = Vec::new();
+    for &dtype in &DType::ALL {
+        for &mean in &profile.thin(&mean_sweep(dtype)) {
+            points.push(SweepPoint {
+                series: dtype.label().to_string(),
+                x: mean,
+                request: profile.request(
+                    dtype,
+                    PatternSpec::new(PatternKind::Gaussian)
+                        .with_mean(mean)
+                        .with_std(1.0),
+                ),
+                gpu: a100_pcie(),
+                metric: Metric::PowerW,
+            });
+        }
+    }
+    let executed = execute(points);
+    FigureResult {
+        id: "fig3b".into(),
+        title: "Distribution mean vs. power (sigma 1)".into(),
+        x_label: "mean".into(),
+        y_label: "power (W)".into(),
+        notes: vec![
+            "T2: larger input value means can reduce power for FP datatypes \
+             (sign and exponent fields freeze, shrinking operand toggles)."
+                .into(),
+        ],
+        series: collect_series(&executed),
+    }
+}
+
+/// Execute Fig. 3c (value-set size sweep).
+pub fn run_3c(profile: &RunProfile) -> FigureResult {
+    let mut points = Vec::new();
+    for &dtype in &DType::ALL {
+        for &n in &profile.thin(&SET_SIZES) {
+            points.push(SweepPoint {
+                series: dtype.label().to_string(),
+                x: n as f64,
+                request: profile.request(
+                    dtype,
+                    PatternSpec::new(PatternKind::ValueSet { set_size: n }),
+                ),
+                gpu: a100_pcie(),
+                metric: Metric::PowerW,
+            });
+        }
+    }
+    let executed = execute(points);
+    FigureResult {
+        id: "fig3c".into(),
+        title: "Value-set size vs. power".into(),
+        x_label: "set size".into(),
+        y_label: "power (W)".into(),
+        notes: vec![
+            "T3: inputs from a small set of unique values decrease power \
+             consumption."
+                .into(),
+        ],
+        series: collect_series(&executed),
+    }
+}
+
+/// Execute all of Fig. 3.
+pub fn run(profile: &RunProfile) -> Vec<FigureResult> {
+    vec![run_3a(profile), run_3b(profile), run_3c(profile)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series<'a>(fig: &'a FigureResult, name: &str) -> &'a crate::runner::Series {
+        fig.series.iter().find(|s| s.name == name).unwrap()
+    }
+
+    #[test]
+    fn t1_sigma_sweep_is_flat() {
+        let fig = run_3a(&RunProfile::TEST);
+        for s in &fig.series {
+            let ys: Vec<f64> = s.points.iter().map(|p| p.y).collect();
+            let mean = ys.iter().sum::<f64>() / ys.len() as f64;
+            let spread =
+                (ys.iter().cloned().fold(f64::MIN, f64::max) - ys.iter().cloned().fold(f64::MAX, f64::min))
+                    / mean;
+            assert!(
+                spread < 0.06,
+                "{}: sigma sweep spread {spread} should be small",
+                s.name
+            );
+        }
+    }
+
+    #[test]
+    fn t2_larger_means_reduce_fp_power() {
+        let fig = run_3b(&RunProfile::TEST);
+        for name in ["FP32", "FP16", "FP16-T"] {
+            let s = series(&fig, name);
+            let first = s.points.first().unwrap().y;
+            let last = s.points.last().unwrap().y;
+            assert!(
+                last < first,
+                "{name}: power should fall from {first} to below at large mean, got {last}"
+            );
+        }
+    }
+
+    #[test]
+    fn t3_small_sets_use_less_power() {
+        let fig = run_3c(&RunProfile::TEST);
+        for s in &fig.series {
+            let first = s.points.first().unwrap().y; // set of 1
+            let last = s.points.last().unwrap().y; // set of 4096
+            assert!(
+                first < last,
+                "{}: 1-value set ({first} W) should undercut 4096-value set ({last} W)",
+                s.name
+            );
+        }
+    }
+}

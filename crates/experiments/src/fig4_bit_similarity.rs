@@ -1,0 +1,180 @@
+//! Fig. 4 — effects of bit similarity on GPU power.
+//!
+//! All three sub-experiments start from matrices holding a single random
+//! value each (A one value, B another) and then damage the encodings:
+//!
+//! * **4a** — flip each bit with probability p (T4: similar bits → less power);
+//! * **4b** — randomize the k least-significant bits (T5: power rises with k);
+//! * **4c** — randomize the k most-significant bits (T6: power rises with k);
+//! * across panels, FP16-T draws the most power (T7).
+//!
+//! The x-axis for 4b/4c is the *fraction* of the encoding randomized, so
+//! all datatypes share one axis despite different widths.
+
+use crate::profile::RunProfile;
+use crate::runner::{collect_series, execute, FigureResult, Metric, SweepPoint};
+use wm_gpu::spec::a100_pcie;
+use wm_numerics::DType;
+use wm_patterns::{PatternKind, PatternSpec};
+
+const FLIP_PROBS: [f64; 11] = [0.0, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5];
+const BIT_FRACTIONS: [f64; 9] = [0.0, 0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0];
+
+/// Execute Fig. 4a (random bit flips).
+pub fn run_4a(profile: &RunProfile) -> FigureResult {
+    let mut points = Vec::new();
+    for &dtype in &DType::ALL {
+        for &p in &profile.thin(&FLIP_PROBS) {
+            points.push(SweepPoint {
+                series: dtype.label().to_string(),
+                x: p,
+                request: profile.request(
+                    dtype,
+                    PatternSpec::new(PatternKind::BitFlips { probability: p }),
+                ),
+                gpu: a100_pcie(),
+                metric: Metric::PowerW,
+            });
+        }
+    }
+    FigureResult {
+        id: "fig4a".into(),
+        title: "Random bit flips vs. power".into(),
+        x_label: "per-bit flip probability".into(),
+        y_label: "power (W)".into(),
+        notes: vec!["T4: input data with highly similar bits uses less power.".into()],
+        series: collect_series(&execute(points)),
+    }
+}
+
+fn bit_field_sweep(
+    profile: &RunProfile,
+    id: &str,
+    title: &str,
+    note: &str,
+    kind: fn(u32) -> PatternKind,
+) -> FigureResult {
+    let mut points = Vec::new();
+    for &dtype in &DType::ALL {
+        for &frac in &profile.thin(&BIT_FRACTIONS) {
+            let k = (frac * f64::from(dtype.bits())).round() as u32;
+            points.push(SweepPoint {
+                series: dtype.label().to_string(),
+                x: frac,
+                request: profile.request(dtype, PatternSpec::new(kind(k))),
+                gpu: a100_pcie(),
+                metric: Metric::PowerW,
+            });
+        }
+    }
+    FigureResult {
+        id: id.into(),
+        title: title.into(),
+        x_label: "fraction of bits".into(),
+        y_label: "power (W)".into(),
+        notes: vec![note.into()],
+        series: collect_series(&execute(points)),
+    }
+}
+
+/// Execute Fig. 4b (randomized least-significant bits).
+pub fn run_4b(profile: &RunProfile) -> FigureResult {
+    bit_field_sweep(
+        profile,
+        "fig4b",
+        "Randomized least-significant bits vs. power",
+        "T5: as more least significant bits are randomized, power increases.",
+        |k| PatternKind::RandomLsbs { count: k },
+    )
+}
+
+/// Execute Fig. 4c (randomized most-significant bits).
+pub fn run_4c(profile: &RunProfile) -> FigureResult {
+    bit_field_sweep(
+        profile,
+        "fig4c",
+        "Randomized most-significant bits vs. power",
+        "T6: as more most significant bits are randomized, power increases.",
+        |k| PatternKind::RandomMsbs { count: k },
+    )
+}
+
+/// Execute all of Fig. 4.
+pub fn run(profile: &RunProfile) -> Vec<FigureResult> {
+    vec![run_4a(profile), run_4b(profile), run_4c(profile)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t4_flips_increase_power() {
+        let fig = run_4a(&RunProfile::TEST);
+        for s in &fig.series {
+            let first = s.points.first().unwrap().y; // identical bits
+            let last = s.points.last().unwrap().y; // 50% flips
+            assert!(
+                first < last,
+                "{}: constant fill {first} W should undercut flipped {last} W",
+                s.name
+            );
+        }
+    }
+
+    #[test]
+    fn t5_lsb_randomization_increases_power() {
+        let fig = run_4b(&RunProfile::TEST);
+        for s in &fig.series {
+            assert!(
+                s.points.first().unwrap().y < s.points.last().unwrap().y,
+                "{} LSB sweep should rise",
+                s.name
+            );
+        }
+    }
+
+    #[test]
+    fn t6_msb_randomization_increases_power() {
+        let fig = run_4c(&RunProfile::TEST);
+        for s in &fig.series {
+            assert!(
+                s.points.first().unwrap().y < s.points.last().unwrap().y,
+                "{} MSB sweep should rise",
+                s.name
+            );
+        }
+    }
+
+    #[test]
+    fn t7_fp16t_is_most_power_hungry_at_full_randomization() {
+        // T7 is a statement about the paper's 2048 regime; at the tiny
+        // TEST dimension launch overhead dominates and compresses the
+        // dtype gaps, so this check runs at 1024 with minimal sampling.
+        let profile = RunProfile {
+            dim: 1024,
+            seeds: 1,
+            sampling: wm_kernels::Sampling::Lattice { rows: 8, cols: 8 },
+            sweep_density: 2,
+        };
+        let fig = run_4b(&profile);
+        let last_of = |name: &str| -> f64 {
+            fig.series
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap()
+                .points
+                .last()
+                .unwrap()
+                .y
+        };
+        for other in ["FP32", "FP16", "INT8"] {
+            assert!(
+                last_of("FP16-T") > last_of(other),
+                "FP16-T ({}) should beat {other} ({})",
+                last_of("FP16-T"),
+                last_of(other)
+            );
+        }
+    }
+}

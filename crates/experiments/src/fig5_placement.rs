@@ -1,0 +1,171 @@
+//! Fig. 5 — effects of input value placement (partial sorting) on power.
+//!
+//! Four variants over the sort fraction:
+//!
+//! * **5a** — sorted into rows, B *not* transposed (T8);
+//! * **5b** — sorted into rows, B transposed so sorted runs align along
+//!   the K reduction on both operands (T9: bigger reduction than 5a);
+//! * **5c** — sorted into columns (T10);
+//! * **5d** — sorted within each row, aligned (T11: weaker than full sort).
+
+use crate::profile::RunProfile;
+use crate::runner::{collect_series, execute, FigureResult, Metric, SweepPoint};
+use wm_gpu::spec::a100_pcie;
+use wm_numerics::DType;
+use wm_patterns::{PatternKind, PatternSpec};
+
+const FRACTIONS: [f64; 11] = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+
+fn placement_sweep(
+    profile: &RunProfile,
+    id: &str,
+    title: &str,
+    note: &str,
+    kind: fn(f64) -> PatternKind,
+    b_transposed: bool,
+) -> FigureResult {
+    let mut points = Vec::new();
+    for &dtype in &DType::ALL {
+        for &f in &profile.thin(&FRACTIONS) {
+            points.push(SweepPoint {
+                series: dtype.label().to_string(),
+                x: f,
+                request: profile
+                    .request(dtype, PatternSpec::new(kind(f)))
+                    .with_b_transposed(b_transposed),
+                gpu: a100_pcie(),
+                metric: Metric::PowerW,
+            });
+        }
+    }
+    FigureResult {
+        id: id.into(),
+        title: title.into(),
+        x_label: "fraction sorted".into(),
+        y_label: "power (W)".into(),
+        notes: vec![note.into()],
+        series: collect_series(&execute(points)),
+    }
+}
+
+/// Execute Fig. 5a (sorted into rows, B not transposed).
+pub fn run_5a(profile: &RunProfile) -> FigureResult {
+    placement_sweep(
+        profile,
+        "fig5a",
+        "Sorted into rows (B not transposed) vs. power",
+        "T8: sorting input values can decrease power consumption.",
+        |f| PatternKind::SortedRows { fraction: f },
+        false,
+    )
+}
+
+/// Execute Fig. 5b (sorted into rows, aligned via B transposition).
+pub fn run_5b(profile: &RunProfile) -> FigureResult {
+    placement_sweep(
+        profile,
+        "fig5b",
+        "Sorted and aligned (B transposed) vs. power",
+        "T9: aligning sorted values decreases power even more than just sorting.",
+        |f| PatternKind::SortedRows { fraction: f },
+        true,
+    )
+}
+
+/// Execute Fig. 5c (sorted into columns).
+pub fn run_5c(profile: &RunProfile) -> FigureResult {
+    placement_sweep(
+        profile,
+        "fig5c",
+        "Sorted into columns vs. power",
+        "T10: sorting values into columns can decrease power consumption.",
+        |f| PatternKind::SortedCols { fraction: f },
+        true,
+    )
+}
+
+/// Execute Fig. 5d (sorted within rows, aligned).
+pub fn run_5d(profile: &RunProfile) -> FigureResult {
+    placement_sweep(
+        profile,
+        "fig5d",
+        "Sorted within rows vs. power",
+        "T11: intra-row sorting decreases power, but less than sorting fully.",
+        |f| PatternKind::SortedWithinRows { fraction: f },
+        true,
+    )
+}
+
+/// Execute all of Fig. 5.
+pub fn run(profile: &RunProfile) -> Vec<FigureResult> {
+    vec![
+        run_5a(profile),
+        run_5b(profile),
+        run_5c(profile),
+        run_5d(profile),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drop_at_full_sort(fig: &FigureResult, name: &str) -> f64 {
+        let s = fig.series.iter().find(|s| s.name == name).unwrap();
+        s.points.first().unwrap().y - s.points.last().unwrap().y
+    }
+
+    #[test]
+    fn t8_sorting_reduces_power() {
+        let fig = run_5a(&RunProfile::TEST);
+        for s in &fig.series {
+            assert!(
+                s.points.last().unwrap().y < s.points.first().unwrap().y,
+                "{}: full sort should reduce power",
+                s.name
+            );
+        }
+    }
+
+    #[test]
+    fn t9_alignment_beats_plain_sorting() {
+        let plain = run_5a(&RunProfile::TEST);
+        let aligned = run_5b(&RunProfile::TEST);
+        // Aligned sorting reduces power at least as much for FP dtypes.
+        for name in ["FP16-T", "FP32"] {
+            let d_plain = drop_at_full_sort(&plain, name);
+            let d_aligned = drop_at_full_sort(&aligned, name);
+            assert!(
+                d_aligned > d_plain,
+                "{name}: aligned drop {d_aligned} should beat plain drop {d_plain}"
+            );
+        }
+    }
+
+    #[test]
+    fn t10_column_sorting_reduces_power() {
+        let fig = run_5c(&RunProfile::TEST);
+        for s in &fig.series {
+            assert!(
+                s.points.last().unwrap().y < s.points.first().unwrap().y,
+                "{}: column sort should reduce power",
+                s.name
+            );
+        }
+    }
+
+    #[test]
+    fn t11_intra_row_sorting_is_weaker_than_full() {
+        let full = run_5b(&RunProfile::TEST);
+        let within = run_5d(&RunProfile::TEST);
+        for name in ["FP16-T", "FP32"] {
+            let d_full = drop_at_full_sort(&full, name);
+            let d_within = drop_at_full_sort(&within, name);
+            assert!(
+                d_within < d_full,
+                "{name}: within-row drop {d_within} should be below full-sort drop {d_full}"
+            );
+            assert!(d_within > 0.0, "{name}: within-row sorting still helps");
+        }
+    }
+}

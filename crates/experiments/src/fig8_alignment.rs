@@ -1,0 +1,170 @@
+//! Fig. 8 — bit alignment and Hamming weight vs. power.
+//!
+//! Re-runs a battery of configurations drawn from every §IV experiment
+//! family and plots each configuration's mean power against
+//!
+//! * the mean **bit alignment** between the multiplied A/B operand pairs,
+//! * the mean **Hamming weight** of the A matrix encodings,
+//!
+//! reporting Pearson and Spearman correlations per datatype. The paper
+//! finds a loose negative trend for Hamming weight and positive-alignment
+//! / lower-power association across floating-point datatypes — "not an
+//! entirely consistent trend", which the correlation magnitudes quantify.
+
+use crate::profile::RunProfile;
+use crate::runner::{execute, FigureResult, Metric, PointStat, Series, SweepPoint};
+use wm_analysis::{pearson, spearman};
+use wm_gpu::spec::a100_pcie;
+use wm_numerics::DType;
+use wm_patterns::{PatternKind, PatternSpec};
+
+/// The configuration battery: one spec per §IV experiment family/level.
+fn battery() -> Vec<PatternSpec> {
+    vec![
+        PatternSpec::new(PatternKind::Gaussian),
+        PatternSpec::new(PatternKind::Gaussian).with_mean(256.0).with_std(1.0),
+        PatternSpec::new(PatternKind::ValueSet { set_size: 4 }),
+        PatternSpec::new(PatternKind::ValueSet { set_size: 256 }),
+        PatternSpec::new(PatternKind::ConstantRandom),
+        PatternSpec::new(PatternKind::BitFlips { probability: 0.1 }),
+        PatternSpec::new(PatternKind::BitFlips { probability: 0.5 }),
+        PatternSpec::new(PatternKind::RandomLsbs { count: 4 }),
+        PatternSpec::new(PatternKind::RandomMsbs { count: 4 }),
+        PatternSpec::new(PatternKind::SortedRows { fraction: 1.0 }),
+        PatternSpec::new(PatternKind::SortedWithinRows { fraction: 1.0 }),
+        PatternSpec::new(PatternKind::Sparse { sparsity: 0.3 }),
+        PatternSpec::new(PatternKind::Sparse { sparsity: 0.7 }),
+        PatternSpec::new(PatternKind::SortedThenSparse { sparsity: 0.3 }),
+        PatternSpec::new(PatternKind::ZeroLsbs { count: 4 }),
+        PatternSpec::new(PatternKind::ZeroMsbs { count: 4 }),
+    ]
+}
+
+/// Execute Fig. 8. Returns two figures: power vs. alignment and power vs.
+/// Hamming weight.
+pub fn run(profile: &RunProfile) -> Vec<FigureResult> {
+    let specs = battery();
+    let mut points = Vec::new();
+    for &dtype in &DType::ALL {
+        for (i, spec) in specs.iter().enumerate() {
+            points.push(SweepPoint {
+                series: dtype.label().to_string(),
+                x: i as f64, // placeholder; real x comes from the activity
+                request: profile.request(dtype, *spec),
+                gpu: a100_pcie(),
+                metric: Metric::PowerW,
+            });
+        }
+    }
+    let executed = execute(points);
+
+    let mut alignment_series = Vec::new();
+    let mut hamming_series = Vec::new();
+    let mut notes_alignment = Vec::new();
+    let mut notes_hamming = Vec::new();
+    for &dtype in &DType::ALL {
+        let pts: Vec<_> = executed
+            .iter()
+            .filter(|p| p.series == dtype.label())
+            .collect();
+        let aligns: Vec<f64> = pts
+            .iter()
+            .map(|p| p.result.activity.mean_bit_alignment)
+            .collect();
+        let weights: Vec<f64> = pts
+            .iter()
+            .map(|p| {
+                (p.result.activity.mean_hamming_weight_a
+                    + p.result.activity.mean_hamming_weight_b)
+                    / 2.0
+            })
+            .collect();
+        let powers: Vec<f64> = pts.iter().map(|p| p.stat.y).collect();
+        alignment_series.push(Series {
+            name: dtype.label().to_string(),
+            points: aligns
+                .iter()
+                .zip(&powers)
+                .map(|(&x, &y)| PointStat { x, y, yerr: 0.0 })
+                .collect(),
+        });
+        hamming_series.push(Series {
+            name: dtype.label().to_string(),
+            points: weights
+                .iter()
+                .zip(&powers)
+                .map(|(&x, &y)| PointStat { x, y, yerr: 0.0 })
+                .collect(),
+        });
+        notes_alignment.push(format!(
+            "{}: pearson {:.3}, spearman {:.3} (alignment vs power)",
+            dtype.label(),
+            pearson(&aligns, &powers),
+            spearman(&aligns, &powers),
+        ));
+        notes_hamming.push(format!(
+            "{}: pearson {:.3}, spearman {:.3} (hamming weight vs power)",
+            dtype.label(),
+            pearson(&weights, &powers),
+            spearman(&weights, &powers),
+        ));
+    }
+    notes_alignment.push(
+        "Paper: higher alignment associates with lower power for FP dtypes, \
+         but the trend is not entirely consistent."
+            .into(),
+    );
+    notes_hamming
+        .push("Paper: lower Hamming weight associates with lower power for FP dtypes.".into());
+
+    vec![
+        FigureResult {
+            id: "fig8a".into(),
+            title: "Power vs. mean bit alignment (one point per configuration)".into(),
+            x_label: "mean bit alignment".into(),
+            y_label: "power (W)".into(),
+            notes: notes_alignment,
+            series: alignment_series,
+        },
+        FigureResult {
+            id: "fig8b".into(),
+            title: "Power vs. mean Hamming weight".into(),
+            x_label: "mean Hamming weight".into(),
+            y_label: "power (W)".into(),
+            notes: notes_hamming,
+            series: hamming_series,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correlations_match_the_papers_reading() {
+        let figs = run(&RunProfile::TEST);
+        assert_eq!(figs.len(), 2);
+        let battery_len = battery().len();
+        for fig in &figs {
+            for s in &fig.series {
+                assert_eq!(s.points.len(), battery_len);
+            }
+        }
+        // For floating-point dtypes: hamming weight correlates positively
+        // with power (lower HW -> lower power). The paper itself calls the
+        // trend "not entirely consistent", so we assert sign and rough
+        // strength rather than a tight bound.
+        let hamming = &figs[1];
+        for name in ["FP32", "FP16", "FP16-T"] {
+            let s = hamming.series.iter().find(|s| s.name == name).unwrap();
+            let xs: Vec<f64> = s.points.iter().map(|p| p.x).collect();
+            let ys: Vec<f64> = s.points.iter().map(|p| p.y).collect();
+            let r = pearson(&xs, &ys);
+            assert!(
+                r > 0.15,
+                "{name}: expected positive HW-power correlation, got {r}"
+            );
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Result writers: CSV + markdown per figure.
+
+use crate::runner::FigureResult;
+use std::fs;
+use std::io;
+use std::path::Path;
+use wm_analysis::Table;
+
+/// Render a figure's data as CSV (`series,x,y,yerr`).
+pub fn figure_csv(fig: &FigureResult) -> String {
+    let mut t = Table::new(vec!["series", "x", "y", "yerr"]);
+    for s in &fig.series {
+        for p in &s.points {
+            t.push_row(vec![
+                s.name.clone(),
+                format!("{}", p.x),
+                format!("{:.4}", p.y),
+                format!("{:.4}", p.yerr),
+            ]);
+        }
+    }
+    t.to_csv()
+}
+
+/// Render a figure as a standalone markdown document.
+pub fn figure_markdown(fig: &FigureResult) -> String {
+    let mut out = format!("# {} — {}\n\n", fig.id, fig.title);
+    out.push_str(&format!(
+        "X: {} · Y: {}\n\n",
+        fig.x_label, fig.y_label
+    ));
+    // One table per figure: rows = x values of the first series, columns =
+    // series (matching the paper's grouped-line presentation).
+    if !fig.series.is_empty() {
+        let mut headers = vec![fig.x_label.clone()];
+        for s in &fig.series {
+            headers.push(format!("{} (±σ)", s.name));
+        }
+        let mut t = Table::new(headers);
+        let xs: Vec<f64> = fig.series[0].points.iter().map(|p| p.x).collect();
+        for (row_idx, x) in xs.iter().enumerate() {
+            let mut row = vec![format!("{x}")];
+            for s in &fig.series {
+                match s.points.get(row_idx) {
+                    Some(p) => row.push(format!("{:.1} ±{:.1}", p.y, p.yerr)),
+                    None => row.push("—".to_string()),
+                }
+            }
+            t.push_row(row);
+        }
+        out.push_str(&t.to_markdown());
+        out.push('\n');
+    }
+    if !fig.notes.is_empty() {
+        out.push_str("## Notes\n\n");
+        for n in &fig.notes {
+            out.push_str(&format!("- {n}\n"));
+        }
+    }
+    out
+}
+
+/// Write `{id}.csv` and `{id}.md` for a figure into `dir` (created if
+/// needed). Returns the CSV path.
+pub fn write_figure(dir: &Path, fig: &FigureResult) -> io::Result<std::path::PathBuf> {
+    fs::create_dir_all(dir)?;
+    let csv_path = dir.join(format!("{}.csv", fig.id));
+    fs::write(&csv_path, figure_csv(fig))?;
+    fs::write(dir.join(format!("{}.md", fig.id)), figure_markdown(fig))?;
+    Ok(csv_path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{PointStat, Series};
+
+    fn sample() -> FigureResult {
+        FigureResult {
+            id: "figX".into(),
+            title: "Test figure".into(),
+            x_label: "sparsity".into(),
+            y_label: "power (W)".into(),
+            notes: vec!["note one".into()],
+            series: vec![
+                Series {
+                    name: "FP32".into(),
+                    points: vec![
+                        PointStat { x: 0.0, y: 224.0, yerr: 1.0 },
+                        PointStat { x: 0.5, y: 210.0, yerr: 1.2 },
+                    ],
+                },
+                Series {
+                    name: "INT8".into(),
+                    points: vec![
+                        PointStat { x: 0.0, y: 266.0, yerr: 0.8 },
+                        PointStat { x: 0.5, y: 241.0, yerr: 0.9 },
+                    ],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn csv_rows_cover_all_points() {
+        let csv = figure_csv(&sample());
+        assert_eq!(csv.lines().count(), 5);
+        assert!(csv.contains("FP32,0.5,210.0000,1.2000"));
+    }
+
+    #[test]
+    fn markdown_contains_series_columns_and_notes() {
+        let md = figure_markdown(&sample());
+        assert!(md.contains("# figX — Test figure"));
+        assert!(md.contains("FP32 (±σ)"));
+        assert!(md.contains("INT8 (±σ)"));
+        assert!(md.contains("224.0 ±1.0"));
+        assert!(md.contains("- note one"));
+    }
+
+    #[test]
+    fn write_creates_both_files() {
+        let dir = std::env::temp_dir().join("wm_io_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let csv = write_figure(&dir, &sample()).unwrap();
+        assert!(csv.exists());
+        assert!(dir.join("figX.md").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

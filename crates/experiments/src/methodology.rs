@@ -1,0 +1,173 @@
+//! §III methodology reproduction: the testbed observations that are not
+//! figures but constrain the whole study.
+//!
+//! * average GPU utilization ~98.5% at 2048²;
+//! * iteration runtimes microsecond-consistent across input patterns;
+//! * per-VM-instance power shifts of up to ~10 W;
+//! * 2048 as "the largest power of two that did not consistently
+//!   throttle" the A100 (FP16-T throttles at 4096);
+//! * the RTX 6000 throttling already at 2048.
+
+use crate::profile::RunProfile;
+use crate::runner::{FigureResult, PointStat, Series};
+use wm_core::{PowerLab, RunRequest};
+use wm_gpu::spec::{a100_pcie, rtx6000};
+use wm_numerics::DType;
+use wm_patterns::{PatternKind, PatternSpec};
+
+/// Execute the methodology checks; produces one figure whose series is the
+/// per-VM-instance measured power (process variation) and whose notes
+/// carry the remaining observations.
+pub fn run(profile: &RunProfile) -> Vec<FigureResult> {
+    let gpu = a100_pcie();
+    let mut notes = Vec::new();
+
+    // --- Utilization at the profile dimension. ---------------------------
+    let lab = PowerLab::new(gpu.clone());
+    let mut utils = Vec::new();
+    for &dtype in &DType::ALL {
+        let r = lab.run(
+            &profile
+                .request(dtype, PatternSpec::new(PatternKind::Gaussian))
+                .with_seeds(1),
+        );
+        utils.push((dtype, r.utilization_pct));
+    }
+    let mean_util = utils.iter().map(|(_, u)| u).sum::<f64>() / utils.len() as f64;
+    notes.push(format!(
+        "Mean GPU utilization across dtypes at {}^2: {:.1}% (paper: 98.5% at 2048^2).",
+        profile.dim, mean_util
+    ));
+
+    // --- Runtime consistency across patterns. ----------------------------
+    let patterns = [
+        PatternSpec::new(PatternKind::Gaussian),
+        PatternSpec::new(PatternKind::SortedRows { fraction: 1.0 }),
+        PatternSpec::new(PatternKind::Sparse { sparsity: 0.5 }),
+        PatternSpec::new(PatternKind::Zeros),
+    ];
+    let runtimes: Vec<f64> = patterns
+        .iter()
+        .map(|p| {
+            lab.run(&profile.request(DType::Fp16Tensor, *p).with_seeds(1))
+                .runtime
+                .mean
+        })
+        .collect();
+    let spread_us = (runtimes.iter().cloned().fold(f64::MIN, f64::max)
+        - runtimes.iter().cloned().fold(f64::MAX, f64::min))
+        * 1e6;
+    notes.push(format!(
+        "FP16-T iteration runtime spread across 4 input patterns: {spread_us:.3} us \
+         (paper: consistent to a microsecond level)."
+    ));
+
+    // --- VM process variation. -------------------------------------------
+    let vm_count = 12u64;
+    let mut vm_points = Vec::new();
+    for id in 0..vm_count {
+        let r = PowerLab::new(gpu.clone()).with_vm(id).run(
+            &profile
+                .request(DType::Fp16Tensor, PatternSpec::new(PatternKind::Gaussian))
+                .with_seeds(1),
+        );
+        vm_points.push(PointStat {
+            x: id as f64,
+            y: r.power.mean,
+            yerr: 0.0,
+        });
+    }
+    let pmin = vm_points.iter().map(|p| p.y).fold(f64::MAX, f64::min);
+    let pmax = vm_points.iter().map(|p| p.y).fold(f64::MIN, f64::max);
+    notes.push(format!(
+        "Across {vm_count} VM instances the same configuration measured {pmin:.1}-{pmax:.1} W \
+         (shift {:.1} W; paper: up to 10 W, attributed to process variation).",
+        pmax - pmin
+    ));
+
+    // --- Throttle boundaries. ---------------------------------------------
+    for (gpu, dims) in [
+        (a100_pcie(), vec![512usize, 1024, 2048, 4096]),
+        (rtx6000(), vec![512usize, 1024, 2048]),
+    ] {
+        let mut boundary = Vec::new();
+        for dim in dims {
+            let r = PowerLab::new(gpu.clone()).run(
+                &RunRequest::new(
+                    DType::Fp16Tensor,
+                    dim,
+                    PatternSpec::new(PatternKind::Gaussian),
+                )
+                .with_seeds(1)
+                .with_sampling(profile.sampling),
+            );
+            boundary.push(format!(
+                "{dim}: {}{:.0} W",
+                if r.throttled { "THROTTLED at " } else { "" },
+                r.power.mean
+            ));
+        }
+        notes.push(format!("{} throttle sweep — {}", gpu.name, boundary.join("; ")));
+    }
+
+    vec![FigureResult {
+        id: "methodology".into(),
+        title: "Methodology reproduction (§III)".into(),
+        x_label: "VM instance id".into(),
+        y_label: "power (W)".into(),
+        notes,
+        series: vec![Series {
+            name: "FP16-T Gaussian per VM instance".into(),
+            points: vm_points,
+        }],
+    }]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn methodology_report_content() {
+        let figs = run(&RunProfile::TEST);
+        let fig = &figs[0];
+        assert_eq!(fig.series[0].points.len(), 12);
+        let text = fig.notes.join("\n");
+        assert!(text.contains("utilization"));
+        assert!(text.contains("runtime spread"));
+        assert!(text.contains("VM instances"));
+        // The throttle sweeps at TEST dimensions still run 2048/4096 for
+        // the A100 — the boundary itself must appear.
+        assert!(text.contains("NVIDIA A100 PCIe throttle sweep"));
+        assert!(text.contains("4096: THROTTLED"));
+        assert!(
+            text.contains("2048: THROTTLED")
+                && text.contains("NVIDIA Quadro RTX 6000 throttle sweep"),
+            "RTX 6000 must throttle at 2048: {text}"
+        );
+    }
+
+    #[test]
+    fn runtime_spread_is_subnanosecond_in_the_model() {
+        // Stronger than the paper's microsecond claim: our roofline is
+        // exactly input-independent, so only clock jitter remains.
+        let figs = run(&RunProfile::TEST);
+        let note = figs[0]
+            .notes
+            .iter()
+            .find(|n| n.contains("runtime spread"))
+            .unwrap()
+            .clone();
+        // Extract the number before " us".
+        let spread: f64 = note
+            .split("patterns: ")
+            .nth(1)
+            .unwrap()
+            .split(" us")
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(spread.abs() < 1.0, "spread {spread} us exceeds 1 us");
+    }
+}

@@ -1,0 +1,113 @@
+//! Execution profiles: paper fidelity vs. quick iteration.
+
+use wm_core::RunRequest;
+use wm_kernels::Sampling;
+use wm_numerics::DType;
+use wm_patterns::PatternSpec;
+
+/// How much compute to spend on an experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunProfile {
+    /// Square matrix dimension (paper: 2048).
+    pub dim: usize,
+    /// Seeds per point (paper: 10).
+    pub seeds: u64,
+    /// Activity-sampling lattice.
+    pub sampling: Sampling,
+    /// Number of sweep points per axis (denser = closer to the paper's
+    /// figures; the runner thins its grids accordingly).
+    pub sweep_density: usize,
+}
+
+impl RunProfile {
+    /// The paper's configuration: 2048², 10 seeds, dense sweeps.
+    pub const PAPER: RunProfile = RunProfile {
+        dim: 2048,
+        seeds: 10,
+        sampling: Sampling::Lattice { rows: 32, cols: 32 },
+        sweep_density: 11,
+    };
+
+    /// A fast profile for CI and iteration: same matrix size (power levels
+    /// must stay in the paper's regime) but fewer seeds, a sparser
+    /// activity lattice, and thinner sweeps.
+    pub const QUICK: RunProfile = RunProfile {
+        dim: 2048,
+        seeds: 3,
+        sampling: Sampling::Lattice { rows: 12, cols: 12 },
+        sweep_density: 5,
+    };
+
+    /// A tiny profile for unit tests (small matrices; power levels are
+    /// lower but every directional trend survives).
+    pub const TEST: RunProfile = RunProfile {
+        dim: 256,
+        seeds: 2,
+        sampling: Sampling::Lattice { rows: 8, cols: 8 },
+        sweep_density: 3,
+    };
+
+    /// Parse a profile name (`paper`, `quick`, `test`).
+    pub fn parse(s: &str) -> Option<RunProfile> {
+        match s.to_ascii_lowercase().as_str() {
+            "paper" | "full" => Some(Self::PAPER),
+            "quick" | "fast" => Some(Self::QUICK),
+            "test" | "tiny" => Some(Self::TEST),
+            _ => None,
+        }
+    }
+
+    /// Build a [`RunRequest`] with this profile's dimension, seed count,
+    /// and sampling lattice.
+    pub fn request(&self, dtype: DType, pattern: PatternSpec) -> RunRequest {
+        RunRequest::new(dtype, self.dim, pattern)
+            .with_seeds(self.seeds)
+            .with_sampling(self.sampling)
+    }
+
+    /// Thin a dense sweep grid to this profile's density, always keeping
+    /// the first and last values.
+    pub fn thin<T: Copy>(&self, dense: &[T]) -> Vec<T> {
+        if dense.len() <= self.sweep_density {
+            return dense.to_vec();
+        }
+        let last = dense.len() - 1;
+        (0..self.sweep_density)
+            .map(|i| dense[i * last / (self.sweep_density - 1)])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_names() {
+        assert_eq!(RunProfile::parse("paper"), Some(RunProfile::PAPER));
+        assert_eq!(RunProfile::parse("QUICK"), Some(RunProfile::QUICK));
+        assert_eq!(RunProfile::parse("test"), Some(RunProfile::TEST));
+        assert_eq!(RunProfile::parse("bogus"), None);
+    }
+
+    #[test]
+    fn thin_keeps_endpoints() {
+        let dense: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
+        let thin = RunProfile::TEST.thin(&dense);
+        assert_eq!(thin.len(), 3);
+        assert_eq!(thin[0], 0.0);
+        assert_eq!(*thin.last().unwrap(), 1.0);
+    }
+
+    #[test]
+    fn thin_noop_when_short() {
+        let dense = [1.0, 2.0];
+        assert_eq!(RunProfile::TEST.thin(&dense), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn paper_profile_matches_methodology() {
+        assert_eq!(RunProfile::PAPER.dim, 2048);
+        assert_eq!(RunProfile::PAPER.seeds, 10);
+    }
+}

@@ -1,0 +1,183 @@
+//! Builder for user-defined GPU models.
+//!
+//! The catalog covers the paper's four devices; downstream users modelling
+//! other parts (or hypothetical ones — e.g. "an A100 with GDDR6") start
+//! from a catalog entry and override fields. The builder validates the
+//! result so impossible devices fail fast instead of producing nonsense
+//! power figures.
+
+use crate::spec::{GpuSpec, MemoryKind, Throughput};
+
+/// A validating builder over [`GpuSpec`].
+///
+/// ```
+/// use wm_gpu::builder::GpuSpecBuilder;
+/// use wm_gpu::spec::a100_pcie;
+///
+/// let derated = GpuSpecBuilder::from(a100_pcie())
+///     .tdp_watts(250.0)
+///     .name("A100 PCIe (250 W cap)")
+///     .build()
+///     .unwrap();
+/// assert_eq!(derated.tdp_watts, 250.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GpuSpecBuilder {
+    spec: GpuSpec,
+}
+
+/// Validation failure for a built spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// What was wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid GpuSpec: {}", self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<GpuSpec> for GpuSpecBuilder {
+    fn from(spec: GpuSpec) -> Self {
+        Self { spec }
+    }
+}
+
+macro_rules! setter {
+    ($(#[$doc:meta])* $name:ident: $ty:ty) => {
+        $(#[$doc])*
+        pub fn $name(mut self, value: $ty) -> Self {
+            self.spec.$name = value;
+            self
+        }
+    };
+}
+
+impl GpuSpecBuilder {
+    setter!(/// Override the display name (leaked; builders are for setup code).
+        name: &'static str);
+    setter!(/// Override the architecture family (drives the energy scale).
+        architecture: &'static str);
+    setter!(/// Override the TDP in watts.
+        tdp_watts: f64);
+    setter!(/// Override idle power in watts.
+        idle_watts: f64);
+    setter!(/// Override uncore power in watts.
+        uncore_watts: f64);
+    setter!(/// Override the SM count.
+        sm_count: u32);
+    setter!(/// Override the L2 capacity in bytes.
+        l2_bytes: u64);
+    setter!(/// Override the memory technology.
+        memory: MemoryKind);
+    setter!(/// Override DRAM bandwidth in GB/s.
+        mem_bandwidth_gbps: f64);
+    setter!(/// Override peak throughputs.
+        throughput: Throughput);
+    setter!(/// Override the data-sensitivity factor.
+        data_sensitivity: f64);
+    setter!(/// Override launch overhead in microseconds.
+        launch_overhead_us: f64);
+    setter!(/// Override the process-variation sigma in watts.
+        process_variation_watts: f64);
+    setter!(/// Override the sensor-noise sigma in watts.
+        sensor_noise_watts: f64);
+
+    /// Validate and produce the spec.
+    pub fn build(self) -> Result<GpuSpec, SpecError> {
+        let s = &self.spec;
+        let err = |m: &str| Err(SpecError { message: m.into() });
+        if s.tdp_watts <= 0.0 || !s.tdp_watts.is_finite() {
+            return err("TDP must be positive");
+        }
+        if s.idle_watts < 0.0 || s.uncore_watts < 0.0 {
+            return err("idle/uncore power cannot be negative");
+        }
+        if s.idle_watts + s.uncore_watts >= s.tdp_watts {
+            return err("idle + uncore must leave TDP headroom for the datapath");
+        }
+        if s.sm_count == 0 {
+            return err("a GPU needs at least one SM");
+        }
+        if s.mem_bandwidth_gbps <= 0.0 {
+            return err("memory bandwidth must be positive");
+        }
+        if s.throughput.fp32_tflops <= 0.0
+            || s.throughput.fp16_tflops <= 0.0
+            || s.throughput.fp16_tensor_tflops <= 0.0
+            || s.throughput.int8_tops <= 0.0
+        {
+            return err("all throughputs must be positive");
+        }
+        if !(0.0..=2.0).contains(&s.data_sensitivity) {
+            return err("data_sensitivity outside the calibrated range [0, 2]");
+        }
+        if s.data_sensitivity == 0.0 {
+            return err("data_sensitivity of zero would disable the study entirely");
+        }
+        Ok(self.spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::a100_pcie;
+
+    #[test]
+    fn catalog_specs_pass_validation() {
+        for g in GpuSpec::catalog() {
+            assert!(GpuSpecBuilder::from(g.clone()).build().is_ok(), "{}", g.name);
+        }
+    }
+
+    #[test]
+    fn derated_device_builds() {
+        let g = GpuSpecBuilder::from(a100_pcie())
+            .tdp_watts(250.0)
+            .name("A100 capped")
+            .build()
+            .unwrap();
+        assert_eq!(g.tdp_watts, 250.0);
+        assert_eq!(g.name, "A100 capped");
+        // Unspecified fields inherit the base.
+        assert_eq!(g.sm_count, 108);
+    }
+
+    #[test]
+    fn impossible_devices_rejected() {
+        assert!(GpuSpecBuilder::from(a100_pcie())
+            .tdp_watts(-5.0)
+            .build()
+            .is_err());
+        assert!(GpuSpecBuilder::from(a100_pcie())
+            .idle_watts(400.0)
+            .build()
+            .is_err());
+        assert!(GpuSpecBuilder::from(a100_pcie())
+            .sm_count(0)
+            .build()
+            .is_err());
+        assert!(GpuSpecBuilder::from(a100_pcie())
+            .data_sensitivity(0.0)
+            .build()
+            .is_err());
+        assert!(GpuSpecBuilder::from(a100_pcie())
+            .mem_bandwidth_gbps(0.0)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn error_is_displayable() {
+        let e = GpuSpecBuilder::from(a100_pcie())
+            .tdp_watts(f64::NAN)
+            .build()
+            .unwrap_err();
+        assert!(e.to_string().contains("TDP"));
+    }
+}

@@ -1,0 +1,42 @@
+//! # wm-gpu — GPU architecture models
+//!
+//! The paper measures four NVIDIA GPUs: **A100 PCIe** (primary testbed),
+//! **V100 SXM2**, **H100 SXM5**, and **Quadro RTX 6000** (generalization,
+//! Fig. 7). With no physical GPU in this environment, this crate is the
+//! substitute substrate: a parameterized performance/power *structure*
+//! model of each device. It deliberately contains no data-dependent logic —
+//! that lives in `wm-kernels` (switching activity) and `wm-power`
+//! (activity → watts). What lives here:
+//!
+//! * [`spec`] — the [`GpuSpec`] catalog: clocks, SM counts, TDP/idle power,
+//!   per-dtype peak throughput, memory system, and the per-device
+//!   *data-sensitivity* coefficient that reproduces the paper's observation
+//!   that the older GDDR6-based RTX 6000 shows damped input-dependent
+//!   swings.
+//! * [`roofline`] — the iteration-runtime model. The paper's Fig. 1 shows
+//!   runtimes are input-*independent* and microsecond-consistent; a
+//!   roofline (compute vs. memory bound) plus fixed launch overhead
+//!   reproduces exactly that.
+//! * [`occupancy`] — wave-quantization occupancy: how fully a GEMM grid
+//!   loads the SM array. This is the size-dependent power mechanism behind
+//!   the paper's testbed note that 2048 was "the largest power of two that
+//!   did not consistently throttle" the A100.
+//! * [`dvfs`] — the clock/thermal throttle governor: given a proposed
+//!   dynamic power at boost clock, resolve the sustainable operating point
+//!   under the TDP cap (cubic power-vs-frequency law).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod dvfs;
+pub mod occupancy;
+pub mod roofline;
+pub mod spec;
+
+pub use builder::GpuSpecBuilder;
+
+pub use dvfs::{resolve_throttle, OperatingPoint, MIN_CLOCK_SCALE};
+pub use occupancy::{grid_blocks, occupancy, TileShape};
+pub use roofline::{gemv_time, iteration_time, GemmDims, RuntimeEstimate};
+pub use spec::{GpuSpec, MemoryKind, Throughput};

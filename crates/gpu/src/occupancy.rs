@@ -1,0 +1,101 @@
+//! Wave-quantization occupancy: the size-dependent power mechanism.
+//!
+//! A GEMM grid of `ceil(N/tbM) x ceil(M/tbN)` threadblocks executes in
+//! "waves" of at most one block per SM (large GEMM tiles occupy a full
+//! SM). A grid that does not fill a whole number of waves leaves SMs idle
+//! in the tail wave, lowering *average* SM activity and therefore power.
+//!
+//! This reproduces the paper's testbed observations:
+//!
+//! * the A100 at 2048x2048 runs 256 blocks over 108 SMs = 2.37 waves —
+//!   a ragged tail keeps average activity below the throttle point, while
+//!   4096x4096 (9.5 waves) sustains near-full activity and throttles;
+//! * the RTX 6000 (72 SMs) throttles already at 2048 (3.6 waves on a
+//!   lower-TDP part) so the paper ran it at 512.
+
+/// Threadblock tile shape (output-tile footprint of one block).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TileShape {
+    /// Output rows per threadblock tile.
+    pub m: usize,
+    /// Output columns per threadblock tile.
+    pub n: usize,
+    /// K-slice depth per mainloop stage.
+    pub k: usize,
+}
+
+impl TileShape {
+    /// The CUTLASS default large tile for dense GEMM.
+    pub const DEFAULT: TileShape = TileShape { m: 128, n: 128, k: 32 };
+}
+
+/// Number of threadblocks a GEMM grid launches for an `n x m` output with
+/// tile `tile`.
+pub fn grid_blocks(n: usize, m: usize, tile: TileShape) -> usize {
+    n.div_ceil(tile.m) * m.div_ceil(tile.n)
+}
+
+/// Average SM-activity fraction over the whole grid under wave
+/// quantization: `blocks / (ceil(blocks / sms) * sms)`.
+///
+/// Returns a value in `(0, 1]`. One block per SM is assumed (correct for
+/// the 128x128 tiles used here, which exhaust shared memory/registers).
+pub fn occupancy(sm_count: u32, blocks: usize) -> f64 {
+    assert!(blocks > 0, "occupancy of an empty grid is undefined");
+    let sms = sm_count as usize;
+    let waves = blocks.div_ceil(sms);
+    blocks as f64 / (waves * sms) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_counts_for_paper_sizes() {
+        let t = TileShape::DEFAULT;
+        assert_eq!(grid_blocks(2048, 2048, t), 256);
+        assert_eq!(grid_blocks(4096, 4096, t), 1024);
+        assert_eq!(grid_blocks(512, 512, t), 16);
+        // Ragged sizes round up.
+        assert_eq!(grid_blocks(129, 129, t), 4);
+    }
+
+    #[test]
+    fn a100_occupancy_ordering_matches_throttle_story() {
+        // 2048 -> 256 blocks / 108 SMs: 3 waves, tail-limited.
+        let occ_2048 = occupancy(108, 256);
+        // 4096 -> 1024 blocks: 10 waves, nearly full.
+        let occ_4096 = occupancy(108, 1024);
+        assert!(occ_2048 < occ_4096);
+        assert!((occ_2048 - 256.0 / 324.0).abs() < 1e-12);
+        assert!(occ_4096 > 0.94);
+    }
+
+    #[test]
+    fn rtx6000_at_512_is_sparse() {
+        // 16 blocks on 72 SMs: a fifth of the die.
+        let occ = occupancy(72, 16);
+        assert!((occ - 16.0 / 72.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_multiples_reach_full_occupancy() {
+        assert_eq!(occupancy(108, 108), 1.0);
+        assert_eq!(occupancy(108, 216), 1.0);
+    }
+
+    #[test]
+    fn occupancy_bounds() {
+        for blocks in [1usize, 7, 100, 1000, 12345] {
+            let o = occupancy(108, blocks);
+            assert!(o > 0.0 && o <= 1.0, "blocks={blocks} o={o}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty grid")]
+    fn zero_blocks_rejected() {
+        occupancy(108, 0);
+    }
+}

@@ -1,0 +1,148 @@
+//! GEMM execution configuration.
+
+use wm_gpu::{GemmDims, TileShape};
+use wm_numerics::DType;
+
+/// How many output elements the activity engine walks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sampling {
+    /// Walk every output element (exact; only affordable for small GEMMs —
+    /// tests use this to validate the lattice estimator).
+    Full,
+    /// Walk a uniform `rows x cols` midpoint lattice of output elements;
+    /// per-MAC statistics are unbiased estimates of the full walk.
+    Lattice {
+        /// Sample rows (clamped to the output height).
+        rows: usize,
+        /// Sample columns (clamped to the output width).
+        cols: usize,
+    },
+}
+
+impl Sampling {
+    /// The default lattice: 32x32 = 1024 output elements, each walked over
+    /// the full K dimension. At K=2048 that is ~2M exact MAC events —
+    /// plenty of averaging for sub-watt estimator noise (tests check this).
+    pub const DEFAULT: Sampling = Sampling::Lattice { rows: 32, cols: 32 };
+
+    /// The midpoint-lattice indices for an extent of `n` with `s` samples.
+    pub(crate) fn lattice_indices(n: usize, s: usize) -> Vec<usize> {
+        let s = s.clamp(1, n);
+        let mut idx: Vec<usize> = (0..s).map(|i| ((2 * i + 1) * n) / (2 * s)).collect();
+        idx.dedup();
+        idx
+    }
+}
+
+/// Full configuration of one simulated GEMM.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GemmConfig {
+    /// Problem dimensions.
+    pub dims: GemmDims,
+    /// Datatype setup (encoding + pipeline).
+    pub dtype: DType,
+    /// GEMM alpha scalar.
+    pub alpha: f32,
+    /// GEMM beta scalar.
+    pub beta: f32,
+    /// The paper's operand-layout switch: when `true` (the paper's
+    /// default), the stored B pattern `P` is `M x K` and the kernel reads
+    /// `B[k][j] = P[j][k]`, so patterns laid into P's *rows* stream along
+    /// the K reduction. When `false` (Fig. 5a), `P` is `K x M` and is read
+    /// directly.
+    pub b_transposed: bool,
+    /// Threadblock tile shape (for occupancy and L2-reuse accounting).
+    pub tile: TileShape,
+    /// Output-element sampling strategy.
+    pub sampling: Sampling,
+}
+
+impl GemmConfig {
+    /// The paper's standard configuration for a square problem: alpha = 1,
+    /// beta = 0 (C zeroed), B transposed, default tile and sampling.
+    pub fn square(dim: usize, dtype: DType) -> Self {
+        Self {
+            dims: GemmDims::square(dim),
+            dtype,
+            alpha: 1.0,
+            beta: 0.0,
+            b_transposed: true,
+            tile: TileShape::DEFAULT,
+            sampling: Sampling::DEFAULT,
+        }
+    }
+
+    /// Builder: disable the B transposition (Fig. 5a).
+    pub fn with_b_transposed(mut self, transposed: bool) -> Self {
+        self.b_transposed = transposed;
+        self
+    }
+
+    /// Builder: override sampling.
+    pub fn with_sampling(mut self, sampling: Sampling) -> Self {
+        self.sampling = sampling;
+        self
+    }
+
+    /// Builder: override alpha/beta.
+    pub fn with_scalars(mut self, alpha: f32, beta: f32) -> Self {
+        self.alpha = alpha;
+        self.beta = beta;
+        self
+    }
+
+    /// Shape the stored B pattern must have under this configuration.
+    pub fn b_stored_shape(&self) -> (usize, usize) {
+        if self.b_transposed {
+            (self.dims.m, self.dims.k)
+        } else {
+            (self.dims.k, self.dims.m)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_defaults_match_paper() {
+        let c = GemmConfig::square(2048, DType::Fp16Tensor);
+        assert_eq!(c.dims, GemmDims::square(2048));
+        assert_eq!(c.alpha, 1.0);
+        assert_eq!(c.beta, 0.0);
+        assert!(c.b_transposed);
+        assert_eq!(c.sampling, Sampling::DEFAULT);
+    }
+
+    #[test]
+    fn b_stored_shape_follows_transposition() {
+        let c = GemmConfig::square(64, DType::Fp32);
+        assert_eq!(c.b_stored_shape(), (64, 64));
+        let c = GemmConfig {
+            dims: GemmDims { n: 4, m: 8, k: 16 },
+            ..c
+        };
+        assert_eq!(c.b_stored_shape(), (8, 16)); // M x K
+        assert_eq!(c.with_b_transposed(false).b_stored_shape(), (16, 8)); // K x M
+    }
+
+    #[test]
+    fn lattice_indices_are_within_range_and_spread() {
+        let idx = Sampling::lattice_indices(2048, 32);
+        assert_eq!(idx.len(), 32);
+        assert!(idx.iter().all(|&i| i < 2048));
+        assert_eq!(idx[0], 32); // midpoint of the first cell
+        assert_eq!(*idx.last().unwrap(), 2016);
+        // Strictly increasing.
+        assert!(idx.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn lattice_clamps_to_extent() {
+        let idx = Sampling::lattice_indices(8, 1000);
+        assert_eq!(idx, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        let idx = Sampling::lattice_indices(5, 0);
+        assert_eq!(idx.len(), 1);
+    }
+}

@@ -1,0 +1,188 @@
+//! Pre-encoded matrices: the MAC loop's operand source.
+//!
+//! Encoding a value on every access (e.g. f32 → binary16 bits) would
+//! dominate the inner loop, so [`EncodedMatrix`] precomputes, per element:
+//!
+//! * the raw dtype encoding (the word the datapath latches), and
+//! * the *significand weight*: `HW` of the multiplier's significand input
+//!   (implicit-1 | mantissa for normal floats, the mantissa alone for
+//!   subnormals, the full two's-complement word for INT8). This is the
+//!   per-operand factor of the partial-product activity model.
+
+use wm_matrix::Matrix;
+use wm_numerics::{DType, Quantizer};
+
+/// A matrix's raw encodings plus per-element significand weights.
+#[derive(Debug, Clone)]
+pub struct EncodedMatrix {
+    rows: usize,
+    cols: usize,
+    dtype: DType,
+    bits: Vec<u32>,
+    sig_weight: Vec<u8>,
+}
+
+/// Significand Hamming weight of one encoded element.
+fn significand_weight(bits: u32, dtype: DType) -> u8 {
+    match dtype {
+        DType::Int8 => (bits & 0xFF).count_ones() as u8,
+        DType::Fp16 | DType::Fp16Tensor => {
+            let mant = bits & 0x03FF;
+            let exp = (bits >> 10) & 0x1F;
+            let implicit = if exp != 0 { 1u32 << 10 } else { 0 };
+            (mant | implicit).count_ones() as u8
+        }
+        DType::Bf16 => {
+            let mant = bits & 0x007F;
+            let exp = (bits >> 7) & 0xFF;
+            let implicit = if exp != 0 { 1u32 << 7 } else { 0 };
+            (mant | implicit).count_ones() as u8
+        }
+        DType::Fp32 => {
+            let mant = bits & 0x007F_FFFF;
+            let exp = (bits >> 23) & 0xFF;
+            let implicit = if exp != 0 { 1u32 << 23 } else { 0 };
+            (mant | implicit).count_ones() as u8
+        }
+    }
+}
+
+impl EncodedMatrix {
+    /// Encode every element of `m` for `dtype`.
+    ///
+    /// The matrix is expected to already hold dtype-representable values
+    /// (pattern generators quantize); encoding is nevertheless a full
+    /// quantizing encode, so unquantized inputs round here.
+    pub fn encode(m: &Matrix, dtype: DType) -> Self {
+        let q = Quantizer::new(dtype);
+        let src = m.as_slice();
+        let mut bits = Vec::with_capacity(src.len());
+        let mut sig_weight = Vec::with_capacity(src.len());
+        for &v in src {
+            let b = q.encode(v) as u32;
+            bits.push(b);
+            sig_weight.push(significand_weight(b, dtype));
+        }
+        Self {
+            rows: m.rows(),
+            cols: m.cols(),
+            dtype,
+            bits,
+            sig_weight,
+        }
+    }
+
+    /// Rows of the encoded matrix.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Columns of the encoded matrix.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The encoded dtype.
+    #[inline]
+    pub fn dtype(&self) -> DType {
+        self.dtype
+    }
+
+    /// Raw encoding at `(row, col)`.
+    #[inline(always)]
+    pub fn bits_at(&self, row: usize, col: usize) -> u32 {
+        self.bits[row * self.cols + col]
+    }
+
+    /// Significand weight at `(row, col)`.
+    #[inline(always)]
+    pub fn sig_weight_at(&self, row: usize, col: usize) -> u32 {
+        u32::from(self.sig_weight[row * self.cols + col])
+    }
+
+    /// The whole encoding plane, row-major (memory-pass input).
+    #[inline]
+    pub fn words(&self) -> &[u32] {
+        &self.bits
+    }
+
+    /// Mean Hamming weight of the raw encodings (Fig. 8 statistic).
+    pub fn mean_hamming_weight(&self) -> f64 {
+        let total: u64 = self.bits.iter().map(|b| u64::from(b.count_ones())).sum();
+        total as f64 / self.bits.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encodings_match_quantizer() {
+        let m = Matrix::from_vec(2, 2, vec![1.0, -2.5, 0.0, 210.0]);
+        for dtype in DType::ALL {
+            let q = Quantizer::new(dtype);
+            let e = EncodedMatrix::encode(&m, dtype);
+            for r in 0..2 {
+                for c in 0..2 {
+                    assert_eq!(
+                        u64::from(e.bits_at(r, c)),
+                        q.encode(m.get(r, c)),
+                        "{dtype} at ({r},{c})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn significand_weight_fp16_normals() {
+        // 1.0 in binary16 = 0x3C00: mantissa 0, implicit 1 -> weight 1.
+        assert_eq!(significand_weight(0x3C00, DType::Fp16), 1);
+        // 1.5 = 0x3E00: mantissa 0x200, implicit 1 -> weight 2.
+        assert_eq!(significand_weight(0x3E00, DType::Fp16), 2);
+        // Max mantissa: 0x3FF + implicit -> 11.
+        assert_eq!(significand_weight(0x3FFF & 0x7FFF, DType::Fp16), 11);
+    }
+
+    #[test]
+    fn significand_weight_fp16_subnormals_have_no_implicit_bit() {
+        // Subnormal 0x0001: mantissa weight 1, no implicit.
+        assert_eq!(significand_weight(0x0001, DType::Fp16), 1);
+        assert_eq!(significand_weight(0x0000, DType::Fp16), 0);
+    }
+
+    #[test]
+    fn significand_weight_int8_is_word_weight() {
+        assert_eq!(significand_weight(0xFF, DType::Int8), 8);
+        assert_eq!(significand_weight(0x00, DType::Int8), 0);
+        assert_eq!(significand_weight(0x81, DType::Int8), 2);
+    }
+
+    #[test]
+    fn significand_weight_fp32() {
+        // 1.0f32 = 0x3F800000: mantissa 0 + implicit -> 1.
+        assert_eq!(significand_weight(1.0f32.to_bits(), DType::Fp32), 1);
+        // 0.0 -> 0.
+        assert_eq!(significand_weight(0, DType::Fp32), 0);
+    }
+
+    #[test]
+    fn zero_elements_have_zero_bits_and_weight() {
+        let m = Matrix::zeros(3, 3);
+        for dtype in DType::ALL {
+            let e = EncodedMatrix::encode(&m, dtype);
+            assert!(e.words().iter().all(|&w| w == 0), "{dtype}");
+            assert_eq!(e.mean_hamming_weight(), 0.0);
+        }
+    }
+
+    #[test]
+    fn mean_hamming_weight_spot_check() {
+        let m = Matrix::from_vec(1, 2, vec![-1.0, -1.0]); // INT8: 0xFF, 0xFF
+        let e = EncodedMatrix::encode(&m, DType::Int8);
+        assert_eq!(e.mean_hamming_weight(), 8.0);
+    }
+}

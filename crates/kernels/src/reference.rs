@@ -1,0 +1,107 @@
+//! Naive reference GEMM, used to verify the engine's numerics.
+//!
+//! This is a direct triple loop with the same dtype-faithful arithmetic as
+//! the engine (same [`Quantizer::product`] and accumulator semantics, same
+//! K-order). The engine with [`crate::Sampling::Full`] must agree
+//! bit-for-bit; tests assert exactly that.
+
+use crate::config::GemmConfig;
+use wm_matrix::Matrix;
+use wm_numerics::Quantizer;
+
+/// Compute the full output matrix `D = alpha * A x B + beta * C`.
+///
+/// `b_stored` follows the configuration's transposition flag, exactly as
+/// in [`crate::engine::simulate`].
+///
+/// # Panics
+///
+/// Panics on operand shape mismatches.
+pub fn reference_gemm(
+    a: &Matrix,
+    b_stored: &Matrix,
+    c: Option<&Matrix>,
+    config: &GemmConfig,
+) -> Matrix {
+    let dims = config.dims;
+    assert_eq!((a.rows(), a.cols()), (dims.n, dims.k), "A must be N x K");
+    assert_eq!(
+        (b_stored.rows(), b_stored.cols()),
+        config.b_stored_shape(),
+        "stored B shape does not match the transposition flag"
+    );
+    if let Some(c) = c {
+        assert_eq!((c.rows(), c.cols()), (dims.n, dims.m), "C must be N x M");
+    }
+    let q = Quantizer::new(config.dtype);
+    Matrix::from_fn(dims.n, dims.m, |i, j| {
+        let mut acc = q.new_accumulator();
+        for k in 0..dims.k {
+            let b = if config.b_transposed {
+                b_stored.get(j, k)
+            } else {
+                b_stored.get(k, j)
+            };
+            acc.add_product(q.product(a.get(i, k), b));
+        }
+        let c_val = c.map_or(0.0, |c| c.get(i, j));
+        q.quantize(config.alpha * acc.value() + config.beta * c_val)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wm_numerics::DType;
+
+    #[test]
+    fn identity_times_matrix() {
+        let n = 8;
+        let eye = Matrix::from_fn(n, n, |r, c| if r == c { 1.0 } else { 0.0 });
+        let b = Matrix::from_fn(n, n, |r, c| (r * n + c) as f32);
+        // b stored transposed: pass b^T so the product is eye * b.
+        let cfg = GemmConfig::square(n, DType::Fp32);
+        let d = reference_gemm(&eye, &b.transposed(), None, &cfg);
+        assert!(d.approx_eq(&b, 1e-6));
+    }
+
+    #[test]
+    fn known_small_product() {
+        // A = [[1, 2], [3, 4]], B = [[5, 6], [7, 8]] -> AB = [[19, 22], [43, 50]]
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
+        let cfg = GemmConfig::square(2, DType::Fp32).with_b_transposed(false);
+        let d = reference_gemm(&a, &b, None, &cfg);
+        assert_eq!(d.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn int8_accumulates_exactly() {
+        let a = Matrix::filled(4, 4, 100.0);
+        let b = Matrix::filled(4, 4, 100.0);
+        let cfg = GemmConfig::square(4, DType::Int8);
+        let d = reference_gemm(&a, &b, None, &cfg);
+        // Accumulator holds 4 * 100 * 100 = 40000 exactly, but the
+        // epilogue quantizes D to INT8 -> saturates at 127.
+        assert!(d.as_slice().iter().all(|&v| v == 127.0));
+    }
+
+    #[test]
+    fn fp16_epilogue_quantizes_output() {
+        let a = Matrix::filled(16, 16, 3.0);
+        let b = Matrix::filled(16, 16, 5.0);
+        let cfg = GemmConfig::square(16, DType::Fp16Tensor);
+        let d = reference_gemm(&a, &b, None, &cfg);
+        assert!(d.as_slice().iter().all(|&v| v == 240.0));
+    }
+
+    #[test]
+    fn beta_mixes_in_c() {
+        let a = Matrix::zeros(2, 2);
+        let b = Matrix::zeros(2, 2);
+        let c = Matrix::filled(2, 2, 4.0);
+        let cfg = GemmConfig::square(2, DType::Fp32).with_scalars(1.0, 0.25);
+        let d = reference_gemm(&a, &b, Some(&c), &cfg);
+        assert!(d.as_slice().iter().all(|&v| v == 1.0));
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests for the activity engine's estimator and
+//! bookkeeping invariants.
+
+use proptest::prelude::*;
+use wm_bits::Xoshiro256pp;
+use wm_kernels::{reference_gemm, simulate, GemmConfig, GemmInputs, Sampling};
+use wm_matrix::Matrix;
+use wm_numerics::{DType, Quantizer};
+use wm_patterns::{PatternKind, PatternSpec};
+
+fn arb_dtype() -> impl Strategy<Value = DType> {
+    prop::sample::select(DType::ALL.to_vec())
+}
+
+fn gen_pair(dtype: DType, dim: usize, seed: u64) -> (Matrix, Matrix) {
+    let mut root = Xoshiro256pp::seed_from_u64(seed);
+    let spec = PatternSpec::new(PatternKind::Gaussian);
+    (
+        spec.generate(dtype, dim, dim, &mut root.fork(0)),
+        spec.generate(dtype, dim, dim, &mut root.fork(1)),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sampled_outputs_agree_with_reference_everywhere(
+        dtype in arb_dtype(),
+        seed: u64,
+        rows in 2usize..6,
+        cols in 2usize..6,
+    ) {
+        let dim = 16;
+        let (a, b) = gen_pair(dtype, dim, seed);
+        let cfg = GemmConfig::square(dim, dtype)
+            .with_sampling(Sampling::Lattice { rows, cols });
+        let outcome = simulate(&GemmInputs { a: &a, b_stored: &b, c: None }, &cfg);
+        let reference = reference_gemm(&a, &b, None, &cfg);
+        for o in &outcome.outputs {
+            prop_assert_eq!(o.value.to_bits(), reference.get(o.row, o.col).to_bits());
+        }
+    }
+
+    #[test]
+    fn activity_statistics_are_bounded(dtype in arb_dtype(), seed: u64) {
+        let dim = 24;
+        let (a, b) = gen_pair(dtype, dim, seed);
+        let cfg = GemmConfig::square(dim, dtype).with_sampling(Sampling::Full);
+        let act = simulate(&GemmInputs { a: &a, b_stored: &b, c: None }, &cfg).activity;
+        let bits = f64::from(dtype.bits());
+        prop_assert!(act.operand_a_toggles_per_mac >= 0.0);
+        prop_assert!(act.operand_a_toggles_per_mac <= bits);
+        prop_assert!(act.operand_b_toggles_per_mac <= bits);
+        prop_assert!((0.0..=1.0).contains(&act.nonzero_mac_fraction));
+        prop_assert!((0.0..=1.0).contains(&act.mean_bit_alignment));
+        prop_assert!(act.mean_hamming_weight_a <= bits);
+        prop_assert!(act.accum_toggles_per_mac <= 32.0);
+        prop_assert_eq!(act.total_macs, (dim * dim * dim) as u64);
+        prop_assert_eq!(act.sampled_macs, act.total_macs);
+    }
+
+    #[test]
+    fn estimator_is_scale_consistent(seed: u64) {
+        // A denser lattice must converge toward the full walk.
+        let dtype = DType::Fp16;
+        let dim = 32;
+        let (a, b) = gen_pair(dtype, dim, seed);
+        let inputs = GemmInputs { a: &a, b_stored: &b, c: None };
+        let full = simulate(
+            &inputs,
+            &GemmConfig::square(dim, dtype).with_sampling(Sampling::Full),
+        )
+        .activity;
+        let coarse = simulate(
+            &inputs,
+            &GemmConfig::square(dim, dtype)
+                .with_sampling(Sampling::Lattice { rows: 4, cols: 4 }),
+        )
+        .activity;
+        let fine = simulate(
+            &inputs,
+            &GemmConfig::square(dim, dtype)
+                .with_sampling(Sampling::Lattice { rows: 16, cols: 16 }),
+        )
+        .activity;
+        let err = |x: f64| (x - full.operand_a_toggles_per_mac).abs();
+        // Fine should not be (much) worse than coarse.
+        prop_assert!(err(fine.operand_a_toggles_per_mac)
+            <= err(coarse.operand_a_toggles_per_mac) + 0.2);
+    }
+
+    #[test]
+    fn alpha_scaling_scales_outputs(dtype in arb_dtype(), seed: u64, alpha in 0.25f32..4.0) {
+        // For dtypes/values where alpha*x stays representable, the scaled
+        // GEMM matches the post-scaled reference. Use small integer-ish
+        // values to avoid saturation.
+        let dim = 8;
+        let q = Quantizer::new(dtype);
+        let mut root = Xoshiro256pp::seed_from_u64(seed);
+        let a = Matrix::from_fn(dim, dim, |_, _| q.quantize((root.next_bounded(5) as f32) - 2.0));
+        let b = Matrix::from_fn(dim, dim, |_, _| q.quantize((root.next_bounded(5) as f32) - 2.0));
+        let alpha = (alpha * 4.0).round() / 4.0; // quarter-integer alphas are exact
+        let cfg = GemmConfig::square(dim, dtype)
+            .with_scalars(alpha, 0.0)
+            .with_sampling(Sampling::Full);
+        let outcome = simulate(&GemmInputs { a: &a, b_stored: &b, c: None }, &cfg);
+        let reference = reference_gemm(&a, &b, None, &cfg);
+        for o in &outcome.outputs {
+            prop_assert_eq!(o.value.to_bits(), reference.get(o.row, o.col).to_bits());
+        }
+    }
+
+    #[test]
+    fn zero_a_gates_everything(dtype in arb_dtype(), seed: u64) {
+        let dim = 16;
+        let (_, b) = gen_pair(dtype, dim, seed);
+        let z = Matrix::zeros(dim, dim);
+        let cfg = GemmConfig::square(dim, dtype).with_sampling(Sampling::Full);
+        let act = simulate(&GemmInputs { a: &z, b_stored: &b, c: None }, &cfg).activity;
+        prop_assert_eq!(act.nonzero_mac_fraction, 0.0);
+        prop_assert_eq!(act.mult_activity_per_mac, 0.0);
+        prop_assert_eq!(act.operand_a_toggles_per_mac, 0.0);
+        // B still streams and toggles.
+        prop_assert!(act.operand_b_toggles_per_mac > 0.0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Tile-coordinate iteration.
+//!
+//! The GEMM simulator decomposes the output matrix into threadblock tiles
+//! and samples activity on a sub-lattice of them. This module provides the
+//! coordinate arithmetic: given a matrix extent and a tile shape, iterate
+//! tile origins in the kernel's rasterization order (row-major over the
+//! tile grid, matching CUTLASS's default swizzle-free launch).
+
+/// One tile's position and clipped extent within a matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileCoord {
+    /// Tile index along the row dimension.
+    pub tile_row: usize,
+    /// Tile index along the column dimension.
+    pub tile_col: usize,
+    /// First element row covered by this tile.
+    pub row0: usize,
+    /// First element column covered by this tile.
+    pub col0: usize,
+    /// Rows actually covered (clipped at the matrix edge).
+    pub rows: usize,
+    /// Columns actually covered (clipped at the matrix edge).
+    pub cols: usize,
+}
+
+/// Iterator over the tile grid of a `rows x cols` matrix with
+/// `tile_rows x tile_cols` tiles, in row-major tile order.
+#[derive(Debug, Clone)]
+pub struct TileIter {
+    rows: usize,
+    cols: usize,
+    tile_rows: usize,
+    tile_cols: usize,
+    grid_rows: usize,
+    grid_cols: usize,
+    next: usize,
+}
+
+impl TileIter {
+    /// Create a tile iterator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(rows: usize, cols: usize, tile_rows: usize, tile_cols: usize) -> Self {
+        assert!(
+            rows > 0 && cols > 0 && tile_rows > 0 && tile_cols > 0,
+            "tile iteration requires positive dimensions"
+        );
+        Self {
+            rows,
+            cols,
+            tile_rows,
+            tile_cols,
+            grid_rows: rows.div_ceil(tile_rows),
+            grid_cols: cols.div_ceil(tile_cols),
+            next: 0,
+        }
+    }
+
+    /// Number of tiles in the grid.
+    pub fn tile_count(&self) -> usize {
+        self.grid_rows * self.grid_cols
+    }
+
+    /// Grid shape as `(tile_rows, tile_cols)` counts.
+    pub fn grid_shape(&self) -> (usize, usize) {
+        (self.grid_rows, self.grid_cols)
+    }
+
+    /// The tile at linear index `idx` in row-major grid order.
+    pub fn tile_at(&self, idx: usize) -> TileCoord {
+        assert!(idx < self.tile_count(), "tile index out of range");
+        let tile_row = idx / self.grid_cols;
+        let tile_col = idx % self.grid_cols;
+        let row0 = tile_row * self.tile_rows;
+        let col0 = tile_col * self.tile_cols;
+        TileCoord {
+            tile_row,
+            tile_col,
+            row0,
+            col0,
+            rows: self.tile_rows.min(self.rows - row0),
+            cols: self.tile_cols.min(self.cols - col0),
+        }
+    }
+}
+
+impl Iterator for TileIter {
+    type Item = TileCoord;
+
+    fn next(&mut self) -> Option<TileCoord> {
+        if self.next >= self.tile_count() {
+            return None;
+        }
+        let t = self.tile_at(self.next);
+        self.next += 1;
+        Some(t)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.tile_count() - self.next;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for TileIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_division() {
+        let tiles: Vec<_> = TileIter::new(8, 8, 4, 4).collect();
+        assert_eq!(tiles.len(), 4);
+        assert!(tiles.iter().all(|t| t.rows == 4 && t.cols == 4));
+        assert_eq!(tiles[0].row0, 0);
+        assert_eq!(tiles[1].col0, 4);
+        assert_eq!(tiles[2].row0, 4);
+    }
+
+    #[test]
+    fn ragged_edges_are_clipped() {
+        let tiles: Vec<_> = TileIter::new(5, 7, 4, 4).collect();
+        assert_eq!(tiles.len(), 4);
+        // Bottom-right tile is 1x3.
+        let last = tiles.last().unwrap();
+        assert_eq!((last.rows, last.cols), (1, 3));
+        // Coverage partition: total area equals the matrix area.
+        let area: usize = tiles.iter().map(|t| t.rows * t.cols).sum();
+        assert_eq!(area, 5 * 7);
+    }
+
+    #[test]
+    fn raster_order_is_row_major() {
+        let it = TileIter::new(4, 6, 2, 2);
+        let order: Vec<_> = it.map(|t| (t.tile_row, t.tile_col)).collect();
+        assert_eq!(
+            order,
+            vec![(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]
+        );
+    }
+
+    #[test]
+    fn tile_bigger_than_matrix() {
+        let tiles: Vec<_> = TileIter::new(3, 3, 128, 128).collect();
+        assert_eq!(tiles.len(), 1);
+        assert_eq!((tiles[0].rows, tiles[0].cols), (3, 3));
+    }
+
+    #[test]
+    fn size_hint_is_exact() {
+        let mut it = TileIter::new(8, 8, 4, 4);
+        assert_eq!(it.len(), 4);
+        it.next();
+        assert_eq!(it.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive dimensions")]
+    fn zero_tile_shape_rejected() {
+        TileIter::new(4, 4, 0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "tile index out of range")]
+    fn tile_at_bounds_checked() {
+        TileIter::new(4, 4, 4, 4).tile_at(1);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests for matrix invariants.
+
+use proptest::prelude::*;
+use wm_matrix::{Matrix, TileIter};
+
+fn arb_matrix() -> impl Strategy<Value = Matrix> {
+    (1usize..12, 1usize..12).prop_flat_map(|(r, c)| {
+        prop::collection::vec(-1.0e3f32..1.0e3, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involutive(m in arb_matrix()) {
+        prop_assert_eq!(m.transposed().transposed(), m);
+    }
+
+    #[test]
+    fn transpose_view_matches_copy(m in arb_matrix()) {
+        let t = m.transposed();
+        let v = m.view_t();
+        prop_assert_eq!(v.rows(), t.rows());
+        prop_assert_eq!(v.cols(), t.cols());
+        for r in 0..t.rows() {
+            for c in 0..t.cols() {
+                prop_assert_eq!(v.get(r, c).to_bits(), t.get(r, c).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn rows_concatenate_to_storage(m in arb_matrix()) {
+        let mut collected = Vec::new();
+        for r in 0..m.rows() {
+            collected.extend_from_slice(m.row(r));
+        }
+        prop_assert_eq!(collected.as_slice(), m.as_slice());
+    }
+
+    #[test]
+    fn map_in_place_identity_is_noop(m in arb_matrix()) {
+        let mut n = m.clone();
+        n.map_in_place(|v| v);
+        prop_assert_eq!(n, m);
+    }
+
+    #[test]
+    fn approx_eq_is_reflexive_and_symmetric(m in arb_matrix(), n in arb_matrix()) {
+        prop_assert!(m.approx_eq(&m, 0.0));
+        prop_assert_eq!(m.approx_eq(&n, 1e-3), n.approx_eq(&m, 1e-3));
+    }
+
+    #[test]
+    fn tiles_partition_any_matrix(
+        rows in 1usize..40,
+        cols in 1usize..40,
+        tr in 1usize..12,
+        tc in 1usize..12,
+    ) {
+        let mut covered = vec![false; rows * cols];
+        for tile in TileIter::new(rows, cols, tr, tc) {
+            for r in tile.row0..tile.row0 + tile.rows {
+                for c in tile.col0..tile.col0 + tile.cols {
+                    let idx = r * cols + c;
+                    prop_assert!(!covered[idx], "cell ({r},{c}) covered twice");
+                    covered[idx] = true;
+                }
+            }
+        }
+        prop_assert!(covered.iter().all(|&x| x), "some cell uncovered");
+    }
+
+    #[test]
+    fn zero_fraction_bounds(m in arb_matrix()) {
+        let f = m.zero_fraction();
+        prop_assert!((0.0..=1.0).contains(&f));
+    }
+}

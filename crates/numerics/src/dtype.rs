@@ -1,0 +1,203 @@
+//! The four datatype setups studied by the paper.
+//!
+//! `FP16` and `FP16-T` share the same 16-bit encoding; they differ in which
+//! execution pipeline the GEMM runs on (SIMT FMA lanes vs. tensor-core MMA
+//! units) and therefore in throughput, accumulator precision, and power
+//! coefficients. The distinction lives here because every layer above —
+//! kernels, power model, experiments — dispatches on it.
+
+/// A datatype setup: encoding plus execution pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DType {
+    /// 32-bit IEEE 754 single precision on SIMT FMA pipelines.
+    Fp32,
+    /// 16-bit IEEE 754 half precision on SIMT FMA pipelines.
+    Fp16,
+    /// 16-bit IEEE 754 half precision on tensor cores (HMMA); accumulates
+    /// in FP32 like CUTLASS's default `half_t` tensor-op GEMM.
+    Fp16Tensor,
+    /// 8-bit two's-complement integer on tensor cores (IMMA) where the GPU
+    /// generation supports it, DP4A otherwise; accumulates in INT32.
+    Int8,
+    /// bfloat16 on tensor cores — **extension dtype**, not in the paper's
+    /// study. Same width as FP16 but with FP32's 8-bit exponent and only
+    /// 7 mantissa bits; accumulates in FP32. Supported on Ampere and
+    /// later (the simulator runs it at the FP16-tensor rate).
+    Bf16,
+}
+
+impl DType {
+    /// The paper's four setups, in its presentation order. Extension
+    /// dtypes (BF16) are deliberately excluded so every reproduction sweep
+    /// matches the paper exactly; use [`DType::EXTENDED`] to include them.
+    pub const ALL: [DType; 4] = [DType::Fp32, DType::Fp16, DType::Fp16Tensor, DType::Int8];
+
+    /// The paper's four setups plus this reproduction's extensions.
+    pub const EXTENDED: [DType; 5] = [
+        DType::Fp32,
+        DType::Fp16,
+        DType::Fp16Tensor,
+        DType::Int8,
+        DType::Bf16,
+    ];
+
+    /// Width of the element encoding in bits.
+    #[inline]
+    pub const fn bits(self) -> u32 {
+        match self {
+            DType::Fp32 => 32,
+            DType::Fp16 | DType::Fp16Tensor | DType::Bf16 => 16,
+            DType::Int8 => 8,
+        }
+    }
+
+    /// Width in bytes.
+    #[inline]
+    pub const fn bytes(self) -> usize {
+        (self.bits() / 8) as usize
+    }
+
+    /// Number of stored mantissa (fraction) bits; 0 for integers.
+    #[inline]
+    pub const fn mantissa_bits(self) -> u32 {
+        match self {
+            DType::Fp32 => 23,
+            DType::Fp16 | DType::Fp16Tensor => 10,
+            DType::Bf16 => 7,
+            DType::Int8 => 0,
+        }
+    }
+
+    /// Number of exponent bits; 0 for integers.
+    #[inline]
+    pub const fn exponent_bits(self) -> u32 {
+        match self {
+            DType::Fp32 | DType::Bf16 => 8,
+            DType::Fp16 | DType::Fp16Tensor => 5,
+            DType::Int8 => 0,
+        }
+    }
+
+    /// Whether this is a floating-point encoding.
+    #[inline]
+    pub const fn is_float(self) -> bool {
+        !matches!(self, DType::Int8)
+    }
+
+    /// Whether the GEMM for this setup runs on tensor cores.
+    #[inline]
+    pub const fn uses_tensor_cores(self) -> bool {
+        matches!(self, DType::Fp16Tensor | DType::Int8 | DType::Bf16)
+    }
+
+    /// Width in bits of the accumulator used during the K-reduction.
+    ///
+    /// CUTLASS defaults: FP32 SIMT accumulates in FP32; FP16 SIMT in FP16;
+    /// FP16 tensor-op in FP32; INT8 in INT32.
+    #[inline]
+    pub const fn accumulator_bits(self) -> u32 {
+        match self {
+            DType::Fp32 | DType::Fp16Tensor | DType::Bf16 => 32,
+            DType::Fp16 => 16,
+            DType::Int8 => 32,
+        }
+    }
+
+    /// The paper's label for this setup (used in tables and figures).
+    pub const fn label(self) -> &'static str {
+        match self {
+            DType::Fp32 => "FP32",
+            DType::Fp16 => "FP16",
+            DType::Fp16Tensor => "FP16-T",
+            DType::Int8 => "INT8",
+            DType::Bf16 => "BF16",
+        }
+    }
+
+    /// The standard deviation the paper uses for "wide Gaussian" fills:
+    /// 210 for floating point, 25 for INT8 (§III, Fig. 2 caption).
+    #[inline]
+    pub const fn paper_sigma(self) -> f64 {
+        match self {
+            DType::Int8 => 25.0,
+            _ => 210.0,
+        }
+    }
+
+    /// Parse a label as printed by [`DType::label`] (case-insensitive;
+    /// accepts `fp16t` and `fp16-t`).
+    pub fn parse(s: &str) -> Option<DType> {
+        match s.to_ascii_lowercase().as_str() {
+            "fp32" | "f32" => Some(DType::Fp32),
+            "fp16" | "f16" => Some(DType::Fp16),
+            "fp16-t" | "fp16t" | "fp16_tensor" | "tensor" => Some(DType::Fp16Tensor),
+            "int8" | "i8" => Some(DType::Int8),
+            "bf16" | "bfloat16" => Some(DType::Bf16),
+            _ => None,
+        }
+    }
+}
+
+impl core::fmt::Display for DType {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths_are_consistent() {
+        for dt in DType::EXTENDED {
+            assert_eq!(dt.bits() % 8, 0);
+            assert_eq!(dt.bytes() * 8, dt.bits() as usize);
+            if dt.is_float() {
+                // sign + exponent + mantissa == width
+                assert_eq!(1 + dt.exponent_bits() + dt.mantissa_bits(), dt.bits());
+            } else {
+                assert_eq!(dt.exponent_bits(), 0);
+                assert_eq!(dt.mantissa_bits(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn tensor_core_setups() {
+        assert!(!DType::Fp32.uses_tensor_cores());
+        assert!(!DType::Fp16.uses_tensor_cores());
+        assert!(DType::Fp16Tensor.uses_tensor_cores());
+        assert!(DType::Int8.uses_tensor_cores());
+    }
+
+    #[test]
+    fn accumulators_match_cutlass_defaults() {
+        assert_eq!(DType::Fp32.accumulator_bits(), 32);
+        assert_eq!(DType::Fp16.accumulator_bits(), 16);
+        assert_eq!(DType::Fp16Tensor.accumulator_bits(), 32);
+        assert_eq!(DType::Int8.accumulator_bits(), 32);
+    }
+
+    #[test]
+    fn labels_round_trip_through_parse() {
+        for dt in DType::ALL {
+            assert_eq!(DType::parse(dt.label()), Some(dt));
+            assert_eq!(DType::parse(&dt.label().to_lowercase()), Some(dt));
+        }
+        assert_eq!(DType::parse("bf16"), Some(DType::Bf16));
+        assert_eq!(DType::parse("fp8"), None);
+    }
+
+    #[test]
+    fn paper_sigma_values() {
+        assert_eq!(DType::Fp32.paper_sigma(), 210.0);
+        assert_eq!(DType::Fp16Tensor.paper_sigma(), 210.0);
+        assert_eq!(DType::Int8.paper_sigma(), 25.0);
+    }
+
+    #[test]
+    fn display_matches_label() {
+        assert_eq!(format!("{}", DType::Fp16Tensor), "FP16-T");
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for codec invariants.
+
+use proptest::prelude::*;
+use wm_numerics::fp16::{f16_add, f16_mul, round_f32_to_f16, F16_MAX};
+use wm_numerics::{f16_bits_to_f32, f32_to_f16_bits, DType, Quantizer};
+
+proptest! {
+    #[test]
+    fn f16_round_trip_is_projection(x in -1.0e5f32..1.0e5) {
+        // Rounding twice equals rounding once (idempotence of quantization).
+        let once = round_f32_to_f16(x);
+        let twice = round_f32_to_f16(once);
+        prop_assert_eq!(once.to_bits(), twice.to_bits());
+    }
+
+    #[test]
+    fn f16_rounding_error_within_half_ulp(x in -6.0e4f32..6.0e4) {
+        let r = round_f32_to_f16(x);
+        prop_assert!(r.is_finite());
+        // ulp at |x|: 2^(floor(log2|x|) - 10), at least the subnormal step.
+        let ulp = if x == 0.0 {
+            2.0_f32.powi(-24)
+        } else {
+            let e = x.abs().log2().floor() as i32;
+            2.0_f32.powf((e - 10).max(-24) as f32)
+        };
+        prop_assert!(
+            (r - x).abs() <= ulp * 0.5 + f32::EPSILON,
+            "x={x} r={r} ulp={ulp}"
+        );
+    }
+
+    #[test]
+    fn f16_rounding_is_monotone(a in -7.0e4f32..7.0e4, b in -7.0e4f32..7.0e4) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(round_f32_to_f16(lo) <= round_f32_to_f16(hi));
+    }
+
+    #[test]
+    fn f16_encode_decode_bijective_on_values(x in -6.0e4f32..6.0e4) {
+        let bits = f32_to_f16_bits(x);
+        let val = f16_bits_to_f32(bits);
+        prop_assert_eq!(f32_to_f16_bits(val), bits);
+    }
+
+    #[test]
+    fn f16_negation_flips_only_sign(x in -6.0e4f32..6.0e4) {
+        let pos = f32_to_f16_bits(x);
+        let neg = f32_to_f16_bits(-x);
+        prop_assert_eq!(pos ^ neg, 0x8000);
+    }
+
+    #[test]
+    fn f16_overflow_always_infinite(x in prop::sample::select(vec![7.0e4f32, 1.0e6, 3.4e38])) {
+        prop_assert_eq!(f32_to_f16_bits(x), 0x7C00);
+        prop_assert_eq!(f32_to_f16_bits(-x), 0xFC00);
+    }
+
+    #[test]
+    fn f16_mul_commutative(a in -200.0f32..200.0, b in -200.0f32..200.0) {
+        prop_assert_eq!(f16_mul(a, b).to_bits(), f16_mul(b, a).to_bits());
+        prop_assert_eq!(f16_add(a, b).to_bits(), f16_add(b, a).to_bits());
+    }
+
+    #[test]
+    fn f16_mul_of_representables_in_range(a in -240.0f32..240.0, b in -240.0f32..240.0) {
+        let p = f16_mul(a, b);
+        prop_assert!(p.abs() <= F16_MAX || p.is_infinite());
+        // Result is itself representable (fixed point of rounding).
+        prop_assert_eq!(round_f32_to_f16(p).to_bits(), p.to_bits());
+    }
+
+    #[test]
+    fn int8_quantize_within_bounds_and_integral(x in -1.0e4f32..1.0e4) {
+        let q = Quantizer::new(DType::Int8);
+        let v = q.quantize(x);
+        prop_assert!((-128.0..=127.0).contains(&v));
+        prop_assert_eq!(v.fract(), 0.0);
+        // Quantization moves a value by at most 0.5 inside the range.
+        if (-128.0..=127.0).contains(&x) {
+            prop_assert!((v - x).abs() <= 0.5);
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip_all_dtypes(
+        x in -100.0f32..100.0,
+        dt in prop::sample::select(DType::ALL.to_vec()),
+    ) {
+        let q = Quantizer::new(dt);
+        let quantized = q.quantize(x);
+        prop_assert_eq!(q.decode(q.encode(x)), quantized);
+        // Encoding stays inside the dtype width.
+        prop_assert_eq!(q.encode(x) >> dt.bits(), 0);
+    }
+
+    #[test]
+    fn quantize_idempotent_all_dtypes(
+        x in -1000.0f32..1000.0,
+        dt in prop::sample::select(DType::ALL.to_vec()),
+    ) {
+        let q = Quantizer::new(dt);
+        let once = q.quantize(x);
+        prop_assert_eq!(q.quantize(once).to_bits(), once.to_bits());
+    }
+
+    #[test]
+    fn accumulator_sums_integers_exactly(vals in prop::collection::vec(-128i32..=127, 1..256)) {
+        let q = Quantizer::new(DType::Int8);
+        let mut acc = q.new_accumulator();
+        let mut expect = 0i64;
+        for &v in &vals {
+            acc.add_product((v * 3) as f32);
+            expect += (v as i64) * 3;
+        }
+        prop_assert_eq!(acc.value() as i64, expect);
+    }
+}

@@ -1,0 +1,39 @@
+//! # wm-optimizer — the paper's §V future-work directions, implemented
+//!
+//! Section V of the paper sketches how input-dependent power could be
+//! *exploited*. This crate turns each sketch into working code:
+//!
+//! * [`transforms`] — **computation-preserving weight transforms**:
+//!   mean shifting with exact algebraic compensation
+//!   (`(A + cJ)B = AB + c·colsums(B)`), and permutation-invariant row
+//!   sorting for neural-network layers (sort layer *k*'s weight rows, undo
+//!   the permutation in layer *k+1*'s columns — bit-identical outputs,
+//!   lower GEMM power).
+//! * [`sparsity_design`] — **power-aware sparsity**: given a zeroing
+//!   budget, choose *which* elements to zero (by magnitude, by encoding
+//!   Hamming weight, or at random) and report the predicted power saving
+//!   against the introduced numerical error.
+//! * [`dsl`] — the **pattern description language** from §V's
+//!   "input-dependent GPU power models ... specified via a domain-specific
+//!   language": a small pipeline syntax
+//!   (`gaussian(std=210) |> sort_rows(0.5) |> sparsify(0.3)`) that
+//!   generates matrices and estimates their GEMM power on any catalog GPU.
+//! * [`model`] — a **fitted input-dependent power model**: extracts
+//!   activity features, fits a linear model by least squares on a training
+//!   battery, and predicts the power of unseen patterns (with R² reported)
+//!   — the quantitative core a power-aware compiler would link against.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dsl;
+pub mod dvfs_planner;
+pub mod model;
+pub mod sparsity_design;
+pub mod transforms;
+
+pub use dsl::PatternProgram;
+pub use dvfs_planner::{plan_dvfs, DvfsPlan};
+pub use model::{FittedPowerModel, PowerModelTrainer};
+pub use sparsity_design::{design_sparsity, SparsityReport, SparsityStrategy};
+pub use transforms::{mean_shift_gemm, sorted_layer_pair, MeanShift, RowPermutation};

@@ -1,0 +1,230 @@
+//! Power-aware sparsity design (§V: "develop sparsity designs that reduce
+//! power usage while also optimizing performance, accuracy, and/or memory
+//! trade-offs").
+//!
+//! Given a matrix and a zeroing budget, the designer picks *which*
+//! elements to zero under one of three strategies, then reports predicted
+//! power (via the full simulation pipeline) alongside the numerical damage
+//! (relative Frobenius error), so callers can walk the trade-off curve.
+
+use wm_bits::Xoshiro256pp;
+use wm_gpu::GpuSpec;
+use wm_kernels::{simulate, GemmConfig, GemmInputs, Sampling};
+use wm_matrix::Matrix;
+use wm_numerics::{DType, Quantizer};
+use wm_power::evaluate;
+
+/// How to choose the elements to zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SparsityStrategy {
+    /// Zero the smallest-magnitude elements (classic pruning: minimal
+    /// numerical damage).
+    Magnitude,
+    /// Zero the elements whose *encodings* carry the most set bits
+    /// (maximal switching-activity removal per zeroed element).
+    HammingWeight,
+    /// Zero uniformly at random (the paper's Fig. 6a baseline).
+    Random,
+}
+
+impl SparsityStrategy {
+    /// All strategies, for sweep-style comparisons.
+    pub const ALL: [SparsityStrategy; 3] = [
+        SparsityStrategy::Magnitude,
+        SparsityStrategy::HammingWeight,
+        SparsityStrategy::Random,
+    ];
+
+    /// Display label.
+    pub const fn label(self) -> &'static str {
+        match self {
+            SparsityStrategy::Magnitude => "magnitude",
+            SparsityStrategy::HammingWeight => "hamming-weight",
+            SparsityStrategy::Random => "random",
+        }
+    }
+}
+
+/// The outcome of one sparsity design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparsityReport {
+    /// The strategy used.
+    pub strategy: SparsityStrategy,
+    /// Achieved zero fraction.
+    pub sparsity: f64,
+    /// Predicted GEMM power with the designed operands, watts.
+    pub power_w: f64,
+    /// Predicted power of the dense baseline, watts.
+    pub baseline_power_w: f64,
+    /// Relative Frobenius error introduced into the matrix.
+    pub relative_error: f64,
+    /// The sparsified matrix.
+    pub matrix: Matrix,
+}
+
+impl SparsityReport {
+    /// Power saved versus the dense baseline, watts.
+    pub fn saving_w(&self) -> f64 {
+        self.baseline_power_w - self.power_w
+    }
+}
+
+fn frobenius(m: &Matrix) -> f64 {
+    m.as_slice()
+        .iter()
+        .map(|&v| f64::from(v) * f64::from(v))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Zero `sparsity` of `w`'s elements under `strategy` and predict the GEMM
+/// power of the result (used as both operands of a square GEMM on `gpu`).
+///
+/// # Panics
+///
+/// Panics if `sparsity` is outside `[0, 1]` or `w` is not square (the
+/// power prediction pairs the matrix with itself, as the paper does).
+pub fn design_sparsity(
+    w: &Matrix,
+    dtype: DType,
+    gpu: &GpuSpec,
+    strategy: SparsityStrategy,
+    sparsity: f64,
+    seed: u64,
+) -> SparsityReport {
+    assert!(
+        (0.0..=1.0).contains(&sparsity),
+        "sparsity {sparsity} outside [0, 1]"
+    );
+    assert_eq!(w.rows(), w.cols(), "power prediction expects square W");
+    let n = w.len();
+    let k = (sparsity * n as f64).round() as usize;
+    let q = Quantizer::new(dtype);
+
+    // Rank elements by the strategy's priority (first = zeroed first).
+    let mut order: Vec<usize> = (0..n).collect();
+    match strategy {
+        SparsityStrategy::Magnitude => {
+            order.sort_by(|&a, &b| {
+                let (va, vb) = (w.as_slice()[a].abs(), w.as_slice()[b].abs());
+                va.total_cmp(&vb).then(a.cmp(&b))
+            });
+        }
+        SparsityStrategy::HammingWeight => {
+            let weight = |i: usize| q.encode(w.as_slice()[i]).count_ones();
+            order.sort_by(|&a, &b| weight(b).cmp(&weight(a)).then(a.cmp(&b)));
+        }
+        SparsityStrategy::Random => {
+            Xoshiro256pp::seed_from_u64(seed).shuffle(&mut order);
+        }
+    }
+
+    let mut designed = w.clone();
+    for &i in order.iter().take(k) {
+        designed.as_mut_slice()[i] = 0.0;
+    }
+
+    // Numerical damage: ||W - W_designed||_F / ||W||_F.
+    let diff_norm = w
+        .as_slice()
+        .iter()
+        .zip(designed.as_slice())
+        .map(|(&a, &b)| (f64::from(a) - f64::from(b)).powi(2))
+        .sum::<f64>()
+        .sqrt();
+    let relative_error = diff_norm / frobenius(w).max(1e-30);
+
+    // Power prediction: designed x designed vs dense x dense.
+    let cfg = GemmConfig::square(w.rows(), dtype)
+        .with_sampling(Sampling::Lattice { rows: 12, cols: 12 });
+    let predict = |m: &Matrix| -> f64 {
+        let act = simulate(
+            &GemmInputs {
+                a: m,
+                b_stored: m,
+                c: None,
+            },
+            &cfg,
+        )
+        .activity;
+        evaluate(gpu, &act).total_w
+    };
+
+    SparsityReport {
+        strategy,
+        sparsity: designed.zero_fraction(),
+        power_w: predict(&designed),
+        baseline_power_w: predict(w),
+        relative_error,
+        matrix: designed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wm_gpu::spec::a100_pcie;
+    use wm_numerics::Gaussian;
+
+    fn weights(dim: usize, seed: u64) -> Matrix {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let mut g = Gaussian::new(0.0, 210.0);
+        let q = Quantizer::new(DType::Fp16);
+        Matrix::from_fn(dim, dim, |_, _| q.quantize(g.sample_f32(&mut rng)))
+    }
+
+    #[test]
+    fn all_strategies_hit_the_budget_and_save_power() {
+        let w = weights(128, 1);
+        let gpu = a100_pcie();
+        for strategy in SparsityStrategy::ALL {
+            let r = design_sparsity(&w, DType::Fp16, &gpu, strategy, 0.5, 7);
+            assert!((r.sparsity - 0.5).abs() < 0.01, "{strategy:?}");
+            assert!(
+                r.power_w < r.baseline_power_w,
+                "{strategy:?}: {} should undercut {}",
+                r.power_w,
+                r.baseline_power_w
+            );
+            assert!(r.saving_w() > 0.0);
+        }
+    }
+
+    #[test]
+    fn magnitude_pruning_minimizes_error() {
+        let w = weights(96, 2);
+        let gpu = a100_pcie();
+        let by = |s: SparsityStrategy| design_sparsity(&w, DType::Fp16, &gpu, s, 0.4, 7);
+        let mag = by(SparsityStrategy::Magnitude);
+        let rnd = by(SparsityStrategy::Random);
+        let hw = by(SparsityStrategy::HammingWeight);
+        assert!(mag.relative_error < rnd.relative_error);
+        assert!(mag.relative_error < hw.relative_error);
+    }
+
+    #[test]
+    fn zero_budget_is_identity() {
+        let w = weights(64, 3);
+        let gpu = a100_pcie();
+        let r = design_sparsity(&w, DType::Fp16, &gpu, SparsityStrategy::Magnitude, 0.0, 7);
+        assert_eq!(r.matrix, w);
+        assert_eq!(r.relative_error, 0.0);
+        assert!((r.power_w - r.baseline_power_w).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_budget_zeroes_everything() {
+        let w = weights(64, 4);
+        let gpu = a100_pcie();
+        let r = design_sparsity(&w, DType::Fp16, &gpu, SparsityStrategy::Random, 1.0, 7);
+        assert_eq!(r.matrix.zero_fraction(), 1.0);
+        assert!((r.relative_error - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn budget_validated() {
+        let w = weights(16, 5);
+        design_sparsity(&w, DType::Fp16, &a100_pcie(), SparsityStrategy::Random, 1.5, 7);
+    }
+}

@@ -1,0 +1,309 @@
+//! Computation-preserving transforms that move inputs into lower-power
+//! regions (§V: "modify model weights into value ranges that use less
+//! power" and "partially or fully sort neural network model weights").
+
+use wm_matrix::Matrix;
+
+/// A mean shift `W -> W + c·J` (J the all-ones matrix) with its exact
+/// algebraic compensation.
+///
+/// For `D = (W + cJ) · B`: since `(J·B)[i][j] = colsum_j(B)` for every row
+/// i, the true product is recovered as `D[i][j] - c * colsum_j(B)`.
+/// Shifting weights toward a larger mean freezes FP sign/exponent bits
+/// (the paper's T2), so the shifted GEMM draws less power while the
+/// compensated result is exact up to FP reassociation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeanShift {
+    /// The constant added to every weight.
+    pub offset: f32,
+}
+
+impl MeanShift {
+    /// Choose an offset that moves `w`'s mean to `target_mean`.
+    pub fn to_target_mean(w: &Matrix, target_mean: f32) -> Self {
+        Self {
+            offset: target_mean - w.mean() as f32,
+        }
+    }
+
+    /// The shifted weight matrix.
+    pub fn apply(&self, w: &Matrix) -> Matrix {
+        let mut out = w.clone();
+        let c = self.offset;
+        out.map_in_place(|v| v + c);
+        out
+    }
+
+    /// Column sums of `B` scaled by the offset — the correction row that
+    /// must be subtracted from every output row.
+    pub fn correction_row(&self, b: &Matrix) -> Vec<f32> {
+        (0..b.cols())
+            .map(|j| {
+                let col_sum: f64 = (0..b.rows()).map(|k| f64::from(b.get(k, j))).sum();
+                (f64::from(self.offset) * col_sum) as f32
+            })
+            .collect()
+    }
+
+    /// Subtract the correction from a computed shifted product, in place.
+    pub fn compensate(&self, d: &mut Matrix, correction_row: &[f32]) {
+        assert_eq!(
+            correction_row.len(),
+            d.cols(),
+            "correction width must match the output"
+        );
+        for i in 0..d.rows() {
+            let row = d.row_mut(i);
+            for (v, c) in row.iter_mut().zip(correction_row) {
+                *v -= c;
+            }
+        }
+    }
+}
+
+/// Convenience: compute `W·B` by running the shifted GEMM and compensating.
+/// Returns the compensated product (in f64-exact reference arithmetic so
+/// the algebra, not dtype rounding, is what tests verify).
+pub fn mean_shift_gemm(w: &Matrix, b: &Matrix, shift: &MeanShift) -> Matrix {
+    let shifted = shift.apply(w);
+    let mut d = matmul_f64(&shifted, b);
+    shift.compensate(&mut d, &shift.correction_row(b));
+    d
+}
+
+/// Plain f64-accumulated matrix product (test/algebra reference).
+pub fn matmul_f64(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    Matrix::from_fn(a.rows(), b.cols(), |i, j| {
+        (0..a.cols())
+            .map(|k| f64::from(a.get(i, k)) * f64::from(b.get(k, j)))
+            .sum::<f64>() as f32
+    })
+}
+
+/// A row permutation of a weight matrix, tracked so the next layer can
+/// undo it.
+///
+/// For a two-layer MLP `y = W2 · f(W1 · x)` with any elementwise `f`,
+/// permuting W1's rows by P permutes the hidden vector by P; permuting
+/// W2's *columns* by the same P makes the composition identical:
+/// `W2[:,P] · P(f(W1[P,:] x)) = W2 · f(W1 x)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowPermutation {
+    /// `perm[new_row] = old_row`.
+    pub perm: Vec<usize>,
+}
+
+impl RowPermutation {
+    /// The permutation that sorts rows by a per-row key (ascending).
+    pub fn sorting_rows_by<K: FnMut(&[f32]) -> f64>(w: &Matrix, mut key: K) -> Self {
+        let mut idx: Vec<usize> = (0..w.rows()).collect();
+        let keys: Vec<f64> = (0..w.rows()).map(|r| key(w.row(r))).collect();
+        idx.sort_by(|&a, &b| keys[a].total_cmp(&keys[b]).then(a.cmp(&b)));
+        Self { perm: idx }
+    }
+
+    /// Apply to rows: `out[new] = w[perm[new]]`.
+    pub fn apply_to_rows(&self, w: &Matrix) -> Matrix {
+        assert_eq!(self.perm.len(), w.rows(), "permutation length mismatch");
+        Matrix::from_fn(w.rows(), w.cols(), |i, j| w.get(self.perm[i], j))
+    }
+
+    /// Apply to columns: `out[:, new] = w[:, perm[new]]` — what the *next*
+    /// layer's weights need so the composition is unchanged.
+    pub fn apply_to_cols(&self, w: &Matrix) -> Matrix {
+        assert_eq!(self.perm.len(), w.cols(), "permutation length mismatch");
+        Matrix::from_fn(w.rows(), w.cols(), |i, j| w.get(i, self.perm[j]))
+    }
+
+    /// Apply to a vector (hidden activations).
+    pub fn apply_to_vec(&self, v: &[f32]) -> Vec<f32> {
+        assert_eq!(self.perm.len(), v.len(), "permutation length mismatch");
+        self.perm.iter().map(|&old| v[old]).collect()
+    }
+}
+
+impl RowPermutation {
+    /// The permutation that sorts *columns* by a per-column key
+    /// (ascending). Useful for grouping LLM outlier channels: permuting
+    /// W's columns is computation-preserving when the input features are
+    /// permuted the same way (`W[:,P] · P(x) = W · x` up to FP
+    /// reassociation of the K-sum).
+    pub fn sorting_cols_by<K: FnMut(&Matrix, usize) -> f64>(w: &Matrix, mut key: K) -> Self {
+        let mut idx: Vec<usize> = (0..w.cols()).collect();
+        let keys: Vec<f64> = (0..w.cols()).map(|c| key(w, c)).collect();
+        idx.sort_by(|&a, &b| keys[a].total_cmp(&keys[b]).then(a.cmp(&b)));
+        Self { perm: idx }
+    }
+
+    /// The column permutation that sorts by column root-mean-square —
+    /// clustering high-magnitude (outlier) channels so each row's K-stream
+    /// has long runs of similar exponents.
+    pub fn sorting_cols_by_rms(w: &Matrix) -> Self {
+        Self::sorting_cols_by(w, |m, c| {
+            (0..m.rows())
+                .map(|r| f64::from(m.get(r, c)).powi(2))
+                .sum::<f64>()
+                .sqrt()
+        })
+    }
+}
+
+/// Sort layer-1 weight rows by row mean (a power-friendly ordering that
+/// makes consecutive K-streams similar) and fix layer-2 columns so the
+/// network computes the same function. Returns
+/// `(w1_sorted, w2_fixed, permutation)`.
+pub fn sorted_layer_pair(w1: &Matrix, w2: &Matrix) -> (Matrix, Matrix, RowPermutation) {
+    assert_eq!(
+        w1.rows(),
+        w2.cols(),
+        "w2 columns must consume w1's output rows"
+    );
+    let perm = RowPermutation::sorting_rows_by(w1, |row| {
+        row.iter().map(|&v| f64::from(v)).sum::<f64>() / row.len() as f64
+    });
+    (perm.apply_to_rows(w1), perm.apply_to_cols(w2), perm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wm_bits::Xoshiro256pp;
+    use wm_numerics::Gaussian;
+
+    fn random(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let mut g = Gaussian::new(0.0, 1.0);
+        Matrix::from_fn(rows, cols, |_, _| g.sample_f32(&mut rng))
+    }
+
+    #[test]
+    fn mean_shift_is_exact_algebra() {
+        let w = random(8, 12, 1);
+        let b = random(12, 6, 2);
+        let shift = MeanShift { offset: 64.0 };
+        let direct = matmul_f64(&w, &b);
+        let via_shift = mean_shift_gemm(&w, &b, &shift);
+        assert!(
+            direct.approx_eq(&via_shift, 2e-4),
+            "compensated product must match the direct product"
+        );
+    }
+
+    #[test]
+    fn mean_shift_targets_requested_mean() {
+        let w = random(16, 16, 3);
+        let shift = MeanShift::to_target_mean(&w, 256.0);
+        let shifted = shift.apply(&w);
+        assert!((shifted.mean() - 256.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn zero_offset_is_identity() {
+        let w = random(4, 4, 4);
+        let b = random(4, 4, 5);
+        let shift = MeanShift { offset: 0.0 };
+        assert_eq!(shift.apply(&w), w);
+        let d = mean_shift_gemm(&w, &b, &shift);
+        assert!(d.approx_eq(&matmul_f64(&w, &b), 1e-7));
+    }
+
+    #[test]
+    fn permutation_sorts_row_means() {
+        let w = random(10, 8, 6);
+        let perm = RowPermutation::sorting_rows_by(&w, |row| {
+            row.iter().map(|&v| f64::from(v)).sum::<f64>()
+        });
+        let sorted = perm.apply_to_rows(&w);
+        let means: Vec<f64> = (0..sorted.rows())
+            .map(|r| sorted.row(r).iter().map(|&v| f64::from(v)).sum::<f64>())
+            .collect();
+        assert!(means.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn two_layer_composition_is_preserved_exactly() {
+        let w1 = random(12, 8, 7); // hidden x in
+        let w2 = random(5, 12, 8); // out x hidden
+        let x = random(8, 1, 9); // a column input
+        let relu = |v: f32| v.max(0.0);
+
+        // Reference: y = W2 · relu(W1 · x)
+        let mut h = matmul_f64(&w1, &x);
+        h.map_in_place(relu);
+        let y_ref = matmul_f64(&w2, &h);
+
+        // Transformed network.
+        let (w1s, w2s, _) = sorted_layer_pair(&w1, &w2);
+        let mut hs = matmul_f64(&w1s, &x);
+        hs.map_in_place(relu);
+        let y_new = matmul_f64(&w2s, &hs);
+
+        // Bit-identical: only the order of rows changed, every dot product
+        // is the same sequence of operations.
+        for i in 0..y_ref.rows() {
+            assert_eq!(y_ref.get(i, 0).to_bits(), y_new.get(i, 0).to_bits());
+        }
+    }
+
+    #[test]
+    fn vector_permutation_matches_row_permutation() {
+        let w = random(6, 4, 10);
+        let x = random(4, 1, 11);
+        let perm = RowPermutation::sorting_rows_by(&w, |row| f64::from(row[0]));
+        let h = matmul_f64(&w, &x);
+        let h_vec: Vec<f32> = (0..h.rows()).map(|r| h.get(r, 0)).collect();
+        let h_permuted = perm.apply_to_vec(&h_vec);
+        let h_from_sorted = matmul_f64(&perm.apply_to_rows(&w), &x);
+        for (r, &v) in h_permuted.iter().enumerate() {
+            assert_eq!(v.to_bits(), h_from_sorted.get(r, 0).to_bits());
+        }
+    }
+
+    #[test]
+    fn column_permutation_preserves_the_product_up_to_reassociation() {
+        let w = random(6, 10, 20);
+        let x = random(10, 3, 21);
+        let perm = RowPermutation::sorting_cols_by_rms(&w);
+        // W[:,P] · P(X rows) == W · X mathematically (same terms, new order).
+        let w_p = perm.apply_to_cols(&w);
+        let x_p = perm.apply_to_rows(&x);
+        let direct = matmul_f64(&w, &x);
+        let permuted = matmul_f64(&w_p, &x_p);
+        assert!(direct.approx_eq(&permuted, 1e-5));
+    }
+
+    #[test]
+    fn rms_sorting_orders_column_norms() {
+        // Columns with alternating scales get clustered.
+        let w = Matrix::from_fn(4, 8, |r, c| {
+            let scale = if c % 2 == 0 { 100.0 } else { 1.0 };
+            scale * ((r + c) as f32 * 0.1 + 0.1)
+        });
+        let perm = RowPermutation::sorting_cols_by_rms(&w);
+        let sorted = perm.apply_to_cols(&w);
+        let rms = |c: usize| -> f64 {
+            (0..sorted.rows())
+                .map(|r| f64::from(sorted.get(r, c)).powi(2))
+                .sum::<f64>()
+                .sqrt()
+        };
+        for c in 1..sorted.cols() {
+            assert!(rms(c) >= rms(c - 1), "column {c} out of order");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation length mismatch")]
+    fn permutation_length_checked() {
+        let w = random(4, 4, 12);
+        let perm = RowPermutation { perm: vec![0, 1] };
+        perm.apply_to_rows(&w);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn matmul_checks_shapes() {
+        matmul_f64(&random(2, 3, 13), &random(2, 2, 14));
+    }
+}

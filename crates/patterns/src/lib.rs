@@ -1,0 +1,34 @@
+//! # wm-patterns — every input pattern from the paper's §IV
+//!
+//! The paper's experiments vary *only* the input data of a fixed-shape
+//! GEMM. This crate generates those inputs:
+//!
+//! | Paper section | Generator |
+//! |---|---|
+//! | §IV.A value distribution | [`PatternKind::Gaussian`] (σ and μ sweeps), [`PatternKind::ValueSet`] |
+//! | §IV.B bit similarity | [`PatternKind::ConstantRandom`] + [`PatternKind::BitFlips`], [`PatternKind::RandomLsbs`], [`PatternKind::RandomMsbs`] |
+//! | §IV.C placement | [`PatternKind::SortedRows`], [`PatternKind::SortedCols`], [`PatternKind::SortedWithinRows`] (alignment = the GEMM-level B-transposition switch) |
+//! | §IV.D sparsity | [`PatternKind::Sparse`], [`PatternKind::SortedThenSparse`], [`PatternKind::ZeroLsbs`], [`PatternKind::ZeroMsbs`] |
+//!
+//! Every generator:
+//!
+//! 1. draws logical FP32 values from a seeded Gaussian (the paper generates
+//!    FP32 once and converts),
+//! 2. applies its structural transform,
+//! 3. **quantizes to the target dtype** — the matrix a kernel consumes holds
+//!    exactly the values the hardware would see, so the toggle engine counts
+//!    bits of the true encodings.
+//!
+//! Bit-level transforms (flips, LSB/MSB randomization and zeroing) operate
+//! on the dtype's raw encodings via `wm-bits` surgery and decode back.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bit_similarity;
+pub mod distribution;
+pub mod placement;
+pub mod sparsity;
+pub mod spec;
+
+pub use spec::{PatternKind, PatternSpec};

@@ -1,0 +1,236 @@
+//! §IV.C placement transforms: partial sorting.
+//!
+//! The paper defines partial sorting as: *"Sorting n percent means that the
+//! lowest n percent of values are sorted into the first n percent of
+//! indices (row-wise)."* The remaining values keep their original relative
+//! order in the remaining indices.
+//!
+//! Three layouts are studied:
+//!
+//! * **into rows** — indices counted in row-major order over the whole
+//!   matrix ([`sort_into_rows`]);
+//! * **into columns** — indices counted in column-major order
+//!   ([`sort_into_cols`]);
+//! * **within rows** — each row independently partially sorted
+//!   ([`sort_within_rows`]).
+//!
+//! The paper's fourth variant, *sorted and aligned* (Fig. 5b), is not a
+//! different matrix pattern: it is [`sort_into_rows`] on both operands with
+//! the GEMM-level B-transposition enabled, so the kernel multiplies low
+//! values with low values. That switch lives in the kernel configuration.
+
+use wm_matrix::Matrix;
+
+/// Sort the lowest `fraction` of `data`'s values into the leading
+/// `fraction` of its indices (ascending); the remaining values keep their
+/// original relative order in the tail.
+///
+/// `fraction` is clamped to `[0, 1]`. With `fraction == 1.0` the slice is
+/// fully sorted ascending. Ties at the selection boundary are broken by
+/// original index, so the function is fully deterministic.
+pub fn sort_lowest_fraction(data: &mut [f32], fraction: f64) {
+    let n = data.len();
+    let k = (fraction.clamp(0.0, 1.0) * n as f64).round() as usize;
+    if k == 0 || n == 0 {
+        return;
+    }
+    if k >= n {
+        data.sort_unstable_by(f32::total_cmp);
+        return;
+    }
+    // Select the k lowest (value, index) pairs.
+    let mut idx: Vec<u32> = (0..n as u32).collect();
+    idx.select_nth_unstable_by(k - 1, |&i, &j| {
+        data[i as usize]
+            .total_cmp(&data[j as usize])
+            .then(i.cmp(&j))
+    });
+    let mut chosen = vec![false; n];
+    for &i in &idx[..k] {
+        chosen[i as usize] = true;
+    }
+    // Gather: chosen values sorted ascending, the rest in original order.
+    let mut low: Vec<f32> = Vec::with_capacity(k);
+    let mut rest: Vec<f32> = Vec::with_capacity(n - k);
+    for (i, &v) in data.iter().enumerate() {
+        if chosen[i] {
+            low.push(v);
+        } else {
+            rest.push(v);
+        }
+    }
+    low.sort_unstable_by(f32::total_cmp);
+    data[..k].copy_from_slice(&low);
+    data[k..].copy_from_slice(&rest);
+}
+
+/// Partially sort a matrix in row-major index order (Fig. 5a/5b pattern).
+pub fn sort_into_rows(m: &mut Matrix, fraction: f64) {
+    sort_lowest_fraction(m.as_mut_slice(), fraction);
+}
+
+/// Partially sort a matrix in column-major index order (Fig. 5c pattern):
+/// the lowest values fill the leading *columns*.
+pub fn sort_into_cols(m: &mut Matrix, fraction: f64) {
+    let mut t = m.transposed();
+    sort_lowest_fraction(t.as_mut_slice(), fraction);
+    *m = t.transposed();
+}
+
+/// Partially sort each row independently (Fig. 5d pattern).
+pub fn sort_within_rows(m: &mut Matrix, fraction: f64) {
+    for r in 0..m.rows() {
+        sort_lowest_fraction(m.row_mut(r), fraction);
+    }
+}
+
+/// Count of adjacent inversions (`data[i] > data[i+1]`) — a sortedness
+/// measure used by tests and the optimizer's transform search.
+pub fn adjacent_inversions(data: &[f32]) -> usize {
+    data.windows(2).filter(|w| w[0] > w[1]).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wm_bits::Xoshiro256pp;
+    use wm_numerics::Gaussian;
+
+    fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let mut g = Gaussian::new(0.0, 210.0);
+        Matrix::from_fn(rows, cols, |_, _| g.sample_f32(&mut rng))
+    }
+
+    fn sorted_copy(values: &[f32]) -> Vec<f32> {
+        let mut v = values.to_vec();
+        v.sort_unstable_by(f32::total_cmp);
+        v
+    }
+
+    #[test]
+    fn zero_fraction_is_identity() {
+        let base = random_matrix(8, 8, 1);
+        let mut m = base.clone();
+        sort_into_rows(&mut m, 0.0);
+        assert_eq!(m, base);
+        sort_into_cols(&mut m, 0.0);
+        assert_eq!(m, base);
+        sort_within_rows(&mut m, 0.0);
+        assert_eq!(m, base);
+    }
+
+    #[test]
+    fn full_fraction_sorts_completely() {
+        let mut m = random_matrix(8, 8, 2);
+        sort_into_rows(&mut m, 1.0);
+        assert_eq!(adjacent_inversions(m.as_slice()), 0);
+    }
+
+    #[test]
+    fn sorting_preserves_the_multiset() {
+        let base = random_matrix(16, 16, 3);
+        for fraction in [0.25, 0.5, 0.75, 1.0] {
+            let mut m = base.clone();
+            sort_into_rows(&mut m, fraction);
+            assert_eq!(sorted_copy(m.as_slice()), sorted_copy(base.as_slice()));
+        }
+    }
+
+    #[test]
+    fn partial_sort_prefix_is_sorted_and_low() {
+        let base = random_matrix(16, 16, 4);
+        let mut m = base.clone();
+        sort_into_rows(&mut m, 0.5);
+        let n = m.len();
+        let k = n / 2;
+        let prefix = &m.as_slice()[..k];
+        // Prefix ascending.
+        assert_eq!(adjacent_inversions(prefix), 0);
+        // Prefix is exactly the k lowest values of the original.
+        assert_eq!(prefix.to_vec(), sorted_copy(base.as_slice())[..k].to_vec());
+        // Tail preserves original relative order of the remaining values.
+        let tail: Vec<f32> = m.as_slice()[k..].to_vec();
+        let threshold = prefix[k - 1];
+        let expected_tail: Vec<f32> = {
+            // Values not selected, in original order. Reconstruct via the
+            // same selection rule: k lowest with index tie-break.
+            let mut idx: Vec<usize> = (0..n).collect();
+            idx.sort_by(|&i, &j| {
+                base.as_slice()[i]
+                    .total_cmp(&base.as_slice()[j])
+                    .then(i.cmp(&j))
+            });
+            let chosen: std::collections::HashSet<usize> = idx[..k].iter().copied().collect();
+            (0..n)
+                .filter(|i| !chosen.contains(i))
+                .map(|i| base.as_slice()[i])
+                .collect()
+        };
+        assert_eq!(tail, expected_tail);
+        assert!(tail.iter().all(|&v| v >= threshold));
+    }
+
+    #[test]
+    fn column_sort_means_columns_ascend() {
+        let mut m = random_matrix(8, 8, 5);
+        sort_into_cols(&mut m, 1.0);
+        // Column-major full sort: walking down column 0 then column 1 etc.
+        // must be globally ascending.
+        let mut prev = f32::NEG_INFINITY;
+        for c in 0..m.cols() {
+            for r in 0..m.rows() {
+                assert!(m.get(r, c) >= prev);
+                prev = m.get(r, c);
+            }
+        }
+    }
+
+    #[test]
+    fn within_rows_sorts_rows_independently() {
+        let base = random_matrix(8, 8, 6);
+        let mut m = base.clone();
+        sort_within_rows(&mut m, 1.0);
+        for r in 0..m.rows() {
+            assert_eq!(adjacent_inversions(m.row(r)), 0);
+            assert_eq!(sorted_copy(m.row(r)), sorted_copy(base.row(r)));
+        }
+        // But the whole matrix is generally NOT globally sorted.
+        assert!(adjacent_inversions(m.as_slice()) > 0);
+    }
+
+    #[test]
+    fn inversions_decrease_monotonically_in_fraction() {
+        let base = random_matrix(16, 16, 7);
+        let mut last = usize::MAX;
+        for fraction in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let mut m = base.clone();
+            sort_into_rows(&mut m, fraction);
+            let inv = adjacent_inversions(m.as_slice());
+            assert!(
+                inv <= last,
+                "inversions rose from {last} to {inv} at fraction {fraction}"
+            );
+            last = inv;
+        }
+    }
+
+    #[test]
+    fn fraction_is_clamped() {
+        let base = random_matrix(4, 4, 8);
+        let mut m = base.clone();
+        sort_into_rows(&mut m, -3.0);
+        assert_eq!(m, base);
+        sort_into_rows(&mut m, 7.0);
+        assert_eq!(adjacent_inversions(m.as_slice()), 0);
+    }
+
+    #[test]
+    fn tiny_slices_are_safe() {
+        let mut empty: [f32; 0] = [];
+        sort_lowest_fraction(&mut empty, 0.5);
+        let mut one = [3.0f32];
+        sort_lowest_fraction(&mut one, 1.0);
+        assert_eq!(one, [3.0]);
+    }
+}

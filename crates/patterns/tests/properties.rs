@@ -1,0 +1,137 @@
+//! Property-based tests for pattern-generator invariants.
+
+use proptest::prelude::*;
+use wm_bits::Xoshiro256pp;
+use wm_numerics::{DType, Quantizer};
+use wm_patterns::placement::{adjacent_inversions, sort_lowest_fraction};
+use wm_patterns::{PatternKind, PatternSpec};
+
+fn arb_dtype() -> impl Strategy<Value = DType> {
+    prop::sample::select(DType::ALL.to_vec())
+}
+
+fn arb_kind() -> impl Strategy<Value = PatternKind> {
+    prop_oneof![
+        Just(PatternKind::Gaussian),
+        (1usize..64).prop_map(|n| PatternKind::ValueSet { set_size: n }),
+        Just(PatternKind::ConstantRandom),
+        (0.0f64..=1.0).prop_map(|p| PatternKind::BitFlips { probability: p }),
+        (0u32..=32).prop_map(|k| PatternKind::RandomLsbs { count: k }),
+        (0u32..=32).prop_map(|k| PatternKind::RandomMsbs { count: k }),
+        (0.0f64..=1.0).prop_map(|f| PatternKind::SortedRows { fraction: f }),
+        (0.0f64..=1.0).prop_map(|f| PatternKind::SortedCols { fraction: f }),
+        (0.0f64..=1.0).prop_map(|f| PatternKind::SortedWithinRows { fraction: f }),
+        (0.0f64..=1.0).prop_map(|s| PatternKind::Sparse { sparsity: s }),
+        (0.0f64..=1.0).prop_map(|s| PatternKind::SortedThenSparse { sparsity: s }),
+        (0u32..=32).prop_map(|k| PatternKind::ZeroLsbs { count: k }),
+        (0u32..=32).prop_map(|k| PatternKind::ZeroMsbs { count: k }),
+        Just(PatternKind::Zeros),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_generator_is_deterministic_and_quantized(
+        kind in arb_kind(),
+        dtype in arb_dtype(),
+        seed: u64,
+    ) {
+        let spec = PatternSpec::new(kind);
+        let a = spec.generate(dtype, 12, 16, &mut Xoshiro256pp::seed_from_u64(seed));
+        let b = spec.generate(dtype, 12, 16, &mut Xoshiro256pp::seed_from_u64(seed));
+        // Bit-level equality (bit-similarity patterns legitimately produce
+        // NaNs, for which PartialEq would be false).
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits(), "same seed must reproduce");
+        }
+        let q = Quantizer::new(dtype);
+        for &v in a.as_slice() {
+            // Quantization must be a fixed point — except NaN payloads,
+            // where re-encoding quietizes signaling NaNs (documented in
+            // wm_patterns::bit_similarity).
+            if !v.is_nan() {
+                prop_assert_eq!(q.quantize(v).to_bits(), v.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn sparsity_is_exact_for_every_requested_level(
+        s in 0.0f64..=1.0,
+        dtype in arb_dtype(),
+        seed: u64,
+    ) {
+        let spec = PatternSpec::new(PatternKind::Sparse { sparsity: s });
+        let m = spec.generate(dtype, 16, 16, &mut Xoshiro256pp::seed_from_u64(seed));
+        let expected = (s * 256.0).round() / 256.0;
+        // Gaussian fill can itself produce zeros for INT8 (values < 0.5
+        // round to 0), so the zero fraction can exceed the request.
+        prop_assert!(m.zero_fraction() >= expected - 1e-9);
+        if dtype != DType::Int8 {
+            prop_assert!((m.zero_fraction() - expected).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn partial_sort_preserves_multiset(values in prop::collection::vec(-1e4f32..1e4, 1..128), f in 0.0f64..=1.0) {
+        let mut sorted = values.clone();
+        sort_lowest_fraction(&mut sorted, f);
+        let canon = |v: &[f32]| {
+            let mut c: Vec<u32> = v.iter().map(|x| x.to_bits()).collect();
+            c.sort_unstable();
+            c
+        };
+        prop_assert_eq!(canon(&sorted), canon(&values));
+    }
+
+    #[test]
+    fn sort_fraction_monotonically_reduces_inversions(
+        values in prop::collection::vec(-1e4f32..1e4, 2..96),
+    ) {
+        let mut last = usize::MAX;
+        for step in 0..=4 {
+            let f = step as f64 / 4.0;
+            let mut v = values.clone();
+            sort_lowest_fraction(&mut v, f);
+            let inv = adjacent_inversions(&v);
+            prop_assert!(inv <= last, "inversions rose at f={f}");
+            last = inv;
+        }
+        prop_assert_eq!(last, 0, "full sort must have zero inversions");
+    }
+
+    #[test]
+    fn prefix_of_partial_sort_is_the_k_smallest(
+        values in prop::collection::vec(-1e4f32..1e4, 4..64),
+        f in 0.0f64..=1.0,
+    ) {
+        let mut v = values.clone();
+        sort_lowest_fraction(&mut v, f);
+        let k = (f * values.len() as f64).round() as usize;
+        let mut all = values.clone();
+        all.sort_by(f32::total_cmp);
+        for i in 0..k {
+            prop_assert_eq!(v[i].to_bits(), all[i].to_bits(), "prefix position {}", i);
+        }
+    }
+
+    #[test]
+    fn bit_zeroing_never_raises_hamming_weight(
+        dtype in arb_dtype(),
+        k in 0u32..=32,
+        seed: u64,
+    ) {
+        let q = Quantizer::new(dtype);
+        let base = PatternSpec::new(PatternKind::Gaussian)
+            .generate(dtype, 8, 8, &mut Xoshiro256pp::seed_from_u64(seed));
+        for (kind, _) in [(PatternKind::ZeroLsbs { count: k }, 0), (PatternKind::ZeroMsbs { count: k }, 1)] {
+            let m = PatternSpec::new(kind).generate(dtype, 8, 8, &mut Xoshiro256pp::seed_from_u64(seed));
+            let hw = |mm: &wm_matrix::Matrix| -> u64 {
+                mm.as_slice().iter().map(|&v| u64::from(q.encode(v).count_ones())).sum()
+            };
+            prop_assert!(hw(&m) <= hw(&base), "{kind:?}");
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! # wm-telemetry — the measurement pipeline (DCGM + clocks + VM effects)
+//!
+//! The paper's methodology (§III) is part of what we reproduce:
+//!
+//! * power is sampled **every 100 ms** with NVIDIA DCGM tooling;
+//! * the **first 500 ms are trimmed** to remove warmup;
+//! * elapsed time comes from C++ `high_resolution_clock`;
+//! * re-provisioning the Azure VM shifted measured power by **up to
+//!   10 W** ("process variation across GPUs"), so all experiments ran on
+//!   one instance;
+//! * results average **10 seeds** with 10k–20k iterations each.
+//!
+//! This crate simulates that pipeline on top of a steady-state
+//! [`wm_power::PowerBreakdown`]: a warmup ramp toward the steady power,
+//! Gaussian sensor noise per sample, a per-[`VmInstance`] power offset,
+//! and summary statistics over the retained samples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod sampler;
+pub mod vm;
+
+pub use sampler::{measure, Measurement, MeasurementConfig, PowerSample, PowerTrace};
+pub use vm::VmInstance;

@@ -1,0 +1,53 @@
+//! Cross-GPU survey: the paper's Fig. 7 as an interactive report.
+//!
+//! ```text
+//! cargo run --release --example cross_gpu_survey
+//! ```
+//!
+//! Runs a compact pattern battery on all four catalog GPUs (V100, A100,
+//! H100, RTX 6000) and prints absolute power plus the relative swing each
+//! device exhibits — reproducing the paper's observation that trends hold
+//! across generations while the older RTX 6000 moves less.
+
+use wattmul_repro::analysis::Table;
+use wattmul_repro::prelude::*;
+
+fn main() {
+    let dtype = DType::Fp16Tensor;
+    let battery: Vec<(&str, PatternSpec)> = vec![
+        ("random", PatternSpec::new(PatternKind::Gaussian)),
+        ("sorted", PatternSpec::new(PatternKind::SortedRows { fraction: 1.0 })),
+        ("sparse-50", PatternSpec::new(PatternKind::Sparse { sparsity: 0.5 })),
+        ("large-mean", PatternSpec::new(PatternKind::Gaussian).with_mean(256.0).with_std(1.0)),
+        ("zeros", PatternSpec::new(PatternKind::Zeros)),
+    ];
+
+    let mut headers = vec!["GPU".to_string(), "dim".to_string()];
+    headers.extend(battery.iter().map(|(n, _)| n.to_string()));
+    headers.push("swing".to_string());
+    let mut table = Table::new(headers);
+
+    for gpu in [v100_sxm2(), a100_pcie(), h100_sxm5(), rtx6000()] {
+        // The paper runs the RTX 6000 at 512 (it throttles at 2048).
+        let dim = if gpu.architecture == "Turing" { 512 } else { 1024 };
+        let lab = PowerLab::new(gpu.clone());
+        let mut row = vec![gpu.name.to_string(), dim.to_string()];
+        let mut powers = Vec::new();
+        for (_, spec) in &battery {
+            let r = lab.run(&RunRequest::new(dtype, dim, *spec).with_seeds(2));
+            powers.push(r.power.mean);
+            row.push(format!("{:.0} W", r.power.mean));
+        }
+        let max = powers.iter().cloned().fold(f64::MIN, f64::max);
+        let min = powers.iter().cloned().fold(f64::MAX, f64::min);
+        row.push(format!("{:.0}%", (max - min) / max * 100.0));
+        table.push_row(row);
+    }
+
+    println!("{}", table.to_markdown());
+    println!(
+        "Every device shows the same ordering (random > sparse > sorted > zeros);\n\
+         the RTX 6000's swing is visibly damped — the paper attributes this to \n\
+         its older design (GDDR6, lower TDP)."
+    );
+}

@@ -1,0 +1,85 @@
+//! Input-aware DVFS: the optimal clock depends on the data.
+//!
+//! ```text
+//! cargo run --release --example dvfs_scheduler [deadline_us]
+//! ```
+//!
+//! Standard GPU governors pick clocks from load and temperature. The paper
+//! implies a third input: the *data*. Since dynamic power varies with the
+//! input pattern (up to ~40%), the energy-minimal clock
+//! `s* ≈ cbrt(P_static / 2·P_dyn)` varies too — low-activity inputs should
+//! run *faster* for minimum energy. This example plans per-pattern clocks
+//! with `wm-optimizer::plan_dvfs` and prints the energy savings, with and
+//! without a latency deadline.
+
+use wattmul_repro::optimizer::plan_dvfs;
+use wattmul_repro::prelude::*;
+use wm_bits::Xoshiro256pp;
+use wm_kernels::{simulate, GemmInputs};
+use wm_power::{evaluate, PowerBreakdown};
+
+fn breakdown(gpu: &GpuSpec, kind: PatternKind, dim: usize) -> PowerBreakdown {
+    let dtype = DType::Fp16Tensor;
+    let mut root = Xoshiro256pp::seed_from_u64(17);
+    let spec = PatternSpec::new(kind);
+    let a = spec.generate(dtype, dim, dim, &mut root.fork(0));
+    let b = spec.generate(dtype, dim, dim, &mut root.fork(1));
+    let cfg = GemmConfig::square(dim, dtype)
+        .with_sampling(Sampling::Lattice { rows: 16, cols: 16 });
+    evaluate(
+        gpu,
+        &simulate(
+            &GemmInputs {
+                a: &a,
+                b_stored: &b,
+                c: None,
+            },
+            &cfg,
+        )
+        .activity,
+    )
+}
+
+fn main() {
+    let deadline_us: Option<f64> = std::env::args().nth(1).and_then(|s| s.parse().ok());
+    let gpu = a100_pcie();
+    let dim = 1024;
+    let patterns: Vec<(&str, PatternKind)> = vec![
+        ("random Gaussian", PatternKind::Gaussian),
+        ("50% sparse", PatternKind::Sparse { sparsity: 0.5 }),
+        ("fully sorted", PatternKind::SortedRows { fraction: 1.0 }),
+        ("all zeros", PatternKind::Zeros),
+    ];
+
+    println!(
+        "{} — {dim}x{dim} FP16-T GEMM, per-iteration energy planning",
+        gpu.name
+    );
+    if let Some(d) = deadline_us {
+        println!("deadline: {d:.1} us per iteration");
+    }
+    println!(
+        "\n{:<18} {:>8} {:>10} {:>11} {:>12} {:>10}",
+        "input pattern", "clock", "power (W)", "t_iter (us)", "energy (uJ)", "saved"
+    );
+    for (label, kind) in patterns {
+        let b = breakdown(&gpu, kind, dim);
+        let plan = plan_dvfs(&gpu, &b, deadline_us.map(|d| d * 1e-6));
+        println!(
+            "{:<18} {:>7.0}% {:>10.1} {:>11.1} {:>12.1} {:>9.1}%{}",
+            label,
+            plan.clock_scale * 100.0,
+            plan.power_w,
+            plan.t_iter_s * 1e6,
+            plan.energy_per_iter_j * 1e6,
+            plan.energy_saving() * 100.0,
+            if plan.deadline_bound { "  (deadline-bound)" } else { "" }
+        );
+    }
+
+    println!(
+        "\nReading: lower-activity inputs get *higher* optimal clocks — their \
+         dynamic power is smaller, so the static-energy term dominates sooner. \
+         A data-aware governor can bank energy that load-based governors cannot see."
+    );
+}

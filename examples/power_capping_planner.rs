@@ -1,0 +1,78 @@
+//! Power-capping planner: the paper's "data pruning for power capping"
+//! application sketch.
+//!
+//! ```text
+//! cargo run --release --example power_capping_planner [cap_watts]
+//! ```
+//!
+//! Datacenters cap GPU power to ride through grid events. Instead of
+//! clock throttling (which slows everything), this planner finds the
+//! minimum *input sparsity* that keeps a GEMM under the cap, for each
+//! zeroing strategy, and reports the numerical error each one costs.
+
+use wattmul_repro::optimizer::{design_sparsity, SparsityStrategy};
+use wattmul_repro::prelude::*;
+use wm_bits::Xoshiro256pp;
+use wm_matrix::Matrix;
+use wm_numerics::{Gaussian, Quantizer};
+
+fn main() {
+    let cap_watts: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(250.0);
+    let gpu = a100_pcie();
+    let dtype = DType::Fp16Tensor;
+    let dim = 1024;
+
+    let mut rng = Xoshiro256pp::seed_from_u64(42);
+    let mut g = Gaussian::new(0.0, 210.0);
+    let q = Quantizer::new(dtype);
+    let w = Matrix::from_fn(dim, dim, |_, _| q.quantize(g.sample_f32(&mut rng)));
+
+    let dense = design_sparsity(&w, dtype, &gpu, SparsityStrategy::Magnitude, 0.0, 7);
+    println!(
+        "GPU {} — dense {dim}x{dim} {dtype} GEMM draws {:.1} W; cap = {cap_watts:.0} W\n",
+        gpu.name, dense.baseline_power_w
+    );
+    if dense.baseline_power_w <= cap_watts {
+        println!("already under the cap; nothing to do");
+        return;
+    }
+
+    println!(
+        "{:<16} {:>12} {:>12} {:>16}",
+        "strategy", "sparsity", "power (W)", "rel. L2 error"
+    );
+    for strategy in SparsityStrategy::ALL {
+        // Bisect the minimum sparsity that satisfies the cap.
+        let (mut lo, mut hi) = (0.0f64, 1.0f64);
+        let mut best = None;
+        for _ in 0..8 {
+            let mid = 0.5 * (lo + hi);
+            let r = design_sparsity(&w, dtype, &gpu, strategy, mid, 7);
+            if r.power_w <= cap_watts {
+                best = Some(r);
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        match best {
+            Some(r) => println!(
+                "{:<16} {:>11.1}% {:>12.1} {:>16.4}",
+                strategy.label(),
+                r.sparsity * 100.0,
+                r.power_w,
+                r.relative_error
+            ),
+            None => println!("{:<16} cannot reach the cap by sparsity alone", strategy.label()),
+        }
+    }
+
+    println!(
+        "\nReading: magnitude pruning meets the cap with the least numerical \
+         damage; hamming-weight pruning meets it at lower sparsity (it removes \
+         the most switching activity per zeroed element) at higher error."
+    );
+}

@@ -1,0 +1,50 @@
+//! Quickstart: measure how one input pattern changes GEMM power.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Reproduces the paper's headline in a few lines: the same 1024x1024
+//! FP16-tensor GEMM, identical shapes and kernel, drawing visibly
+//! different power depending only on the input data.
+
+use wattmul_repro::prelude::*;
+
+fn main() {
+    let lab = PowerLab::new(a100_pcie());
+    let dim = 1024;
+    let dtype = DType::Fp16Tensor;
+
+    let patterns: Vec<(&str, PatternSpec)> = vec![
+        ("random Gaussian (paper baseline)", PatternSpec::new(PatternKind::Gaussian)),
+        ("fully sorted + aligned", PatternSpec::new(PatternKind::SortedRows { fraction: 1.0 })),
+        ("50% sparse", PatternSpec::new(PatternKind::Sparse { sparsity: 0.5 })),
+        ("large mean (mu=256, sigma=1)",
+            PatternSpec::new(PatternKind::Gaussian).with_mean(256.0).with_std(1.0)),
+        ("all zeros", PatternSpec::new(PatternKind::Zeros)),
+    ];
+
+    println!("GPU: {} (TDP {} W)", lab.gpu().name, lab.gpu().tdp_watts);
+    println!("GEMM: {dim}x{dim} {dtype}, same kernel and shapes for every row\n");
+    println!("{:<34} {:>10} {:>8} {:>12}", "input pattern", "power (W)", "±σ", "vs baseline");
+
+    let baseline = lab
+        .run(&RunRequest::new(dtype, dim, patterns[0].1).with_seeds(3))
+        .power
+        .mean;
+    for (label, spec) in patterns {
+        let r = lab.run(&RunRequest::new(dtype, dim, spec).with_seeds(3));
+        println!(
+            "{:<34} {:>10.1} {:>8.1} {:>+11.1}%",
+            label,
+            r.power.mean,
+            r.power.std,
+            (r.power.mean - baseline) / baseline * 100.0
+        );
+    }
+
+    println!(
+        "\nOnly the matrix *values* changed — runtime stayed within microseconds \
+         (input-independent), but power moved. That is the paper's core result."
+    );
+}

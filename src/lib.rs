@@ -1,0 +1,39 @@
+//! # wattmul — reproduction of *Input-Dependent Power Usage in GPUs* (SC 2024)
+//!
+//! This is the umbrella crate for the `wattmul` workspace: it re-exports the
+//! public API of every member crate so downstream users can depend on a
+//! single package. See `README.md` for the architecture overview and
+//! `DESIGN.md` for the full system inventory and per-experiment index.
+//!
+//! The short version: the paper shows that changing *only the input data*
+//! of a GEMM — value distribution, bit similarity, placement, sparsity —
+//! moves GPU power by up to ~38%. This workspace rebuilds that entire
+//! study in Rust on top of a switching-activity GPU power simulator:
+//!
+//! * [`bits`] — Hamming/alignment/toggle primitives and the deterministic PRNG.
+//! * [`numerics`] — FP32/FP16/INT8 codecs and Gaussian sampling.
+//! * [`matrix`] — dense matrices with layout and tile iteration.
+//! * [`patterns`] — every §IV input-pattern generator.
+//! * [`gpu`] — GPU architecture models (A100, V100, H100, RTX 6000).
+//! * [`kernels`] — CUTLASS-like tiled GEMM with an exact-per-sample activity engine.
+//! * [`power`] — activity → watts mapping with per-component coefficients.
+//! * [`telemetry`] — DCGM-like sampling, warmup trim, VM process variation.
+//! * [`analysis`] — statistics and the Fig. 8 alignment/Hamming analyses.
+//! * [`core`] — the [`core::PowerLab`] façade tying it all together.
+//! * [`experiments`] — one runner per paper figure plus the `wattmul` CLI.
+//! * [`optimizer`] — the paper's §V future-work directions, implemented.
+
+pub use wm_analysis as analysis;
+pub use wm_bits as bits;
+pub use wm_core as core;
+pub use wm_experiments as experiments;
+pub use wm_gpu as gpu;
+pub use wm_kernels as kernels;
+pub use wm_matrix as matrix;
+pub use wm_numerics as numerics;
+pub use wm_optimizer as optimizer;
+pub use wm_patterns as patterns;
+pub use wm_power as power;
+pub use wm_telemetry as telemetry;
+
+pub use wm_core::prelude;

@@ -1,0 +1,131 @@
+//! §III methodology invariants through the public API: the testbed
+//! behaviours the paper reports as context for every figure.
+
+use wattmul_repro::prelude::*;
+use wm_gpu::{iteration_time, GemmDims};
+use wm_telemetry::VmInstance;
+
+#[test]
+fn a100_utilization_is_high_at_2048() {
+    // "During our experiments, the A100 GPU averaged 98.5% utilization."
+    let rt = iteration_time(&a100_pcie(), GemmDims::square(2048), DType::Fp16Tensor);
+    assert!(
+        rt.duty > 0.95 && rt.duty <= 1.0,
+        "duty {} should be near the paper's 98.5%",
+        rt.duty
+    );
+}
+
+#[test]
+fn runtime_is_identical_across_input_patterns() {
+    // Fig. 1's premise: the roofline depends only on (spec, dims, dtype).
+    let lab = PowerLab::new(a100_pcie());
+    let mk = |kind| {
+        lab.run(
+            &RunRequest::new(DType::Fp16Tensor, 256, PatternSpec::new(kind))
+                .with_seeds(1)
+                .with_iterations(200_000)
+                .with_sampling(Sampling::Lattice { rows: 8, cols: 8 }),
+        )
+        .breakdown
+        .t_iter_s
+    };
+    let base = mk(PatternKind::Gaussian);
+    for kind in [
+        PatternKind::Zeros,
+        PatternKind::Sparse { sparsity: 0.5 },
+        PatternKind::SortedRows { fraction: 1.0 },
+    ] {
+        assert_eq!(mk(kind), base, "pre-telemetry runtime must be identical");
+    }
+}
+
+#[test]
+fn vm_shifts_stay_within_the_papers_ten_watts() {
+    // "Power measurements occasionally shifted by up to 10W when the VM
+    // instance changed."
+    let gpu = a100_pcie();
+    let offsets: Vec<f64> = (0..24)
+        .map(|id| VmInstance::provision(&gpu, id).offset_w)
+        .collect();
+    let max_shift = offsets
+        .iter()
+        .flat_map(|a| offsets.iter().map(move |b| (a - b).abs()))
+        .fold(0.0f64, f64::max);
+    assert!(
+        max_shift > 4.0,
+        "process variation too small to matter: {max_shift}"
+    );
+    assert!(
+        max_shift < 25.0,
+        "process variation implausibly large: {max_shift}"
+    );
+}
+
+#[test]
+fn the_2048_choice_is_the_largest_non_throttling_power_of_two() {
+    let gpu = a100_pcie();
+    let lab = PowerLab::new(gpu);
+    let throttles = |dim: usize| {
+        lab.run(
+            &RunRequest::new(
+                DType::Fp16Tensor,
+                dim,
+                PatternSpec::new(PatternKind::Gaussian),
+            )
+            .with_seeds(1)
+            .with_sampling(Sampling::Lattice { rows: 8, cols: 8 }),
+        )
+        .throttled
+    };
+    assert!(!throttles(1024), "1024 must not throttle");
+    assert!(!throttles(2048), "2048 must not throttle (the paper's pick)");
+    assert!(throttles(4096), "4096 must throttle");
+}
+
+#[test]
+fn rtx6000_throttles_at_2048_so_the_paper_used_512() {
+    let lab = PowerLab::new(rtx6000());
+    let run = |dim: usize| {
+        lab.run(
+            &RunRequest::new(
+                DType::Fp16Tensor,
+                dim,
+                PatternSpec::new(PatternKind::Gaussian),
+            )
+            .with_seeds(1)
+            .with_sampling(Sampling::Lattice { rows: 8, cols: 8 }),
+        )
+    };
+    assert!(run(2048).throttled);
+    assert!(!run(512).throttled);
+}
+
+#[test]
+fn warmup_trim_removes_the_ramp() {
+    // Telemetry means must not be depressed by the warmup ramp: compare
+    // two measurement configs, with and without trimming.
+    use wm_telemetry::{measure, MeasurementConfig};
+    let gpu = a100_pcie();
+    let lab = PowerLab::new(gpu.clone());
+    let r = lab.run(
+        &RunRequest::new(DType::Fp32, 256, PatternSpec::new(PatternKind::Gaussian))
+            .with_seeds(1)
+            .with_sampling(Sampling::Lattice { rows: 8, cols: 8 }),
+    );
+    let trimmed_cfg = MeasurementConfig::default();
+    let untrimmed_cfg = MeasurementConfig {
+        warmup_trim_s: 0.0,
+        ..trimmed_cfg
+    };
+    let vm = VmInstance::provision(&gpu, 0);
+    let iterations = ((3.0 / r.breakdown.t_iter_s).ceil()) as u64;
+    let (_, trimmed) = measure(&gpu, &r.breakdown, iterations, &vm, 5, &trimmed_cfg);
+    let (_, untrimmed) = measure(&gpu, &r.breakdown, iterations, &vm, 5, &untrimmed_cfg);
+    assert!(
+        trimmed.mean_power_w > untrimmed.mean_power_w + 1.0,
+        "trimmed {} should exceed untrimmed {} (ramp included)",
+        trimmed.mean_power_w,
+        untrimmed.mean_power_w
+    );
+}
