@@ -278,8 +278,10 @@ mod tests {
         assert!(r.power.mean > lab.gpu().idle_watts);
         assert!(r.power.mean < lab.gpu().tdp_watts);
         assert!(r.runtime.mean > 0.0);
-        assert!((r.energy_per_iter.mean - r.power.mean * r.runtime.mean).abs()
-            < 0.02 * r.energy_per_iter.mean);
+        assert!(
+            (r.energy_per_iter.mean - r.power.mean * r.runtime.mean).abs()
+                < 0.02 * r.energy_per_iter.mean
+        );
     }
 
     #[test]

@@ -11,9 +11,9 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 use wm_experiments::{
-    ext_bf16, ext_gemv, fig1_runtime, fig2_energy, fig3_distribution, fig4_bit_similarity, fig5_placement,
-    fig6_sparsity, fig7_cross_gpu, fig8_alignment, methodology, write_figure, FigureResult,
-    RunProfile,
+    ext_bf16, ext_gemv, fig1_runtime, fig2_energy, fig3_distribution, fig4_bit_similarity,
+    fig5_placement, fig6_sparsity, fig7_cross_gpu, fig8_alignment, methodology, write_figure,
+    FigureResult, RunProfile,
 };
 
 struct Experiment {

@@ -1,0 +1,15 @@
+//! Shared imports for the figure modules.
+//!
+//! Every figure runner uses the same core vocabulary — the sweep machinery
+//! from [`crate::runner`], the run profile, the A100 primary testbed, and
+//! the dtype/pattern types. Re-exporting it once here keeps the figure
+//! modules' import blocks down to `use crate::common::*;` plus whatever is
+//! genuinely figure-specific (extra devices, analysis helpers).
+
+pub(crate) use crate::profile::RunProfile;
+pub(crate) use crate::runner::{
+    collect_series, execute, FigureResult, Metric, PointStat, Series, SweepPoint,
+};
+pub(crate) use wm_gpu::spec::a100_pcie;
+pub(crate) use wm_numerics::DType;
+pub(crate) use wm_patterns::{PatternKind, PatternSpec};

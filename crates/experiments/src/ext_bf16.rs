@@ -10,11 +10,7 @@
 //! * **LSB zeroing** (Fig. 6c family) strips mantissa — BF16 runs out of
 //!   mantissa after 7 bits, so its curve saturates earlier.
 
-use crate::profile::RunProfile;
-use crate::runner::{collect_series, execute, FigureResult, Metric, SweepPoint};
-use wm_gpu::spec::a100_pcie;
-use wm_numerics::DType;
-use wm_patterns::{PatternKind, PatternSpec};
+use crate::common::*;
 
 const DTYPES: [DType; 2] = [DType::Fp16Tensor, DType::Bf16];
 
@@ -59,7 +55,8 @@ pub fn run_zero_lsbs(profile: &RunProfile) -> FigureResult {
             points.push(SweepPoint {
                 series: dtype.label().to_string(),
                 x: f64::from(k),
-                request: profile.request(dtype, PatternSpec::new(PatternKind::ZeroLsbs { count: k })),
+                request: profile
+                    .request(dtype, PatternSpec::new(PatternKind::ZeroLsbs { count: k })),
                 gpu: a100_pcie(),
                 metric: Metric::PowerW,
             });

@@ -10,8 +10,8 @@
 
 use crate::profile::RunProfile;
 use crate::runner::{FigureResult, PointStat, Series};
-use rayon::prelude::*;
 use wm_bits::Xoshiro256pp;
+use wm_fleet::parallel_map;
 use wm_gpu::spec::a100_pcie;
 use wm_kernels::{simulate_gemv, GemvConfig};
 use wm_numerics::{DType, Gaussian};
@@ -67,13 +67,10 @@ fn sweep_figure(
         .iter()
         .flat_map(|&dt| xs.iter().map(move |&x| (dt, x)))
         .collect();
-    let results: Vec<(DType, PointStat)> = jobs
-        .into_par_iter()
-        .map(|(dtype, x)| {
-            let (y, yerr) = gemv_power(dtype, profile.dim, kind(x), profile.seeds);
-            (dtype, PointStat { x, y, yerr })
-        })
-        .collect();
+    let results: Vec<(DType, PointStat)> = parallel_map(jobs, |(dtype, x)| {
+        let (y, yerr) = gemv_power(dtype, profile.dim, kind(x), profile.seeds);
+        (dtype, PointStat { x, y, yerr })
+    });
     let series = DType::ALL
         .iter()
         .map(|&dt| Series {

@@ -5,11 +5,7 @@
 //! "a magnitude smaller" than the values. We run the Gaussian baseline for
 //! each dtype and report the per-iteration runtime in microseconds.
 
-use crate::profile::RunProfile;
-use crate::runner::{collect_series, execute, FigureResult, Metric, SweepPoint};
-use wm_gpu::spec::a100_pcie;
-use wm_numerics::DType;
-use wm_patterns::{PatternKind, PatternSpec};
+use crate::common::*;
 
 /// Execute Fig. 1.
 pub fn run(profile: &RunProfile) -> Vec<FigureResult> {
@@ -60,14 +56,8 @@ mod tests {
         assert_eq!(figs.len(), 1);
         let fig = &figs[0];
         assert_eq!(fig.series.len(), 4);
-        let by_name = |n: &str| -> f64 {
-            fig.series
-                .iter()
-                .find(|s| s.name == n)
-                .unwrap()
-                .points[0]
-                .y
-        };
+        let by_name =
+            |n: &str| -> f64 { fig.series.iter().find(|s| s.name == n).unwrap().points[0].y };
         // FP32 slowest; FP16-T faster than FP16 (tensor cores).
         assert!(by_name("FP32") > by_name("FP16"));
         assert!(by_name("FP16") > by_name("FP16-T"));

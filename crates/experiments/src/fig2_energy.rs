@@ -5,11 +5,7 @@
 //! random-input power is similar across datatype setups, so energy is
 //! dominated by how long an iteration takes.
 
-use crate::profile::RunProfile;
-use crate::runner::{collect_series, execute, FigureResult, Metric, SweepPoint};
-use wm_gpu::spec::a100_pcie;
-use wm_numerics::DType;
-use wm_patterns::{PatternKind, PatternSpec};
+use crate::common::*;
 
 /// Execute Fig. 2.
 pub fn run(profile: &RunProfile) -> Vec<FigureResult> {
@@ -51,9 +47,8 @@ mod tests {
     #[test]
     fn energy_mirrors_runtime_ordering() {
         let fig = &run(&RunProfile::TEST)[0];
-        let by_name = |n: &str| -> f64 {
-            fig.series.iter().find(|s| s.name == n).unwrap().points[0].y
-        };
+        let by_name =
+            |n: &str| -> f64 { fig.series.iter().find(|s| s.name == n).unwrap().points[0].y };
         // FP32 is by far the slowest, so it costs the most energy per
         // iteration; the tensor path undercuts SIMT FP16.
         assert!(by_name("FP32") > by_name("FP16"));

@@ -8,11 +8,7 @@
 //! * **3c** — values drawn uniformly with replacement from a set of n
 //!   Gaussian variates (T3: small sets decrease power).
 
-use crate::profile::RunProfile;
-use crate::runner::{collect_series, execute, FigureResult, Metric, SweepPoint};
-use wm_gpu::spec::a100_pcie;
-use wm_numerics::DType;
-use wm_patterns::{PatternKind, PatternSpec};
+use crate::common::*;
 
 /// Standard-deviation sweep values per dtype (kept inside each encoding's
 /// practical range, as §III prescribes).
@@ -149,9 +145,9 @@ mod tests {
         for s in &fig.series {
             let ys: Vec<f64> = s.points.iter().map(|p| p.y).collect();
             let mean = ys.iter().sum::<f64>() / ys.len() as f64;
-            let spread =
-                (ys.iter().cloned().fold(f64::MIN, f64::max) - ys.iter().cloned().fold(f64::MAX, f64::min))
-                    / mean;
+            let spread = (ys.iter().cloned().fold(f64::MIN, f64::max)
+                - ys.iter().cloned().fold(f64::MAX, f64::min))
+                / mean;
             assert!(
                 spread < 0.06,
                 "{}: sigma sweep spread {spread} should be small",

@@ -11,11 +11,7 @@
 //! The x-axis for 4b/4c is the *fraction* of the encoding randomized, so
 //! all datatypes share one axis despite different widths.
 
-use crate::profile::RunProfile;
-use crate::runner::{collect_series, execute, FigureResult, Metric, SweepPoint};
-use wm_gpu::spec::a100_pcie;
-use wm_numerics::DType;
-use wm_patterns::{PatternKind, PatternSpec};
+use crate::common::*;
 
 const FLIP_PROBS: [f64; 11] = [0.0, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5];
 const BIT_FRACTIONS: [f64; 9] = [0.0, 0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0];

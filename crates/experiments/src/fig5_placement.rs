@@ -8,11 +8,7 @@
 //! * **5c** — sorted into columns (T10);
 //! * **5d** — sorted within each row, aligned (T11: weaker than full sort).
 
-use crate::profile::RunProfile;
-use crate::runner::{collect_series, execute, FigureResult, Metric, SweepPoint};
-use wm_gpu::spec::a100_pcie;
-use wm_numerics::DType;
-use wm_patterns::{PatternKind, PatternSpec};
+use crate::common::*;
 
 const FRACTIONS: [f64; 11] = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
 

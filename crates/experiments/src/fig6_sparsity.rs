@@ -8,11 +8,7 @@
 //! * **6c** — zeroing least-significant bits (T14);
 //! * **6d** — zeroing most-significant bits (T15).
 
-use crate::profile::RunProfile;
-use crate::runner::{collect_series, execute, FigureResult, Metric, SweepPoint};
-use wm_gpu::spec::a100_pcie;
-use wm_numerics::DType;
-use wm_patterns::{PatternKind, PatternSpec};
+use crate::common::*;
 
 const SPARSITIES: [f64; 11] = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
 const BIT_FRACTIONS: [f64; 9] = [0.0, 0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0];
@@ -25,7 +21,8 @@ pub fn run_6a(profile: &RunProfile) -> FigureResult {
             points.push(SweepPoint {
                 series: dtype.label().to_string(),
                 x: s,
-                request: profile.request(dtype, PatternSpec::new(PatternKind::Sparse { sparsity: s })),
+                request: profile
+                    .request(dtype, PatternSpec::new(PatternKind::Sparse { sparsity: s })),
                 gpu: a100_pcie(),
                 metric: Metric::PowerW,
             });
@@ -136,7 +133,12 @@ pub fn run_6d(profile: &RunProfile) -> FigureResult {
 
 /// Execute all of Fig. 6.
 pub fn run(profile: &RunProfile) -> Vec<FigureResult> {
-    vec![run_6a(profile), run_6b(profile), run_6c(profile), run_6d(profile)]
+    vec![
+        run_6a(profile),
+        run_6b(profile),
+        run_6c(profile),
+        run_6d(profile),
+    ]
 }
 
 #[cfg(test)]

@@ -15,13 +15,10 @@
 //! paper, the RTX 6000 runs at 512² (it throttles at 2048²) and shows
 //! visibly damped swings (older GDDR6 part, lower TDP).
 
-use crate::profile::RunProfile;
-use crate::runner::{collect_series, execute, FigureResult, Metric, SweepPoint};
+use crate::common::*;
 use wm_core::RunRequest;
-use wm_gpu::spec::{a100_pcie, h100_sxm5, rtx6000, v100_sxm2};
+use wm_gpu::spec::{h100_sxm5, rtx6000, v100_sxm2};
 use wm_gpu::GpuSpec;
-use wm_numerics::DType;
-use wm_patterns::{PatternKind, PatternSpec};
 
 const DTYPE: DType = DType::Fp16Tensor;
 
@@ -123,7 +120,12 @@ pub fn run_sorted(profile: &RunProfile) -> FigureResult {
         "Cross-GPU: sorted into rows vs. power",
         "fraction sorted",
         &[0.0, 0.5, 1.0],
-        |f| (PatternSpec::new(PatternKind::SortedRows { fraction: f }), false),
+        |f| {
+            (
+                PatternSpec::new(PatternKind::SortedRows { fraction: f }),
+                false,
+            )
+        },
     )
 }
 

@@ -11,18 +11,16 @@
 //! / lower-power association across floating-point datatypes — "not an
 //! entirely consistent trend", which the correlation magnitudes quantify.
 
-use crate::profile::RunProfile;
-use crate::runner::{execute, FigureResult, Metric, PointStat, Series, SweepPoint};
+use crate::common::*;
 use wm_analysis::{pearson, spearman};
-use wm_gpu::spec::a100_pcie;
-use wm_numerics::DType;
-use wm_patterns::{PatternKind, PatternSpec};
 
 /// The configuration battery: one spec per §IV experiment family/level.
 fn battery() -> Vec<PatternSpec> {
     vec![
         PatternSpec::new(PatternKind::Gaussian),
-        PatternSpec::new(PatternKind::Gaussian).with_mean(256.0).with_std(1.0),
+        PatternSpec::new(PatternKind::Gaussian)
+            .with_mean(256.0)
+            .with_std(1.0),
         PatternSpec::new(PatternKind::ValueSet { set_size: 4 }),
         PatternSpec::new(PatternKind::ValueSet { set_size: 256 }),
         PatternSpec::new(PatternKind::ConstantRandom),
@@ -74,8 +72,7 @@ pub fn run(profile: &RunProfile) -> Vec<FigureResult> {
         let weights: Vec<f64> = pts
             .iter()
             .map(|p| {
-                (p.result.activity.mean_hamming_weight_a
-                    + p.result.activity.mean_hamming_weight_b)
+                (p.result.activity.mean_hamming_weight_a + p.result.activity.mean_hamming_weight_b)
                     / 2.0
             })
             .collect();

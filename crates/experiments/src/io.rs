@@ -25,10 +25,7 @@ pub fn figure_csv(fig: &FigureResult) -> String {
 /// Render a figure as a standalone markdown document.
 pub fn figure_markdown(fig: &FigureResult) -> String {
     let mut out = format!("# {} — {}\n\n", fig.id, fig.title);
-    out.push_str(&format!(
-        "X: {} · Y: {}\n\n",
-        fig.x_label, fig.y_label
-    ));
+    out.push_str(&format!("X: {} · Y: {}\n\n", fig.x_label, fig.y_label));
     // One table per figure: rows = x values of the first series, columns =
     // series (matching the paper's grouped-line presentation).
     if !fig.series.is_empty() {
@@ -86,15 +83,31 @@ mod tests {
                 Series {
                     name: "FP32".into(),
                     points: vec![
-                        PointStat { x: 0.0, y: 224.0, yerr: 1.0 },
-                        PointStat { x: 0.5, y: 210.0, yerr: 1.2 },
+                        PointStat {
+                            x: 0.0,
+                            y: 224.0,
+                            yerr: 1.0,
+                        },
+                        PointStat {
+                            x: 0.5,
+                            y: 210.0,
+                            yerr: 1.2,
+                        },
                     ],
                 },
                 Series {
                     name: "INT8".into(),
                     points: vec![
-                        PointStat { x: 0.0, y: 266.0, yerr: 0.8 },
-                        PointStat { x: 0.5, y: 241.0, yerr: 0.9 },
+                        PointStat {
+                            x: 0.0,
+                            y: 266.0,
+                            yerr: 0.8,
+                        },
+                        PointStat {
+                            x: 0.5,
+                            y: 241.0,
+                            yerr: 0.9,
+                        },
                     ],
                 },
             ],

@@ -2,8 +2,9 @@
 //!
 //! Each figure of the paper's evaluation has a module that constructs the
 //! corresponding parameter sweep, fans it out over seeds and configurations
-//! (rayon), and produces a [`FigureResult`] that the `wattmul` CLI binary
-//! writes as CSV plus a markdown table.
+//! through the `wm-fleet` scheduler (pinned jobs, memo-cached results), and
+//! produces a [`FigureResult`] that the `wattmul` CLI binary writes as CSV
+//! plus a markdown table.
 //!
 //! | Module | Paper artifact |
 //! |---|---|
@@ -21,6 +22,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+mod common;
 
 pub mod ext_bf16;
 pub mod ext_gemv;

@@ -8,12 +8,10 @@
 //!   throttle" the A100 (FP16-T throttles at 4096);
 //! * the RTX 6000 throttling already at 2048.
 
-use crate::profile::RunProfile;
+use crate::common::*;
 use crate::runner::{FigureResult, PointStat, Series};
 use wm_core::{PowerLab, RunRequest};
-use wm_gpu::spec::{a100_pcie, rtx6000};
-use wm_numerics::DType;
-use wm_patterns::{PatternKind, PatternSpec};
+use wm_gpu::spec::rtx6000;
 
 /// Execute the methodology checks; produces one figure whose series is the
 /// per-VM-instance measured power (process variation) and whose notes
@@ -107,7 +105,11 @@ pub fn run(profile: &RunProfile) -> Vec<FigureResult> {
                 r.power.mean
             ));
         }
-        notes.push(format!("{} throttle sweep — {}", gpu.name, boundary.join("; ")));
+        notes.push(format!(
+            "{} throttle sweep — {}",
+            gpu.name,
+            boundary.join("; ")
+        ));
     }
 
     vec![FigureResult {

@@ -1,8 +1,8 @@
 //! Shared sweep machinery: fan a set of experiment points out over the
-//! available cores and assemble figure data.
+//! fleet scheduler and assemble figure data.
 
-use rayon::prelude::*;
-use wm_core::{PowerLab, RunRequest, RunResult};
+use wm_core::{RunRequest, RunResult};
+use wm_fleet::{Fleet, FleetJob, Scheduler};
 use wm_gpu::GpuSpec;
 
 /// Which measured quantity a figure reports.
@@ -94,13 +94,51 @@ fn extract(metric: Metric, result: &RunResult) -> (f64, f64) {
     }
 }
 
-/// Execute all points in parallel (rayon), preserving input order.
+/// Execute all points on the fleet scheduler, preserving input order.
+///
+/// A transient fleet is built with one device per *distinct* `GpuSpec`
+/// appearing in the sweep, each provisioned as VM instance 0 — exactly the
+/// paper's methodology ("we executed all experiments on the same VM
+/// instance") and bit-identical to running each point through
+/// `PowerLab::new(gpu)`. Points are pinned to their device; identical
+/// requests within the sweep are answered once by the scheduler's memo
+/// cache and shared.
 pub fn execute(points: Vec<SweepPoint>) -> Vec<ExecutedPoint> {
-    points
-        .into_par_iter()
+    if points.is_empty() {
+        return Vec::new();
+    }
+    let mut distinct: Vec<GpuSpec> = Vec::new();
+    for p in &points {
+        if !distinct.contains(&p.gpu) {
+            distinct.push(p.gpu.clone());
+        }
+    }
+    let mut builder = Fleet::builder();
+    for gpu in &distinct {
+        // Pinned sweep points bypass placement caps; TDP caps and the
+        // default budget are inert here.
+        builder = builder.device_with(gpu.clone(), 0, gpu.tdp_watts);
+    }
+    let scheduler = Scheduler::new(builder.build());
+
+    let jobs: Vec<FleetJob> = points
+        .iter()
         .map(|p| {
-            let lab = PowerLab::new(p.gpu.clone());
-            let result = lab.run(&p.request);
+            let device = distinct
+                .iter()
+                .position(|g| *g == p.gpu)
+                .expect("collected");
+            FleetJob::pinned(p.request.clone(), device)
+        })
+        .collect();
+    let answers = scheduler.run_batch(jobs);
+
+    points
+        .into_iter()
+        .zip(answers)
+        .map(|(p, answer)| {
+            let response = answer.expect("pinned sweep jobs cannot fail placement");
+            let result: RunResult = (*response.result).clone();
             let (y, yerr) = extract(p.metric, &result);
             ExecutedPoint {
                 series: p.series,
@@ -138,6 +176,7 @@ pub fn collect_series(executed: &[ExecutedPoint]) -> Vec<Series> {
 mod tests {
     use super::*;
     use crate::profile::RunProfile;
+    use wm_core::PowerLab;
     use wm_gpu::spec::a100_pcie;
     use wm_numerics::DType;
     use wm_patterns::{PatternKind, PatternSpec};

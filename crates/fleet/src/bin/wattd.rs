@@ -1,0 +1,159 @@
+//! `wattd` — the fleet power-estimation daemon.
+//!
+//! Speaks JSON-lines on stdin/stdout (see `wm_fleet::protocol` for the
+//! request schema):
+//!
+//! ```text
+//! $ echo '{"id":1,"dtype":"FP16-T","dim":256,"pattern":"sparse","sparsity":0.5,"seeds":2}' | wattd
+//! {"id":1,"ok":true,"device":0,"gpu":"NVIDIA A100 PCIe","power_w":...,"cache_hit":false,...}
+//! ```
+//!
+//! Options:
+//!
+//! ```text
+//! wattd [--gpus a100,h100,...] [--budget WATTS] [--cap WATTS] [--workers N]
+//!   --gpus     comma-separated catalog substrings (default: full catalog)
+//!   --budget   fleet-wide concurrent power budget in watts
+//!   --cap      per-device power cap in watts (default: each device's TDP)
+//!   --workers  scheduler worker threads (default: one per core)
+//! ```
+
+use std::io::{stdin, stdout, BufWriter};
+use std::process::ExitCode;
+
+use wm_fleet::{serve, Fleet, Scheduler};
+use wm_gpu::GpuSpec;
+
+struct Options {
+    gpus: Vec<String>,
+    budget_w: Option<f64>,
+    cap_w: Option<f64>,
+    workers: Option<usize>,
+}
+
+fn usage() -> &'static str {
+    "usage: wattd [--gpus a100,h100,...] [--budget WATTS] [--cap WATTS] [--workers N]\n\
+     Serves JSON-lines power queries on stdin/stdout; see wm_fleet::protocol docs."
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        gpus: Vec::new(),
+        budget_w: None,
+        cap_w: None,
+        workers: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_for = |flag: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{flag} needs a value"))
+                .map(str::to_string)
+        };
+        match arg.as_str() {
+            "--gpus" => {
+                opts.gpus = value_for("--gpus")?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+            }
+            "--budget" => {
+                opts.budget_w = Some(
+                    value_for("--budget")?
+                        .parse::<f64>()
+                        .map_err(|_| "--budget needs a number of watts".to_string())?,
+                );
+            }
+            "--cap" => {
+                opts.cap_w = Some(
+                    value_for("--cap")?
+                        .parse::<f64>()
+                        .map_err(|_| "--cap needs a number of watts".to_string())?,
+                );
+            }
+            "--workers" => {
+                opts.workers = Some(
+                    value_for("--workers")?
+                        .parse::<usize>()
+                        .map_err(|_| "--workers needs a count".to_string())?,
+                );
+            }
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown argument {other:?}\n{}", usage())),
+        }
+    }
+    Ok(opts)
+}
+
+fn build_fleet(opts: &Options) -> Result<Fleet, String> {
+    let gpus: Vec<GpuSpec> = if opts.gpus.is_empty() {
+        GpuSpec::catalog()
+    } else {
+        opts.gpus
+            .iter()
+            .map(|name| {
+                GpuSpec::by_name(name).ok_or_else(|| format!("no catalog GPU matches {name:?}"))
+            })
+            .collect::<Result<_, _>>()?
+    };
+    let mut b = Fleet::builder();
+    for (vm_id, gpu) in gpus.into_iter().enumerate() {
+        let cap = opts.cap_w.unwrap_or(gpu.tdp_watts);
+        if cap <= gpu.idle_watts {
+            return Err(format!(
+                "--cap {cap} W is at or below {}'s idle power ({} W)",
+                gpu.name, gpu.idle_watts
+            ));
+        }
+        b = b.device_with(gpu, vm_id as u64, cap);
+    }
+    if let Some(w) = opts.budget_w {
+        if w <= 0.0 {
+            return Err("--budget must be positive".to_string());
+        }
+        b = b.power_budget_w(w);
+    }
+    Ok(b.build())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let fleet = match build_fleet(&opts) {
+        Ok(f) => f,
+        Err(msg) => {
+            eprintln!("wattd: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    eprintln!(
+        "wattd: serving {} device(s), budget {:.0} W",
+        fleet.len(),
+        fleet.power_budget_w()
+    );
+    let sched = match opts.workers {
+        Some(n) => Scheduler::with_workers(fleet, n),
+        None => Scheduler::new(fleet),
+    };
+    let result = serve(stdin().lock(), BufWriter::new(stdout().lock()), &sched);
+    let stats = sched.stats();
+    eprintln!(
+        "wattd: {} completed ({} cache hits, {} misses, {} steals)",
+        stats.completed, stats.cache_hits, stats.cache_misses, stats.steals
+    );
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("wattd: io error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

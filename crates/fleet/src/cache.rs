@@ -1,0 +1,259 @@
+//! Sharded memo cache with in-flight deduplication.
+//!
+//! Results are keyed on the canonical hash from [`crate::hash`] and stored
+//! behind `Arc`, so a hit hands every caller the *same* allocation —
+//! repeated queries are bit-identical by construction. A second caller
+//! arriving while the first is still computing joins the in-flight entry
+//! (waits on the shard's condvar) instead of recomputing: identical
+//! queries never run `simulate` twice, which is the scheduler's
+//! acceptance-criterion counter.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use wm_core::RunResult;
+
+enum Slot {
+    /// A worker is computing this entry; waiters sleep on the shard condvar.
+    Pending,
+    /// The finished result.
+    Ready(Arc<RunResult>),
+}
+
+struct Shard {
+    slots: Mutex<HashMap<u64, Slot>>,
+    ready: Condvar,
+}
+
+/// Removes a stranded `Pending` slot if the owning computation unwinds,
+/// so waiters wake up and retry instead of blocking forever.
+struct PendingGuard<'a> {
+    shard: &'a Shard,
+    key: u64,
+    armed: bool,
+}
+
+impl Drop for PendingGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            if let Ok(mut slots) = self.shard.slots.lock() {
+                slots.remove(&self.key);
+            }
+            self.shard.ready.notify_all();
+        }
+    }
+}
+
+/// Sharded memo cache: `key -> Arc<RunResult>`.
+pub struct MemoCache {
+    shards: Vec<Shard>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    joins: AtomicU64,
+}
+
+impl MemoCache {
+    /// A cache with `shards` shards (rounded up to a power of two).
+    pub fn new(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        Self {
+            shards: (0..n)
+                .map(|_| Shard {
+                    slots: Mutex::new(HashMap::new()),
+                    ready: Condvar::new(),
+                })
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            joins: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: u64) -> &Shard {
+        // Fold the high half into the low bits so shard choice mixes the
+        // whole key and works for any power-of-two shard count.
+        let mixed = key ^ (key >> 32);
+        let idx = mixed as usize & (self.shards.len() - 1);
+        &self.shards[idx]
+    }
+
+    /// Non-blocking lookup: `Some` (counted as a hit) iff the entry is
+    /// ready. Pending entries read as misses — use [`Self::get_or_compute`]
+    /// to join them.
+    pub fn peek(&self, key: u64) -> Option<Arc<RunResult>> {
+        let shard = self.shard(key);
+        let slots = shard.slots.lock().expect("cache shard poisoned");
+        match slots.get(&key) {
+            Some(Slot::Ready(v)) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(v))
+            }
+            _ => None,
+        }
+    }
+
+    /// Look up `key`; on a miss, run `compute` (without holding the shard
+    /// lock) and publish the result. Returns the cached value and whether
+    /// this call was served from cache (`true`) or computed (`false`).
+    /// Concurrent callers with the same key block until the first finishes
+    /// and then count as cache hits (they never recompute). If `compute`
+    /// panics, the pending entry is removed and waiters are woken (one of
+    /// them will retry the computation); the panic propagates to the
+    /// caller.
+    pub fn get_or_compute<F>(&self, key: u64, compute: F) -> (Arc<RunResult>, bool)
+    where
+        F: FnOnce() -> RunResult,
+    {
+        let shard = self.shard(key);
+        {
+            let mut slots = shard.slots.lock().expect("cache shard poisoned");
+            let mut joined = false;
+            loop {
+                match slots.get(&key) {
+                    Some(Slot::Ready(v)) => {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        if joined {
+                            self.joins.fetch_add(1, Ordering::Relaxed);
+                        }
+                        return (Arc::clone(v), true);
+                    }
+                    Some(Slot::Pending) => {
+                        joined = true;
+                        slots = shard.ready.wait(slots).expect("cache shard poisoned");
+                    }
+                    None => {
+                        slots.insert(key, Slot::Pending);
+                        break;
+                    }
+                }
+            }
+        }
+        // From here on the Pending slot is ours: if `compute` unwinds, the
+        // guard removes it and wakes waiters so the key is not wedged.
+        let mut guard = PendingGuard {
+            shard,
+            key,
+            armed: true,
+        };
+        let value = Arc::new(compute());
+        {
+            let mut slots = shard.slots.lock().expect("cache shard poisoned");
+            slots.insert(key, Slot::Ready(Arc::clone(&value)));
+        }
+        guard.armed = false;
+        shard.ready.notify_all();
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        (value, false)
+    }
+
+    /// Number of *ready* entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.slots
+                    .lock()
+                    .expect("cache shard poisoned")
+                    .values()
+                    .filter(|v| matches!(v, Slot::Ready(_)))
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Whether the cache holds no ready entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Calls served from cache (including in-flight joins).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Calls that ran the computation.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Hits that waited on an in-flight computation instead of recomputing.
+    pub fn joins(&self) -> u64 {
+        self.joins.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use wm_core::{PowerLab, RunRequest};
+    use wm_gpu::spec::a100_pcie;
+    use wm_kernels::Sampling;
+    use wm_numerics::DType;
+    use wm_patterns::{PatternKind, PatternSpec};
+
+    fn quick_result() -> RunResult {
+        PowerLab::new(a100_pcie()).run(
+            &RunRequest::new(DType::Int8, 64, PatternSpec::new(PatternKind::Zeros))
+                .with_seeds(1)
+                .with_sampling(Sampling::Lattice { rows: 4, cols: 4 }),
+        )
+    }
+
+    #[test]
+    fn second_lookup_is_a_hit_and_shares_the_allocation() {
+        let cache = MemoCache::new(16);
+        let computed = AtomicUsize::new(0);
+        let make = || {
+            computed.fetch_add(1, Ordering::Relaxed);
+            quick_result()
+        };
+        let (a, hit_a) = cache.get_or_compute(42, make);
+        let (b, hit_b) = cache.get_or_compute(42, || {
+            computed.fetch_add(1, Ordering::Relaxed);
+            quick_result()
+        });
+        assert!(!hit_a);
+        assert!(hit_b);
+        assert_eq!(computed.load(Ordering::Relaxed), 1);
+        assert!(Arc::ptr_eq(&a, &b), "hit must share the cached allocation");
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_collide() {
+        let cache = MemoCache::new(4);
+        let (_, h1) = cache.get_or_compute(1, quick_result);
+        let (_, h2) = cache.get_or_compute(2, quick_result);
+        assert!(!h1 && !h2);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn concurrent_same_key_computes_once() {
+        let cache = Arc::new(MemoCache::new(8));
+        let computed = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let cache = Arc::clone(&cache);
+            let computed = Arc::clone(&computed);
+            handles.push(std::thread::spawn(move || {
+                let (v, _) = cache.get_or_compute(7, || {
+                    computed.fetch_add(1, Ordering::Relaxed);
+                    // Widen the race window so joiners actually wait.
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    quick_result()
+                });
+                v.power.mean
+            }));
+        }
+        let means: Vec<f64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(computed.load(Ordering::Relaxed), 1, "dedup failed");
+        assert!(means.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 7);
+    }
+}

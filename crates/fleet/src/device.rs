@@ -1,0 +1,210 @@
+//! The fleet model: a set of heterogeneous simulated devices.
+//!
+//! A [`Fleet`] is N provisioned GPUs — each a [`wm_gpu::GpuSpec`] plus the
+//! [`wm_telemetry::VmInstance`] process-variation offset the paper observed
+//! ("power measurements occasionally shifted by up to 10 W when the VM
+//! instance changed") and a per-device power cap. The fleet as a whole
+//! carries a power budget that the placement policy keeps concurrent work
+//! under.
+
+use wm_gpu::GpuSpec;
+use wm_telemetry::VmInstance;
+
+/// One provisioned device in the fleet.
+#[derive(Debug, Clone)]
+pub struct FleetDevice {
+    /// Dense device index within the fleet (stable for a fleet's lifetime).
+    pub id: usize,
+    /// The architectural model of this device.
+    pub gpu: GpuSpec,
+    /// The provisioned VM instance (process-variation offset).
+    pub vm: VmInstance,
+    /// Per-device power cap in watts. Defaults to the device TDP; lower it
+    /// to model rack-level or facility capping.
+    pub power_cap_w: f64,
+}
+
+/// A set of provisioned devices plus a fleet-wide power budget.
+#[derive(Debug, Clone)]
+pub struct Fleet {
+    devices: Vec<FleetDevice>,
+    power_budget_w: f64,
+}
+
+impl Fleet {
+    /// Start building a fleet.
+    pub fn builder() -> FleetBuilder {
+        FleetBuilder {
+            devices: Vec::new(),
+            power_budget_w: None,
+        }
+    }
+
+    /// A fleet of `n` identical devices, each on its own VM instance
+    /// (distinct process-variation offsets), capped at TDP.
+    pub fn homogeneous(gpu: GpuSpec, n: usize) -> Self {
+        let mut b = Self::builder();
+        for vm_id in 0..n as u64 {
+            b = b.device_with(gpu.clone(), vm_id, gpu.tdp_watts);
+        }
+        b.build()
+    }
+
+    /// One device per catalog entry (A100, V100, H100, RTX 6000), each
+    /// capped at its TDP — the paper's whole testbed as one fleet.
+    pub fn from_catalog() -> Self {
+        let mut b = Self::builder();
+        for gpu in GpuSpec::catalog() {
+            b = b.device(gpu);
+        }
+        b.build()
+    }
+
+    /// The provisioned devices.
+    pub fn devices(&self) -> &[FleetDevice] {
+        &self.devices
+    }
+
+    /// Device count.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Whether the fleet has no devices (builder forbids this).
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Device by index.
+    pub fn device(&self, id: usize) -> Option<&FleetDevice> {
+        self.devices.get(id)
+    }
+
+    /// The fleet-wide concurrent power budget in watts.
+    pub fn power_budget_w(&self) -> f64 {
+        self.power_budget_w
+    }
+}
+
+/// Builder for [`Fleet`].
+#[derive(Debug)]
+pub struct FleetBuilder {
+    devices: Vec<FleetDevice>,
+    power_budget_w: Option<f64>,
+}
+
+impl FleetBuilder {
+    /// Add a device on the next free VM instance id, capped at its TDP.
+    pub fn device(self, gpu: GpuSpec) -> Self {
+        let vm_id = self.devices.len() as u64;
+        let cap = gpu.tdp_watts;
+        self.device_with(gpu, vm_id, cap)
+    }
+
+    /// Add a device with an explicit VM instance id and power cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cap is not above the device's idle power (such a
+    /// device could never run anything).
+    pub fn device_with(mut self, gpu: GpuSpec, vm_id: u64, power_cap_w: f64) -> Self {
+        assert!(
+            power_cap_w > gpu.idle_watts,
+            "power cap {power_cap_w} W must exceed idle power {} W for {}",
+            gpu.idle_watts,
+            gpu.name
+        );
+        let vm = VmInstance::provision(&gpu, vm_id);
+        self.devices.push(FleetDevice {
+            id: self.devices.len(),
+            gpu,
+            vm,
+            power_cap_w,
+        });
+        self
+    }
+
+    /// Cap the fleet's concurrent power draw. Defaults to the sum of the
+    /// per-device caps (i.e. no fleet-level constraint beyond the devices).
+    pub fn power_budget_w(mut self, watts: f64) -> Self {
+        assert!(watts > 0.0, "fleet power budget must be positive");
+        self.power_budget_w = Some(watts);
+        self
+    }
+
+    /// Finish the fleet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no devices were added.
+    pub fn build(self) -> Fleet {
+        assert!(
+            !self.devices.is_empty(),
+            "a fleet needs at least one device"
+        );
+        let default_budget: f64 = self.devices.iter().map(|d| d.power_cap_w).sum();
+        Fleet {
+            devices: self.devices,
+            power_budget_w: self.power_budget_w.unwrap_or(default_budget),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wm_gpu::spec::{a100_pcie, h100_sxm5};
+
+    #[test]
+    fn homogeneous_fleet_gets_distinct_vm_offsets() {
+        let f = Fleet::homogeneous(a100_pcie(), 4);
+        assert_eq!(f.len(), 4);
+        let offsets: Vec<f64> = f.devices().iter().map(|d| d.vm.offset_w).collect();
+        for i in 0..offsets.len() {
+            for j in i + 1..offsets.len() {
+                assert_ne!(offsets[i], offsets[j], "instances {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn default_budget_is_sum_of_caps() {
+        let f = Fleet::builder()
+            .device_with(a100_pcie(), 0, 250.0)
+            .device_with(h100_sxm5(), 1, 500.0)
+            .build();
+        assert_eq!(f.power_budget_w(), 750.0);
+    }
+
+    #[test]
+    fn explicit_budget_is_respected() {
+        let f = Fleet::builder()
+            .device(a100_pcie())
+            .device(a100_pcie())
+            .power_budget_w(400.0)
+            .build();
+        assert_eq!(f.power_budget_w(), 400.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn empty_fleet_rejected() {
+        let _ = Fleet::builder().build();
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed idle power")]
+    fn sub_idle_cap_rejected() {
+        let gpu = a100_pcie();
+        let idle = gpu.idle_watts;
+        let _ = Fleet::builder().device_with(gpu, 0, idle - 1.0);
+    }
+
+    #[test]
+    fn catalog_fleet_has_four_devices() {
+        let f = Fleet::from_catalog();
+        assert_eq!(f.len(), 4);
+        assert_eq!(f.device(0).unwrap().id, 0);
+        assert!(f.device(4).is_none());
+    }
+}

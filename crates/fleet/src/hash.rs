@@ -1,0 +1,316 @@
+//! Canonical hashing of `(RunRequest, GpuSpec)` pairs.
+//!
+//! The memo cache must key on the *semantic content* of a request, not on
+//! anything incidental (struct layout, allocation addresses, derive-order).
+//! This module defines an explicit canonical byte encoding of every field
+//! that influences a [`wm_core::RunResult`], folded through FNV-1a. Two
+//! requests hash equal iff every semantically relevant field is equal —
+//! the property test in `tests/cache_properties.rs` exercises this.
+
+use wm_core::RunRequest;
+use wm_gpu::{GpuSpec, MemoryKind};
+use wm_kernels::Sampling;
+use wm_numerics::DType;
+use wm_patterns::{PatternKind, PatternSpec};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+/// Incremental FNV-1a canonical hasher.
+#[derive(Debug, Clone)]
+pub struct CanonicalHasher {
+    state: u64,
+}
+
+impl Default for CanonicalHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CanonicalHasher {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Self { state: FNV_OFFSET }
+    }
+
+    /// Fold raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state = (self.state ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Fold one byte (used for enum tags).
+    pub fn write_u8(&mut self, v: u8) {
+        self.write_bytes(&[v]);
+    }
+
+    /// Fold a u64 little-endian.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Fold a usize as u64 (portable across word sizes).
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Fold a bool as one byte.
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_u8(u8::from(v));
+    }
+
+    /// Fold an f64 by its IEEE-754 bits, normalizing `-0.0` to `0.0` so
+    /// numerically equal specs hash equal.
+    pub fn write_f64(&mut self, v: f64) {
+        let v = if v == 0.0 { 0.0 } else { v };
+        self.write_u64(v.to_bits());
+    }
+
+    /// Fold a length-prefixed string.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// The 64-bit digest.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+fn dtype_tag(dtype: DType) -> u8 {
+    match dtype {
+        DType::Fp32 => 0,
+        DType::Fp16 => 1,
+        DType::Fp16Tensor => 2,
+        DType::Int8 => 3,
+        DType::Bf16 => 4,
+    }
+}
+
+fn memory_tag(kind: MemoryKind) -> u8 {
+    match kind {
+        MemoryKind::Hbm2 => 0,
+        MemoryKind::Hbm2e => 1,
+        MemoryKind::Hbm3 => 2,
+        MemoryKind::Gddr6 => 3,
+    }
+}
+
+fn write_pattern(h: &mut CanonicalHasher, spec: &PatternSpec) {
+    match spec.kind {
+        PatternKind::Gaussian => h.write_u8(0),
+        PatternKind::ValueSet { set_size } => {
+            h.write_u8(1);
+            h.write_usize(set_size);
+        }
+        PatternKind::ConstantRandom => h.write_u8(2),
+        PatternKind::BitFlips { probability } => {
+            h.write_u8(3);
+            h.write_f64(probability);
+        }
+        PatternKind::RandomLsbs { count } => {
+            h.write_u8(4);
+            h.write_u64(u64::from(count));
+        }
+        PatternKind::RandomMsbs { count } => {
+            h.write_u8(5);
+            h.write_u64(u64::from(count));
+        }
+        PatternKind::SortedRows { fraction } => {
+            h.write_u8(6);
+            h.write_f64(fraction);
+        }
+        PatternKind::SortedCols { fraction } => {
+            h.write_u8(7);
+            h.write_f64(fraction);
+        }
+        PatternKind::SortedWithinRows { fraction } => {
+            h.write_u8(8);
+            h.write_f64(fraction);
+        }
+        PatternKind::Sparse { sparsity } => {
+            h.write_u8(9);
+            h.write_f64(sparsity);
+        }
+        PatternKind::SortedThenSparse { sparsity } => {
+            h.write_u8(10);
+            h.write_f64(sparsity);
+        }
+        PatternKind::ZeroLsbs { count } => {
+            h.write_u8(11);
+            h.write_u64(u64::from(count));
+        }
+        PatternKind::ZeroMsbs { count } => {
+            h.write_u8(12);
+            h.write_u64(u64::from(count));
+        }
+        PatternKind::Zeros => h.write_u8(13),
+    }
+    h.write_f64(spec.mean);
+    match spec.std {
+        None => h.write_u8(0),
+        Some(std) => {
+            h.write_u8(1);
+            h.write_f64(std);
+        }
+    }
+}
+
+fn write_sampling(h: &mut CanonicalHasher, sampling: Sampling) {
+    match sampling {
+        Sampling::Full => h.write_u8(0),
+        Sampling::Lattice { rows, cols } => {
+            h.write_u8(1);
+            h.write_usize(rows);
+            h.write_usize(cols);
+        }
+    }
+}
+
+/// Fold every result-relevant field of a device model.
+pub fn write_gpu(h: &mut CanonicalHasher, gpu: &GpuSpec) {
+    h.write_str(gpu.name);
+    h.write_str(gpu.architecture);
+    h.write_f64(gpu.tdp_watts);
+    h.write_f64(gpu.idle_watts);
+    h.write_f64(gpu.uncore_watts);
+    h.write_f64(gpu.boost_clock_mhz);
+    h.write_u64(u64::from(gpu.sm_count));
+    h.write_u64(gpu.l2_bytes);
+    h.write_u8(memory_tag(gpu.memory));
+    h.write_f64(gpu.mem_bandwidth_gbps);
+    h.write_f64(gpu.throughput.fp32_tflops);
+    h.write_f64(gpu.throughput.fp16_tflops);
+    h.write_f64(gpu.throughput.fp16_tensor_tflops);
+    h.write_f64(gpu.throughput.int8_tops);
+    h.write_bool(gpu.has_int8_tensor);
+    h.write_f64(gpu.launch_overhead_us);
+    h.write_f64(gpu.data_sensitivity);
+    h.write_f64(gpu.process_variation_watts);
+    h.write_f64(gpu.sensor_noise_watts);
+}
+
+/// Fold every field of a run request.
+pub fn write_request(h: &mut CanonicalHasher, req: &RunRequest) {
+    h.write_u8(dtype_tag(req.dtype));
+    h.write_usize(req.dim);
+    write_pattern(h, &req.pattern_a);
+    write_pattern(h, &req.pattern_b);
+    h.write_bool(req.b_transposed);
+    h.write_u64(req.seeds);
+    h.write_u64(req.base_seed);
+    match req.iterations {
+        None => h.write_u8(0),
+        Some(it) => {
+            h.write_u8(1);
+            h.write_u64(it);
+        }
+    }
+    write_sampling(h, req.sampling);
+}
+
+/// Device-independent key of a request (used for the placement probe
+/// cache: switching activity does not depend on the device).
+pub fn request_key(req: &RunRequest) -> u64 {
+    let mut h = CanonicalHasher::new();
+    write_request(&mut h, req);
+    h.finish()
+}
+
+/// The memo-cache key: canonical hash of `(RunRequest, GpuSpec, vm_id)`.
+/// The VM instance id participates because its process-variation offset
+/// shifts measured power.
+pub fn canonical_key(req: &RunRequest, gpu: &GpuSpec, vm_id: u64) -> u64 {
+    let mut h = CanonicalHasher::new();
+    write_request(&mut h, req);
+    write_gpu(&mut h, gpu);
+    h.write_u64(vm_id);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wm_gpu::spec::{a100_pcie, v100_sxm2};
+
+    fn req() -> RunRequest {
+        RunRequest::new(
+            DType::Fp16Tensor,
+            256,
+            PatternSpec::new(PatternKind::Sparse { sparsity: 0.5 }),
+        )
+    }
+
+    #[test]
+    fn identical_requests_hash_equal() {
+        let g = a100_pcie();
+        assert_eq!(canonical_key(&req(), &g, 0), canonical_key(&req(), &g, 0));
+    }
+
+    #[test]
+    fn every_field_perturbation_changes_the_key() {
+        let g = a100_pcie();
+        let base = canonical_key(&req(), &g, 0);
+        let variants = [
+            canonical_key(&req().with_seeds(3), &g, 0),
+            canonical_key(&req().with_base_seed(1), &g, 0),
+            canonical_key(&req().with_b_transposed(false), &g, 0),
+            canonical_key(&req().with_iterations(100), &g, 0),
+            canonical_key(
+                &req().with_sampling(Sampling::Lattice { rows: 8, cols: 8 }),
+                &g,
+                0,
+            ),
+            canonical_key(
+                &req().with_pattern_b(PatternSpec::new(PatternKind::Zeros)),
+                &g,
+                0,
+            ),
+            canonical_key(&req(), &v100_sxm2(), 0),
+            canonical_key(&req(), &g, 1),
+        ];
+        for (i, v) in variants.iter().enumerate() {
+            assert_ne!(base, *v, "variant {i} collided with the base key");
+        }
+    }
+
+    #[test]
+    fn negative_zero_normalizes() {
+        let g = a100_pcie();
+        let a = RunRequest::new(
+            DType::Fp32,
+            64,
+            PatternSpec::new(PatternKind::Gaussian).with_mean(0.0),
+        );
+        let b = RunRequest::new(
+            DType::Fp32,
+            64,
+            PatternSpec::new(PatternKind::Gaussian).with_mean(-0.0),
+        );
+        assert_eq!(canonical_key(&a, &g, 0), canonical_key(&b, &g, 0));
+    }
+
+    #[test]
+    fn request_key_ignores_device() {
+        assert_eq!(request_key(&req()), request_key(&req()));
+        let with_device_a = canonical_key(&req(), &a100_pcie(), 0);
+        let with_device_b = canonical_key(&req(), &v100_sxm2(), 0);
+        assert_ne!(with_device_a, with_device_b);
+    }
+
+    #[test]
+    fn sampling_tags_disambiguate() {
+        // Full vs a lattice must never alias.
+        let g = a100_pcie();
+        let full = canonical_key(&req().with_sampling(Sampling::Full), &g, 0);
+        let lat = canonical_key(
+            &req().with_sampling(Sampling::Lattice { rows: 32, cols: 32 }),
+            &g,
+            0,
+        );
+        assert_ne!(full, lat);
+    }
+}

@@ -1,0 +1,64 @@
+//! # wm-fleet — multi-GPU fleet scheduling and power-estimation serving
+//!
+//! The paper makes power a *per-request, input-dependent* quantity: the
+//! same GEMM shape can draw anywhere in a ~38% band depending only on its
+//! input data. That turns power estimation into a serving workload — and
+//! this crate is the serving layer above the single-device
+//! [`wm_core::PowerLab`]:
+//!
+//! * [`device`] — the [`Fleet`] model: N heterogeneous devices, each a
+//!   [`wm_gpu::GpuSpec`] plus a [`wm_telemetry::VmInstance`]
+//!   process-variation offset and a per-device power cap, under one
+//!   fleet-wide power budget.
+//! * [`hash`] — canonical hashing of `(RunRequest, GpuSpec, vm)` so the
+//!   cache keys on semantic request content.
+//! * [`cache`] — the sharded [`MemoCache`] with in-flight deduplication:
+//!   identical queries never run the simulator twice.
+//! * [`placement`] — deterministic power-capped placement: probe the
+//!   request's switching activity once (it is device-independent), plan
+//!   the energy-minimal clock per device with [`wm_optimizer::plan_dvfs`],
+//!   and pick the cheapest device that fits under cap and budget.
+//! * [`scheduler`] — the work-stealing [`Scheduler`]: per-worker deques,
+//!   idle workers steal, execution-time budget backpressure, and running
+//!   stats (cache hits/misses, steals, ...).
+//! * [`protocol`] / the `wattd` binary — a JSON-lines power-estimation
+//!   service over stdin/stdout.
+//! * [`par`] — an order-preserving `parallel_map` over scoped threads for
+//!   non-`RunRequest` fan-outs (the GEMV sweeps).
+//!
+//! ```
+//! use wm_fleet::{Fleet, FleetJob, Scheduler};
+//! use wm_core::RunRequest;
+//! use wm_kernels::Sampling;
+//! use wm_numerics::DType;
+//! use wm_patterns::{PatternKind, PatternSpec};
+//!
+//! let sched = Scheduler::new(Fleet::from_catalog());
+//! let req = RunRequest::new(DType::Fp16Tensor, 128, PatternSpec::new(PatternKind::Gaussian))
+//!     .with_seeds(1)
+//!     .with_sampling(Sampling::Lattice { rows: 4, cols: 4 });
+//! let first = sched.submit(FleetJob::new(req.clone())).recv().unwrap();
+//! let again = sched.submit(FleetJob::new(req)).recv().unwrap();
+//! assert!(!first.cache_hit && again.cache_hit);
+//! assert_eq!(first.result.power, again.result.power);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod device;
+pub mod hash;
+pub mod json;
+pub mod par;
+pub mod placement;
+pub mod protocol;
+pub mod scheduler;
+
+pub use cache::MemoCache;
+pub use device::{Fleet, FleetBuilder, FleetDevice};
+pub use hash::{canonical_key, request_key, CanonicalHasher};
+pub use par::parallel_map;
+pub use placement::{place, probe_activity, Placement, PlacementError};
+pub use protocol::{answer, serve};
+pub use scheduler::{FleetError, FleetJob, FleetResponse, JobHandle, Scheduler, SchedulerStats};

@@ -1,0 +1,504 @@
+//! The `wattd` JSON-lines protocol.
+//!
+//! One request per line on stdin, one response per line on stdout. Every
+//! request is an object with an optional `"id"` (echoed back verbatim) and
+//! an `"op"`:
+//!
+//! * `"run"` (default) — answer one power query. Fields: `dtype` (paper
+//!   label, e.g. `"FP16"`, `"FP16-T"`, `"INT8"`, case-insensitive), `dim`,
+//!   `pattern` (name, e.g. `"gaussian"`, `"sparse"`, `"sorted_rows"`,
+//!   `"zeros"`), the pattern's parameter (`sparsity`/`fraction`/`count`/
+//!   `probability`/`set_size`, or generic `param`), optional `mean`,
+//!   `std`, `seeds`, `base_seed`, `iterations`, `b_transposed`,
+//!   `lattice` (sampling lattice edge), `deadline_us`, and `gpu` (catalog
+//!   substring to pin, or `"auto"`/absent for placement).
+//! * `"batch"` — `{"requests": [...]}` of `run` objects; answered as one
+//!   `{"results": [...]}` array in submission order, deduplicated through
+//!   the memo cache.
+//! * `"stats"` — scheduler counters (cache hits/misses, steals, ...).
+//! * `"fleet"` — the device inventory and power budget.
+//! * `"ping"` — liveness check.
+//!
+//! Responses always carry `"ok"`: `true` with the payload or `false` with
+//! an `"error"` string.
+
+use std::io::{BufRead, Write};
+
+use wm_core::RunRequest;
+use wm_kernels::Sampling;
+use wm_numerics::DType;
+use wm_patterns::{PatternKind, PatternSpec};
+
+use crate::json::{obj, Json};
+use crate::scheduler::{FleetJob, FleetResponse, Scheduler};
+
+/// Parse a `run` request object into a fleet job.
+fn parse_job(v: &Json, sched: &Scheduler) -> Result<FleetJob, String> {
+    let dtype_label = v
+        .get("dtype")
+        .and_then(Json::as_str)
+        .ok_or("missing \"dtype\"")?;
+    let dtype = DType::parse(dtype_label)
+        .ok_or_else(|| format!("unknown dtype {dtype_label:?} (use FP32/FP16/FP16-T/BF16/INT8)"))?;
+    let dim = v
+        .get("dim")
+        .and_then(Json::as_usize)
+        .ok_or("missing \"dim\"")?;
+    if dim == 0 || dim > MAX_DIM {
+        return Err(format!("\"dim\" must be in 1..={MAX_DIM}"));
+    }
+    let kind = parse_pattern(v)?;
+    let mut spec = PatternSpec::new(kind);
+    if let Some(mean) = v.get("mean").and_then(Json::as_f64) {
+        if !mean.is_finite() {
+            return Err("\"mean\" must be finite".into());
+        }
+        spec = spec.with_mean(mean);
+    }
+    if let Some(std) = v.get("std").and_then(Json::as_f64) {
+        if !std.is_finite() || std <= 0.0 {
+            return Err("\"std\" must be finite and positive".into());
+        }
+        spec = spec.with_std(std);
+    }
+
+    let mut req = RunRequest::new(dtype, dim, spec);
+    if let Some(seeds) = v.get("seeds").and_then(Json::as_u64) {
+        if seeds == 0 || seeds > MAX_SEEDS {
+            return Err(format!("\"seeds\" must be in 1..={MAX_SEEDS}"));
+        }
+        req = req.with_seeds(seeds);
+    }
+    if let Some(base) = v.get("base_seed").and_then(Json::as_u64) {
+        req = req.with_base_seed(base);
+    }
+    if let Some(iters) = v.get("iterations").and_then(Json::as_u64) {
+        if iters == 0 {
+            return Err("\"iterations\" must be positive".into());
+        }
+        req = req.with_iterations(iters);
+    }
+    if let Some(t) = v.get("b_transposed").and_then(Json::as_bool) {
+        req = req.with_b_transposed(t);
+    }
+    if let Some(edge) = v.get("lattice").and_then(Json::as_usize) {
+        if edge == 0 || edge > MAX_DIM {
+            return Err(format!("\"lattice\" must be in 1..={MAX_DIM}"));
+        }
+        req = req.with_sampling(Sampling::Lattice {
+            rows: edge,
+            cols: edge,
+        });
+    }
+
+    let mut job = match v.get("gpu").and_then(Json::as_str) {
+        None => FleetJob::new(req),
+        Some(name) if name.eq_ignore_ascii_case("auto") => FleetJob::new(req),
+        Some(name) => {
+            let device = sched
+                .fleet()
+                .devices()
+                .iter()
+                .find(|d| {
+                    d.gpu
+                        .name
+                        .to_ascii_lowercase()
+                        .replace([' ', '-', '_'], "")
+                        .contains(&name.to_ascii_lowercase().replace([' ', '-', '_'], ""))
+                })
+                .ok_or_else(|| format!("no fleet device matches gpu {name:?}"))?;
+            FleetJob::pinned(req, device.id)
+        }
+    };
+    if let Some(us) = v.get("deadline_us").and_then(Json::as_f64) {
+        if us <= 0.0 {
+            return Err("\"deadline_us\" must be positive".into());
+        }
+        job = job.with_deadline_s(us * 1e-6);
+    }
+    Ok(job)
+}
+
+/// Upper bound on problem dimension and lattice edge: a 4096² FP32
+/// operand is already 64 MiB; anything larger is a typo or abuse.
+const MAX_DIM: usize = 4096;
+/// Upper bound on the seed-averaging count.
+const MAX_SEEDS: u64 = 100;
+/// Upper bound on bit counts (no supported encoding is wider than 32).
+const MAX_BIT_COUNT: f64 = 64.0;
+/// Upper bound on value-set sizes.
+const MAX_SET_SIZE: f64 = 65536.0;
+
+fn pattern_param(v: &Json, keys: &[&str]) -> Option<f64> {
+    keys.iter()
+        .chain(["param"].iter())
+        .find_map(|k| v.get(k).and_then(Json::as_f64))
+}
+
+/// Range-check a fractional pattern parameter: the generators `assert!`
+/// on out-of-range values, so the protocol must reject them up front
+/// instead of letting a bad request panic a worker.
+fn unit_interval(name: &str, value: f64) -> Result<f64, String> {
+    if value.is_finite() && (0.0..=1.0).contains(&value) {
+        Ok(value)
+    } else {
+        Err(format!("{name} must be in [0, 1], got {value}"))
+    }
+}
+
+fn bit_count(name: &str, value: f64) -> Result<u32, String> {
+    if value.is_finite() && (0.0..=MAX_BIT_COUNT).contains(&value) && value.fract() == 0.0 {
+        Ok(value as u32)
+    } else {
+        Err(format!(
+            "{name} must be an integer in 0..={MAX_BIT_COUNT}, got {value}"
+        ))
+    }
+}
+
+fn parse_pattern(v: &Json) -> Result<PatternKind, String> {
+    let name = v
+        .get("pattern")
+        .and_then(Json::as_str)
+        .unwrap_or("gaussian")
+        .to_ascii_lowercase();
+    let fraction = || {
+        pattern_param(v, &["fraction", "sparsity", "probability"])
+            .ok_or_else(|| format!("pattern {name:?} needs a fractional parameter"))
+            .and_then(|f| unit_interval("the fractional parameter", f))
+    };
+    let count = || {
+        pattern_param(v, &["count"])
+            .ok_or_else(|| format!("pattern {name:?} needs \"count\""))
+            .and_then(|c| bit_count("\"count\"", c))
+    };
+    match name.as_str() {
+        "gaussian" => Ok(PatternKind::Gaussian),
+        "value_set" => {
+            let n = pattern_param(v, &["set_size"])
+                .ok_or("pattern \"value_set\" needs \"set_size\"")?;
+            if !(n.is_finite() && (1.0..=MAX_SET_SIZE).contains(&n) && n.fract() == 0.0) {
+                return Err(format!(
+                    "\"set_size\" must be an integer in 1..={MAX_SET_SIZE}, got {n}"
+                ));
+            }
+            Ok(PatternKind::ValueSet {
+                set_size: n as usize,
+            })
+        }
+        "constant" | "constant_random" => Ok(PatternKind::ConstantRandom),
+        "bit_flips" => Ok(PatternKind::BitFlips {
+            probability: fraction()?,
+        }),
+        "random_lsbs" => Ok(PatternKind::RandomLsbs { count: count()? }),
+        "random_msbs" => Ok(PatternKind::RandomMsbs { count: count()? }),
+        "sorted_rows" | "sorted" => Ok(PatternKind::SortedRows {
+            fraction: fraction()?,
+        }),
+        "sorted_cols" => Ok(PatternKind::SortedCols {
+            fraction: fraction()?,
+        }),
+        "sorted_within_rows" => Ok(PatternKind::SortedWithinRows {
+            fraction: fraction()?,
+        }),
+        "sparse" => Ok(PatternKind::Sparse {
+            sparsity: fraction()?,
+        }),
+        "sorted_then_sparse" => Ok(PatternKind::SortedThenSparse {
+            sparsity: fraction()?,
+        }),
+        "zero_lsbs" => Ok(PatternKind::ZeroLsbs { count: count()? }),
+        "zero_msbs" => Ok(PatternKind::ZeroMsbs { count: count()? }),
+        "zeros" => Ok(PatternKind::Zeros),
+        other => Err(format!("unknown pattern {other:?}")),
+    }
+}
+
+fn run_payload(r: &FleetResponse) -> Vec<(&'static str, Json)> {
+    vec![
+        ("device", Json::Num(r.device as f64)),
+        ("gpu", Json::Str(r.gpu_name.to_string())),
+        ("power_w", Json::Num(r.result.power.mean)),
+        ("power_std_w", Json::Num(r.result.power.std)),
+        (
+            "energy_per_iter_mj",
+            Json::Num(r.result.energy_per_iter.mean * 1e3),
+        ),
+        ("runtime_us", Json::Num(r.result.runtime.mean * 1e6)),
+        ("utilization_pct", Json::Num(r.result.utilization_pct)),
+        ("throttled", Json::Bool(r.result.throttled)),
+        ("clock_scale", Json::Num(r.clock_scale)),
+        (
+            "energy_saving_pct",
+            match &r.plan {
+                Some(p) => Json::Num(p.energy_saving() * 100.0),
+                None => Json::Null,
+            },
+        ),
+        ("cache_hit", Json::Bool(r.cache_hit)),
+    ]
+}
+
+fn ok_response(id: Json, payload: Vec<(&str, Json)>) -> Json {
+    let mut fields = vec![("id", id), ("ok", Json::Bool(true))];
+    fields.extend(payload);
+    obj(fields)
+}
+
+fn err_response(id: Json, message: &str) -> Json {
+    obj(vec![
+        ("id", id),
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str(message.to_string())),
+    ])
+}
+
+/// Answer one parsed request object.
+pub fn answer(v: &Json, sched: &Scheduler) -> Json {
+    let id = v.get("id").cloned().unwrap_or(Json::Null);
+    let op = v.get("op").and_then(Json::as_str).unwrap_or("run");
+    match op {
+        "ping" => ok_response(id, vec![("pong", Json::Bool(true))]),
+        "stats" => {
+            let s = sched.stats();
+            ok_response(
+                id,
+                vec![
+                    ("submitted", Json::Num(s.submitted as f64)),
+                    ("completed", Json::Num(s.completed as f64)),
+                    ("failed", Json::Num(s.failed as f64)),
+                    ("cache_hits", Json::Num(s.cache_hits as f64)),
+                    ("cache_misses", Json::Num(s.cache_misses as f64)),
+                    ("dedup_joins", Json::Num(s.dedup_joins as f64)),
+                    ("steals", Json::Num(s.steals as f64)),
+                    ("cached_results", Json::Num(sched.cached_results() as f64)),
+                ],
+            )
+        }
+        "fleet" => {
+            let devices: Vec<Json> = sched
+                .fleet()
+                .devices()
+                .iter()
+                .map(|d| {
+                    obj(vec![
+                        ("id", Json::Num(d.id as f64)),
+                        ("gpu", Json::Str(d.gpu.name.to_string())),
+                        ("architecture", Json::Str(d.gpu.architecture.to_string())),
+                        ("tdp_w", Json::Num(d.gpu.tdp_watts)),
+                        ("power_cap_w", Json::Num(d.power_cap_w)),
+                        ("vm_instance", Json::Num(d.vm.id as f64)),
+                        ("vm_offset_w", Json::Num(d.vm.offset_w)),
+                    ])
+                })
+                .collect();
+            ok_response(
+                id,
+                vec![
+                    ("devices", Json::Arr(devices)),
+                    ("power_budget_w", Json::Num(sched.fleet().power_budget_w())),
+                ],
+            )
+        }
+        "run" => match parse_job(v, sched) {
+            Err(msg) => err_response(id, &msg),
+            Ok(job) => match sched.submit(job).recv() {
+                Ok(r) => ok_response(id, run_payload(&r)),
+                Err(e) => err_response(id, &e.to_string()),
+            },
+        },
+        "batch" => {
+            let Some(requests) = v.get("requests").and_then(Json::as_arr) else {
+                return err_response(id, "batch needs a \"requests\" array");
+            };
+            // Parse everything up front so one bad entry fails fast with a
+            // per-entry error instead of a half-executed batch.
+            let jobs: Vec<Result<FleetJob, String>> =
+                requests.iter().map(|r| parse_job(r, sched)).collect();
+            let mut handles = Vec::with_capacity(jobs.len());
+            for job in &jobs {
+                handles.push(job.as_ref().ok().map(|j| sched.submit(j.clone())));
+            }
+            let results: Vec<Json> = handles
+                .into_iter()
+                .zip(&jobs)
+                .zip(requests)
+                .map(|((handle, parse), reqv)| {
+                    let rid = reqv.get("id").cloned().unwrap_or(Json::Null);
+                    match (handle, parse) {
+                        (Some(h), _) => match h.recv() {
+                            Ok(r) => ok_response(rid, run_payload(&r)),
+                            Err(e) => err_response(rid, &e.to_string()),
+                        },
+                        (None, Err(msg)) => err_response(rid, msg),
+                        (None, Ok(_)) => unreachable!("parsed jobs are submitted"),
+                    }
+                })
+                .collect();
+            ok_response(id, vec![("results", Json::Arr(results))])
+        }
+        other => err_response(id, &format!("unknown op {other:?}")),
+    }
+}
+
+/// Serve JSON-lines requests from `reader` to `writer` until EOF. Blank
+/// lines are ignored; malformed JSON yields an error response.
+pub fn serve(
+    reader: impl BufRead,
+    mut writer: impl Write,
+    sched: &Scheduler,
+) -> std::io::Result<()> {
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match Json::parse(&line) {
+            Ok(v) => answer(&v, sched),
+            Err(e) => err_response(Json::Null, &format!("parse error: {e}")),
+        };
+        writeln!(writer, "{response}")?;
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::Fleet;
+
+    fn sched() -> Scheduler {
+        Scheduler::with_workers(Fleet::from_catalog(), 2)
+    }
+
+    fn run_line(sched: &Scheduler, line: &str) -> Json {
+        answer(&Json::parse(line).unwrap(), sched)
+    }
+
+    #[test]
+    fn ping_and_unknown_op() {
+        let s = sched();
+        let pong = run_line(&s, r#"{"id": 1, "op": "ping"}"#);
+        assert_eq!(pong.get("ok"), Some(&Json::Bool(true)));
+        let bad = run_line(&s, r#"{"id": 2, "op": "frobnicate"}"#);
+        assert_eq!(bad.get("ok"), Some(&Json::Bool(false)));
+    }
+
+    #[test]
+    fn fleet_inventory_lists_devices() {
+        let s = sched();
+        let v = run_line(&s, r#"{"op": "fleet"}"#);
+        assert_eq!(v.get("devices").unwrap().as_arr().unwrap().len(), 4);
+        assert!(v.get("power_budget_w").unwrap().as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn run_parses_patterns_and_reports_power() {
+        let s = sched();
+        let v = run_line(
+            &s,
+            r#"{"id": 7, "dtype": "fp16-t", "dim": 128, "pattern": "sparse", "sparsity": 0.5, "seeds": 1, "lattice": 4}"#,
+        );
+        assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "{v}");
+        assert_eq!(v.get("id").unwrap().as_u64(), Some(7));
+        assert!(v.get("power_w").unwrap().as_f64().unwrap() > 0.0);
+        assert_eq!(v.get("cache_hit"), Some(&Json::Bool(false)));
+    }
+
+    #[test]
+    fn missing_fields_error_cleanly() {
+        let s = sched();
+        for (line, needle) in [
+            (r#"{"dim": 64}"#, "dtype"),
+            (r#"{"dtype": "fp32"}"#, "dim"),
+            (r#"{"dtype": "nope", "dim": 64}"#, "unknown dtype"),
+            (
+                r#"{"dtype": "fp32", "dim": 64, "pattern": "sparse"}"#,
+                "parameter",
+            ),
+            (
+                r#"{"dtype": "fp32", "dim": 64, "gpu": "tpu"}"#,
+                "no fleet device",
+            ),
+            (
+                r#"{"dtype": "fp32", "dim": 64, "pattern": "sparse", "sparsity": 1.5}"#,
+                "must be in [0, 1]",
+            ),
+            (
+                r#"{"dtype": "fp32", "dim": 64, "pattern": "bit_flips", "probability": -0.1}"#,
+                "must be in [0, 1]",
+            ),
+            (
+                r#"{"dtype": "fp32", "dim": 64, "pattern": "zero_lsbs", "count": 3.5}"#,
+                "must be an integer",
+            ),
+            (
+                r#"{"dtype": "fp32", "dim": 100000, "pattern": "zeros"}"#,
+                "\"dim\" must be in",
+            ),
+            (
+                r#"{"dtype": "fp32", "dim": 64, "std": -5.0}"#,
+                "\"std\" must be finite and positive",
+            ),
+        ] {
+            let v = run_line(&s, line);
+            assert_eq!(v.get("ok"), Some(&Json::Bool(false)), "{line}");
+            let err = v.get("error").unwrap().as_str().unwrap();
+            assert!(err.contains(needle), "{line} -> {err}");
+        }
+    }
+
+    #[test]
+    fn daemon_survives_malicious_parameters() {
+        // Out-of-range parameters must be rejected at parse time — and a
+        // valid query afterwards must still be answered (regression: these
+        // used to panic the workers and wedge the daemon).
+        let s = sched();
+        let input = concat!(
+            r#"{"id": 1, "dtype": "fp32", "dim": 64, "pattern": "sparse", "sparsity": 1.5}"#,
+            "\n",
+            r#"{"id": 2, "dtype": "fp32", "dim": 64, "pattern": "sparse", "sparsity": 1.5}"#,
+            "\n",
+            r#"{"id": 3, "dtype": "int8", "dim": 64, "pattern": "zeros", "seeds": 1, "lattice": 4}"#,
+            "\n",
+        );
+        let mut out = Vec::new();
+        serve(input.as_bytes(), &mut out, &s).unwrap();
+        let lines: Vec<Json> = std::str::from_utf8(&out)
+            .unwrap()
+            .lines()
+            .map(|l| Json::parse(l).unwrap())
+            .collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(lines[1].get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(lines[2].get("ok"), Some(&Json::Bool(true)), "{}", lines[2]);
+        assert_eq!(s.stats().failed, 0, "rejected at parse, never submitted");
+    }
+
+    #[test]
+    fn serve_loop_end_to_end() {
+        let s = sched();
+        let input = concat!(
+            r#"{"id": 1, "op": "ping"}"#,
+            "\n\n",
+            r#"{"id": 2, "dtype": "int8", "dim": 64, "pattern": "zeros", "seeds": 1, "lattice": 4, "gpu": "a100"}"#,
+            "\n",
+            "not json\n",
+        );
+        let mut out = Vec::new();
+        serve(input.as_bytes(), &mut out, &s).unwrap();
+        let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(Json::parse(lines[0]).unwrap().get("pong").is_some());
+        assert_eq!(
+            Json::parse(lines[1]).unwrap().get("ok"),
+            Some(&Json::Bool(true))
+        );
+        assert_eq!(
+            Json::parse(lines[2]).unwrap().get("ok"),
+            Some(&Json::Bool(false))
+        );
+    }
+}

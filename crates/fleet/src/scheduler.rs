@@ -1,0 +1,677 @@
+//! The work-stealing fleet scheduler.
+//!
+//! Jobs ([`FleetJob`]) arrive over a channel-like `submit` API, land on
+//! per-worker deques, and idle workers steal from the back of their
+//! peers' deques. Each job flows through:
+//!
+//! 1. **Placement** — auto jobs probe their switching activity (memoised
+//!    per request: activity is device-independent) and ask
+//!    [`crate::placement::place`] for the device + clock that fits under
+//!    the fleet power budget; pinned jobs skip straight to their device.
+//! 2. **Memo cache** — the canonical `(RunRequest, GpuSpec, vm)` key is
+//!    looked up in the sharded [`MemoCache`]; only a miss runs the full
+//!    `PowerLab` pipeline. Identical in-flight queries join rather than
+//!    recompute.
+//! 3. **Reply** — the response (shared `Arc<RunResult>`, chosen device,
+//!    clock, cache-hit flag) is sent back over the job's reply channel.
+//!
+//! The scheduler keeps running statistics — submitted/completed jobs,
+//! cache hits/misses/joins, steal count — exposed via [`Scheduler::stats`].
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use wm_core::{PowerLab, RunRequest, RunResult};
+use wm_kernels::ActivityRecord;
+use wm_optimizer::DvfsPlan;
+
+use crate::cache::MemoCache;
+use crate::device::Fleet;
+use crate::hash::{canonical_key, request_key};
+use crate::placement::{place, probe_activity, Placement, PlacementError};
+
+/// One unit of work for the fleet.
+#[derive(Debug, Clone)]
+pub struct FleetJob {
+    /// The power query to answer.
+    pub request: RunRequest,
+    /// Pin to a specific device id instead of auto placement.
+    pub pin: Option<usize>,
+    /// Optional per-iteration runtime deadline for the DVFS planner,
+    /// seconds. Ignored for pinned jobs (they run at boost, as the paper's
+    /// single-device methodology does).
+    pub deadline_s: Option<f64>,
+}
+
+impl FleetJob {
+    /// An auto-placed job with no deadline.
+    pub fn new(request: RunRequest) -> Self {
+        Self {
+            request,
+            pin: None,
+            deadline_s: None,
+        }
+    }
+
+    /// Pin the job to a device id.
+    pub fn pinned(request: RunRequest, device: usize) -> Self {
+        Self {
+            request,
+            pin: Some(device),
+            deadline_s: None,
+        }
+    }
+
+    /// Constrain the DVFS planner with a per-iteration deadline.
+    pub fn with_deadline_s(mut self, deadline_s: f64) -> Self {
+        assert!(deadline_s > 0.0, "deadline must be positive");
+        self.deadline_s = Some(deadline_s);
+        self
+    }
+}
+
+/// A completed job.
+#[derive(Debug, Clone)]
+pub struct FleetResponse {
+    /// Device the job ran on.
+    pub device: usize,
+    /// Marketing name of that device.
+    pub gpu_name: &'static str,
+    /// Clock scale the job was planned at (1.0 for pinned/boost runs).
+    pub clock_scale: f64,
+    /// The DVFS plan, for auto-placed jobs on unthrottled baselines.
+    pub plan: Option<DvfsPlan>,
+    /// Whether the result came from the memo cache (or an in-flight join).
+    pub cache_hit: bool,
+    /// The measurement. Shared: identical queries return the *same*
+    /// allocation, so equality is bit-exact by construction.
+    pub result: Arc<RunResult>,
+}
+
+/// Why a job failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetError {
+    /// Pinned to a device index the fleet does not have.
+    UnknownDevice(usize),
+    /// No device cap can admit the job, even on an idle fleet.
+    Infeasible(String),
+    /// The job panicked inside the pipeline; the worker survived and the
+    /// panic message is preserved here.
+    Internal(String),
+    /// The scheduler shut down before the job completed.
+    Shutdown,
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::UnknownDevice(d) => write!(f, "unknown device id {d}"),
+            FleetError::Infeasible(msg) => write!(f, "infeasible job: {msg}"),
+            FleetError::Internal(msg) => write!(f, "internal error: {msg}"),
+            FleetError::Shutdown => write!(f, "scheduler shut down"),
+        }
+    }
+}
+
+/// Snapshot of scheduler counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// Jobs accepted via `submit`/`run_batch`.
+    pub submitted: u64,
+    /// Jobs answered (success or failure).
+    pub completed: u64,
+    /// Jobs answered with an error.
+    pub failed: u64,
+    /// Queries served from the memo cache (incl. in-flight joins).
+    pub cache_hits: u64,
+    /// Queries that ran the full simulation pipeline.
+    pub cache_misses: u64,
+    /// Cache hits that waited on an identical in-flight computation.
+    pub dedup_joins: u64,
+    /// Tasks a worker stole from a peer's deque.
+    pub steals: u64,
+}
+
+type Reply = mpsc::Sender<Result<FleetResponse, FleetError>>;
+
+struct Task {
+    job: FleetJob,
+    reply: Reply,
+}
+
+struct Inner {
+    fleet: Fleet,
+    cache: MemoCache,
+    /// Request-keyed probe cache: switching activity is device-independent,
+    /// so placement probes are shared across devices and repeats.
+    probes: Mutex<HashMap<u64, Arc<ActivityRecord>>>,
+    /// Per-worker deques; owner pops front, thieves pop back.
+    queues: Vec<Mutex<VecDeque<Task>>>,
+    /// Round-robin cursor for submissions.
+    next_queue: AtomicUsize,
+    /// Sleep/wake for idle workers.
+    idle: Mutex<()>,
+    wake: Condvar,
+    /// Power committed to currently running jobs, per device.
+    load_w: Mutex<Vec<f64>>,
+    /// Signalled whenever committed load drops.
+    load_freed: Condvar,
+    stop: AtomicBool,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    steals: AtomicU64,
+}
+
+/// Handle to one submitted job; `recv` blocks until the answer arrives.
+pub struct JobHandle {
+    rx: mpsc::Receiver<Result<FleetResponse, FleetError>>,
+}
+
+impl JobHandle {
+    /// Wait for the job's answer.
+    pub fn recv(self) -> Result<FleetResponse, FleetError> {
+        self.rx.recv().unwrap_or(Err(FleetError::Shutdown))
+    }
+}
+
+/// The fleet scheduler. Dropping it stops and joins the workers.
+pub struct Scheduler {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Scheduler {
+    /// A scheduler over `fleet` with one worker per available core
+    /// (clamped to the job-level parallelism the fleet can express).
+    pub fn new(fleet: Fleet) -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2);
+        let n = cores.min(fleet.len().max(2)).max(1);
+        Self::with_workers(fleet, n)
+    }
+
+    /// A scheduler with an explicit worker count.
+    pub fn with_workers(fleet: Fleet, workers: usize) -> Self {
+        let workers = workers.max(1);
+        let n_devices = fleet.len();
+        let inner = Arc::new(Inner {
+            fleet,
+            cache: MemoCache::new(16),
+            probes: Mutex::new(HashMap::new()),
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            next_queue: AtomicUsize::new(0),
+            idle: Mutex::new(()),
+            wake: Condvar::new(),
+            load_w: Mutex::new(vec![0.0; n_devices]),
+            load_freed: Condvar::new(),
+            stop: AtomicBool::new(false),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("wm-fleet-worker-{i}"))
+                    .spawn(move || worker_loop(&inner, i))
+                    .expect("spawn fleet worker")
+            })
+            .collect();
+        Self {
+            inner,
+            workers: handles,
+        }
+    }
+
+    /// The fleet this scheduler drives.
+    pub fn fleet(&self) -> &Fleet {
+        &self.inner.fleet
+    }
+
+    /// Submit one job; returns a handle to await the answer.
+    pub fn submit(&self, job: FleetJob) -> JobHandle {
+        let (tx, rx) = mpsc::channel();
+        self.inner.submitted.fetch_add(1, Ordering::Relaxed);
+        let slot = self.inner.next_queue.fetch_add(1, Ordering::Relaxed) % self.inner.queues.len();
+        self.inner.queues[slot]
+            .lock()
+            .expect("queue poisoned")
+            .push_back(Task { job, reply: tx });
+        self.inner.wake.notify_all();
+        JobHandle { rx }
+    }
+
+    /// Submit a batch and wait for all answers, preserving input order.
+    /// Duplicate queries inside the batch are deduplicated by the memo
+    /// cache (at most one simulation per distinct query).
+    pub fn run_batch(&self, jobs: Vec<FleetJob>) -> Vec<Result<FleetResponse, FleetError>> {
+        let handles: Vec<JobHandle> = jobs.into_iter().map(|j| self.submit(j)).collect();
+        handles.into_iter().map(JobHandle::recv).collect()
+    }
+
+    /// Current counter snapshot.
+    pub fn stats(&self) -> SchedulerStats {
+        SchedulerStats {
+            submitted: self.inner.submitted.load(Ordering::Relaxed),
+            completed: self.inner.completed.load(Ordering::Relaxed),
+            failed: self.inner.failed.load(Ordering::Relaxed),
+            cache_hits: self.inner.cache.hits(),
+            cache_misses: self.inner.cache.misses(),
+            dedup_joins: self.inner.cache.joins(),
+            steals: self.inner.steals.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of distinct results held by the memo cache.
+    pub fn cached_results(&self) -> usize {
+        self.inner.cache.len()
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        self.inner.stop.store(true, Ordering::SeqCst);
+        self.inner.wake.notify_all();
+        self.inner.load_freed.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn pop_task(inner: &Inner, me: usize) -> Option<(Task, bool)> {
+    // Own queue first (front — FIFO for fairness)...
+    if let Some(t) = inner.queues[me].lock().expect("queue poisoned").pop_front() {
+        return Some((t, false));
+    }
+    // ...then steal from the back of a peer's deque.
+    for offset in 1..inner.queues.len() {
+        let victim = (me + offset) % inner.queues.len();
+        if let Some(t) = inner.queues[victim]
+            .lock()
+            .expect("queue poisoned")
+            .pop_back()
+        {
+            return Some((t, true));
+        }
+    }
+    None
+}
+
+fn worker_loop(inner: &Inner, me: usize) {
+    loop {
+        match pop_task(inner, me) {
+            Some((task, stolen)) => {
+                if stolen {
+                    inner.steals.fetch_add(1, Ordering::Relaxed);
+                }
+                // A panicking job must not take the worker (and with it the
+                // whole queue) down: surface it as an error response. The
+                // cache's pending guard and the slot guard both release
+                // their state on unwind.
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    process(inner, task.job)
+                }))
+                .unwrap_or_else(|payload| Err(FleetError::Internal(panic_message(&payload))));
+                if outcome.is_err() {
+                    inner.failed.fetch_add(1, Ordering::Relaxed);
+                }
+                inner.completed.fetch_add(1, Ordering::Relaxed);
+                // Receiver may have gone away (fire-and-forget submit).
+                let _ = task.reply.send(outcome);
+            }
+            None => {
+                if inner.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                let guard = inner.idle.lock().expect("idle lock poisoned");
+                // Re-check under the lock, then sleep briefly; the timeout
+                // bounds the shutdown latency.
+                let _unused = inner
+                    .wake
+                    .wait_timeout(guard, Duration::from_millis(5))
+                    .expect("idle lock poisoned");
+            }
+        }
+    }
+}
+
+fn probe(inner: &Inner, req: &RunRequest) -> Arc<ActivityRecord> {
+    let key = request_key(req);
+    if let Some(a) = inner.probes.lock().expect("probe cache poisoned").get(&key) {
+        return Arc::clone(a);
+    }
+    let activity = Arc::new(probe_activity(req));
+    inner
+        .probes
+        .lock()
+        .expect("probe cache poisoned")
+        .entry(key)
+        .or_insert(activity)
+        .clone()
+}
+
+/// Deterministic placement: pure function of (request, fleet), with the
+/// request's canonical key as the tie salt.
+fn plan_placement(
+    inner: &Inner,
+    req: &RunRequest,
+    deadline_s: Option<f64>,
+) -> Result<Placement, FleetError> {
+    let activity = probe(inner, req);
+    let salt = request_key(req);
+    place(&inner.fleet, &activity, salt, deadline_s)
+        .map_err(|e: PlacementError| FleetError::Infeasible(e.to_string()))
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("job panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("job panicked: {s}")
+    } else {
+        "job panicked".to_string()
+    }
+}
+
+/// Committed-load reservation; releases (and wakes budget waiters) on
+/// drop, including on unwind.
+struct SlotGuard<'a> {
+    inner: &'a Inner,
+    device: usize,
+    watts: f64,
+}
+
+impl Drop for SlotGuard<'_> {
+    fn drop(&mut self) {
+        if let Ok(mut load) = self.inner.load_w.lock() {
+            load[self.device] = (load[self.device] - self.watts).max(0.0);
+        }
+        self.inner.load_freed.notify_all();
+    }
+}
+
+/// Wait until the placed device is free and the fleet budget absorbs the
+/// job's planned draw, then commit the load. Execution-time backpressure —
+/// never re-routing — keeps answers independent of timing.
+fn acquire_slot<'a>(
+    inner: &'a Inner,
+    device: usize,
+    watts: f64,
+) -> Result<SlotGuard<'a>, FleetError> {
+    let mut load = inner.load_w.lock().expect("load lock poisoned");
+    loop {
+        let committed: f64 = load.iter().sum();
+        if load[device] == 0.0 && committed + watts <= inner.fleet.power_budget_w() {
+            load[device] = watts;
+            return Ok(SlotGuard {
+                inner,
+                device,
+                watts,
+            });
+        }
+        if inner.stop.load(Ordering::SeqCst) {
+            return Err(FleetError::Shutdown);
+        }
+        let (guard, _timeout) = inner
+            .load_freed
+            .wait_timeout(load, Duration::from_millis(5))
+            .expect("load lock poisoned");
+        load = guard;
+    }
+}
+
+fn process(inner: &Inner, job: FleetJob) -> Result<FleetResponse, FleetError> {
+    let (device_id, plan) = match job.pin {
+        Some(id) => {
+            if inner.fleet.device(id).is_none() {
+                return Err(FleetError::UnknownDevice(id));
+            }
+            (id, None)
+        }
+        None => {
+            let placement = plan_placement(inner, &job.request, job.deadline_s)?;
+            (placement.device, Some(placement))
+        }
+    };
+
+    let dev = inner.fleet.device(device_id).expect("validated above");
+    let key = canonical_key(&job.request, &dev.gpu, dev.vm.id);
+
+    let respond = |result: Arc<RunResult>, cache_hit: bool| {
+        let clock_scale = plan
+            .as_ref()
+            .and_then(|p| p.plan.as_ref())
+            .map(|p| p.clock_scale)
+            .unwrap_or(result.breakdown.clock_scale);
+        FleetResponse {
+            device: device_id,
+            gpu_name: dev.gpu.name,
+            clock_scale,
+            plan: plan.as_ref().and_then(|p| p.plan),
+            cache_hit,
+            result,
+        }
+    };
+
+    // Fast path: an already-cached answer needs no device slot or budget —
+    // nothing runs, so nothing draws power.
+    if let Some(result) = inner.cache.peek(key) {
+        return Ok(respond(result, true));
+    }
+
+    // Reserve the planned draw for auto-placed jobs while computing
+    // (pinned sweep jobs model the paper's dedicated-device methodology
+    // and bypass budget accounting). The guard releases on every exit
+    // path, including unwind.
+    let _slot = match &plan {
+        Some(p) => Some(acquire_slot(inner, p.device, p.planned_power_w)?),
+        None => None,
+    };
+    let gpu = dev.gpu.clone();
+    let vm_id = dev.vm.id;
+    let req = job.request.clone();
+    let (result, cache_hit) = inner
+        .cache
+        .get_or_compute(key, move || PowerLab::new(gpu).with_vm(vm_id).run(&req));
+    Ok(respond(result, cache_hit))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wm_gpu::spec::a100_pcie;
+    use wm_kernels::Sampling;
+    use wm_numerics::DType;
+    use wm_patterns::{PatternKind, PatternSpec};
+
+    fn quick(kind: PatternKind, seed: u64) -> RunRequest {
+        RunRequest::new(DType::Fp16Tensor, 128, PatternSpec::new(kind))
+            .with_seeds(1)
+            .with_base_seed(seed)
+            .with_sampling(Sampling::Lattice { rows: 4, cols: 4 })
+    }
+
+    #[test]
+    fn repeated_query_hits_the_cache() {
+        let sched = Scheduler::with_workers(Fleet::homogeneous(a100_pcie(), 2), 2);
+        let first = sched
+            .submit(FleetJob::new(quick(PatternKind::Gaussian, 1)))
+            .recv()
+            .unwrap();
+        let second = sched
+            .submit(FleetJob::new(quick(PatternKind::Gaussian, 1)))
+            .recv()
+            .unwrap();
+        assert!(!first.cache_hit);
+        assert!(second.cache_hit);
+        assert!(Arc::ptr_eq(&first.result, &second.result));
+        let stats = sched.stats();
+        assert_eq!(stats.cache_misses, 1);
+        assert!(stats.cache_hits >= 1);
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.failed, 0);
+    }
+
+    #[test]
+    fn batch_answers_preserve_order_and_dedupe() {
+        let sched = Scheduler::with_workers(Fleet::homogeneous(a100_pcie(), 2), 4);
+        let jobs = vec![
+            FleetJob::new(quick(PatternKind::Gaussian, 7)),
+            FleetJob::new(quick(PatternKind::Zeros, 7)),
+            FleetJob::new(quick(PatternKind::Gaussian, 7)), // duplicate of [0]
+            FleetJob::new(quick(PatternKind::Sparse { sparsity: 0.5 }, 7)),
+        ];
+        let answers = sched.run_batch(jobs);
+        assert_eq!(answers.len(), 4);
+        let ok: Vec<&FleetResponse> = answers.iter().map(|a| a.as_ref().unwrap()).collect();
+        // Exact duplicate shares the allocation with its twin.
+        assert!(Arc::ptr_eq(&ok[0].result, &ok[2].result));
+        // Distinct patterns computed separately: 3 misses for 4 queries.
+        assert_eq!(sched.stats().cache_misses, 3);
+        // Ordering: zeros strictly below gaussian power.
+        assert!(ok[1].result.power.mean < ok[0].result.power.mean);
+    }
+
+    #[test]
+    fn pinned_jobs_run_on_their_device() {
+        let sched = Scheduler::with_workers(Fleet::homogeneous(a100_pcie(), 3), 2);
+        let r = sched
+            .submit(FleetJob::pinned(quick(PatternKind::Gaussian, 3), 2))
+            .recv()
+            .unwrap();
+        assert_eq!(r.device, 2);
+        assert!(r.plan.is_none());
+        let err = sched
+            .submit(FleetJob::pinned(quick(PatternKind::Gaussian, 3), 9))
+            .recv()
+            .unwrap_err();
+        assert_eq!(err, FleetError::UnknownDevice(9));
+    }
+
+    #[test]
+    fn deterministic_across_schedulers() {
+        let jobs = || {
+            vec![
+                FleetJob::new(quick(PatternKind::Gaussian, 11)),
+                FleetJob::new(quick(PatternKind::Sparse { sparsity: 0.3 }, 11)),
+                FleetJob::new(quick(PatternKind::Zeros, 11)),
+            ]
+        };
+        let a = Scheduler::with_workers(Fleet::from_catalog(), 4).run_batch(jobs());
+        let b = Scheduler::with_workers(Fleet::from_catalog(), 1).run_batch(jobs());
+        for (x, y) in a.iter().zip(&b) {
+            let (x, y) = (x.as_ref().unwrap(), y.as_ref().unwrap());
+            assert_eq!(x.device, y.device, "placement must not depend on timing");
+            assert_eq!(x.result.power, y.result.power);
+            assert_eq!(x.result.activity, y.result.activity);
+        }
+    }
+
+    #[test]
+    fn work_stealing_spreads_a_lopsided_batch() {
+        // Many jobs land round-robin on 4 queues but all the work is
+        // distinct, so idle workers steal. With a single-device fleet and
+        // backpressure serialising execution this still terminates.
+        let sched = Scheduler::with_workers(Fleet::homogeneous(a100_pcie(), 4), 4);
+        let jobs: Vec<FleetJob> = (0..12)
+            .map(|i| FleetJob::new(quick(PatternKind::Gaussian, 100 + i)))
+            .collect();
+        let answers = sched.run_batch(jobs);
+        assert!(answers.iter().all(|a| a.is_ok()));
+        let stats = sched.stats();
+        assert_eq!(stats.completed, 12);
+        assert_eq!(stats.cache_misses, 12);
+    }
+
+    #[test]
+    fn panicking_jobs_surface_errors_and_workers_survive() {
+        // sparsity > 1 asserts deep inside the pattern generator. The
+        // protocol layer rejects such requests, but the library API can
+        // still submit them: the panic must come back as an error, the
+        // worker must survive, and the cache key must not be wedged.
+        let sched = Scheduler::with_workers(Fleet::homogeneous(a100_pcie(), 1), 1);
+        let bad = RunRequest::new(
+            DType::Fp32,
+            64,
+            PatternSpec::new(PatternKind::Sparse { sparsity: 1.5 }),
+        )
+        .with_seeds(1)
+        .with_sampling(Sampling::Lattice { rows: 4, cols: 4 });
+        // Auto path panics in the placement probe; pinned path panics
+        // inside the cache's compute closure (exercising the pending
+        // guard). Both must answer, twice each, on the single worker.
+        for _ in 0..2 {
+            let err = sched.submit(FleetJob::new(bad.clone())).recv().unwrap_err();
+            assert!(matches!(err, FleetError::Internal(_)), "{err:?}");
+            let err = sched
+                .submit(FleetJob::pinned(bad.clone(), 0))
+                .recv()
+                .unwrap_err();
+            assert!(matches!(err, FleetError::Internal(_)), "{err:?}");
+        }
+        // The lone worker is still alive and serves valid traffic.
+        let ok = sched
+            .submit(FleetJob::new(quick(PatternKind::Gaussian, 1)))
+            .recv();
+        assert!(ok.is_ok(), "{ok:?}");
+        assert_eq!(sched.stats().failed, 4);
+    }
+
+    #[test]
+    fn cached_duplicates_skip_budget_backpressure() {
+        // With a budget that admits only one running job, a stream of
+        // identical queries must still be fast after the first: cached
+        // answers take the peek fast path and never wait for a slot.
+        let fleet = Fleet::builder()
+            .device(a100_pcie())
+            .power_budget_w(290.0)
+            .build();
+        let sched = Scheduler::with_workers(fleet, 4);
+        let req = quick(PatternKind::Gaussian, 77);
+        let first = sched.submit(FleetJob::new(req.clone())).recv().unwrap();
+        assert!(!first.cache_hit);
+        let repeats = sched.run_batch(vec![FleetJob::new(req); 8]);
+        assert!(repeats.iter().all(|r| r.as_ref().unwrap().cache_hit));
+        assert_eq!(sched.stats().cache_misses, 1);
+    }
+
+    #[test]
+    fn tight_budget_serialises_but_completes() {
+        // Budget admits one 200+ W job at a time; concurrent submissions
+        // queue at execution and all finish.
+        let fleet = Fleet::builder()
+            .device(a100_pcie())
+            .device(a100_pcie())
+            .power_budget_w(290.0)
+            .build();
+        let sched = Scheduler::with_workers(fleet, 4);
+        let jobs: Vec<FleetJob> = (0..6)
+            .map(|i| FleetJob::new(quick(PatternKind::Gaussian, 200 + i)))
+            .collect();
+        let answers = sched.run_batch(jobs);
+        assert!(answers.iter().all(|a| a.is_ok()), "{answers:?}");
+        assert_eq!(sched.stats().completed, 6);
+    }
+
+    #[test]
+    fn infeasible_jobs_are_rejected_not_queued() {
+        let gpu = a100_pcie();
+        let idle = gpu.idle_watts;
+        let fleet = Fleet::builder().device_with(gpu, 0, idle + 1.0).build();
+        let sched = Scheduler::with_workers(fleet, 1);
+        let err = sched
+            .submit(FleetJob::new(quick(PatternKind::Gaussian, 5)))
+            .recv()
+            .unwrap_err();
+        assert!(matches!(err, FleetError::Infeasible(_)), "{err:?}");
+        assert_eq!(sched.stats().failed, 1);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests for the fleet memo cache and canonical hashing:
+//! identical requests hash identically, differing requests (almost
+//! surely) don't, and cached results are bit-identical across repeats.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use wm_core::RunRequest;
+use wm_fleet::{canonical_key, request_key, Fleet, FleetJob, MemoCache, Scheduler};
+use wm_gpu::spec::{a100_pcie, h100_sxm5, rtx6000, v100_sxm2};
+use wm_gpu::GpuSpec;
+use wm_kernels::Sampling;
+use wm_numerics::DType;
+use wm_patterns::{PatternKind, PatternSpec};
+
+fn arb_dtype() -> impl Strategy<Value = DType> {
+    prop::sample::select(DType::ALL.to_vec())
+}
+
+fn arb_kind() -> impl Strategy<Value = PatternKind> {
+    prop_oneof![
+        Just(PatternKind::Gaussian),
+        Just(PatternKind::ConstantRandom),
+        Just(PatternKind::Zeros),
+        (1usize..32).prop_map(|n| PatternKind::ValueSet { set_size: n }),
+        (0.0f64..=1.0).prop_map(|p| PatternKind::BitFlips { probability: p }),
+        (0.0f64..=1.0).prop_map(|f| PatternKind::SortedRows { fraction: f }),
+        (0.0f64..=1.0).prop_map(|s| PatternKind::Sparse { sparsity: s }),
+        (0u32..=16).prop_map(|k| PatternKind::ZeroLsbs { count: k }),
+    ]
+}
+
+fn arb_gpu() -> impl Strategy<Value = GpuSpec> {
+    prop::sample::select(vec![a100_pcie(), v100_sxm2(), h100_sxm5(), rtx6000()])
+}
+
+fn arb_request() -> impl Strategy<Value = RunRequest> {
+    (
+        arb_dtype(),
+        prop::sample::select(vec![32usize, 64, 96]),
+        arb_kind(),
+        1u64..4,
+        any::<u64>(),
+    )
+        .prop_map(|(dtype, dim, kind, seeds, base_seed)| {
+            RunRequest::new(dtype, dim, PatternSpec::new(kind))
+                .with_seeds(seeds)
+                .with_base_seed(base_seed)
+                .with_sampling(Sampling::Lattice { rows: 4, cols: 4 })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn identical_requests_hash_to_the_same_key(req in arb_request(), gpu in arb_gpu(), vm in 0u64..8) {
+        let twin = req.clone();
+        prop_assert_eq!(canonical_key(&req, &gpu, vm), canonical_key(&twin, &gpu, vm));
+        prop_assert_eq!(request_key(&req), request_key(&twin));
+    }
+
+    #[test]
+    fn key_is_sensitive_to_every_request_knob(req in arb_request(), gpu in arb_gpu()) {
+        let base = canonical_key(&req, &gpu, 0);
+        prop_assert!(base != canonical_key(&req.clone().with_base_seed(req.base_seed ^ 1), &gpu, 0));
+        prop_assert!(base != canonical_key(&req.clone().with_seeds(req.seeds + 1), &gpu, 0));
+        prop_assert!(base != canonical_key(&req.clone().with_b_transposed(!req.b_transposed), &gpu, 0));
+        prop_assert!(base != canonical_key(&req, &gpu, 1));
+    }
+
+    #[test]
+    fn distinct_devices_never_share_keys(req in arb_request()) {
+        let keys: Vec<u64> = [a100_pcie(), v100_sxm2(), h100_sxm5(), rtx6000()]
+            .iter()
+            .map(|g| canonical_key(&req, g, 0))
+            .collect();
+        for i in 0..keys.len() {
+            for j in i + 1..keys.len() {
+                prop_assert!(keys[i] != keys[j], "devices {i} and {j} alias");
+            }
+        }
+    }
+}
+
+proptest! {
+    // The end-to-end property costs a simulation per case; keep it small.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn cached_results_are_bit_identical(req in arb_request()) {
+        let sched = Scheduler::with_workers(Fleet::homogeneous(a100_pcie(), 2), 2);
+        let first = sched.submit(FleetJob::new(req.clone())).recv().unwrap();
+        let second = sched.submit(FleetJob::new(req.clone())).recv().unwrap();
+        prop_assert!(!first.cache_hit, "first query must compute");
+        prop_assert!(second.cache_hit, "identical repeat must hit the cache");
+        // Same allocation — equality is bit-exact by construction...
+        prop_assert!(Arc::ptr_eq(&first.result, &second.result));
+        // ...and field-wise equality holds too (RunResult: PartialEq).
+        prop_assert_eq!(&*first.result, &*second.result);
+        prop_assert_eq!(first.device, second.device);
+    }
+}
+
+#[test]
+fn memo_cache_counts_joins_as_hits() {
+    let cache = MemoCache::new(4);
+    let slow = || {
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        wm_core::PowerLab::new(a100_pcie()).run(
+            &RunRequest::new(DType::Int8, 32, PatternSpec::new(PatternKind::Zeros))
+                .with_seeds(1)
+                .with_sampling(Sampling::Lattice { rows: 2, cols: 2 }),
+        )
+    };
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            s.spawn(|| cache.get_or_compute(99, slow));
+        }
+    });
+    assert_eq!(cache.misses(), 1);
+    assert_eq!(cache.hits(), 3);
+    assert_eq!(cache.hits() + cache.misses(), 4);
+}

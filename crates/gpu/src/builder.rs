@@ -131,7 +131,11 @@ mod tests {
     #[test]
     fn catalog_specs_pass_validation() {
         for g in GpuSpec::catalog() {
-            assert!(GpuSpecBuilder::from(g.clone()).build().is_ok(), "{}", g.name);
+            assert!(
+                GpuSpecBuilder::from(g.clone()).build().is_ok(),
+                "{}",
+                g.name
+            );
         }
     }
 

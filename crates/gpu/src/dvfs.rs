@@ -61,7 +61,9 @@ pub fn resolve_throttle(
     }
     let headroom = (spec.tdp_watts - p_static_watts).max(0.0);
     let scale = if p_dynamic_boost_watts > 0.0 {
-        (headroom / p_dynamic_boost_watts).cbrt().clamp(MIN_CLOCK_SCALE, 1.0)
+        (headroom / p_dynamic_boost_watts)
+            .cbrt()
+            .clamp(MIN_CLOCK_SCALE, 1.0)
     } else {
         1.0
     };

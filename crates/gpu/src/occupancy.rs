@@ -26,7 +26,11 @@ pub struct TileShape {
 
 impl TileShape {
     /// The CUTLASS default large tile for dense GEMM.
-    pub const DEFAULT: TileShape = TileShape { m: 128, n: 128, k: 32 };
+    pub const DEFAULT: TileShape = TileShape {
+        m: 128,
+        n: 128,
+        k: 32,
+    };
 }
 
 /// Number of threadblocks a GEMM grid launches for an `n x m` output with

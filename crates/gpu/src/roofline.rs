@@ -83,12 +83,14 @@ pub struct RuntimeEstimate {
 /// that is why the A100 throttles at 4096² but not 2048², and the RTX 6000
 /// (fewer SMs, lower TDP) already throttles at 2048².
 fn cutlass_efficiency(spec: &GpuSpec, dims: GemmDims) -> f64 {
-    let aligned = dims.n % 128 == 0 && dims.m % 128 == 0 && dims.k % 32 == 0;
+    let aligned =
+        dims.n.is_multiple_of(128) && dims.m.is_multiple_of(128) && dims.k.is_multiple_of(32);
     let base = if aligned { 0.80 } else { 0.62 };
     // Small problems cannot amortize the mainloop prologue/epilogue.
     let min_dim = dims.n.min(dims.m).min(dims.k) as f64;
     let ramp = min_dim / (min_dim + 96.0);
-    let blocks = crate::occupancy::grid_blocks(dims.n, dims.m, crate::occupancy::TileShape::DEFAULT);
+    let blocks =
+        crate::occupancy::grid_blocks(dims.n, dims.m, crate::occupancy::TileShape::DEFAULT);
     base * ramp * crate::occupancy::occupancy(spec.sm_count, blocks)
 }
 
@@ -274,7 +276,11 @@ mod tests {
             est.t_compute_s
         );
         // 4096x4096 FP16: ~33.6 MB at ~1.64 TB/s effective -> ~20 us.
-        assert!(est.t_iter_s > 10e-6 && est.t_iter_s < 60e-6, "{}", est.t_iter_s);
+        assert!(
+            est.t_iter_s > 10e-6 && est.t_iter_s < 60e-6,
+            "{}",
+            est.t_iter_s
+        );
     }
 
     #[test]

@@ -277,8 +277,16 @@ mod tests {
     fn peak_ops_ordering_per_device() {
         // Tensor FP16 must beat SIMT FP16 which beats (or equals) FP32.
         for g in GpuSpec::catalog() {
-            assert!(g.peak_ops(DType::Fp16Tensor) > g.peak_ops(DType::Fp16), "{}", g.name);
-            assert!(g.peak_ops(DType::Fp16) > g.peak_ops(DType::Fp32), "{}", g.name);
+            assert!(
+                g.peak_ops(DType::Fp16Tensor) > g.peak_ops(DType::Fp16),
+                "{}",
+                g.name
+            );
+            assert!(
+                g.peak_ops(DType::Fp16) > g.peak_ops(DType::Fp32),
+                "{}",
+                g.name
+            );
         }
     }
 
@@ -293,7 +301,11 @@ mod tests {
     #[test]
     fn idle_below_tdp_everywhere() {
         for g in GpuSpec::catalog() {
-            assert!(g.idle_watts + g.uncore_watts < g.tdp_watts * 0.5, "{}", g.name);
+            assert!(
+                g.idle_watts + g.uncore_watts < g.tdp_watts * 0.5,
+                "{}",
+                g.name
+            );
             assert!(g.data_sensitivity > 0.0 && g.data_sensitivity <= 1.5);
         }
     }

@@ -113,14 +113,8 @@ impl ActivityRecord {
             accum_toggles_per_mac: avg(self.accum_toggles_per_mac, other.accum_toggles_per_mac),
             nonzero_mac_fraction: avg(self.nonzero_mac_fraction, other.nonzero_mac_fraction),
             mean_bit_alignment: avg(self.mean_bit_alignment, other.mean_bit_alignment),
-            mean_hamming_weight_a: avg(
-                self.mean_hamming_weight_a,
-                other.mean_hamming_weight_a,
-            ),
-            mean_hamming_weight_b: avg(
-                self.mean_hamming_weight_b,
-                other.mean_hamming_weight_b,
-            ),
+            mean_hamming_weight_a: avg(self.mean_hamming_weight_a, other.mean_hamming_weight_a),
+            mean_hamming_weight_b: avg(self.mean_hamming_weight_b, other.mean_hamming_weight_b),
             dram_toggles: ((self.dram_toggles as f64 * w1 + other.dram_toggles as f64 * w2) / t)
                 as u64,
             dram_words: self.dram_words,

@@ -84,7 +84,10 @@ pub fn simulate(inputs: &GemmInputs<'_>, config: &GemmConfig) -> GemmOutcome {
     let sig_norm = sig_width(config.dtype);
 
     let (row_idx, col_idx) = match config.sampling {
-        Sampling::Full => ((0..dims.n).collect::<Vec<_>>(), (0..dims.m).collect::<Vec<_>>()),
+        Sampling::Full => (
+            (0..dims.n).collect::<Vec<_>>(),
+            (0..dims.m).collect::<Vec<_>>(),
+        ),
         Sampling::Lattice { rows, cols } => (
             Sampling::lattice_indices(dims.n, rows),
             Sampling::lattice_indices(dims.m, cols),
@@ -357,7 +360,10 @@ mod tests {
         .activity;
         let rel = |x: f64, y: f64| (x - y).abs() / y.abs().max(1e-12);
         assert!(
-            rel(sampled.operand_a_toggles_per_mac, full.operand_a_toggles_per_mac) < 0.03,
+            rel(
+                sampled.operand_a_toggles_per_mac,
+                full.operand_a_toggles_per_mac
+            ) < 0.03,
             "operand A estimator off: {} vs {}",
             sampled.operand_a_toggles_per_mac,
             full.operand_a_toggles_per_mac

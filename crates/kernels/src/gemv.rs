@@ -81,7 +81,8 @@ pub fn simulate_gemv(
     let x_matrix = Matrix::from_vec(x.len(), 1, x.iter().map(|&v| q.quantize(v)).collect());
     let ex = EncodedMatrix::encode(&x_matrix, dtype);
     let word_bits = f64::from(dtype.bits());
-    let sig_norm = f64::from(dtype.mantissa_bits() + if dtype.is_float() { 1 } else { dtype.bits() });
+    let sig_norm =
+        f64::from(dtype.mantissa_bits() + if dtype.is_float() { 1 } else { dtype.bits() });
 
     let rows = if config.sample_rows == usize::MAX {
         (0..a.rows()).collect::<Vec<_>>()
@@ -101,7 +102,7 @@ pub fn simulate_gemv(
         let mut prev_acc = acc.bits() as u32;
         let mut prev_a: Option<u32> = None;
         let mut prev_x: Option<u32> = None;
-        for k in 0..a.cols() {
+        for (k, &a_val) in a_row.iter().enumerate() {
             let a_bits = ea.bits_at(i, k);
             let x_bits = ex.bits_at(k, 0);
             if let Some(p) = prev_a {
@@ -115,12 +116,12 @@ pub fn simulate_gemv(
             align_distance += u64::from((a_bits ^ x_bits).count_ones());
             hw_a += u64::from(a_bits.count_ones());
             hw_x += u64::from(x_bits.count_ones());
-            let a_val = a_row[k];
             let x_val = x_matrix.get(k, 0);
             if a_val != 0.0 && x_val != 0.0 {
                 nonzero += 1;
-                mult_activity +=
-                    f64::from(ea.sig_weight_at(i, k)) * f64::from(ex.sig_weight_at(k, 0)) / sig_norm;
+                mult_activity += f64::from(ea.sig_weight_at(i, k))
+                    * f64::from(ex.sig_weight_at(k, 0))
+                    / sig_norm;
             }
             acc.add_product(q.product(a_val, x_val));
             let bits = acc.bits() as u32;
@@ -129,7 +130,10 @@ pub fn simulate_gemv(
         }
         sampled_macs += a.cols() as u64;
         let y_prev = y0.map_or(0.0, |y| y[i]);
-        outputs.push((i, q.quantize(config.alpha * acc.value() + config.beta * y_prev)));
+        outputs.push((
+            i,
+            q.quantize(config.alpha * acc.value() + config.beta * y_prev),
+        ));
     }
 
     let macs = sampled_macs.max(1) as f64;
@@ -166,18 +170,13 @@ pub fn simulate_gemv(
 }
 
 /// Naive reference GEMV with the same dtype semantics.
-pub fn reference_gemv(
-    a: &Matrix,
-    x: &[f32],
-    y0: Option<&[f32]>,
-    config: &GemvConfig,
-) -> Vec<f32> {
+pub fn reference_gemv(a: &Matrix, x: &[f32], y0: Option<&[f32]>, config: &GemvConfig) -> Vec<f32> {
     let q = Quantizer::new(config.dtype);
     (0..a.rows())
         .map(|i| {
             let mut acc = q.new_accumulator();
-            for k in 0..a.cols() {
-                acc.add_product(q.product(a.get(i, k), q.quantize(x[k])));
+            for (k, &xv) in x.iter().enumerate().take(a.cols()) {
+                acc.add_product(q.product(a.get(i, k), q.quantize(xv)));
             }
             let y_prev = y0.map_or(0.0, |y| y[i]);
             q.quantize(config.alpha * acc.value() + config.beta * y_prev)
@@ -194,7 +193,8 @@ mod tests {
 
     fn inputs(dim: usize, dtype: DType, seed: u64) -> (Matrix, Vec<f32>) {
         let mut root = Xoshiro256pp::seed_from_u64(seed);
-        let a = PatternSpec::new(PatternKind::Gaussian).generate(dtype, dim, dim, &mut root.fork(0));
+        let a =
+            PatternSpec::new(PatternKind::Gaussian).generate(dtype, dim, dim, &mut root.fork(0));
         let mut g = Gaussian::new(0.0, dtype.paper_sigma());
         let mut rng = root.fork(1);
         let x: Vec<f32> = (0..dim).map(|_| g.sample_f32(&mut rng)).collect();
@@ -258,8 +258,8 @@ mod tests {
     fn sampling_estimator_tracks_full_walk() {
         let dtype = DType::Fp16;
         let (a, x) = inputs(96, dtype, 4);
-        let full = simulate_gemv(&a, &x, None, &GemvConfig::new(dtype).with_full_sampling())
-            .activity;
+        let full =
+            simulate_gemv(&a, &x, None, &GemvConfig::new(dtype).with_full_sampling()).activity;
         let sampled = simulate_gemv(
             &a,
             &x,

@@ -15,8 +15,8 @@ fn print_random_input_magnitudes() {
         let spec = PatternSpec::new(PatternKind::Gaussian);
         let a = spec.generate(dtype, dim, dim, &mut rng.fork(0));
         let b = spec.generate(dtype, dim, dim, &mut rng.fork(1));
-        let cfg = GemmConfig::square(dim, dtype)
-            .with_sampling(Sampling::Lattice { rows: 32, cols: 32 });
+        let cfg =
+            GemmConfig::square(dim, dtype).with_sampling(Sampling::Lattice { rows: 32, cols: 32 });
         let act = simulate(
             &GemmInputs {
                 a: &a,

@@ -136,10 +136,7 @@ mod tests {
     fn raster_order_is_row_major() {
         let it = TileIter::new(4, 6, 2, 2);
         let order: Vec<_> = it.map(|t| (t.tile_row, t.tile_col)).collect();
-        assert_eq!(
-            order,
-            vec![(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]
-        );
+        assert_eq!(order, vec![(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]);
     }
 
     #[test]

@@ -94,7 +94,7 @@ mod tests {
 
     #[test]
     fn rounding_error_within_half_ulp() {
-        for &x in &[3.14159f32, 210.4567, -0.001234, 54321.0] {
+        for &x in &[std::f32::consts::PI, 210.4567, -0.001234, 54321.0] {
             let r = round_f32_to_bf16(x);
             let ulp = 2.0f32.powi(x.abs().log2().floor() as i32 - 7);
             assert!((r - x).abs() <= ulp * 0.5 + f32::EPSILON, "{x} -> {r}");

@@ -14,8 +14,8 @@
 //!   simulated GEMM produces numerically faithful outputs *and* faithful
 //!   accumulator bit streams.
 
-use crate::dtype::DType;
 use crate::bf16::{bf16_bits_to_f32, f32_to_bf16_bits, round_f32_to_bf16};
+use crate::dtype::DType;
 use crate::fp16::{f16_bits_to_f32, f32_to_f16_bits, round_f32_to_f16};
 
 /// Which accumulator a pipeline uses during the K-reduction.
@@ -197,7 +197,7 @@ mod tests {
     #[test]
     fn fp32_is_identity() {
         let q = Quantizer::new(DType::Fp32);
-        for v in [0.0f32, -1.5, 3.1415927, 1e20, -1e-20] {
+        for v in [0.0f32, -1.5, std::f32::consts::PI, 1e20, -1e-20] {
             assert_eq!(q.quantize(v), v);
             assert_eq!(q.decode(q.encode(v)), v);
         }

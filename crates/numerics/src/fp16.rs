@@ -233,8 +233,8 @@ mod tests {
 
     #[test]
     fn mul_and_add_stay_representable() {
-        let a = round_f32_to_f16(3.14159);
-        let b = round_f32_to_f16(-2.71828);
+        let a = round_f32_to_f16(std::f32::consts::PI);
+        let b = round_f32_to_f16(-std::f32::consts::E);
         for v in [f16_mul(a, b), f16_add(a, b)] {
             assert_eq!(round_f32_to_f16(v), v, "result {v} not a half value");
         }

@@ -120,10 +120,9 @@ fn split_call(fragment: &str) -> Result<(&str, Vec<&str>), ParseError> {
 }
 
 fn parse_f64(s: &str) -> Result<f64, ParseError> {
-    s.parse::<f64>()
-        .map_err(|_| ParseError {
-            message: format!("expected a number, got {s:?}"),
-        })
+    s.parse::<f64>().map_err(|_| ParseError {
+        message: format!("expected a number, got {s:?}"),
+    })
 }
 
 fn parse_step(fragment: &str) -> Result<Step, ParseError> {
@@ -166,8 +165,7 @@ fn parse_step(fragment: &str) -> Result<Step, ParseError> {
 impl PatternProgram {
     /// Parse a pipeline, e.g. `gaussian(std=210) |> sort_rows(0.5)`.
     pub fn parse(source: &str) -> Result<Self, ParseError> {
-        let steps: Result<Vec<Step>, ParseError> =
-            source.split("|>").map(parse_step).collect();
+        let steps: Result<Vec<Step>, ParseError> = source.split("|>").map(parse_step).collect();
         let steps = steps?;
         if steps.is_empty() {
             return err("empty program");
@@ -213,8 +211,9 @@ impl PatternProgram {
                 Step::Constant(v) => m.map_in_place(|_| q.quantize(v as f32)),
                 Step::ValueSet(n) => {
                     let mut g = Gaussian::new(0.0, default_std);
-                    let set: Vec<f32> =
-                        (0..n.max(1)).map(|_| q.quantize(g.sample_f32(rng))).collect();
+                    let set: Vec<f32> = (0..n.max(1))
+                        .map(|_| q.quantize(g.sample_f32(rng)))
+                        .collect();
                     m.map_in_place(|_| set[rng.next_bounded(set.len())]);
                 }
                 Step::SortRows(f) => placement::sort_into_rows(&mut m, f),
@@ -246,8 +245,8 @@ impl PatternProgram {
         let mut root = Xoshiro256pp::seed_from_u64(seed);
         let a = self.generate(dtype, dim, dim, &mut root.fork(0));
         let b = self.generate(dtype, dim, dim, &mut root.fork(1));
-        let cfg = GemmConfig::square(dim, dtype)
-            .with_sampling(Sampling::Lattice { rows: 12, cols: 12 });
+        let cfg =
+            GemmConfig::square(dim, dtype).with_sampling(Sampling::Lattice { rows: 12, cols: 12 });
         let act = simulate(
             &GemmInputs {
                 a: &a,
@@ -272,8 +271,9 @@ mod tests {
 
     #[test]
     fn parse_round_trip() {
-        let p = PatternProgram::parse("gaussian(mean=0, std=210) |> sort_rows(0.5) |> sparsify(0.3)")
-            .unwrap();
+        let p =
+            PatternProgram::parse("gaussian(mean=0, std=210) |> sort_rows(0.5) |> sparsify(0.3)")
+                .unwrap();
         assert_eq!(p.steps().len(), 3);
         assert_eq!(
             p.steps()[0],
@@ -306,8 +306,8 @@ mod tests {
 
     #[test]
     fn pipeline_effects_compose() {
-        let p = PatternProgram::parse("gaussian(std=210) |> sort_rows(1.0) |> sparsify(0.25)")
-            .unwrap();
+        let p =
+            PatternProgram::parse("gaussian(std=210) |> sort_rows(1.0) |> sparsify(0.25)").unwrap();
         let m = p.generate(DType::Fp16, 32, 32, &mut rng(2));
         assert!((m.zero_fraction() - 0.25).abs() < 0.02);
     }

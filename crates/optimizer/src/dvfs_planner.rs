@@ -143,8 +143,8 @@ mod tests {
         let spec = PatternSpec::new(kind);
         let a = spec.generate(dtype, dim, dim, &mut root.fork(0));
         let b = spec.generate(dtype, dim, dim, &mut root.fork(1));
-        let cfg = GemmConfig::square(dim, dtype)
-            .with_sampling(Sampling::Lattice { rows: 12, cols: 12 });
+        let cfg =
+            GemmConfig::square(dim, dtype).with_sampling(Sampling::Lattice { rows: 12, cols: 12 });
         evaluate(
             &a100_pcie(),
             &simulate(
@@ -214,7 +214,9 @@ mod tests {
         let gpu = a100_pcie();
         let b = breakdown(PatternKind::Gaussian);
         let p_dyn = b.uncore_w + b.datapath_w + b.dram_w + b.l2_w;
-        let analytic = (gpu.idle_watts / (2.0 * p_dyn)).cbrt().clamp(MIN_CLOCK_SCALE, 1.0);
+        let analytic = (gpu.idle_watts / (2.0 * p_dyn))
+            .cbrt()
+            .clamp(MIN_CLOCK_SCALE, 1.0);
         let plan = plan_dvfs(&gpu, &b, None);
         assert!(
             (plan.clock_scale - analytic).abs() < 0.05,

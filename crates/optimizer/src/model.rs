@@ -69,8 +69,11 @@ fn ridge_solve(xs: &[[f64; FEATURE_COUNT]], ys: &[f64], lambda: f64) -> [f64; FE
         assert!(diag.abs() > 1e-12, "singular normal equations");
         for row in col + 1..n {
             let factor = ata[row][col] / diag;
-            for k in col..n {
-                ata[row][k] -= factor * ata[col][k];
+            // Split borrow: `row > col` always, so the pivot row sits in
+            // the upper half and the eliminated row in the lower.
+            let (upper, lower) = ata.split_at_mut(row);
+            for (dst, &src) in lower[0][col..n].iter_mut().zip(&upper[col][col..n]) {
+                *dst -= factor * src;
             }
             beta[row] -= factor * beta[col];
         }

@@ -135,8 +135,8 @@ pub fn design_sparsity(
     let relative_error = diff_norm / frobenius(w).max(1e-30);
 
     // Power prediction: designed x designed vs dense x dense.
-    let cfg = GemmConfig::square(w.rows(), dtype)
-        .with_sampling(Sampling::Lattice { rows: 12, cols: 12 });
+    let cfg =
+        GemmConfig::square(w.rows(), dtype).with_sampling(Sampling::Lattice { rows: 12, cols: 12 });
     let predict = |m: &Matrix| -> f64 {
         let act = simulate(
             &GemmInputs {
@@ -225,6 +225,13 @@ mod tests {
     #[should_panic(expected = "outside")]
     fn budget_validated() {
         let w = weights(16, 5);
-        design_sparsity(&w, DType::Fp16, &a100_pcie(), SparsityStrategy::Random, 1.5, 7);
+        design_sparsity(
+            &w,
+            DType::Fp16,
+            &a100_pcie(),
+            SparsityStrategy::Random,
+            1.5,
+            7,
+        );
     }
 }

@@ -19,11 +19,7 @@ use wm_matrix::Matrix;
 use wm_numerics::{DType, Quantizer};
 
 /// Apply an encoding-level transform to every element of a matrix.
-fn rewrite_bits(
-    m: &mut Matrix,
-    dtype: DType,
-    mut f: impl FnMut(u64, &BitSurgeon) -> u64,
-) {
+fn rewrite_bits(m: &mut Matrix, dtype: DType, mut f: impl FnMut(u64, &BitSurgeon) -> u64) {
     let q = Quantizer::new(dtype);
     let surgeon = BitSurgeon::new(dtype.bits());
     m.map_in_place(|v| {
@@ -34,12 +30,7 @@ fn rewrite_bits(
 
 /// Flip each bit of each element independently with probability
 /// `flip_prob` (Fig. 4a).
-pub fn flip_random_bits(
-    m: &mut Matrix,
-    dtype: DType,
-    flip_prob: f64,
-    rng: &mut Xoshiro256pp,
-) {
+pub fn flip_random_bits(m: &mut Matrix, dtype: DType, flip_prob: f64, rng: &mut Xoshiro256pp) {
     assert!(
         (0.0..=1.0).contains(&flip_prob),
         "flip probability {flip_prob} outside [0, 1]"

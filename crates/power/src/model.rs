@@ -67,8 +67,16 @@ pub fn evaluate(spec: &GpuSpec, activity: &ActivityRecord) -> PowerBreakdown {
         activity.operand_toggles_per_mac(),
         sens,
     );
-    let mult = damp(r.mult_activity_per_mac, activity.mult_activity_per_mac, sens);
-    let accum = damp(r.accum_toggles_per_mac, activity.accum_toggles_per_mac, sens);
+    let mult = damp(
+        r.mult_activity_per_mac,
+        activity.mult_activity_per_mac,
+        sens,
+    );
+    let accum = damp(
+        r.accum_toggles_per_mac,
+        activity.accum_toggles_per_mac,
+        sens,
+    );
     let e_mac_pj = pc.e_base_pj
         + pc.e_operand_pj_per_bit * operand
         + pc.e_mult_pj_per_unit * mult
@@ -81,8 +89,7 @@ pub fn evaluate(spec: &GpuSpec, activity: &ActivityRecord) -> PowerBreakdown {
         activity.dram_toggles as f64,
         sens,
     );
-    let e_dram = (stream_bits * mc.dram_base_pj_per_bit
-        + dram_toggles * mc.dram_toggle_pj_per_bit)
+    let e_dram = (stream_bits * mc.dram_base_pj_per_bit + dram_toggles * mc.dram_toggle_pj_per_bit)
         * kind
         * 1e-12;
     let e_l2 = activity.l2_passes
@@ -136,8 +143,8 @@ mod tests {
         let spec = PatternSpec::new(kind);
         let a = spec.generate(dtype, dim, dim, &mut root.fork(0));
         let b = spec.generate(dtype, dim, dim, &mut root.fork(1));
-        let cfg = GemmConfig::square(dim, dtype)
-            .with_sampling(Sampling::Lattice { rows: 16, cols: 16 });
+        let cfg =
+            GemmConfig::square(dim, dtype).with_sampling(Sampling::Lattice { rows: 16, cols: 16 });
         simulate(
             &GemmInputs {
                 a: &a,
@@ -152,7 +159,10 @@ mod tests {
     #[test]
     fn a100_fp16t_random_sits_just_under_tdp() {
         let g = a100_pcie();
-        let p = evaluate(&g, &activity(PatternKind::Gaussian, DType::Fp16Tensor, 2048, 1));
+        let p = evaluate(
+            &g,
+            &activity(PatternKind::Gaussian, DType::Fp16Tensor, 2048, 1),
+        );
         assert!(
             p.total_w > 255.0 && p.total_w < 300.0,
             "FP16-T random power {} outside the calibrated band",
@@ -170,18 +180,21 @@ mod tests {
             let p = evaluate(&g, &activity(PatternKind::Gaussian, dt, 2048, 2));
             by_dtype.push((dt, p.total_w));
         }
-        let max = by_dtype
-            .iter()
-            .max_by(|a, b| a.1.total_cmp(&b.1))
-            .unwrap();
+        let max = by_dtype.iter().max_by(|a, b| a.1.total_cmp(&b.1)).unwrap();
         assert_eq!(max.0, DType::Fp16Tensor, "power by dtype: {by_dtype:?}");
     }
 
     #[test]
     fn zero_matrices_drop_power_by_about_forty_percent() {
         let g = a100_pcie();
-        let random = evaluate(&g, &activity(PatternKind::Gaussian, DType::Fp16Tensor, 2048, 3));
-        let zeros = evaluate(&g, &activity(PatternKind::Zeros, DType::Fp16Tensor, 2048, 4));
+        let random = evaluate(
+            &g,
+            &activity(PatternKind::Gaussian, DType::Fp16Tensor, 2048, 3),
+        );
+        let zeros = evaluate(
+            &g,
+            &activity(PatternKind::Zeros, DType::Fp16Tensor, 2048, 4),
+        );
         let swing = (random.total_w - zeros.total_w) / random.total_w;
         assert!(
             (0.25..=0.50).contains(&swing),
@@ -195,8 +208,14 @@ mod tests {
     #[test]
     fn a100_throttles_at_4096_fp16t_but_not_2048() {
         let g = a100_pcie();
-        let p2048 = evaluate(&g, &activity(PatternKind::Gaussian, DType::Fp16Tensor, 2048, 5));
-        let p4096 = evaluate(&g, &activity(PatternKind::Gaussian, DType::Fp16Tensor, 4096, 6));
+        let p2048 = evaluate(
+            &g,
+            &activity(PatternKind::Gaussian, DType::Fp16Tensor, 2048, 5),
+        );
+        let p4096 = evaluate(
+            &g,
+            &activity(PatternKind::Gaussian, DType::Fp16Tensor, 4096, 6),
+        );
         assert!(!p2048.throttled, "2048: {} W", p2048.total_w);
         assert!(p4096.throttled, "4096: {} W", p4096.total_w);
         assert!((p4096.total_w - g.tdp_watts).abs() < 1.0);
@@ -206,8 +225,14 @@ mod tests {
     #[test]
     fn rtx6000_throttles_at_2048_but_not_512() {
         let g = rtx6000();
-        let p2048 = evaluate(&g, &activity(PatternKind::Gaussian, DType::Fp16Tensor, 2048, 7));
-        let p512 = evaluate(&g, &activity(PatternKind::Gaussian, DType::Fp16Tensor, 512, 8));
+        let p2048 = evaluate(
+            &g,
+            &activity(PatternKind::Gaussian, DType::Fp16Tensor, 2048, 7),
+        );
+        let p512 = evaluate(
+            &g,
+            &activity(PatternKind::Gaussian, DType::Fp16Tensor, 512, 8),
+        );
         assert!(
             p2048.throttled,
             "RTX 6000 at 2048 should throttle ({} W vs 260 W TDP)",
@@ -219,7 +244,10 @@ mod tests {
     #[test]
     fn v100_and_h100_run_2048_without_throttling() {
         for g in [v100_sxm2(), h100_sxm5()] {
-            let p = evaluate(&g, &activity(PatternKind::Gaussian, DType::Fp16Tensor, 2048, 9));
+            let p = evaluate(
+                &g,
+                &activity(PatternKind::Gaussian, DType::Fp16Tensor, 2048, 9),
+            );
             assert!(!p.throttled, "{}: {} W", g.name, p.total_w);
             assert!(p.total_w < g.tdp_watts);
             assert!(p.total_w > g.idle_watts + g.uncore_watts);
@@ -248,7 +276,11 @@ mod tests {
         let p = evaluate(&g, &activity(PatternKind::Gaussian, DType::Int8, 1024, 11));
         assert!(!p.throttled);
         let sum = p.idle_w + p.uncore_w + p.datapath_w + p.dram_w + p.l2_w;
-        assert!((sum - p.total_w).abs() < 1e-9, "sum {sum} total {}", p.total_w);
+        assert!(
+            (sum - p.total_w).abs() < 1e-9,
+            "sum {sum} total {}",
+            p.total_w
+        );
     }
 
     #[test]
@@ -264,15 +296,15 @@ mod tests {
         // FP32 is slowest by far, so its per-iteration energy dominates
         // (paper Fig. 2 shows the same shape).
         let g = a100_pcie();
-        let e32 = evaluate(&g, &activity(PatternKind::Gaussian, DType::Fp32, 2048, 13))
-            .energy_per_iter_j;
+        let e32 =
+            evaluate(&g, &activity(PatternKind::Gaussian, DType::Fp32, 2048, 13)).energy_per_iter_j;
         let e16t = evaluate(
             &g,
             &activity(PatternKind::Gaussian, DType::Fp16Tensor, 2048, 13),
         )
         .energy_per_iter_j;
-        let e8 = evaluate(&g, &activity(PatternKind::Gaussian, DType::Int8, 2048, 13))
-            .energy_per_iter_j;
+        let e8 =
+            evaluate(&g, &activity(PatternKind::Gaussian, DType::Int8, 2048, 13)).energy_per_iter_j;
         assert!(e32 > e16t && e32 > e8, "e32={e32} e16t={e16t} e8={e8}");
     }
 
@@ -284,7 +316,8 @@ mod tests {
         let dtype = DType::Fp16Tensor;
         let dim = 2048;
         let mut root = Xoshiro256pp::seed_from_u64(21);
-        let a = PatternSpec::new(PatternKind::Gaussian).generate(dtype, dim, dim, &mut root.fork(0));
+        let a =
+            PatternSpec::new(PatternKind::Gaussian).generate(dtype, dim, dim, &mut root.fork(0));
         let mut gauss = Gaussian::new(0.0, 210.0);
         let mut rng = root.fork(1);
         let x: Vec<f32> = (0..dim).map(|_| gauss.sample_f32(&mut rng)).collect();

@@ -120,7 +120,11 @@ mod tests {
                 (actual - reference).abs() <= tol * reference.max(0.5)
             };
             assert!(
-                close(act.operand_toggles_per_mac(), r.operand_toggles_per_mac, 0.08),
+                close(
+                    act.operand_toggles_per_mac(),
+                    r.operand_toggles_per_mac,
+                    0.08
+                ),
                 "{dtype} operand: {} vs ref {}",
                 act.operand_toggles_per_mac(),
                 r.operand_toggles_per_mac

@@ -138,7 +138,11 @@ pub fn measure(
     assert!(!retained.is_empty(), "no samples survived the warmup trim");
     let mean = retained.iter().sum::<f64>() / retained.len() as f64;
     let var = if retained.len() > 1 {
-        retained.iter().map(|w| (w - mean) * (w - mean)).sum::<f64>() / (retained.len() - 1) as f64
+        retained
+            .iter()
+            .map(|w| (w - mean) * (w - mean))
+            .sum::<f64>()
+            / (retained.len() - 1) as f64
     } else {
         0.0
     };
@@ -239,9 +243,8 @@ mod tests {
         let m1 = measure(&g, &p, 30_000, &VmInstance::provision(&g, 11), 7, &cfg).1;
         let m2 = measure(&g, &p, 30_000, &VmInstance::provision(&g, 12), 7, &cfg).1;
         let shift = (m1.mean_power_w - m2.mean_power_w).abs();
-        let offset_delta = (VmInstance::provision(&g, 11).offset_w
-            - VmInstance::provision(&g, 12).offset_w)
-            .abs();
+        let offset_delta =
+            (VmInstance::provision(&g, 11).offset_w - VmInstance::provision(&g, 12).offset_w).abs();
         assert!(
             (shift - offset_delta).abs() < 1.0,
             "shift {shift} should track offset delta {offset_delta}"

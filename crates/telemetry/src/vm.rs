@@ -28,15 +28,15 @@ impl VmInstance {
     pub fn provision(spec: &GpuSpec, id: u64) -> Self {
         // Derive the offset stream from the instance id and device name so
         // two different device types never share offsets.
-        let name_salt: u64 = spec
-            .name
-            .bytes()
-            .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-                (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3)
-            });
+        let name_salt: u64 = spec.name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3)
+        });
         let mut rng = Xoshiro256pp::seed_from_u64(id ^ name_salt);
         let offset = Gaussian::new(0.0, spec.process_variation_watts).sample(&mut rng);
-        Self { id, offset_w: offset }
+        Self {
+            id,
+            offset_w: offset,
+        }
     }
 }
 

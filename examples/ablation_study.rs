@@ -25,8 +25,8 @@ fn activity(kind: PatternKind, dim: usize, seed: u64) -> ActivityRecord {
     let spec = PatternSpec::new(kind);
     let a = spec.generate(dtype, dim, dim, &mut root.fork(0));
     let b = spec.generate(dtype, dim, dim, &mut root.fork(1));
-    let cfg = GemmConfig::square(dim, dtype)
-        .with_sampling(Sampling::Lattice { rows: 16, cols: 16 });
+    let cfg =
+        GemmConfig::square(dim, dtype).with_sampling(Sampling::Lattice { rows: 16, cols: 16 });
     simulate(
         &GemmInputs {
             a: &a,

@@ -16,9 +16,20 @@ fn main() {
     let dtype = DType::Fp16Tensor;
     let battery: Vec<(&str, PatternSpec)> = vec![
         ("random", PatternSpec::new(PatternKind::Gaussian)),
-        ("sorted", PatternSpec::new(PatternKind::SortedRows { fraction: 1.0 })),
-        ("sparse-50", PatternSpec::new(PatternKind::Sparse { sparsity: 0.5 })),
-        ("large-mean", PatternSpec::new(PatternKind::Gaussian).with_mean(256.0).with_std(1.0)),
+        (
+            "sorted",
+            PatternSpec::new(PatternKind::SortedRows { fraction: 1.0 }),
+        ),
+        (
+            "sparse-50",
+            PatternSpec::new(PatternKind::Sparse { sparsity: 0.5 }),
+        ),
+        (
+            "large-mean",
+            PatternSpec::new(PatternKind::Gaussian)
+                .with_mean(256.0)
+                .with_std(1.0),
+        ),
         ("zeros", PatternSpec::new(PatternKind::Zeros)),
     ];
 
@@ -29,7 +40,11 @@ fn main() {
 
     for gpu in [v100_sxm2(), a100_pcie(), h100_sxm5(), rtx6000()] {
         // The paper runs the RTX 6000 at 512 (it throttles at 2048).
-        let dim = if gpu.architecture == "Turing" { 512 } else { 1024 };
+        let dim = if gpu.architecture == "Turing" {
+            512
+        } else {
+            1024
+        };
         let lab = PowerLab::new(gpu.clone());
         let mut row = vec![gpu.name.to_string(), dim.to_string()];
         let mut powers = Vec::new();

@@ -24,8 +24,8 @@ fn breakdown(gpu: &GpuSpec, kind: PatternKind, dim: usize) -> PowerBreakdown {
     let spec = PatternSpec::new(kind);
     let a = spec.generate(dtype, dim, dim, &mut root.fork(0));
     let b = spec.generate(dtype, dim, dim, &mut root.fork(1));
-    let cfg = GemmConfig::square(dim, dtype)
-        .with_sampling(Sampling::Lattice { rows: 16, cols: 16 });
+    let cfg =
+        GemmConfig::square(dim, dtype).with_sampling(Sampling::Lattice { rows: 16, cols: 16 });
     evaluate(
         gpu,
         &simulate(
@@ -73,7 +73,11 @@ fn main() {
             plan.t_iter_s * 1e6,
             plan.energy_per_iter_j * 1e6,
             plan.energy_saving() * 100.0,
-            if plan.deadline_bound { "  (deadline-bound)" } else { "" }
+            if plan.deadline_bound {
+                "  (deadline-bound)"
+            } else {
+                ""
+            }
         );
     }
 

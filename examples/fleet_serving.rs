@@ -1,0 +1,97 @@
+//! Fleet serving demo: the paper's input-dependence as a scheduling
+//! signal.
+//!
+//! Builds a heterogeneous fleet under a tight power budget, streams a
+//! mixed batch of power queries through the work-stealing scheduler, and
+//! prints where each landed, at which clock, and what the memo cache
+//! saved. Run with:
+//!
+//! ```text
+//! cargo run --release --example fleet_serving
+//! ```
+
+use wattmul_repro::fleet::{Fleet, FleetJob, Scheduler};
+use wattmul_repro::prelude::*;
+
+fn main() {
+    // Two A100s and an RTX 6000, capped below TDP, with a fleet budget
+    // that cannot hold all three at full tilt simultaneously.
+    let fleet = Fleet::builder()
+        .device_with(a100_pcie(), 0, 280.0)
+        .device_with(a100_pcie(), 1, 280.0)
+        .device_with(rtx6000(), 2, 250.0)
+        .power_budget_w(600.0)
+        .build();
+    println!(
+        "fleet: {} devices, {:.0} W budget",
+        fleet.len(),
+        fleet.power_budget_w()
+    );
+    for d in fleet.devices() {
+        println!(
+            "  [{}] {:<22} cap {:>5.0} W  vm offset {:+.2} W",
+            d.id, d.gpu.name, d.power_cap_w, d.vm.offset_w
+        );
+    }
+
+    let sched = Scheduler::new(fleet);
+    let patterns: Vec<(&str, PatternSpec)> = vec![
+        ("gaussian", PatternSpec::new(PatternKind::Gaussian)),
+        (
+            "sorted",
+            PatternSpec::new(PatternKind::SortedRows { fraction: 1.0 }),
+        ),
+        (
+            "sparse-90%",
+            PatternSpec::new(PatternKind::Sparse { sparsity: 0.9 }),
+        ),
+        ("zeros", PatternSpec::new(PatternKind::Zeros)),
+    ];
+
+    // The same four queries twice over: the second wave is pure cache.
+    let mut jobs = Vec::new();
+    for _ in 0..2 {
+        for (_, spec) in &patterns {
+            jobs.push(FleetJob::new(
+                RunRequest::new(DType::Fp16Tensor, 512, *spec)
+                    .with_seeds(2)
+                    .with_sampling(Sampling::Lattice { rows: 8, cols: 8 }),
+            ));
+        }
+    }
+    let answers = sched.run_batch(jobs);
+
+    println!(
+        "\n{:<12} {:>7} {:>8} {:>7} {:>6}  device",
+        "pattern", "watts", "clock", "save%", "cache"
+    );
+    for (i, answer) in answers.iter().enumerate() {
+        let (label, _) = &patterns[i % patterns.len()];
+        match answer {
+            Ok(r) => println!(
+                "{:<12} {:>7.1} {:>8.3} {:>7.1} {:>6}  [{}] {}",
+                label,
+                r.result.power.mean,
+                r.clock_scale,
+                r.plan
+                    .as_ref()
+                    .map(|p| p.energy_saving() * 100.0)
+                    .unwrap_or(0.0),
+                if r.cache_hit { "hit" } else { "miss" },
+                r.device,
+                r.gpu_name,
+            ),
+            Err(e) => println!("{label:<12} failed: {e}"),
+        }
+    }
+
+    let stats = sched.stats();
+    println!(
+        "\nstats: {} completed, {} cache hits / {} misses ({} in-flight joins), {} steals",
+        stats.completed, stats.cache_hits, stats.cache_misses, stats.dedup_joins, stats.steals
+    );
+    println!(
+        "input-dependence is the scheduling signal: low-activity inputs run at \
+         higher clocks and fit tighter caps than dense Gaussian traffic."
+    );
+}

@@ -73,7 +73,10 @@ fn main() {
 
     println!("MLP block: y = W2 · relu(W1 · x), d = {d}, outlier channels every 8th");
     let p_before = gemm_power(&gpu, &w1);
-    println!("\nW1 GEMM power on {}: {p_before:.1} W (original)", gpu.name);
+    println!(
+        "\nW1 GEMM power on {}: {p_before:.1} W (original)",
+        gpu.name
+    );
 
     // --- Transform 1: row permutation (bit-identical). -------------------
     let (w1_rows, w2_fixed, _) = sorted_layer_pair(&w1, &w2);

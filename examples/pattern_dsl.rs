@@ -24,8 +24,10 @@ fn main() {
         dim,
         seed: 7,
     };
-    println!("fitting the input-dependent power model ({} training programs)...",
-        PowerModelTrainer::default_battery().len());
+    println!(
+        "fitting the input-dependent power model ({} training programs)...",
+        PowerModelTrainer::default_battery().len()
+    );
     let model = trainer.train(&PowerModelTrainer::default_battery());
     println!("training R^2 = {:.4}\ncoefficients:", model.r_squared);
     for (name, c) in wattmul_repro::optimizer::model::FEATURE_NAMES
@@ -54,7 +56,10 @@ fn main() {
         }
     };
 
-    println!("\n{:<44} {:>12} {:>12} {:>8}", "program", "pipeline (W)", "model (W)", "err");
+    println!(
+        "\n{:<44} {:>12} {:>12} {:>8}",
+        "program", "pipeline (W)", "model (W)", "err"
+    );
     for src in &programs {
         match PatternProgram::parse(src) {
             Ok(p) => {

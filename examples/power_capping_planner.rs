@@ -66,7 +66,10 @@ fn main() {
                 r.power_w,
                 r.relative_error
             ),
-            None => println!("{:<16} cannot reach the cap by sparsity alone", strategy.label()),
+            None => println!(
+                "{:<16} cannot reach the cap by sparsity alone",
+                strategy.label()
+            ),
         }
     }
 

@@ -16,17 +16,33 @@ fn main() {
     let dtype = DType::Fp16Tensor;
 
     let patterns: Vec<(&str, PatternSpec)> = vec![
-        ("random Gaussian (paper baseline)", PatternSpec::new(PatternKind::Gaussian)),
-        ("fully sorted + aligned", PatternSpec::new(PatternKind::SortedRows { fraction: 1.0 })),
-        ("50% sparse", PatternSpec::new(PatternKind::Sparse { sparsity: 0.5 })),
-        ("large mean (mu=256, sigma=1)",
-            PatternSpec::new(PatternKind::Gaussian).with_mean(256.0).with_std(1.0)),
+        (
+            "random Gaussian (paper baseline)",
+            PatternSpec::new(PatternKind::Gaussian),
+        ),
+        (
+            "fully sorted + aligned",
+            PatternSpec::new(PatternKind::SortedRows { fraction: 1.0 }),
+        ),
+        (
+            "50% sparse",
+            PatternSpec::new(PatternKind::Sparse { sparsity: 0.5 }),
+        ),
+        (
+            "large mean (mu=256, sigma=1)",
+            PatternSpec::new(PatternKind::Gaussian)
+                .with_mean(256.0)
+                .with_std(1.0),
+        ),
         ("all zeros", PatternSpec::new(PatternKind::Zeros)),
     ];
 
     println!("GPU: {} (TDP {} W)", lab.gpu().name, lab.gpu().tdp_watts);
     println!("GEMM: {dim}x{dim} {dtype}, same kernel and shapes for every row\n");
-    println!("{:<34} {:>10} {:>8} {:>12}", "input pattern", "power (W)", "±σ", "vs baseline");
+    println!(
+        "{:<34} {:>10} {:>8} {:>12}",
+        "input pattern", "power (W)", "±σ", "vs baseline"
+    );
 
     let baseline = lab
         .run(&RunRequest::new(dtype, dim, patterns[0].1).with_seeds(3))

@@ -1,0 +1,162 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! This workspace builds in a hermetic environment with no access to
+//! crates.io, so the subset of the criterion API used by `wm-bench` is
+//! implemented locally: `Criterion`, `BenchmarkGroup`, `Bencher`,
+//! `criterion_group!` / `criterion_main!`, and the group configuration
+//! knobs. Timing is real (monotonic clock over a fixed iteration budget)
+//! but there is no statistical analysis, warmup modelling, or HTML report —
+//! the point is that `cargo bench` compiles and produces usable
+//! per-function wall-clock numbers.
+
+use std::marker::PhantomData;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement marker types (criterion's `measurement` module).
+pub mod measurement {
+    /// Wall-clock time measurement (the criterion default).
+    #[derive(Debug, Default, Clone, Copy)]
+    pub struct WallTime;
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _criterion: PhantomData,
+            _measurement: PhantomData,
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&id, 10, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c, M> {
+    name: String,
+    sample_size: usize,
+    _criterion: PhantomData<&'c mut Criterion>,
+    _measurement: PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Number of samples collected per benchmark (we run `max(2, n/5)`
+    /// timed batches — enough for a stable mean without criterion's
+    /// bootstrap analysis).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim uses a fixed budget.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim does one untimed warmup.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmark one function under this group's configuration.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(&full, self.sample_size, f);
+        self
+    }
+
+    /// End the group (report separator).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, samples: usize, mut f: F) {
+    // One untimed warmup pass, then `samples` timed passes.
+    let mut bencher = Bencher {
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut bencher);
+    let mut total = Duration::ZERO;
+    let mut iters = 0u64;
+    for _ in 0..samples.max(2) {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        total += b.elapsed;
+        iters += b.iters;
+    }
+    let per_iter = if iters > 0 {
+        total.as_nanos() as f64 / iters as f64
+    } else {
+        0.0
+    };
+    println!("bench: {id:<48} {:>12.1} ns/iter ({iters} iters)", per_iter);
+}
+
+/// Passed to the closure of `bench_function`; `iter` times the workload.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time repeated executions of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // A small fixed batch keeps `cargo bench` fast while still
+        // amortizing timer overhead.
+        const BATCH: u64 = 3;
+        let start = Instant::now();
+        for _ in 0..BATCH {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += BATCH;
+    }
+}
+
+/// Define a benchmark group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Define `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

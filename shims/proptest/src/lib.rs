@@ -1,0 +1,511 @@
+//! Offline stand-in for the `proptest` property-testing framework.
+//!
+//! This workspace builds hermetically (no crates.io access), so the subset
+//! of the proptest API used by the workspace's property tests is
+//! implemented locally: the [`Strategy`] trait with `prop_map` /
+//! `prop_flat_map`, range and tuple strategies, `any::<T>()`, [`Just`],
+//! `prop::sample::select`, `prop::collection::vec`, `prop_oneof!`, the
+//! `proptest!` macro (both `name: Type` and `name in strategy` parameter
+//! forms, with an optional `#![proptest_config(..)]` header), and the
+//! `prop_assert*` macros.
+//!
+//! Differences from real proptest, by design: cases are generated from a
+//! fixed deterministic seed sequence (fully reproducible runs), and there
+//! is no shrinking — a failure reports the case index and message only.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic generator handed to strategies (xorshift-star core).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed a generator; zero seeds are remapped to a fixed constant.
+    pub fn seed(seed: u64) -> Self {
+        Self {
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
+        }
+    }
+
+    /// Next raw 64-bit draw (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform draw in `[0, bound)` (`bound > 0`).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        (self.next_u64() as u128 % bound as u128) as u64
+    }
+}
+
+/// A value generator. The associated `Value` mirrors proptest's API so
+/// `impl Strategy<Value = T>` return types work unchanged.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then generate from a strategy derived from it.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty integer range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty integer range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (self.start, self.end);
+                lo + (rng.unit_f64() as $t) * (hi - lo)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                // Hit the exact endpoints occasionally: inclusive float
+                // ranges are usually written to probe boundary behaviour
+                // (sparsity 0/1, probability 0/1).
+                match rng.below(16) {
+                    0 => lo,
+                    1 => hi,
+                    _ => lo + (rng.unit_f64() as $t) * (hi - lo),
+                }
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+/// Full-domain generation for primitive types (the `any::<T>()` entry).
+pub trait Arbitrary: Sized {
+    /// Generate an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        ((-1.0e6f64)..1.0e6).generate(rng) as f32
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        ((-1.0e9f64)..1.0e9).generate(rng)
+    }
+}
+
+/// Strategy for any value of `T` (see [`Arbitrary`]).
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The `any::<T>()` strategy constructor.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy!(
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4)
+);
+
+/// Boxed generation closure for one `prop_oneof!` arm.
+pub type ArmFn<V> = Box<dyn Fn(&mut TestRng) -> V>;
+
+/// Uniform choice between boxed arms (the `prop_oneof!` backing type).
+pub struct OneOf<V> {
+    arms: Vec<ArmFn<V>>,
+}
+
+impl<V> OneOf<V> {
+    /// Build from generation closures (one per arm).
+    pub fn new(arms: Vec<ArmFn<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Self { arms }
+    }
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        (self.arms[i])(rng)
+    }
+}
+
+/// Size specification for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi_inclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self {
+            lo: n,
+            hi_inclusive: n,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        Self {
+            lo: r.start,
+            hi_inclusive: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        Self {
+            lo: *r.start(),
+            hi_inclusive: *r.end(),
+        }
+    }
+}
+
+/// Namespaced strategy constructors, mirroring proptest's `prop` module.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{SizeRange, Strategy, TestRng};
+
+        /// Strategy for `Vec<T>` with element strategy `S` and a size range.
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        /// `prop::collection::vec(element, sizes)`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = self.size.hi_inclusive - self.size.lo + 1;
+                let len = self.size.lo + rng.below(span as u64) as usize;
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    /// Sampling strategies.
+    pub mod sample {
+        use super::super::{Strategy, TestRng};
+
+        /// Uniform choice from a fixed list.
+        pub struct Select<T: Clone> {
+            options: Vec<T>,
+        }
+
+        /// `prop::sample::select(options)`.
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select needs at least one option");
+            Select { options }
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn generate(&self, rng: &mut TestRng) -> T {
+                let i = rng.below(self.options.len() as u64) as usize;
+                self.options[i].clone()
+            }
+        }
+    }
+}
+
+/// Per-block configuration (`#![proptest_config(..)]`).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps hermetic CI fast while
+        // still exercising the generators broadly.
+        Self { cases: 64 }
+    }
+}
+
+/// Driver used by the expanded `proptest!` macro: run `f` once per case
+/// with a deterministic per-case generator, panicking on the first error.
+pub fn run_cases<F>(cfg: ProptestConfig, mut f: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), String>,
+{
+    for case in 0..cfg.cases {
+        let mut rng = TestRng::seed(
+            0xD1B5_4A32_D192_ED03u64
+                .wrapping_add(u64::from(case).wrapping_mul(0xA24B_AED4_963E_E407)),
+        );
+        if let Err(msg) = f(&mut rng) {
+            panic!("proptest case {}/{} failed: {}", case + 1, cfg.cases, msg);
+        }
+    }
+}
+
+/// Property-test assertion: evaluates to an early `Err` return on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Equality assertion with early `Err` return.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (__pa, __pb) = (&$a, &$b);
+        if !(*__pa == *__pb) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+                __pa, __pb
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__pa, __pb) = (&$a, &$b);
+        if !(*__pa == *__pb) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    }};
+}
+
+/// Inequality assertion with early `Err` return.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (__pa, __pb) = (&$a, &$b);
+        if *__pa == *__pb {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `(left != right)`\n  both: `{:?}`",
+                __pa
+            ));
+        }
+    }};
+}
+
+/// Uniform choice between strategy arms of a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$(
+            {
+                let __arm = $arm;
+                ::std::boxed::Box::new(move |__rng: &mut $crate::TestRng| {
+                    $crate::Strategy::generate(&__arm, __rng)
+                }) as ::std::boxed::Box<dyn Fn(&mut $crate::TestRng) -> _>
+            }
+        ),+])
+    };
+}
+
+/// The test-block macro. Supports an optional `#![proptest_config(..)]`
+/// header and both parameter forms (`name: Type`, `name in strategy`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@fns ($cfg); $($rest)*);
+    };
+    (@fns ($cfg:expr); ) => {};
+    (@fns ($cfg:expr); $(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_cases($cfg, |__pt_rng| {
+                $crate::proptest!(@bind __pt_rng, $($params)*);
+                #[allow(clippy::redundant_closure_call)]
+                let __pt_body = || -> ::std::result::Result<(), String> {
+                    $body
+                    ::std::result::Result::Ok(())
+                };
+                __pt_body()
+            });
+        }
+        $crate::proptest!(@fns ($cfg); $($rest)*);
+    };
+    (@bind $rng:ident, ) => {};
+    (@bind $rng:ident, $pname:ident in $strat:expr) => {
+        let $pname = $crate::Strategy::generate(&($strat), $rng);
+    };
+    (@bind $rng:ident, $pname:ident in $strat:expr, $($rest:tt)*) => {
+        let $pname = $crate::Strategy::generate(&($strat), $rng);
+        $crate::proptest!(@bind $rng, $($rest)*);
+    };
+    (@bind $rng:ident, $pname:ident : $pty:ty) => {
+        let $pname = $crate::Strategy::generate(&$crate::any::<$pty>(), $rng);
+    };
+    (@bind $rng:ident, $pname:ident : $pty:ty, $($rest:tt)*) => {
+        let $pname = $crate::Strategy::generate(&$crate::any::<$pty>(), $rng);
+        $crate::proptest!(@bind $rng, $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@fns ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Everything a property-test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}

@@ -22,11 +22,15 @@
 //! * [`core`] — the [`core::PowerLab`] façade tying it all together.
 //! * [`experiments`] — one runner per paper figure plus the `wattmul` CLI.
 //! * [`optimizer`] — the paper's §V future-work directions, implemented.
+//! * [`fleet`] — the multi-GPU fleet scheduler and the `wattd`
+//!   power-estimation service (work stealing, memo cache, power-capped
+//!   placement).
 
 pub use wm_analysis as analysis;
 pub use wm_bits as bits;
 pub use wm_core as core;
 pub use wm_experiments as experiments;
+pub use wm_fleet as fleet;
 pub use wm_gpu as gpu;
 pub use wm_kernels as kernels;
 pub use wm_matrix as matrix;

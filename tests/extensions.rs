@@ -70,8 +70,13 @@ fn bf16_works_through_patterns_kernels_and_power() {
     }
     // And the directional claims hold for BF16 too.
     let random = gemm_breakdown(&gpu, DType::Bf16, PatternKind::Gaussian, 256).total_w;
-    let sorted =
-        gemm_breakdown(&gpu, DType::Bf16, PatternKind::SortedRows { fraction: 1.0 }, 256).total_w;
+    let sorted = gemm_breakdown(
+        &gpu,
+        DType::Bf16,
+        PatternKind::SortedRows { fraction: 1.0 },
+        256,
+    )
+    .total_w;
     let zeros = gemm_breakdown(&gpu, DType::Bf16, PatternKind::Zeros, 256).total_w;
     assert!(sorted < random);
     assert!(zeros < sorted);

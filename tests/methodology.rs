@@ -79,7 +79,10 @@ fn the_2048_choice_is_the_largest_non_throttling_power_of_two() {
         .throttled
     };
     assert!(!throttles(1024), "1024 must not throttle");
-    assert!(!throttles(2048), "2048 must not throttle (the paper's pick)");
+    assert!(
+        !throttles(2048),
+        "2048 must not throttle (the paper's pick)"
+    );
     assert!(throttles(4096), "4096 must throttle");
 }
 

@@ -74,7 +74,11 @@ fn t2_larger_means_reduce_fp_power() {
 #[test]
 fn t3_small_value_sets_decrease_power() {
     for dtype in DType::ALL {
-        let small = power(dtype, PatternSpec::new(PatternKind::ValueSet { set_size: 2 }), 3);
+        let small = power(
+            dtype,
+            PatternSpec::new(PatternKind::ValueSet { set_size: 2 }),
+            3,
+        );
         let large = power(
             dtype,
             PatternSpec::new(PatternKind::ValueSet { set_size: 4096 }),
@@ -87,8 +91,16 @@ fn t3_small_value_sets_decrease_power() {
 #[test]
 fn t4_similar_bits_use_less_power() {
     for dtype in DType::ALL {
-        let identical = power(dtype, PatternSpec::new(PatternKind::BitFlips { probability: 0.0 }), 4);
-        let scrambled = power(dtype, PatternSpec::new(PatternKind::BitFlips { probability: 0.5 }), 4);
+        let identical = power(
+            dtype,
+            PatternSpec::new(PatternKind::BitFlips { probability: 0.0 }),
+            4,
+        );
+        let scrambled = power(
+            dtype,
+            PatternSpec::new(PatternKind::BitFlips { probability: 0.5 }),
+            4,
+        );
         assert!(identical < scrambled, "{dtype}");
     }
 }
@@ -97,8 +109,16 @@ fn t4_similar_bits_use_less_power() {
 fn t5_randomizing_lsbs_increases_power() {
     for dtype in DType::ALL {
         let bits = dtype.bits();
-        let few = power(dtype, PatternSpec::new(PatternKind::RandomLsbs { count: 0 }), 5);
-        let many = power(dtype, PatternSpec::new(PatternKind::RandomLsbs { count: bits }), 5);
+        let few = power(
+            dtype,
+            PatternSpec::new(PatternKind::RandomLsbs { count: 0 }),
+            5,
+        );
+        let many = power(
+            dtype,
+            PatternSpec::new(PatternKind::RandomLsbs { count: bits }),
+            5,
+        );
         assert!(few < many, "{dtype}");
     }
 }
@@ -107,8 +127,16 @@ fn t5_randomizing_lsbs_increases_power() {
 fn t6_randomizing_msbs_increases_power() {
     for dtype in DType::ALL {
         let bits = dtype.bits();
-        let few = power(dtype, PatternSpec::new(PatternKind::RandomMsbs { count: 0 }), 6);
-        let many = power(dtype, PatternSpec::new(PatternKind::RandomMsbs { count: bits }), 6);
+        let few = power(
+            dtype,
+            PatternSpec::new(PatternKind::RandomMsbs { count: 0 }),
+            6,
+        );
+        let many = power(
+            dtype,
+            PatternSpec::new(PatternKind::RandomMsbs { count: bits }),
+            6,
+        );
         assert!(few < many, "{dtype}");
     }
 }
@@ -175,8 +203,16 @@ fn t9_aligned_sorting_beats_plain_sorting() {
 #[test]
 fn t10_sorting_into_columns_decreases_power() {
     for dtype in DType::ALL {
-        let unsorted = power(dtype, PatternSpec::new(PatternKind::SortedCols { fraction: 0.0 }), 10);
-        let sorted = power(dtype, PatternSpec::new(PatternKind::SortedCols { fraction: 1.0 }), 10);
+        let unsorted = power(
+            dtype,
+            PatternSpec::new(PatternKind::SortedCols { fraction: 0.0 }),
+            10,
+        );
+        let sorted = power(
+            dtype,
+            PatternSpec::new(PatternKind::SortedCols { fraction: 1.0 }),
+            10,
+        );
         assert!(sorted < unsorted, "{dtype}");
     }
 }
@@ -190,7 +226,11 @@ fn t11_intra_row_sorting_helps_but_less_than_full() {
             PatternSpec::new(PatternKind::SortedWithinRows { fraction: 1.0 }),
             11,
         );
-        let full = power(dtype, PatternSpec::new(PatternKind::SortedRows { fraction: 1.0 }), 11);
+        let full = power(
+            dtype,
+            PatternSpec::new(PatternKind::SortedRows { fraction: 1.0 }),
+            11,
+        );
         assert!(within < base, "{dtype}: within-row sorting must help");
         assert!(
             base - within < base - full,
@@ -202,8 +242,16 @@ fn t11_intra_row_sorting_helps_but_less_than_full() {
 #[test]
 fn t12_sparsity_decreases_power() {
     for dtype in DType::ALL {
-        let dense = power(dtype, PatternSpec::new(PatternKind::Sparse { sparsity: 0.0 }), 12);
-        let sparse = power(dtype, PatternSpec::new(PatternKind::Sparse { sparsity: 0.9 }), 12);
+        let dense = power(
+            dtype,
+            PatternSpec::new(PatternKind::Sparse { sparsity: 0.0 }),
+            12,
+        );
+        let sparse = power(
+            dtype,
+            PatternSpec::new(PatternKind::Sparse { sparsity: 0.9 }),
+            12,
+        );
         assert!(sparse < dense, "{dtype}");
     }
 }
@@ -237,10 +285,16 @@ fn t13_sparsity_on_sorted_matrices_can_increase_power() {
 #[test]
 fn t14_zeroing_lsbs_reduces_power() {
     for dtype in DType::ALL {
-        let full = power(dtype, PatternSpec::new(PatternKind::ZeroLsbs { count: 0 }), 14);
+        let full = power(
+            dtype,
+            PatternSpec::new(PatternKind::ZeroLsbs { count: 0 }),
+            14,
+        );
         let half = power(
             dtype,
-            PatternSpec::new(PatternKind::ZeroLsbs { count: dtype.bits() / 2 }),
+            PatternSpec::new(PatternKind::ZeroLsbs {
+                count: dtype.bits() / 2,
+            }),
             14,
         );
         assert!(half < full, "{dtype}");
@@ -250,10 +304,16 @@ fn t14_zeroing_lsbs_reduces_power() {
 #[test]
 fn t15_zeroing_msbs_reduces_power() {
     for dtype in DType::ALL {
-        let full = power(dtype, PatternSpec::new(PatternKind::ZeroMsbs { count: 0 }), 15);
+        let full = power(
+            dtype,
+            PatternSpec::new(PatternKind::ZeroMsbs { count: 0 }),
+            15,
+        );
         let half = power(
             dtype,
-            PatternSpec::new(PatternKind::ZeroMsbs { count: dtype.bits() / 2 }),
+            PatternSpec::new(PatternKind::ZeroMsbs {
+                count: dtype.bits() / 2,
+            }),
             15,
         );
         assert!(half < full, "{dtype}");
@@ -266,7 +326,13 @@ fn headline_swing_approaches_forty_percent() {
     // almost 40%" — evaluated at the paper's 2048 between the extreme
     // patterns (random Gaussian vs zeros) on FP16-T.
     let random = power_with(DType::Fp16Tensor, gaussian(), 16, true, 2048);
-    let zeros = power_with(DType::Fp16Tensor, PatternSpec::new(PatternKind::Zeros), 16, true, 2048);
+    let zeros = power_with(
+        DType::Fp16Tensor,
+        PatternSpec::new(PatternKind::Zeros),
+        16,
+        true,
+        2048,
+    );
     let swing = (random - zeros) / random;
     assert!(
         (0.30..=0.45).contains(&swing),
