@@ -2,6 +2,9 @@
 //!
 //! The numerical toolkit behind the experiment harness:
 //!
+//! * [`fit`] — the shared incremental normal-equations core: online ridge
+//!   regression with exact merge, used by both the OLS line fits here and
+//!   the `wm-predict` online power predictor;
 //! * [`stats`] — summary statistics (mean, sample std, standard error,
 //!   normal-approximation confidence intervals) for seed-averaged results;
 //! * [`regression`] — ordinary least squares, Pearson and Spearman
@@ -13,10 +16,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fit;
 pub mod regression;
 pub mod stats;
 pub mod table;
 
+pub use fit::{linear_predict, RidgeFitter};
 pub use regression::{ols, pearson, spearman, OlsFit};
 pub use stats::Summary;
 pub use table::Table;

@@ -3,7 +3,11 @@
 //! Fig. 8 of the paper plots average GEMM power against two per-experiment
 //! statistics — mean bit alignment and mean Hamming weight — and reads off
 //! a (loose) monotone trend. We quantify the same relationship with
-//! Pearson's r, Spearman's rank correlation, and an OLS slope.
+//! Pearson's r, Spearman's rank correlation, and an OLS slope. The line
+//! fit itself is the 2-dimensional case of the shared normal-equations
+//! core in [`crate::fit`] (which `wm-predict` uses at full feature width).
+
+use crate::fit::RidgeFitter;
 
 /// An ordinary-least-squares line fit `y = slope * x + intercept`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -34,9 +38,16 @@ pub fn ols(x: &[f64], y: &[f64]) -> OlsFit {
     let (mx, my) = (mean(x), mean(y));
     let sxx: f64 = x.iter().map(|xi| (xi - mx) * (xi - mx)).sum();
     assert!(sxx > 0.0, "x is constant; OLS slope undefined");
-    let sxy: f64 = x.iter().zip(y).map(|(xi, yi)| (xi - mx) * (yi - my)).sum();
-    let slope = sxy / sxx;
-    let intercept = my - slope * mx;
+    // Fit on the shared normal-equations core with inputs centred at the
+    // sample means: the Gram matrix is then diagonal, which keeps the
+    // solve exactly as well-conditioned as the closed-form slope.
+    let mut fitter = RidgeFitter::new(2, 0.0);
+    for (xi, yi) in x.iter().zip(y) {
+        fitter.observe(&[1.0, xi - mx], yi - my);
+    }
+    let beta = fitter.solve().expect("sxx > 0 makes the fit definite");
+    let slope = beta[1];
+    let intercept = (my + beta[0]) - slope * mx;
     let ss_tot: f64 = y.iter().map(|yi| (yi - my) * (yi - my)).sum();
     let ss_res: f64 = x
         .iter()

@@ -11,6 +11,8 @@
 //!   and slices, the raw currency of switching activity.
 //! * [`alignment`] — the paper's *bit alignment* metric (Fig. 8): 1.0 when
 //!   two operands share every bit, 0.0 when every bit differs.
+//! * [`entropy`] — Shannon entropy over exact byte/symbol histograms, the
+//!   cheap input statistic behind the `wm-predict` power features.
 //! * [`surgery`] — the bit-field manipulations behind the paper's §IV.B and
 //!   §IV.D experiments: flipping random bits, randomizing or zeroing
 //!   least/most-significant bits.
@@ -28,12 +30,14 @@
 #![warn(missing_docs)]
 
 pub mod alignment;
+pub mod entropy;
 pub mod hamming;
 pub mod rng;
 pub mod surgery;
 pub mod toggle;
 
 pub use alignment::{bit_alignment, bit_alignment_slice};
+pub use entropy::{byte_entropy, histogram_entropy, ByteHistogram};
 pub use hamming::{hamming_distance, hamming_weight, slice_hamming_weight, BitWord};
 pub use rng::Xoshiro256pp;
 pub use surgery::{

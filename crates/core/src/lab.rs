@@ -3,6 +3,7 @@
 use wm_bits::Xoshiro256pp;
 use wm_gpu::GpuSpec;
 use wm_kernels::{simulate, ActivityRecord, GemmConfig, GemmInputs, Sampling};
+use wm_matrix::Matrix;
 use wm_numerics::DType;
 use wm_patterns::PatternSpec;
 use wm_power::{evaluate, PowerBreakdown};
@@ -10,6 +11,31 @@ use wm_telemetry::{measure, Measurement, MeasurementConfig, VmInstance};
 
 /// Seed-stream separator (golden-ratio increment, as in SplitMix64).
 const SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The RNG root of one seed index of a request. Seed index 0 reduces to
+/// `base_seed ^ 1`.
+fn seed_root(base_seed: u64, s: u64) -> Xoshiro256pp {
+    Xoshiro256pp::seed_from_u64(base_seed ^ (s.wrapping_mul(SEED_STRIDE).wrapping_add(s + 1)))
+}
+
+/// Generate the operands of a request's **first seed** (seed index 0) —
+/// exactly the matrices [`PowerLab::run`] executes for `s = 0`.
+///
+/// This is the single source of the first-seed contract: the fleet's
+/// activity probe and the `wm-predict` feature extractor both walk these
+/// operands, so any change to the seed derivation here automatically
+/// propagates to every consumer instead of silently diverging.
+pub fn first_seed_operands(req: &RunRequest) -> (Matrix, Matrix) {
+    let mut root = seed_root(req.base_seed, 0);
+    let dim = req.dim;
+    let a = req
+        .pattern_a
+        .generate(req.dtype, dim, dim, &mut root.fork(0));
+    let b = req
+        .pattern_b
+        .generate(req.dtype, dim, dim, &mut root.fork(1));
+    (a, b)
+}
 
 /// A complete experiment-point request.
 #[derive(Debug, Clone, PartialEq)]
@@ -196,9 +222,7 @@ impl PowerLab {
         let mut util_sum = 0.0;
 
         for s in 0..req.seeds {
-            let mut root = Xoshiro256pp::seed_from_u64(
-                req.base_seed ^ (s.wrapping_mul(SEED_STRIDE).wrapping_add(s + 1)),
-            );
+            let mut root = seed_root(req.base_seed, s);
             let mut rng_a = root.fork(0);
             let mut rng_b = root.fork(1);
             let dim = req.dim;
@@ -282,6 +306,29 @@ mod tests {
             (r.energy_per_iter.mean - r.power.mean * r.runtime.mean).abs()
                 < 0.02 * r.energy_per_iter.mean
         );
+    }
+
+    #[test]
+    fn first_seed_operands_match_what_the_run_executes() {
+        // The shared first-seed helper and `run` must walk the same data:
+        // a single-seed run's activity equals the activity simulated over
+        // the helper's operands.
+        let req = quick(DType::Fp16Tensor, PatternKind::Sparse { sparsity: 0.4 }).with_seeds(1);
+        let r = PowerLab::new(a100_pcie()).run(&req);
+        let (a, b) = first_seed_operands(&req);
+        let cfg = GemmConfig::square(req.dim, req.dtype)
+            .with_b_transposed(req.b_transposed)
+            .with_sampling(req.sampling);
+        let act = simulate(
+            &GemmInputs {
+                a: &a,
+                b_stored: &b,
+                c: None,
+            },
+            &cfg,
+        )
+        .activity;
+        assert_eq!(r.activity, act);
     }
 
     #[test]

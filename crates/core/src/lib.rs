@@ -26,7 +26,7 @@
 
 pub mod lab;
 
-pub use lab::{PowerLab, RunRequest, RunResult};
+pub use lab::{first_seed_operands, PowerLab, RunRequest, RunResult};
 
 /// Convenience re-exports for downstream users and examples.
 pub mod prelude {

@@ -11,9 +11,9 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 use wm_experiments::{
-    ext_bf16, ext_gemv, fig1_runtime, fig2_energy, fig3_distribution, fig4_bit_similarity,
-    fig5_placement, fig6_sparsity, fig7_cross_gpu, fig8_alignment, methodology, write_figure,
-    FigureResult, RunProfile,
+    ext_bf16, ext_gemv, ext_predict, fig1_runtime, fig2_energy, fig3_distribution,
+    fig4_bit_similarity, fig5_placement, fig6_sparsity, fig7_cross_gpu, fig8_alignment,
+    methodology, write_figure, FigureResult, RunProfile,
 };
 
 struct Experiment {
@@ -78,6 +78,11 @@ fn experiments() -> Vec<Experiment> {
             name: "bf16",
             description: "extension: BF16 vs FP16-T bit-level comparison",
             run: ext_bf16::run,
+        },
+        Experiment {
+            name: "predict",
+            description: "extension: learned power-predictor error vs. training volume",
+            run: ext_predict::run,
         },
     ]
 }

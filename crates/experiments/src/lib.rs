@@ -19,6 +19,7 @@
 //! | [`methodology`] | §III claims — utilization, runtime consistency, VM variation, throttle boundaries |
 //! | [`ext_gemv`] | extension — the paper's sweeps under memory-bound GEMV (LLM decode) |
 //! | [`ext_bf16`] | extension — BF16 vs FP16-T bit-level comparison |
+//! | [`ext_predict`] | extension — learned power-predictor error vs. training volume |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,6 +28,7 @@ mod common;
 
 pub mod ext_bf16;
 pub mod ext_gemv;
+pub mod ext_predict;
 pub mod fig1_runtime;
 pub mod fig2_energy;
 pub mod fig3_distribution;

@@ -5,8 +5,15 @@
 //!
 //! ```text
 //! $ echo '{"id":1,"dtype":"FP16-T","dim":256,"pattern":"sparse","sparsity":0.5,"seeds":2}' | wattd
-//! {"id":1,"ok":true,"device":0,"gpu":"NVIDIA A100 PCIe","power_w":...,"cache_hit":false,...}
+//! {"id":1,"ok":true,"device":0,"gpu":"NVIDIA A100 PCIe","power_w":...,"predicted_w":...,"measured_w":...,"cache_hit":false,...}
 //! ```
+//!
+//! Besides `run` (the default) and `batch`, the daemon answers `predict`
+//! (a pre-execution power estimate from the online learned model when it
+//! is trained and healthy, the analytic probe otherwise — nothing
+//! executes), `model_stats` (per-architecture predictor health: P50/P95
+//! error, drift events), `stats` (scheduler counters plus per-device
+//! utilization and joules), `fleet`, and `ping`.
 //!
 //! Options:
 //!
@@ -149,6 +156,16 @@ fn main() -> ExitCode {
         "wattd: {} completed ({} cache hits, {} misses, {} steals)",
         stats.completed, stats.cache_hits, stats.cache_misses, stats.steals
     );
+    for m in sched.model_stats() {
+        eprintln!(
+            "wattd: model {}: {} obs, P50 {:.1}% / P95 {:.1}% APE{}",
+            m.arch,
+            m.observations,
+            m.p50_ape_pct,
+            m.p95_ape_pct,
+            if m.ready { ", serving" } else { "" }
+        );
+    }
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

@@ -14,15 +14,19 @@
 //!   cache keys on semantic request content.
 //! * [`cache`] — the sharded [`MemoCache`] with in-flight deduplication:
 //!   identical queries never run the simulator twice.
-//! * [`placement`] — deterministic power-capped placement: probe the
-//!   request's switching activity once (it is device-independent), plan
-//!   the energy-minimal clock per device with [`wm_optimizer::plan_dvfs`],
-//!   and pick the cheapest device that fits under cap and budget.
+//! * [`placement`] — power-capped placement: price the request on every
+//!   device (learned `wm-predict` models when trained and healthy, the
+//!   activity probe + power model otherwise), plan the energy-minimal
+//!   clock per device with [`wm_optimizer::plan_dvfs`], and pick the
+//!   cheapest device that fits under cap and budget.
 //! * [`scheduler`] — the work-stealing [`Scheduler`]: per-worker deques,
-//!   idle workers steal, execution-time budget backpressure, and running
-//!   stats (cache hits/misses, steals, ...).
+//!   idle workers steal, execution-time budget backpressure, running
+//!   stats (cache hits/misses, steals, per-device utilization/joules),
+//!   and the prediction loop — every fresh run trains the shared
+//!   [`wm_predict::PowerPredictor`].
 //! * [`protocol`] / the `wattd` binary — a JSON-lines power-estimation
-//!   service over stdin/stdout.
+//!   service over stdin/stdout, including `predict` (power without
+//!   executing) and `model_stats` (predictor health) ops.
 //! * [`par`] — an order-preserving `parallel_map` over scoped threads for
 //!   non-`RunRequest` fan-outs (the GEMV sweeps).
 //!
@@ -59,6 +63,11 @@ pub use cache::MemoCache;
 pub use device::{Fleet, FleetBuilder, FleetDevice};
 pub use hash::{canonical_key, request_key, CanonicalHasher};
 pub use par::parallel_map;
-pub use placement::{place, probe_activity, Placement, PlacementError};
+pub use placement::{
+    place, place_learned, probe_activity, Placement, PlacementError, PredictionSource,
+};
 pub use protocol::{answer, serve};
-pub use scheduler::{FleetError, FleetJob, FleetResponse, JobHandle, Scheduler, SchedulerStats};
+pub use scheduler::{
+    DeviceStats, FleetError, FleetJob, FleetResponse, JobHandle, PredictOutcome, Scheduler,
+    SchedulerStats,
+};

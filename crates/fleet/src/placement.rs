@@ -3,28 +3,67 @@
 //! The paper's core result — dynamic power is input-dependent — makes
 //! placement input-dependent too: a sorted/sparse matrix can fit on a
 //! tightly capped device at a high clock where a random one cannot. The
-//! policy here probes the request's switching activity once (activity is
-//! device-independent), evaluates the power model per candidate device,
-//! asks [`wm_optimizer::plan_dvfs`] for the energy-minimal clock on each,
-//! and picks the cheapest device whose planned power fits under both its
-//! own cap and the fleet power budget.
+//! policy prices the request on every candidate device, asks
+//! [`wm_optimizer::plan_dvfs`] for the energy-minimal clock on each, and
+//! picks the cheapest device whose planned power fits under both its own
+//! cap and the fleet power budget. Two pricing paths exist:
 //!
-//! Placement is a *pure function* of `(request activity, fleet)` — it never
-//! consults the instantaneous load. That keeps every answer deterministic
-//! regardless of worker count or timing; the scheduler enforces the budget
-//! at execution time by delaying (not re-routing) jobs whose device is
-//! busy or whose draw would overshoot the fleet budget. Exact energy ties
-//! (homogeneous fleets) are broken by the request's canonical key, which
-//! both spreads distinct requests across twin devices and routes repeats
-//! of the same request to the same device — maximising memo-cache reuse.
+//! * **analytic** ([`place`]) — probe the request's switching activity
+//!   once (activity is device-independent) and evaluate the full power
+//!   model per device;
+//! * **learned** ([`place_learned`]) — skip the probe entirely: ask the
+//!   `wm-predict` [`PowerPredictor`] for each device's power from cheap
+//!   input features, and rebuild a plannable breakdown with
+//!   [`wm_power::predicted_breakdown`]. Serves only when every device's
+//!   model is trained and healthy; otherwise callers fall back to the
+//!   analytic path, so prediction is an acceleration, never a
+//!   correctness dependency.
+//!
+//! Placement never consults the instantaneous load: the analytic path is
+//! a pure function of `(request activity, fleet)`, the learned path of
+//! `(request features, fleet, predictor snapshot)`. For a fixed predictor
+//! state every answer is deterministic regardless of worker count or
+//! timing; the scheduler enforces the budget at execution time by
+//! delaying (not re-routing) jobs whose device is busy or whose draw
+//! would overshoot the fleet budget. Exact energy ties (homogeneous
+//! fleets) are broken by the request's canonical key, which both spreads
+//! distinct requests across twin devices and routes repeats of the same
+//! request to the same device — maximising memo-cache reuse.
 
-use wm_bits::Xoshiro256pp;
-use wm_core::RunRequest;
+use wm_core::{first_seed_operands, RunRequest};
+use wm_gpu::{iteration_time, GemmDims};
 use wm_kernels::{simulate, ActivityRecord, GemmConfig, GemmInputs};
+use wm_numerics::DType;
 use wm_optimizer::{plan_dvfs, DvfsPlan};
-use wm_power::evaluate;
+use wm_power::{evaluate, predicted_breakdown, PowerBreakdown};
+use wm_predict::{FeatureVector, PowerPredictor};
 
 use crate::device::Fleet;
+
+/// Which pricing path produced a placement's power estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredictionSource {
+    /// The `wm-predict` learned model.
+    Learned,
+    /// The analytic activity-probe + `wm_power::evaluate` path.
+    Analytic,
+}
+
+impl PredictionSource {
+    /// Stable lowercase label (used by the `wattd` protocol).
+    pub const fn label(self) -> &'static str {
+        match self {
+            PredictionSource::Learned => "learned",
+            PredictionSource::Analytic => "analytic",
+        }
+    }
+}
+
+impl std::fmt::Display for PredictionSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
 
 /// The placement decision for one job.
 #[derive(Debug, Clone)]
@@ -39,6 +78,12 @@ pub struct Placement {
     pub planned_power_w: f64,
     /// Expected per-iteration energy on the chosen device, joules.
     pub planned_energy_j: f64,
+    /// Estimated board power at the governor-resolved clock on the chosen
+    /// device, watts — the number comparable to the measured power the
+    /// run will report (runs execute at the governor clock).
+    pub predicted_w: f64,
+    /// Which pricing path produced `predicted_w`.
+    pub source: PredictionSource,
 }
 
 /// Why no device could take a job.
@@ -63,22 +108,14 @@ impl std::fmt::Display for PlacementError {
     }
 }
 
-/// Simulate the switching activity of the request's first seed. Activity
-/// depends only on the input data, not on the device, so one probe serves
-/// every candidate device (and is cached per request by the scheduler).
+/// Simulate the switching activity of the request's first seed (the
+/// operands come from [`wm_core::first_seed_operands`], so the probe
+/// walks exactly the data the run executes). Activity depends only on
+/// the input data, not on the device, so one probe serves every
+/// candidate device (and is cached per request by the scheduler).
 pub fn probe_activity(req: &RunRequest) -> ActivityRecord {
-    // `wm_core::lab` seeds seed-index s with `base_seed ^ (s*STRIDE + s + 1)`;
-    // at s = 0 that reduces to `base_seed ^ 1`, so the probe walks exactly
-    // the operands of the run's first seed.
-    let mut root = Xoshiro256pp::seed_from_u64(req.base_seed ^ 1);
-    let dim = req.dim;
-    let a = req
-        .pattern_a
-        .generate(req.dtype, dim, dim, &mut root.fork(0));
-    let b = req
-        .pattern_b
-        .generate(req.dtype, dim, dim, &mut root.fork(1));
-    let cfg = GemmConfig::square(dim, req.dtype)
+    let (a, b) = first_seed_operands(req);
+    let cfg = GemmConfig::square(req.dim, req.dtype)
         .with_b_transposed(req.b_transposed)
         .with_sampling(req.sampling);
     simulate(
@@ -99,52 +136,55 @@ struct Candidate {
     plan: Option<DvfsPlan>,
     power_w: f64,
     energy_j: f64,
+    /// Board power at the governor-resolved clock (what a run measures).
+    resolved_w: f64,
 }
 
-fn candidates(fleet: &Fleet, activity: &ActivityRecord, deadline_s: Option<f64>) -> Vec<Candidate> {
-    fleet
-        .devices()
-        .iter()
-        .map(|dev| {
-            let breakdown = evaluate(&dev.gpu, activity);
-            if breakdown.throttled {
-                // The governor already owns the clock; take its operating
-                // point as-is.
-                Candidate {
-                    device: dev.id,
-                    plan: None,
-                    power_w: breakdown.total_w,
-                    energy_j: breakdown.energy_per_iter_j,
-                }
-            } else {
-                let plan = plan_dvfs(&dev.gpu, &breakdown, deadline_s);
-                Candidate {
-                    device: dev.id,
-                    power_w: plan.power_w,
-                    energy_j: plan.energy_per_iter_j,
-                    plan: Some(plan),
-                }
-            }
-        })
-        .collect()
-}
-
-/// Choose a device and clock for a job with switching activity `activity`.
+/// Price one device from a (real or predicted) boost-clock breakdown.
 ///
-/// Feasibility: planned power must fit under the device's own cap *and*
-/// the fleet-wide budget. Among feasible devices the minimal per-iteration
-/// energy wins; exact ties (identical devices) are broken by
-/// `tie_salt % ties`, so callers passing the request's canonical key get
-/// stable, cache-friendly spreading.
-pub fn place(
-    fleet: &Fleet,
-    activity: &ActivityRecord,
-    tie_salt: u64,
+/// `vm_offset_w` is the device's process-variation offset: the analytic
+/// model excludes it (it evaluates the architectural part alone) while a
+/// run's *measured* power includes it, so the resolved estimate adds it
+/// back for the analytic path. Learned predictions train on measured
+/// power and therefore carry the offset already — they pass `0.0`.
+fn candidate_from_breakdown(
+    device: usize,
+    gpu: &wm_gpu::GpuSpec,
+    breakdown: &PowerBreakdown,
     deadline_s: Option<f64>,
-) -> Result<Placement, PlacementError> {
-    let cands = candidates(fleet, activity, deadline_s);
-    let budget = fleet.power_budget_w();
+    vm_offset_w: f64,
+) -> Candidate {
+    if breakdown.throttled {
+        // The governor already owns the clock; take its operating point
+        // as-is.
+        Candidate {
+            device,
+            plan: None,
+            power_w: breakdown.total_w,
+            energy_j: breakdown.energy_per_iter_j,
+            resolved_w: breakdown.total_w + vm_offset_w,
+        }
+    } else {
+        let plan = plan_dvfs(gpu, breakdown, deadline_s);
+        Candidate {
+            device,
+            power_w: plan.power_w,
+            energy_j: plan.energy_per_iter_j,
+            plan: Some(plan),
+            resolved_w: breakdown.total_w + vm_offset_w,
+        }
+    }
+}
 
+/// Feasibility filter + minimal-energy selection + salted tie-break,
+/// shared by the analytic and learned paths.
+fn select(
+    fleet: &Fleet,
+    cands: &[Candidate],
+    tie_salt: u64,
+    source: PredictionSource,
+) -> Result<Placement, PlacementError> {
+    let budget = fleet.power_budget_w();
     let feasible: Vec<&Candidate> = cands
         .iter()
         .filter(|c| {
@@ -177,7 +217,64 @@ pub fn place(
         plan: chosen.plan,
         planned_power_w: chosen.power_w,
         planned_energy_j: chosen.energy_j,
+        predicted_w: chosen.resolved_w,
+        source,
     })
+}
+
+/// Choose a device and clock for a job with switching activity `activity`
+/// (the analytic pricing path).
+///
+/// Feasibility: planned power must fit under the device's own cap *and*
+/// the fleet-wide budget. Among feasible devices the minimal per-iteration
+/// energy wins; exact ties (identical devices) are broken by
+/// `tie_salt % ties`, so callers passing the request's canonical key get
+/// stable, cache-friendly spreading.
+pub fn place(
+    fleet: &Fleet,
+    activity: &ActivityRecord,
+    tie_salt: u64,
+    deadline_s: Option<f64>,
+) -> Result<Placement, PlacementError> {
+    let cands: Vec<Candidate> = fleet
+        .devices()
+        .iter()
+        .map(|dev| {
+            let breakdown = evaluate(&dev.gpu, activity);
+            candidate_from_breakdown(dev.id, &dev.gpu, &breakdown, deadline_s, dev.vm.offset_w)
+        })
+        .collect();
+    select(fleet, &cands, tie_salt, PredictionSource::Analytic)
+}
+
+/// Choose a device and clock from *learned* power predictions — no
+/// activity probe, no simulation.
+///
+/// Returns `None` unless the predictor serves a healthy prediction for
+/// **every** device in the fleet (all-or-nothing: pricing some devices
+/// from the model and others from the probe would bias selection toward
+/// whichever path errs low). On `None` the caller falls back to
+/// [`place`]. `Some(Err(..))` means the learned admission control itself
+/// rejected the job on every device.
+pub fn place_learned(
+    fleet: &Fleet,
+    predictor: &PowerPredictor,
+    features: &FeatureVector,
+    dims: GemmDims,
+    dtype: DType,
+    tie_salt: u64,
+    deadline_s: Option<f64>,
+) -> Option<Result<Placement, PlacementError>> {
+    let mut cands = Vec::with_capacity(fleet.len());
+    for dev in fleet.devices() {
+        let prediction = predictor.predict(dev.gpu.name, features)?;
+        let rt = iteration_time(&dev.gpu, dims, dtype);
+        let breakdown = predicted_breakdown(&dev.gpu, &rt, prediction.watts);
+        cands.push(candidate_from_breakdown(
+            dev.id, &dev.gpu, &breakdown, deadline_s, 0.0,
+        ));
+    }
+    Some(select(fleet, &cands, tie_salt, PredictionSource::Learned))
 }
 
 #[cfg(test)]
@@ -316,6 +413,97 @@ mod tests {
             .collect();
         let other = 1 - p.device;
         assert!(cands_energy[p.device] <= cands_energy[other]);
+    }
+
+    /// Train a predictor for every device in `fleet` from the analytic
+    /// path itself: features in, probed-and-evaluated watts out.
+    fn train_from_analytic(fleet: &Fleet, rounds: u64) -> wm_predict::PowerPredictor {
+        let mut p = wm_predict::PowerPredictor::new();
+        let kinds = [
+            PatternKind::Gaussian,
+            PatternKind::Sparse { sparsity: 0.3 },
+            PatternKind::Sparse { sparsity: 0.7 },
+            PatternKind::SortedRows { fraction: 0.8 },
+            PatternKind::ValueSet { set_size: 8 },
+            PatternKind::ConstantRandom,
+            PatternKind::ZeroLsbs { count: 6 },
+            PatternKind::Zeros,
+        ];
+        for round in 0..rounds {
+            for (i, kind) in kinds.into_iter().enumerate() {
+                let req = quick_req(kind).with_base_seed(round * 100 + i as u64);
+                let features = wm_predict::features_for_request(&req);
+                let act = probe_activity(&req);
+                for dev in fleet.devices() {
+                    let watts = evaluate(&dev.gpu, &act).total_w;
+                    p.observe(dev.gpu.name, &features, watts);
+                }
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn learned_placement_is_all_or_nothing() {
+        let fleet = Fleet::builder()
+            .device(a100_pcie())
+            .device(rtx6000())
+            .build();
+        let req = quick_req(PatternKind::Gaussian);
+        let features = wm_predict::features_for_request(&req);
+        let dims = wm_gpu::GemmDims::square(req.dim);
+        // Untrained predictor: no learned placement.
+        let empty = wm_predict::PowerPredictor::new();
+        assert!(place_learned(&fleet, &empty, &features, dims, req.dtype, 0, None).is_none());
+        // Training only one of the two architectures is still a fallback.
+        let mut half = wm_predict::PowerPredictor::with_min_observations(1);
+        half.observe(a100_pcie().name, &features, 250.0);
+        assert!(place_learned(&fleet, &half, &features, dims, req.dtype, 0, None).is_none());
+    }
+
+    #[test]
+    fn learned_placement_tracks_the_analytic_path() {
+        let fleet = Fleet::builder()
+            .device(a100_pcie())
+            .device(rtx6000())
+            .build();
+        let predictor = train_from_analytic(&fleet, 5); // 40 observations/arch
+        let req = quick_req(PatternKind::Sparse { sparsity: 0.45 }).with_base_seed(0xFEED);
+        let features = wm_predict::features_for_request(&req);
+        let dims = wm_gpu::GemmDims::square(req.dim);
+        let learned = place_learned(&fleet, &predictor, &features, dims, req.dtype, 7, None)
+            .expect("both architectures are trained")
+            .expect("an uncapped fleet admits everything");
+        assert_eq!(learned.source, PredictionSource::Learned);
+        let analytic = place(&fleet, &probe_activity(&req), 7, None).unwrap();
+        assert_eq!(analytic.source, PredictionSource::Analytic);
+        assert_eq!(
+            learned.device, analytic.device,
+            "a trained model must reproduce the analytic choice"
+        );
+        let ape = (learned.predicted_w - analytic.predicted_w).abs() / analytic.predicted_w;
+        assert!(
+            ape < 0.15,
+            "learned {} W vs analytic {} W",
+            learned.predicted_w,
+            analytic.predicted_w
+        );
+    }
+
+    #[test]
+    fn learned_admission_rejects_under_tight_caps() {
+        // A cap below anything the model predicts must reject at
+        // admission, exactly like the analytic path.
+        let gpu = a100_pcie();
+        let idle = gpu.idle_watts;
+        let fleet = Fleet::builder().device_with(gpu, 0, idle + 1.0).build();
+        let predictor = train_from_analytic(&fleet, 5);
+        let req = quick_req(PatternKind::Gaussian).with_base_seed(0xCAFE);
+        let features = wm_predict::features_for_request(&req);
+        let dims = wm_gpu::GemmDims::square(req.dim);
+        let outcome = place_learned(&fleet, &predictor, &features, dims, req.dtype, 0, None)
+            .expect("trained");
+        assert!(matches!(outcome, Err(PlacementError::NeverFits { .. })));
     }
 
     #[test]

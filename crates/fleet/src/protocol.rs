@@ -15,9 +15,21 @@
 //! * `"batch"` — `{"requests": [...]}` of `run` objects; answered as one
 //!   `{"results": [...]}` array in submission order, deduplicated through
 //!   the memo cache.
-//! * `"stats"` — scheduler counters (cache hits/misses, steals, ...).
+//! * `"predict"` — same fields as `run`, but nothing executes: answers
+//!   the pre-execution power estimate (`predicted_w`), which device would
+//!   take the job, and whether the learned model (`"source": "learned"`)
+//!   or the analytic probe (`"source": "analytic"`) priced it.
+//! * `"model_stats"` — per-architecture learned-model health: training
+//!   observations, prequential P50/P95 absolute percentage error, drift
+//!   events, and whether the model currently serves.
+//! * `"stats"` — scheduler counters (cache hits/misses, steals, ...) plus
+//!   per-device utilization and total joules.
 //! * `"fleet"` — the device inventory and power budget.
 //! * `"ping"` — liveness check.
+//!
+//! `run` responses carry the predicted-vs-measured pair (`predicted_w`,
+//! `predicted_source`, `measured_w`) for auto-placed jobs, so a client
+//! can audit the predictor against every answer it receives.
 //!
 //! Responses always carry `"ok"`: `true` with the payload or `false` with
 //! an `"error"` string.
@@ -235,6 +247,21 @@ fn run_payload(r: &FleetResponse) -> Vec<(&'static str, Json)> {
                 None => Json::Null,
             },
         ),
+        (
+            "predicted_w",
+            match r.predicted_w {
+                Some(w) => Json::Num(w),
+                None => Json::Null,
+            },
+        ),
+        (
+            "predicted_source",
+            match r.prediction {
+                Some(src) => Json::Str(src.label().to_string()),
+                None => Json::Null,
+            },
+        ),
+        ("measured_w", Json::Num(r.measured_w)),
         ("cache_hit", Json::Bool(r.cache_hit)),
     ]
 }
@@ -261,6 +288,21 @@ pub fn answer(v: &Json, sched: &Scheduler) -> Json {
         "ping" => ok_response(id, vec![("pong", Json::Bool(true))]),
         "stats" => {
             let s = sched.stats();
+            let device_stats = sched.device_stats();
+            let devices: Vec<Json> = device_stats
+                .iter()
+                .map(|d| {
+                    obj(vec![
+                        ("device", Json::Num(d.device as f64)),
+                        ("gpu", Json::Str(d.gpu_name.to_string())),
+                        ("jobs", Json::Num(d.jobs as f64)),
+                        ("sim_time_s", Json::Num(d.sim_time_s)),
+                        ("energy_j", Json::Num(d.energy_j)),
+                        ("utilization_pct", Json::Num(d.utilization_pct)),
+                    ])
+                })
+                .collect();
+            let fleet_energy: f64 = device_stats.iter().map(|d| d.energy_j).sum();
             ok_response(
                 id,
                 vec![
@@ -272,8 +314,46 @@ pub fn answer(v: &Json, sched: &Scheduler) -> Json {
                     ("dedup_joins", Json::Num(s.dedup_joins as f64)),
                     ("steals", Json::Num(s.steals as f64)),
                     ("cached_results", Json::Num(sched.cached_results() as f64)),
+                    ("devices", Json::Arr(devices)),
+                    ("fleet_energy_j", Json::Num(fleet_energy)),
                 ],
             )
+        }
+        "predict" => match parse_job(v, sched) {
+            Err(msg) => err_response(id, &msg),
+            Ok(job) => match sched.predict(&job) {
+                Ok(p) => ok_response(
+                    id,
+                    vec![
+                        ("device", Json::Num(p.device as f64)),
+                        ("gpu", Json::Str(p.gpu_name.to_string())),
+                        ("predicted_w", Json::Num(p.predicted_w)),
+                        ("source", Json::Str(p.source.label().to_string())),
+                        ("model_observations", Json::Num(p.model_observations as f64)),
+                    ],
+                ),
+                Err(e) => err_response(id, &e.to_string()),
+            },
+        },
+        "model_stats" => {
+            let models: Vec<Json> = sched
+                .model_stats()
+                .iter()
+                .map(|m| {
+                    obj(vec![
+                        ("arch", Json::Str(m.arch.clone())),
+                        ("observations", Json::Num(m.observations as f64)),
+                        ("tracked_errors", Json::Num(m.tracked_errors as f64)),
+                        ("p50_ape_pct", Json::Num(m.p50_ape_pct)),
+                        ("p95_ape_pct", Json::Num(m.p95_ape_pct)),
+                        ("window_p95_ape_pct", Json::Num(m.window_p95_ape_pct)),
+                        ("drift_events", Json::Num(m.drift_events as f64)),
+                        ("degraded", Json::Bool(m.degraded)),
+                        ("ready", Json::Bool(m.ready)),
+                    ])
+                })
+                .collect();
+            ok_response(id, vec![("models", Json::Arr(models))])
         }
         "fleet" => {
             let devices: Vec<Json> = sched
@@ -447,6 +527,104 @@ mod tests {
             let err = v.get("error").unwrap().as_str().unwrap();
             assert!(err.contains(needle), "{line} -> {err}");
         }
+    }
+
+    #[test]
+    fn run_reports_predicted_vs_measured() {
+        let s = sched();
+        let v = run_line(
+            &s,
+            r#"{"dtype": "fp16-t", "dim": 96, "pattern": "gaussian", "seeds": 1, "lattice": 4}"#,
+        );
+        assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "{v}");
+        // Untrained fleet: the analytic path priced the job.
+        assert_eq!(
+            v.get("predicted_source").unwrap().as_str(),
+            Some("analytic")
+        );
+        let predicted = v.get("predicted_w").unwrap().as_f64().unwrap();
+        let measured = v.get("measured_w").unwrap().as_f64().unwrap();
+        assert_eq!(measured, v.get("power_w").unwrap().as_f64().unwrap());
+        assert!(
+            (predicted - measured).abs() / measured < 0.05,
+            "predicted {predicted} vs measured {measured}"
+        );
+        // Pinned jobs skip placement: no prediction fields.
+        let pinned = run_line(
+            &s,
+            r#"{"dtype": "fp16-t", "dim": 96, "pattern": "zeros", "seeds": 1, "lattice": 4, "gpu": "a100"}"#,
+        );
+        assert_eq!(pinned.get("predicted_w"), Some(&Json::Null));
+        assert_eq!(pinned.get("predicted_source"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn predict_op_estimates_without_executing() {
+        let s = sched();
+        let v = run_line(
+            &s,
+            r#"{"op": "predict", "dtype": "int8", "dim": 64, "pattern": "sparse", "sparsity": 0.5, "seeds": 1, "lattice": 4}"#,
+        );
+        assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "{v}");
+        assert!(v.get("predicted_w").unwrap().as_f64().unwrap() > 0.0);
+        assert_eq!(v.get("source").unwrap().as_str(), Some("analytic"));
+        assert_eq!(v.get("model_observations").unwrap().as_u64(), Some(0));
+        // Nothing executed.
+        let stats = run_line(&s, r#"{"op": "stats"}"#);
+        assert_eq!(stats.get("completed").unwrap().as_u64(), Some(0));
+        // Malformed predict requests error like runs do.
+        let bad = run_line(&s, r#"{"op": "predict", "dim": 64}"#);
+        assert_eq!(bad.get("ok"), Some(&Json::Bool(false)));
+    }
+
+    #[test]
+    fn stats_carries_per_device_utilization_and_joules() {
+        let s = sched();
+        let v = run_line(
+            &s,
+            r#"{"dtype": "fp32", "dim": 64, "pattern": "zeros", "seeds": 1, "lattice": 4, "gpu": "v100"}"#,
+        );
+        assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "{v}");
+        let stats = run_line(&s, r#"{"op": "stats"}"#);
+        let devices = stats.get("devices").unwrap().as_arr().unwrap();
+        assert_eq!(devices.len(), 4);
+        let ran: Vec<&Json> = devices
+            .iter()
+            .filter(|d| d.get("jobs").unwrap().as_u64() == Some(1))
+            .collect();
+        assert_eq!(ran.len(), 1);
+        assert_eq!(
+            ran[0].get("gpu").unwrap().as_str(),
+            Some("NVIDIA V100 SXM2")
+        );
+        let energy = ran[0].get("energy_j").unwrap().as_f64().unwrap();
+        assert!(energy > 0.0);
+        assert_eq!(
+            stats.get("fleet_energy_j").unwrap().as_f64().unwrap(),
+            energy
+        );
+        assert!(ran[0].get("utilization_pct").unwrap().as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn model_stats_op_reports_predictor_health() {
+        let s = sched();
+        // No runs yet: no models exist.
+        let empty = run_line(&s, r#"{"op": "model_stats"}"#);
+        assert_eq!(empty.get("models").unwrap().as_arr().unwrap().len(), 0);
+        let v = run_line(
+            &s,
+            r#"{"dtype": "fp16", "dim": 64, "pattern": "gaussian", "seeds": 1, "lattice": 4}"#,
+        );
+        assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "{v}");
+        let stats = run_line(&s, r#"{"op": "model_stats"}"#);
+        let models = stats.get("models").unwrap().as_arr().unwrap();
+        assert_eq!(models.len(), 1, "one architecture has observed a run");
+        let m = &models[0];
+        assert_eq!(m.get("observations").unwrap().as_u64(), Some(1));
+        assert_eq!(m.get("ready"), Some(&Json::Bool(false)));
+        assert_eq!(m.get("degraded"), Some(&Json::Bool(false)));
+        assert_eq!(m.get("drift_events").unwrap().as_u64(), Some(0));
     }
 
     #[test]

@@ -16,7 +16,20 @@
 //!    clock, cache-hit flag) is sent back over the job's reply channel.
 //!
 //! The scheduler keeps running statistics — submitted/completed jobs,
-//! cache hits/misses/joins, steal count — exposed via [`Scheduler::stats`].
+//! cache hits/misses/joins, steal count, per-device utilization and
+//! joules — exposed via [`Scheduler::stats`] and
+//! [`Scheduler::device_stats`].
+//!
+//! ## The prediction loop
+//!
+//! The scheduler closes the `wm-predict` learning loop: every fresh
+//! (cache-miss) run feeds `(input features, measured watts)` back into
+//! the shared [`PowerPredictor`], and placement consults the learned
+//! models *before* probing activity — once every device's model is
+//! trained and healthy, admission control and clock selection run from
+//! cheap input statistics alone. An untrained or drift-degraded model
+//! falls back to the analytic probe path, so prediction only ever
+//! short-cuts work, never gates it.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -25,13 +38,18 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use wm_core::{PowerLab, RunRequest, RunResult};
+use wm_gpu::{iteration_time, GemmDims};
 use wm_kernels::ActivityRecord;
 use wm_optimizer::DvfsPlan;
+use wm_power::{evaluate, predicted_breakdown, PowerBreakdown};
+use wm_predict::{features_for_request, FeatureVector, ModelStats, PowerPredictor};
 
 use crate::cache::MemoCache;
 use crate::device::Fleet;
 use crate::hash::{canonical_key, request_key};
-use crate::placement::{place, probe_activity, Placement, PlacementError};
+use crate::placement::{
+    place, place_learned, probe_activity, Placement, PlacementError, PredictionSource,
+};
 
 /// One unit of work for the fleet.
 #[derive(Debug, Clone)]
@@ -84,6 +102,15 @@ pub struct FleetResponse {
     pub clock_scale: f64,
     /// The DVFS plan, for auto-placed jobs on unthrottled baselines.
     pub plan: Option<DvfsPlan>,
+    /// Pre-execution power estimate for auto-placed jobs, watts (at the
+    /// governor-resolved clock, comparable to `measured_w`). `None` for
+    /// pinned jobs, which skip placement.
+    pub predicted_w: Option<f64>,
+    /// Which pricing path produced `predicted_w`.
+    pub prediction: Option<PredictionSource>,
+    /// Measured mean board power of the run, watts (same quantity as
+    /// `result.power.mean`, surfaced for predicted-vs-measured pairing).
+    pub measured_w: f64,
     /// Whether the result came from the memo cache (or an in-flight join).
     pub cache_hit: bool,
     /// The measurement. Shared: identical queries return the *same*
@@ -135,6 +162,50 @@ pub struct SchedulerStats {
     pub steals: u64,
 }
 
+/// Per-device execution counters (fresh computes only; cache hits run
+/// nothing and therefore draw nothing).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceStats {
+    /// Device index in the fleet.
+    pub device: usize,
+    /// Marketing name of the device.
+    pub gpu_name: &'static str,
+    /// Fresh (cache-miss) runs executed on this device.
+    pub jobs: u64,
+    /// Total simulated busy time across those runs, seconds.
+    pub sim_time_s: f64,
+    /// Total simulated energy across those runs, joules.
+    pub energy_j: f64,
+    /// Mean GPU utilization (duty-cycle percentage) over those runs;
+    /// 0 when the device has run nothing.
+    pub utilization_pct: f64,
+}
+
+/// A pre-execution power prediction for one job (the `predict` protocol
+/// op): what the fleet *would* do, with nothing executed or cached.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictOutcome {
+    /// Device the job would run on.
+    pub device: usize,
+    /// Marketing name of that device.
+    pub gpu_name: &'static str,
+    /// Predicted board power at the governor-resolved clock, watts.
+    pub predicted_w: f64,
+    /// Which pricing path produced the number.
+    pub source: PredictionSource,
+    /// Training observations behind that device's learned model (0 when
+    /// untrained).
+    pub model_observations: u64,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct DeviceAccum {
+    jobs: u64,
+    sim_time_s: f64,
+    energy_j: f64,
+    util_pct_sum: f64,
+}
+
 type Reply = mpsc::Sender<Result<FleetResponse, FleetError>>;
 
 struct Task {
@@ -148,6 +219,14 @@ struct Inner {
     /// Request-keyed probe cache: switching activity is device-independent,
     /// so placement probes are shared across devices and repeats.
     probes: Mutex<HashMap<u64, Arc<ActivityRecord>>>,
+    /// Request-keyed feature cache: input features are device-independent
+    /// too, and one extraction serves placement, prediction, and the
+    /// training feedback of every repeat.
+    features: Mutex<HashMap<u64, Arc<FeatureVector>>>,
+    /// The shared online power predictor, trained from completed runs.
+    predictor: Mutex<PowerPredictor>,
+    /// Per-device execution accumulators (fresh computes only).
+    device_accum: Mutex<Vec<DeviceAccum>>,
     /// Per-worker deques; owner pops front, thieves pop back.
     queues: Vec<Mutex<VecDeque<Task>>>,
     /// Round-robin cursor for submissions.
@@ -203,6 +282,9 @@ impl Scheduler {
             fleet,
             cache: MemoCache::new(16),
             probes: Mutex::new(HashMap::new()),
+            features: Mutex::new(HashMap::new()),
+            predictor: Mutex::new(PowerPredictor::new()),
+            device_accum: Mutex::new(vec![DeviceAccum::default(); n_devices]),
             queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
             next_queue: AtomicUsize::new(0),
             idle: Mutex::new(()),
@@ -272,6 +354,138 @@ impl Scheduler {
     /// Number of distinct results held by the memo cache.
     pub fn cached_results(&self) -> usize {
         self.inner.cache.len()
+    }
+
+    /// Per-device execution counters (utilization, simulated seconds,
+    /// joules) over the fresh computes this scheduler has run.
+    pub fn device_stats(&self) -> Vec<DeviceStats> {
+        let accum = self.inner.device_accum.lock().expect("stats poisoned");
+        self.inner
+            .fleet
+            .devices()
+            .iter()
+            .zip(accum.iter())
+            .map(|(dev, a)| DeviceStats {
+                device: dev.id,
+                gpu_name: dev.gpu.name,
+                jobs: a.jobs,
+                sim_time_s: a.sim_time_s,
+                energy_j: a.energy_j,
+                utilization_pct: if a.jobs == 0 {
+                    0.0
+                } else {
+                    a.util_pct_sum / a.jobs as f64
+                },
+            })
+            .collect()
+    }
+
+    /// Health snapshot of every learned power model.
+    pub fn model_stats(&self) -> Vec<ModelStats> {
+        self.inner
+            .predictor
+            .lock()
+            .expect("predictor poisoned")
+            .stats()
+    }
+
+    /// Predict a job's power without executing (or caching) anything:
+    /// the same placement logic `submit` would run, stopping at the
+    /// estimate. Learned models serve when trained and healthy; otherwise
+    /// the analytic probe path answers.
+    pub fn predict(&self, job: &FleetJob) -> Result<PredictOutcome, FleetError> {
+        let inner = &*self.inner;
+        let features = request_features(inner, &job.request);
+        match job.pin {
+            Some(id) => {
+                let dev = inner
+                    .fleet
+                    .device(id)
+                    .ok_or(FleetError::UnknownDevice(id))?;
+                let (learned, observations) = {
+                    let p = inner.predictor.lock().expect("predictor poisoned");
+                    (
+                        p.predict(dev.gpu.name, &features),
+                        p.observations(dev.gpu.name),
+                    )
+                };
+                let (predicted_w, source) = match learned {
+                    Some(pred) => {
+                        // The model predicts boost-equivalent watts; the
+                        // governor resolves the operating point a run
+                        // would actually sustain.
+                        let rt = iteration_time(
+                            &dev.gpu,
+                            GemmDims::square(job.request.dim),
+                            job.request.dtype,
+                        );
+                        (
+                            predicted_breakdown(&dev.gpu, &rt, pred.watts).total_w,
+                            PredictionSource::Learned,
+                        )
+                    }
+                    None => {
+                        // Analytic evaluation plus the device's VM offset,
+                        // matching what a run on it would measure.
+                        let activity = probe(inner, &job.request);
+                        (
+                            evaluate(&dev.gpu, &activity).total_w + dev.vm.offset_w,
+                            PredictionSource::Analytic,
+                        )
+                    }
+                };
+                Ok(PredictOutcome {
+                    device: dev.id,
+                    gpu_name: dev.gpu.name,
+                    predicted_w,
+                    source,
+                    model_observations: observations,
+                })
+            }
+            None => {
+                let placement = plan_placement(inner, &job.request, job.deadline_s, &features)?;
+                let dev = inner.fleet.device(placement.device).expect("placed");
+                let observations = inner
+                    .predictor
+                    .lock()
+                    .expect("predictor poisoned")
+                    .observations(dev.gpu.name);
+                Ok(PredictOutcome {
+                    device: placement.device,
+                    gpu_name: dev.gpu.name,
+                    predicted_w: placement.predicted_w,
+                    source: placement.source,
+                    model_observations: observations,
+                })
+            }
+        }
+    }
+
+    /// Feed an externally measured observation into the learned model of
+    /// `device` — telemetry from real hardware, replayed traces, or a
+    /// test harness. The request's input features are extracted exactly
+    /// as the serving path would. `measured_w` must be boost-equivalent
+    /// board power (for unthrottled runs — the usual case for external
+    /// telemetry worth learning from — that is simply the measured
+    /// power; undo the clock scaling first if the source throttled).
+    pub fn record_external(
+        &self,
+        device: usize,
+        req: &RunRequest,
+        measured_w: f64,
+    ) -> Result<(), FleetError> {
+        let dev = self
+            .inner
+            .fleet
+            .device(device)
+            .ok_or(FleetError::UnknownDevice(device))?;
+        let features = request_features(&self.inner, req);
+        self.inner
+            .predictor
+            .lock()
+            .expect("predictor poisoned")
+            .observe(dev.gpu.name, &features, measured_w);
+        Ok(())
     }
 }
 
@@ -358,17 +572,78 @@ fn probe(inner: &Inner, req: &RunRequest) -> Arc<ActivityRecord> {
         .clone()
 }
 
-/// Deterministic placement: pure function of (request, fleet), with the
-/// request's canonical key as the tie salt.
+fn request_features(inner: &Inner, req: &RunRequest) -> Arc<FeatureVector> {
+    let key = request_key(req);
+    if let Some(f) = inner
+        .features
+        .lock()
+        .expect("feature cache poisoned")
+        .get(&key)
+    {
+        return Arc::clone(f);
+    }
+    let features = Arc::new(features_for_request(req));
+    inner
+        .features
+        .lock()
+        .expect("feature cache poisoned")
+        .entry(key)
+        .or_insert(features)
+        .clone()
+}
+
+/// Placement with the request's canonical key as the tie salt: the
+/// learned path first (pure function of the predictor snapshot), the
+/// analytic probe as the universal fallback.
 fn plan_placement(
     inner: &Inner,
     req: &RunRequest,
     deadline_s: Option<f64>,
+    features: &FeatureVector,
 ) -> Result<Placement, FleetError> {
-    let activity = probe(inner, req);
     let salt = request_key(req);
-    place(&inner.fleet, &activity, salt, deadline_s)
-        .map_err(|e: PlacementError| FleetError::Infeasible(e.to_string()))
+    let learned = {
+        let predictor = inner.predictor.lock().expect("predictor poisoned");
+        place_learned(
+            &inner.fleet,
+            &predictor,
+            features,
+            GemmDims::square(req.dim),
+            req.dtype,
+            salt,
+            deadline_s,
+        )
+    };
+    let outcome = match learned {
+        Some(Ok(placement)) => Ok(placement),
+        // A learned *rejection* is always confirmed analytically: a
+        // rejected job never executes, so the model would get no
+        // corrective observation and a high-biased model could make
+        // feasible work unservable forever. Admissions stay probe-free
+        // (mispredicted admissions self-correct through the feedback
+        // loop); only the rare reject pays for the probe.
+        Some(Err(_)) | None => {
+            let activity = probe(inner, req);
+            place(&inner.fleet, &activity, salt, deadline_s)
+        }
+    };
+    outcome.map_err(|e: PlacementError| FleetError::Infeasible(e.to_string()))
+}
+
+/// Undo the governor's clock scaling on a measured power so the learned
+/// model trains in **boost-equivalent** watts (see
+/// `wm_predict::Prediction::watts`): measured power is
+/// `idle + dyn_boost·s³ + vm_offset` (plus sensor noise), so the VM
+/// process-variation offset — constant, not clock-scaled — is peeled off
+/// first, the above-idle remainder is divided by `s³`, and the offset is
+/// added back unscaled. For the common unthrottled case (`s = 1`) this
+/// is the identity; for throttled runs it lets
+/// `wm_power::predicted_breakdown` re-derive the throttle state instead
+/// of mistaking TDP-capped power for a boost-feasible load, without
+/// amplifying the offset by `1/s³`.
+fn boost_equivalent_w(breakdown: &PowerBreakdown, measured_w: f64, vm_offset_w: f64) -> f64 {
+    let s3 = breakdown.clock_scale.powi(3);
+    breakdown.idle_w + (measured_w - vm_offset_w - breakdown.idle_w) / s3 + vm_offset_w
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -437,7 +712,30 @@ fn process(inner: &Inner, job: FleetJob) -> Result<FleetResponse, FleetError> {
             (id, None)
         }
         None => {
-            let placement = plan_placement(inner, &job.request, job.deadline_s)?;
+            // Answer stability across model evolution: if *any* device
+            // already holds this request's result, return it instead of
+            // re-placing. The learned model changes between calls, and a
+            // model-nudged re-placement could route an identical repeat
+            // to a different device — computing the same query twice and
+            // answering it twice differently.
+            for dev in inner.fleet.devices() {
+                let key = canonical_key(&job.request, &dev.gpu, dev.vm.id);
+                if let Some(result) = inner.cache.peek(key) {
+                    return Ok(FleetResponse {
+                        device: dev.id,
+                        gpu_name: dev.gpu.name,
+                        clock_scale: result.breakdown.clock_scale,
+                        plan: None,
+                        predicted_w: None,
+                        prediction: None,
+                        measured_w: result.power.mean,
+                        cache_hit: true,
+                        result,
+                    });
+                }
+            }
+            let features = request_features(inner, &job.request);
+            let placement = plan_placement(inner, &job.request, job.deadline_s, &features)?;
             (placement.device, Some(placement))
         }
     };
@@ -456,6 +754,9 @@ fn process(inner: &Inner, job: FleetJob) -> Result<FleetResponse, FleetError> {
             gpu_name: dev.gpu.name,
             clock_scale,
             plan: plan.as_ref().and_then(|p| p.plan),
+            predicted_w: plan.as_ref().map(|p| p.predicted_w),
+            prediction: plan.as_ref().map(|p| p.source),
+            measured_w: result.power.mean,
             cache_hit,
             result,
         }
@@ -481,6 +782,31 @@ fn process(inner: &Inner, job: FleetJob) -> Result<FleetResponse, FleetError> {
     let (result, cache_hit) = inner
         .cache
         .get_or_compute(key, move || PowerLab::new(gpu).with_vm(vm_id).run(&req));
+
+    if !cache_hit {
+        // Fresh compute: account the device's execution and close the
+        // prediction loop. Cache hits replay a result without running —
+        // no energy drawn, no new information for the model.
+        {
+            let mut accum = inner.device_accum.lock().expect("stats poisoned");
+            let a = &mut accum[device_id];
+            a.jobs += 1;
+            for m in &result.measurements {
+                a.sim_time_s += m.total_time_s;
+                a.energy_j += m.mean_power_w * m.total_time_s;
+            }
+            a.util_pct_sum += result.utilization_pct;
+        }
+        // Features are fetched here (not up front) so pinned jobs and
+        // cache hits never pay for an extraction they don't need; for
+        // auto jobs this is an Arc clone out of the per-request cache.
+        let features = request_features(inner, &job.request);
+        inner.predictor.lock().expect("predictor poisoned").observe(
+            dev.gpu.name,
+            &features,
+            boost_equivalent_w(&result.breakdown, result.power.mean, dev.vm.offset_w),
+        );
+    }
     Ok(respond(result, cache_hit))
 }
 
@@ -659,6 +985,245 @@ mod tests {
         let answers = sched.run_batch(jobs);
         assert!(answers.iter().all(|a| a.is_ok()), "{answers:?}");
         assert_eq!(sched.stats().completed, 6);
+    }
+
+    #[test]
+    fn prediction_loop_trains_until_learned_placement_takes_over() {
+        let sched = Scheduler::with_workers(Fleet::builder().device(a100_pcie()).build(), 2);
+        // Early traffic is priced analytically (the model is untrained).
+        let first = sched
+            .submit(FleetJob::new(quick(PatternKind::Gaussian, 1000)))
+            .recv()
+            .unwrap();
+        assert_eq!(first.prediction, Some(PredictionSource::Analytic));
+        let predicted = first.predicted_w.expect("auto jobs carry an estimate");
+        assert!(
+            (predicted - first.measured_w).abs() / first.measured_w < 0.05,
+            "analytic estimate {predicted} vs measured {}",
+            first.measured_w
+        );
+        // Train past the readiness threshold with mixed distributions.
+        let kinds = [
+            PatternKind::Gaussian,
+            PatternKind::Sparse { sparsity: 0.3 },
+            PatternKind::Sparse { sparsity: 0.7 },
+            PatternKind::SortedRows { fraction: 0.5 },
+            PatternKind::ValueSet { set_size: 8 },
+            PatternKind::ConstantRandom,
+            PatternKind::ZeroLsbs { count: 6 },
+            PatternKind::Zeros,
+        ];
+        let jobs: Vec<FleetJob> = (0..40u64)
+            .map(|i| FleetJob::new(quick(kinds[(i % 8) as usize], 2000 + i)))
+            .collect();
+        for r in sched.run_batch(jobs) {
+            r.unwrap();
+        }
+        let stats = sched.model_stats();
+        assert_eq!(stats.len(), 1);
+        assert!(stats[0].ready, "{stats:?}");
+        // A fresh request is now priced by the learned model, skipping the
+        // probe — and lands within the acceptance band of the measurement.
+        let fresh = sched
+            .submit(FleetJob::new(quick(
+                PatternKind::Sparse { sparsity: 0.45 },
+                9999,
+            )))
+            .recv()
+            .unwrap();
+        assert_eq!(fresh.prediction, Some(PredictionSource::Learned));
+        let predicted = fresh.predicted_w.unwrap();
+        let ape = (predicted - fresh.measured_w).abs() / fresh.measured_w;
+        assert!(
+            ape < 0.15,
+            "learned {predicted} W vs measured {} W (APE {ape})",
+            fresh.measured_w
+        );
+    }
+
+    #[test]
+    fn device_stats_count_fresh_computes_only() {
+        let sched = Scheduler::with_workers(Fleet::homogeneous(a100_pcie(), 2), 2);
+        let req = quick(PatternKind::Gaussian, 55);
+        sched.submit(FleetJob::new(req.clone())).recv().unwrap();
+        sched.submit(FleetJob::new(req)).recv().unwrap(); // cache hit
+        let stats = sched.device_stats();
+        assert_eq!(stats.len(), 2);
+        let total_jobs: u64 = stats.iter().map(|d| d.jobs).sum();
+        assert_eq!(total_jobs, 1, "the repeat ran nothing");
+        let busy: Vec<&DeviceStats> = stats.iter().filter(|d| d.jobs > 0).collect();
+        assert_eq!(busy.len(), 1);
+        assert!(busy[0].energy_j > 0.0);
+        assert!(busy[0].sim_time_s > 0.0);
+        assert!(busy[0].utilization_pct > 0.0 && busy[0].utilization_pct <= 100.0);
+        let idle: Vec<&DeviceStats> = stats.iter().filter(|d| d.jobs == 0).collect();
+        assert_eq!(idle[0].energy_j, 0.0);
+        assert_eq!(idle[0].utilization_pct, 0.0);
+    }
+
+    #[test]
+    fn predict_estimates_without_executing() {
+        let sched = Scheduler::with_workers(Fleet::homogeneous(a100_pcie(), 2), 2);
+        let job = FleetJob::new(quick(PatternKind::Gaussian, 77));
+        let p = sched.predict(&job).unwrap();
+        assert_eq!(p.source, PredictionSource::Analytic);
+        assert!(p.predicted_w > 0.0);
+        assert_eq!(p.model_observations, 0);
+        // Nothing ran, nothing cached.
+        assert_eq!(sched.stats().completed, 0);
+        assert_eq!(sched.cached_results(), 0);
+        // The prediction matches what the run then measures.
+        let run = sched.submit(job).recv().unwrap();
+        assert_eq!(run.device, p.device, "predict and run must agree");
+        assert!((p.predicted_w - run.measured_w).abs() / run.measured_w < 0.05);
+        // Pinned predictions answer for the pinned device.
+        let pinned = sched
+            .predict(&FleetJob::pinned(quick(PatternKind::Zeros, 78), 1))
+            .unwrap();
+        assert_eq!(pinned.device, 1);
+        let missing = sched.predict(&FleetJob::pinned(quick(PatternKind::Zeros, 78), 9));
+        assert_eq!(missing.unwrap_err(), FleetError::UnknownDevice(9));
+    }
+
+    #[test]
+    fn throttled_measurements_round_trip_through_boost_equivalence() {
+        // A throttled run measures TDP-capped power. Training on that
+        // number as-is would make `predicted_breakdown` (which expects
+        // boost-clock watts) report a boost-feasible, unthrottled load;
+        // the boost-equivalence conversion must re-derive the throttled
+        // operating point exactly.
+        let gpu = wm_gpu::spec::rtx6000(); // throttles at the paper's 2048
+        let rt = iteration_time(&gpu, GemmDims::square(2048), DType::Fp16Tensor);
+        let s: f64 = 0.9;
+        let throttled = PowerBreakdown {
+            idle_w: gpu.idle_watts,
+            uncore_w: 30.0,
+            datapath_w: gpu.tdp_watts - gpu.idle_watts - 30.0,
+            dram_w: 0.0,
+            l2_w: 0.0,
+            total_w: gpu.tdp_watts,
+            clock_scale: s,
+            throttled: true,
+            t_iter_s: rt.t_iter_s / s,
+            duty: 0.99,
+            energy_per_iter_j: gpu.tdp_watts * rt.t_iter_s / s,
+        };
+        let boost_w = boost_equivalent_w(&throttled, gpu.tdp_watts, 0.0);
+        assert!(
+            boost_w > gpu.tdp_watts,
+            "undoing s³ scaling must land above TDP: {boost_w}"
+        );
+        let resolved = predicted_breakdown(&gpu, &rt, boost_w);
+        assert!(resolved.throttled, "the governor must re-engage");
+        assert!((resolved.total_w - gpu.tdp_watts).abs() < 1e-9);
+        assert!(
+            (resolved.clock_scale - s).abs() < 1e-9,
+            "resolved clock {} vs original {s}",
+            resolved.clock_scale
+        );
+        // The VM process-variation offset is constant, not clock-scaled:
+        // declaring it must shift the boost-equivalent target by exactly
+        // the offset, never by offset/s³.
+        let offset = 8.0;
+        let with_offset = boost_equivalent_w(&throttled, gpu.tdp_watts + offset, offset);
+        assert!(
+            (with_offset - boost_w - offset).abs() < 1e-9,
+            "offset amplified: {} vs {} + {offset}",
+            with_offset,
+            boost_w
+        );
+        // Unthrottled runs (the common case) pass through unchanged.
+        let unthrottled = PowerBreakdown {
+            clock_scale: 1.0,
+            throttled: false,
+            total_w: 180.0,
+            ..throttled
+        };
+        assert_eq!(boost_equivalent_w(&unthrottled, 182.5, 3.0), 182.5);
+    }
+
+    #[test]
+    fn biased_learned_rejections_fall_back_to_the_analytic_path() {
+        // A model poisoned to predict far above the cap must not make
+        // feasible work unservable: learned rejections are confirmed
+        // analytically, and the run that then executes feeds the model
+        // corrective data.
+        let cap = 150.0; // admits the ~80 W analytic plan, not 400 W
+        let fleet = Fleet::builder().device_with(a100_pcie(), 0, cap).build();
+        let sched = Scheduler::with_workers(fleet, 1);
+        for i in 0..40u64 {
+            let req = quick(PatternKind::Gaussian, 5000 + i);
+            sched.record_external(0, &req, 400.0).unwrap();
+        }
+        assert!(sched.model_stats()[0].ready, "{:?}", sched.model_stats());
+        let r = sched
+            .submit(FleetJob::new(quick(PatternKind::Gaussian, 9000)))
+            .recv()
+            .expect("the analytic path admits this job");
+        assert_eq!(
+            r.prediction,
+            Some(PredictionSource::Analytic),
+            "a learned rejection must be re-priced analytically"
+        );
+        assert!(r.predicted_w.unwrap() <= cap);
+    }
+
+    #[test]
+    fn repeats_stick_to_their_original_device_as_the_model_evolves() {
+        // An identical repeat must return the originally cached answer
+        // even after the learned model starts steering placement — a
+        // model-nudged re-placement would compute the same query twice
+        // and answer it twice differently.
+        let fleet = Fleet::builder()
+            .device(a100_pcie())
+            .device(wm_gpu::spec::rtx6000())
+            .build();
+        let sched = Scheduler::with_workers(fleet, 1);
+        let req = quick(PatternKind::Gaussian, 4242);
+        let first = sched.submit(FleetJob::new(req.clone())).recv().unwrap();
+        assert!(!first.cache_hit);
+        // Train both architectures so that a fresh placement must flip to
+        // the *other* device: the first device's arch predicts a draw no
+        // cap admits, the other a modest one.
+        let other = 1 - first.device;
+        for i in 0..40u64 {
+            let r = quick(PatternKind::Gaussian, 6000 + i);
+            sched.record_external(first.device, &r, 10_000.0).unwrap();
+            sched.record_external(other, &r, 100.0).unwrap();
+        }
+        let fresh = sched
+            .predict(&FleetJob::new(quick(PatternKind::Gaussian, 7777)))
+            .unwrap();
+        assert_eq!(fresh.source, PredictionSource::Learned);
+        assert_eq!(fresh.device, other, "fresh traffic must flip devices");
+        // The repeat still answers from the original device's cache.
+        let second = sched.submit(FleetJob::new(req)).recv().unwrap();
+        assert!(second.cache_hit, "repeat must not recompute");
+        assert_eq!(second.device, first.device);
+        assert!(Arc::ptr_eq(&first.result, &second.result));
+    }
+
+    #[test]
+    fn external_observations_train_the_model() {
+        let sched = Scheduler::with_workers(Fleet::builder().device(a100_pcie()).build(), 1);
+        // Replayed external telemetry: a constant 200 W whatever the input.
+        for i in 0..40u64 {
+            let req = quick(PatternKind::Gaussian, 3000 + i);
+            sched.record_external(0, &req, 200.0).unwrap();
+        }
+        assert!(sched.model_stats()[0].ready);
+        let p = sched
+            .predict(&FleetJob::new(quick(PatternKind::Gaussian, 4000)))
+            .unwrap();
+        assert_eq!(p.source, PredictionSource::Learned);
+        assert!(
+            (p.predicted_w - 200.0).abs() < 10.0,
+            "learned constant law: {} W",
+            p.predicted_w
+        );
+        assert!(sched
+            .record_external(5, &quick(PatternKind::Zeros, 1), 100.0)
+            .is_err());
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //!   runtimes are input-*independent* and microsecond-consistent; a
 //!   roofline (compute vs. memory bound) plus fixed launch overhead
 //!   reproduces exactly that.
-//! * [`occupancy`] — wave-quantization occupancy: how fully a GEMM grid
+//! * [`mod@occupancy`] — wave-quantization occupancy: how fully a GEMM grid
 //!   loads the SM array. This is the size-dependent power mechanism behind
 //!   the paper's testbed note that 2048 was "the largest power of two that
 //!   did not consistently throttle" the A100.

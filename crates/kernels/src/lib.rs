@@ -33,8 +33,8 @@
 //!   consumed by `wm-power`.
 //! * [`engine`] — the sampled execution engine ([`engine::simulate`]).
 //! * [`memory`] — the DRAM/L2 bus pass.
-//! * [`reference`] — a naive, obviously-correct GEMM used to verify the
-//!   engine's numerics in tests.
+//! * [`mod@reference`] — a naive, obviously-correct GEMM used to verify
+//!   the engine's numerics in tests.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -4,7 +4,7 @@ use crate::coefficients::{
     arch_energy_scale, memory_coefficients, memory_kind_factor, pipeline_coefficients,
 };
 use crate::reference::{damp, reference_activity};
-use wm_gpu::{gemv_time, iteration_time, resolve_throttle, GpuSpec};
+use wm_gpu::{gemv_time, iteration_time, resolve_throttle, GpuSpec, RuntimeEstimate};
 use wm_kernels::{ActivityRecord, KernelClass};
 
 /// Per-component power report for one GEMM configuration on one device,
@@ -124,6 +124,58 @@ pub fn evaluate(spec: &GpuSpec, activity: &ActivityRecord) -> PowerBreakdown {
         t_iter_s,
         duty: t_kernel / op.clock_scale / t_iter_s,
         energy_per_iter_j: total_w * t_iter_s,
+    }
+}
+
+/// Reconstruct a [`PowerBreakdown`] from a *predicted* total board power
+/// at boost clock.
+///
+/// This is the bridge from the `wm-predict` learned estimator back into
+/// everything that consumes breakdowns: the estimator outputs one number
+/// (total watts at boost, learned from cheap input features), and this
+/// function re-applies the same DVFS governor and timing arithmetic as
+/// [`evaluate`] so the result can feed `plan_dvfs`, power capping, and
+/// placement unchanged. Component attribution is approximate by
+/// construction — uncore takes its architectural share and the remainder
+/// is lumped into the datapath — but the quantities downstream consumers
+/// read (total power, throttle state, iteration time, energy) are exact
+/// functions of the prediction.
+///
+/// # Panics
+///
+/// Panics if the predicted power is non-finite or non-positive.
+pub fn predicted_breakdown(
+    spec: &GpuSpec,
+    rt: &RuntimeEstimate,
+    total_boost_w: f64,
+) -> PowerBreakdown {
+    assert!(
+        total_boost_w.is_finite() && total_boost_w > 0.0,
+        "predicted power must be finite and positive, got {total_boost_w}"
+    );
+    // Everything above idle scales with clock; a prediction below idle is
+    // clamped to an idle-only (zero-dynamic) breakdown.
+    let p_dyn_boost = (total_boost_w - spec.idle_watts).max(0.0);
+    let p_uncore_boost = (spec.uncore_watts * rt.duty).min(p_dyn_boost);
+    let p_datapath_boost = p_dyn_boost - p_uncore_boost;
+
+    let op = resolve_throttle(spec, spec.idle_watts, p_dyn_boost);
+    let s3 = op.clock_scale.powi(3);
+    let t_kernel = rt.t_iter_s - rt.t_launch_s;
+    let t_iter_s = t_kernel / op.clock_scale + rt.t_launch_s;
+
+    PowerBreakdown {
+        idle_w: spec.idle_watts,
+        uncore_w: p_uncore_boost * s3,
+        datapath_w: p_datapath_boost * s3,
+        dram_w: 0.0,
+        l2_w: 0.0,
+        total_w: op.power_watts,
+        clock_scale: op.clock_scale,
+        throttled: op.throttled,
+        t_iter_s,
+        duty: t_kernel / op.clock_scale / t_iter_s,
+        energy_per_iter_j: op.power_watts * t_iter_s,
     }
 }
 
@@ -417,6 +469,58 @@ mod tests {
             shifted.total_w,
             centered.total_w
         );
+    }
+
+    #[test]
+    fn predicted_breakdown_round_trips_an_unthrottled_evaluate() {
+        let g = a100_pcie();
+        let act = activity(PatternKind::Gaussian, DType::Fp16Tensor, 1024, 40);
+        let real = evaluate(&g, &act);
+        assert!(!real.throttled);
+        let rt = iteration_time(&g, act.dims, act.dtype);
+        let pred = predicted_breakdown(&g, &rt, real.total_w);
+        assert!(!pred.throttled);
+        assert!((pred.total_w - real.total_w).abs() < 1e-9);
+        assert!((pred.t_iter_s - real.t_iter_s).abs() < 1e-12);
+        assert!((pred.energy_per_iter_j - real.energy_per_iter_j).abs() < 1e-9);
+        // Components stay non-negative and sum to the total.
+        let sum = pred.idle_w + pred.uncore_w + pred.datapath_w + pred.dram_w + pred.l2_w;
+        assert!((sum - pred.total_w).abs() < 1e-9);
+        assert!(pred.uncore_w >= 0.0 && pred.datapath_w >= 0.0);
+    }
+
+    #[test]
+    fn predicted_breakdown_applies_the_governor() {
+        // A prediction over TDP must resolve exactly like evaluate would:
+        // clocks reduced, power pinned to TDP.
+        let g = a100_pcie();
+        let act = activity(PatternKind::Gaussian, DType::Fp16Tensor, 1024, 41);
+        let rt = iteration_time(&g, act.dims, act.dtype);
+        let pred = predicted_breakdown(&g, &rt, g.tdp_watts + 60.0);
+        assert!(pred.throttled);
+        assert!(pred.clock_scale < 1.0);
+        assert!((pred.total_w - g.tdp_watts).abs() < 1e-9);
+        assert!(pred.t_iter_s > rt.t_iter_s, "throttled kernels stretch");
+    }
+
+    #[test]
+    fn predicted_breakdown_clamps_sub_idle_predictions() {
+        let g = a100_pcie();
+        let act = activity(PatternKind::Zeros, DType::Int8, 256, 42);
+        let rt = iteration_time(&g, act.dims, act.dtype);
+        let pred = predicted_breakdown(&g, &rt, g.idle_watts * 0.5);
+        assert_eq!(pred.total_w, g.idle_watts);
+        assert_eq!(pred.datapath_w, 0.0);
+        assert!(!pred.throttled);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn predicted_breakdown_rejects_nonpositive_power() {
+        let g = a100_pcie();
+        let act = activity(PatternKind::Zeros, DType::Int8, 256, 43);
+        let rt = iteration_time(&g, act.dims, act.dtype);
+        let _ = predicted_breakdown(&g, &rt, 0.0);
     }
 
     #[test]

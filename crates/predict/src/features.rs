@@ -1,0 +1,379 @@
+//! One-pass input-feature extraction.
+//!
+//! The paper's result is that operand *content* moves GEMM power by ~38%
+//! at fixed shape and clocks, so a fleet needs a per-request power signal
+//! that is far cheaper than simulating the kernel. This module computes a
+//! fixed-width [`FeatureVector`] of exactly such signals in a single pass
+//! over the operand data: byte and value entropy (Bhalachandra et al.
+//! show entropy tracks FPU/GPU dynamic power), mean Hamming weight and
+//! adjacent-word toggle density (the raw currency of the switching
+//! activity model, via `wm-bits`), sparsity, dynamic range, and
+//! dtype/shape descriptors.
+//!
+//! ## Determinism across worker counts
+//!
+//! Extraction is built on a mergeable [`FeatureAccumulator`] whose state
+//! is exact — integer histograms and counters, plus min/max — so
+//! splitting the operand stream into chunks, accumulating each chunk
+//! independently (on any number of workers), and folding the partials in
+//! stream order is **bit-identical** to a single sequential pass. The
+//! property tests in `tests/properties.rs` pin this down.
+
+use wm_bits::{hamming_distance, hamming_weight, ByteHistogram};
+use wm_core::RunRequest;
+use wm_matrix::Matrix;
+use wm_numerics::{DType, Quantizer};
+
+/// Width of a [`FeatureVector`].
+pub const FEATURE_DIM: usize = 12;
+
+/// Number of bins in the value-entropy histogram (hash-bucketed encoded
+/// words; 2^12 bins caps value entropy at 12 bits).
+const VALUE_BINS: usize = 4096;
+
+/// Normalizer for the dynamic-range feature: the full f32 magnitude span
+/// is log2(2^127 / 2^-149) ≈ 276 octaves.
+const RANGE_OCTAVES: f64 = 276.0;
+
+/// A fixed-width vector of cheap input statistics, scaled to O(1) so one
+/// ridge penalty suits every coordinate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeatureVector {
+    values: [f64; FEATURE_DIM],
+}
+
+impl FeatureVector {
+    /// The feature values, in [`FeatureVector::NAMES`] order.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Human-readable feature names, index-aligned with
+    /// [`FeatureVector::as_slice`].
+    pub const NAMES: [&'static str; FEATURE_DIM] = [
+        "bias",
+        "byte_entropy",
+        "value_entropy",
+        "hamming_fraction",
+        "toggle_density",
+        "zero_fraction",
+        "dynamic_range",
+        "peak_magnitude",
+        "dtype_bits",
+        "tensor_core",
+        "mantissa_bits",
+        "log2_dim",
+    ];
+}
+
+/// Mergeable single-pass accumulator over a stream of operand values.
+///
+/// All internal state is exact (integer counters/histograms, min/max), so
+/// [`FeatureAccumulator::merge`] over stream chunks reproduces the
+/// sequential pass bit for bit regardless of how the stream was split.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureAccumulator {
+    dtype: DType,
+    words: u64,
+    zero_words: u64,
+    hamming_total: u64,
+    toggle_total: u64,
+    /// First/last encoded word of this chunk, for cross-chunk toggle
+    /// accounting on merge.
+    first_word: Option<u64>,
+    last_word: Option<u64>,
+    byte_hist: ByteHistogram,
+    value_hist: Vec<u64>,
+    /// Exact extrema of the quantized absolute values.
+    max_abs: f32,
+    min_nonzero_abs: f32,
+}
+
+/// Hash-bucket an encoded word into the value histogram (splitmix64
+/// finalizer: cheap, well-mixed, deterministic).
+#[inline]
+fn value_bin(word: u64) -> usize {
+    let mut z = word.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    ((z ^ (z >> 31)) % VALUE_BINS as u64) as usize
+}
+
+impl FeatureAccumulator {
+    /// An empty accumulator for operands of `dtype`.
+    pub fn new(dtype: DType) -> Self {
+        Self {
+            dtype,
+            words: 0,
+            zero_words: 0,
+            hamming_total: 0,
+            toggle_total: 0,
+            first_word: None,
+            last_word: None,
+            byte_hist: ByteHistogram::new(),
+            value_hist: vec![0; VALUE_BINS],
+            max_abs: 0.0,
+            min_nonzero_abs: f32::INFINITY,
+        }
+    }
+
+    /// The dtype this accumulator encodes with.
+    pub fn dtype(&self) -> DType {
+        self.dtype
+    }
+
+    /// Values accumulated so far.
+    pub fn words(&self) -> u64 {
+        self.words
+    }
+
+    /// Accumulate one logical value (quantized and encoded per the dtype,
+    /// exactly as the datapath would latch it).
+    #[inline]
+    pub fn add_value(&mut self, value: f32) {
+        let q = Quantizer::new(self.dtype);
+        let word = q.encode(value);
+        let abs = q.quantize(value).abs();
+        if let Some(prev) = self.last_word {
+            self.toggle_total += u64::from(hamming_distance(prev, word));
+        } else {
+            self.first_word = Some(word);
+        }
+        self.last_word = Some(word);
+        self.hamming_total += u64::from(hamming_weight(word));
+        self.byte_hist.add_word(word, self.dtype.bytes());
+        self.value_hist[value_bin(word)] += 1;
+        if word == 0 {
+            self.zero_words += 1;
+        }
+        if abs > self.max_abs {
+            self.max_abs = abs;
+        }
+        if abs > 0.0 && abs < self.min_nonzero_abs {
+            self.min_nonzero_abs = abs;
+        }
+        self.words += 1;
+    }
+
+    /// Accumulate a whole matrix in row-major stream order.
+    pub fn add_matrix(&mut self, m: &Matrix) {
+        for &v in m.as_slice() {
+            self.add_value(v);
+        }
+    }
+
+    /// Append `later`'s chunk of the stream after this one. The toggle
+    /// across the chunk boundary (this chunk's last word against `later`'s
+    /// first) is charged exactly, so chunked accumulation reproduces the
+    /// sequential pass bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a dtype mismatch.
+    pub fn merge(&mut self, later: &FeatureAccumulator) {
+        assert_eq!(self.dtype, later.dtype, "cannot merge across dtypes");
+        if later.words == 0 {
+            return;
+        }
+        if let (Some(prev), Some(next)) = (self.last_word, later.first_word) {
+            self.toggle_total += u64::from(hamming_distance(prev, next));
+        }
+        if self.first_word.is_none() {
+            self.first_word = later.first_word;
+        }
+        self.last_word = later.last_word;
+        self.words += later.words;
+        self.zero_words += later.zero_words;
+        self.hamming_total += later.hamming_total;
+        self.toggle_total += later.toggle_total;
+        self.byte_hist.merge(&later.byte_hist);
+        for (a, b) in self.value_hist.iter_mut().zip(later.value_hist.iter()) {
+            *a += b;
+        }
+        if later.max_abs > self.max_abs {
+            self.max_abs = later.max_abs;
+        }
+        if later.min_nonzero_abs < self.min_nonzero_abs {
+            self.min_nonzero_abs = later.min_nonzero_abs;
+        }
+    }
+
+    /// Finalize into a [`FeatureVector`]; `dim` is the square problem
+    /// dimension (the shape descriptor).
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing was accumulated or `dim == 0`.
+    pub fn finish(&self, dim: usize) -> FeatureVector {
+        assert!(self.words > 0, "cannot extract features from no data");
+        assert!(dim > 0, "problem dimension must be positive");
+        let bits = f64::from(self.dtype.bits());
+        let words = self.words as f64;
+        let byte_entropy = self.byte_hist.entropy() / 8.0;
+        let value_entropy =
+            wm_bits::histogram_entropy(&self.value_hist) / (VALUE_BINS as f64).log2();
+        let hamming_fraction = self.hamming_total as f64 / (words * bits);
+        let toggle_density = if self.words > 1 {
+            self.toggle_total as f64 / ((words - 1.0) * bits)
+        } else {
+            0.0
+        };
+        let zero_fraction = self.zero_words as f64 / words;
+        let (dynamic_range, peak_magnitude) = if self.max_abs > 0.0 {
+            let hi = f64::from(self.max_abs).log2();
+            let lo = f64::from(self.min_nonzero_abs).log2();
+            ((hi - lo) / RANGE_OCTAVES, (hi + 149.0) / RANGE_OCTAVES)
+        } else {
+            (0.0, 0.0)
+        };
+        FeatureVector {
+            values: [
+                1.0,
+                byte_entropy,
+                value_entropy,
+                hamming_fraction,
+                toggle_density,
+                zero_fraction,
+                dynamic_range,
+                peak_magnitude,
+                bits / 32.0,
+                if self.dtype.uses_tensor_cores() {
+                    1.0
+                } else {
+                    0.0
+                },
+                f64::from(self.dtype.mantissa_bits()) / 24.0,
+                (dim as f64).log2() / 16.0,
+            ],
+        }
+    }
+}
+
+/// Extract the feature vector of one GEMM's operand pair in a single
+/// pass: A streamed row-major, then B.
+pub fn extract_features(dtype: DType, dim: usize, a: &Matrix, b: &Matrix) -> FeatureVector {
+    let mut acc = FeatureAccumulator::new(dtype);
+    acc.add_matrix(a);
+    acc.add_matrix(b);
+    acc.finish(dim)
+}
+
+/// Feature vector of a [`RunRequest`]'s first-seed operands.
+///
+/// The operands come from [`wm_core::first_seed_operands`] — the single
+/// source of the first-seed contract shared with the fleet's activity
+/// probe — so features line up with the run the fleet will execute,
+/// without simulating anything.
+pub fn features_for_request(req: &RunRequest) -> FeatureVector {
+    let (a, b) = wm_core::first_seed_operands(req);
+    extract_features(req.dtype, req.dim, &a, &b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wm_bits::Xoshiro256pp;
+    use wm_patterns::{PatternKind, PatternSpec};
+
+    fn operands(kind: PatternKind, dtype: DType, dim: usize, seed: u64) -> (Matrix, Matrix) {
+        let mut root = Xoshiro256pp::seed_from_u64(seed);
+        let spec = PatternSpec::new(kind);
+        (
+            spec.generate(dtype, dim, dim, &mut root.fork(0)),
+            spec.generate(dtype, dim, dim, &mut root.fork(1)),
+        )
+    }
+
+    fn features(kind: PatternKind, dtype: DType) -> FeatureVector {
+        let (a, b) = operands(kind, dtype, 64, 9);
+        extract_features(dtype, 64, &a, &b)
+    }
+
+    #[test]
+    fn feature_names_align_with_width() {
+        assert_eq!(FeatureVector::NAMES.len(), FEATURE_DIM);
+        let f = features(PatternKind::Gaussian, DType::Fp16Tensor);
+        assert_eq!(f.as_slice().len(), FEATURE_DIM);
+        assert!(f.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn zeros_are_the_degenerate_point() {
+        let f = features(PatternKind::Zeros, DType::Fp16Tensor);
+        let s = f.as_slice();
+        assert_eq!(s[1], 0.0, "byte entropy of all-zero");
+        assert_eq!(s[3], 0.0, "hamming weight of all-zero");
+        assert_eq!(s[4], 0.0, "no toggles in a constant stream");
+        assert_eq!(s[5], 1.0, "everything is a zero word");
+    }
+
+    #[test]
+    fn gaussian_orders_above_structured_inputs() {
+        let gauss = features(PatternKind::Gaussian, DType::Fp16Tensor);
+        let sparse = features(PatternKind::Sparse { sparsity: 0.8 }, DType::Fp16Tensor);
+        let constant = features(PatternKind::ConstantRandom, DType::Fp16Tensor);
+        // Toggle density: random > sparse > constant.
+        assert!(gauss.as_slice()[4] > sparse.as_slice()[4]);
+        assert!(sparse.as_slice()[4] > constant.as_slice()[4]);
+        // Value entropy: a constant fill has one distinct word per
+        // operand (A and B draw their constants from separate streams),
+        // so at most 1 bit of the 12-bit budget.
+        assert!(constant.as_slice()[2] <= 1.0 / 12.0 + 1e-12);
+        assert!(gauss.as_slice()[2] > 0.5);
+        // Sparsity feature tracks the requested fraction.
+        assert!((sparse.as_slice()[5] - 0.8).abs() < 0.05);
+    }
+
+    #[test]
+    fn extraction_is_deterministic() {
+        let a = features(PatternKind::Sparse { sparsity: 0.4 }, DType::Int8);
+        let b = features(PatternKind::Sparse { sparsity: 0.4 }, DType::Int8);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn chunked_merge_matches_sequential_exactly() {
+        let (a, b) = operands(PatternKind::Gaussian, DType::Fp16, 48, 3);
+        let stream: Vec<f32> = a.as_slice().iter().chain(b.as_slice()).copied().collect();
+        let mut seq = FeatureAccumulator::new(DType::Fp16);
+        for &v in &stream {
+            seq.add_value(v);
+        }
+        for chunk_len in [1, 7, 100, stream.len()] {
+            let mut merged = FeatureAccumulator::new(DType::Fp16);
+            for chunk in stream.chunks(chunk_len) {
+                let mut part = FeatureAccumulator::new(DType::Fp16);
+                for &v in chunk {
+                    part.add_value(v);
+                }
+                merged.merge(&part);
+            }
+            assert_eq!(seq, merged, "chunk_len {chunk_len}");
+        }
+    }
+
+    #[test]
+    fn request_features_cover_every_pattern() {
+        use wm_core::RunRequest;
+        for kind in [
+            PatternKind::Gaussian,
+            PatternKind::ValueSet { set_size: 16 },
+            PatternKind::SortedRows { fraction: 0.5 },
+            PatternKind::ZeroLsbs { count: 8 },
+            PatternKind::Zeros,
+        ] {
+            let req = RunRequest::new(DType::Fp16Tensor, 32, PatternSpec::new(kind));
+            let f = features_for_request(&req);
+            assert!(
+                f.as_slice().iter().all(|v| v.is_finite() && *v >= 0.0),
+                "{kind:?}: {f:?}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no data")]
+    fn empty_accumulator_rejected() {
+        FeatureAccumulator::new(DType::Fp32).finish(64);
+    }
+}

@@ -1,0 +1,156 @@
+//! Deterministic quantile sketching for prediction-error tracking.
+//!
+//! The predictor reports P50/P95 **absolute percentage error** per device
+//! and must do so deterministically (the whole workspace is bit-stable by
+//! policy) and in O(1) memory per model. A [`QuantileSketch`] is an exact
+//! integer histogram over fixed APE bins — 0.25-point-wide bins up to
+//! 100%, plus one overflow bin — so observations merge exactly and
+//! quantile reads are pure functions of the counts. The 0.25-point
+//! resolution is far finer than any decision threshold built on top (the
+//! drift detector trips at tens of points).
+
+/// Width of one histogram bin, in APE percentage points.
+const BIN_WIDTH_PCT: f64 = 0.25;
+/// Number of regular bins (covers 0..100%); index `BINS` is overflow.
+const BINS: usize = 400;
+
+/// An exact histogram sketch over absolute percentage errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuantileSketch {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl QuantileSketch {
+    /// An empty sketch.
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; BINS + 1],
+            total: 0,
+        }
+    }
+
+    /// Record one absolute percentage error (in percentage points; `7.5`
+    /// means 7.5% off). Negative or non-finite inputs are a caller bug.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ape_pct` is negative or non-finite.
+    pub fn observe(&mut self, ape_pct: f64) {
+        assert!(
+            ape_pct.is_finite() && ape_pct >= 0.0,
+            "APE must be finite and non-negative, got {ape_pct}"
+        );
+        let bin = ((ape_pct / BIN_WIDTH_PCT) as usize).min(BINS);
+        self.counts[bin] += 1;
+        self.total += 1;
+    }
+
+    /// Observations recorded.
+    pub fn observations(&self) -> u64 {
+        self.total
+    }
+
+    /// The `q`-quantile (e.g. `0.5`, `0.95`) as the upper edge of the bin
+    /// containing it — a conservative (never understating) estimate.
+    /// Returns 0 for an empty sketch; the overflow bin reads as 100+ (one
+    /// bin width past 100).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < q <= 1`.
+    pub fn quantile_pct(&self, q: f64) -> f64 {
+        assert!(q > 0.0 && q <= 1.0, "quantile must be in (0, 1], got {q}");
+        if self.total == 0 {
+            return 0.0;
+        }
+        let rank = (q * self.total as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return (i + 1) as f64 * BIN_WIDTH_PCT;
+            }
+        }
+        (BINS + 1) as f64 * BIN_WIDTH_PCT
+    }
+
+    /// Fold another sketch in (exact).
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sketch_reads_zero() {
+        assert_eq!(QuantileSketch::new().quantile_pct(0.95), 0.0);
+    }
+
+    #[test]
+    fn quantiles_of_a_known_stream() {
+        let mut s = QuantileSketch::new();
+        // 100 observations: 1%, 2%, ..., 100%.
+        for i in 1..=100 {
+            s.observe(i as f64);
+        }
+        assert_eq!(s.observations(), 100);
+        // P50 lands in the bin holding 50%; upper edge 50.25.
+        assert!((s.quantile_pct(0.5) - 50.25).abs() < 1e-9);
+        assert!((s.quantile_pct(0.95) - 95.25).abs() < 1e-9);
+        assert!((s.quantile_pct(1.0) - 100.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_is_conservative() {
+        let mut s = QuantileSketch::new();
+        for _ in 0..10 {
+            s.observe(3.1);
+        }
+        let p50 = s.quantile_pct(0.5);
+        assert!((3.1..=3.1 + BIN_WIDTH_PCT).contains(&p50));
+    }
+
+    #[test]
+    fn overflow_bin_absorbs_large_errors() {
+        let mut s = QuantileSketch::new();
+        s.observe(5000.0);
+        assert!(s.quantile_pct(0.5) > 100.0);
+    }
+
+    #[test]
+    fn merge_is_exact() {
+        let mut a = QuantileSketch::new();
+        let mut b = QuantileSketch::new();
+        let mut whole = QuantileSketch::new();
+        for i in 0..50 {
+            let v = (i * 7 % 97) as f64;
+            whole.observe(v);
+            if i % 2 == 0 {
+                a.observe(v);
+            } else {
+                b.observe(v);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_ape_rejected() {
+        QuantileSketch::new().observe(-1.0);
+    }
+}

@@ -1,0 +1,177 @@
+//! Property tests for the prediction subsystem's determinism contracts:
+//! feature extraction is bit-identical however many workers share the
+//! pass, and online fitting is order-insensitive for duplicated
+//! observations.
+
+use proptest::prelude::*;
+use wm_bits::Xoshiro256pp;
+use wm_core::RunRequest;
+use wm_numerics::DType;
+use wm_patterns::{PatternKind, PatternSpec};
+use wm_predict::{
+    extract_features, features_for_request, FeatureAccumulator, FeatureVector, PowerPredictor,
+};
+
+fn arb_dtype() -> impl Strategy<Value = DType> {
+    prop::sample::select(DType::EXTENDED.to_vec())
+}
+
+fn arb_kind() -> impl Strategy<Value = PatternKind> {
+    prop_oneof![
+        Just(PatternKind::Gaussian),
+        Just(PatternKind::ConstantRandom),
+        Just(PatternKind::Zeros),
+        (1usize..32).prop_map(|n| PatternKind::ValueSet { set_size: n }),
+        (0.0f64..=1.0).prop_map(|p| PatternKind::BitFlips { probability: p }),
+        (0.0f64..=1.0).prop_map(|f| PatternKind::SortedRows { fraction: f }),
+        (0.0f64..=1.0).prop_map(|s| PatternKind::Sparse { sparsity: s }),
+        (0u32..=16).prop_map(|k| PatternKind::ZeroLsbs { count: k }),
+    ]
+}
+
+/// One request's operand stream (A then B, row-major — the extractor's
+/// canonical order), from the shared first-seed contract.
+fn operand_stream(req: &RunRequest) -> Vec<f32> {
+    let (a, b) = wm_core::first_seed_operands(req);
+    let mut out = Vec::with_capacity(2 * req.dim * req.dim);
+    out.extend_from_slice(a.as_slice());
+    out.extend_from_slice(b.as_slice());
+    out
+}
+
+/// Extract features with `workers` OS threads, each accumulating one
+/// contiguous chunk of the stream; partials fold in stream order.
+fn extract_parallel(dtype: DType, dim: usize, stream: &[f32], workers: usize) -> FeatureVector {
+    let chunk_len = stream.len().div_ceil(workers);
+    let partials: Vec<FeatureAccumulator> = std::thread::scope(|scope| {
+        let handles: Vec<_> = stream
+            .chunks(chunk_len)
+            .map(|chunk| {
+                scope.spawn(move || {
+                    let mut acc = FeatureAccumulator::new(dtype);
+                    for &v in chunk {
+                        acc.add_value(v);
+                    }
+                    acc
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut whole = FeatureAccumulator::new(dtype);
+    for part in &partials {
+        whole.merge(part);
+    }
+    whole.finish(dim)
+}
+
+fn bits_of(f: &FeatureVector) -> Vec<u64> {
+    f.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+fn arb_request() -> impl Strategy<Value = RunRequest> {
+    (
+        arb_dtype(),
+        prop::sample::select(vec![16usize, 24, 33, 48]),
+        arb_kind(),
+        any::<u64>(),
+    )
+        .prop_map(|(dtype, dim, kind, base_seed)| {
+            RunRequest::new(dtype, dim, PatternSpec::new(kind)).with_base_seed(base_seed)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn extraction_is_bit_identical_across_worker_counts(req in arb_request()) {
+        let stream = operand_stream(&req);
+        let sequential = features_for_request(&req);
+        for workers in [1usize, 2, 3, 5, 8] {
+            let parallel = extract_parallel(req.dtype, req.dim, &stream, workers);
+            prop_assert_eq!(
+                bits_of(&sequential),
+                bits_of(&parallel),
+                "{} workers diverged on {:?}",
+                workers,
+                req
+            );
+        }
+    }
+
+    #[test]
+    fn extraction_matches_the_matrix_entry_point(req in arb_request()) {
+        // `extract_features` over the matrices and the streaming
+        // accumulator over their concatenated storage are the same pass.
+        let mut root = Xoshiro256pp::seed_from_u64(req.base_seed ^ 1);
+        let a = req.pattern_a.generate(req.dtype, req.dim, req.dim, &mut root.fork(0));
+        let b = req.pattern_b.generate(req.dtype, req.dim, req.dim, &mut root.fork(1));
+        let via_matrices = extract_features(req.dtype, req.dim, &a, &b);
+        prop_assert_eq!(bits_of(&via_matrices), bits_of(&features_for_request(&req)));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn duplicated_observations_fit_order_insensitively(
+        seeds in prop::collection::vec(any::<u64>(), 3..6),
+        dups in 2usize..4,
+        shuffle_seed in any::<u64>(),
+    ) {
+        // Build a duplicated observation set, then feed it in two orders:
+        // sorted and deterministically shuffled. The fitted model must
+        // agree — duplicated terms accumulate into the same sums.
+        let obs: Vec<(FeatureVector, f64)> = seeds
+            .iter()
+            .map(|&s| {
+                let req = RunRequest::new(
+                    DType::Fp16Tensor,
+                    24,
+                    PatternSpec::new(PatternKind::Gaussian),
+                )
+                .with_base_seed(s);
+                let f = features_for_request(&req);
+                let watts = 100.0 + 200.0 * f.as_slice()[4];
+                (f, watts)
+            })
+            .collect();
+        let mut order: Vec<usize> = (0..obs.len())
+            .flat_map(|i| std::iter::repeat_n(i, dups))
+            .collect();
+        let fit = |order: &[usize]| {
+            let mut p = PowerPredictor::with_min_observations(1);
+            for &i in order {
+                p.observe("GPU", &obs[i].0, obs[i].1);
+            }
+            p
+        };
+        let baseline = fit(&order);
+        // Deterministic Fisher–Yates driven by the shuffle seed.
+        let mut state = shuffle_seed | 1;
+        for i in (1..order.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            order.swap(i, (state >> 33) as usize % (i + 1));
+        }
+        let shuffled = fit(&order);
+        let probe = features_for_request(
+            &RunRequest::new(DType::Fp16Tensor, 24, PatternSpec::new(PatternKind::Gaussian))
+                .with_base_seed(12345),
+        );
+        let a = baseline.raw_predict("GPU", &probe);
+        let b = shuffled.raw_predict("GPU", &probe);
+        // Sufficient statistics are order-free sums; only floating-point
+        // summation order can differ, so predictions agree to ulp scale.
+        match (a, b) {
+            (Some(x), Some(y)) => prop_assert!(
+                ((x.watts - y.watts) / y.watts).abs() < 1e-9,
+                "orders diverged: {} vs {}",
+                x.watts,
+                y.watts
+            ),
+            (x, y) => prop_assert_eq!(x, y),
+        }
+    }
+}

@@ -49,13 +49,37 @@ pub struct PowerTrace {
     pub sample_period_s: f64,
 }
 
+/// Append `v` as fixed-point with exactly three decimals and `.` as the
+/// decimal separator, rendered from integer milli-units. Rust's float
+/// formatting is locale-independent today, but the CSV contract (header
+/// row, dot separator, no grouping, no exponents) is load-bearing for
+/// downstream parsers, so the writer makes it structural rather than
+/// incidental — and skips the per-row `format!` allocation.
+fn push_fixed3(out: &mut String, v: f64) {
+    use std::fmt::Write;
+    debug_assert!(v.is_finite(), "trace values are finite by construction");
+    let v = if v.is_finite() { v } else { 0.0 };
+    if v < 0.0 {
+        out.push('-');
+    }
+    let millis = (v.abs() * 1000.0).round() as u128;
+    let _infallible = write!(out, "{}.{:03}", millis / 1000, millis % 1000);
+}
+
 impl PowerTrace {
-    /// Serialize as a two-column CSV (`t_s,watts`).
+    /// Serialize as a two-column CSV with a header row (`t_s,watts`).
+    ///
+    /// Formatting is locale-stable by construction: every value is
+    /// `-?digits.digits` with exactly three decimals, a `.` separator, and
+    /// no grouping — whatever the process locale says.
     pub fn to_csv(&self) -> String {
         let mut out = String::with_capacity(self.samples.len() * 24 + 16);
         out.push_str("t_s,watts\n");
         for s in &self.samples {
-            out.push_str(&format!("{:.3},{:.3}\n", s.t_s, s.watts));
+            push_fixed3(&mut out, s.t_s);
+            out.push(',');
+            push_fixed3(&mut out, s.watts);
+            out.push('\n');
         }
         out
     }
@@ -291,6 +315,42 @@ mod tests {
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines[0], "t_s,watts");
         assert_eq!(lines.len(), trace.samples.len() + 1);
+        // Every data row is locale-stable fixed-point: dot separator,
+        // exactly three decimals, no grouping or exponents.
+        for line in &lines[1..] {
+            for field in line.split(',') {
+                let (int_part, frac) = field.split_once('.').expect("dot separator");
+                let digits = int_part.strip_prefix('-').unwrap_or(int_part);
+                assert!(!digits.is_empty() && digits.bytes().all(|b| b.is_ascii_digit()));
+                assert_eq!(frac.len(), 3, "{field:?}");
+                assert!(frac.bytes().all(|b| b.is_ascii_digit()), "{field:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn csv_formatting_is_exact_and_rounds_half_up() {
+        let trace = PowerTrace {
+            samples: vec![
+                PowerSample {
+                    t_s: 0.1,
+                    watts: 1234.5,
+                },
+                PowerSample {
+                    t_s: 0.2,
+                    watts: 249.9995, // rounds up to 250.000 at 3 decimals
+                },
+                PowerSample {
+                    t_s: 12.0,
+                    watts: -3.0625,
+                },
+            ],
+            sample_period_s: 0.1,
+        };
+        assert_eq!(
+            trace.to_csv(),
+            "t_s,watts\n0.100,1234.500\n0.200,250.000\n12.000,-3.063\n"
+        );
     }
 
     #[test]

@@ -22,9 +22,13 @@
 //! * [`core`] — the [`core::PowerLab`] façade tying it all together.
 //! * [`experiments`] — one runner per paper figure plus the `wattmul` CLI.
 //! * [`optimizer`] — the paper's §V future-work directions, implemented.
+//! * [`predict`] — input-feature power prediction: one-pass feature
+//!   extraction, online per-architecture ridge models, error tracking
+//!   with drift fallback.
 //! * [`fleet`] — the multi-GPU fleet scheduler and the `wattd`
 //!   power-estimation service (work stealing, memo cache, power-capped
-//!   placement).
+//!   placement consulting the learned predictor, `predict`/`model_stats`
+//!   protocol ops).
 
 pub use wm_analysis as analysis;
 pub use wm_bits as bits;
@@ -38,6 +42,7 @@ pub use wm_numerics as numerics;
 pub use wm_optimizer as optimizer;
 pub use wm_patterns as patterns;
 pub use wm_power as power;
+pub use wm_predict as predict;
 pub use wm_telemetry as telemetry;
 
 pub use wm_core::prelude;
