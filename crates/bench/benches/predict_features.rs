@@ -6,6 +6,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use wm_bits::Xoshiro256pp;
+use wm_gpu::GemmDims;
+use wm_kernels::KernelClass;
 use wm_numerics::DType;
 use wm_patterns::{PatternKind, PatternSpec};
 use wm_predict::{extract_features, features_for_request};
@@ -19,7 +21,15 @@ fn bench(c: &mut Criterion) {
         let a = spec.generate(dtype, dim, dim, &mut rng.fork(0));
         let b = spec.generate(dtype, dim, dim, &mut rng.fork(1));
         g.bench_function(format!("extract_{dim}"), |bch| {
-            bch.iter(|| black_box(extract_features(dtype, dim, &a, &b)))
+            bch.iter(|| {
+                black_box(extract_features(
+                    dtype,
+                    KernelClass::Gemm,
+                    GemmDims::square(dim),
+                    &a,
+                    &b,
+                ))
+            })
         });
     }
     // End-to-end per-request cost (operand generation + extraction),

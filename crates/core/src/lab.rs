@@ -1,8 +1,11 @@
 //! The `PowerLab` runner: pattern → GEMM simulation → power → telemetry.
 
 use wm_bits::Xoshiro256pp;
-use wm_gpu::GpuSpec;
-use wm_kernels::{simulate, ActivityRecord, GemmConfig, GemmInputs, Sampling};
+use wm_gpu::{GemmDims, GpuSpec};
+use wm_kernels::{
+    simulate, simulate_gemv, ActivityRecord, GemmConfig, GemmInputs, GemvConfig, KernelClass,
+    Sampling,
+};
 use wm_matrix::Matrix;
 use wm_numerics::DType;
 use wm_patterns::PatternSpec;
@@ -21,25 +24,74 @@ fn seed_root(base_seed: u64, s: u64) -> Xoshiro256pp {
 /// Generate the operands of a request's **first seed** (seed index 0) —
 /// exactly the matrices [`PowerLab::run`] executes for `s = 0`.
 ///
+/// For GEMM requests both operands are `dim x dim`; for GEMV requests the
+/// second operand is the `dim x 1` input vector `x` (same decorrelated
+/// pattern stream, vector shape).
+///
 /// This is the single source of the first-seed contract: the fleet's
 /// activity probe and the `wm-predict` feature extractor both walk these
 /// operands, so any change to the seed derivation here automatically
 /// propagates to every consumer instead of silently diverging.
 pub fn first_seed_operands(req: &RunRequest) -> (Matrix, Matrix) {
     let mut root = seed_root(req.base_seed, 0);
+    generate_operands(req, &mut root)
+}
+
+/// Generate one seed's operand pair from its RNG root (A from fork 0, the
+/// B matrix — or GEMV's x vector — from fork 1).
+fn generate_operands(req: &RunRequest, root: &mut Xoshiro256pp) -> (Matrix, Matrix) {
     let dim = req.dim;
     let a = req
         .pattern_a
         .generate(req.dtype, dim, dim, &mut root.fork(0));
+    let b_cols = match req.kernel {
+        KernelClass::Gemm => dim,
+        KernelClass::Gemv => 1,
+    };
     let b = req
         .pattern_b
-        .generate(req.dtype, dim, dim, &mut root.fork(1));
+        .generate(req.dtype, dim, b_cols, &mut root.fork(1));
     (a, b)
+}
+
+/// Simulate one seed's kernel execution and return its activity record
+/// (the shared probe contract: placement's activity probe and the run
+/// pipeline both come through here).
+pub fn simulate_request_activity(req: &RunRequest, a: &Matrix, b: &Matrix) -> ActivityRecord {
+    match req.kernel {
+        KernelClass::Gemm => {
+            let cfg = GemmConfig::square(req.dim, req.dtype)
+                .with_b_transposed(req.b_transposed)
+                .with_sampling(req.sampling);
+            simulate(
+                &GemmInputs {
+                    a,
+                    b_stored: b,
+                    c: None,
+                },
+                &cfg,
+            )
+            .activity
+        }
+        KernelClass::Gemv => {
+            let mut cfg = GemvConfig::new(req.dtype);
+            cfg.sample_rows = match req.sampling {
+                Sampling::Full => usize::MAX,
+                Sampling::Lattice { rows, .. } => rows,
+            };
+            simulate_gemv(a, b.as_slice(), None, &cfg).activity
+        }
+    }
 }
 
 /// A complete experiment-point request.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunRequest {
+    /// Kernel family to execute: GEMM (the paper's workload, default) or
+    /// memory-bound GEMV (LLM decode). GEMV interprets `dim` as the square
+    /// weight matrix edge and streams a `dim x 1` input vector generated
+    /// from `pattern_b`'s stream.
+    pub kernel: KernelClass,
     /// Datatype setup.
     pub dtype: DType,
     /// Square problem dimension (the paper uses 2048; 512 for the RTX 6000).
@@ -67,6 +119,7 @@ impl RunRequest {
     /// B transposed, 10 seeds, auto iterations, default sampling lattice.
     pub fn new(dtype: DType, dim: usize, pattern: PatternSpec) -> Self {
         Self {
+            kernel: KernelClass::Gemm,
             dtype,
             dim,
             pattern_a: pattern,
@@ -76,6 +129,26 @@ impl RunRequest {
             base_seed: 0x5EED,
             iterations: None,
             sampling: Sampling::DEFAULT,
+        }
+    }
+
+    /// Select the kernel family (default [`KernelClass::Gemm`]).
+    pub fn with_kernel(mut self, kernel: KernelClass) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// The problem dimensions this request executes: `dim`-square for
+    /// GEMM, `dim x 1 x dim` for GEMV (the shape key runtime estimators
+    /// and kernel-shape features work from).
+    pub fn dims(&self) -> GemmDims {
+        match self.kernel {
+            KernelClass::Gemm => GemmDims::square(self.dim),
+            KernelClass::Gemv => GemmDims {
+                n: self.dim,
+                m: 1,
+                k: self.dim,
+            },
         }
     }
 
@@ -223,23 +296,9 @@ impl PowerLab {
 
         for s in 0..req.seeds {
             let mut root = seed_root(req.base_seed, s);
-            let mut rng_a = root.fork(0);
-            let mut rng_b = root.fork(1);
-            let dim = req.dim;
-            let a = req.pattern_a.generate(req.dtype, dim, dim, &mut rng_a);
-            let b = req.pattern_b.generate(req.dtype, dim, dim, &mut rng_b);
-            let cfg = GemmConfig::square(dim, req.dtype)
-                .with_b_transposed(req.b_transposed)
-                .with_sampling(req.sampling);
-            let outcome = simulate(
-                &GemmInputs {
-                    a: &a,
-                    b_stored: &b,
-                    c: None,
-                },
-                &cfg,
-            );
-            let breakdown = evaluate(&self.gpu, &outcome.activity);
+            let (a, b) = generate_operands(req, &mut root);
+            let activity = simulate_request_activity(req, &a, &b);
+            let breakdown = evaluate(&self.gpu, &activity);
             let iterations = req.iterations.unwrap_or_else(|| {
                 // Auto-size: ~1.6 s of simulated run, comfortably beyond
                 // the 0.5 s warmup trim.
@@ -260,8 +319,8 @@ impl PowerLab {
             throttled |= m.throttled;
             measurements.push(m);
             merged = Some(match merged {
-                None => outcome.activity,
-                Some(prev) => prev.merge(&outcome.activity),
+                None => activity,
+                Some(prev) => prev.merge(&activity),
             });
             if first_breakdown.is_none() {
                 first_breakdown = Some(breakdown);
@@ -316,19 +375,41 @@ mod tests {
         let req = quick(DType::Fp16Tensor, PatternKind::Sparse { sparsity: 0.4 }).with_seeds(1);
         let r = PowerLab::new(a100_pcie()).run(&req);
         let (a, b) = first_seed_operands(&req);
-        let cfg = GemmConfig::square(req.dim, req.dtype)
-            .with_b_transposed(req.b_transposed)
-            .with_sampling(req.sampling);
-        let act = simulate(
-            &GemmInputs {
-                a: &a,
-                b_stored: &b,
-                c: None,
-            },
-            &cfg,
-        )
-        .activity;
+        let act = simulate_request_activity(&req, &a, &b);
         assert_eq!(r.activity, act);
+        // Same contract for the GEMV kernel family.
+        let req = req.with_kernel(KernelClass::Gemv);
+        let r = PowerLab::new(a100_pcie()).run(&req);
+        let (a, x) = first_seed_operands(&req);
+        assert_eq!(x.cols(), 1, "GEMV streams a vector operand");
+        assert_eq!(r.activity, simulate_request_activity(&req, &a, &x));
+    }
+
+    #[test]
+    fn gemv_runs_cooler_than_gemm_and_stays_input_dependent() {
+        // The memory-bound regime: same dim/dtype/pattern draws less than
+        // the compute-bound GEMM, and sparsity still reduces power.
+        let lab = PowerLab::new(a100_pcie());
+        let gemm = lab.run(&quick(DType::Fp16Tensor, PatternKind::Gaussian));
+        let gemv = lab
+            .run(&quick(DType::Fp16Tensor, PatternKind::Gaussian).with_kernel(KernelClass::Gemv));
+        assert_eq!(gemv.activity.kernel, KernelClass::Gemv);
+        assert!(
+            gemv.power.mean < gemm.power.mean,
+            "GEMV {} W must sit below GEMM {} W",
+            gemv.power.mean,
+            gemm.power.mean
+        );
+        let sparse = lab.run(
+            &quick(DType::Fp16Tensor, PatternKind::Sparse { sparsity: 0.8 })
+                .with_kernel(KernelClass::Gemv),
+        );
+        assert!(
+            sparse.power.mean < gemv.power.mean,
+            "sparse GEMV {} W vs dense {} W",
+            sparse.power.mean,
+            gemv.power.mean
+        );
     }
 
     #[test]

@@ -1,23 +1,34 @@
 //! Extension experiment: learned power-predictor error vs. training
-//! volume, across the paper's input distributions.
+//! volume, across the paper's input distributions — and the per-kernel
+//! vs. lumped model comparison on mixed GEMM+GEMV traffic.
 //!
-//! The `wm-predict` subsystem claims a fleet can price a GEMM's power
-//! from cheap one-pass input statistics instead of simulating it. This
-//! experiment quantifies that claim the way a capacity planner would ask
-//! it: *after N observed runs, how far off is the predictor on inputs it
-//! has never seen?* An online ridge model trains on a mixed stream of
-//! the paper's §IV input families (value distributions, sparsity,
-//! placement/sorting, bit-field surgery) against the analytic power
-//! model's ground truth; at checkpoints the held-out absolute percentage
-//! error per family is recorded. The `wattd` end-to-end acceptance bound
-//! (predictions within 15% after 64 observations) is the horizontal line
-//! to read this figure against.
+//! The `wm-predict` subsystem claims a fleet can price a kernel's power
+//! from cheap one-pass input statistics instead of simulating it. The
+//! first figure quantifies that claim the way a capacity planner would
+//! ask it: *after N observed runs, how far off is the predictor on
+//! inputs it has never seen?* An online ridge model trains on a mixed
+//! stream of the paper's §IV input families (value distributions,
+//! sparsity, placement/sorting, bit-field surgery) against the analytic
+//! power model's ground truth; at checkpoints the held-out absolute
+//! percentage error per family is recorded. The `wattd` end-to-end
+//! acceptance bound (predictions within 15% after 64 observations) is
+//! the horizontal line to read this figure against.
+//!
+//! The second figure is the regime-mixing ablation behind the
+//! `(architecture, kernel)` model keying: train on *interleaved*
+//! GEMM+GEMV traffic twice — once with per-kernel keyed models, once
+//! deliberately lumped into a single per-architecture model — and plot
+//! each scheme's P95 APE on held-out GEMV traffic. Compute-bound GEMM
+//! moves power through the datapath while memory-bound GEMV rides the
+//! DRAM interface, so the lumped model's shared slope mispredicts the
+//! minority regime; the keyed models do not.
 
 use crate::profile::RunProfile;
 use crate::runner::{FigureResult, PointStat, Series};
 use wm_core::RunRequest;
 use wm_fleet::probe_activity;
 use wm_gpu::spec::a100_pcie;
+use wm_kernels::KernelClass;
 use wm_numerics::DType;
 use wm_patterns::{PatternKind, PatternSpec};
 use wm_power::evaluate;
@@ -110,9 +121,15 @@ fn model_watts(req: &RunRequest) -> f64 {
     evaluate(&a100_pcie(), &probe_activity(req)).total_w
 }
 
-/// Execute the sweep: one figure, one series per input family, x =
-/// training observations, y = mean held-out APE (%).
+/// Execute both sweeps: the per-family error-vs-volume figure and the
+/// per-kernel vs. lumped regime-mixing ablation.
 pub fn run(profile: &RunProfile) -> Vec<FigureResult> {
+    vec![volume_figure(profile), mixed_kernel_figure(profile)]
+}
+
+/// Error vs. training volume: one series per input family, x = training
+/// observations, y = mean held-out APE (%).
+fn volume_figure(profile: &RunProfile) -> FigureResult {
     let volumes = profile.thin(&VOLUMES);
     let fams = families();
     let gpu = a100_pcie();
@@ -153,7 +170,7 @@ pub fn run(profile: &RunProfile) -> Vec<FigureResult> {
             let step = trained / fams.len() as u64;
             let req = request(profile, (fam.train)(step), 0x7A17 + trained);
             let features = features_for_request(&req);
-            predictor.observe(gpu.name, &features, model_watts(&req));
+            predictor.observe(gpu.name, KernelClass::Gemm, &features, model_watts(&req));
             trained += 1;
         }
         // Score every family's held-out set at this volume.
@@ -164,7 +181,7 @@ pub fn run(profile: &RunProfile) -> Vec<FigureResult> {
                 .map(|(_, req)| {
                     let truth = model_watts(req);
                     let features = features_for_request(req);
-                    match predictor.raw_predict(gpu.name, &features) {
+                    match predictor.raw_predict(gpu.name, KernelClass::Gemm, &features) {
                         Some(p) => ((p.watts - truth) / truth).abs() * 100.0,
                         None => 100.0,
                     }
@@ -180,7 +197,7 @@ pub fn run(profile: &RunProfile) -> Vec<FigureResult> {
         }
     }
 
-    vec![FigureResult {
+    FigureResult {
         id: "ext_predict".into(),
         title: "Extension: predictor error vs. training volume".into(),
         x_label: "training observations".into(),
@@ -194,7 +211,137 @@ pub fn run(profile: &RunProfile) -> Vec<FigureResult> {
             "The wattd acceptance bound is 15% APE after 64 observations.".into(),
         ],
         series,
-    }]
+    }
+}
+
+/// P95 absolute percentage error of the held-out `apes` (percentage
+/// points) — the nearest-rank P95 the predictor's own sketch reports.
+fn p95(apes: &mut [f64]) -> f64 {
+    assert!(!apes.is_empty());
+    apes.sort_by(f64::total_cmp);
+    let rank = ((0.95 * apes.len() as f64).ceil() as usize).clamp(1, apes.len());
+    apes[rank - 1]
+}
+
+/// The regime-mixing ablation: interleaved GEMM+GEMV training, per-kernel
+/// keyed models vs. one deliberately lumped model, scored by P95 APE on
+/// held-out GEMV traffic at each training-volume checkpoint.
+fn mixed_kernel_figure(profile: &RunProfile) -> FigureResult {
+    let volumes = profile.thin(&VOLUMES);
+    let gpu = a100_pcie();
+    let kinds = [
+        PatternKind::Gaussian,
+        PatternKind::Sparse { sparsity: 0.3 },
+        PatternKind::Sparse { sparsity: 0.7 },
+        PatternKind::SortedRows { fraction: 0.5 },
+        PatternKind::ValueSet { set_size: 8 },
+        PatternKind::ConstantRandom,
+        PatternKind::ZeroLsbs { count: 6 },
+        PatternKind::Zeros,
+    ];
+    let mixed_request = |i: u64| {
+        // Alternate kernels so the stream is genuinely interleaved.
+        let kernel = if i.is_multiple_of(2) {
+            KernelClass::Gemm
+        } else {
+            KernelClass::Gemv
+        };
+        request(
+            profile,
+            kinds[(i / 2 % kinds.len() as u64) as usize],
+            0x317ED + i,
+        )
+        .with_kernel(kernel)
+    };
+    // Held-out GEMV traffic: same families, disjoint seeds, parameters
+    // off the training grid.
+    let held_out: Vec<RunRequest> = [
+        PatternKind::Gaussian,
+        PatternKind::Sparse { sparsity: 0.45 },
+        PatternKind::Sparse { sparsity: 0.85 },
+        PatternKind::SortedRows { fraction: 0.3 },
+        PatternKind::ValueSet { set_size: 24 },
+        PatternKind::ZeroLsbs { count: 9 },
+    ]
+    .into_iter()
+    .enumerate()
+    .map(|(i, kind)| request(profile, kind, 0x6E1D_0000 + i as u64).with_kernel(KernelClass::Gemv))
+    .collect();
+
+    // Two predictors see the *same* interleaved stream; the lumped one
+    // files every observation under one key (the old per-architecture
+    // scheme), the keyed one under the run's own kernel class.
+    let mut per_kernel = PowerPredictor::with_min_observations(1);
+    let mut lumped = PowerPredictor::with_min_observations(1);
+    let mut series = vec![
+        Series {
+            name: "per_kernel".to_string(),
+            points: Vec::new(),
+        },
+        Series {
+            name: "lumped".to_string(),
+            points: Vec::new(),
+        },
+    ];
+
+    let mut trained = 0u64;
+    for &volume in &volumes {
+        while trained < volume {
+            let req = mixed_request(trained);
+            let features = features_for_request(&req);
+            let watts = model_watts(&req);
+            per_kernel.observe(gpu.name, req.kernel, &features, watts);
+            lumped.observe(gpu.name, KernelClass::Gemm, &features, watts);
+            trained += 1;
+        }
+        let ape_of = |keyed: bool| {
+            let mut apes: Vec<f64> = held_out
+                .iter()
+                .map(|req| {
+                    let truth = model_watts(req);
+                    let features = features_for_request(req);
+                    let p = if keyed {
+                        per_kernel.raw_predict(gpu.name, KernelClass::Gemv, &features)
+                    } else {
+                        lumped.raw_predict(gpu.name, KernelClass::Gemm, &features)
+                    };
+                    match p {
+                        Some(p) => ((p.watts - truth) / truth).abs() * 100.0,
+                        None => 100.0,
+                    }
+                })
+                .collect();
+            p95(&mut apes)
+        };
+        let (keyed_p95, lumped_p95) = (ape_of(true), ape_of(false));
+        series[0].points.push(PointStat {
+            x: volume as f64,
+            y: keyed_p95,
+            yerr: 0.0,
+        });
+        series[1].points.push(PointStat {
+            x: volume as f64,
+            y: lumped_p95,
+            yerr: 0.0,
+        });
+    }
+
+    FigureResult {
+        id: "ext_predict_mixed".into(),
+        title: "Extension: per-kernel vs. lumped models on mixed GEMM+GEMV traffic".into(),
+        x_label: "training observations (interleaved GEMM+GEMV)".into(),
+        y_label: "held-out GEMV P95 APE (%)".into(),
+        notes: vec![
+            "Extension (not a paper figure): the regime-mixing ablation behind \
+             keying learned power models by (architecture, kernel). Both schemes \
+             train on the same interleaved GEMM+GEMV stream against the analytic \
+             power model on an A100, FP16-T; the lumped scheme files every \
+             observation under one per-architecture model, the keyed scheme under \
+             the run's kernel class. Scored on held-out GEMV traffic."
+                .into(),
+        ],
+        series,
+    }
 }
 
 #[cfg(test)]
@@ -203,9 +350,7 @@ mod tests {
 
     #[test]
     fn predictor_error_shrinks_with_training_volume() {
-        let figs = run(&RunProfile::TEST);
-        assert_eq!(figs.len(), 1);
-        let fig = &figs[0];
+        let fig = volume_figure(&RunProfile::TEST);
         assert_eq!(fig.series.len(), 4);
         for s in &fig.series {
             let first = s.points.first().unwrap();
@@ -225,5 +370,39 @@ mod tests {
                 last.x
             );
         }
+    }
+
+    #[test]
+    fn run_produces_both_figures() {
+        let figs = run(&RunProfile::TEST);
+        assert_eq!(figs.len(), 2);
+        assert_eq!(figs[0].id, "ext_predict");
+        assert_eq!(figs[1].id, "ext_predict_mixed");
+    }
+
+    #[test]
+    fn per_kernel_models_beat_a_lumped_model_on_gemv_traffic() {
+        // The regression behind the (architecture, kernel) keying: on the
+        // same interleaved GEMM+GEMV stream, the keyed GEMV model's P95
+        // APE on held-out GEMV traffic must be strictly lower than the
+        // lumped per-architecture model's — regime mixing is a bug, not
+        // noise.
+        let fig = mixed_kernel_figure(&RunProfile::TEST);
+        assert_eq!(fig.series.len(), 2);
+        let keyed = fig.series[0].points.last().unwrap();
+        let lumped = fig.series[1].points.last().unwrap();
+        assert!(
+            keyed.y < lumped.y,
+            "per-kernel P95 APE {:.2}% must sit strictly below lumped {:.2}%",
+            keyed.y,
+            lumped.y
+        );
+        // And the keyed model must itself be *good*, not merely less bad:
+        // the wattd acceptance band applies to its regime.
+        assert!(
+            keyed.y < 15.0,
+            "per-kernel GEMV P95 APE {:.2}% misses the acceptance band",
+            keyed.y
+        );
     }
 }

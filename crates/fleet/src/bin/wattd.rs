@@ -11,9 +11,12 @@
 //! Besides `run` (the default) and `batch`, the daemon answers `predict`
 //! (a pre-execution power estimate from the online learned model when it
 //! is trained and healthy, the analytic probe otherwise — nothing
-//! executes), `model_stats` (per-architecture predictor health: P50/P95
-//! error, drift events), `stats` (scheduler counters plus per-device
-//! utilization and joules), `fleet`, and `ping`.
+//! executes), `model_stats` (per-`(architecture, kernel)` predictor
+//! health: P50/P95 error, drift events), `stats` (scheduler counters plus
+//! per-device utilization and joules), `fleet`, and `ping`. Requests
+//! carry an optional `"kernel"` field (`"gemm"` default, `"gemv"` for the
+//! memory-bound decode workload); learned models are keyed per
+//! `(architecture, kernel)` so the two regimes never share coefficients.
 //!
 //! Options:
 //!
@@ -158,8 +161,9 @@ fn main() -> ExitCode {
     );
     for m in sched.model_stats() {
         eprintln!(
-            "wattd: model {}: {} obs, P50 {:.1}% / P95 {:.1}% APE{}",
+            "wattd: model {} [{}]: {} obs, P50 {:.1}% / P95 {:.1}% APE{}",
             m.arch,
+            m.kernel,
             m.observations,
             m.p50_ape_pct,
             m.p95_ape_pct,

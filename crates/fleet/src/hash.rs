@@ -9,7 +9,7 @@
 
 use wm_core::RunRequest;
 use wm_gpu::{GpuSpec, MemoryKind};
-use wm_kernels::Sampling;
+use wm_kernels::{KernelClass, Sampling};
 use wm_numerics::DType;
 use wm_patterns::{PatternKind, PatternSpec};
 
@@ -195,6 +195,10 @@ pub fn write_gpu(h: &mut CanonicalHasher, gpu: &GpuSpec) {
 
 /// Fold every field of a run request.
 pub fn write_request(h: &mut CanonicalHasher, req: &RunRequest) {
+    h.write_u8(match req.kernel {
+        KernelClass::Gemm => 0,
+        KernelClass::Gemv => 1,
+    });
     h.write_u8(dtype_tag(req.dtype));
     h.write_usize(req.dim);
     write_pattern(h, &req.pattern_a);
@@ -255,6 +259,7 @@ mod tests {
         let g = a100_pcie();
         let base = canonical_key(&req(), &g, 0);
         let variants = [
+            canonical_key(&req().with_kernel(wm_kernels::KernelClass::Gemv), &g, 0),
             canonical_key(&req().with_seeds(3), &g, 0),
             canonical_key(&req().with_base_seed(1), &g, 0),
             canonical_key(&req().with_b_transposed(false), &g, 0),

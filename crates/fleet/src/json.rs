@@ -72,19 +72,27 @@ impl Json {
         }
     }
 
-    /// Number as u64 (must be a non-negative integer).
+    /// Number as u64 (must be a non-negative integer below 2^64).
+    ///
+    /// The upper bound is **strict**: `u64::MAX as f64` rounds *up* to
+    /// 2^64, which is one past the largest u64 — a `<=` comparison would
+    /// accept it and the saturating `as u64` cast would silently turn the
+    /// out-of-range number into `u64::MAX`. (The same rounding means any
+    /// JSON number within 2^10 of 2^64 already parses *as* 2^64 and is
+    /// rejected here; the largest accepted value is 2^64 - 2^11, the
+    /// largest f64 below 2^64.)
     pub fn as_u64(&self) -> Option<u64> {
         match self {
-            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n < u64::MAX as f64 => {
                 Some(*n as u64)
             }
             _ => None,
         }
     }
 
-    /// Number as usize.
+    /// Number as usize (must also fit the platform's usize).
     pub fn as_usize(&self) -> Option<usize> {
-        self.as_u64().map(|v| v as usize)
+        self.as_u64().and_then(|v| usize::try_from(v).ok())
     }
 
     /// String content.
@@ -435,6 +443,49 @@ mod tests {
         assert_eq!(Json::Num(285.25).to_string(), "285.25");
         assert_eq!(Json::Num(10.0).to_string(), "10");
         assert_eq!(Json::Num(f64::NAN).to_string(), "null");
+    }
+
+    #[test]
+    fn as_u64_boundaries() {
+        // 2^53: every integer up to here is exactly representable.
+        let exact = 9_007_199_254_740_992.0_f64; // 2^53
+        assert_eq!(Json::Num(exact).as_u64(), Some(1u64 << 53));
+        assert_eq!(Json::Num(exact).as_usize(), Some(1usize << 53));
+        // 2^64 - 2^10: not representable — rounds (ties-to-even) up to
+        // exactly 2^64, which is out of u64 range and must be rejected,
+        // not saturated to u64::MAX.
+        let near_top = 18_446_744_073_709_550_592.0_f64; // 2^64 - 2^10
+        assert_eq!(near_top, u64::MAX as f64, "rounds to 2^64");
+        assert_eq!(Json::Num(near_top).as_u64(), None);
+        // 2^64 itself (== u64::MAX as f64, which rounds up): rejected.
+        let two_64 = u64::MAX as f64;
+        assert_eq!(Json::Num(two_64).as_u64(), None);
+        assert_eq!(Json::Num(two_64).as_usize(), None);
+        // The largest f64 strictly below 2^64 is accepted exactly.
+        let below = 18_446_744_073_709_549_568.0_f64; // 2^64 - 2^11
+        assert_eq!(Json::Num(below).as_u64(), Some(u64::MAX - 2047));
+        // And the same values straight through the parser.
+        assert_eq!(
+            Json::parse("18446744073709551616").unwrap().as_u64(),
+            None,
+            "a JSON 2^64 must not saturate"
+        );
+        assert_eq!(
+            Json::parse("18446744073709550592").unwrap().as_u64(),
+            None,
+            "2^64 - 2^10 parses to the f64 2^64 and is out of range"
+        );
+        assert_eq!(
+            Json::parse("18446744073709549568").unwrap().as_u64(),
+            Some(u64::MAX - 2047)
+        );
+        assert_eq!(
+            Json::parse("9007199254740992").unwrap().as_u64(),
+            Some(1 << 53)
+        );
+        // Negatives and fractions stay rejected.
+        assert_eq!(Json::Num(-1.0).as_u64(), None);
+        assert_eq!(Json::Num(1.5).as_u64(), None);
     }
 
     #[test]

@@ -14,10 +14,12 @@
 //! * **learned** ([`place_learned`]) — skip the probe entirely: ask the
 //!   `wm-predict` [`PowerPredictor`] for each device's power from cheap
 //!   input features, and rebuild a plannable breakdown with
-//!   [`wm_power::predicted_breakdown`]. Serves only when every device's
-//!   model is trained and healthy; otherwise callers fall back to the
-//!   analytic path, so prediction is an acceleration, never a
-//!   correctness dependency.
+//!   [`wm_power::predicted_breakdown`]. Models are keyed by
+//!   `(architecture, kernel class)` — the requesting kernel's model must
+//!   be trained and healthy on every device; otherwise callers fall back
+//!   to the analytic path, so prediction is an acceleration, never a
+//!   correctness dependency (and GEMV traffic never prices from a
+//!   GEMM-only model).
 //!
 //! Placement never consults the instantaneous load: the analytic path is
 //! a pure function of `(request activity, fleet)`, the learned path of
@@ -30,12 +32,10 @@
 //! distinct requests across twin devices and routes repeats of the same
 //! request to the same device — maximising memo-cache reuse.
 
-use wm_core::{first_seed_operands, RunRequest};
-use wm_gpu::{iteration_time, GemmDims};
-use wm_kernels::{simulate, ActivityRecord, GemmConfig, GemmInputs};
-use wm_numerics::DType;
+use wm_core::{first_seed_operands, simulate_request_activity, RunRequest};
+use wm_kernels::ActivityRecord;
 use wm_optimizer::{plan_dvfs, DvfsPlan};
-use wm_power::{evaluate, predicted_breakdown, PowerBreakdown};
+use wm_power::{evaluate, kernel_runtime, predicted_breakdown, PowerBreakdown};
 use wm_predict::{FeatureVector, PowerPredictor};
 
 use crate::device::Fleet;
@@ -109,24 +109,15 @@ impl std::fmt::Display for PlacementError {
 }
 
 /// Simulate the switching activity of the request's first seed (the
-/// operands come from [`wm_core::first_seed_operands`], so the probe
-/// walks exactly the data the run executes). Activity depends only on
-/// the input data, not on the device, so one probe serves every
-/// candidate device (and is cached per request by the scheduler).
+/// operands come from [`wm_core::first_seed_operands`] and the kernel
+/// dispatch from [`wm_core::simulate_request_activity`], so the probe
+/// walks exactly the data — and the kernel family — the run executes).
+/// Activity depends only on the input data, not on the device, so one
+/// probe serves every candidate device (and is cached per request by the
+/// scheduler).
 pub fn probe_activity(req: &RunRequest) -> ActivityRecord {
     let (a, b) = first_seed_operands(req);
-    let cfg = GemmConfig::square(req.dim, req.dtype)
-        .with_b_transposed(req.b_transposed)
-        .with_sampling(req.sampling);
-    simulate(
-        &GemmInputs {
-            a: &a,
-            b_stored: &b,
-            c: None,
-        },
-        &cfg,
-    )
-    .activity
+    simulate_request_activity(req, &a, &b)
 }
 
 /// One device's candidate operating point for a job.
@@ -250,6 +241,11 @@ pub fn place(
 /// Choose a device and clock from *learned* power predictions — no
 /// activity probe, no simulation.
 ///
+/// Predictions come from the **requesting kernel's** keyed models: a
+/// device is learned-priced only when its `(architecture, kernel)` model
+/// is ready and healthy, so GEMV traffic on a fleet that has only ever
+/// learned GEMM never prices from the wrong regime — it falls back.
+///
 /// Returns `None` unless the predictor serves a healthy prediction for
 /// **every** device in the fleet (all-or-nothing: pricing some devices
 /// from the model and others from the probe would bias selection toward
@@ -260,15 +256,14 @@ pub fn place_learned(
     fleet: &Fleet,
     predictor: &PowerPredictor,
     features: &FeatureVector,
-    dims: GemmDims,
-    dtype: DType,
+    req: &RunRequest,
     tie_salt: u64,
     deadline_s: Option<f64>,
 ) -> Option<Result<Placement, PlacementError>> {
     let mut cands = Vec::with_capacity(fleet.len());
     for dev in fleet.devices() {
-        let prediction = predictor.predict(dev.gpu.name, features)?;
-        let rt = iteration_time(&dev.gpu, dims, dtype);
+        let prediction = predictor.predict(dev.gpu.name, req.kernel, features)?;
+        let rt = kernel_runtime(&dev.gpu, req.kernel, req.dims(), req.dtype);
         let breakdown = predicted_breakdown(&dev.gpu, &rt, prediction.watts);
         cands.push(candidate_from_breakdown(
             dev.id, &dev.gpu, &breakdown, deadline_s, 0.0,
@@ -282,7 +277,7 @@ mod tests {
     use super::*;
     use crate::device::Fleet;
     use wm_gpu::spec::{a100_pcie, rtx6000};
-    use wm_kernels::Sampling;
+    use wm_kernels::{KernelClass, Sampling};
     use wm_numerics::DType;
     use wm_patterns::{PatternKind, PatternSpec};
 
@@ -436,7 +431,7 @@ mod tests {
                 let act = probe_activity(&req);
                 for dev in fleet.devices() {
                     let watts = evaluate(&dev.gpu, &act).total_w;
-                    p.observe(dev.gpu.name, &features, watts);
+                    p.observe(dev.gpu.name, KernelClass::Gemm, &features, watts);
                 }
             }
         }
@@ -451,14 +446,13 @@ mod tests {
             .build();
         let req = quick_req(PatternKind::Gaussian);
         let features = wm_predict::features_for_request(&req);
-        let dims = wm_gpu::GemmDims::square(req.dim);
         // Untrained predictor: no learned placement.
         let empty = wm_predict::PowerPredictor::new();
-        assert!(place_learned(&fleet, &empty, &features, dims, req.dtype, 0, None).is_none());
+        assert!(place_learned(&fleet, &empty, &features, &req, 0, None).is_none());
         // Training only one of the two architectures is still a fallback.
         let mut half = wm_predict::PowerPredictor::with_min_observations(1);
-        half.observe(a100_pcie().name, &features, 250.0);
-        assert!(place_learned(&fleet, &half, &features, dims, req.dtype, 0, None).is_none());
+        half.observe(a100_pcie().name, KernelClass::Gemm, &features, 250.0);
+        assert!(place_learned(&fleet, &half, &features, &req, 0, None).is_none());
     }
 
     #[test]
@@ -470,8 +464,7 @@ mod tests {
         let predictor = train_from_analytic(&fleet, 5); // 40 observations/arch
         let req = quick_req(PatternKind::Sparse { sparsity: 0.45 }).with_base_seed(0xFEED);
         let features = wm_predict::features_for_request(&req);
-        let dims = wm_gpu::GemmDims::square(req.dim);
-        let learned = place_learned(&fleet, &predictor, &features, dims, req.dtype, 7, None)
+        let learned = place_learned(&fleet, &predictor, &features, &req, 7, None)
             .expect("both architectures are trained")
             .expect("an uncapped fleet admits everything");
         assert_eq!(learned.source, PredictionSource::Learned);
@@ -500,9 +493,7 @@ mod tests {
         let predictor = train_from_analytic(&fleet, 5);
         let req = quick_req(PatternKind::Gaussian).with_base_seed(0xCAFE);
         let features = wm_predict::features_for_request(&req);
-        let dims = wm_gpu::GemmDims::square(req.dim);
-        let outcome = place_learned(&fleet, &predictor, &features, dims, req.dtype, 0, None)
-            .expect("trained");
+        let outcome = place_learned(&fleet, &predictor, &features, &req, 0, None).expect("trained");
         assert!(matches!(outcome, Err(PlacementError::NeverFits { .. })));
     }
 

@@ -6,30 +6,38 @@
 //!
 //! * `"run"` (default) — answer one power query. Fields: `dtype` (paper
 //!   label, e.g. `"FP16"`, `"FP16-T"`, `"INT8"`, case-insensitive), `dim`,
-//!   `pattern` (name, e.g. `"gaussian"`, `"sparse"`, `"sorted_rows"`,
-//!   `"zeros"`), the pattern's parameter (`sparsity`/`fraction`/`count`/
-//!   `probability`/`set_size`, or generic `param`), optional `mean`,
-//!   `std`, `seeds`, `base_seed`, `iterations`, `b_transposed`,
-//!   `lattice` (sampling lattice edge), `deadline_us`, and `gpu` (catalog
-//!   substring to pin, or `"auto"`/absent for placement).
+//!   `kernel` (`"gemm"` — the default — or `"gemv"` for the memory-bound
+//!   decode workload), `pattern` (name, e.g. `"gaussian"`, `"sparse"`,
+//!   `"sorted_rows"`, `"zeros"`), the pattern's parameter
+//!   (`sparsity`/`fraction`/`count`/`probability`/`set_size`, or generic
+//!   `param`), optional `mean`, `std`, `seeds`, `base_seed`,
+//!   `iterations`, `b_transposed`, `lattice` (sampling lattice edge),
+//!   `deadline_us`, and `gpu` (catalog substring to pin, or
+//!   `"auto"`/absent for placement).
 //! * `"batch"` — `{"requests": [...]}` of `run` objects; answered as one
 //!   `{"results": [...]}` array in submission order, deduplicated through
 //!   the memo cache.
 //! * `"predict"` — same fields as `run`, but nothing executes: answers
 //!   the pre-execution power estimate (`predicted_w`), which device would
-//!   take the job, and whether the learned model (`"source": "learned"`)
-//!   or the analytic probe (`"source": "analytic"`) priced it.
-//! * `"model_stats"` — per-architecture learned-model health: training
-//!   observations, prequential P50/P95 absolute percentage error, drift
-//!   events, and whether the model currently serves.
+//!   take the job, the `kernel` key the estimate was priced under, and
+//!   whether that kernel's learned model (`"source": "learned"`) or the
+//!   analytic probe (`"source": "analytic"`) priced it. Learned models
+//!   are keyed by `(architecture, kernel)`, so a GEMV request on a fleet
+//!   that has only learned GEMM answers `"analytic"`.
+//! * `"model_stats"` — per-`(architecture, kernel)` learned-model health:
+//!   each entry carries `arch` and `kernel` plus training observations,
+//!   prequential P50/P95 absolute percentage error, drift events, and
+//!   whether the model currently serves.
 //! * `"stats"` — scheduler counters (cache hits/misses, steals, ...) plus
 //!   per-device utilization and total joules.
 //! * `"fleet"` — the device inventory and power budget.
 //! * `"ping"` — liveness check.
 //!
 //! `run` responses carry the predicted-vs-measured pair (`predicted_w`,
-//! `predicted_source`, `measured_w`) for auto-placed jobs, so a client
-//! can audit the predictor against every answer it receives.
+//! `predicted_source`, `measured_w`) for auto-placed jobs — plus the
+//! `kernel` the run executed (and therefore the model key a `"learned"`
+//! estimate came from) — so a client can audit the predictor against
+//! every answer it receives.
 //!
 //! Responses always carry `"ok"`: `true` with the payload or `false` with
 //! an `"error"` string.
@@ -37,7 +45,7 @@
 use std::io::{BufRead, Write};
 
 use wm_core::RunRequest;
-use wm_kernels::Sampling;
+use wm_kernels::{KernelClass, Sampling};
 use wm_numerics::DType;
 use wm_patterns::{PatternKind, PatternSpec};
 
@@ -59,6 +67,18 @@ fn parse_job(v: &Json, sched: &Scheduler) -> Result<FleetJob, String> {
     if dim == 0 || dim > MAX_DIM {
         return Err(format!("\"dim\" must be in 1..={MAX_DIM}"));
     }
+    // Absent means GEMM; *present* must be a valid string — a client
+    // encoding the kernel any other way must not silently run GEMM.
+    let kernel = match v.get("kernel") {
+        None => KernelClass::Gemm,
+        Some(field) => {
+            let label = field
+                .as_str()
+                .ok_or("\"kernel\" must be a string (\"gemm\" or \"gemv\")")?;
+            KernelClass::parse(label)
+                .ok_or_else(|| format!("unknown kernel {label:?} (use \"gemm\" or \"gemv\")"))?
+        }
+    };
     let kind = parse_pattern(v)?;
     let mut spec = PatternSpec::new(kind);
     if let Some(mean) = v.get("mean").and_then(Json::as_f64) {
@@ -74,7 +94,7 @@ fn parse_job(v: &Json, sched: &Scheduler) -> Result<FleetJob, String> {
         spec = spec.with_std(std);
     }
 
-    let mut req = RunRequest::new(dtype, dim, spec);
+    let mut req = RunRequest::new(dtype, dim, spec).with_kernel(kernel);
     if let Some(seeds) = v.get("seeds").and_then(Json::as_u64) {
         if seeds == 0 || seeds > MAX_SEEDS {
             return Err(format!("\"seeds\" must be in 1..={MAX_SEEDS}"));
@@ -230,6 +250,12 @@ fn run_payload(r: &FleetResponse) -> Vec<(&'static str, Json)> {
     vec![
         ("device", Json::Num(r.device as f64)),
         ("gpu", Json::Str(r.gpu_name.to_string())),
+        // The kernel the run executed — also the (architecture, kernel)
+        // model key a "learned" predicted_source answered from.
+        (
+            "kernel",
+            Json::Str(r.result.activity.kernel.label().to_string()),
+        ),
         ("power_w", Json::Num(r.result.power.mean)),
         ("power_std_w", Json::Num(r.result.power.std)),
         (
@@ -327,6 +353,7 @@ pub fn answer(v: &Json, sched: &Scheduler) -> Json {
                     vec![
                         ("device", Json::Num(p.device as f64)),
                         ("gpu", Json::Str(p.gpu_name.to_string())),
+                        ("kernel", Json::Str(p.kernel.label().to_string())),
                         ("predicted_w", Json::Num(p.predicted_w)),
                         ("source", Json::Str(p.source.label().to_string())),
                         ("model_observations", Json::Num(p.model_observations as f64)),
@@ -342,6 +369,7 @@ pub fn answer(v: &Json, sched: &Scheduler) -> Json {
                 .map(|m| {
                     obj(vec![
                         ("arch", Json::Str(m.arch.clone())),
+                        ("kernel", Json::Str(m.kernel.label().to_string())),
                         ("observations", Json::Num(m.observations as f64)),
                         ("tracked_errors", Json::Num(m.tracked_errors as f64)),
                         ("p50_ape_pct", Json::Num(m.p50_ape_pct)),
@@ -527,6 +555,144 @@ mod tests {
             let err = v.get("error").unwrap().as_str().unwrap();
             assert!(err.contains(needle), "{line} -> {err}");
         }
+    }
+
+    #[test]
+    fn kernel_field_parses_and_round_trips() {
+        let s = sched();
+        // Default is GEMM; the response reports the executed kernel.
+        let gemm = run_line(
+            &s,
+            r#"{"dtype": "fp16-t", "dim": 64, "pattern": "zeros", "seeds": 1, "lattice": 4, "gpu": "a100"}"#,
+        );
+        assert_eq!(gemm.get("ok"), Some(&Json::Bool(true)), "{gemm}");
+        assert_eq!(gemm.get("kernel").unwrap().as_str(), Some("gemm"));
+        let gemv = run_line(
+            &s,
+            r#"{"dtype": "fp16-t", "dim": 64, "kernel": "GEMV", "pattern": "zeros", "seeds": 1, "lattice": 4, "gpu": "a100"}"#,
+        );
+        assert_eq!(gemv.get("ok"), Some(&Json::Bool(true)), "{gemv}");
+        assert_eq!(gemv.get("kernel").unwrap().as_str(), Some("gemv"));
+        // Distinct kernels are distinct cache entries.
+        assert_eq!(gemv.get("cache_hit"), Some(&Json::Bool(false)));
+        assert!(
+            gemv.get("power_w").unwrap().as_f64().unwrap()
+                < gemm.get("power_w").unwrap().as_f64().unwrap(),
+            "memory-bound GEMV must draw less"
+        );
+        // model_stats keys each entry by (arch, kernel).
+        let stats = run_line(&s, r#"{"op": "model_stats"}"#);
+        let models = stats.get("models").unwrap().as_arr().unwrap();
+        let kernels: Vec<&str> = models
+            .iter()
+            .map(|m| m.get("kernel").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(kernels, ["gemm", "gemv"], "{stats}");
+        // Unknown labels error cleanly.
+        let bad = run_line(
+            &s,
+            r#"{"dtype": "fp32", "dim": 64, "kernel": "conv2d", "pattern": "zeros"}"#,
+        );
+        assert_eq!(bad.get("ok"), Some(&Json::Bool(false)));
+        assert!(bad
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("unknown kernel"));
+        // A present but non-string kernel must error, not default to GEMM.
+        let non_string = run_line(
+            &s,
+            r#"{"dtype": "fp32", "dim": 64, "kernel": 1, "pattern": "zeros"}"#,
+        );
+        assert_eq!(non_string.get("ok"), Some(&Json::Bool(false)));
+        assert!(non_string
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("must be a string"));
+        // predict reports the kernel key it priced under.
+        let p = run_line(
+            &s,
+            r#"{"op": "predict", "dtype": "fp16-t", "dim": 64, "kernel": "gemv", "pattern": "zeros", "seeds": 1, "lattice": 4}"#,
+        );
+        assert_eq!(p.get("ok"), Some(&Json::Bool(true)), "{p}");
+        assert_eq!(p.get("kernel").unwrap().as_str(), Some("gemv"));
+        assert_eq!(p.get("source").unwrap().as_str(), Some("analytic"));
+    }
+
+    #[test]
+    fn range_check_boundaries_answer_errors_not_panics() {
+        // Every boundary violation must come back as a clean error
+        // response from `answer`, parsed before any worker could touch it
+        // — the daemon's workers never see (let alone panic on) these.
+        let s = sched();
+        for (line, needle) in [
+            // count boundaries: MAX_BIT_COUNT + 1 and non-integers are out.
+            (
+                r#"{"dtype": "fp32", "dim": 64, "pattern": "zero_lsbs", "count": 65}"#,
+                "must be an integer in 0..=64",
+            ),
+            (
+                r#"{"dtype": "fp32", "dim": 64, "pattern": "random_msbs", "count": 64.5}"#,
+                "must be an integer in 0..=64",
+            ),
+            (
+                r#"{"dtype": "fp32", "dim": 64, "pattern": "zero_msbs", "count": -1}"#,
+                "must be an integer in 0..=64",
+            ),
+            // Non-finite fractions: the parser accepts 1e999 as +inf, and
+            // the range check must reject it (likewise -inf).
+            (
+                r#"{"dtype": "fp32", "dim": 64, "pattern": "sparse", "sparsity": 1e999}"#,
+                "must be in [0, 1]",
+            ),
+            (
+                r#"{"dtype": "fp32", "dim": 64, "pattern": "bit_flips", "probability": -1e999}"#,
+                "must be in [0, 1]",
+            ),
+            // set_size boundaries: 0 and MAX_SET_SIZE + 1 are out.
+            (
+                r#"{"dtype": "fp32", "dim": 64, "pattern": "value_set", "set_size": 0}"#,
+                "must be an integer in 1..=65536",
+            ),
+            (
+                r#"{"dtype": "fp32", "dim": 64, "pattern": "value_set", "set_size": 65537}"#,
+                "must be an integer in 1..=65536",
+            ),
+        ] {
+            let v = run_line(&s, line);
+            assert_eq!(v.get("ok"), Some(&Json::Bool(false)), "{line}");
+            let err = v.get("error").unwrap().as_str().unwrap();
+            assert!(err.contains(needle), "{line} -> {err}");
+        }
+        // A raw NaN literal is not JSON at all: the serve loop answers a
+        // parse error, it does not crash.
+        let mut out = Vec::new();
+        serve(
+            &br#"{"dtype": "fp32", "dim": 64, "pattern": "sparse", "sparsity": NaN}"#[..],
+            &mut out,
+            &s,
+        )
+        .unwrap();
+        let resp = Json::parse(std::str::from_utf8(&out).unwrap().trim()).unwrap();
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(false)));
+        // At-boundary values are in range and must execute cleanly:
+        // count = MAX_BIT_COUNT (clamped to the dtype width downstream)
+        // and set_size = MAX_SET_SIZE.
+        for line in [
+            r#"{"dtype": "fp32", "dim": 64, "pattern": "zero_lsbs", "count": 64, "seeds": 1, "lattice": 4, "gpu": "a100"}"#,
+            r#"{"dtype": "fp32", "dim": 64, "pattern": "value_set", "set_size": 65536, "seeds": 1, "lattice": 4, "gpu": "a100"}"#,
+        ] {
+            let v = run_line(&s, line);
+            assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "{line} -> {v}");
+        }
+        assert_eq!(
+            s.stats().failed,
+            0,
+            "boundary violations must be rejected at parse, never in a worker"
+        );
     }
 
     #[test]

@@ -24,12 +24,15 @@
 //!
 //! The scheduler closes the `wm-predict` learning loop: every fresh
 //! (cache-miss) run feeds `(input features, measured watts)` back into
-//! the shared [`PowerPredictor`], and placement consults the learned
-//! models *before* probing activity — once every device's model is
+//! the shared [`PowerPredictor`] under the run's `(architecture, kernel)`
+//! key, and placement consults the learned models *before* probing
+//! activity — once every device's model *for the requesting kernel* is
 //! trained and healthy, admission control and clock selection run from
 //! cheap input statistics alone. An untrained or drift-degraded model
 //! falls back to the analytic probe path, so prediction only ever
-//! short-cuts work, never gates it.
+//! short-cuts work, never gates it — and GEMV traffic on a fleet that
+//! has only learned GEMM is priced analytically, never from the wrong
+//! regime's coefficients.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -38,10 +41,9 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use wm_core::{PowerLab, RunRequest, RunResult};
-use wm_gpu::{iteration_time, GemmDims};
-use wm_kernels::ActivityRecord;
+use wm_kernels::{ActivityRecord, KernelClass};
 use wm_optimizer::DvfsPlan;
-use wm_power::{evaluate, predicted_breakdown, PowerBreakdown};
+use wm_power::{evaluate, kernel_runtime, predicted_breakdown, PowerBreakdown};
 use wm_predict::{features_for_request, FeatureVector, ModelStats, PowerPredictor};
 
 use crate::cache::MemoCache;
@@ -189,12 +191,15 @@ pub struct PredictOutcome {
     pub device: usize,
     /// Marketing name of that device.
     pub gpu_name: &'static str,
+    /// The kernel class whose keyed model was consulted (the request's
+    /// kernel — also the model key a `"learned"` answer came from).
+    pub kernel: KernelClass,
     /// Predicted board power at the governor-resolved clock, watts.
     pub predicted_w: f64,
     /// Which pricing path produced the number.
     pub source: PredictionSource,
-    /// Training observations behind that device's learned model (0 when
-    /// untrained).
+    /// Training observations behind that device's learned model for this
+    /// kernel class (0 when untrained).
     pub model_observations: u64,
 }
 
@@ -380,7 +385,8 @@ impl Scheduler {
             .collect()
     }
 
-    /// Health snapshot of every learned power model.
+    /// Health snapshot of every learned power model, one entry per
+    /// `(architecture, kernel)` key in stable order.
     pub fn model_stats(&self) -> Vec<ModelStats> {
         self.inner
             .predictor
@@ -395,6 +401,7 @@ impl Scheduler {
     /// the analytic probe path answers.
     pub fn predict(&self, job: &FleetJob) -> Result<PredictOutcome, FleetError> {
         let inner = &*self.inner;
+        let kernel = job.request.kernel;
         let features = request_features(inner, &job.request);
         match job.pin {
             Some(id) => {
@@ -405,8 +412,8 @@ impl Scheduler {
                 let (learned, observations) = {
                     let p = inner.predictor.lock().expect("predictor poisoned");
                     (
-                        p.predict(dev.gpu.name, &features),
-                        p.observations(dev.gpu.name),
+                        p.predict(dev.gpu.name, kernel, &features),
+                        p.observations(dev.gpu.name, kernel),
                     )
                 };
                 let (predicted_w, source) = match learned {
@@ -414,11 +421,8 @@ impl Scheduler {
                         // The model predicts boost-equivalent watts; the
                         // governor resolves the operating point a run
                         // would actually sustain.
-                        let rt = iteration_time(
-                            &dev.gpu,
-                            GemmDims::square(job.request.dim),
-                            job.request.dtype,
-                        );
+                        let rt =
+                            kernel_runtime(&dev.gpu, kernel, job.request.dims(), job.request.dtype);
                         (
                             predicted_breakdown(&dev.gpu, &rt, pred.watts).total_w,
                             PredictionSource::Learned,
@@ -437,6 +441,7 @@ impl Scheduler {
                 Ok(PredictOutcome {
                     device: dev.id,
                     gpu_name: dev.gpu.name,
+                    kernel,
                     predicted_w,
                     source,
                     model_observations: observations,
@@ -449,10 +454,11 @@ impl Scheduler {
                     .predictor
                     .lock()
                     .expect("predictor poisoned")
-                    .observations(dev.gpu.name);
+                    .observations(dev.gpu.name, kernel);
                 Ok(PredictOutcome {
                     device: placement.device,
                     gpu_name: dev.gpu.name,
+                    kernel,
                     predicted_w: placement.predicted_w,
                     source: placement.source,
                     model_observations: observations,
@@ -462,9 +468,11 @@ impl Scheduler {
     }
 
     /// Feed an externally measured observation into the learned model of
-    /// `device` — telemetry from real hardware, replayed traces, or a
-    /// test harness. The request's input features are extracted exactly
-    /// as the serving path would. `measured_w` must be boost-equivalent
+    /// `device` for the request's kernel class — telemetry from real
+    /// hardware, replayed traces, or a test harness. The request's input
+    /// features are extracted exactly as the serving path would, and the
+    /// observation lands in the `(architecture, kernel)` keyed model the
+    /// request would be priced from. `measured_w` must be boost-equivalent
     /// board power (for unthrottled runs — the usual case for external
     /// telemetry worth learning from — that is simply the measured
     /// power; undo the clock scaling first if the source throttled).
@@ -484,7 +492,7 @@ impl Scheduler {
             .predictor
             .lock()
             .expect("predictor poisoned")
-            .observe(dev.gpu.name, &features, measured_w);
+            .observe(dev.gpu.name, req.kernel, &features, measured_w);
         Ok(())
     }
 }
@@ -604,15 +612,7 @@ fn plan_placement(
     let salt = request_key(req);
     let learned = {
         let predictor = inner.predictor.lock().expect("predictor poisoned");
-        place_learned(
-            &inner.fleet,
-            &predictor,
-            features,
-            GemmDims::square(req.dim),
-            req.dtype,
-            salt,
-            deadline_s,
-        )
+        place_learned(&inner.fleet, &predictor, features, req, salt, deadline_s)
     };
     let outcome = match learned {
         Some(Ok(placement)) => Ok(placement),
@@ -803,6 +803,7 @@ fn process(inner: &Inner, job: FleetJob) -> Result<FleetResponse, FleetError> {
         let features = request_features(inner, &job.request);
         inner.predictor.lock().expect("predictor poisoned").observe(
             dev.gpu.name,
+            job.request.kernel,
             &features,
             boost_equivalent_w(&result.breakdown, result.power.mean, dev.vm.offset_w),
         );
@@ -814,6 +815,7 @@ fn process(inner: &Inner, job: FleetJob) -> Result<FleetResponse, FleetError> {
 mod tests {
     use super::*;
     use wm_gpu::spec::a100_pcie;
+    use wm_gpu::{iteration_time, GemmDims};
     use wm_kernels::Sampling;
     use wm_numerics::DType;
     use wm_patterns::{PatternKind, PatternSpec};
@@ -1037,6 +1039,73 @@ mod tests {
         assert!(
             ape < 0.15,
             "learned {predicted} W vs measured {} W (APE {ape})",
+            fresh.measured_w
+        );
+    }
+
+    #[test]
+    fn gemv_traffic_trains_its_own_model_and_never_prices_from_gemm() {
+        let sched = Scheduler::with_workers(Fleet::builder().device(a100_pcie()).build(), 2);
+        // Train the GEMM model past readiness.
+        let kinds = [
+            PatternKind::Gaussian,
+            PatternKind::Sparse { sparsity: 0.3 },
+            PatternKind::Sparse { sparsity: 0.7 },
+            PatternKind::SortedRows { fraction: 0.5 },
+            PatternKind::ValueSet { set_size: 8 },
+            PatternKind::ConstantRandom,
+            PatternKind::ZeroLsbs { count: 6 },
+            PatternKind::Zeros,
+        ];
+        let gemm_jobs: Vec<FleetJob> = (0..40u64)
+            .map(|i| FleetJob::new(quick(kinds[(i % 8) as usize], 3000 + i)))
+            .collect();
+        for r in sched.run_batch(gemm_jobs) {
+            r.unwrap();
+        }
+        let stats = sched.model_stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].kernel, KernelClass::Gemm);
+        assert!(stats[0].ready, "{stats:?}");
+        // A GEMV request must NOT be priced by the ready GEMM model: its
+        // keyed model does not exist, so the analytic path answers.
+        let gemv = |seed: u64, kind: PatternKind| {
+            FleetJob::new(quick(kind, seed).with_kernel(KernelClass::Gemv))
+        };
+        let p = sched.predict(&gemv(9000, PatternKind::Gaussian)).unwrap();
+        assert_eq!(p.kernel, KernelClass::Gemv);
+        assert_eq!(
+            p.source,
+            PredictionSource::Analytic,
+            "a GEMV request must never price from a GEMM-only model"
+        );
+        assert_eq!(p.model_observations, 0);
+        // Interleave GEMV runs: they train the (arch, Gemv) key only.
+        let gemv_jobs: Vec<FleetJob> = (0..40u64)
+            .map(|i| gemv(5000 + i, kinds[(i % 8) as usize]))
+            .collect();
+        for r in sched.run_batch(gemv_jobs) {
+            r.unwrap();
+        }
+        let stats = sched.model_stats();
+        assert_eq!(stats.len(), 2, "{stats:?}");
+        assert_eq!(stats[0].kernel, KernelClass::Gemm);
+        assert_eq!(stats[1].kernel, KernelClass::Gemv);
+        assert!(stats.iter().all(|m| m.ready), "{stats:?}");
+        assert_eq!(stats[0].observations, 40, "GEMV runs must not leak");
+        assert_eq!(stats[1].observations, 40);
+        // Fresh GEMV traffic now prices from its own learned model and
+        // lands in the acceptance band of its measurement.
+        let fresh = sched
+            .submit(gemv(9900, PatternKind::Sparse { sparsity: 0.45 }))
+            .recv()
+            .unwrap();
+        assert_eq!(fresh.prediction, Some(PredictionSource::Learned));
+        let predicted = fresh.predicted_w.unwrap();
+        let ape = (predicted - fresh.measured_w).abs() / fresh.measured_w;
+        assert!(
+            ape < 0.15,
+            "learned GEMV {predicted} W vs measured {} W (APE {ape})",
             fresh.measured_w
         );
     }

@@ -6,12 +6,46 @@ use wm_numerics::DType;
 /// Which kernel family produced an activity record. The power model picks
 /// the matching runtime estimator (GEMM is compute-bound at the paper's
 /// sizes; GEMV is memory-bound — the LLM-decode regime).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// The class is also a *model key*: `wm-predict` trains one learned power
+/// model per `(architecture, KernelClass)` — the two regimes respond to
+/// operand content through different units (datapath latches vs. the DRAM
+/// interface), so their observations must never share coefficients. The
+/// `Ord`/`Hash` derives exist for that keying.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum KernelClass {
     /// Dense matrix-matrix multiplication (the paper's workload).
     Gemm,
     /// Dense matrix-vector multiplication (extension workload).
     Gemv,
+}
+
+impl KernelClass {
+    /// Every kernel class, in key order.
+    pub const ALL: [KernelClass; 2] = [KernelClass::Gemm, KernelClass::Gemv];
+
+    /// Stable lowercase label (used by the `wattd` protocol and figures).
+    pub const fn label(self) -> &'static str {
+        match self {
+            KernelClass::Gemm => "gemm",
+            KernelClass::Gemv => "gemv",
+        }
+    }
+
+    /// Parse a protocol label (case-insensitive).
+    pub fn parse(s: &str) -> Option<KernelClass> {
+        match s.to_ascii_lowercase().as_str() {
+            "gemm" => Some(KernelClass::Gemm),
+            "gemv" => Some(KernelClass::Gemv),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for KernelClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
 }
 
 /// Normalized switching-activity record for one GEMM iteration.

@@ -39,5 +39,5 @@ pub use coefficients::{
     arch_energy_scale, memory_kind_factor, pipeline_coefficients, MemoryCoefficients,
     PipelineCoefficients,
 };
-pub use model::{evaluate, predicted_breakdown, PowerBreakdown};
+pub use model::{evaluate, kernel_runtime, predicted_breakdown, PowerBreakdown};
 pub use reference::{reference_activity, ReferenceActivity};

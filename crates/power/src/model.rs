@@ -4,8 +4,28 @@ use crate::coefficients::{
     arch_energy_scale, memory_coefficients, memory_kind_factor, pipeline_coefficients,
 };
 use crate::reference::{damp, reference_activity};
-use wm_gpu::{gemv_time, iteration_time, resolve_throttle, GpuSpec, RuntimeEstimate};
+use wm_gpu::{gemv_time, iteration_time, resolve_throttle, GemmDims, GpuSpec, RuntimeEstimate};
 use wm_kernels::{ActivityRecord, KernelClass};
+use wm_numerics::DType;
+
+/// The boost-clock runtime estimate of `kernel` with `dims`/`dtype` on
+/// `spec` — the single kernel→runtime-estimator dispatch. [`evaluate`]
+/// uses it on a probed activity record, and the fleet's learned pricing
+/// path uses it to turn a predicted wattage back into a plannable
+/// breakdown, so the two paths can never disagree on a kernel's runtime
+/// model. GEMM uses the roofline [`iteration_time`]; GEMV the streaming
+/// [`gemv_time`].
+pub fn kernel_runtime(
+    spec: &GpuSpec,
+    kernel: KernelClass,
+    dims: GemmDims,
+    dtype: DType,
+) -> RuntimeEstimate {
+    match kernel {
+        KernelClass::Gemm => iteration_time(spec, dims, dtype),
+        KernelClass::Gemv => gemv_time(spec, dims.n, dims.k, dtype),
+    }
+}
 
 /// Per-component power report for one GEMM configuration on one device,
 /// at the resolved (possibly throttled) operating point.
@@ -47,10 +67,7 @@ impl PowerBreakdown {
 /// Evaluate the power of one GEMM execution described by `activity` on
 /// device `spec`.
 pub fn evaluate(spec: &GpuSpec, activity: &ActivityRecord) -> PowerBreakdown {
-    let rt = match activity.kernel {
-        KernelClass::Gemm => iteration_time(spec, activity.dims, activity.dtype),
-        KernelClass::Gemv => gemv_time(spec, activity.dims.n, activity.dims.k, activity.dtype),
-    };
+    let rt = kernel_runtime(spec, activity.kernel, activity.dims, activity.dtype);
     let sens = spec.data_sensitivity;
     let arch = arch_energy_scale(spec.architecture);
     let pc = pipeline_coefficients(activity.dtype);

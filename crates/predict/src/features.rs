@@ -21,11 +21,13 @@
 
 use wm_bits::{hamming_distance, hamming_weight, ByteHistogram};
 use wm_core::RunRequest;
+use wm_gpu::GemmDims;
+use wm_kernels::KernelClass;
 use wm_matrix::Matrix;
 use wm_numerics::{DType, Quantizer};
 
 /// Width of a [`FeatureVector`].
-pub const FEATURE_DIM: usize = 12;
+pub const FEATURE_DIM: usize = 16;
 
 /// Number of bins in the value-entropy histogram (hash-bucketed encoded
 /// words; 2^12 bins caps value entropy at 12 bits).
@@ -50,6 +52,12 @@ impl FeatureVector {
 
     /// Human-readable feature names, index-aligned with
     /// [`FeatureVector::as_slice`].
+    ///
+    /// The tail block (`kernel_gemv` onward) describes the *kernel shape*:
+    /// which regime the request runs in and its geometry, so a model keyed
+    /// to one `(architecture, KernelClass)` still sees within-regime shape
+    /// variation (and a deliberately lumped model at least sees the regime
+    /// indicator).
     pub const NAMES: [&'static str; FEATURE_DIM] = [
         "bias",
         "byte_entropy",
@@ -62,7 +70,11 @@ impl FeatureVector {
         "dtype_bits",
         "tensor_core",
         "mantissa_bits",
-        "log2_dim",
+        "kernel_gemv",
+        "log2_n",
+        "log2_m",
+        "log2_k",
+        "bytes_per_flop",
     ];
 }
 
@@ -198,15 +210,20 @@ impl FeatureAccumulator {
         }
     }
 
-    /// Finalize into a [`FeatureVector`]; `dim` is the square problem
-    /// dimension (the shape descriptor).
+    /// Finalize into a [`FeatureVector`]; `kernel` and `dims` are the
+    /// request's kernel class and problem geometry (the kernel-shape
+    /// descriptors: regime indicator, per-axis log sizes, and estimated
+    /// bytes-per-FLOP).
     ///
     /// # Panics
     ///
-    /// Panics if nothing was accumulated or `dim == 0`.
-    pub fn finish(&self, dim: usize) -> FeatureVector {
+    /// Panics if nothing was accumulated or any dimension is zero.
+    pub fn finish(&self, kernel: KernelClass, dims: GemmDims) -> FeatureVector {
         assert!(self.words > 0, "cannot extract features from no data");
-        assert!(dim > 0, "problem dimension must be positive");
+        assert!(
+            dims.n > 0 && dims.m > 0 && dims.k > 0,
+            "problem dimensions must be positive"
+        );
         let bits = f64::from(self.dtype.bits());
         let words = self.words as f64;
         let byte_entropy = self.byte_hist.entropy() / 8.0;
@@ -226,6 +243,14 @@ impl FeatureAccumulator {
         } else {
             (0.0, 0.0)
         };
+        // Kernel-shape block: arithmetic intensity is the regime's raw
+        // currency (GEMM at the paper's sizes reuses tiles — O(dim) FLOPs
+        // per byte; GEMV reads every weight once — O(1)), so estimated
+        // bytes-per-FLOP is O(1) for memory-bound work and vanishes for
+        // compute-bound work. Together with the class indicator and the
+        // per-axis log sizes, each keyed model sees its regime's geometry.
+        let bytes_per_flop =
+            dims.working_set_bytes(self.dtype.bytes()) as f64 / dims.flops() as f64;
         FeatureVector {
             values: [
                 1.0,
@@ -243,30 +268,45 @@ impl FeatureAccumulator {
                     0.0
                 },
                 f64::from(self.dtype.mantissa_bits()) / 24.0,
-                (dim as f64).log2() / 16.0,
+                match kernel {
+                    KernelClass::Gemm => 0.0,
+                    KernelClass::Gemv => 1.0,
+                },
+                (dims.n as f64).log2() / 16.0,
+                (dims.m as f64).log2() / 16.0,
+                (dims.k as f64).log2() / 16.0,
+                bytes_per_flop,
             ],
         }
     }
 }
 
-/// Extract the feature vector of one GEMM's operand pair in a single
-/// pass: A streamed row-major, then B.
-pub fn extract_features(dtype: DType, dim: usize, a: &Matrix, b: &Matrix) -> FeatureVector {
+/// Extract the feature vector of one kernel's operand pair in a single
+/// pass: A streamed row-major, then B (GEMV's B is the `k x 1` input
+/// vector).
+pub fn extract_features(
+    dtype: DType,
+    kernel: KernelClass,
+    dims: GemmDims,
+    a: &Matrix,
+    b: &Matrix,
+) -> FeatureVector {
     let mut acc = FeatureAccumulator::new(dtype);
     acc.add_matrix(a);
     acc.add_matrix(b);
-    acc.finish(dim)
+    acc.finish(kernel, dims)
 }
 
 /// Feature vector of a [`RunRequest`]'s first-seed operands.
 ///
 /// The operands come from [`wm_core::first_seed_operands`] — the single
 /// source of the first-seed contract shared with the fleet's activity
-/// probe — so features line up with the run the fleet will execute,
-/// without simulating anything.
+/// probe — so features line up with the run the fleet will execute
+/// (including the kernel family and its operand shapes), without
+/// simulating anything.
 pub fn features_for_request(req: &RunRequest) -> FeatureVector {
     let (a, b) = wm_core::first_seed_operands(req);
-    extract_features(req.dtype, req.dim, &a, &b)
+    extract_features(req.dtype, req.kernel, req.dims(), &a, &b)
 }
 
 #[cfg(test)]
@@ -286,7 +326,7 @@ mod tests {
 
     fn features(kind: PatternKind, dtype: DType) -> FeatureVector {
         let (a, b) = operands(kind, dtype, 64, 9);
-        extract_features(dtype, 64, &a, &b)
+        extract_features(dtype, KernelClass::Gemm, GemmDims::square(64), &a, &b)
     }
 
     #[test]
@@ -372,8 +412,35 @@ mod tests {
     }
 
     #[test]
+    fn kernel_shape_features_separate_the_regimes() {
+        use wm_core::RunRequest;
+        let gemm = RunRequest::new(
+            DType::Fp16Tensor,
+            64,
+            PatternSpec::new(PatternKind::Gaussian),
+        );
+        let gemv = gemm.clone().with_kernel(KernelClass::Gemv);
+        let fm = features_for_request(&gemm);
+        let fv = features_for_request(&gemv);
+        let (sm, sv) = (fm.as_slice(), fv.as_slice());
+        assert_eq!(sm[11], 0.0, "GEMM indicator");
+        assert_eq!(sv[11], 1.0, "GEMV indicator");
+        assert_eq!(sm[13], (64f64).log2() / 16.0, "GEMM m = dim");
+        assert_eq!(sv[13], 0.0, "GEMV m = 1");
+        assert_eq!(sm[12], sv[12], "both share n = dim");
+        assert!(
+            sv[15] > 10.0 * sm[15],
+            "GEMV bytes-per-FLOP {} must dwarf GEMM's {}",
+            sv[15],
+            sm[15]
+        );
+        // GEMV streams A plus a vector — fewer words than GEMM's A + B.
+        assert!(fv != fm);
+    }
+
+    #[test]
     #[should_panic(expected = "no data")]
     fn empty_accumulator_rejected() {
-        FeatureAccumulator::new(DType::Fp32).finish(64);
+        FeatureAccumulator::new(DType::Fp32).finish(KernelClass::Gemm, GemmDims::square(64));
     }
 }

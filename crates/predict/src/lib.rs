@@ -15,10 +15,12 @@
 //!   extraction is bit-identical to sequential, whatever the worker
 //!   count.
 //! * [`predictor`] — the [`PowerPredictor`]: one online ridge model per
-//!   device architecture (the shared normal-equations core in
-//!   `wm_analysis::fit`), trained continuously from completed fleet runs,
-//!   with prequential P50/P95 error tracking and drift detection that
-//!   pulls a misbehaving model out of serving.
+//!   `(device architecture, kernel class)` key (the shared
+//!   normal-equations core in `wm_analysis::fit`), trained continuously
+//!   from completed fleet runs, with prequential P50/P95 error tracking
+//!   and drift detection that pulls a misbehaving model out of serving.
+//!   Compute-bound GEMM and memory-bound GEMV move power through
+//!   different units, so their observations never share coefficients.
 //! * [`sketch`] — the deterministic, exactly-mergeable
 //!   [`QuantileSketch`] behind the error percentiles.
 //!
@@ -42,3 +44,4 @@ pub use features::{
 };
 pub use predictor::{ModelStats, PowerPredictor, Prediction, DEFAULT_MIN_OBSERVATIONS};
 pub use sketch::QuantileSketch;
+pub use wm_kernels::KernelClass;

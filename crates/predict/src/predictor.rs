@@ -1,10 +1,16 @@
-//! The online power predictor: per-architecture ridge models with
-//! prequential error tracking and drift fallback.
+//! The online power predictor: per-`(architecture, kernel)` ridge models
+//! with prequential error tracking and drift fallback.
 //!
-//! One [`PowerPredictor`] owns an online ridge-regression model per device
-//! architecture (keyed by the GPU's marketing name — two different parts
-//! never share coefficients), trained continuously from completed runs:
-//! each observation is a `(FeatureVector, measured watts)` pair. Before an
+//! One [`PowerPredictor`] owns an online ridge-regression model per
+//! `(device architecture, KernelClass)` key — two different parts never
+//! share coefficients, and neither do two kernel regimes on the same
+//! part. The paper's result lives *within* a kernel's regime:
+//! compute-bound GEMM swings ~38% through the datapath latches while
+//! memory-bound GEMV moves power through the DRAM interface, so the
+//! entropy→power slope is unit-specific and a lumped per-architecture
+//! model systematically mispredicts both. Models train continuously from
+//! completed runs: each observation is a `(FeatureVector, measured
+//! watts)` pair keyed by the kernel that produced it. Before an
 //! observation updates the model, the *current* model predicts it and the
 //! absolute percentage error lands in the error tracker — prequential
 //! ("test then train") evaluation, so the tracked error is honest
@@ -28,9 +34,16 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use wm_analysis::{linear_predict, RidgeFitter};
+use wm_kernels::KernelClass;
 
 use crate::features::{FeatureVector, FEATURE_DIM};
 use crate::sketch::QuantileSketch;
+
+/// Per-architecture model table: one [`ArchModel`] per kernel class. The
+/// nesting (rather than a `(String, KernelClass)` tuple key) keeps every
+/// serving-path lookup allocation-free — `predict` runs once per fleet
+/// device per placement under the scheduler's shared predictor lock.
+type KernelModels = BTreeMap<KernelClass, ArchModel>;
 
 /// Observations a model needs before it serves predictions.
 pub const DEFAULT_MIN_OBSERVATIONS: u64 = 32;
@@ -45,7 +58,7 @@ const DRIFT_MIN_WINDOW: usize = 16;
 /// Windowed P95 APE (percentage points) above which a model trips.
 const DRIFT_P95_PCT: f64 = 25.0;
 
-/// One architecture's model + error-tracking state.
+/// One `(architecture, kernel)` key's model + error-tracking state.
 #[derive(Debug, Clone)]
 struct ArchModel {
     fitter: RidgeFitter,
@@ -72,7 +85,9 @@ impl ArchModel {
         }
     }
 
-    /// P95 of the recent-error window (percentage points).
+    /// P95 of the recent-error window (percentage points). Sorts a copy of
+    /// the window — **reporting only** ([`PowerPredictor::stats`]); the
+    /// per-observation path uses [`ArchModel::drift_exceeded`] instead.
     fn window_p95_pct(&self) -> f64 {
         if self.window.is_empty() {
             return 0.0;
@@ -83,13 +98,27 @@ impl ArchModel {
         sorted[rank - 1]
     }
 
+    /// Whether the window's P95 sits above [`DRIFT_P95_PCT`], as a plain
+    /// O(W) count — "more than 5% of the window exceeds the threshold" is
+    /// exactly `sorted[ceil(0.95·W)-1] > threshold`, without allocating or
+    /// sorting anything. This runs once per observation under the
+    /// scheduler's shared predictor lock, so it must stay cheap.
+    fn drift_exceeded(&self) -> bool {
+        let over = self
+            .window
+            .iter()
+            .filter(|&&ape| ape > DRIFT_P95_PCT)
+            .count();
+        over as f64 > 0.05 * self.window.len() as f64
+    }
+
     fn track_error(&mut self, ape_pct: f64) {
         self.lifetime.observe(ape_pct);
         if self.window.len() == DRIFT_WINDOW {
             self.window.pop_front();
         }
         self.window.push_back(ape_pct);
-        if self.window.len() >= DRIFT_MIN_WINDOW && self.window_p95_pct() > DRIFT_P95_PCT {
+        if self.window.len() >= DRIFT_MIN_WINDOW && self.drift_exceeded() {
             // Drift: the observations contradict the model. Discard it —
             // sufficient statistics never forget, so retraining from
             // scratch beats waiting for clean data to outvote the bad.
@@ -116,11 +145,13 @@ pub struct Prediction {
     pub observations: u64,
 }
 
-/// Snapshot of one architecture model's health.
+/// Snapshot of one `(architecture, kernel)` model's health.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ModelStats {
     /// Architecture key (the GPU marketing name).
     pub arch: String,
+    /// Kernel-class key: the regime whose observations this model sees.
+    pub kernel: KernelClass,
     /// Training observations accumulated.
     pub observations: u64,
     /// Prequential errors tracked (observations seen while ready).
@@ -141,10 +172,11 @@ pub struct ModelStats {
     pub ready: bool,
 }
 
-/// Per-architecture online power models with drift-aware serving.
+/// Per-`(architecture, kernel)` online power models with drift-aware
+/// serving.
 #[derive(Debug, Clone)]
 pub struct PowerPredictor {
-    models: BTreeMap<String, ArchModel>,
+    models: BTreeMap<String, KernelModels>,
     min_observations: u64,
 }
 
@@ -179,21 +211,35 @@ impl PowerPredictor {
         self.min_observations
     }
 
-    /// Feed one completed run back into the `arch` model: prequentially
-    /// track the current model's error on it, then train on it.
+    /// Feed one completed run back into the `(arch, kernel)` model:
+    /// prequentially track the current model's error on it, then train on
+    /// it. Observations from different kernel classes never mix — a GEMV
+    /// measurement can only ever move the GEMV model.
     ///
     /// # Panics
     ///
     /// Panics unless `measured_w` is finite and positive.
-    pub fn observe(&mut self, arch: &str, features: &FeatureVector, measured_w: f64) {
+    pub fn observe(
+        &mut self,
+        arch: &str,
+        kernel: KernelClass,
+        features: &FeatureVector,
+        measured_w: f64,
+    ) {
         assert!(
             measured_w.is_finite() && measured_w > 0.0,
             "measured power must be finite and positive, got {measured_w}"
         );
         let min = self.min_observations;
+        if !self.models.contains_key(arch) {
+            // Only a never-seen architecture pays for the key allocation.
+            self.models.insert(arch.to_string(), KernelModels::new());
+        }
         let model = self
             .models
-            .entry(arch.to_string())
+            .get_mut(arch)
+            .expect("inserted above")
+            .entry(kernel)
             .or_insert_with(ArchModel::new);
         if model.fitter.observations() >= min {
             if let Some(beta) = &model.beta {
@@ -211,7 +257,7 @@ impl PowerPredictor {
         if model.degraded
             && model.fitter.observations() >= min
             && model.window.len() >= DRIFT_MIN_WINDOW
-            && model.window_p95_pct() <= DRIFT_P95_PCT
+            && !model.drift_exceeded()
         {
             // Retrained after a drift reset AND the retrained model's
             // tracked errors look healthy: back in service. Observation
@@ -222,27 +268,44 @@ impl PowerPredictor {
         }
     }
 
-    /// Predict the board power for `features` on `arch`, in the units the
-    /// model was trained on (the fleet uses boost-equivalent watts — see
-    /// [`Prediction::watts`]).
+    /// Predict the board power for `features` on `(arch, kernel)`, in the
+    /// units the model was trained on (the fleet uses boost-equivalent
+    /// watts — see [`Prediction::watts`]).
     ///
-    /// Returns `None` unless the model is ready, healthy (not drift
-    /// degraded), solvable, and produces a physically meaningful (positive,
-    /// finite) wattage — every `None` is a signal to take the analytic
-    /// `wm_power::evaluate` path instead.
-    pub fn predict(&self, arch: &str, features: &FeatureVector) -> Option<Prediction> {
-        let model = self.models.get(arch)?;
+    /// Returns `None` unless the *requesting kernel's* model is ready,
+    /// healthy (not drift degraded), solvable, and produces a physically
+    /// meaningful (positive, finite) wattage — every `None` is a signal
+    /// to take the analytic `wm_power::evaluate` path instead. A GEMV
+    /// request therefore never prices from a GEMM-only predictor: with no
+    /// `(arch, Gemv)` model, this is `None` and the caller falls back.
+    pub fn predict(
+        &self,
+        arch: &str,
+        kernel: KernelClass,
+        features: &FeatureVector,
+    ) -> Option<Prediction> {
+        let model = self.model(arch, kernel)?;
         if model.fitter.observations() < self.min_observations || model.degraded {
             return None;
         }
-        self.raw_predict(arch, features)
+        self.raw_predict(arch, kernel, features)
+    }
+
+    /// Allocation-free keyed lookup (the serving hot path).
+    fn model(&self, arch: &str, kernel: KernelClass) -> Option<&ArchModel> {
+        self.models.get(arch)?.get(&kernel)
     }
 
     /// Predict ignoring readiness and drift gating (still requires a
     /// solvable model). For shadow evaluation and experiments; serving
     /// paths use [`PowerPredictor::predict`].
-    pub fn raw_predict(&self, arch: &str, features: &FeatureVector) -> Option<Prediction> {
-        let model = self.models.get(arch)?;
+    pub fn raw_predict(
+        &self,
+        arch: &str,
+        kernel: KernelClass,
+        features: &FeatureVector,
+    ) -> Option<Prediction> {
+        let model = self.model(arch, kernel)?;
         let beta = model.beta.as_ref()?;
         let watts = linear_predict(beta, features.as_slice());
         if watts.is_finite() && watts > 0.0 {
@@ -255,32 +318,36 @@ impl PowerPredictor {
         }
     }
 
-    /// Whether [`PowerPredictor::predict`] would serve for `arch`.
-    pub fn ready(&self, arch: &str) -> bool {
-        self.models
-            .get(arch)
+    /// Whether [`PowerPredictor::predict`] would serve for `(arch, kernel)`.
+    pub fn ready(&self, arch: &str, kernel: KernelClass) -> bool {
+        self.model(arch, kernel)
             .is_some_and(|m| m.fitter.observations() >= self.min_observations && !m.degraded)
     }
 
-    /// Training observations accumulated for `arch`.
-    pub fn observations(&self, arch: &str) -> u64 {
-        self.models.get(arch).map_or(0, |m| m.fitter.observations())
+    /// Training observations accumulated for `(arch, kernel)`.
+    pub fn observations(&self, arch: &str, kernel: KernelClass) -> u64 {
+        self.model(arch, kernel)
+            .map_or(0, |m| m.fitter.observations())
     }
 
-    /// Health snapshot of every model, in stable (sorted-key) order.
+    /// Health snapshot of every keyed model, in stable (sorted-key) order:
+    /// architectures alphabetically, kernels in [`KernelClass`] order.
     pub fn stats(&self) -> Vec<ModelStats> {
         self.models
             .iter()
-            .map(|(arch, m)| ModelStats {
-                arch: arch.clone(),
-                observations: m.fitter.observations(),
-                tracked_errors: m.lifetime.observations(),
-                p50_ape_pct: m.lifetime.quantile_pct(0.5),
-                p95_ape_pct: m.lifetime.quantile_pct(0.95),
-                window_p95_ape_pct: m.window_p95_pct(),
-                drift_events: m.drift_events,
-                degraded: m.degraded,
-                ready: m.fitter.observations() >= self.min_observations && !m.degraded,
+            .flat_map(|(arch, kernels)| {
+                kernels.iter().map(|(kernel, m)| ModelStats {
+                    arch: arch.clone(),
+                    kernel: *kernel,
+                    observations: m.fitter.observations(),
+                    tracked_errors: m.lifetime.observations(),
+                    p50_ape_pct: m.lifetime.quantile_pct(0.5),
+                    p95_ape_pct: m.lifetime.quantile_pct(0.95),
+                    window_p95_ape_pct: m.window_p95_pct(),
+                    drift_events: m.drift_events,
+                    degraded: m.degraded,
+                    ready: m.fitter.observations() >= self.min_observations && !m.degraded,
+                })
             })
             .collect()
     }
@@ -293,6 +360,8 @@ mod tests {
     use wm_core::RunRequest;
     use wm_numerics::DType;
     use wm_patterns::{PatternKind, PatternSpec};
+
+    const GEMM: KernelClass = KernelClass::Gemm;
 
     const ARCH: &str = "Test GPU";
 
@@ -324,7 +393,7 @@ mod tests {
         for round in 0..rounds {
             for (i, kind) in training_kinds().into_iter().enumerate() {
                 let f = features_for_request(&request(kind, round * 100 + i as u64));
-                p.observe(ARCH, &f, synthetic_watts(&f));
+                p.observe(ARCH, GEMM, &f, synthetic_watts(&f));
             }
         }
     }
@@ -333,18 +402,20 @@ mod tests {
     fn untrained_model_declines_to_predict() {
         let p = PowerPredictor::new();
         let f = features_for_request(&request(PatternKind::Gaussian, 1));
-        assert_eq!(p.predict(ARCH, &f), None);
-        assert!(!p.ready(ARCH));
-        assert_eq!(p.observations(ARCH), 0);
+        assert_eq!(p.predict(ARCH, GEMM, &f), None);
+        assert!(!p.ready(ARCH, GEMM));
+        assert_eq!(p.observations(ARCH, GEMM), 0);
     }
 
     #[test]
     fn trained_model_predicts_within_a_few_percent() {
         let mut p = PowerPredictor::new();
         train(&mut p, 8); // 64 observations
-        assert!(p.ready(ARCH));
+        assert!(p.ready(ARCH, GEMM));
         let unseen = features_for_request(&request(PatternKind::Sparse { sparsity: 0.45 }, 991));
-        let pred = p.predict(ARCH, &unseen).expect("ready model must serve");
+        let pred = p
+            .predict(ARCH, GEMM, &unseen)
+            .expect("ready model must serve");
         let truth = synthetic_watts(&unseen);
         let ape = ((pred.watts - truth) / truth).abs();
         assert!(ape < 0.05, "APE {ape} on {} vs {}", pred.watts, truth);
@@ -359,15 +430,15 @@ mod tests {
     fn corrupted_observations_trip_drift_and_retraining_restores() {
         let mut p = PowerPredictor::new();
         train(&mut p, 8);
-        assert!(p.ready(ARCH));
+        assert!(p.ready(ARCH, GEMM));
         // Adversarial feedback: measurements wildly off the feature law.
         for i in 0..16 {
             let f = features_for_request(&request(PatternKind::Gaussian, 5000 + i));
-            p.observe(ARCH, &f, synthetic_watts(&f) * 4.0);
+            p.observe(ARCH, GEMM, &f, synthetic_watts(&f) * 4.0);
         }
-        assert!(!p.ready(ARCH), "drift must disable the model");
+        assert!(!p.ready(ARCH, GEMM), "drift must disable the model");
         let f = features_for_request(&request(PatternKind::Gaussian, 7777));
-        assert_eq!(p.predict(ARCH, &f), None);
+        assert_eq!(p.predict(ARCH, GEMM, &f), None);
         let stats = p.stats();
         assert!(stats[0].degraded || stats[0].observations < p.min_observations());
         assert!(stats[0].drift_events >= 1, "{stats:?}");
@@ -376,11 +447,11 @@ mod tests {
         // that flushes the corrupted remainder) and restores service.
         for i in 0..160 {
             let f = features_for_request(&request(PatternKind::Gaussian, 9000 + i));
-            p.observe(ARCH, &f, synthetic_watts(&f));
+            p.observe(ARCH, GEMM, &f, synthetic_watts(&f));
         }
-        assert!(p.ready(ARCH), "{:?}", p.stats());
+        assert!(p.ready(ARCH, GEMM), "{:?}", p.stats());
         let probe = features_for_request(&request(PatternKind::Gaussian, 424242));
-        let pred = p.predict(ARCH, &probe).unwrap();
+        let pred = p.predict(ARCH, GEMM, &probe).unwrap();
         let truth = synthetic_watts(&probe);
         assert!(
             ((pred.watts - truth) / truth).abs() < 0.05,
@@ -397,13 +468,16 @@ mod tests {
         // back in for a window's worth of traffic per cycle).
         let mut p = PowerPredictor::new();
         train(&mut p, 8);
-        assert!(p.ready(ARCH));
+        assert!(p.ready(ARCH, GEMM));
         for i in 0..200u64 {
             let f = features_for_request(&request(PatternKind::Gaussian, 20_000 + i));
             let w = synthetic_watts(&f) * if i % 2 == 0 { 5.0 } else { 0.2 };
-            p.observe(ARCH, &f, w);
+            p.observe(ARCH, GEMM, &f, w);
             if i >= 2 {
-                assert!(!p.ready(ARCH), "poisoned model re-entered serving at i={i}");
+                assert!(
+                    !p.ready(ARCH, GEMM),
+                    "poisoned model re-entered serving at i={i}"
+                );
             }
         }
         assert!(p.stats()[0].drift_events >= 2, "{:?}", p.stats());
@@ -414,9 +488,38 @@ mod tests {
         let mut p = PowerPredictor::new();
         train(&mut p, 8);
         let f = features_for_request(&request(PatternKind::Gaussian, 3));
-        assert!(p.predict(ARCH, &f).is_some());
-        assert_eq!(p.predict("Other GPU", &f), None);
-        assert_eq!(p.observations("Other GPU"), 0);
+        assert!(p.predict(ARCH, GEMM, &f).is_some());
+        assert_eq!(p.predict("Other GPU", GEMM, &f), None);
+        assert_eq!(p.observations("Other GPU", GEMM), 0);
+    }
+
+    #[test]
+    fn kernel_classes_are_independent() {
+        // A fully trained GEMM model must never answer for GEMV traffic:
+        // the keys are disjoint, so the GEMV side reports untrained and
+        // callers take the analytic fallback.
+        let mut p = PowerPredictor::new();
+        train(&mut p, 8);
+        assert!(p.ready(ARCH, KernelClass::Gemm));
+        let req = request(PatternKind::Gaussian, 77).with_kernel(KernelClass::Gemv);
+        let f = features_for_request(&req);
+        assert_eq!(p.predict(ARCH, KernelClass::Gemv, &f), None);
+        assert!(!p.ready(ARCH, KernelClass::Gemv));
+        assert_eq!(p.observations(ARCH, KernelClass::Gemv), 0);
+        // Training the GEMV key opens it without touching the GEMM model.
+        for i in 0..40u64 {
+            let r = request(PatternKind::Gaussian, 500 + i).with_kernel(KernelClass::Gemv);
+            let f = features_for_request(&r);
+            p.observe(ARCH, KernelClass::Gemv, &f, 100.0 + 40.0 * f.as_slice()[4]);
+        }
+        assert!(p.ready(ARCH, KernelClass::Gemv));
+        let stats = p.stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(
+            (stats[0].kernel, stats[1].kernel),
+            (KernelClass::Gemm, KernelClass::Gemv)
+        );
+        assert_eq!(p.observations(ARCH, KernelClass::Gemm), 64);
     }
 
     #[test]
@@ -433,7 +536,7 @@ mod tests {
         let build = |order: &[usize]| {
             let mut p = PowerPredictor::with_min_observations(1);
             for &i in order {
-                p.observe(ARCH, &fs[i], synthetic_watts(&fs[i]));
+                p.observe(ARCH, GEMM, &fs[i], synthetic_watts(&fs[i]));
             }
             p
         };
@@ -441,8 +544,8 @@ mod tests {
         let b = build(&[2, 1, 0, 0, 1, 2]);
         let probe = features_for_request(&request(PatternKind::Gaussian, 50));
         let (pa, pb) = (
-            a.raw_predict(ARCH, &probe).unwrap().watts,
-            b.raw_predict(ARCH, &probe).unwrap().watts,
+            a.raw_predict(ARCH, GEMM, &probe).unwrap().watts,
+            b.raw_predict(ARCH, GEMM, &probe).unwrap().watts,
         );
         // Sufficient statistics are sums, so arrival order affects the
         // fit only through floating-point summation order — ulps, not
@@ -459,6 +562,6 @@ mod tests {
     fn nonpositive_measurements_rejected() {
         let mut p = PowerPredictor::new();
         let f = features_for_request(&request(PatternKind::Gaussian, 1));
-        p.observe(ARCH, &f, 0.0);
+        p.observe(ARCH, GEMM, &f, 0.0);
     }
 }

@@ -9,7 +9,8 @@ use wm_core::RunRequest;
 use wm_numerics::DType;
 use wm_patterns::{PatternKind, PatternSpec};
 use wm_predict::{
-    extract_features, features_for_request, FeatureAccumulator, FeatureVector, PowerPredictor,
+    extract_features, features_for_request, FeatureAccumulator, FeatureVector, KernelClass,
+    PowerPredictor,
 };
 
 fn arb_dtype() -> impl Strategy<Value = DType> {
@@ -41,7 +42,8 @@ fn operand_stream(req: &RunRequest) -> Vec<f32> {
 
 /// Extract features with `workers` OS threads, each accumulating one
 /// contiguous chunk of the stream; partials fold in stream order.
-fn extract_parallel(dtype: DType, dim: usize, stream: &[f32], workers: usize) -> FeatureVector {
+fn extract_parallel(req: &RunRequest, stream: &[f32], workers: usize) -> FeatureVector {
+    let dtype = req.dtype;
     let chunk_len = stream.len().div_ceil(workers);
     let partials: Vec<FeatureAccumulator> = std::thread::scope(|scope| {
         let handles: Vec<_> = stream
@@ -62,7 +64,7 @@ fn extract_parallel(dtype: DType, dim: usize, stream: &[f32], workers: usize) ->
     for part in &partials {
         whole.merge(part);
     }
-    whole.finish(dim)
+    whole.finish(req.kernel, req.dims())
 }
 
 fn bits_of(f: &FeatureVector) -> Vec<u64> {
@@ -75,9 +77,15 @@ fn arb_request() -> impl Strategy<Value = RunRequest> {
         prop::sample::select(vec![16usize, 24, 33, 48]),
         arb_kind(),
         any::<u64>(),
+        any::<bool>(),
     )
-        .prop_map(|(dtype, dim, kind, base_seed)| {
-            RunRequest::new(dtype, dim, PatternSpec::new(kind)).with_base_seed(base_seed)
+        .prop_map(|(dtype, dim, kind, base_seed, gemv)| {
+            let req = RunRequest::new(dtype, dim, PatternSpec::new(kind)).with_base_seed(base_seed);
+            if gemv {
+                req.with_kernel(KernelClass::Gemv)
+            } else {
+                req
+            }
         })
 }
 
@@ -89,7 +97,7 @@ proptest! {
         let stream = operand_stream(&req);
         let sequential = features_for_request(&req);
         for workers in [1usize, 2, 3, 5, 8] {
-            let parallel = extract_parallel(req.dtype, req.dim, &stream, workers);
+            let parallel = extract_parallel(&req, &stream, workers);
             prop_assert_eq!(
                 bits_of(&sequential),
                 bits_of(&parallel),
@@ -106,8 +114,10 @@ proptest! {
         // accumulator over their concatenated storage are the same pass.
         let mut root = Xoshiro256pp::seed_from_u64(req.base_seed ^ 1);
         let a = req.pattern_a.generate(req.dtype, req.dim, req.dim, &mut root.fork(0));
-        let b = req.pattern_b.generate(req.dtype, req.dim, req.dim, &mut root.fork(1));
-        let via_matrices = extract_features(req.dtype, req.dim, &a, &b);
+        // GEMV's second operand is the dim x 1 input vector.
+        let b_cols = if req.kernel == KernelClass::Gemv { 1 } else { req.dim };
+        let b = req.pattern_b.generate(req.dtype, req.dim, b_cols, &mut root.fork(1));
+        let via_matrices = extract_features(req.dtype, req.kernel, req.dims(), &a, &b);
         prop_assert_eq!(bits_of(&via_matrices), bits_of(&features_for_request(&req)));
     }
 }
@@ -144,7 +154,7 @@ proptest! {
         let fit = |order: &[usize]| {
             let mut p = PowerPredictor::with_min_observations(1);
             for &i in order {
-                p.observe("GPU", &obs[i].0, obs[i].1);
+                p.observe("GPU", KernelClass::Gemm, &obs[i].0, obs[i].1);
             }
             p
         };
@@ -160,8 +170,8 @@ proptest! {
             &RunRequest::new(DType::Fp16Tensor, 24, PatternSpec::new(PatternKind::Gaussian))
                 .with_base_seed(12345),
         );
-        let a = baseline.raw_predict("GPU", &probe);
-        let b = shuffled.raw_predict("GPU", &probe);
+        let a = baseline.raw_predict("GPU", KernelClass::Gemm, &probe);
+        let b = shuffled.raw_predict("GPU", KernelClass::Gemm, &probe);
         // Sufficient statistics are order-free sums; only floating-point
         // summation order can differ, so predictions agree to ulp scale.
         match (a, b) {

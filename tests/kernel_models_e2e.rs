@@ -1,0 +1,152 @@
+//! End-to-end test of the per-`(architecture, kernel)` model keying
+//! through the `wattd` protocol (this PR's acceptance scenario): on an
+//! interleaved GEMM+GEMV workload `model_stats` must report separate
+//! ready models per kernel key, and a GEMV request must never be priced
+//! from a GEMM-only model — the analytic fallback answers until the GEMV
+//! key has trained.
+
+use wattmul_repro::fleet::json::Json;
+use wattmul_repro::fleet::{serve, Fleet, Scheduler};
+use wattmul_repro::gpu::spec::a100_pcie;
+
+const DIM: usize = 96;
+
+fn serve_lines(sched: &Scheduler, input: &str) -> Vec<Json> {
+    let mut out = Vec::new();
+    serve(input.as_bytes(), &mut out, sched).expect("in-memory serve cannot fail");
+    std::str::from_utf8(&out)
+        .expect("responses are utf-8")
+        .lines()
+        .map(|l| Json::parse(l).expect("every response line is valid JSON"))
+        .collect()
+}
+
+/// A `run` line for one training request of `kernel`.
+fn run_line(id: u64, kernel: &str, pattern: &str, param: &str, base_seed: u64) -> String {
+    format!(
+        r#"{{"id": {id}, "dtype": "FP16-T", "dim": {DIM}, "kernel": "{kernel}", "pattern": "{pattern}"{param}, "seeds": 1, "lattice": 4, "base_seed": {base_seed}}}"#
+    )
+}
+
+const FAMILIES: [(&str, &str); 8] = [
+    ("gaussian", ""),
+    ("sparse", r#", "sparsity": 0.3"#),
+    ("sparse", r#", "sparsity": 0.7"#),
+    ("sorted_rows", r#", "fraction": 0.5"#),
+    ("value_set", r#", "set_size": 8"#),
+    ("constant", ""),
+    ("zero_lsbs", r#", "count": 6"#),
+    ("zeros", ""),
+];
+
+/// `rounds` rounds over the families for one kernel; seeds disjoint per
+/// kernel so GEMM and GEMV never share a request.
+fn training_lines(kernel: &str, rounds: u64, seed_base: u64) -> Vec<String> {
+    let mut lines = Vec::new();
+    for round in 0..rounds {
+        for (i, (pattern, param)) in FAMILIES.iter().enumerate() {
+            let id = round * 100 + i as u64;
+            lines.push(run_line(id, kernel, pattern, param, seed_base + id));
+        }
+    }
+    lines
+}
+
+fn predict_gemv_line(id: u64) -> String {
+    format!(
+        r#"{{"id": {id}, "op": "predict", "dtype": "FP16-T", "dim": {DIM}, "kernel": "gemv", "pattern": "sparse", "sparsity": 0.45, "seeds": 1, "lattice": 4, "base_seed": 51966}}"#
+    )
+}
+
+fn models(sched: &Scheduler) -> Vec<Json> {
+    let stats = serve_lines(sched, "{\"op\": \"model_stats\"}\n");
+    stats[0].get("models").unwrap().as_arr().unwrap().to_vec()
+}
+
+#[test]
+fn interleaved_traffic_trains_separate_kernel_models() {
+    let sched = Scheduler::with_workers(Fleet::builder().device(a100_pcie()).build(), 2);
+
+    // --- Phase 1: GEMM-only training past readiness. --------------------
+    let mut input = training_lines("gemm", 5, 0xE2E_0000).join("\n");
+    input.push('\n');
+    for r in serve_lines(&sched, &input) {
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "{r}");
+        assert_eq!(r.get("kernel").unwrap().as_str(), Some("gemm"));
+    }
+    let m = models(&sched);
+    assert_eq!(m.len(), 1, "only the GEMM key exists: {m:?}");
+    assert_eq!(m[0].get("kernel").unwrap().as_str(), Some("gemm"));
+    assert_eq!(m[0].get("ready"), Some(&Json::Bool(true)), "{m:?}");
+
+    // A GEMV request must NOT be priced by the ready GEMM model: its own
+    // key is untrained, so the analytic fallback answers.
+    let p = &serve_lines(&sched, &format!("{}\n", predict_gemv_line(900)))[0];
+    assert_eq!(p.get("ok"), Some(&Json::Bool(true)), "{p}");
+    assert_eq!(p.get("kernel").unwrap().as_str(), Some("gemv"));
+    assert_eq!(
+        p.get("source").unwrap().as_str(),
+        Some("analytic"),
+        "a GEMV request must never price from a GEMM-only model: {p}"
+    );
+    assert_eq!(p.get("model_observations").unwrap().as_u64(), Some(0));
+
+    // --- Phase 2: interleaved GEMM+GEMV traffic. ------------------------
+    let gemm = training_lines("gemm", 5, 0xA11_0000);
+    let gemv = training_lines("gemv", 5, 0xB22_0000);
+    let mut interleaved = String::new();
+    for (g, v) in gemm.iter().zip(gemv.iter()) {
+        interleaved.push_str(g);
+        interleaved.push('\n');
+        interleaved.push_str(v);
+        interleaved.push('\n');
+    }
+    for r in serve_lines(&sched, &interleaved) {
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "{r}");
+    }
+
+    // Separate ready models per (architecture, kernel) key.
+    let m = models(&sched);
+    assert_eq!(m.len(), 2, "{m:?}");
+    assert_eq!(m[0].get("kernel").unwrap().as_str(), Some("gemm"));
+    assert_eq!(m[1].get("kernel").unwrap().as_str(), Some("gemv"));
+    for entry in &m {
+        assert_eq!(entry.get("ready"), Some(&Json::Bool(true)), "{entry}");
+        assert_eq!(entry.get("degraded"), Some(&Json::Bool(false)), "{entry}");
+    }
+    assert_eq!(
+        m[0].get("observations").unwrap().as_u64(),
+        Some(80),
+        "GEMV runs must not leak into the GEMM model: {m:?}"
+    );
+    assert_eq!(m[1].get("observations").unwrap().as_u64(), Some(40));
+
+    // --- Phase 3: GEMV traffic now serves from its own keyed model. -----
+    let p = &serve_lines(&sched, &format!("{}\n", predict_gemv_line(901)))[0];
+    assert_eq!(p.get("ok"), Some(&Json::Bool(true)), "{p}");
+    assert_eq!(p.get("source").unwrap().as_str(), Some("learned"), "{p}");
+    assert_eq!(p.get("kernel").unwrap().as_str(), Some("gemv"));
+    assert_eq!(p.get("model_observations").unwrap().as_u64(), Some(40));
+
+    // And a fresh GEMV run's learned estimate lands within the acceptance
+    // band of its own measurement.
+    let r = &serve_lines(
+        &sched,
+        &format!(
+            "{}\n",
+            run_line(950, "gemv", "sparse", r#", "sparsity": 0.55"#, 0xF00D)
+        ),
+    )[0];
+    assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "{r}");
+    assert_eq!(
+        r.get("predicted_source").unwrap().as_str(),
+        Some("learned"),
+        "{r}"
+    );
+    let predicted = r.get("predicted_w").unwrap().as_f64().unwrap();
+    let measured = r.get("measured_w").unwrap().as_f64().unwrap();
+    assert!(
+        (predicted - measured).abs() / measured < 0.15,
+        "learned GEMV {predicted:.1} W vs measured {measured:.1} W"
+    );
+}
