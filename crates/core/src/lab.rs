@@ -24,9 +24,10 @@ fn seed_root(base_seed: u64, s: u64) -> Xoshiro256pp {
 /// Generate the operands of a request's **first seed** (seed index 0) —
 /// exactly the matrices [`PowerLab::run`] executes for `s = 0`.
 ///
-/// For GEMM requests both operands are `dim x dim`; for GEMV requests the
-/// second operand is the `dim x 1` input vector `x` (same decorrelated
-/// pattern stream, vector shape).
+/// For GEMM requests A is `n x k` and the stored B pattern follows the
+/// transposition flag (`m x k` transposed — the paper's default — or
+/// `k x m`); for GEMV requests the second operand is the `k x 1` input
+/// vector `x` (same decorrelated pattern stream, vector shape).
 ///
 /// This is the single source of the first-seed contract: the fleet's
 /// activity probe and the `wm-predict` feature extractor both walk these
@@ -40,17 +41,18 @@ pub fn first_seed_operands(req: &RunRequest) -> (Matrix, Matrix) {
 /// Generate one seed's operand pair from its RNG root (A from fork 0, the
 /// B matrix — or GEMV's x vector — from fork 1).
 fn generate_operands(req: &RunRequest, root: &mut Xoshiro256pp) -> (Matrix, Matrix) {
-    let dim = req.dim;
+    let dims = req.dims();
     let a = req
         .pattern_a
-        .generate(req.dtype, dim, dim, &mut root.fork(0));
-    let b_cols = match req.kernel {
-        KernelClass::Gemm => dim,
-        KernelClass::Gemv => 1,
+        .generate(req.dtype, dims.n, dims.k, &mut root.fork(0));
+    let (b_rows, b_cols) = match req.kernel {
+        KernelClass::Gemm if req.b_transposed => (dims.m, dims.k),
+        KernelClass::Gemm => (dims.k, dims.m),
+        KernelClass::Gemv => (dims.k, 1),
     };
     let b = req
         .pattern_b
-        .generate(req.dtype, dim, b_cols, &mut root.fork(1));
+        .generate(req.dtype, b_rows, b_cols, &mut root.fork(1));
     (a, b)
 }
 
@@ -60,7 +62,7 @@ fn generate_operands(req: &RunRequest, root: &mut Xoshiro256pp) -> (Matrix, Matr
 pub fn simulate_request_activity(req: &RunRequest, a: &Matrix, b: &Matrix) -> ActivityRecord {
     match req.kernel {
         KernelClass::Gemm => {
-            let cfg = GemmConfig::square(req.dim, req.dtype)
+            let cfg = GemmConfig::new(req.dims(), req.dtype)
                 .with_b_transposed(req.b_transposed)
                 .with_sampling(req.sampling);
             simulate(
@@ -88,14 +90,19 @@ pub fn simulate_request_activity(req: &RunRequest, a: &Matrix, b: &Matrix) -> Ac
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunRequest {
     /// Kernel family to execute: GEMM (the paper's workload, default) or
-    /// memory-bound GEMV (LLM decode). GEMV interprets `dim` as the square
-    /// weight matrix edge and streams a `dim x 1` input vector generated
-    /// from `pattern_b`'s stream.
+    /// memory-bound GEMV (LLM decode). GEMV reads the `n x k` weight
+    /// matrix from `pattern_a`'s stream and streams a `k x 1` input
+    /// vector generated from `pattern_b`'s stream; its `m` axis is always
+    /// 1 (see [`RunRequest::dims`]).
     pub kernel: KernelClass,
     /// Datatype setup.
     pub dtype: DType,
-    /// Square problem dimension (the paper uses 2048; 512 for the RTX 6000).
-    pub dim: usize,
+    /// Requested problem shape `n x m x k`. The paper's experiments are
+    /// square (`n = m = k`, 2048; 512 for the RTX 6000); real serving
+    /// traffic is ragged — prefill GEMMs batch `n x m x k` problems and
+    /// decode GEMVs are `n x k` with `n != k`. Prefer [`RunRequest::dims`]
+    /// when consuming: it normalizes the GEMV `m` axis to 1.
+    pub shape: GemmDims,
     /// Input pattern for the A operand.
     pub pattern_a: PatternSpec,
     /// Input pattern for the B operand (usually the same family, its own
@@ -115,13 +122,14 @@ pub struct RunRequest {
 }
 
 impl RunRequest {
-    /// A request with the paper's defaults: same pattern on A and B,
-    /// B transposed, 10 seeds, auto iterations, default sampling lattice.
+    /// A square request with the paper's defaults: same pattern on A and
+    /// B, B transposed, 10 seeds, auto iterations, default sampling
+    /// lattice. Ragged shapes go through [`RunRequest::with_shape`].
     pub fn new(dtype: DType, dim: usize, pattern: PatternSpec) -> Self {
         Self {
             kernel: KernelClass::Gemm,
             dtype,
-            dim,
+            shape: GemmDims::square(dim),
             pattern_a: pattern,
             pattern_b: pattern,
             b_transposed: true,
@@ -138,16 +146,33 @@ impl RunRequest {
         self
     }
 
-    /// The problem dimensions this request executes: `dim`-square for
-    /// GEMM, `dim x 1 x dim` for GEMV (the shape key runtime estimators
-    /// and kernel-shape features work from).
+    /// Override the problem shape with a (possibly ragged) `n x m x k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any axis is zero.
+    pub fn with_shape(mut self, shape: GemmDims) -> Self {
+        assert!(
+            shape.n > 0 && shape.m > 0 && shape.k > 0,
+            "every problem axis must be positive"
+        );
+        self.shape = shape;
+        self
+    }
+
+    /// The problem dimensions this request executes — the shape key that
+    /// runtime estimators, the cache hash, and kernel-shape features work
+    /// from. GEMM executes the requested shape as-is; GEMV executes
+    /// `n x 1 x k` (one streamed vector, whatever `m` the shape carries),
+    /// so a legacy square-`dim` GEMV and an explicit `n x 1 x k` request
+    /// with the same `n`/`k` are the same execution.
     pub fn dims(&self) -> GemmDims {
         match self.kernel {
-            KernelClass::Gemm => GemmDims::square(self.dim),
+            KernelClass::Gemm => self.shape,
             KernelClass::Gemv => GemmDims {
-                n: self.dim,
+                n: self.shape.n,
                 m: 1,
-                k: self.dim,
+                k: self.shape.k,
             },
         }
     }
@@ -475,5 +500,84 @@ mod tests {
     #[should_panic(expected = "at least one seed")]
     fn zero_seeds_rejected() {
         let _ = quick(DType::Fp32, PatternKind::Gaussian).with_seeds(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "axis must be positive")]
+    fn zero_axis_rejected() {
+        let _ = quick(DType::Fp32, PatternKind::Gaussian).with_shape(GemmDims { n: 8, m: 0, k: 8 });
+    }
+
+    #[test]
+    fn ragged_gemm_generates_matching_operands_and_runs() {
+        let shape = GemmDims {
+            n: 96,
+            m: 32,
+            k: 160,
+        };
+        let req = quick(DType::Fp16Tensor, PatternKind::Gaussian).with_shape(shape);
+        assert_eq!(req.dims(), shape);
+        let (a, b) = first_seed_operands(&req);
+        assert_eq!((a.rows(), a.cols()), (96, 160), "A is n x k");
+        assert_eq!(
+            (b.rows(), b.cols()),
+            (32, 160),
+            "stored B is m x k (transposed)"
+        );
+        let (_, b_plain) = first_seed_operands(&req.clone().with_b_transposed(false));
+        assert_eq!(
+            (b_plain.rows(), b_plain.cols()),
+            (160, 32),
+            "plain B is k x m"
+        );
+        let r = PowerLab::new(a100_pcie()).run(&req);
+        assert_eq!(r.activity.dims, shape);
+        assert_eq!(r.activity.total_macs, 96 * 32 * 160);
+        assert!(r.power.mean > 0.0 && r.runtime.mean > 0.0);
+    }
+
+    #[test]
+    fn gemv_is_a_true_n_by_one_by_k_stream() {
+        // Decode shape: tall-thin weights, one streamed vector. The `m`
+        // axis of the requested shape is irrelevant to GEMV execution.
+        let req = quick(DType::Fp16Tensor, PatternKind::Gaussian)
+            .with_kernel(KernelClass::Gemv)
+            .with_shape(GemmDims {
+                n: 64,
+                m: 1,
+                k: 256,
+            });
+        assert_eq!(
+            req.dims(),
+            GemmDims {
+                n: 64,
+                m: 1,
+                k: 256
+            }
+        );
+        let (a, x) = first_seed_operands(&req);
+        assert_eq!((a.rows(), a.cols()), (64, 256), "weights are n x k");
+        assert_eq!((x.rows(), x.cols()), (256, 1), "x is a k-vector");
+        let r = PowerLab::new(a100_pcie()).run(&req);
+        assert_eq!(
+            r.activity.dims,
+            GemmDims {
+                n: 64,
+                m: 1,
+                k: 256
+            }
+        );
+        // A legacy square-dim GEMV request equals the explicit n x 1 x k
+        // spelling of the same execution.
+        let legacy = quick(DType::Fp16Tensor, PatternKind::Gaussian)
+            .with_kernel(KernelClass::Gemv)
+            .with_shape(GemmDims::square(128));
+        let explicit = legacy.clone().with_shape(GemmDims {
+            n: 128,
+            m: 1,
+            k: 128,
+        });
+        assert_eq!(legacy.dims(), explicit.dims());
+        assert_eq!(first_seed_operands(&legacy), first_seed_operands(&explicit));
     }
 }

@@ -18,6 +18,14 @@
 //! memory-bound decode workload); learned models are keyed per
 //! `(architecture, kernel)` so the two regimes never share coefficients.
 //!
+//! Problem shapes may be ragged: `"dim": d` is the legacy square
+//! spelling (`n = m = k = d`, back-compatible), per-axis `"n"`/`"m"`/
+//! `"k"` fields override it, and a GEMV request may omit `"m"` (decode
+//! always executes `n×1×k`) — e.g. a real decode shape is
+//! `{"kernel":"gemv","n":2048,"k":8192,...}`. Axes are validated
+//! per-axis and against total-FLOPs/footprint budgets, and every
+//! run/predict response echoes the effective `n`/`m`/`k`.
+//!
 //! Options:
 //!
 //! ```text

@@ -193,19 +193,32 @@ pub fn write_gpu(h: &mut CanonicalHasher, gpu: &GpuSpec) {
     h.write_f64(gpu.sensor_noise_watts);
 }
 
-/// Fold every field of a run request.
-pub fn write_request(h: &mut CanonicalHasher, req: &RunRequest) {
+/// Fold the activity-relevant fields of a request: everything that
+/// determines its first-seed operands and switching activity. The
+/// *effective* dims ([`RunRequest::dims`]) are folded per axis, so a
+/// legacy square-`dim` GEMV and its explicit `n x 1 x k` spelling hash
+/// equal — they are the same execution.
+fn write_activity_fields(h: &mut CanonicalHasher, req: &RunRequest) {
     h.write_u8(match req.kernel {
         KernelClass::Gemm => 0,
         KernelClass::Gemv => 1,
     });
     h.write_u8(dtype_tag(req.dtype));
-    h.write_usize(req.dim);
+    let dims = req.dims();
+    h.write_usize(dims.n);
+    h.write_usize(dims.m);
+    h.write_usize(dims.k);
     write_pattern(h, &req.pattern_a);
     write_pattern(h, &req.pattern_b);
     h.write_bool(req.b_transposed);
-    h.write_u64(req.seeds);
     h.write_u64(req.base_seed);
+    write_sampling(h, req.sampling);
+}
+
+/// Fold every result-relevant field of a run request.
+pub fn write_request(h: &mut CanonicalHasher, req: &RunRequest) {
+    write_activity_fields(h, req);
+    h.write_u64(req.seeds);
     match req.iterations {
         None => h.write_u8(0),
         Some(it) => {
@@ -213,14 +226,20 @@ pub fn write_request(h: &mut CanonicalHasher, req: &RunRequest) {
             h.write_u64(it);
         }
     }
-    write_sampling(h, req.sampling);
 }
 
-/// Device-independent key of a request (used for the placement probe
-/// cache: switching activity does not depend on the device).
+/// Device-independent key of a request, used for the placement probe and
+/// feature caches: switching activity does not depend on the device, and
+/// both the probe and the feature extractor walk only the first seed's
+/// operands. Fields that cannot move either — `iterations` (a repeat
+/// count) and `seeds` (how many operand sets a *run* averages) — are
+/// deliberately excluded, so requests differing only in those share one
+/// probe instead of re-simulating it. The full memo key
+/// ([`canonical_key`]) keeps them: they do change a run's averaged
+/// result.
 pub fn request_key(req: &RunRequest) -> u64 {
     let mut h = CanonicalHasher::new();
-    write_request(&mut h, req);
+    write_activity_fields(&mut h, req);
     h.finish()
 }
 
@@ -239,6 +258,7 @@ pub fn canonical_key(req: &RunRequest, gpu: &GpuSpec, vm_id: u64) -> u64 {
 mod tests {
     use super::*;
     use wm_gpu::spec::{a100_pcie, v100_sxm2};
+    use wm_gpu::GemmDims;
 
     fn req() -> RunRequest {
         RunRequest::new(
@@ -264,6 +284,34 @@ mod tests {
             canonical_key(&req().with_base_seed(1), &g, 0),
             canonical_key(&req().with_b_transposed(false), &g, 0),
             canonical_key(&req().with_iterations(100), &g, 0),
+            // Each problem axis perturbed independently of the others.
+            canonical_key(
+                &req().with_shape(GemmDims {
+                    n: 257,
+                    m: 256,
+                    k: 256,
+                }),
+                &g,
+                0,
+            ),
+            canonical_key(
+                &req().with_shape(GemmDims {
+                    n: 256,
+                    m: 257,
+                    k: 256,
+                }),
+                &g,
+                0,
+            ),
+            canonical_key(
+                &req().with_shape(GemmDims {
+                    n: 256,
+                    m: 256,
+                    k: 257,
+                }),
+                &g,
+                0,
+            ),
             canonical_key(
                 &req().with_sampling(Sampling::Lattice { rows: 8, cols: 8 }),
                 &g,
@@ -280,6 +328,69 @@ mod tests {
         for (i, v) in variants.iter().enumerate() {
             assert_ne!(base, *v, "variant {i} collided with the base key");
         }
+        // And the ragged variants are pairwise distinct: the axes fold
+        // in a fixed n/m/k order, never summed or mixed.
+        for i in 5..8 {
+            for j in (i + 1)..8 {
+                assert_ne!(variants[i], variants[j], "axes {i}/{j} alias");
+            }
+        }
+    }
+
+    #[test]
+    fn probe_key_ignores_iterations_and_seed_count() {
+        // The probe and feature caches walk only the first seed's
+        // operands; neither `iterations` nor `seeds` changes that data,
+        // so requests differing only there must share one probe entry.
+        let base = request_key(&req());
+        assert_eq!(base, request_key(&req().with_iterations(100)));
+        assert_eq!(base, request_key(&req().with_iterations(20_000)));
+        assert_eq!(base, request_key(&req().with_seeds(3)));
+        // The memo key still separates them: averaged results differ.
+        let g = a100_pcie();
+        assert_ne!(
+            canonical_key(&req(), &g, 0),
+            canonical_key(&req().with_iterations(100), &g, 0)
+        );
+        assert_ne!(
+            canonical_key(&req(), &g, 0),
+            canonical_key(&req().with_seeds(3), &g, 0)
+        );
+        // Activity-relevant knobs still move the probe key.
+        assert_ne!(base, request_key(&req().with_base_seed(1)));
+        assert_ne!(
+            base,
+            request_key(&req().with_shape(GemmDims {
+                n: 256,
+                m: 256,
+                k: 128
+            }))
+        );
+    }
+
+    #[test]
+    fn legacy_square_gemv_aliases_its_explicit_ragged_spelling() {
+        // `{"dim": d, "kernel": "gemv"}` and `{"n": d, "m": 1, "k": d}`
+        // are the same n x 1 x k execution: same probe key, same memo key.
+        let g = a100_pcie();
+        let legacy = req().with_kernel(wm_kernels::KernelClass::Gemv);
+        let explicit = legacy.clone().with_shape(GemmDims {
+            n: 256,
+            m: 1,
+            k: 256,
+        });
+        assert_eq!(request_key(&legacy), request_key(&explicit));
+        assert_eq!(
+            canonical_key(&legacy, &g, 0),
+            canonical_key(&explicit, &g, 0)
+        );
+        // A GEMM with the same story does NOT alias: m is load-bearing.
+        let gemm = req().with_shape(GemmDims {
+            n: 256,
+            m: 1,
+            k: 256,
+        });
+        assert_ne!(canonical_key(&req(), &g, 0), canonical_key(&gemm, &g, 0));
     }
 
     #[test]

@@ -5,15 +5,30 @@
 //! an `"op"`:
 //!
 //! * `"run"` (default) — answer one power query. Fields: `dtype` (paper
-//!   label, e.g. `"FP16"`, `"FP16-T"`, `"INT8"`, case-insensitive), `dim`,
-//!   `kernel` (`"gemm"` — the default — or `"gemv"` for the memory-bound
-//!   decode workload), `pattern` (name, e.g. `"gaussian"`, `"sparse"`,
-//!   `"sorted_rows"`, `"zeros"`), the pattern's parameter
-//!   (`sparsity`/`fraction`/`count`/`probability`/`set_size`, or generic
-//!   `param`), optional `mean`, `std`, `seeds`, `base_seed`,
+//!   label, e.g. `"FP16"`, `"FP16-T"`, `"INT8"`, case-insensitive), the
+//!   problem shape, `kernel` (`"gemm"` — the default — or `"gemv"` for
+//!   the memory-bound decode workload), `pattern` (name, e.g.
+//!   `"gaussian"`, `"sparse"`, `"sorted_rows"`, `"zeros"`), the pattern's
+//!   parameter (`sparsity`/`fraction`/`count`/`probability`/`set_size`,
+//!   or generic `param`), optional `mean`, `std`, `seeds`, `base_seed`,
 //!   `iterations`, `b_transposed`, `lattice` (sampling lattice edge),
 //!   `deadline_us`, and `gpu` (catalog substring to pin, or
 //!   `"auto"`/absent for placement).
+//!
+//!   **Problem shape**: `"dim": d` is the legacy square spelling
+//!   (`n = m = k = d`, exactly what it always meant), and per-axis
+//!   `"n"`/`"m"`/`"k"` fields express ragged `n×m×k` problems. The two
+//!   compose — any explicit axis overrides the square base — and a GEMV
+//!   request may omit `m` entirely (decode streams one vector; `m`
+//!   defaults to 1, and whatever `m` the request carries, GEMV executes
+//!   `n×1×k`). Axes are validated individually (1..=65536) and jointly
+//!   against total-FLOPs and operand-footprint budgets, so ragged shapes
+//!   cannot smuggle in more work than the old square `dim` cap allowed.
+//!   Run and `predict` responses echo the effective `n`/`m`/`k`.
+//!
+//!   Every optional field is type-checked strictly: a field that is
+//!   *present* with the wrong JSON type (`{"seeds": "8"}`, `{"lattice":
+//!   true}`) is an error, never silently the default.
 //! * `"batch"` — `{"requests": [...]}` of `run` objects; answered as one
 //!   `{"results": [...]}` array in submission order, deduplicated through
 //!   the memo cache.
@@ -45,6 +60,7 @@
 use std::io::{BufRead, Write};
 
 use wm_core::RunRequest;
+use wm_gpu::GemmDims;
 use wm_kernels::{KernelClass, Sampling};
 use wm_numerics::DType;
 use wm_patterns::{PatternKind, PatternSpec};
@@ -52,70 +68,184 @@ use wm_patterns::{PatternKind, PatternSpec};
 use crate::json::{obj, Json};
 use crate::scheduler::{FleetJob, FleetResponse, Scheduler};
 
+/// Fetch an optional field strictly: absent is `Ok(None)`, but *present
+/// with the wrong type* is an error. `{"seeds": "8"}` or `{"lattice":
+/// true}` must be rejected, never silently run as if the field were
+/// missing — the client clearly meant to set something.
+fn opt_u64(v: &Json, key: &str) -> Result<Option<u64>, String> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(f) => f
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("\"{key}\" must be a non-negative integer")),
+    }
+}
+
+/// Strict optional usize field (see [`opt_u64`]).
+fn opt_usize(v: &Json, key: &str) -> Result<Option<usize>, String> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(f) => f
+            .as_usize()
+            .map(Some)
+            .ok_or_else(|| format!("\"{key}\" must be a non-negative integer")),
+    }
+}
+
+/// Strict optional number field (see [`opt_u64`]).
+fn opt_f64(v: &Json, key: &str) -> Result<Option<f64>, String> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(f) => f
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| format!("\"{key}\" must be a number")),
+    }
+}
+
+/// Strict optional boolean field (see [`opt_u64`]).
+fn opt_bool(v: &Json, key: &str) -> Result<Option<bool>, String> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(f) => f
+            .as_bool()
+            .map(Some)
+            .ok_or_else(|| format!("\"{key}\" must be a boolean")),
+    }
+}
+
+/// Strict optional string field (see [`opt_u64`]).
+fn opt_str<'a>(v: &'a Json, key: &str) -> Result<Option<&'a str>, String> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(f) => f
+            .as_str()
+            .map(Some)
+            .ok_or_else(|| format!("\"{key}\" must be a string")),
+    }
+}
+
+/// Resolve the requested problem shape from the square `dim` base and
+/// the per-axis `n`/`m`/`k` overrides, validating every axis. `{"dim":
+/// d}` alone is the legacy square request; any axis given explicitly
+/// overrides the square base, and a GEMV request may omit `m` entirely
+/// (decode streams exactly one vector, so it defaults to 1). Total-work
+/// budgets are checked separately, in [`check_budgets`], against the
+/// request's *effective* dims.
+fn parse_dims(v: &Json, kernel: KernelClass) -> Result<GemmDims, String> {
+    let dim = opt_usize(v, "dim")?;
+    if let Some(d) = dim {
+        if d == 0 || d > MAX_AXIS {
+            return Err(format!("\"dim\" must be in 1..={MAX_AXIS}"));
+        }
+    }
+    let n = opt_usize(v, "n")?;
+    let m = opt_usize(v, "m")?;
+    let k = opt_usize(v, "k")?;
+    if dim.is_none() && n.is_none() && m.is_none() && k.is_none() {
+        return Err(
+            "missing problem shape: give square \"dim\" and/or per-axis \"n\"/\"m\"/\"k\"".into(),
+        );
+    }
+    let resolve =
+        |label: &str, axis: Option<usize>, fallback: Option<usize>| -> Result<usize, String> {
+            let value = axis.or(dim).or(fallback).ok_or_else(|| {
+                format!("missing \"{label}\" (give it explicitly or via square \"dim\")")
+            })?;
+            if value == 0 || value > MAX_AXIS {
+                return Err(format!("\"{label}\" must be in 1..={MAX_AXIS}"));
+            }
+            Ok(value)
+        };
+    let m_fallback = match kernel {
+        KernelClass::Gemv => Some(1),
+        KernelClass::Gemm => None,
+    };
+    Ok(GemmDims {
+        n: resolve("n", n, None)?,
+        m: resolve("m", m, m_fallback)?,
+        k: resolve("k", k, None)?,
+    })
+}
+
+/// Bound the total work of the dims a request will *execute*
+/// ([`RunRequest::dims`], so GEMV's `n x 1 x k` normalization lives in
+/// exactly one place): per-axis caps alone would still admit e.g. a
+/// 65536² GEMM, so total FLOPs and operand footprint are bounded too —
+/// the ragged generalization of the old square `MAX_DIM` check.
+fn check_budgets(dims: GemmDims, dtype: DType) -> Result<(), String> {
+    if dims.flops() > MAX_FLOPS {
+        return Err(format!(
+            "problem too large: {} GFLOP exceeds the {} GFLOP budget",
+            dims.flops() / 1_000_000_000,
+            MAX_FLOPS / 1_000_000_000
+        ));
+    }
+    let bytes = dims.working_set_bytes(dtype.bytes());
+    if bytes > MAX_WORKING_SET_BYTES {
+        return Err(format!(
+            "operands too large: {} MiB working set exceeds the {} MiB budget",
+            bytes >> 20,
+            MAX_WORKING_SET_BYTES >> 20
+        ));
+    }
+    Ok(())
+}
+
 /// Parse a `run` request object into a fleet job.
 fn parse_job(v: &Json, sched: &Scheduler) -> Result<FleetJob, String> {
-    let dtype_label = v
-        .get("dtype")
-        .and_then(Json::as_str)
-        .ok_or("missing \"dtype\"")?;
+    let dtype_label = opt_str(v, "dtype")?.ok_or("missing \"dtype\"")?;
     let dtype = DType::parse(dtype_label)
         .ok_or_else(|| format!("unknown dtype {dtype_label:?} (use FP32/FP16/FP16-T/BF16/INT8)"))?;
-    let dim = v
-        .get("dim")
-        .and_then(Json::as_usize)
-        .ok_or("missing \"dim\"")?;
-    if dim == 0 || dim > MAX_DIM {
-        return Err(format!("\"dim\" must be in 1..={MAX_DIM}"));
-    }
     // Absent means GEMM; *present* must be a valid string — a client
     // encoding the kernel any other way must not silently run GEMM.
-    let kernel = match v.get("kernel") {
+    let kernel = match opt_str(v, "kernel")? {
         None => KernelClass::Gemm,
-        Some(field) => {
-            let label = field
-                .as_str()
-                .ok_or("\"kernel\" must be a string (\"gemm\" or \"gemv\")")?;
-            KernelClass::parse(label)
-                .ok_or_else(|| format!("unknown kernel {label:?} (use \"gemm\" or \"gemv\")"))?
-        }
+        Some(label) => KernelClass::parse(label)
+            .ok_or_else(|| format!("unknown kernel {label:?} (use \"gemm\" or \"gemv\")"))?,
     };
+    let shape = parse_dims(v, kernel)?;
     let kind = parse_pattern(v)?;
     let mut spec = PatternSpec::new(kind);
-    if let Some(mean) = v.get("mean").and_then(Json::as_f64) {
+    if let Some(mean) = opt_f64(v, "mean")? {
         if !mean.is_finite() {
             return Err("\"mean\" must be finite".into());
         }
         spec = spec.with_mean(mean);
     }
-    if let Some(std) = v.get("std").and_then(Json::as_f64) {
+    if let Some(std) = opt_f64(v, "std")? {
         if !std.is_finite() || std <= 0.0 {
             return Err("\"std\" must be finite and positive".into());
         }
         spec = spec.with_std(std);
     }
 
-    let mut req = RunRequest::new(dtype, dim, spec).with_kernel(kernel);
-    if let Some(seeds) = v.get("seeds").and_then(Json::as_u64) {
+    let mut req = RunRequest::new(dtype, shape.n, spec)
+        .with_kernel(kernel)
+        .with_shape(shape);
+    check_budgets(req.dims(), dtype)?;
+    if let Some(seeds) = opt_u64(v, "seeds")? {
         if seeds == 0 || seeds > MAX_SEEDS {
             return Err(format!("\"seeds\" must be in 1..={MAX_SEEDS}"));
         }
         req = req.with_seeds(seeds);
     }
-    if let Some(base) = v.get("base_seed").and_then(Json::as_u64) {
+    if let Some(base) = opt_u64(v, "base_seed")? {
         req = req.with_base_seed(base);
     }
-    if let Some(iters) = v.get("iterations").and_then(Json::as_u64) {
+    if let Some(iters) = opt_u64(v, "iterations")? {
         if iters == 0 {
             return Err("\"iterations\" must be positive".into());
         }
         req = req.with_iterations(iters);
     }
-    if let Some(t) = v.get("b_transposed").and_then(Json::as_bool) {
+    if let Some(t) = opt_bool(v, "b_transposed")? {
         req = req.with_b_transposed(t);
     }
-    if let Some(edge) = v.get("lattice").and_then(Json::as_usize) {
-        if edge == 0 || edge > MAX_DIM {
-            return Err(format!("\"lattice\" must be in 1..={MAX_DIM}"));
+    if let Some(edge) = opt_usize(v, "lattice")? {
+        if edge == 0 || edge > MAX_AXIS {
+            return Err(format!("\"lattice\" must be in 1..={MAX_AXIS}"));
         }
         req = req.with_sampling(Sampling::Lattice {
             rows: edge,
@@ -123,7 +253,7 @@ fn parse_job(v: &Json, sched: &Scheduler) -> Result<FleetJob, String> {
         });
     }
 
-    let mut job = match v.get("gpu").and_then(Json::as_str) {
+    let mut job = match opt_str(v, "gpu")? {
         None => FleetJob::new(req),
         Some(name) if name.eq_ignore_ascii_case("auto") => FleetJob::new(req),
         Some(name) => {
@@ -142,18 +272,25 @@ fn parse_job(v: &Json, sched: &Scheduler) -> Result<FleetJob, String> {
             FleetJob::pinned(req, device.id)
         }
     };
-    if let Some(us) = v.get("deadline_us").and_then(Json::as_f64) {
-        if us <= 0.0 {
-            return Err("\"deadline_us\" must be positive".into());
+    if let Some(us) = opt_f64(v, "deadline_us")? {
+        if !us.is_finite() || us <= 0.0 {
+            return Err("\"deadline_us\" must be finite and positive".into());
         }
         job = job.with_deadline_s(us * 1e-6);
     }
     Ok(job)
 }
 
-/// Upper bound on problem dimension and lattice edge: a 4096² FP32
-/// operand is already 64 MiB; anything larger is a typo or abuse.
-const MAX_DIM: usize = 4096;
+/// Upper bound on any single problem axis (and the sampling-lattice
+/// edge): a 65536-long axis is the largest any serving shape plausibly
+/// needs; anything larger is a typo or abuse.
+const MAX_AXIS: usize = 65_536;
+/// Total-work budget: the FLOP count of the legacy 4096-square ceiling
+/// (`2 * 4096³ = 2³⁷`). Per-axis caps alone cannot bound ragged work.
+const MAX_FLOPS: u64 = 1 << 37;
+/// Operand-footprint budget (A + B + D at the request's element width):
+/// 256 MiB, just above the legacy 4096² FP32 working set (192 MiB).
+const MAX_WORKING_SET_BYTES: u64 = 256 * 1024 * 1024;
 /// Upper bound on the seed-averaging count.
 const MAX_SEEDS: u64 = 100;
 /// Upper bound on bit counts (no supported encoding is wider than 32).
@@ -161,10 +298,18 @@ const MAX_BIT_COUNT: f64 = 64.0;
 /// Upper bound on value-set sizes.
 const MAX_SET_SIZE: f64 = 65536.0;
 
-fn pattern_param(v: &Json, keys: &[&str]) -> Option<f64> {
-    keys.iter()
-        .chain(["param"].iter())
-        .find_map(|k| v.get(k).and_then(Json::as_f64))
+/// First present key of `keys` (or generic `"param"`), strictly numeric:
+/// a present-but-non-number parameter is an error, not "absent".
+fn pattern_param(v: &Json, keys: &[&str]) -> Result<Option<f64>, String> {
+    for key in keys.iter().chain(["param"].iter()) {
+        if let Some(f) = v.get(key) {
+            return f
+                .as_f64()
+                .map(Some)
+                .ok_or_else(|| format!("\"{key}\" must be a number"));
+        }
+    }
+    Ok(None)
 }
 
 /// Range-check a fractional pattern parameter: the generators `assert!`
@@ -189,25 +334,23 @@ fn bit_count(name: &str, value: f64) -> Result<u32, String> {
 }
 
 fn parse_pattern(v: &Json) -> Result<PatternKind, String> {
-    let name = v
-        .get("pattern")
-        .and_then(Json::as_str)
+    let name = opt_str(v, "pattern")?
         .unwrap_or("gaussian")
         .to_ascii_lowercase();
     let fraction = || {
-        pattern_param(v, &["fraction", "sparsity", "probability"])
+        pattern_param(v, &["fraction", "sparsity", "probability"])?
             .ok_or_else(|| format!("pattern {name:?} needs a fractional parameter"))
             .and_then(|f| unit_interval("the fractional parameter", f))
     };
     let count = || {
-        pattern_param(v, &["count"])
+        pattern_param(v, &["count"])?
             .ok_or_else(|| format!("pattern {name:?} needs \"count\""))
             .and_then(|c| bit_count("\"count\"", c))
     };
     match name.as_str() {
         "gaussian" => Ok(PatternKind::Gaussian),
         "value_set" => {
-            let n = pattern_param(v, &["set_size"])
+            let n = pattern_param(v, &["set_size"])?
                 .ok_or("pattern \"value_set\" needs \"set_size\"")?;
             if !(n.is_finite() && (1.0..=MAX_SET_SIZE).contains(&n) && n.fract() == 0.0) {
                 return Err(format!(
@@ -247,6 +390,7 @@ fn parse_pattern(v: &Json) -> Result<PatternKind, String> {
 }
 
 fn run_payload(r: &FleetResponse) -> Vec<(&'static str, Json)> {
+    let dims = r.result.activity.dims;
     vec![
         ("device", Json::Num(r.device as f64)),
         ("gpu", Json::Str(r.gpu_name.to_string())),
@@ -256,6 +400,11 @@ fn run_payload(r: &FleetResponse) -> Vec<(&'static str, Json)> {
             "kernel",
             Json::Str(r.result.activity.kernel.label().to_string()),
         ),
+        // The effective problem shape executed (GEMV reports m = 1,
+        // whatever spelling the request used).
+        ("n", Json::Num(dims.n as f64)),
+        ("m", Json::Num(dims.m as f64)),
+        ("k", Json::Num(dims.k as f64)),
         ("power_w", Json::Num(r.result.power.mean)),
         ("power_std_w", Json::Num(r.result.power.std)),
         (
@@ -309,7 +458,10 @@ fn err_response(id: Json, message: &str) -> Json {
 /// Answer one parsed request object.
 pub fn answer(v: &Json, sched: &Scheduler) -> Json {
     let id = v.get("id").cloned().unwrap_or(Json::Null);
-    let op = v.get("op").and_then(Json::as_str).unwrap_or("run");
+    let op = match opt_str(v, "op") {
+        Ok(op) => op.unwrap_or("run"),
+        Err(msg) => return err_response(id, &msg),
+    };
     match op {
         "ping" => ok_response(id, vec![("pong", Json::Bool(true))]),
         "stats" => {
@@ -354,6 +506,9 @@ pub fn answer(v: &Json, sched: &Scheduler) -> Json {
                         ("device", Json::Num(p.device as f64)),
                         ("gpu", Json::Str(p.gpu_name.to_string())),
                         ("kernel", Json::Str(p.kernel.label().to_string())),
+                        ("n", Json::Num(p.dims.n as f64)),
+                        ("m", Json::Num(p.dims.m as f64)),
+                        ("k", Json::Num(p.dims.k as f64)),
                         ("predicted_w", Json::Num(p.predicted_w)),
                         ("source", Json::Str(p.source.label().to_string())),
                         ("model_observations", Json::Num(p.model_observations as f64)),
@@ -693,6 +848,251 @@ mod tests {
             0,
             "boundary violations must be rejected at parse, never in a worker"
         );
+    }
+
+    #[test]
+    fn wrong_typed_optional_fields_error_not_default() {
+        // Every optional field, present with the wrong JSON type, must be
+        // rejected — never fall through to the default as if absent
+        // (`{"seeds": "8"}` used to run silently with the default seeds).
+        let s = sched();
+        let base = r#""dtype": "fp32", "dim": 64, "pattern": "zeros""#;
+        let with_base: Vec<(&str, &str)> = vec![
+            (
+                r#""seeds": "8""#,
+                "\"seeds\" must be a non-negative integer",
+            ),
+            (
+                r#""seeds": 3.5"#,
+                "\"seeds\" must be a non-negative integer",
+            ),
+            (r#""seeds": -1"#, "\"seeds\" must be a non-negative integer"),
+            (
+                r#""base_seed": true"#,
+                "\"base_seed\" must be a non-negative integer",
+            ),
+            (
+                r#""iterations": "100""#,
+                "\"iterations\" must be a non-negative integer",
+            ),
+            (r#""b_transposed": 1"#, "\"b_transposed\" must be a boolean"),
+            (
+                r#""lattice": true"#,
+                "\"lattice\" must be a non-negative integer",
+            ),
+            (r#""mean": "0""#, "\"mean\" must be a number"),
+            (r#""std": [1]"#, "\"std\" must be a number"),
+            (r#""deadline_us": "5""#, "\"deadline_us\" must be a number"),
+            (r#""gpu": 5"#, "\"gpu\" must be a string"),
+            (r#""kernel": 1"#, "\"kernel\" must be a string"),
+            (r#""n": "64""#, "\"n\" must be a non-negative integer"),
+            (r#""m": [64]"#, "\"m\" must be a non-negative integer"),
+            (r#""k": null"#, "\"k\" must be a non-negative integer"),
+        ];
+        for (field, needle) in with_base {
+            let line = format!("{{{base}, {field}}}");
+            let v = run_line(&s, &line);
+            assert_eq!(v.get("ok"), Some(&Json::Bool(false)), "{line} -> {v}");
+            let err = v.get("error").unwrap().as_str().unwrap();
+            assert!(err.contains(needle), "{line} -> {err}");
+        }
+        // Fields that clash with the base object (the parser reads the
+        // first occurrence of a duplicate key) and pattern parameters
+        // that need their matching pattern get full request lines.
+        for (line, needle) in [
+            (
+                r#"{"dtype": 5, "dim": 64, "pattern": "zeros"}"#,
+                "\"dtype\" must be a string",
+            ),
+            (
+                r#"{"dtype": "fp32", "dim": "64", "pattern": "zeros"}"#,
+                "\"dim\" must be a non-negative integer",
+            ),
+            (
+                r#"{"dtype": "fp32", "dim": 64, "pattern": 5}"#,
+                "\"pattern\" must be a string",
+            ),
+            (
+                r#"{"dtype": "fp32", "dim": 64, "pattern": "sparse", "sparsity": "0.5"}"#,
+                "\"sparsity\" must be a number",
+            ),
+            (
+                r#"{"dtype": "fp32", "dim": 64, "pattern": "zero_lsbs", "count": "6"}"#,
+                "\"count\" must be a number",
+            ),
+            (
+                r#"{"dtype": "fp32", "dim": 64, "pattern": "value_set", "set_size": "16"}"#,
+                "\"set_size\" must be a number",
+            ),
+            (
+                r#"{"dtype": "fp32", "dim": 64, "pattern": "sparse", "param": {}}"#,
+                "\"param\" must be a number",
+            ),
+            // A wrong-typed "op" errors too (it would otherwise run).
+            (
+                r#"{"dtype": "fp32", "dim": 64, "pattern": "zeros", "op": 1}"#,
+                "\"op\" must be a string",
+            ),
+        ] {
+            let v = run_line(&s, line);
+            assert_eq!(v.get("ok"), Some(&Json::Bool(false)), "{line} -> {v}");
+            let err = v.get("error").unwrap().as_str().unwrap();
+            assert!(err.contains(needle), "{line} -> {err}");
+        }
+        assert_eq!(s.stats().failed, 0, "all rejected at parse");
+        // The well-typed spellings of the same fields still work.
+        let ok = run_line(
+            &s,
+            &format!("{{{base}, \"seeds\": 1, \"lattice\": 4, \"gpu\": \"a100\", \"b_transposed\": true}}"),
+        );
+        assert_eq!(ok.get("ok"), Some(&Json::Bool(true)), "{ok}");
+    }
+
+    #[test]
+    fn ragged_shapes_parse_run_and_echo() {
+        let s = sched();
+        // A ragged GEMM via explicit axes; the response echoes them.
+        let v = run_line(
+            &s,
+            r#"{"dtype": "fp16-t", "n": 96, "m": 32, "k": 160, "pattern": "gaussian", "seeds": 1, "lattice": 4, "gpu": "a100"}"#,
+        );
+        assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "{v}");
+        assert_eq!(v.get("n").unwrap().as_u64(), Some(96));
+        assert_eq!(v.get("m").unwrap().as_u64(), Some(32));
+        assert_eq!(v.get("k").unwrap().as_u64(), Some(160));
+        assert!(v.get("power_w").unwrap().as_f64().unwrap() > 0.0);
+        // Square `dim` base with one axis overridden.
+        let v = run_line(
+            &s,
+            r#"{"dtype": "fp16-t", "dim": 64, "k": 128, "pattern": "zeros", "seeds": 1, "lattice": 4, "gpu": "a100"}"#,
+        );
+        assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "{v}");
+        assert_eq!(v.get("n").unwrap().as_u64(), Some(64));
+        assert_eq!(v.get("m").unwrap().as_u64(), Some(64));
+        assert_eq!(v.get("k").unwrap().as_u64(), Some(128));
+        // A decode GEMV may omit m entirely; the echo reports m = 1.
+        let v = run_line(
+            &s,
+            r#"{"dtype": "fp16-t", "kernel": "gemv", "n": 64, "k": 256, "pattern": "gaussian", "seeds": 1, "lattice": 4, "gpu": "a100"}"#,
+        );
+        assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "{v}");
+        assert_eq!(v.get("kernel").unwrap().as_str(), Some("gemv"));
+        assert_eq!(v.get("n").unwrap().as_u64(), Some(64));
+        assert_eq!(v.get("m").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("k").unwrap().as_u64(), Some(256));
+        // predict echoes the effective shape too.
+        let p = run_line(
+            &s,
+            r#"{"op": "predict", "dtype": "fp16-t", "kernel": "gemv", "n": 64, "k": 256, "pattern": "gaussian", "seeds": 1, "lattice": 4}"#,
+        );
+        assert_eq!(p.get("ok"), Some(&Json::Bool(true)), "{p}");
+        assert_eq!(p.get("n").unwrap().as_u64(), Some(64));
+        assert_eq!(p.get("m").unwrap().as_u64(), Some(1));
+        assert_eq!(p.get("k").unwrap().as_u64(), Some(256));
+    }
+
+    #[test]
+    fn legacy_square_dim_cache_hits_its_explicit_spelling() {
+        let s = sched();
+        let legacy = run_line(
+            &s,
+            r#"{"dtype": "fp16-t", "dim": 64, "pattern": "zeros", "seeds": 1, "lattice": 4, "gpu": "a100"}"#,
+        );
+        assert_eq!(legacy.get("ok"), Some(&Json::Bool(true)), "{legacy}");
+        assert_eq!(legacy.get("cache_hit"), Some(&Json::Bool(false)));
+        // The same request spelled per-axis is the same cache entry.
+        let explicit = run_line(
+            &s,
+            r#"{"dtype": "fp16-t", "n": 64, "m": 64, "k": 64, "pattern": "zeros", "seeds": 1, "lattice": 4, "gpu": "a100"}"#,
+        );
+        assert_eq!(explicit.get("ok"), Some(&Json::Bool(true)), "{explicit}");
+        assert_eq!(explicit.get("cache_hit"), Some(&Json::Bool(true)));
+        assert_eq!(
+            legacy.get("power_w").unwrap().as_f64(),
+            explicit.get("power_w").unwrap().as_f64()
+        );
+        // Legacy square GEMV aliases its n x 1 x k spelling the same way.
+        let gemv_legacy = run_line(
+            &s,
+            r#"{"dtype": "fp16-t", "kernel": "gemv", "dim": 64, "pattern": "zeros", "seeds": 1, "lattice": 4, "gpu": "a100"}"#,
+        );
+        assert_eq!(
+            gemv_legacy.get("ok"),
+            Some(&Json::Bool(true)),
+            "{gemv_legacy}"
+        );
+        assert_eq!(gemv_legacy.get("m").unwrap().as_u64(), Some(1));
+        let gemv_explicit = run_line(
+            &s,
+            r#"{"dtype": "fp16-t", "kernel": "gemv", "n": 64, "m": 1, "k": 64, "pattern": "zeros", "seeds": 1, "lattice": 4, "gpu": "a100"}"#,
+        );
+        assert_eq!(gemv_explicit.get("cache_hit"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn shape_validation_rejects_missing_axes_and_blown_budgets() {
+        let s = sched();
+        for (line, needle) in [
+            // No shape at all.
+            (
+                r#"{"dtype": "fp32", "pattern": "zeros"}"#,
+                "missing problem shape",
+            ),
+            // Partial axes without a square base.
+            (
+                r#"{"dtype": "fp32", "n": 64, "k": 64, "pattern": "zeros"}"#,
+                "missing \"m\"",
+            ),
+            (
+                r#"{"dtype": "fp32", "m": 64, "pattern": "zeros"}"#,
+                "missing \"n\"",
+            ),
+            // Zero and oversized axes.
+            (
+                r#"{"dtype": "fp32", "n": 0, "m": 64, "k": 64, "pattern": "zeros"}"#,
+                "\"n\" must be in 1..=65536",
+            ),
+            (
+                r#"{"dtype": "fp32", "dim": 100000, "pattern": "zeros"}"#,
+                "\"dim\" must be in 1..=65536",
+            ),
+            (
+                r#"{"dtype": "fp32", "dim": 64, "k": 70000, "pattern": "zeros"}"#,
+                "\"k\" must be in 1..=65536",
+            ),
+            // Per-axis caps pass but the FLOP budget trips (2·4097³ > 2³⁷).
+            (
+                r#"{"dtype": "fp16-t", "dim": 4097, "pattern": "zeros"}"#,
+                "GFLOP budget",
+            ),
+            // Cheap FLOPs, blown operand footprint (~268 MiB of FP32 A+B+D).
+            (
+                r#"{"dtype": "fp32", "n": 8192, "m": 8192, "k": 16, "pattern": "zeros"}"#,
+                "MiB budget",
+            ),
+        ] {
+            let v = run_line(&s, line);
+            assert_eq!(v.get("ok"), Some(&Json::Bool(false)), "{line} -> {v}");
+            let err = v.get("error").unwrap().as_str().unwrap();
+            assert!(err.contains(needle), "{line} -> {err}");
+        }
+        // The legacy square ceiling still executes: the budgets were
+        // calibrated so `dim = 4096` stays exactly admissible. Parsing
+        // proves admissibility; `predict` exercises the path without
+        // paying for a 4096² simulation in a unit test.
+        let v = run_line(
+            &s,
+            r#"{"op": "predict", "dtype": "fp16-t", "dim": 4096, "pattern": "zeros", "seeds": 1}"#,
+        );
+        assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "{v}");
+        // A GEMV's m never counts against its budgets: the same blown-m
+        // shape is fine when decode executes n x 1 x k.
+        let v = run_line(
+            &s,
+            r#"{"op": "predict", "dtype": "fp32", "kernel": "gemv", "n": 8192, "m": 8192, "k": 16, "pattern": "zeros", "seeds": 1}"#,
+        );
+        assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "{v}");
+        assert_eq!(s.stats().failed, 0, "rejected at parse, never in a worker");
     }
 
     #[test]

@@ -194,6 +194,9 @@ pub struct PredictOutcome {
     /// The kernel class whose keyed model was consulted (the request's
     /// kernel — also the model key a `"learned"` answer came from).
     pub kernel: KernelClass,
+    /// The effective problem shape the job would execute
+    /// ([`RunRequest::dims`]: GEMV reports `m = 1`).
+    pub dims: wm_gpu::GemmDims,
     /// Predicted board power at the governor-resolved clock, watts.
     pub predicted_w: f64,
     /// Which pricing path produced the number.
@@ -361,6 +364,18 @@ impl Scheduler {
         self.inner.cache.len()
     }
 
+    /// Number of distinct activity probes cached. Probes are keyed by
+    /// the device-independent [`request_key`], which drops
+    /// activity-irrelevant fields (`iterations`, `seeds`), so identical
+    /// requests differing only there share one probe.
+    pub fn probed_requests(&self) -> usize {
+        self.inner
+            .probes
+            .lock()
+            .expect("probe cache poisoned")
+            .len()
+    }
+
     /// Per-device execution counters (utilization, simulated seconds,
     /// joules) over the fresh computes this scheduler has run.
     pub fn device_stats(&self) -> Vec<DeviceStats> {
@@ -442,6 +457,7 @@ impl Scheduler {
                     device: dev.id,
                     gpu_name: dev.gpu.name,
                     kernel,
+                    dims: job.request.dims(),
                     predicted_w,
                     source,
                     model_observations: observations,
@@ -459,6 +475,7 @@ impl Scheduler {
                     device: placement.device,
                     gpu_name: dev.gpu.name,
                     kernel,
+                    dims: job.request.dims(),
                     predicted_w: placement.predicted_w,
                     source: placement.source,
                     model_observations: observations,
@@ -1108,6 +1125,36 @@ mod tests {
             "learned GEMV {predicted} W vs measured {} W (APE {ape})",
             fresh.measured_w
         );
+    }
+
+    #[test]
+    fn probe_cache_hits_across_iteration_counts() {
+        // Switching activity does not depend on the iteration count, so
+        // identical requests differing only there (or in the seed count)
+        // must share one probe instead of re-simulating it.
+        let sched = Scheduler::with_workers(Fleet::homogeneous(a100_pcie(), 2), 2);
+        let req = quick(PatternKind::Gaussian, 31);
+        sched
+            .predict(&FleetJob::new(req.clone().with_iterations(10)))
+            .unwrap();
+        assert_eq!(sched.probed_requests(), 1);
+        sched
+            .predict(&FleetJob::new(req.clone().with_iterations(20_000)))
+            .unwrap();
+        sched.predict(&FleetJob::new(req.clone())).unwrap();
+        sched
+            .predict(&FleetJob::new(req.clone().with_seeds(7)))
+            .unwrap();
+        assert_eq!(
+            sched.probed_requests(),
+            1,
+            "iteration/seed variants must reuse the probe"
+        );
+        // An activity-relevant change probes afresh.
+        sched
+            .predict(&FleetJob::new(req.with_base_seed(99)))
+            .unwrap();
+        assert_eq!(sched.probed_requests(), 2);
     }
 
     #[test]

@@ -266,6 +266,155 @@ mod tests {
     }
 
     #[test]
+    fn misaligning_any_single_axis_costs_efficiency() {
+        // The CUTLASS alignment requirement is per axis (n%128, m%128,
+        // k%32): breaking any one of them alone drops to the unaligned
+        // base, so a ragged serving shape never silently prices as if it
+        // tiled perfectly.
+        let g = a100_pcie();
+        let aligned = cutlass_efficiency(&g, GemmDims::square(2048));
+        for ragged in [
+            GemmDims {
+                n: 2040,
+                m: 2048,
+                k: 2048,
+            }, // n % 128 != 0
+            GemmDims {
+                n: 2048,
+                m: 2040,
+                k: 2048,
+            }, // m % 128 != 0
+            GemmDims {
+                n: 2048,
+                m: 2048,
+                k: 2040,
+            }, // k % 32 != 0
+        ] {
+            let e = cutlass_efficiency(&g, ragged);
+            assert!(
+                e < aligned,
+                "{ragged:?}: efficiency {e} must sit below aligned {aligned}"
+            );
+        }
+        // Raggedness per se is not penalized, misalignment is: an
+        // all-aligned ragged shape beats the same shape nudged off the
+        // tile grid (which also ramps and occupies slightly *less*, so
+        // the gap is strictly the alignment base).
+        let ragged_aligned = cutlass_efficiency(
+            &g,
+            GemmDims {
+                n: 1024,
+                m: 256,
+                k: 2048,
+            },
+        );
+        let ragged_misaligned = cutlass_efficiency(
+            &g,
+            GemmDims {
+                n: 1000,
+                m: 250,
+                k: 2040,
+            },
+        );
+        assert!(
+            ragged_aligned > ragged_misaligned,
+            "aligned ragged {ragged_aligned} must beat misaligned ragged {ragged_misaligned}"
+        );
+    }
+
+    #[test]
+    fn ragged_dram_traffic_is_exact_per_operand() {
+        // Within-L2 shapes pay exactly compulsory traffic, per operand:
+        // A is n*k, B is k*m, D is n*m — not three copies of a square.
+        let g = a100_pcie();
+        let dims = GemmDims {
+            n: 256,
+            m: 64,
+            k: 1024,
+        };
+        let el = DType::Fp16Tensor.bytes() as u64;
+        let est = iteration_time(&g, dims, DType::Fp16Tensor);
+        assert_eq!(
+            est.dram_bytes,
+            (256 * 1024 + 1024 * 64 + 256 * 64) as u64 * el
+        );
+        // Growing one axis grows exactly that operand's traffic.
+        let wider = iteration_time(
+            &g,
+            GemmDims {
+                n: 256,
+                m: 128,
+                k: 1024,
+            },
+            DType::Fp16Tensor,
+        );
+        assert_eq!(
+            wider.dram_bytes - est.dram_bytes,
+            (1024 * 64 + 256 * 64) as u64 * el,
+            "widening m adds one B panel and one D panel"
+        );
+    }
+
+    #[test]
+    fn thin_gemm_loses_to_the_gemv_estimator_on_decode_shapes() {
+        // An n x 1 x k problem pushed through the GEMM roofline collapses
+        // its prologue ramp and wave occupancy (a one-column grid leaves
+        // almost every SM idle) — which is exactly why decode runs GEMV.
+        // The dedicated streaming estimator must beat it on the same
+        // shape, and the model must keep that ordering.
+        let g = a100_pcie();
+        let thin = iteration_time(
+            &g,
+            GemmDims {
+                n: 2048,
+                m: 1,
+                k: 2048,
+            },
+            DType::Fp16Tensor,
+        );
+        let gemv = gemv_time(&g, 2048, 2048, DType::Fp16Tensor);
+        assert!(
+            thin.t_iter_s > gemv.t_iter_s,
+            "CUTLASS-shaped thin GEMM {} s must lose to the GEMV stream {} s",
+            thin.t_iter_s,
+            gemv.t_iter_s
+        );
+        // A fat ragged shape keeps the compute-bound regime.
+        let fat = iteration_time(
+            &g,
+            GemmDims {
+                n: 2048,
+                m: 1024,
+                k: 4096,
+            },
+            DType::Fp16Tensor,
+        );
+        assert!(fat.t_compute_s > fat.t_dram_s);
+    }
+
+    #[test]
+    fn ragged_gemv_traffic_tracks_n_times_k() {
+        // GEMV's n x 1 x k stream: exactly one pass over the n*k weights
+        // plus the k-vector in and the n-vector out.
+        let g = a100_pcie();
+        let el = DType::Fp16.bytes() as u64;
+        let est = gemv_time(&g, 2048, 8192, DType::Fp16);
+        assert_eq!(est.dram_bytes, (2048 * 8192 + 8192 + 2048) as u64 * el);
+        // Swapping n and k moves the vector terms but not the weight
+        // stream; the ragged decode shape is not square-symmetric.
+        let swapped = gemv_time(&g, 8192, 2048, DType::Fp16);
+        assert_eq!(swapped.dram_bytes, est.dram_bytes);
+        assert!(
+            est.t_dram_s > est.t_compute_s,
+            "ragged GEMV is memory-bound"
+        );
+        // Runtime scales with the weight area, not the aspect ratio.
+        let quarter = gemv_time(&g, 2048, 2048, DType::Fp16);
+        let ratio = est.t_dram_s / quarter.t_dram_s;
+        assert!((ratio - 4.0).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
     fn gemv_is_memory_bound_on_the_a100() {
         let g = a100_pcie();
         let est = gemv_time(&g, 4096, 4096, DType::Fp16Tensor);

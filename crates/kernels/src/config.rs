@@ -58,11 +58,12 @@ pub struct GemmConfig {
 }
 
 impl GemmConfig {
-    /// The paper's standard configuration for a square problem: alpha = 1,
-    /// beta = 0 (C zeroed), B transposed, default tile and sampling.
-    pub fn square(dim: usize, dtype: DType) -> Self {
+    /// The paper's standard configuration for an arbitrary (possibly
+    /// ragged) `n x m x k` problem: alpha = 1, beta = 0 (C zeroed),
+    /// B transposed, default tile and sampling.
+    pub fn new(dims: GemmDims, dtype: DType) -> Self {
         Self {
-            dims: GemmDims::square(dim),
+            dims,
             dtype,
             alpha: 1.0,
             beta: 0.0,
@@ -70,6 +71,11 @@ impl GemmConfig {
             tile: TileShape::DEFAULT,
             sampling: Sampling::DEFAULT,
         }
+    }
+
+    /// [`GemmConfig::new`] for a square problem, the paper's configuration.
+    pub fn square(dim: usize, dtype: DType) -> Self {
+        Self::new(GemmDims::square(dim), dtype)
     }
 
     /// Builder: disable the B transposition (Fig. 5a).

@@ -439,6 +439,60 @@ mod tests {
     }
 
     #[test]
+    fn shape_features_vary_per_axis_on_ragged_problems() {
+        use wm_core::RunRequest;
+        // With ragged requests the three log2 axes finally move
+        // independently — the model can learn shape, not just scale.
+        let req = RunRequest::new(
+            DType::Fp16Tensor,
+            32,
+            PatternSpec::new(PatternKind::Gaussian),
+        )
+        .with_shape(GemmDims { n: 32, m: 8, k: 64 });
+        let s = features_for_request(&req);
+        let s = s.as_slice();
+        assert_eq!(s[12], (32f64).log2() / 16.0, "log2 n");
+        assert_eq!(s[13], (8f64).log2() / 16.0, "log2 m");
+        assert_eq!(s[14], (64f64).log2() / 16.0, "log2 k");
+        // Arithmetic intensity follows the shape: a ragged decode GEMV
+        // (n x 1 x k, ~one byte-pair per FLOP) carries far more bytes per
+        // FLOP than a fat GEMM whose tile reuse amortizes its operands.
+        // (A tiny 32 x 8 x 64 GEMM barely amortizes anything — its own
+        // bytes/FLOP is only ~6x below the GEMV's — so the contrast is
+        // asserted against a reuse-heavy shape.)
+        let fat = req.clone().with_shape(GemmDims {
+            n: 128,
+            m: 64,
+            k: 256,
+        });
+        let f = features_for_request(&fat);
+        let decode = req
+            .clone()
+            .with_kernel(KernelClass::Gemv)
+            .with_shape(GemmDims {
+                n: 32,
+                m: 1,
+                k: 256,
+            });
+        let d = features_for_request(&decode);
+        let d = d.as_slice();
+        assert_eq!(d[13], 0.0, "GEMV m = 1");
+        assert_eq!(d[14], (256f64).log2() / 16.0, "GEMV keeps its own k");
+        assert!(
+            d[15] > s[15],
+            "decode bytes/FLOP {} must exceed even the tiny GEMM's {}",
+            d[15],
+            s[15]
+        );
+        assert!(
+            d[15] > 10.0 * f.as_slice()[15],
+            "decode bytes/FLOP {} must dwarf the fat GEMM's {}",
+            d[15],
+            f.as_slice()[15]
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "no data")]
     fn empty_accumulator_rejected() {
         FeatureAccumulator::new(DType::Fp32).finish(KernelClass::Gemm, GemmDims::square(64));

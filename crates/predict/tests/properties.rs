@@ -6,6 +6,7 @@
 use proptest::prelude::*;
 use wm_bits::Xoshiro256pp;
 use wm_core::RunRequest;
+use wm_gpu::GemmDims;
 use wm_numerics::DType;
 use wm_patterns::{PatternKind, PatternSpec};
 use wm_predict::{
@@ -34,7 +35,7 @@ fn arb_kind() -> impl Strategy<Value = PatternKind> {
 /// canonical order), from the shared first-seed contract.
 fn operand_stream(req: &RunRequest) -> Vec<f32> {
     let (a, b) = wm_core::first_seed_operands(req);
-    let mut out = Vec::with_capacity(2 * req.dim * req.dim);
+    let mut out = Vec::with_capacity(a.len() + b.len());
     out.extend_from_slice(a.as_slice());
     out.extend_from_slice(b.as_slice());
     out
@@ -74,13 +75,27 @@ fn bits_of(f: &FeatureVector) -> Vec<u64> {
 fn arb_request() -> impl Strategy<Value = RunRequest> {
     (
         arb_dtype(),
-        prop::sample::select(vec![16usize, 24, 33, 48]),
+        // Square and ragged n x m x k shapes alike must satisfy the
+        // determinism contracts.
+        prop::sample::select(vec![
+            GemmDims::square(16),
+            GemmDims::square(33),
+            GemmDims {
+                n: 16,
+                m: 24,
+                k: 40,
+            },
+            GemmDims { n: 48, m: 8, k: 17 },
+            GemmDims { n: 24, m: 1, k: 48 },
+        ]),
         arb_kind(),
         any::<u64>(),
         any::<bool>(),
     )
-        .prop_map(|(dtype, dim, kind, base_seed, gemv)| {
-            let req = RunRequest::new(dtype, dim, PatternSpec::new(kind)).with_base_seed(base_seed);
+        .prop_map(|(dtype, shape, kind, base_seed, gemv)| {
+            let req = RunRequest::new(dtype, shape.n, PatternSpec::new(kind))
+                .with_shape(shape)
+                .with_base_seed(base_seed);
             if gemv {
                 req.with_kernel(KernelClass::Gemv)
             } else {
@@ -113,11 +128,17 @@ proptest! {
         // `extract_features` over the matrices and the streaming
         // accumulator over their concatenated storage are the same pass.
         let mut root = Xoshiro256pp::seed_from_u64(req.base_seed ^ 1);
-        let a = req.pattern_a.generate(req.dtype, req.dim, req.dim, &mut root.fork(0));
-        // GEMV's second operand is the dim x 1 input vector.
-        let b_cols = if req.kernel == KernelClass::Gemv { 1 } else { req.dim };
-        let b = req.pattern_b.generate(req.dtype, req.dim, b_cols, &mut root.fork(1));
-        let via_matrices = extract_features(req.dtype, req.kernel, req.dims(), &a, &b);
+        let dims = req.dims();
+        let a = req.pattern_a.generate(req.dtype, dims.n, dims.k, &mut root.fork(0));
+        // GEMV's second operand is the k x 1 input vector; GEMM stores B
+        // per the transposition flag (default true: m x k).
+        let (b_rows, b_cols) = if req.kernel == KernelClass::Gemv {
+            (dims.k, 1)
+        } else {
+            (dims.m, dims.k)
+        };
+        let b = req.pattern_b.generate(req.dtype, b_rows, b_cols, &mut root.fork(1));
+        let via_matrices = extract_features(req.dtype, req.kernel, dims, &a, &b);
         prop_assert_eq!(bits_of(&via_matrices), bits_of(&features_for_request(&req)));
     }
 }

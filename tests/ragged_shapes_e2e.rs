@@ -1,0 +1,178 @@
+//! End-to-end test of ragged `n x m x k` request shapes through the
+//! `wattd` protocol (this PR's acceptance scenario): one session serves
+//! mixed square-GEMM and ragged decode-GEMV traffic — including the
+//! flagship `n = 2048, m = 1, k = 8192` decode shape — trains separate
+//! per-kernel models, answers `predict` for an unseen ragged shape from
+//! the GEMV model, and a legacy square `{"dim": d}` request still
+//! parses, runs, and cache-hits against its explicit `n = m = k = d`
+//! spelling.
+
+use wattmul_repro::fleet::json::Json;
+use wattmul_repro::fleet::{serve, Fleet, Scheduler};
+use wattmul_repro::gpu::spec::a100_pcie;
+
+const DIM: usize = 96;
+
+fn serve_lines(sched: &Scheduler, input: &str) -> Vec<Json> {
+    let mut out = Vec::new();
+    serve(input.as_bytes(), &mut out, sched).expect("in-memory serve cannot fail");
+    std::str::from_utf8(&out)
+        .expect("responses are utf-8")
+        .lines()
+        .map(|l| Json::parse(l).expect("every response line is valid JSON"))
+        .collect()
+}
+
+const FAMILIES: [(&str, &str); 8] = [
+    ("gaussian", ""),
+    ("sparse", r#", "sparsity": 0.3"#),
+    ("sparse", r#", "sparsity": 0.7"#),
+    ("sorted_rows", r#", "fraction": 0.5"#),
+    ("value_set", r#", "set_size": 8"#),
+    ("constant", ""),
+    ("zero_lsbs", r#", "count": 6"#),
+    ("zeros", ""),
+];
+
+/// Ragged decode shapes for the GEMV training stream: `n != k`
+/// throughout, so the per-axis shape features vary during training.
+const DECODE_SHAPES: [(usize, usize); 5] = [(96, 192), (192, 96), (64, 256), (256, 64), (128, 128)];
+
+/// Square GEMM training line (legacy `dim` spelling).
+fn gemm_line(id: u64, pattern: &str, param: &str, base_seed: u64) -> String {
+    format!(
+        r#"{{"id": {id}, "dtype": "FP16-T", "dim": {DIM}, "pattern": "{pattern}"{param}, "seeds": 1, "lattice": 4, "base_seed": {base_seed}}}"#
+    )
+}
+
+/// Ragged decode-GEMV training line (`m` omitted — it defaults to 1).
+fn gemv_line(id: u64, n: usize, k: usize, pattern: &str, param: &str, base_seed: u64) -> String {
+    format!(
+        r#"{{"id": {id}, "dtype": "FP16-T", "kernel": "gemv", "n": {n}, "k": {k}, "pattern": "{pattern}"{param}, "seeds": 1, "lattice": 4, "base_seed": {base_seed}}}"#
+    )
+}
+
+fn models(sched: &Scheduler) -> Vec<Json> {
+    let stats = serve_lines(sched, "{\"op\": \"model_stats\"}\n");
+    stats[0].get("models").unwrap().as_arr().unwrap().to_vec()
+}
+
+#[test]
+fn mixed_square_and_ragged_traffic_end_to_end() {
+    let sched = Scheduler::with_workers(Fleet::builder().device(a100_pcie()).build(), 2);
+
+    // --- Phase 1: mixed traffic — square GEMM interleaved with ragged
+    // decode GEMV — past both models' readiness thresholds. -------------
+    let mut input = String::new();
+    for round in 0..5u64 {
+        for (i, (pattern, param)) in FAMILIES.iter().enumerate() {
+            let id = round * 100 + i as u64;
+            input.push_str(&gemm_line(id, pattern, param, 0xA1_0000 + id));
+            input.push('\n');
+            let (n, k) = DECODE_SHAPES[(id % DECODE_SHAPES.len() as u64) as usize];
+            input.push_str(&gemv_line(1000 + id, n, k, pattern, param, 0xB2_0000 + id));
+            input.push('\n');
+        }
+    }
+    for r in serve_lines(&sched, &input) {
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "{r}");
+        let kernel = r.get("kernel").unwrap().as_str().unwrap();
+        let m = r.get("m").unwrap().as_u64().unwrap();
+        match kernel {
+            "gemm" => assert_eq!(m, DIM as u64, "square GEMM echoes m = dim"),
+            "gemv" => assert_eq!(m, 1, "decode GEMV echoes m = 1"),
+            other => panic!("unexpected kernel {other}"),
+        }
+    }
+
+    // Separate ready models per (architecture, kernel) key.
+    let m = models(&sched);
+    assert_eq!(m.len(), 2, "{m:?}");
+    assert_eq!(m[0].get("kernel").unwrap().as_str(), Some("gemm"));
+    assert_eq!(m[1].get("kernel").unwrap().as_str(), Some("gemv"));
+    for entry in &m {
+        assert_eq!(entry.get("ready"), Some(&Json::Bool(true)), "{entry}");
+        assert_eq!(entry.get("observations").unwrap().as_u64(), Some(40));
+    }
+
+    // --- Phase 2: `predict` for an unseen ragged shape answers from the
+    // learned GEMV model, echoing the effective n/1/k. -------------------
+    let p = &serve_lines(
+        &sched,
+        r#"{"id": 900, "op": "predict", "dtype": "FP16-T", "kernel": "gemv", "n": 160, "k": 112, "pattern": "sparse", "sparsity": 0.45, "seeds": 1, "lattice": 4, "base_seed": 51966}
+"#,
+    )[0];
+    assert_eq!(p.get("ok"), Some(&Json::Bool(true)), "{p}");
+    assert_eq!(p.get("kernel").unwrap().as_str(), Some("gemv"));
+    assert_eq!(p.get("source").unwrap().as_str(), Some("learned"), "{p}");
+    assert_eq!(p.get("n").unwrap().as_u64(), Some(160));
+    assert_eq!(p.get("m").unwrap().as_u64(), Some(1));
+    assert_eq!(p.get("k").unwrap().as_u64(), Some(112));
+    assert_eq!(p.get("model_observations").unwrap().as_u64(), Some(40));
+
+    // And running that unseen shape lands the learned estimate within the
+    // acceptance band of its own measurement.
+    let r = &serve_lines(
+        &sched,
+        &format!(
+            "{}\n",
+            gemv_line(901, 160, 112, "sparse", r#", "sparsity": 0.45"#, 51966)
+        ),
+    )[0];
+    assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "{r}");
+    assert_eq!(
+        r.get("predicted_source").unwrap().as_str(),
+        Some("learned"),
+        "{r}"
+    );
+    let predicted = r.get("predicted_w").unwrap().as_f64().unwrap();
+    let measured = r.get("measured_w").unwrap().as_f64().unwrap();
+    assert!(
+        (predicted - measured).abs() / measured < 0.15,
+        "learned ragged GEMV {predicted:.1} W vs measured {measured:.1} W"
+    );
+
+    // --- Phase 3: the flagship decode shape (n=2048, m=1, k=8192). ------
+    let big = gemv_line(902, 2048, 8192, "gaussian", "", 0xDEC0DE);
+    let r = &serve_lines(&sched, &format!("{big}\n"))[0];
+    assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "{r}");
+    assert_eq!(r.get("n").unwrap().as_u64(), Some(2048));
+    assert_eq!(r.get("m").unwrap().as_u64(), Some(1));
+    assert_eq!(r.get("k").unwrap().as_u64(), Some(8192));
+    assert_eq!(r.get("cache_hit"), Some(&Json::Bool(false)));
+    let big_power = r.get("power_w").unwrap().as_f64().unwrap();
+    assert!(big_power > 0.0);
+    // Repeats of the big decode query are pure cache.
+    let r = &serve_lines(&sched, &format!("{big}\n"))[0];
+    assert_eq!(r.get("cache_hit"), Some(&Json::Bool(true)), "{r}");
+    assert_eq!(r.get("power_w").unwrap().as_f64(), Some(big_power));
+
+    // --- Phase 4: legacy square `dim` back-compat. ----------------------
+    // A legacy `{"dim": d}` GEMM request still parses and runs...
+    let legacy = &serve_lines(
+        &sched,
+        &format!("{}\n", gemm_line(903, "gaussian", "", 0xC0FFEE)),
+    )[0];
+    assert_eq!(legacy.get("ok"), Some(&Json::Bool(true)), "{legacy}");
+    for axis in ["n", "m", "k"] {
+        assert_eq!(legacy.get(axis).unwrap().as_u64(), Some(DIM as u64));
+    }
+    // ...and its explicit n = m = k = d spelling is the same cache entry.
+    let explicit = &serve_lines(
+        &sched,
+        &format!(
+            r#"{{"id": 904, "dtype": "FP16-T", "n": {DIM}, "m": {DIM}, "k": {DIM}, "pattern": "gaussian", "seeds": 1, "lattice": 4, "base_seed": {}}}
+"#,
+            0xC0FFEE
+        ),
+    )[0];
+    assert_eq!(explicit.get("ok"), Some(&Json::Bool(true)), "{explicit}");
+    assert_eq!(
+        explicit.get("cache_hit"),
+        Some(&Json::Bool(true)),
+        "the explicit spelling must hit the legacy request's cache entry: {explicit}"
+    );
+    assert_eq!(explicit.get("power_w").unwrap().as_f64().unwrap(), {
+        legacy.get("power_w").unwrap().as_f64().unwrap()
+    });
+}
