@@ -9,7 +9,7 @@ use wm_kernels::{
 use wm_matrix::Matrix;
 use wm_numerics::DType;
 use wm_patterns::PatternSpec;
-use wm_power::{evaluate, PowerBreakdown};
+use wm_power::{evaluate_group, PowerBreakdown};
 use wm_telemetry::{measure, Measurement, MeasurementConfig, VmInstance};
 
 /// Seed-stream separator (golden-ratio increment, as in SplitMix64).
@@ -22,7 +22,9 @@ fn seed_root(base_seed: u64, s: u64) -> Xoshiro256pp {
 }
 
 /// Generate the operands of a request's **first seed** (seed index 0) —
-/// exactly the matrices [`PowerLab::run`] executes for `s = 0`.
+/// exactly the matrices [`PowerLab::run`] executes for `s = 0` (for a
+/// grouped request: its first member; see
+/// [`first_seed_group_operands`] for the whole group).
 ///
 /// For GEMM requests A is `n x k` and the stored B pattern follows the
 /// transposition flag (`m x k` transposed — the paper's default — or
@@ -35,34 +37,77 @@ fn seed_root(base_seed: u64, s: u64) -> Xoshiro256pp {
 /// propagates to every consumer instead of silently diverging.
 pub fn first_seed_operands(req: &RunRequest) -> (Matrix, Matrix) {
     let mut root = seed_root(req.base_seed, 0);
-    generate_operands(req, &mut root)
+    // The first member in *effective* canonical order — what the run
+    // actually executes as member 0. (`dims()` would hand back the raw
+    // canonical head, which can differ for grouped GEMV requests whose
+    // execution-ignored raw `m` values reorder the sort.)
+    let member = if req.is_grouped() {
+        req.member_dims()[0]
+    } else {
+        req.dims()
+    };
+    generate_member_operands(req, member, 0, &mut root)
 }
 
-/// Generate one seed's operand pair from its RNG root (A from fork 0, the
-/// B matrix — or GEMV's x vector — from fork 1).
-fn generate_operands(req: &RunRequest, root: &mut Xoshiro256pp) -> (Matrix, Matrix) {
-    let dims = req.dims();
+/// Generate the first seed's operand pairs of **every member** of a
+/// request, in member order — the group generalization of
+/// [`first_seed_operands`] (for a plain request: one pair, identical to
+/// it). Member `i` draws from its own pair of decorrelated streams
+/// (forks `2i` and `2i + 1` of the seed root), so members never share
+/// data even when their shapes coincide.
+pub fn first_seed_group_operands(req: &RunRequest) -> Vec<(Matrix, Matrix)> {
+    let mut root = seed_root(req.base_seed, 0);
+    req.member_dims()
+        .iter()
+        .enumerate()
+        .map(|(i, &m)| generate_member_operands(req, m, i as u64, &mut root))
+        .collect()
+}
+
+/// Generate one member's operand pair from the seed's RNG root (A from
+/// fork `2 * index`, the B matrix — or GEMV's x vector — from fork
+/// `2 * index + 1`; a plain request is member 0, so its forks are the
+/// historical 0 and 1).
+fn generate_member_operands(
+    req: &RunRequest,
+    member: GemmDims,
+    index: u64,
+    root: &mut Xoshiro256pp,
+) -> (Matrix, Matrix) {
     let a = req
         .pattern_a
-        .generate(req.dtype, dims.n, dims.k, &mut root.fork(0));
+        .generate(req.dtype, member.n, member.k, &mut root.fork(2 * index));
     let (b_rows, b_cols) = match req.kernel {
-        KernelClass::Gemm if req.b_transposed => (dims.m, dims.k),
-        KernelClass::Gemm => (dims.k, dims.m),
-        KernelClass::Gemv => (dims.k, 1),
+        KernelClass::Gemm if req.b_transposed => (member.m, member.k),
+        KernelClass::Gemm => (member.k, member.m),
+        KernelClass::Gemv => (member.k, 1),
     };
     let b = req
         .pattern_b
-        .generate(req.dtype, b_rows, b_cols, &mut root.fork(1));
+        .generate(req.dtype, b_rows, b_cols, &mut root.fork(2 * index + 1));
     (a, b)
 }
 
 /// Simulate one seed's kernel execution and return its activity record
 /// (the shared probe contract: placement's activity probe and the run
-/// pipeline both come through here).
+/// pipeline both come through here). For grouped requests this is the
+/// per-member step — see [`simulate_member_activity`].
 pub fn simulate_request_activity(req: &RunRequest, a: &Matrix, b: &Matrix) -> ActivityRecord {
+    simulate_member_activity(req, req.dims(), a, b)
+}
+
+/// Simulate one group member's kernel execution: the request supplies the
+/// shared configuration (kernel, dtype, transposition, sampling), the
+/// member its own `n x m x k`.
+pub fn simulate_member_activity(
+    req: &RunRequest,
+    member: GemmDims,
+    a: &Matrix,
+    b: &Matrix,
+) -> ActivityRecord {
     match req.kernel {
         KernelClass::Gemm => {
-            let cfg = GemmConfig::new(req.dims(), req.dtype)
+            let cfg = GemmConfig::new(member, req.dtype)
                 .with_b_transposed(req.b_transposed)
                 .with_sampling(req.sampling);
             simulate(
@@ -101,8 +146,19 @@ pub struct RunRequest {
     /// square (`n = m = k`, 2048; 512 for the RTX 6000); real serving
     /// traffic is ragged — prefill GEMMs batch `n x m x k` problems and
     /// decode GEMVs are `n x k` with `n != k`. Prefer [`RunRequest::dims`]
-    /// when consuming: it normalizes the GEMV `m` axis to 1.
+    /// when consuming: it normalizes the GEMV `m` axis to 1. For grouped
+    /// requests this is the first canonical member; consume
+    /// [`RunRequest::member_dims`] instead.
     pub shape: GemmDims,
+    /// Grouped-GEMM member shapes, the way serving frameworks submit
+    /// prefill work: a list of `n x m x k` problems sharing this request's
+    /// dtype/pattern/kernel, executed back-to-back and priced/cached **as
+    /// a unit**. Empty for a plain single-problem request. Canonicalized
+    /// by [`RunRequest::with_group`]: members are sorted (a group is a
+    /// multiset — permutations are the same request, so they cache-alias)
+    /// and a 1-member group collapses to the plain request it is
+    /// equivalent to (this list is therefore never of length 1).
+    pub group: Vec<GemmDims>,
     /// Input pattern for the A operand.
     pub pattern_a: PatternSpec,
     /// Input pattern for the B operand (usually the same family, its own
@@ -130,6 +186,7 @@ impl RunRequest {
             kernel: KernelClass::Gemm,
             dtype,
             shape: GemmDims::square(dim),
+            group: Vec::new(),
             pattern_a: pattern,
             pattern_b: pattern,
             b_transposed: true,
@@ -160,12 +217,82 @@ impl RunRequest {
         self
     }
 
+    /// Replace the problem with an ordered grouped-GEMM member list: the
+    /// `n x m x k` problems a serving framework submits as one prefill
+    /// batch, executed back-to-back and priced/cached **as a unit**.
+    ///
+    /// Members are canonicalized: the list is sorted by `(n, m, k)` — a
+    /// group is a multiset of problems, so permuted submissions are the
+    /// *same request* (same execution, same cache entry) — and a 1-member
+    /// group collapses to the equivalent plain request, which it aliases
+    /// by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the member list is empty or any member axis is zero.
+    pub fn with_group(mut self, mut members: Vec<GemmDims>) -> Self {
+        assert!(!members.is_empty(), "a group needs at least one member");
+        assert!(
+            members.iter().all(|d| d.n > 0 && d.m > 0 && d.k > 0),
+            "every member axis must be positive"
+        );
+        members.sort_by_key(|d| (d.n, d.m, d.k));
+        self.shape = members[0];
+        self.group = if members.len() == 1 {
+            Vec::new()
+        } else {
+            members
+        };
+        self
+    }
+
+    /// Whether this request carries a grouped member list (≥ 2 members;
+    /// 1-member groups are normalized away by [`RunRequest::with_group`]).
+    pub fn is_grouped(&self) -> bool {
+        !self.group.is_empty()
+    }
+
+    /// The effective member problems this request executes, in canonical
+    /// order — always at least one entry. A plain request is its own
+    /// single member ([`RunRequest::dims`]); a grouped request yields
+    /// every member with the GEMV `m` axis normalized to 1, exactly as
+    /// each member runs, **re-sorted by those effective axes**. The
+    /// re-sort matters for GEMV: two spellings of the same effective
+    /// member multiset can differ in the execution-ignored raw `m` (and
+    /// therefore in `with_group`'s raw canonical order), but everything
+    /// keyed off this list — the cache hash, the per-member operand
+    /// streams, execution order — must agree they are the same request.
+    /// For GEMM the raw canonical order already is the effective order
+    /// and the sort is a no-op.
+    pub fn member_dims(&self) -> Vec<GemmDims> {
+        if self.group.is_empty() {
+            return vec![self.dims()];
+        }
+        let mut members: Vec<GemmDims> = self
+            .group
+            .iter()
+            .map(|&d| match self.kernel {
+                KernelClass::Gemm => d,
+                KernelClass::Gemv => GemmDims {
+                    n: d.n,
+                    m: 1,
+                    k: d.k,
+                },
+            })
+            .collect();
+        members.sort_by_key(|d| (d.n, d.m, d.k));
+        members
+    }
+
     /// The problem dimensions this request executes — the shape key that
     /// runtime estimators, the cache hash, and kernel-shape features work
     /// from. GEMM executes the requested shape as-is; GEMV executes
     /// `n x 1 x k` (one streamed vector, whatever `m` the shape carries),
     /// so a legacy square-`dim` GEMV and an explicit `n x 1 x k` request
-    /// with the same `n`/`k` are the same execution.
+    /// with the same `n`/`k` are the same execution. For grouped requests
+    /// this is derived from `shape` (the first member in *raw* canonical
+    /// order) — consume [`RunRequest::member_dims`] for the full
+    /// effective problem list.
     pub fn dims(&self) -> GemmDims {
         match self.kernel {
             KernelClass::Gemm => self.shape,
@@ -215,6 +342,69 @@ impl RunRequest {
     }
 }
 
+/// A grouped-GEMM request under construction: an ordered list of
+/// `n x m x k` members sharing one template's dtype, patterns, kernel,
+/// and sampling — the shape of a serving framework's prefill batch.
+///
+/// `GroupRequest` is the ergonomic front door to
+/// [`RunRequest::with_group`]: collect members (e.g. one per sequence in
+/// the batch), then [`GroupRequest::build`] the single [`RunRequest`]
+/// that executes, prices, and caches the whole batch as a unit. Member
+/// order is immaterial — the build canonicalizes it.
+///
+/// ```
+/// use wm_core::{GroupRequest, RunRequest};
+/// use wm_gpu::GemmDims;
+/// use wm_numerics::DType;
+/// use wm_patterns::{PatternKind, PatternSpec};
+///
+/// let template = RunRequest::new(DType::Fp16Tensor, 64, PatternSpec::new(PatternKind::Gaussian));
+/// let group = GroupRequest::new(template, vec![GemmDims { n: 64, m: 128, k: 64 }])
+///     .push(GemmDims { n: 64, m: 32, k: 64 })
+///     .build();
+/// assert!(group.is_grouped());
+/// assert_eq!(group.member_dims().len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupRequest {
+    base: RunRequest,
+    members: Vec<GemmDims>,
+}
+
+impl GroupRequest {
+    /// Start a group from a template request (whose own shape is
+    /// discarded — the members are the problem list) and an initial
+    /// member list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the member list is empty (via [`GroupRequest::build`];
+    /// members may still be [`GroupRequest::push`]ed before then).
+    pub fn new(base: RunRequest, members: Vec<GemmDims>) -> Self {
+        Self { base, members }
+    }
+
+    /// Append one member problem.
+    pub fn push(mut self, member: GemmDims) -> Self {
+        self.members.push(member);
+        self
+    }
+
+    /// The members collected so far, in insertion order.
+    pub fn members(&self) -> &[GemmDims] {
+        &self.members
+    }
+
+    /// Finish into the [`RunRequest`] that runs the group as a unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no members were collected or any member axis is zero.
+    pub fn build(self) -> RunRequest {
+        self.base.with_group(self.members)
+    }
+}
+
 /// Mean/std/raw-values triple over seeds.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SeedStat {
@@ -252,10 +442,20 @@ pub struct RunResult {
     pub energy_per_iter: SeedStat,
     /// Measured per-iteration runtime over seeds, seconds.
     pub runtime: SeedStat,
-    /// The (deterministic) power breakdown of the first seed.
+    /// The (deterministic) power breakdown of the first seed. For grouped
+    /// requests this is the *group* breakdown: member energies and
+    /// runtimes summed, the governor resolved once over the combined
+    /// draw ([`wm_power::evaluate_group`]).
     pub breakdown: PowerBreakdown,
-    /// Activity merged across seeds (Fig. 8 statistics live here).
+    /// Activity merged across seeds (Fig. 8 statistics live here). For
+    /// grouped requests: the **first member's** merged activity — the
+    /// full per-member picture is in
+    /// [`RunResult::member_activities`].
     pub activity: ActivityRecord,
+    /// Per-member activity (each merged across seeds), in canonical
+    /// member order, for grouped requests. Empty for plain requests —
+    /// their single activity is [`RunResult::activity`].
+    pub member_activities: Vec<ActivityRecord>,
     /// The raw per-seed telemetry summaries.
     pub measurements: Vec<Measurement>,
     /// Whether any seed throttled.
@@ -307,23 +507,32 @@ impl PowerLab {
         &self.vm
     }
 
-    /// Execute a request: per seed, generate operands, simulate, evaluate
-    /// power, and measure through telemetry; then average.
+    /// Execute a request: per seed, generate every member's operands,
+    /// simulate, evaluate power (a grouped request's members run
+    /// back-to-back as one unit — energies and runtimes sum, the governor
+    /// resolves once), and measure through telemetry; then average.
     pub fn run(&self, req: &RunRequest) -> RunResult {
+        let members = req.member_dims();
         let mut powers = Vec::with_capacity(req.seeds as usize);
         let mut energies = Vec::with_capacity(req.seeds as usize);
         let mut runtimes = Vec::with_capacity(req.seeds as usize);
         let mut measurements = Vec::with_capacity(req.seeds as usize);
-        let mut merged: Option<ActivityRecord> = None;
+        let mut merged: Vec<Option<ActivityRecord>> = vec![None; members.len()];
         let mut first_breakdown: Option<PowerBreakdown> = None;
         let mut throttled = false;
         let mut util_sum = 0.0;
 
         for s in 0..req.seeds {
             let mut root = seed_root(req.base_seed, s);
-            let (a, b) = generate_operands(req, &mut root);
-            let activity = simulate_request_activity(req, &a, &b);
-            let breakdown = evaluate(&self.gpu, &activity);
+            let activities: Vec<ActivityRecord> = members
+                .iter()
+                .enumerate()
+                .map(|(i, &m)| {
+                    let (a, b) = generate_member_operands(req, m, i as u64, &mut root);
+                    simulate_member_activity(req, m, &a, &b)
+                })
+                .collect();
+            let breakdown = evaluate_group(&self.gpu, &activities);
             let iterations = req.iterations.unwrap_or_else(|| {
                 // Auto-size: ~1.6 s of simulated run, comfortably beyond
                 // the 0.5 s warmup trim.
@@ -343,21 +552,32 @@ impl PowerLab {
             util_sum += m.utilization_pct;
             throttled |= m.throttled;
             measurements.push(m);
-            merged = Some(match merged {
-                None => activity,
-                Some(prev) => prev.merge(&activity),
-            });
+            for (slot, activity) in merged.iter_mut().zip(activities) {
+                *slot = Some(match slot.take() {
+                    None => activity,
+                    Some(prev) => prev.merge(&activity),
+                });
+            }
             if first_breakdown.is_none() {
                 first_breakdown = Some(breakdown);
             }
         }
 
+        let mut member_activities: Vec<ActivityRecord> = merged
+            .into_iter()
+            .map(|a| a.expect("at least one seed"))
+            .collect();
+        let activity = member_activities[0].clone();
+        if !req.is_grouped() {
+            member_activities.clear();
+        }
         RunResult {
             power: SeedStat::from_values(powers),
             energy_per_iter: SeedStat::from_values(energies),
             runtime: SeedStat::from_values(runtimes),
             breakdown: first_breakdown.expect("at least one seed"),
-            activity: merged.expect("at least one seed"),
+            activity,
+            member_activities,
             utilization_pct: util_sum / req.seeds as f64,
             measurements,
             throttled,
@@ -534,6 +754,138 @@ mod tests {
         assert_eq!(r.activity.dims, shape);
         assert_eq!(r.activity.total_macs, 96 * 32 * 160);
         assert!(r.power.mean > 0.0 && r.runtime.mean > 0.0);
+    }
+
+    #[test]
+    fn single_member_group_is_the_plain_request() {
+        // `with_group` normalizes a 1-member group away entirely: the
+        // request is structurally the plain request, so it hashes, runs,
+        // and caches identically by construction.
+        let plain = quick(DType::Fp16Tensor, PatternKind::Gaussian);
+        let grouped = plain.clone().with_group(vec![GemmDims::square(256)]);
+        assert_eq!(plain, grouped);
+        assert!(!grouped.is_grouped());
+        assert_eq!(grouped.member_dims(), vec![GemmDims::square(256)]);
+    }
+
+    #[test]
+    fn group_members_are_order_canonical() {
+        let members = vec![
+            GemmDims {
+                n: 64,
+                m: 32,
+                k: 128,
+            },
+            GemmDims::square(32),
+            GemmDims {
+                n: 64,
+                m: 16,
+                k: 64,
+            },
+        ];
+        let a = quick(DType::Fp16Tensor, PatternKind::Gaussian).with_group(members.clone());
+        let mut permuted = members.clone();
+        permuted.reverse();
+        let b = quick(DType::Fp16Tensor, PatternKind::Gaussian).with_group(permuted);
+        assert_eq!(a, b, "permuted groups are the same request");
+        assert!(a.is_grouped());
+        assert_eq!(a.member_dims().len(), 3);
+        // Canonical order is sorted by (n, m, k).
+        let dims = a.member_dims();
+        assert!(dims
+            .windows(2)
+            .all(|w| (w[0].n, w[0].m, w[0].k) <= (w[1].n, w[1].m, w[1].k)));
+        // GroupRequest builds the same thing from any insertion order.
+        let built = GroupRequest::new(
+            quick(DType::Fp16Tensor, PatternKind::Gaussian),
+            members[1..].to_vec(),
+        )
+        .push(members[0])
+        .build();
+        assert_eq!(a, built);
+    }
+
+    #[test]
+    fn grouped_run_sums_members_and_reports_each() {
+        let members = vec![
+            GemmDims {
+                n: 96,
+                m: 32,
+                k: 160,
+            },
+            GemmDims::square(64),
+            GemmDims {
+                n: 32,
+                m: 64,
+                k: 96,
+            },
+        ];
+        let req = quick(DType::Fp16Tensor, PatternKind::Gaussian)
+            .with_seeds(1)
+            .with_group(members.clone());
+        let lab = PowerLab::new(a100_pcie());
+        let r = lab.run(&req);
+        assert_eq!(r.member_activities.len(), 3);
+        let total_macs: u64 = members.iter().map(|d| d.macs()).sum();
+        assert_eq!(
+            r.member_activities
+                .iter()
+                .map(|a| a.total_macs)
+                .sum::<u64>(),
+            total_macs,
+            "every member executes its own problem"
+        );
+        assert_eq!(r.activity, r.member_activities[0]);
+        // The group runs longer than any member alone and draws a power
+        // between the coolest and hottest member (time-weighted mean).
+        let singles: Vec<RunResult> = members
+            .iter()
+            .map(|&m| lab.run(&req.clone().with_group(vec![m])))
+            .collect();
+        assert!(singles.iter().all(|s| s.member_activities.is_empty()));
+        let t_sum: f64 = singles.iter().map(|s| s.breakdown.t_iter_s).sum();
+        assert!(
+            (r.breakdown.t_iter_s - t_sum).abs() < 1e-9,
+            "group time {} vs summed member time {t_sum}",
+            r.breakdown.t_iter_s
+        );
+        let min_w = singles
+            .iter()
+            .map(|s| s.breakdown.total_w)
+            .fold(f64::INFINITY, f64::min);
+        let max_w = singles
+            .iter()
+            .map(|s| s.breakdown.total_w)
+            .fold(0.0, f64::max);
+        assert!(
+            r.breakdown.total_w >= min_w && r.breakdown.total_w <= max_w,
+            "group {} W outside member band [{min_w}, {max_w}]",
+            r.breakdown.total_w
+        );
+        // Deterministic like everything else.
+        let again = lab.run(&req);
+        assert_eq!(r.power, again.power);
+        assert_eq!(r.member_activities, again.member_activities);
+    }
+
+    #[test]
+    fn group_members_draw_decorrelated_streams() {
+        // Two members of identical shape must still get their own data:
+        // member index feeds the fork tags.
+        let req = quick(DType::Fp16Tensor, PatternKind::Gaussian)
+            .with_group(vec![GemmDims::square(64), GemmDims::square(64)]);
+        let ops = first_seed_operands(&req);
+        let all = super::first_seed_group_operands(&req);
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0], ops, "member 0 is the first-seed contract");
+        assert_ne!(all[0].0, all[1].0, "twin members must not share A");
+        assert_ne!(all[0].1, all[1].1, "twin members must not share B");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn empty_group_rejected() {
+        let _ = quick(DType::Fp32, PatternKind::Gaussian).with_group(Vec::new());
     }
 
     #[test]

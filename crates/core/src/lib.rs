@@ -26,11 +26,14 @@
 
 pub mod lab;
 
-pub use lab::{first_seed_operands, simulate_request_activity, PowerLab, RunRequest, RunResult};
+pub use lab::{
+    first_seed_group_operands, first_seed_operands, simulate_member_activity,
+    simulate_request_activity, GroupRequest, PowerLab, RunRequest, RunResult,
+};
 
 /// Convenience re-exports for downstream users and examples.
 pub mod prelude {
-    pub use crate::lab::{PowerLab, RunRequest, RunResult};
+    pub use crate::lab::{GroupRequest, PowerLab, RunRequest, RunResult};
     pub use wm_gpu::spec::{a100_pcie, h100_sxm5, rtx6000, v100_sxm2};
     pub use wm_gpu::{GemmDims, GpuSpec};
     pub use wm_kernels::{GemmConfig, KernelClass, Sampling};

@@ -31,7 +31,7 @@ use wm_gpu::spec::a100_pcie;
 use wm_kernels::KernelClass;
 use wm_numerics::DType;
 use wm_patterns::{PatternKind, PatternSpec};
-use wm_power::evaluate;
+use wm_power::evaluate_group;
 use wm_predict::{features_for_request, PowerPredictor};
 
 /// Training-volume checkpoints (observations seen so far).
@@ -118,7 +118,7 @@ fn request(profile: &RunProfile, kind: PatternKind, seed: u64) -> RunRequest {
 /// Ground truth: the analytic power model on the request's first-seed
 /// activity — exactly what the `wattd` acceptance test compares against.
 fn model_watts(req: &RunRequest) -> f64 {
-    evaluate(&a100_pcie(), &probe_activity(req)).total_w
+    evaluate_group(&a100_pcie(), &probe_activity(req)).total_w
 }
 
 /// Execute all three sweeps: the per-family error-vs-volume figure, the

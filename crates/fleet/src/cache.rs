@@ -78,6 +78,16 @@ impl MemoCache {
         &self.shards[idx]
     }
 
+    /// Whether `key` holds a *ready* entry. A probe, not a read: unlike
+    /// [`MemoCache::peek`] it counts nothing, so callers can classify
+    /// (e.g. the batch packer sifting cached repeats out of the rounds)
+    /// without inflating the hit statistics.
+    pub fn contains(&self, key: u64) -> bool {
+        let shard = self.shard(key);
+        let slots = shard.slots.lock().expect("cache shard poisoned");
+        matches!(slots.get(&key), Some(Slot::Ready(_)))
+    }
+
     /// Non-blocking lookup: `Some` (counted as a hit) iff the entry is
     /// ready. Pending entries read as misses — use [`Self::get_or_compute`]
     /// to join them.

@@ -195,19 +195,36 @@ pub fn write_gpu(h: &mut CanonicalHasher, gpu: &GpuSpec) {
 
 /// Fold the activity-relevant fields of a request: everything that
 /// determines its first-seed operands and switching activity. The
-/// *effective* dims ([`RunRequest::dims`]) are folded per axis, so a
-/// legacy square-`dim` GEMV and its explicit `n x 1 x k` spelling hash
-/// equal — they are the same execution.
+/// *effective* member dims ([`RunRequest::member_dims`]) are folded
+/// length-prefixed, per member, per axis — so a legacy square-`dim` GEMV
+/// and its explicit `n x 1 x k` spelling hash equal (same execution), a
+/// 1-member group hashes exactly like the plain request it normalizes to,
+/// and permuted groups alias because `with_group` canonicalizes member
+/// order before this fold ever sees it.
 fn write_activity_fields(h: &mut CanonicalHasher, req: &RunRequest) {
     h.write_u8(match req.kernel {
         KernelClass::Gemm => 0,
         KernelClass::Gemv => 1,
     });
     h.write_u8(dtype_tag(req.dtype));
-    let dims = req.dims();
-    h.write_usize(dims.n);
-    h.write_usize(dims.m);
-    h.write_usize(dims.k);
+    if req.is_grouped() {
+        let members = req.member_dims();
+        h.write_usize(members.len());
+        for dims in members {
+            h.write_usize(dims.n);
+            h.write_usize(dims.m);
+            h.write_usize(dims.k);
+        }
+    } else {
+        // Allocation-free fast path for the common plain request: a
+        // single member, encoded exactly as the general fold would (the
+        // length prefix keeps plain and grouped requests unambiguous).
+        let dims = req.dims();
+        h.write_usize(1);
+        h.write_usize(dims.n);
+        h.write_usize(dims.m);
+        h.write_usize(dims.k);
+    }
     write_pattern(h, &req.pattern_a);
     write_pattern(h, &req.pattern_b);
     h.write_bool(req.b_transposed);
@@ -391,6 +408,129 @@ mod tests {
             k: 256,
         });
         assert_ne!(canonical_key(&req(), &g, 0), canonical_key(&gemm, &g, 0));
+    }
+
+    #[test]
+    fn group_hash_is_order_canonical_and_member_sensitive() {
+        let g = a100_pcie();
+        let members = vec![
+            GemmDims {
+                n: 256,
+                m: 64,
+                k: 512,
+            },
+            GemmDims {
+                n: 128,
+                m: 32,
+                k: 256,
+            },
+            GemmDims::square(256),
+        ];
+        let base = canonical_key(&req().with_group(members.clone()), &g, 0);
+        // Any permutation of the members is the same request.
+        let mut permuted = members.clone();
+        permuted.rotate_left(1);
+        assert_eq!(base, canonical_key(&req().with_group(permuted), &g, 0));
+        // Perturbing any single member's axis moves the key.
+        for axis in 0..3 {
+            let mut tweaked = members.clone();
+            match axis {
+                0 => tweaked[1].n += 1,
+                1 => tweaked[1].m += 1,
+                _ => tweaked[1].k += 1,
+            }
+            assert_ne!(
+                base,
+                canonical_key(&req().with_group(tweaked), &g, 0),
+                "axis {axis} perturbation must change the key"
+            );
+        }
+        // Dropping or duplicating a member moves the key too (the fold is
+        // length-prefixed, so no concatenation ambiguity).
+        assert_ne!(
+            base,
+            canonical_key(&req().with_group(members[..2].to_vec()), &g, 0)
+        );
+        let mut doubled = members.clone();
+        doubled.push(members[0]);
+        assert_ne!(base, canonical_key(&req().with_group(doubled), &g, 0));
+        // A 1-member group is the plain request.
+        assert_eq!(
+            canonical_key(&req(), &g, 0),
+            canonical_key(&req().with_group(vec![GemmDims::square(256)]), &g, 0)
+        );
+    }
+
+    #[test]
+    fn gemv_group_spellings_alias_across_raw_m_differences() {
+        // Two spellings of the same effective GEMV member multiset whose
+        // execution-ignored raw `m` values produce *different raw
+        // canonical orders*: {(50,1,100), (50,2,30)} raw-sorts with
+        // (50,1,100) first, while {(50,1,100), (50,1,30)} raw-sorts with
+        // (50,1,30) first. Effectively both are {(50,1,30), (50,1,100)} —
+        // member_dims re-sorts by effective axes, so the keys must agree.
+        let g = a100_pcie();
+        let gemv = req().with_kernel(wm_kernels::KernelClass::Gemv);
+        let spelled_a = gemv.clone().with_group(vec![
+            GemmDims {
+                n: 50,
+                m: 1,
+                k: 100,
+            },
+            GemmDims { n: 50, m: 2, k: 30 },
+        ]);
+        let spelled_b = gemv.clone().with_group(vec![
+            GemmDims {
+                n: 50,
+                m: 1,
+                k: 100,
+            },
+            GemmDims { n: 50, m: 1, k: 30 },
+        ]);
+        assert_eq!(
+            spelled_a.member_dims(),
+            spelled_b.member_dims(),
+            "same effective multiset"
+        );
+        assert_eq!(request_key(&spelled_a), request_key(&spelled_b));
+        assert_eq!(
+            canonical_key(&spelled_a, &g, 0),
+            canonical_key(&spelled_b, &g, 0)
+        );
+        // And the executions agree operand-for-operand, so the shared
+        // cache entry is sound — including the single-pair first-seed
+        // contract, which must hand back the *effective* member 0.
+        assert_eq!(
+            wm_core::first_seed_group_operands(&spelled_a),
+            wm_core::first_seed_group_operands(&spelled_b)
+        );
+        assert_eq!(
+            wm_core::first_seed_operands(&spelled_a),
+            wm_core::first_seed_operands(&spelled_b)
+        );
+        assert_eq!(
+            wm_core::first_seed_operands(&spelled_a),
+            wm_core::first_seed_group_operands(&spelled_a)[0].clone()
+        );
+        // A GEMM group with the same raw members does NOT alias: m is
+        // load-bearing there.
+        let gemm_a = req().with_group(vec![
+            GemmDims {
+                n: 50,
+                m: 1,
+                k: 100,
+            },
+            GemmDims { n: 50, m: 2, k: 30 },
+        ]);
+        let gemm_b = req().with_group(vec![
+            GemmDims {
+                n: 50,
+                m: 1,
+                k: 100,
+            },
+            GemmDims { n: 50, m: 1, k: 30 },
+        ]);
+        assert_ne!(canonical_key(&gemm_a, &g, 0), canonical_key(&gemm_b, &g, 0));
     }
 
     #[test]

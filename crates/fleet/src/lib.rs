@@ -22,8 +22,13 @@
 //! * [`scheduler`] — the work-stealing [`Scheduler`]: per-worker deques,
 //!   idle workers steal, execution-time budget backpressure, running
 //!   stats (cache hits/misses, steals, per-device utilization/joules),
-//!   and the prediction loop — every fresh run trains the shared
-//!   [`wm_predict::PowerPredictor`].
+//!   the prediction loop — every fresh run trains the shared
+//!   [`wm_predict::PowerPredictor`] — and the predictor-aware power
+//!   packer: `run_batch` prices every job and first-fit-decreasing packs
+//!   the fleet budget ([`pack_ffd`]) instead of trickling FIFO.
+//!   Grouped-GEMM requests ([`wm_core::RunRequest::with_group`]) flow
+//!   through every layer as a single unit: one hash, one cache entry,
+//!   one placement, one priced execution.
 //! * [`protocol`] / the `wattd` binary — a JSON-lines power-estimation
 //!   service over stdin/stdout, including `predict` (power without
 //!   executing) and `model_stats` (predictor health) ops.
@@ -68,6 +73,6 @@ pub use placement::{
 };
 pub use protocol::{answer, serve};
 pub use scheduler::{
-    DeviceStats, FleetError, FleetJob, FleetResponse, JobHandle, PredictOutcome, Scheduler,
-    SchedulerStats,
+    pack_ffd, DeviceStats, FleetError, FleetJob, FleetResponse, JobHandle, PackedRound,
+    PredictOutcome, Scheduler, SchedulerStats,
 };

@@ -32,10 +32,10 @@
 //! distinct requests across twin devices and routes repeats of the same
 //! request to the same device — maximising memo-cache reuse.
 
-use wm_core::{first_seed_operands, simulate_request_activity, RunRequest};
+use wm_core::{first_seed_group_operands, simulate_member_activity, RunRequest};
 use wm_kernels::ActivityRecord;
 use wm_optimizer::{plan_dvfs, DvfsPlan};
-use wm_power::{evaluate, kernel_runtime, predicted_breakdown, PowerBreakdown};
+use wm_power::{evaluate_group, group_runtime, predicted_breakdown, PowerBreakdown};
 use wm_predict::{FeatureVector, PowerPredictor};
 
 use crate::device::Fleet;
@@ -108,16 +108,21 @@ impl std::fmt::Display for PlacementError {
     }
 }
 
-/// Simulate the switching activity of the request's first seed (the
-/// operands come from [`wm_core::first_seed_operands`] and the kernel
-/// dispatch from [`wm_core::simulate_request_activity`], so the probe
-/// walks exactly the data — and the kernel family — the run executes).
-/// Activity depends only on the input data, not on the device, so one
-/// probe serves every candidate device (and is cached per request by the
-/// scheduler).
-pub fn probe_activity(req: &RunRequest) -> ActivityRecord {
-    let (a, b) = first_seed_operands(req);
-    simulate_request_activity(req, &a, &b)
+/// Simulate the switching activity of the request's first seed, one
+/// record per member (a plain request is its own single member). The
+/// operands come from [`wm_core::first_seed_group_operands`] and the
+/// kernel dispatch from [`wm_core::simulate_member_activity`], so the
+/// probe walks exactly the data — and the kernel family — the run
+/// executes. Activity depends only on the input data, not on the device,
+/// so one probe serves every candidate device (and is cached per request
+/// by the scheduler).
+pub fn probe_activity(req: &RunRequest) -> Vec<ActivityRecord> {
+    let members = req.member_dims();
+    first_seed_group_operands(req)
+        .iter()
+        .zip(&members)
+        .map(|((a, b), &m)| simulate_member_activity(req, m, a, b))
+        .collect()
 }
 
 /// One device's candidate operating point for a job.
@@ -213,8 +218,11 @@ fn select(
     })
 }
 
-/// Choose a device and clock for a job with switching activity `activity`
-/// (the analytic pricing path).
+/// Choose a device and clock for a job with per-member switching activity
+/// `activity` — one record per group member, or a single record for a
+/// plain request (the analytic pricing path). Grouped requests are priced
+/// as a unit: member energies and runtimes sum and the governor resolves
+/// once per device ([`wm_power::evaluate_group`]).
 ///
 /// Feasibility: planned power must fit under the device's own cap *and*
 /// the fleet-wide budget. Among feasible devices the minimal per-iteration
@@ -223,7 +231,7 @@ fn select(
 /// stable, cache-friendly spreading.
 pub fn place(
     fleet: &Fleet,
-    activity: &ActivityRecord,
+    activity: &[ActivityRecord],
     tie_salt: u64,
     deadline_s: Option<f64>,
 ) -> Result<Placement, PlacementError> {
@@ -231,7 +239,7 @@ pub fn place(
         .devices()
         .iter()
         .map(|dev| {
-            let breakdown = evaluate(&dev.gpu, activity);
+            let breakdown = evaluate_group(&dev.gpu, activity);
             candidate_from_breakdown(dev.id, &dev.gpu, &breakdown, deadline_s, dev.vm.offset_w)
         })
         .collect();
@@ -260,10 +268,11 @@ pub fn place_learned(
     tie_salt: u64,
     deadline_s: Option<f64>,
 ) -> Option<Result<Placement, PlacementError>> {
+    let members = req.member_dims();
     let mut cands = Vec::with_capacity(fleet.len());
     for dev in fleet.devices() {
         let prediction = predictor.predict(dev.gpu.name, req.kernel, features)?;
-        let rt = kernel_runtime(&dev.gpu, req.kernel, req.dims(), req.dtype);
+        let rt = group_runtime(&dev.gpu, req.kernel, &members, req.dtype);
         let breakdown = predicted_breakdown(&dev.gpu, &rt, prediction.watts);
         cands.push(candidate_from_breakdown(
             dev.id, &dev.gpu, &breakdown, deadline_s, 0.0,
@@ -398,7 +407,7 @@ mod tests {
             .devices()
             .iter()
             .map(|d| {
-                let b = evaluate(&d.gpu, &act);
+                let b = evaluate_group(&d.gpu, &act);
                 if b.throttled {
                     b.energy_per_iter_j
                 } else {
@@ -430,7 +439,7 @@ mod tests {
                 let features = wm_predict::features_for_request(&req);
                 let act = probe_activity(&req);
                 for dev in fleet.devices() {
-                    let watts = evaluate(&dev.gpu, &act).total_w;
+                    let watts = evaluate_group(&dev.gpu, &act).total_w;
                     p.observe(dev.gpu.name, KernelClass::Gemm, &features, watts);
                 }
             }
@@ -505,7 +514,7 @@ mod tests {
         let plan = free.plan.as_ref().expect("unthrottled baseline");
         // A deadline just above the *boost* iteration time (from the
         // unthrottled breakdown) forces the clock back toward boost.
-        let boost_t_iter = evaluate(&fleet.device(0).unwrap().gpu, &act).t_iter_s;
+        let boost_t_iter = evaluate_group(&fleet.device(0).unwrap().gpu, &act).t_iter_s;
         let tight = place(&fleet, &act, 0, Some(boost_t_iter * 1.001)).unwrap();
         let tight_plan = tight.plan.as_ref().unwrap();
         assert!(

@@ -26,12 +26,29 @@
 //!   cannot smuggle in more work than the old square `dim` cap allowed.
 //!   Run and `predict` responses echo the effective `n`/`m`/`k`.
 //!
+//!   **Grouped requests**: `"group": [{"n":..,"m":..,"k":..}, …]` carries
+//!   a grouped-GEMM list — the ragged problems one serving-framework
+//!   prefill batch submits — executed, priced, and cached **as a unit**.
+//!   Members share the request's dtype/pattern/kernel; each member takes
+//!   the same shape fields a plain request does (per-member `dim` base,
+//!   GEMV `m` defaulting to 1), validated per axis, and the group as a
+//!   whole is validated against a member-count cap (64) plus the same
+//!   total-FLOPs and footprint budgets, summed over members. `group` is
+//!   exclusive with top-level `dim`/`n`/`m`/`k`. Member order is
+//!   immaterial (a group is a multiset of problems), so permuted
+//!   resubmissions are the same cache entry; responses echo the
+//!   canonical `"group"` list and `"members"` count instead of a single
+//!   `n`/`m`/`k`.
+//!
 //!   Every optional field is type-checked strictly: a field that is
 //!   *present* with the wrong JSON type (`{"seeds": "8"}`, `{"lattice":
 //!   true}`) is an error, never silently the default.
 //! * `"batch"` — `{"requests": [...]}` of `run` objects; answered as one
 //!   `{"results": [...]}` array in submission order, deduplicated through
-//!   the memo cache.
+//!   the memo cache and **power-packed**: admitted jobs execute in
+//!   first-fit-decreasing predicted-watts order against the fleet budget
+//!   (see [`crate::scheduler::pack_ffd`]) instead of FIFO, so the budget
+//!   fills instead of trickling.
 //! * `"predict"` — same fields as `run`, but nothing executes: answers
 //!   the pre-execution power estimate (`predicted_w`), which device would
 //!   take the job, the `kernel` key the estimate was priced under, and
@@ -169,28 +186,76 @@ fn parse_dims(v: &Json, kernel: KernelClass) -> Result<GemmDims, String> {
     })
 }
 
-/// Bound the total work of the dims a request will *execute*
-/// ([`RunRequest::dims`], so GEMV's `n x 1 x k` normalization lives in
-/// exactly one place): per-axis caps alone would still admit e.g. a
-/// 65536² GEMM, so total FLOPs and operand footprint are bounded too —
-/// the ragged generalization of the old square `MAX_DIM` check.
-fn check_budgets(dims: GemmDims, dtype: DType) -> Result<(), String> {
-    if dims.flops() > MAX_FLOPS {
+/// Bound the total work a request will *execute*, summed over its
+/// effective members ([`RunRequest::member_dims`], so GEMV's `n x 1 x k`
+/// normalization lives in exactly one place and a group's budget is its
+/// aggregate): per-axis caps alone would still admit e.g. a 65536² GEMM —
+/// or 64 individually modest members that together dwarf it — so total
+/// FLOPs and operand footprint are bounded too, the grouped-and-ragged
+/// generalization of the old square `MAX_DIM` check.
+fn check_budgets(req: &RunRequest) -> Result<(), String> {
+    let members = req.member_dims();
+    let what = if req.is_grouped() {
+        "group too large"
+    } else {
+        "problem too large"
+    };
+    let flops: u64 = members.iter().map(GemmDims::flops).sum();
+    if flops > MAX_FLOPS {
         return Err(format!(
-            "problem too large: {} GFLOP exceeds the {} GFLOP budget",
-            dims.flops() / 1_000_000_000,
+            "{what}: {} GFLOP exceeds the {} GFLOP budget",
+            flops / 1_000_000_000,
             MAX_FLOPS / 1_000_000_000
         ));
     }
-    let bytes = dims.working_set_bytes(dtype.bytes());
+    let bytes: u64 = members
+        .iter()
+        .map(|d| d.working_set_bytes(req.dtype.bytes()))
+        .sum();
     if bytes > MAX_WORKING_SET_BYTES {
         return Err(format!(
-            "operands too large: {} MiB working set exceeds the {} MiB budget",
+            "{what}: {} MiB working set exceeds the {} MiB budget",
             bytes >> 20,
             MAX_WORKING_SET_BYTES >> 20
         ));
     }
     Ok(())
+}
+
+/// Parse the `"group"` member list: each member is an object carrying the
+/// same shape fields a plain request does, validated per axis by
+/// [`parse_dims`]. The group composes with nothing at the top level —
+/// a request is either one problem or a grouped list, never both.
+fn parse_group(v: &Json, group: &Json, kernel: KernelClass) -> Result<Vec<GemmDims>, String> {
+    let members_json = group
+        .as_arr()
+        .ok_or("\"group\" must be an array of {n, m, k} member objects")?;
+    for key in ["dim", "n", "m", "k"] {
+        if v.get(key).is_some() {
+            return Err(format!(
+                "\"group\" cannot be combined with top-level \"{key}\" — spell every member inside the group"
+            ));
+        }
+    }
+    if members_json.is_empty() {
+        return Err("\"group\" needs at least one member".into());
+    }
+    if members_json.len() > MAX_GROUP_MEMBERS {
+        return Err(format!(
+            "\"group\" takes at most {MAX_GROUP_MEMBERS} members, got {}",
+            members_json.len()
+        ));
+    }
+    let mut members = Vec::with_capacity(members_json.len());
+    for (i, member) in members_json.iter().enumerate() {
+        if !matches!(member, Json::Obj(_)) {
+            return Err(format!(
+                "group member {i} must be an object with \"n\"/\"m\"/\"k\""
+            ));
+        }
+        members.push(parse_dims(member, kernel).map_err(|e| format!("group member {i}: {e}"))?);
+    }
+    Ok(members)
 }
 
 /// Parse a `run` request object into a fleet job.
@@ -205,7 +270,6 @@ fn parse_job(v: &Json, sched: &Scheduler) -> Result<FleetJob, String> {
         Some(label) => KernelClass::parse(label)
             .ok_or_else(|| format!("unknown kernel {label:?} (use \"gemm\" or \"gemv\")"))?,
     };
-    let shape = parse_dims(v, kernel)?;
     let kind = parse_pattern(v)?;
     let mut spec = PatternSpec::new(kind);
     if let Some(mean) = opt_f64(v, "mean")? {
@@ -221,10 +285,21 @@ fn parse_job(v: &Json, sched: &Scheduler) -> Result<FleetJob, String> {
         spec = spec.with_std(std);
     }
 
-    let mut req = RunRequest::new(dtype, shape.n, spec)
-        .with_kernel(kernel)
-        .with_shape(shape);
-    check_budgets(req.dims(), dtype)?;
+    let mut req = match v.get("group") {
+        Some(group) => {
+            let members = parse_group(v, group, kernel)?;
+            RunRequest::new(dtype, members[0].n, spec)
+                .with_kernel(kernel)
+                .with_group(members)
+        }
+        None => {
+            let shape = parse_dims(v, kernel)?;
+            RunRequest::new(dtype, shape.n, spec)
+                .with_kernel(kernel)
+                .with_shape(shape)
+        }
+    };
+    check_budgets(&req)?;
     if let Some(seeds) = opt_u64(v, "seeds")? {
         if seeds == 0 || seeds > MAX_SEEDS {
             return Err(format!("\"seeds\" must be in 1..={MAX_SEEDS}"));
@@ -291,6 +366,11 @@ const MAX_FLOPS: u64 = 1 << 37;
 /// Operand-footprint budget (A + B + D at the request's element width):
 /// 256 MiB, just above the legacy 4096² FP32 working set (192 MiB).
 const MAX_WORKING_SET_BYTES: u64 = 256 * 1024 * 1024;
+/// Upper bound on grouped-request member counts: 64 ragged problems is a
+/// generous serving-framework prefill batch; anything larger should be
+/// split across requests (and the aggregate budgets would throttle it
+/// anyway).
+const MAX_GROUP_MEMBERS: usize = 64;
 /// Upper bound on the seed-averaging count.
 const MAX_SEEDS: u64 = 100;
 /// Upper bound on bit counts (no supported encoding is wider than 32).
@@ -389,9 +469,24 @@ fn parse_pattern(v: &Json) -> Result<PatternKind, String> {
     }
 }
 
+/// The canonical `"group"` echo: one `{n, m, k}` object per member.
+fn group_json(members: impl Iterator<Item = GemmDims>) -> Json {
+    Json::Arr(
+        members
+            .map(|d| {
+                obj(vec![
+                    ("n", Json::Num(d.n as f64)),
+                    ("m", Json::Num(d.m as f64)),
+                    ("k", Json::Num(d.k as f64)),
+                ])
+            })
+            .collect(),
+    )
+}
+
 fn run_payload(r: &FleetResponse) -> Vec<(&'static str, Json)> {
     let dims = r.result.activity.dims;
-    vec![
+    let mut fields = vec![
         ("device", Json::Num(r.device as f64)),
         ("gpu", Json::Str(r.gpu_name.to_string())),
         // The kernel the run executed — also the (architecture, kernel)
@@ -400,11 +495,30 @@ fn run_payload(r: &FleetResponse) -> Vec<(&'static str, Json)> {
             "kernel",
             Json::Str(r.result.activity.kernel.label().to_string()),
         ),
+    ];
+    if r.result.member_activities.is_empty() {
         // The effective problem shape executed (GEMV reports m = 1,
         // whatever spelling the request used).
-        ("n", Json::Num(dims.n as f64)),
-        ("m", Json::Num(dims.m as f64)),
-        ("k", Json::Num(dims.k as f64)),
+        fields.extend([
+            ("n", Json::Num(dims.n as f64)),
+            ("m", Json::Num(dims.m as f64)),
+            ("k", Json::Num(dims.k as f64)),
+        ]);
+    } else {
+        // A grouped run echoes its canonical member list instead of a
+        // single shape: the group executed as one unit.
+        fields.extend([
+            (
+                "members",
+                Json::Num(r.result.member_activities.len() as f64),
+            ),
+            (
+                "group",
+                group_json(r.result.member_activities.iter().map(|a| a.dims)),
+            ),
+        ]);
+    }
+    fields.extend(vec![
         ("power_w", Json::Num(r.result.power.mean)),
         ("power_std_w", Json::Num(r.result.power.std)),
         (
@@ -438,7 +552,8 @@ fn run_payload(r: &FleetResponse) -> Vec<(&'static str, Json)> {
         ),
         ("measured_w", Json::Num(r.measured_w)),
         ("cache_hit", Json::Bool(r.cache_hit)),
-    ]
+    ]);
+    fields
 }
 
 fn ok_response(id: Json, payload: Vec<(&str, Json)>) -> Json {
@@ -500,20 +615,31 @@ pub fn answer(v: &Json, sched: &Scheduler) -> Json {
         "predict" => match parse_job(v, sched) {
             Err(msg) => err_response(id, &msg),
             Ok(job) => match sched.predict(&job) {
-                Ok(p) => ok_response(
-                    id,
-                    vec![
+                Ok(p) => {
+                    let mut fields = vec![
                         ("device", Json::Num(p.device as f64)),
                         ("gpu", Json::Str(p.gpu_name.to_string())),
                         ("kernel", Json::Str(p.kernel.label().to_string())),
-                        ("n", Json::Num(p.dims.n as f64)),
-                        ("m", Json::Num(p.dims.m as f64)),
-                        ("k", Json::Num(p.dims.k as f64)),
+                    ];
+                    if p.group.is_empty() {
+                        fields.extend([
+                            ("n", Json::Num(p.dims.n as f64)),
+                            ("m", Json::Num(p.dims.m as f64)),
+                            ("k", Json::Num(p.dims.k as f64)),
+                        ]);
+                    } else {
+                        fields.extend([
+                            ("members", Json::Num(p.group.len() as f64)),
+                            ("group", group_json(p.group.iter().copied())),
+                        ]);
+                    }
+                    fields.extend([
                         ("predicted_w", Json::Num(p.predicted_w)),
                         ("source", Json::Str(p.source.label().to_string())),
                         ("model_observations", Json::Num(p.model_observations as f64)),
-                    ],
-                ),
+                    ]);
+                    ok_response(id, fields)
+                }
                 Err(e) => err_response(id, &e.to_string()),
             },
         },
@@ -575,26 +701,28 @@ pub fn answer(v: &Json, sched: &Scheduler) -> Json {
                 return err_response(id, "batch needs a \"requests\" array");
             };
             // Parse everything up front so one bad entry fails fast with a
-            // per-entry error instead of a half-executed batch.
+            // per-entry error instead of a half-executed batch; the
+            // parseable jobs then execute power-packed (FFD against the
+            // fleet budget) through `run_batch`.
             let jobs: Vec<Result<FleetJob, String>> =
                 requests.iter().map(|r| parse_job(r, sched)).collect();
-            let mut handles = Vec::with_capacity(jobs.len());
-            for job in &jobs {
-                handles.push(job.as_ref().ok().map(|j| sched.submit(j.clone())));
-            }
-            let results: Vec<Json> = handles
-                .into_iter()
-                .zip(&jobs)
+            let parsed: Vec<FleetJob> = jobs
+                .iter()
+                .filter_map(|j| j.as_ref().ok())
+                .cloned()
+                .collect();
+            let mut answers = sched.run_batch(parsed).into_iter();
+            let results: Vec<Json> = jobs
+                .iter()
                 .zip(requests)
-                .map(|((handle, parse), reqv)| {
+                .map(|(parse, reqv)| {
                     let rid = reqv.get("id").cloned().unwrap_or(Json::Null);
-                    match (handle, parse) {
-                        (Some(h), _) => match h.recv() {
+                    match parse {
+                        Ok(_) => match answers.next().expect("one answer per parsed job") {
                             Ok(r) => ok_response(rid, run_payload(&r)),
                             Err(e) => err_response(rid, &e.to_string()),
                         },
-                        (None, Err(msg)) => err_response(rid, msg),
-                        (None, Ok(_)) => unreachable!("parsed jobs are submitted"),
+                        Err(msg) => err_response(rid, msg),
                     }
                 })
                 .collect();
@@ -1093,6 +1221,168 @@ mod tests {
         );
         assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "{v}");
         assert_eq!(s.stats().failed, 0, "rejected at parse, never in a worker");
+    }
+
+    #[test]
+    fn grouped_requests_run_echo_and_cache_alias_permutations() {
+        let s = sched();
+        // A grouped prefill request executes as one unit and echoes the
+        // canonical member list instead of a single n/m/k.
+        let first = run_line(
+            &s,
+            r#"{"dtype": "fp16-t", "group": [{"n": 96, "m": 32, "k": 64}, {"n": 64, "m": 16, "k": 96}, {"dim": 64}], "pattern": "gaussian", "seeds": 1, "lattice": 4, "gpu": "a100"}"#,
+        );
+        assert_eq!(first.get("ok"), Some(&Json::Bool(true)), "{first}");
+        assert_eq!(first.get("members").unwrap().as_u64(), Some(3));
+        assert!(first.get("n").is_none(), "groups echo no top-level shape");
+        let group = first.get("group").unwrap().as_arr().unwrap();
+        assert_eq!(group.len(), 3);
+        // Canonical (sorted) member order, with the per-member `dim`
+        // square spelling expanded.
+        assert_eq!(group[0].get("n").unwrap().as_u64(), Some(64));
+        assert_eq!(group[0].get("m").unwrap().as_u64(), Some(16));
+        assert_eq!(group[2].get("k").unwrap().as_u64(), Some(64));
+        assert_eq!(first.get("cache_hit"), Some(&Json::Bool(false)));
+        // A permuted resubmission is the same cache entry with the same
+        // answer.
+        let permuted = run_line(
+            &s,
+            r#"{"dtype": "fp16-t", "group": [{"dim": 64}, {"n": 64, "m": 16, "k": 96}, {"n": 96, "m": 32, "k": 64}], "pattern": "gaussian", "seeds": 1, "lattice": 4, "gpu": "a100"}"#,
+        );
+        assert_eq!(
+            permuted.get("cache_hit"),
+            Some(&Json::Bool(true)),
+            "{permuted}"
+        );
+        assert_eq!(
+            first.get("power_w").unwrap().as_f64(),
+            permuted.get("power_w").unwrap().as_f64()
+        );
+        // A 1-member group is the plain request: it hits the plain
+        // request's cache entry (and vice versa).
+        let plain = run_line(
+            &s,
+            r#"{"dtype": "fp16-t", "n": 96, "m": 32, "k": 64, "pattern": "gaussian", "seeds": 1, "lattice": 4, "gpu": "a100"}"#,
+        );
+        assert_eq!(plain.get("ok"), Some(&Json::Bool(true)), "{plain}");
+        let singleton = run_line(
+            &s,
+            r#"{"dtype": "fp16-t", "group": [{"n": 96, "m": 32, "k": 64}], "pattern": "gaussian", "seeds": 1, "lattice": 4, "gpu": "a100"}"#,
+        );
+        assert_eq!(
+            singleton.get("cache_hit"),
+            Some(&Json::Bool(true)),
+            "{singleton}"
+        );
+        // And it answers in the plain shape: no "members"/"group" echo.
+        assert!(singleton.get("members").is_none());
+        assert_eq!(singleton.get("n").unwrap().as_u64(), Some(96));
+        // predict prices a group without executing and echoes the list.
+        let p = run_line(
+            &s,
+            r#"{"op": "predict", "dtype": "fp16-t", "kernel": "gemv", "group": [{"n": 64, "k": 256}, {"n": 256, "k": 64}], "pattern": "gaussian", "seeds": 1, "lattice": 4}"#,
+        );
+        assert_eq!(p.get("ok"), Some(&Json::Bool(true)), "{p}");
+        assert_eq!(p.get("members").unwrap().as_u64(), Some(2));
+        let pg = p.get("group").unwrap().as_arr().unwrap();
+        // GEMV members normalize m to 1, exactly like plain GEMV requests.
+        assert_eq!(pg[0].get("m").unwrap().as_u64(), Some(1));
+        assert!(p.get("predicted_w").unwrap().as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn group_validation_answers_errors_not_panics() {
+        let s = sched();
+        for (line, needle) in [
+            // Empty and non-array groups.
+            (
+                r#"{"dtype": "fp32", "group": [], "pattern": "zeros"}"#,
+                "at least one member",
+            ),
+            (
+                r#"{"dtype": "fp32", "group": 5, "pattern": "zeros"}"#,
+                "\"group\" must be an array",
+            ),
+            (
+                r#"{"dtype": "fp32", "group": {"n": 64}, "pattern": "zeros"}"#,
+                "\"group\" must be an array",
+            ),
+            // Member-count budget.
+            (
+                &format!(
+                    r#"{{"dtype": "fp32", "group": [{}], "pattern": "zeros"}}"#,
+                    vec![r#"{"dim": 32}"#; 65].join(", ")
+                ),
+                "at most 64 members",
+            ),
+            // Aggregate FLOPs budget: each member admissible alone
+            // (2 * 4096^3 = 2^37 exactly), together double the budget.
+            (
+                r#"{"dtype": "fp16-t", "group": [{"dim": 4096}, {"dim": 4096}], "pattern": "zeros"}"#,
+                "GFLOP budget",
+            ),
+            // Aggregate footprint budget: ~69 MiB per member of cheap
+            // FLOPs, 4 members blow the 256 MiB cap.
+            (
+                r#"{"dtype": "fp32", "group": [{"n": 4096, "m": 64, "k": 4096}, {"n": 4096, "m": 64, "k": 4097}, {"n": 4096, "m": 64, "k": 4098}, {"n": 4096, "m": 64, "k": 4099}], "pattern": "zeros"}"#,
+                "MiB budget",
+            ),
+            // Wrong-typed and out-of-range member fields.
+            (
+                r#"{"dtype": "fp32", "group": [{"n": "64", "m": 64, "k": 64}], "pattern": "zeros"}"#,
+                "group member 0: \"n\" must be a non-negative integer",
+            ),
+            (
+                r#"{"dtype": "fp32", "group": [{"dim": 64}, {"n": 64, "m": true, "k": 64}], "pattern": "zeros"}"#,
+                "group member 1: \"m\" must be a non-negative integer",
+            ),
+            (
+                r#"{"dtype": "fp32", "group": [{"n": 64, "k": 64}], "pattern": "zeros"}"#,
+                "group member 0: missing \"m\"",
+            ),
+            (
+                r#"{"dtype": "fp32", "group": [{"dim": 0}], "pattern": "zeros"}"#,
+                "group member 0: \"dim\" must be in 1..=65536",
+            ),
+            (
+                r#"{"dtype": "fp32", "group": [{}], "pattern": "zeros"}"#,
+                "group member 0: missing problem shape",
+            ),
+            (
+                r#"{"dtype": "fp32", "group": [64], "pattern": "zeros"}"#,
+                "group member 0 must be an object",
+            ),
+            // Group and legacy shape fields are mutually exclusive.
+            (
+                r#"{"dtype": "fp32", "dim": 64, "group": [{"dim": 64}], "pattern": "zeros"}"#,
+                "cannot be combined with top-level \"dim\"",
+            ),
+            (
+                r#"{"dtype": "fp32", "k": 64, "group": [{"dim": 64}], "pattern": "zeros"}"#,
+                "cannot be combined with top-level \"k\"",
+            ),
+        ] {
+            let v = run_line(&s, line);
+            assert_eq!(v.get("ok"), Some(&Json::Bool(false)), "{line} -> {v}");
+            let err = v.get("error").unwrap().as_str().unwrap();
+            assert!(err.contains(needle), "{line} -> {err}");
+        }
+        assert_eq!(
+            s.stats().failed,
+            0,
+            "bad groups must be rejected at parse, never in a worker"
+        );
+        // At-budget groups still execute: 64 members is admissible, and
+        // `predict` proves admissibility without paying for the run.
+        let v = run_line(
+            &s,
+            &format!(
+                r#"{{"op": "predict", "dtype": "fp32", "group": [{}], "pattern": "zeros", "seeds": 1, "lattice": 4}}"#,
+                vec![r#"{"dim": 32}"#; 64].join(", ")
+            ),
+        );
+        assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "{v}");
+        assert_eq!(v.get("members").unwrap().as_u64(), Some(64));
     }
 
     #[test]

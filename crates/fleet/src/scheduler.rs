@@ -41,9 +41,10 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use wm_core::{PowerLab, RunRequest, RunResult};
+use wm_gpu::GemmDims;
 use wm_kernels::{ActivityRecord, KernelClass};
 use wm_optimizer::DvfsPlan;
-use wm_power::{evaluate, kernel_runtime, predicted_breakdown, PowerBreakdown};
+use wm_power::{evaluate_group, group_runtime, predicted_breakdown, PowerBreakdown};
 use wm_predict::{features_for_request, FeatureVector, ModelStats, PowerPredictor};
 
 use crate::cache::MemoCache;
@@ -195,8 +196,13 @@ pub struct PredictOutcome {
     /// kernel — also the model key a `"learned"` answer came from).
     pub kernel: KernelClass,
     /// The effective problem shape the job would execute
-    /// ([`RunRequest::dims`]: GEMV reports `m = 1`).
+    /// ([`RunRequest::dims`]: GEMV reports `m = 1`). For grouped requests
+    /// this is the first canonical member; [`PredictOutcome::group`]
+    /// carries the full list.
     pub dims: wm_gpu::GemmDims,
+    /// Effective member shapes of a grouped request, in canonical order;
+    /// empty for plain requests.
+    pub group: Vec<GemmDims>,
     /// Predicted board power at the governor-resolved clock, watts.
     pub predicted_w: f64,
     /// Which pricing path produced the number.
@@ -225,8 +231,10 @@ struct Inner {
     fleet: Fleet,
     cache: MemoCache,
     /// Request-keyed probe cache: switching activity is device-independent,
-    /// so placement probes are shared across devices and repeats.
-    probes: Mutex<HashMap<u64, Arc<ActivityRecord>>>,
+    /// so placement probes are shared across devices and repeats. One
+    /// record per group member (plain requests are their own single
+    /// member).
+    probes: Mutex<HashMap<u64, Arc<Vec<ActivityRecord>>>>,
     /// Request-keyed feature cache: input features are device-independent
     /// too, and one extraction serves placement, prediction, and the
     /// training feedback of every repeat.
@@ -244,6 +252,9 @@ struct Inner {
     wake: Condvar,
     /// Power committed to currently running jobs, per device.
     load_w: Mutex<Vec<f64>>,
+    /// Highest total committed draw ever observed, as f64 bits (committed
+    /// loads are non-negative, so the bit patterns order like the values).
+    peak_load_w: AtomicU64,
     /// Signalled whenever committed load drops.
     load_freed: Condvar,
     stop: AtomicBool,
@@ -298,6 +309,7 @@ impl Scheduler {
             idle: Mutex::new(()),
             wake: Condvar::new(),
             load_w: Mutex::new(vec![0.0; n_devices]),
+            peak_load_w: AtomicU64::new(0),
             load_freed: Condvar::new(),
             stop: AtomicBool::new(false),
             submitted: AtomicU64::new(0),
@@ -341,9 +353,113 @@ impl Scheduler {
     /// Submit a batch and wait for all answers, preserving input order.
     /// Duplicate queries inside the batch are deduplicated by the memo
     /// cache (at most one simulation per distinct query).
+    ///
+    /// Execution order is **power-packed**, not FIFO: every auto-placed
+    /// job is priced up front exactly as placement will price it (learned
+    /// models when trained and healthy, the analytic probe otherwise —
+    /// probes and features are cached, so nothing is paid twice), and the
+    /// priced jobs are first-fit-decreasing packed into concurrency
+    /// rounds against the fleet power budget ([`pack_ffd`]). Each round
+    /// fills the budget with the heaviest jobs that fit together — one
+    /// job per device, total planned draw under the budget — instead of
+    /// trickling jobs through in submission order and stranding budget
+    /// headroom behind a heavy head-of-line job. Cached repeats, pinned
+    /// jobs (which bypass budget accounting, as the paper's
+    /// dedicated-device methodology does), and jobs no placement admits
+    /// skip the packer entirely: they hold no budget, so there is nothing
+    /// to pack.
+    ///
+    /// The budget itself is still enforced at execution time by the slot
+    /// reservation ([`Scheduler::peak_committed_w`] witnesses compliance);
+    /// packing only chooses *which* jobs run together, so answers remain
+    /// independent of timing.
     pub fn run_batch(&self, jobs: Vec<FleetJob>) -> Vec<Result<FleetResponse, FleetError>> {
-        let handles: Vec<JobHandle> = jobs.into_iter().map(|j| self.submit(j)).collect();
-        handles.into_iter().map(JobHandle::recv).collect()
+        let inner = &*self.inner;
+        // Price the whole batch in parallel (order-preserving fan-out;
+        // probes and features land in the shared per-request caches, so
+        // the workers executing the rounds reuse them). `None` marks a
+        // job the packer must not touch.
+        let pricing: Vec<Option<(usize, f64)>> =
+            crate::par::parallel_map((0..jobs.len()).collect(), |i| {
+                let job = &jobs[i];
+                if job.pin.is_some() {
+                    return None;
+                }
+                // A repeat whose answer any device already caches replays
+                // without running: no draw, nothing to pack.
+                for dev in inner.fleet.devices() {
+                    if inner
+                        .cache
+                        .contains(canonical_key(&job.request, &dev.gpu, dev.vm.id))
+                    {
+                        return None;
+                    }
+                }
+                // Price as placement will. A pricing panic (malformed
+                // library-level request) is not answered here: the worker
+                // owns panic containment, so the job goes through unpacked
+                // and comes back as a clean error. Infeasible jobs hold no
+                // budget; the worker re-derives and answers the error.
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let features = request_features(inner, &job.request);
+                    plan_placement(inner, &job.request, job.deadline_s, &features)
+                }))
+                .ok()
+                .and_then(Result::ok)
+                .map(|p| (p.device, p.planned_power_w))
+            });
+        let mut bypass: Vec<usize> = Vec::new();
+        let mut priced_jobs: Vec<usize> = Vec::new();
+        let mut priced: Vec<(usize, f64)> = Vec::new();
+        for (i, outcome) in pricing.into_iter().enumerate() {
+            match outcome {
+                Some(entry) => {
+                    priced_jobs.push(i);
+                    priced.push(entry);
+                }
+                None => bypass.push(i),
+            }
+        }
+
+        let rounds = pack_ffd(inner.fleet.power_budget_w(), &priced);
+        let mut results: Vec<Option<Result<FleetResponse, FleetError>>> =
+            (0..jobs.len()).map(|_| None).collect();
+        // Bypass jobs first: cache replays answer instantly, pinned jobs
+        // take no slot, and rejections fail fast — none of them contend
+        // with the packed rounds for budget.
+        let bypass_handles: Vec<(usize, JobHandle)> = bypass
+            .iter()
+            .map(|&i| (i, self.submit(jobs[i].clone())))
+            .collect();
+        for round in &rounds {
+            let handles: Vec<(usize, JobHandle)> = round
+                .jobs
+                .iter()
+                .map(|&p| {
+                    let i = priced_jobs[p];
+                    (i, self.submit(jobs[i].clone()))
+                })
+                .collect();
+            // The round fit under the budget when it was priced, so its
+            // jobs are meant to hold their slots concurrently; the
+            // barrier keeps the next round from competing with this one.
+            // Workers re-derive placement at execution, and the predictor
+            // may have learned from earlier rounds in the meantime — if a
+            // re-priced job no longer fits alongside its round-mates, the
+            // slot reservation simply delays it (degrading toward the old
+            // backpressure behavior for that round), never overshooting
+            // the budget.
+            for (i, handle) in handles {
+                results[i] = Some(handle.recv());
+            }
+        }
+        for (i, handle) in bypass_handles {
+            results[i] = Some(handle.recv());
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every job answered"))
+            .collect()
     }
 
     /// Current counter snapshot.
@@ -374,6 +490,16 @@ impl Scheduler {
             .lock()
             .expect("probe cache poisoned")
             .len()
+    }
+
+    /// The highest instantaneous committed fleet draw observed so far,
+    /// watts — the budget-compliance witness. The slot reservation in the
+    /// execution path never commits past the fleet budget, so this is
+    /// `<= fleet().power_budget_w()` by construction; tests assert it to
+    /// pin the invariant (0 until the first auto-placed job runs; pinned
+    /// jobs bypass budget accounting).
+    pub fn peak_committed_w(&self) -> f64 {
+        f64::from_bits(self.inner.peak_load_w.load(Ordering::Relaxed))
     }
 
     /// Per-device execution counters (utilization, simulated seconds,
@@ -435,9 +561,14 @@ impl Scheduler {
                     Some(pred) => {
                         // The model predicts boost-equivalent watts; the
                         // governor resolves the operating point a run
-                        // would actually sustain.
-                        let rt =
-                            kernel_runtime(&dev.gpu, kernel, job.request.dims(), job.request.dtype);
+                        // would actually sustain. Grouped requests time
+                        // the sum of their member kernels.
+                        let rt = group_runtime(
+                            &dev.gpu,
+                            kernel,
+                            &job.request.member_dims(),
+                            job.request.dtype,
+                        );
                         (
                             predicted_breakdown(&dev.gpu, &rt, pred.watts).total_w,
                             PredictionSource::Learned,
@@ -448,7 +579,7 @@ impl Scheduler {
                         // matching what a run on it would measure.
                         let activity = probe(inner, &job.request);
                         (
-                            evaluate(&dev.gpu, &activity).total_w + dev.vm.offset_w,
+                            evaluate_group(&dev.gpu, &activity).total_w + dev.vm.offset_w,
                             PredictionSource::Analytic,
                         )
                     }
@@ -458,6 +589,7 @@ impl Scheduler {
                     gpu_name: dev.gpu.name,
                     kernel,
                     dims: job.request.dims(),
+                    group: effective_group(&job.request),
                     predicted_w,
                     source,
                     model_observations: observations,
@@ -476,6 +608,7 @@ impl Scheduler {
                     gpu_name: dev.gpu.name,
                     kernel,
                     dims: job.request.dims(),
+                    group: effective_group(&job.request),
                     predicted_w: placement.predicted_w,
                     source: placement.source,
                     model_observations: observations,
@@ -512,6 +645,63 @@ impl Scheduler {
             .observe(dev.gpu.name, req.kernel, &features, measured_w);
         Ok(())
     }
+}
+
+/// One concurrency round produced by the first-fit-decreasing power
+/// packer ([`pack_ffd`]): jobs meant to hold their budget slots at the
+/// same time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedRound {
+    /// Indices into the priced job list, in packing order.
+    pub jobs: Vec<usize>,
+    /// Total planned draw of the round, watts.
+    pub watts: f64,
+}
+
+/// First-fit-decreasing power packing of priced jobs under a fleet
+/// budget.
+///
+/// `priced` carries one `(placed device, planned watts)` entry per job.
+/// Jobs are taken heaviest-first (ties broken by index, so packing is
+/// deterministic) and each lands in the first round that still has budget
+/// headroom for it and whose placed device is free — the same two
+/// constraints the execution-time slot reservation enforces, which is
+/// what makes a packed round actually runnable as a unit. A job whose
+/// planned draw alone exceeds the budget gets a singleton round (callers
+/// that price via placement never produce one — admission rejects it —
+/// but the packer must not lose jobs).
+///
+/// Against the FIFO order this replaces, FFD never needs *more* rounds
+/// and typically needs fewer: submission order strands budget headroom
+/// behind whichever heavy job arrives mid-round, while
+/// decreasing order fills each round's remainder with the biggest jobs
+/// that still fit (the classic bin-packing result — the in-crate
+/// regression test pins the comparison).
+pub fn pack_ffd(budget_w: f64, priced: &[(usize, f64)]) -> Vec<PackedRound> {
+    let mut order: Vec<usize> = (0..priced.len()).collect();
+    order.sort_by(|&a, &b| priced[b].1.total_cmp(&priced[a].1).then(a.cmp(&b)));
+    let mut rounds: Vec<(PackedRound, Vec<usize>)> = Vec::new();
+    for i in order {
+        let (device, watts) = priced[i];
+        match rounds
+            .iter_mut()
+            .find(|(r, devices)| r.watts + watts <= budget_w && !devices.contains(&device))
+        {
+            Some((round, devices)) => {
+                round.jobs.push(i);
+                round.watts += watts;
+                devices.push(device);
+            }
+            None => rounds.push((
+                PackedRound {
+                    jobs: vec![i],
+                    watts,
+                },
+                vec![device],
+            )),
+        }
+    }
+    rounds.into_iter().map(|(r, _)| r).collect()
 }
 
 impl Drop for Scheduler {
@@ -582,7 +772,17 @@ fn worker_loop(inner: &Inner, me: usize) {
     }
 }
 
-fn probe(inner: &Inner, req: &RunRequest) -> Arc<ActivityRecord> {
+/// Effective member shapes of a grouped request (empty for plain ones) —
+/// what `predict` answers echo.
+fn effective_group(req: &RunRequest) -> Vec<GemmDims> {
+    if req.is_grouped() {
+        req.member_dims()
+    } else {
+        Vec::new()
+    }
+}
+
+fn probe(inner: &Inner, req: &RunRequest) -> Arc<Vec<ActivityRecord>> {
     let key = request_key(req);
     if let Some(a) = inner.probes.lock().expect("probe cache poisoned").get(&key) {
         return Arc::clone(a);
@@ -703,6 +903,11 @@ fn acquire_slot<'a>(
         let committed: f64 = load.iter().sum();
         if load[device] == 0.0 && committed + watts <= inner.fleet.power_budget_w() {
             load[device] = watts;
+            // Record the high-water mark of committed draw (the budget
+            // compliance witness the e2e tests assert against).
+            inner
+                .peak_load_w
+                .fetch_max((committed + watts).to_bits(), Ordering::Relaxed);
             return Ok(SlotGuard {
                 inner,
                 device,
@@ -1340,6 +1545,216 @@ mod tests {
         assert!(sched
             .record_external(5, &quick(PatternKind::Zeros, 1), 100.0)
             .is_err());
+    }
+
+    /// The retired FIFO admission model, kept as the packing baseline:
+    /// jobs are admitted strictly in submission order, and a job that
+    /// does not fit the current round closes it (head-of-line blocking —
+    /// exactly what execution-order backpressure used to do).
+    fn pack_fifo(budget_w: f64, priced: &[(usize, f64)]) -> Vec<PackedRound> {
+        let mut rounds: Vec<(PackedRound, Vec<usize>)> = Vec::new();
+        for (i, &(device, watts)) in priced.iter().enumerate() {
+            match rounds
+                .last_mut()
+                .filter(|(r, devices)| r.watts + watts <= budget_w && !devices.contains(&device))
+            {
+                Some((round, devices)) => {
+                    round.jobs.push(i);
+                    round.watts += watts;
+                    devices.push(device);
+                }
+                None => rounds.push((
+                    PackedRound {
+                        jobs: vec![i],
+                        watts,
+                    },
+                    vec![device],
+                )),
+            }
+        }
+        rounds.into_iter().map(|(r, _)| r).collect()
+    }
+
+    #[test]
+    fn ffd_packs_at_least_as_densely_as_fifo_and_never_over_budget() {
+        // The packing regression gate: on a deterministic synthetic
+        // mixed-watt job set, FFD must admit at least as many jobs per
+        // scheduling round as the old FIFO order (i.e. need no more
+        // rounds) and must never pack a round past the budget.
+        let budget = 500.0;
+        let mut state = 0x5EED_CAFE_u64;
+        let mut next = move || {
+            // SplitMix64 — deterministic, no external RNG needed.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let priced: Vec<(usize, f64)> = (0..48)
+            .map(|_| {
+                let r = next();
+                let device = (r % 8) as usize;
+                let watts = 60.0 + (r >> 8) as f64 % 181.0; // 60..=240 W
+                (device, watts)
+            })
+            .collect();
+        let ffd = pack_ffd(budget, &priced);
+        let fifo = pack_fifo(budget, &priced);
+        for rounds in [&ffd, &fifo] {
+            for round in rounds.iter() {
+                assert!(round.watts <= budget, "round over budget: {round:?}");
+                assert!(
+                    (round.watts - round.jobs.iter().map(|&j| priced[j].1).sum::<f64>()).abs()
+                        < 1e-9
+                );
+            }
+        }
+        // No job lost or duplicated by either packing.
+        for rounds in [&ffd, &fifo] {
+            let mut seen: Vec<usize> = rounds.iter().flat_map(|r| r.jobs.clone()).collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..priced.len()).collect::<Vec<_>>());
+        }
+        let jobs_per_round = |rounds: &[PackedRound]| priced.len() as f64 / rounds.len() as f64;
+        assert!(
+            ffd.len() <= fifo.len(),
+            "FFD used {} rounds where FIFO used {}",
+            ffd.len(),
+            fifo.len()
+        );
+        assert!(
+            ffd.len() < fifo.len(),
+            "this seed is chosen so FFD strictly beats FIFO ({} vs {} rounds, \
+             {:.2} vs {:.2} jobs/round)",
+            ffd.len(),
+            fifo.len(),
+            jobs_per_round(&ffd),
+            jobs_per_round(&fifo)
+        );
+        // Determinism: same inputs, same packing.
+        assert_eq!(ffd, pack_ffd(budget, &priced));
+        // Oversize jobs are not lost: they land in singleton rounds.
+        let oversize = pack_ffd(100.0, &[(0, 250.0), (1, 40.0), (2, 40.0)]);
+        assert!(oversize
+            .iter()
+            .any(|r| r.jobs == vec![0] && r.watts == 250.0));
+    }
+
+    #[test]
+    fn run_batch_fills_the_budget_and_never_exceeds_it() {
+        // Three devices, a budget that fits roughly two concurrent jobs:
+        // the packed batch must complete everything, the high-water mark
+        // of committed draw must stay under the budget, and packing must
+        // actually exercise concurrency (peak above any single job).
+        let budget = 500.0;
+        let fleet = Fleet::builder()
+            .device(a100_pcie())
+            .device(a100_pcie())
+            .device(a100_pcie())
+            .power_budget_w(budget)
+            .build();
+        let sched = Scheduler::with_workers(fleet, 4);
+        let jobs: Vec<FleetJob> = (0..9)
+            .map(|i| FleetJob::new(quick(PatternKind::Gaussian, 7000 + i)))
+            .collect();
+        let answers = sched.run_batch(jobs);
+        assert!(answers.iter().all(|a| a.is_ok()), "{answers:?}");
+        let peak = sched.peak_committed_w();
+        assert!(peak > 0.0, "packed jobs must commit load");
+        assert!(
+            peak <= budget,
+            "peak {peak} W exceeded the {budget} W budget"
+        );
+        let max_single = answers
+            .iter()
+            .map(|a| a.as_ref().unwrap().result.breakdown.total_w)
+            .fold(0.0, f64::max);
+        assert!(
+            peak > max_single,
+            "peak {peak} W should show two jobs packed together (max single {max_single} W)"
+        );
+        assert_eq!(sched.stats().completed, 9);
+    }
+
+    #[test]
+    fn grouped_jobs_cache_as_a_unit_and_alias_permutations() {
+        let sched = Scheduler::with_workers(Fleet::homogeneous(a100_pcie(), 2), 2);
+        let members = vec![
+            GemmDims {
+                n: 96,
+                m: 32,
+                k: 160,
+            },
+            GemmDims::square(64),
+            GemmDims {
+                n: 64,
+                m: 16,
+                k: 96,
+            },
+        ];
+        let grouped = quick(PatternKind::Gaussian, 42).with_group(members.clone());
+        let first = sched.submit(FleetJob::new(grouped)).recv().unwrap();
+        assert!(!first.cache_hit);
+        assert_eq!(first.result.member_activities.len(), 3);
+        // A permuted resubmission is the same request: pure cache hit,
+        // same allocation, same device.
+        let mut permuted = members.clone();
+        permuted.rotate_left(2);
+        let again = sched
+            .submit(FleetJob::new(
+                quick(PatternKind::Gaussian, 42).with_group(permuted),
+            ))
+            .recv()
+            .unwrap();
+        assert!(again.cache_hit, "permuted group must hit the cache");
+        assert!(Arc::ptr_eq(&first.result, &again.result));
+        assert_eq!(first.device, again.device);
+        assert_eq!(sched.stats().cache_misses, 1);
+        // A member-list perturbation is a different request.
+        let mut tweaked = members;
+        tweaked[0].k += 32;
+        let other = sched
+            .submit(FleetJob::new(
+                quick(PatternKind::Gaussian, 42).with_group(tweaked),
+            ))
+            .recv()
+            .unwrap();
+        assert!(!other.cache_hit);
+        // The grouped request trains its kernel's model like any other
+        // fresh run (one observation per *group*, not per member).
+        assert_eq!(sched.model_stats()[0].observations, 2);
+    }
+
+    #[test]
+    fn grouped_predict_prices_the_group_as_a_unit() {
+        let sched = Scheduler::with_workers(Fleet::builder().device(a100_pcie()).build(), 1);
+        let member = GemmDims {
+            n: 128,
+            m: 64,
+            k: 128,
+        };
+        let single = sched
+            .predict(&FleetJob::new(
+                quick(PatternKind::Gaussian, 11).with_shape(member),
+            ))
+            .unwrap();
+        let grouped = sched
+            .predict(&FleetJob::new(
+                quick(PatternKind::Gaussian, 11).with_group(vec![member, member, member]),
+            ))
+            .unwrap();
+        assert_eq!(grouped.group, vec![member, member, member]);
+        assert!(single.group.is_empty());
+        assert_eq!(grouped.source, PredictionSource::Analytic);
+        // Time-weighted mean over near-identical members: the group's
+        // power sits near the single member's, far below 3x of it.
+        assert!(
+            (grouped.predicted_w - single.predicted_w).abs() < 0.2 * single.predicted_w,
+            "group {} W vs member {} W",
+            grouped.predicted_w,
+            single.predicted_w
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@ use std::sync::Arc;
 use wm_core::RunRequest;
 use wm_fleet::{canonical_key, request_key, Fleet, FleetJob, MemoCache, Scheduler};
 use wm_gpu::spec::{a100_pcie, h100_sxm5, rtx6000, v100_sxm2};
-use wm_gpu::GpuSpec;
+use wm_gpu::{GemmDims, GpuSpec};
 use wm_kernels::Sampling;
 use wm_numerics::DType;
 use wm_patterns::{PatternKind, PatternSpec};
@@ -31,6 +31,17 @@ fn arb_kind() -> impl Strategy<Value = PatternKind> {
 
 fn arb_gpu() -> impl Strategy<Value = GpuSpec> {
     prop::sample::select(vec![a100_pcie(), v100_sxm2(), h100_sxm5(), rtx6000()])
+}
+
+fn arb_member() -> impl Strategy<Value = GemmDims> {
+    let axis = || prop::sample::select(vec![16usize, 24, 32, 48, 64, 96]);
+    (axis(), axis(), axis()).prop_map(|(n, m, k)| GemmDims { n, m, k })
+}
+
+/// Grouped-GEMM member lists: at least two members, so `with_group`
+/// cannot normalize the group away.
+fn arb_members() -> impl Strategy<Value = Vec<GemmDims>> {
+    prop::collection::vec(arb_member(), 2..6)
 }
 
 fn arb_request() -> impl Strategy<Value = RunRequest> {
@@ -66,6 +77,64 @@ proptest! {
         prop_assert!(base != canonical_key(&req.clone().with_seeds(req.seeds + 1), &gpu, 0));
         prop_assert!(base != canonical_key(&req.clone().with_b_transposed(!req.b_transposed), &gpu, 0));
         prop_assert!(base != canonical_key(&req, &gpu, 1));
+    }
+
+    #[test]
+    fn permuted_groups_cache_alias(req in arb_request(), members in arb_members(), perm_seed in any::<u64>()) {
+        // A group is a multiset of problems: any permutation of the
+        // member list is the same request — same canonical key, same
+        // probe key, so permuted resubmissions are pure cache hits.
+        let gpu = a100_pcie();
+        let base = req.clone().with_group(members.clone());
+        let mut shuffled = members;
+        // Deterministic Fisher-Yates driven by the proptest-chosen seed.
+        let mut state = perm_seed | 1;
+        for i in (1..shuffled.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            shuffled.swap(i, (state >> 33) as usize % (i + 1));
+        }
+        let permuted = req.clone().with_group(shuffled);
+        prop_assert_eq!(canonical_key(&base, &gpu, 0), canonical_key(&permuted, &gpu, 0));
+        prop_assert_eq!(request_key(&base), request_key(&permuted));
+    }
+
+    #[test]
+    fn any_member_axis_perturbation_changes_the_group_key(
+        req in arb_request(),
+        members in arb_members(),
+        which in any::<u64>(),
+        axis in 0usize..3,
+    ) {
+        let gpu = a100_pcie();
+        let base = canonical_key(&req.clone().with_group(members.clone()), &gpu, 0);
+        let mut tweaked = members.clone();
+        let i = (which as usize) % tweaked.len();
+        match axis {
+            0 => tweaked[i].n += 1,
+            1 => tweaked[i].m += 1,
+            _ => tweaked[i].k += 1,
+        }
+        let key = canonical_key(&req.clone().with_group(tweaked), &gpu, 0);
+        prop_assert!(base != key, "member {i} axis {axis} perturbation must move the key");
+        // Membership count moves the key too: dropping a member or
+        // duplicating one never aliases (the fold is length-prefixed).
+        let dropped = canonical_key(&req.clone().with_group(members[1..].to_vec()), &gpu, 0);
+        prop_assert!(base != dropped);
+        let mut doubled = members.clone();
+        doubled.push(members[0]);
+        prop_assert!(base != canonical_key(&req.clone().with_group(doubled), &gpu, 0));
+    }
+
+    #[test]
+    fn one_member_group_aliases_the_plain_request(req in arb_request(), gpu in arb_gpu()) {
+        // `with_group` normalizes a singleton group to the plain request
+        // it is equivalent to: the alias is structural, so every key —
+        // memo and probe — agrees.
+        let member = req.dims();
+        let grouped = req.clone().with_group(vec![member]);
+        prop_assert_eq!(&req, &grouped);
+        prop_assert_eq!(canonical_key(&req, &gpu, 0), canonical_key(&grouped, &gpu, 0));
+        prop_assert_eq!(request_key(&req), request_key(&grouped));
     }
 
     #[test]

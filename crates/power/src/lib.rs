@@ -39,5 +39,7 @@ pub use coefficients::{
     arch_energy_scale, memory_kind_factor, pipeline_coefficients, MemoryCoefficients,
     PipelineCoefficients,
 };
-pub use model::{evaluate, kernel_runtime, predicted_breakdown, PowerBreakdown};
+pub use model::{
+    evaluate, evaluate_group, group_runtime, kernel_runtime, predicted_breakdown, PowerBreakdown,
+};
 pub use reference::{reference_activity, ReferenceActivity};

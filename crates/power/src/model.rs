@@ -64,10 +64,24 @@ impl PowerBreakdown {
     }
 }
 
-/// Evaluate the power of one GEMM execution described by `activity` on
-/// device `spec`.
-pub fn evaluate(spec: &GpuSpec, activity: &ActivityRecord) -> PowerBreakdown {
-    let rt = kernel_runtime(spec, activity.kernel, activity.dims, activity.dtype);
+/// Boost-clock dynamic power components of one kernel's activity —
+/// everything [`evaluate`] derives before the DVFS governor runs. Shared
+/// with [`evaluate_group`], which sums these over a group's members
+/// before resolving the governor once.
+struct BoostPowers {
+    uncore_w: f64,
+    datapath_w: f64,
+    dram_w: f64,
+    l2_w: f64,
+}
+
+impl BoostPowers {
+    fn dynamic_w(&self) -> f64 {
+        self.uncore_w + self.datapath_w + self.dram_w + self.l2_w
+    }
+}
+
+fn boost_powers(spec: &GpuSpec, activity: &ActivityRecord, rt: &RuntimeEstimate) -> BoostPowers {
     let sens = spec.data_sensitivity;
     let arch = arch_energy_scale(spec.architecture);
     let pc = pipeline_coefficients(activity.dtype);
@@ -114,27 +128,40 @@ pub fn evaluate(spec: &GpuSpec, activity: &ActivityRecord) -> PowerBreakdown {
         * arch
         * 1e-12;
 
-    // --- Dynamic power at boost, then the DVFS governor. -----------------
-    let p_uncore_boost = spec.uncore_watts * rt.duty;
-    let p_datapath_boost = e_datapath / rt.t_iter_s;
-    let p_dram_boost = e_dram / rt.t_iter_s;
-    let p_l2_boost = e_l2 / rt.t_iter_s;
-    let p_dyn_boost = p_uncore_boost + p_datapath_boost + p_dram_boost + p_l2_boost;
+    // --- Dynamic power at boost. -----------------------------------------
+    BoostPowers {
+        uncore_w: spec.uncore_watts * rt.duty,
+        datapath_w: e_datapath / rt.t_iter_s,
+        dram_w: e_dram / rt.t_iter_s,
+        l2_w: e_l2 / rt.t_iter_s,
+    }
+}
 
-    let op = resolve_throttle(spec, spec.idle_watts, p_dyn_boost);
+/// Resolve the DVFS governor over boost-clock dynamic powers and package
+/// the operating point: the shared tail of [`evaluate`] and
+/// [`evaluate_group`]. `t_iter_s`/`t_launch_s` are the boost-clock
+/// iteration and launch times of whatever ran (one kernel, or a group's
+/// members back-to-back).
+fn resolve_breakdown(
+    spec: &GpuSpec,
+    p: &BoostPowers,
+    t_iter_boost_s: f64,
+    t_launch_s: f64,
+) -> PowerBreakdown {
+    let op = resolve_throttle(spec, spec.idle_watts, p.dynamic_w());
     let s3 = op.clock_scale.powi(3);
 
     // Kernel time stretches by 1/clock_scale when throttled.
-    let t_kernel = rt.t_iter_s - rt.t_launch_s;
-    let t_iter_s = t_kernel / op.clock_scale + rt.t_launch_s;
+    let t_kernel = t_iter_boost_s - t_launch_s;
+    let t_iter_s = t_kernel / op.clock_scale + t_launch_s;
 
     let total_w = op.power_watts;
     PowerBreakdown {
         idle_w: spec.idle_watts,
-        uncore_w: p_uncore_boost * s3,
-        datapath_w: p_datapath_boost * s3,
-        dram_w: p_dram_boost * s3,
-        l2_w: p_l2_boost * s3,
+        uncore_w: p.uncore_w * s3,
+        datapath_w: p.datapath_w * s3,
+        dram_w: p.dram_w * s3,
+        l2_w: p.l2_w * s3,
         total_w,
         clock_scale: op.clock_scale,
         throttled: op.throttled,
@@ -142,6 +169,111 @@ pub fn evaluate(spec: &GpuSpec, activity: &ActivityRecord) -> PowerBreakdown {
         duty: t_kernel / op.clock_scale / t_iter_s,
         energy_per_iter_j: total_w * t_iter_s,
     }
+}
+
+/// Evaluate the power of one GEMM execution described by `activity` on
+/// device `spec`.
+pub fn evaluate(spec: &GpuSpec, activity: &ActivityRecord) -> PowerBreakdown {
+    let rt = kernel_runtime(spec, activity.kernel, activity.dims, activity.dtype);
+    let p = boost_powers(spec, activity, &rt);
+    resolve_breakdown(spec, &p, rt.t_iter_s, rt.t_launch_s)
+}
+
+/// Evaluate the power of a **grouped** request: `members` are the
+/// per-member activity records of one grouped-GEMM list, executed
+/// back-to-back as a unit (the way serving frameworks submit prefill
+/// batches).
+///
+/// Each member contributes its boost-clock dynamic *energy*
+/// (`power x its own iteration time`); the group's boost dynamic power is
+/// that total energy over the total time, and the DVFS governor resolves
+/// **once** over the combined draw — a group is one schedulable unit, not
+/// a sequence of independently governed kernels. A single-member group is
+/// exactly [`evaluate`].
+///
+/// # Panics
+///
+/// Panics if `members` is empty.
+pub fn evaluate_group(spec: &GpuSpec, members: &[ActivityRecord]) -> PowerBreakdown {
+    assert!(!members.is_empty(), "a group needs at least one member");
+    if members.len() == 1 {
+        return evaluate(spec, &members[0]);
+    }
+    let mut t_total = 0.0;
+    let mut t_launch = 0.0;
+    let mut e = BoostPowers {
+        uncore_w: 0.0,
+        datapath_w: 0.0,
+        dram_w: 0.0,
+        l2_w: 0.0,
+    };
+    for activity in members {
+        let rt = kernel_runtime(spec, activity.kernel, activity.dims, activity.dtype);
+        let p = boost_powers(spec, activity, &rt);
+        // Component energies over this member's boost runtime; divided by
+        // the group's total time below, they become the group's
+        // time-weighted mean component powers.
+        e.uncore_w += p.uncore_w * rt.t_iter_s;
+        e.datapath_w += p.datapath_w * rt.t_iter_s;
+        e.dram_w += p.dram_w * rt.t_iter_s;
+        e.l2_w += p.l2_w * rt.t_iter_s;
+        t_total += rt.t_iter_s;
+        t_launch += rt.t_launch_s;
+    }
+    let p = BoostPowers {
+        uncore_w: e.uncore_w / t_total,
+        datapath_w: e.datapath_w / t_total,
+        dram_w: e.dram_w / t_total,
+        l2_w: e.l2_w / t_total,
+    };
+    resolve_breakdown(spec, &p, t_total, t_launch)
+}
+
+/// Boost-clock runtime of a grouped request on `spec`: the members run
+/// back-to-back as one unit, so compute/DRAM/launch/iteration times and
+/// DRAM traffic all add. A single-member group is exactly
+/// [`kernel_runtime`]. This is the runtime the fleet's *learned* pricing
+/// path pairs with a predicted group wattage, mirroring how
+/// [`evaluate_group`] times the analytic path — the two paths can never
+/// disagree on a group's runtime model.
+///
+/// # Panics
+///
+/// Panics if `members` is empty.
+pub fn group_runtime(
+    spec: &GpuSpec,
+    kernel: KernelClass,
+    members: &[GemmDims],
+    dtype: DType,
+) -> RuntimeEstimate {
+    assert!(!members.is_empty(), "a group needs at least one member");
+    if members.len() == 1 {
+        return kernel_runtime(spec, kernel, members[0], dtype);
+    }
+    let mut total = RuntimeEstimate {
+        t_compute_s: 0.0,
+        t_dram_s: 0.0,
+        t_launch_s: 0.0,
+        t_iter_s: 0.0,
+        duty: 0.0,
+        efficiency: 0.0,
+        dram_bytes: 0,
+    };
+    let mut flops = 0.0;
+    for &m in members {
+        let rt = kernel_runtime(spec, kernel, m, dtype);
+        total.t_compute_s += rt.t_compute_s;
+        total.t_dram_s += rt.t_dram_s;
+        total.t_launch_s += rt.t_launch_s;
+        total.t_iter_s += rt.t_iter_s;
+        total.dram_bytes += rt.dram_bytes;
+        flops += m.flops() as f64;
+    }
+    total.duty = (total.t_iter_s - total.t_launch_s) / total.t_iter_s;
+    // Achieved fraction of peak over the whole group (the definition,
+    // applied to summed work and summed math time).
+    total.efficiency = flops / (spec.peak_ops(dtype) * total.t_compute_s);
+    total
 }
 
 /// Reconstruct a [`PowerBreakdown`] from a *predicted* total board power
@@ -538,6 +670,111 @@ mod tests {
         let act = activity(PatternKind::Zeros, DType::Int8, 256, 43);
         let rt = iteration_time(&g, act.dims, act.dtype);
         let _ = predicted_breakdown(&g, &rt, 0.0);
+    }
+
+    #[test]
+    fn evaluate_group_of_one_is_evaluate() {
+        let g = a100_pcie();
+        let act = activity(PatternKind::Gaussian, DType::Fp16Tensor, 512, 50);
+        assert_eq!(
+            evaluate_group(&g, std::slice::from_ref(&act)),
+            evaluate(&g, &act)
+        );
+    }
+
+    #[test]
+    fn evaluate_group_time_weights_member_powers() {
+        let g = a100_pcie();
+        let hot = activity(PatternKind::Gaussian, DType::Fp16Tensor, 512, 51);
+        let cool = activity(PatternKind::Zeros, DType::Fp16Tensor, 512, 52);
+        let hot_b = evaluate(&g, &hot);
+        let cool_b = evaluate(&g, &cool);
+        let group = evaluate_group(&g, &[hot.clone(), cool.clone()]);
+        assert!(!group.throttled);
+        // Power sits strictly between the members; time between equals sum.
+        assert!(
+            group.total_w > cool_b.total_w && group.total_w < hot_b.total_w,
+            "group {} W vs members {} / {} W",
+            group.total_w,
+            cool_b.total_w,
+            hot_b.total_w
+        );
+        assert!((group.t_iter_s - hot_b.t_iter_s - cool_b.t_iter_s).abs() < 1e-12);
+        // Energy adds: the group runs the members back-to-back.
+        assert!(
+            (group.energy_per_iter_j - hot_b.energy_per_iter_j - cool_b.energy_per_iter_j).abs()
+                < 1e-6 * group.energy_per_iter_j
+        );
+        // Member order cannot matter (groups are canonicalized upstream,
+        // but the physics is order-free regardless).
+        assert_eq!(group, evaluate_group(&g, &[cool, hot]));
+    }
+
+    #[test]
+    fn evaluate_group_resolves_the_governor_once() {
+        // Two members that each run just under TDP must throttle as a
+        // group exactly like one kernel of their combined intensity —
+        // not stay unthrottled because each member alone fits.
+        let g = rtx6000(); // throttles at 2048 already
+        let a = activity(PatternKind::Gaussian, DType::Fp16Tensor, 2048, 53);
+        let b = activity(PatternKind::Gaussian, DType::Fp16Tensor, 2048, 54);
+        let group = evaluate_group(&g, &[a, b]);
+        assert!(group.throttled, "{} W", group.total_w);
+        assert!((group.total_w - g.tdp_watts).abs() < 1.0);
+        assert!(group.clock_scale < 1.0);
+    }
+
+    #[test]
+    fn group_runtime_sums_member_kernels() {
+        let g = a100_pcie();
+        let members = [
+            GemmDims {
+                n: 256,
+                m: 64,
+                k: 512,
+            },
+            GemmDims::square(128),
+        ];
+        let single = kernel_runtime(&g, KernelClass::Gemm, members[0], DType::Fp16Tensor);
+        assert_eq!(
+            group_runtime(&g, KernelClass::Gemm, &members[..1], DType::Fp16Tensor),
+            single,
+            "a 1-member group times like its member"
+        );
+        let both = group_runtime(&g, KernelClass::Gemm, &members, DType::Fp16Tensor);
+        let other = kernel_runtime(&g, KernelClass::Gemm, members[1], DType::Fp16Tensor);
+        assert!((both.t_iter_s - single.t_iter_s - other.t_iter_s).abs() < 1e-15);
+        assert!((both.t_launch_s - single.t_launch_s - other.t_launch_s).abs() < 1e-15);
+        assert_eq!(both.dram_bytes, single.dram_bytes + other.dram_bytes);
+        assert!(both.duty > 0.0 && both.duty < 1.0);
+        assert!(both.efficiency > 0.0 && both.efficiency <= 1.0);
+        // GEMV groups time through the streaming estimator per member.
+        let decode = group_runtime(
+            &g,
+            KernelClass::Gemv,
+            &[
+                GemmDims {
+                    n: 256,
+                    m: 1,
+                    k: 512,
+                },
+                GemmDims {
+                    n: 512,
+                    m: 1,
+                    k: 256,
+                },
+            ],
+            DType::Fp16Tensor,
+        );
+        let d0 = gemv_time(&g, 256, 512, DType::Fp16Tensor);
+        let d1 = gemv_time(&g, 512, 256, DType::Fp16Tensor);
+        assert!((decode.t_iter_s - d0.t_iter_s - d1.t_iter_s).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn evaluate_group_rejects_empty() {
+        let _ = evaluate_group(&a100_pcie(), &[]);
     }
 
     #[test]

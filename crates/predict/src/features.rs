@@ -27,7 +27,11 @@ use wm_matrix::Matrix;
 use wm_numerics::{DType, Quantizer};
 
 /// Width of a [`FeatureVector`].
-pub const FEATURE_DIM: usize = 16;
+pub const FEATURE_DIM: usize = 17;
+
+/// Normalizer for the `group_members` feature: `log2` of the protocol's
+/// 64-member group cap, so the descriptor spans [0, 1].
+const GROUP_OCTAVES: f64 = 6.0;
 
 /// Number of bins in the value-entropy histogram (hash-bucketed encoded
 /// words; 2^12 bins caps value entropy at 12 bits).
@@ -75,6 +79,7 @@ impl FeatureVector {
         "log2_m",
         "log2_k",
         "bytes_per_flop",
+        "group_members",
     ];
 }
 
@@ -213,15 +218,39 @@ impl FeatureAccumulator {
     /// Finalize into a [`FeatureVector`]; `kernel` and `dims` are the
     /// request's kernel class and problem geometry (the kernel-shape
     /// descriptors: regime indicator, per-axis log sizes, and estimated
-    /// bytes-per-FLOP).
+    /// bytes-per-FLOP). Equivalent to [`FeatureAccumulator::finish_group`]
+    /// over a single member.
     ///
     /// # Panics
     ///
     /// Panics if nothing was accumulated or any dimension is zero.
     pub fn finish(&self, kernel: KernelClass, dims: GemmDims) -> FeatureVector {
+        self.finish_group(kernel, &[dims])
+    }
+
+    /// Finalize features accumulated over a whole grouped request's
+    /// operand stream (every member's A then B, in member order —
+    /// chunked/merged accumulation is bit-identical as always).
+    ///
+    /// The data block is the merged stream statistics; the kernel-shape
+    /// block describes the *group's* geometry: power is an intensity, so
+    /// the per-axis log sizes are the FLOP-weighted mean member geometry
+    /// (the "typical member" — a group of twins features exactly like one
+    /// twin), `bytes_per_flop` is the aggregate working set over the
+    /// aggregate FLOPs, and the `group_members` descriptor
+    /// (`log2(members) / 6`, 0 for a plain request) lets the model price
+    /// launch-overhead and duty effects of batching. A 1-member group is
+    /// bit-identical to [`FeatureAccumulator::finish`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing was accumulated, `members` is empty, or any
+    /// member dimension is zero.
+    pub fn finish_group(&self, kernel: KernelClass, members: &[GemmDims]) -> FeatureVector {
         assert!(self.words > 0, "cannot extract features from no data");
+        assert!(!members.is_empty(), "a group needs at least one member");
         assert!(
-            dims.n > 0 && dims.m > 0 && dims.k > 0,
+            members.iter().all(|d| d.n > 0 && d.m > 0 && d.k > 0),
             "problem dimensions must be positive"
         );
         let bits = f64::from(self.dtype.bits());
@@ -249,8 +278,31 @@ impl FeatureAccumulator {
         // bytes-per-FLOP is O(1) for memory-bound work and vanishes for
         // compute-bound work. Together with the class indicator and the
         // per-axis log sizes, each keyed model sees its regime's geometry.
-        let bytes_per_flop =
-            dims.working_set_bytes(self.dtype.bytes()) as f64 / dims.flops() as f64;
+        let (log_n, log_m, log_k) = if members.len() == 1 {
+            let d = members[0];
+            (
+                (d.n as f64).log2() / 16.0,
+                (d.m as f64).log2() / 16.0,
+                (d.k as f64).log2() / 16.0,
+            )
+        } else {
+            let total_flops: f64 = members.iter().map(|d| d.flops() as f64).sum();
+            let wmean = |axis: fn(&GemmDims) -> usize| {
+                members
+                    .iter()
+                    .map(|d| (axis(d) as f64).log2() * d.flops() as f64)
+                    .sum::<f64>()
+                    / total_flops
+                    / 16.0
+            };
+            (wmean(|d| d.n), wmean(|d| d.m), wmean(|d| d.k))
+        };
+        let working_set: u64 = members
+            .iter()
+            .map(|d| d.working_set_bytes(self.dtype.bytes()))
+            .sum();
+        let flops: u64 = members.iter().map(GemmDims::flops).sum();
+        let bytes_per_flop = working_set as f64 / flops as f64;
         FeatureVector {
             values: [
                 1.0,
@@ -272,10 +324,11 @@ impl FeatureAccumulator {
                     KernelClass::Gemm => 0.0,
                     KernelClass::Gemv => 1.0,
                 },
-                (dims.n as f64).log2() / 16.0,
-                (dims.m as f64).log2() / 16.0,
-                (dims.k as f64).log2() / 16.0,
+                log_n,
+                log_m,
+                log_k,
                 bytes_per_flop,
+                (members.len() as f64).log2() / GROUP_OCTAVES,
             ],
         }
     }
@@ -299,14 +352,21 @@ pub fn extract_features(
 
 /// Feature vector of a [`RunRequest`]'s first-seed operands.
 ///
-/// The operands come from [`wm_core::first_seed_operands`] — the single
-/// source of the first-seed contract shared with the fleet's activity
-/// probe — so features line up with the run the fleet will execute
-/// (including the kernel family and its operand shapes), without
-/// simulating anything.
+/// The operands come from [`wm_core::first_seed_group_operands`] — the
+/// single source of the first-seed contract shared with the fleet's
+/// activity probe — so features line up with the run the fleet will
+/// execute (including the kernel family and its operand shapes), without
+/// simulating anything. A grouped request streams **every member's**
+/// operand pair, in member order, through one mergeable accumulator —
+/// the group is featured (and therefore priced) as a unit, exactly as it
+/// executes and caches.
 pub fn features_for_request(req: &RunRequest) -> FeatureVector {
-    let (a, b) = wm_core::first_seed_operands(req);
-    extract_features(req.dtype, req.kernel, req.dims(), &a, &b)
+    let mut acc = FeatureAccumulator::new(req.dtype);
+    for (a, b) in wm_core::first_seed_group_operands(req) {
+        acc.add_matrix(&a);
+        acc.add_matrix(&b);
+    }
+    acc.finish_group(req.kernel, &req.member_dims())
 }
 
 #[cfg(test)]
@@ -496,5 +556,94 @@ mod tests {
     #[should_panic(expected = "no data")]
     fn empty_accumulator_rejected() {
         FeatureAccumulator::new(DType::Fp32).finish(KernelClass::Gemm, GemmDims::square(64));
+    }
+
+    #[test]
+    fn group_features_merge_members_and_describe_the_group() {
+        use wm_core::RunRequest;
+        let template = RunRequest::new(
+            DType::Fp16Tensor,
+            32,
+            PatternSpec::new(PatternKind::Gaussian),
+        );
+        let twin = GemmDims {
+            n: 32,
+            m: 16,
+            k: 64,
+        };
+        let plain = template.clone().with_shape(twin);
+        let group = template.clone().with_group(vec![twin, twin]);
+        let fp = features_for_request(&plain);
+        let fg = features_for_request(&group);
+        let (sp, sg) = (fp.as_slice(), fg.as_slice());
+        // A group of twins has the twin's geometry (FLOP-weighted mean of
+        // identical members) and the twin's arithmetic intensity...
+        for i in [12, 13, 14, 15] {
+            assert_eq!(sp[i], sg[i], "{} must match", FeatureVector::NAMES[i]);
+        }
+        // ...but a nonzero group-size descriptor (log2(2)/6), where the
+        // plain request sits at exactly 0.
+        assert_eq!(sp[16], 0.0);
+        assert!((sg[16] - 1.0 / 6.0).abs() < 1e-12);
+        // Ragged members: the geometry block is the FLOP-weighted mean,
+        // pulled toward the big member.
+        let big = GemmDims {
+            n: 128,
+            m: 64,
+            k: 128,
+        };
+        let ragged = template.clone().with_group(vec![twin, big]);
+        let fr = features_for_request(&ragged);
+        let sr = fr.as_slice();
+        let f_small = features_for_request(&template.clone().with_shape(twin));
+        let f_big = features_for_request(&template.clone().with_shape(big));
+        for i in [12, 13, 14] {
+            let (lo, hi) = (
+                f_small.as_slice()[i].min(f_big.as_slice()[i]),
+                f_small.as_slice()[i].max(f_big.as_slice()[i]),
+            );
+            assert!(
+                sr[i] >= lo && sr[i] <= hi,
+                "{} = {} outside member band [{lo}, {hi}]",
+                FeatureVector::NAMES[i],
+                sr[i]
+            );
+            let mid = (lo + hi) / 2.0;
+            assert!(
+                sr[i] > mid,
+                "{} must lean toward the FLOP-heavy member",
+                FeatureVector::NAMES[i]
+            );
+        }
+        // The data block merged both members' streams: 1-member features
+        // of either member alone cannot reproduce it.
+        assert_ne!(fr, f_small);
+        assert_ne!(fr, f_big);
+        assert!(sr.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn single_member_group_features_are_bit_identical_to_plain() {
+        use wm_core::RunRequest;
+        // Through the public request path the 1-member group *is* the
+        // plain request; at the accumulator level, finish_group over one
+        // member must equal finish exactly (shared arithmetic, no
+        // weighted-mean rounding).
+        let (a, b) = operands(PatternKind::Sparse { sparsity: 0.4 }, DType::Fp16, 48, 7);
+        let mut acc = FeatureAccumulator::new(DType::Fp16);
+        acc.add_matrix(&a);
+        acc.add_matrix(&b);
+        let dims = GemmDims {
+            n: 48,
+            m: 24,
+            k: 48,
+        };
+        assert_eq!(
+            acc.finish(KernelClass::Gemm, dims),
+            acc.finish_group(KernelClass::Gemm, &[dims])
+        );
+        let req = RunRequest::new(DType::Fp16, 48, PatternSpec::new(PatternKind::Gaussian));
+        let grouped = req.clone().with_group(vec![GemmDims::square(48)]);
+        assert_eq!(features_for_request(&req), features_for_request(&grouped));
     }
 }

@@ -27,7 +27,9 @@
 //!   with drift fallback.
 //! * [`fleet`] — the multi-GPU fleet scheduler and the `wattd`
 //!   power-estimation service (work stealing, memo cache, power-capped
-//!   placement consulting the learned predictor, `predict`/`model_stats`
+//!   placement consulting the learned predictor, grouped-GEMM batch
+//!   requests priced and cached as units, first-fit-decreasing power
+//!   packing of batches under the fleet budget, `predict`/`model_stats`
 //!   protocol ops).
 
 pub use wm_analysis as analysis;

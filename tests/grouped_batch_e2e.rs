@@ -1,0 +1,203 @@
+//! End-to-end test of grouped-GEMM batch requests under the power-packed
+//! fleet budget (this PR's acceptance scenario): one `wattd` session
+//! serves grouped prefill traffic alongside single decode-GEMV queries,
+//! a permuted resubmission of a grouped request is a pure cache hit, and
+//! the power-packed `run_batch` keeps the instantaneous fleet draw under
+//! the budget while completing every job.
+
+use std::sync::Arc;
+
+use wattmul_repro::fleet::json::Json;
+use wattmul_repro::fleet::{serve, Fleet, FleetJob, Scheduler};
+use wattmul_repro::prelude::*;
+
+fn serve_lines(sched: &Scheduler, input: &str) -> Vec<Json> {
+    let mut out = Vec::new();
+    serve(input.as_bytes(), &mut out, sched).expect("in-memory serve cannot fail");
+    std::str::from_utf8(&out)
+        .expect("responses are utf-8")
+        .lines()
+        .map(|l| Json::parse(l).expect("every response line is valid JSON"))
+        .collect()
+}
+
+/// A grouped prefill request: ragged members sharing one dtype/pattern,
+/// the way a serving framework submits one prefill batch.
+fn prefill_line(id: u64, members: &str, pattern: &str, param: &str, base_seed: u64) -> String {
+    format!(
+        r#"{{"id": {id}, "dtype": "FP16-T", "group": [{members}], "pattern": "{pattern}"{param}, "seeds": 1, "lattice": 4, "base_seed": {base_seed}}}"#
+    )
+}
+
+/// A single decode-GEMV request (`m` omitted — it defaults to 1).
+fn decode_line(id: u64, n: usize, k: usize, base_seed: u64) -> String {
+    format!(
+        r#"{{"id": {id}, "dtype": "FP16-T", "kernel": "gemv", "n": {n}, "k": {k}, "pattern": "gaussian", "seeds": 1, "lattice": 4, "base_seed": {base_seed}}}"#
+    )
+}
+
+const MEMBERS: &str =
+    r#"{"n": 512, "m": 256, "k": 512}, {"n": 384, "m": 128, "k": 512}, {"dim": 256}"#;
+const MEMBERS_PERMUTED: &str =
+    r#"{"dim": 256}, {"n": 512, "m": 256, "k": 512}, {"n": 384, "m": 128, "k": 512}"#;
+
+#[test]
+fn grouped_prefill_and_decode_traffic_end_to_end() {
+    let budget = 500.0;
+    let fleet = Fleet::builder()
+        .device(a100_pcie())
+        .device(a100_pcie())
+        .device(a100_pcie())
+        .power_budget_w(budget)
+        .build();
+    let sched = Scheduler::with_workers(fleet, 4);
+
+    // --- Phase 1: one wattd session serves grouped prefill + single
+    // decode GEMV traffic through the power-packed batch op. ------------
+    let mut requests = Vec::new();
+    for i in 0..4u64 {
+        requests.push(prefill_line(i, MEMBERS, "gaussian", "", 0xA_0000 + i));
+        requests.push(decode_line(100 + i, 512, 2048, 0xB_0000 + i));
+    }
+    let batch = format!(
+        r#"{{"id": 9, "op": "batch", "requests": [{}]}}"#,
+        requests.join(", ")
+    );
+    let responses = serve_lines(&sched, &format!("{batch}\n"));
+    let results = responses[0].get("results").unwrap().as_arr().unwrap();
+    assert_eq!(results.len(), 8);
+    for r in results {
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "{r}");
+        match r.get("kernel").unwrap().as_str().unwrap() {
+            "gemm" => {
+                assert_eq!(r.get("members").unwrap().as_u64(), Some(3), "{r}");
+                assert_eq!(r.get("group").unwrap().as_arr().unwrap().len(), 3);
+            }
+            "gemv" => {
+                assert_eq!(r.get("m").unwrap().as_u64(), Some(1));
+                assert_eq!(r.get("k").unwrap().as_u64(), Some(2048));
+            }
+            other => panic!("unexpected kernel {other}"),
+        }
+    }
+    // The grouped runs drew more than decode: prefill is compute-bound.
+    let watts = |kernel: &str| {
+        results
+            .iter()
+            .filter(|r| r.get("kernel").unwrap().as_str() == Some(kernel))
+            .map(|r| r.get("power_w").unwrap().as_f64().unwrap())
+            .fold(0.0f64, f64::max)
+    };
+    assert!(
+        watts("gemm") > watts("gemv"),
+        "grouped prefill {} W must outdraw decode {} W",
+        watts("gemm"),
+        watts("gemv")
+    );
+
+    // --- Phase 2: a permuted resubmission of a grouped request is the
+    // same cache entry — the order-canonical member fold at work. --------
+    let hits_before = {
+        let s = serve_lines(&sched, "{\"op\": \"stats\"}\n");
+        s[0].get("cache_hits").unwrap().as_u64().unwrap()
+    };
+    let permuted = &serve_lines(
+        &sched,
+        &format!(
+            "{}\n",
+            prefill_line(200, MEMBERS_PERMUTED, "gaussian", "", 0xA_0000)
+        ),
+    )[0];
+    assert_eq!(permuted.get("ok"), Some(&Json::Bool(true)), "{permuted}");
+    assert_eq!(
+        permuted.get("cache_hit"),
+        Some(&Json::Bool(true)),
+        "permuted group resubmission must be a cache hit: {permuted}"
+    );
+    let original_watts = results[0].get("power_w").unwrap().as_f64().unwrap();
+    assert_eq!(
+        permuted.get("power_w").unwrap().as_f64(),
+        Some(original_watts),
+        "the permuted group replays the original answer"
+    );
+    let hits_after = {
+        let s = serve_lines(&sched, "{\"op\": \"stats\"}\n");
+        s[0].get("cache_hits").unwrap().as_u64().unwrap()
+    };
+    assert!(hits_after > hits_before);
+
+    // --- Phase 3: the power-packed run_batch fills but never exceeds the
+    // fleet budget while completing every job. ---------------------------
+    let template = |seed: u64, kind: PatternKind| {
+        RunRequest::new(DType::Fp16Tensor, 256, PatternSpec::new(kind))
+            .with_seeds(1)
+            .with_base_seed(seed)
+            .with_sampling(Sampling::Lattice { rows: 4, cols: 4 })
+    };
+    let mut jobs: Vec<FleetJob> = Vec::new();
+    for i in 0..4u64 {
+        // Hot grouped prefill, cool sparse GEMM, cool decode GEMV: a
+        // mixed-watt set the packer has to tile under the budget.
+        jobs.push(FleetJob::new(
+            template(9000 + i, PatternKind::Gaussian).with_group(vec![
+                GemmDims {
+                    n: 256,
+                    m: 128,
+                    k: 256,
+                },
+                GemmDims::square(192),
+            ]),
+        ));
+        jobs.push(FleetJob::new(template(
+            9100 + i,
+            PatternKind::Sparse { sparsity: 0.8 },
+        )));
+        jobs.push(FleetJob::new(
+            template(9200 + i, PatternKind::Gaussian).with_kernel(KernelClass::Gemv),
+        ));
+    }
+    let n_jobs = jobs.len();
+    let answers = sched.run_batch(jobs);
+    assert_eq!(answers.len(), n_jobs);
+    let ok: Vec<_> = answers.iter().map(|a| a.as_ref().unwrap()).collect();
+    let peak = sched.peak_committed_w();
+    assert!(
+        peak <= budget,
+        "instantaneous fleet draw peaked at {peak} W over the {budget} W budget"
+    );
+    assert!(
+        peak > 0.0,
+        "packed jobs must have committed load under the budget"
+    );
+    // Grouped duplicates across rounds share one result allocation.
+    let grouped: Vec<_> = ok
+        .iter()
+        .filter(|r| !r.result.member_activities.is_empty())
+        .collect();
+    assert_eq!(grouped.len(), 4);
+    assert!(grouped
+        .iter()
+        .all(|r| r.result.member_activities.len() == 2));
+    // And an exact grouped repeat replays the same allocation.
+    let repeat = sched
+        .submit(FleetJob::new(
+            template(9000, PatternKind::Gaussian).with_group(vec![
+                GemmDims::square(192),
+                GemmDims {
+                    n: 256,
+                    m: 128,
+                    k: 256,
+                },
+            ]),
+        ))
+        .recv()
+        .unwrap();
+    assert!(
+        repeat.cache_hit,
+        "permuted grouped repeat through run_batch"
+    );
+    assert!(Arc::ptr_eq(&grouped[0].result, &repeat.result));
+
+    let stats = serve_lines(&sched, "{\"op\": \"stats\"}\n");
+    assert_eq!(stats[0].get("failed").unwrap().as_u64(), Some(0));
+}
