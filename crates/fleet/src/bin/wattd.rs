@@ -13,7 +13,11 @@
 //! is trained and healthy, the analytic probe otherwise — nothing
 //! executes), `model_stats` (per-`(architecture, kernel)` predictor
 //! health: P50/P95 error, drift events), `stats` (scheduler counters plus
-//! per-device utilization and joules), `fleet`, and `ping`. Requests
+//! per-device utilization and joules), `metrics` (the full metrics
+//! registry, `"format": "json"` or `"prometheus"`), `trace` (the request
+//! lifecycle span ring, filterable by `"request_id"`, drainable with
+//! `"drain": true`), `fleet`, and `ping`. Every response echoes a
+//! monotonic `request_id`. Requests
 //! carry an optional `"kernel"` field (`"gemm"` default, `"gemv"` for the
 //! memory-bound decode workload); learned models are keyed per
 //! `(architecture, kernel)` so the two regimes never share coefficients.
@@ -30,27 +34,32 @@
 //!
 //! ```text
 //! wattd [--gpus a100,h100,...] [--budget WATTS] [--cap WATTS] [--workers N]
-//!   --gpus     comma-separated catalog substrings (default: full catalog)
-//!   --budget   fleet-wide concurrent power budget in watts
-//!   --cap      per-device power cap in watts (default: each device's TDP)
-//!   --workers  scheduler worker threads (default: one per core)
+//!       [--trace-cap SPANS]
+//!   --gpus       comma-separated catalog substrings (default: full catalog)
+//!   --budget     fleet-wide concurrent power budget in watts
+//!   --cap        per-device power cap in watts (default: each device's TDP)
+//!   --workers    scheduler worker threads (default: one per core)
+//!   --trace-cap  span ring capacity (default: 65536; oldest spans drop)
 //! ```
 
 use std::io::{stdin, stdout, BufWriter};
 use std::process::ExitCode;
+use std::sync::Arc;
 
-use wm_fleet::{serve, Fleet, Scheduler};
+use wm_fleet::{serve, Fleet, Scheduler, DEFAULT_TRACE_CAPACITY};
 use wm_gpu::GpuSpec;
+use wm_obs::{Registry, Tracer};
 
 struct Options {
     gpus: Vec<String>,
     budget_w: Option<f64>,
     cap_w: Option<f64>,
     workers: Option<usize>,
+    trace_cap: usize,
 }
 
 fn usage() -> &'static str {
-    "usage: wattd [--gpus a100,h100,...] [--budget WATTS] [--cap WATTS] [--workers N]\n\
+    "usage: wattd [--gpus a100,h100,...] [--budget WATTS] [--cap WATTS] [--workers N] [--trace-cap SPANS]\n\
      Serves JSON-lines power queries on stdin/stdout; see wm_fleet::protocol docs."
 }
 
@@ -60,6 +69,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         budget_w: None,
         cap_w: None,
         workers: None,
+        trace_cap: DEFAULT_TRACE_CAPACITY,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -97,6 +107,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                         .parse::<usize>()
                         .map_err(|_| "--workers needs a count".to_string())?,
                 );
+            }
+            "--trace-cap" => {
+                opts.trace_cap = value_for("--trace-cap")?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| "--trace-cap needs a positive span count".to_string())?;
             }
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unknown argument {other:?}\n{}", usage())),
@@ -157,10 +174,20 @@ fn main() -> ExitCode {
         fleet.len(),
         fleet.power_budget_w()
     );
-    let sched = match opts.workers {
-        Some(n) => Scheduler::with_workers(fleet, n),
-        None => Scheduler::new(fleet),
-    };
+    // Same default worker sizing as `Scheduler::new`: one per core,
+    // clamped to the parallelism the fleet can express.
+    let workers = opts.workers.unwrap_or_else(|| {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2);
+        cores.min(fleet.len().max(2)).max(1)
+    });
+    let sched = Scheduler::with_observability(
+        fleet,
+        workers,
+        Arc::new(Registry::new()),
+        Arc::new(Tracer::new(opts.trace_cap)),
+    );
     let result = serve(stdin().lock(), BufWriter::new(stdout().lock()), &sched);
     let stats = sched.stats();
     eprintln!(

@@ -31,7 +31,12 @@
 //!   one placement, one priced execution.
 //! * [`protocol`] / the `wattd` binary — a JSON-lines power-estimation
 //!   service over stdin/stdout, including `predict` (power without
-//!   executing) and `model_stats` (predictor health) ops.
+//!   executing), `model_stats` (predictor health), `metrics` (the
+//!   scheduler's `wm-obs` registry as JSON or Prometheus text), and
+//!   `trace` (the request-lifecycle span ring) ops. Every response
+//!   carries a monotonic `request_id`, and every request leaves a span
+//!   trail (parse → cache lookup → features → pricing → placement →
+//!   execute → feedback) in the scheduler's bounded trace ring.
 //! * [`par`] — an order-preserving `parallel_map` over scoped threads for
 //!   non-`RunRequest` fan-outs (the GEMV sweeps).
 //!
@@ -74,5 +79,5 @@ pub use placement::{
 pub use protocol::{answer, serve};
 pub use scheduler::{
     pack_ffd, DeviceStats, FleetError, FleetJob, FleetResponse, JobHandle, PackedRound,
-    PredictOutcome, Scheduler, SchedulerStats,
+    PredictOutcome, Scheduler, SchedulerStats, DEFAULT_TRACE_CAPACITY,
 };

@@ -60,8 +60,24 @@
 //!   each entry carries `arch` and `kernel` plus training observations,
 //!   prequential P50/P95 absolute percentage error, drift events, and
 //!   whether the model currently serves.
-//! * `"stats"` — scheduler counters (cache hits/misses, steals, ...) plus
+//! * `"stats"` — scheduler counters (cache hits/misses, steals, packing
+//!   rounds, the `peak_committed_w` budget-compliance witness, ...) plus
 //!   per-device utilization and total joules.
+//! * `"metrics"` — the full metrics registry. `"format"` selects the
+//!   encoding: `"json"` (default; a `"metrics"` array of
+//!   `{name, labels, type, value}` objects, histograms carrying
+//!   `count`/`min`/`max`/`p50`/`p95`/`p99`) or `"prometheus"` (a `"text"`
+//!   field in the text exposition format). Counters and gauges are synced
+//!   from the scheduler's authoritative counters at export time; latency
+//!   histograms are recorded live on every request.
+//! * `"trace"` — the span ring buffer: per-request lifecycle spans
+//!   (`parse` → `cache_lookup` → `features` → `pricing` → `placement` →
+//!   `execute` → `feedback`, plus batch-level `pack`), each with
+//!   monotonic-clock `start_us`/`end_us`/`duration_us` stamps and a
+//!   free-form `detail`. Optional `request_id` filters to one request,
+//!   `limit` keeps the most recent N, and `drain: true` empties the ring
+//!   (exclusive with `request_id`). The response reports `dropped` — spans
+//!   evicted by ring pressure — and `buffered`.
 //! * `"fleet"` — the device inventory and power budget.
 //! * `"ping"` — liveness check.
 //!
@@ -71,8 +87,10 @@
 //! estimate came from) — so a client can audit the predictor against
 //! every answer it receives.
 //!
-//! Responses always carry `"ok"`: `true` with the payload or `false` with
-//! an `"error"` string.
+//! Responses always carry `"ok"` (`true` with the payload or `false` with
+//! an `"error"` string) and a `"request_id"`: the monotonic id the daemon
+//! assigned the incoming line (batch members each get their own, echoed in
+//! their member result). The id is what a later `trace` query filters on.
 
 use std::io::{BufRead, Write};
 
@@ -80,6 +98,7 @@ use wm_core::RunRequest;
 use wm_gpu::GemmDims;
 use wm_kernels::{KernelClass, Sampling};
 use wm_numerics::DType;
+use wm_obs::{stage, MetricValue, SpanRecord};
 use wm_patterns::{PatternKind, PatternSpec};
 
 use crate::json::{obj, Json};
@@ -570,13 +589,124 @@ fn err_response(id: Json, message: &str) -> Json {
     ])
 }
 
-/// Answer one parsed request object.
+/// Stamp the daemon-assigned request id onto a response object.
+fn with_request_id(response: Json, rid: u64) -> Json {
+    match response {
+        Json::Obj(mut fields) => {
+            fields.push(("request_id".to_string(), Json::Num(rid as f64)));
+            Json::Obj(fields)
+        }
+        other => other,
+    }
+}
+
+/// One span as JSON, for `trace` responses and JSONL dumps alike.
+fn span_json(s: &SpanRecord) -> Json {
+    obj(vec![
+        ("request_id", Json::Num(s.request_id as f64)),
+        ("stage", Json::Str(s.stage.to_string())),
+        ("detail", Json::Str(s.detail.clone())),
+        ("start_us", Json::Num(s.start_us as f64)),
+        ("end_us", Json::Num(s.end_us as f64)),
+        ("duration_us", Json::Num(s.duration_us() as f64)),
+    ])
+}
+
+/// The registry snapshot as a JSON array, one object per metric.
+fn metrics_json(sched: &Scheduler) -> Json {
+    let entries: Vec<Json> = sched
+        .registry()
+        .snapshot()
+        .iter()
+        .map(|m| {
+            let labels = obj(m
+                .labels
+                .iter()
+                .map(|(k, v)| (k.as_str(), Json::Str(v.clone())))
+                .collect());
+            let mut fields = vec![("name", Json::Str(m.name.clone())), ("labels", labels)];
+            match &m.value {
+                MetricValue::Counter(v) => fields.extend([
+                    ("type", Json::Str("counter".into())),
+                    ("value", Json::Num(*v as f64)),
+                ]),
+                MetricValue::Gauge(v) => fields.extend([
+                    ("type", Json::Str("gauge".into())),
+                    ("value", Json::Num(*v)),
+                ]),
+                MetricValue::Histogram(h) => fields.extend([
+                    ("type", Json::Str("histogram".into())),
+                    ("count", Json::Num(h.count as f64)),
+                    ("min", Json::Num(h.min)),
+                    ("max", Json::Num(h.max)),
+                    ("p50", Json::Num(h.p50)),
+                    ("p95", Json::Num(h.p95)),
+                    ("p99", Json::Num(h.p99)),
+                ]),
+            }
+            fields
+        })
+        .map(obj)
+        .collect();
+    Json::Arr(entries)
+}
+
+/// Ops the per-op latency histogram labels individually; anything else —
+/// unknown or wrong-typed — shares the `"other"` label so hostile input
+/// cannot mint unbounded label cardinality.
+const KNOWN_OPS: &[&str] = &[
+    "ping",
+    "stats",
+    "metrics",
+    "trace",
+    "predict",
+    "model_stats",
+    "fleet",
+    "run",
+    "batch",
+];
+
+/// Answer one parsed request object: assign the line its monotonic
+/// request id, dispatch, record the per-op latency, and stamp the id
+/// onto the response.
 pub fn answer(v: &Json, sched: &Scheduler) -> Json {
+    let tracer = sched.tracer();
+    let rid = tracer.next_request_id();
+    let t0 = tracer.now_us();
+    let response = answer_inner(v, sched, rid);
+    let op_label = match opt_str(v, "op") {
+        Ok(None) => "run",
+        Ok(Some(op)) if KNOWN_OPS.contains(&op) => op,
+        _ => "other",
+    };
+    sched
+        .registry()
+        .histogram("wattd_request_latency_us", &[("op", op_label)])
+        .observe(tracer.now_us().saturating_sub(t0) as f64);
+    with_request_id(response, rid)
+}
+
+fn answer_inner(v: &Json, sched: &Scheduler, rid: u64) -> Json {
+    let tracer = sched.tracer();
     let id = v.get("id").cloned().unwrap_or(Json::Null);
     let op = match opt_str(v, "op") {
         Ok(op) => op.unwrap_or("run"),
-        Err(msg) => return err_response(id, &msg),
+        Err(msg) => {
+            tracer.start(rid, stage::PARSE).finish("error");
+            return err_response(id, &msg);
+        }
     };
+    // Job-carrying ops time their real parse below; the rest record an
+    // instant parse span so every request id has a trail.
+    if !matches!(op, "run" | "predict" | "batch") {
+        tracer
+            .start(rid, stage::PARSE)
+            .finish(if KNOWN_OPS.contains(&op) {
+                op.to_string()
+            } else {
+                "error".to_string()
+            });
+    }
     match op {
         "ping" => ok_response(id, vec![("pong", Json::Bool(true))]),
         "stats" => {
@@ -607,42 +737,111 @@ pub fn answer(v: &Json, sched: &Scheduler) -> Json {
                     ("dedup_joins", Json::Num(s.dedup_joins as f64)),
                     ("steals", Json::Num(s.steals as f64)),
                     ("cached_results", Json::Num(sched.cached_results() as f64)),
+                    // The budget-compliance witness and the packer's
+                    // round accounting, so a client can audit power
+                    // packing without the full metrics export.
+                    ("peak_committed_w", Json::Num(sched.peak_committed_w())),
+                    ("packed_batches", Json::Num(s.packed_batches as f64)),
+                    ("pack_rounds", Json::Num(s.pack_rounds as f64)),
+                    ("last_batch_rounds", Json::Num(s.last_batch_rounds as f64)),
                     ("devices", Json::Arr(devices)),
                     ("fleet_energy_j", Json::Num(fleet_energy)),
                 ],
             )
         }
-        "predict" => match parse_job(v, sched) {
-            Err(msg) => err_response(id, &msg),
-            Ok(job) => match sched.predict(&job) {
-                Ok(p) => {
-                    let mut fields = vec![
-                        ("device", Json::Num(p.device as f64)),
-                        ("gpu", Json::Str(p.gpu_name.to_string())),
-                        ("kernel", Json::Str(p.kernel.label().to_string())),
-                    ];
-                    if p.group.is_empty() {
-                        fields.extend([
-                            ("n", Json::Num(p.dims.n as f64)),
-                            ("m", Json::Num(p.dims.m as f64)),
-                            ("k", Json::Num(p.dims.k as f64)),
-                        ]);
-                    } else {
-                        fields.extend([
-                            ("members", Json::Num(p.group.len() as f64)),
-                            ("group", group_json(p.group.iter().copied())),
-                        ]);
-                    }
-                    fields.extend([
-                        ("predicted_w", Json::Num(p.predicted_w)),
-                        ("source", Json::Str(p.source.label().to_string())),
-                        ("model_observations", Json::Num(p.model_observations as f64)),
-                    ]);
-                    ok_response(id, fields)
+        "metrics" => {
+            let format = match opt_str(v, "format") {
+                Err(msg) => return err_response(id, &msg),
+                Ok(f) => f.unwrap_or("json"),
+            };
+            match format {
+                "json" => {
+                    sched.sync_metrics();
+                    ok_response(id, vec![("metrics", metrics_json(sched))])
                 }
-                Err(e) => err_response(id, &e.to_string()),
-            },
-        },
+                "prometheus" => {
+                    sched.sync_metrics();
+                    ok_response(
+                        id,
+                        vec![("text", Json::Str(sched.registry().to_prometheus()))],
+                    )
+                }
+                other => err_response(
+                    id,
+                    &format!("unknown metrics format {other:?} (use \"json\" or \"prometheus\")"),
+                ),
+            }
+        }
+        "trace" => {
+            let filter = match opt_u64(v, "request_id") {
+                Err(msg) => return err_response(id, &msg),
+                Ok(f) => f,
+            };
+            let limit = match opt_usize(v, "limit") {
+                Err(msg) => return err_response(id, &msg),
+                Ok(l) => l.unwrap_or(usize::MAX),
+            };
+            let drain = match opt_bool(v, "drain") {
+                Err(msg) => return err_response(id, &msg),
+                Ok(d) => d.unwrap_or(false),
+            };
+            if drain && filter.is_some() {
+                return err_response(
+                    id,
+                    "\"drain\" empties the whole ring and cannot be combined with \"request_id\"",
+                );
+            }
+            let spans = if drain {
+                tracer.drain()
+            } else {
+                tracer.snapshot(filter, limit)
+            };
+            ok_response(
+                id,
+                vec![
+                    ("spans", Json::Arr(spans.iter().map(span_json).collect())),
+                    ("returned", Json::Num(spans.len() as f64)),
+                    ("buffered", Json::Num(tracer.len() as f64)),
+                    ("dropped", Json::Num(tracer.dropped() as f64)),
+                ],
+            )
+        }
+        "predict" => {
+            let parse = tracer.start(rid, stage::PARSE);
+            let parsed = parse_job(v, sched);
+            parse.finish(if parsed.is_ok() { "predict" } else { "error" });
+            match parsed {
+                Err(msg) => err_response(id, &msg),
+                Ok(job) => match sched.predict(&job) {
+                    Ok(p) => {
+                        let mut fields = vec![
+                            ("device", Json::Num(p.device as f64)),
+                            ("gpu", Json::Str(p.gpu_name.to_string())),
+                            ("kernel", Json::Str(p.kernel.label().to_string())),
+                        ];
+                        if p.group.is_empty() {
+                            fields.extend([
+                                ("n", Json::Num(p.dims.n as f64)),
+                                ("m", Json::Num(p.dims.m as f64)),
+                                ("k", Json::Num(p.dims.k as f64)),
+                            ]);
+                        } else {
+                            fields.extend([
+                                ("members", Json::Num(p.group.len() as f64)),
+                                ("group", group_json(p.group.iter().copied())),
+                            ]);
+                        }
+                        fields.extend([
+                            ("predicted_w", Json::Num(p.predicted_w)),
+                            ("source", Json::Str(p.source.label().to_string())),
+                            ("model_observations", Json::Num(p.model_observations as f64)),
+                        ]);
+                        ok_response(id, fields)
+                    }
+                    Err(e) => err_response(id, &e.to_string()),
+                },
+            }
+        }
         "model_stats" => {
             let models: Vec<Json> = sched
                 .model_stats()
@@ -689,15 +888,22 @@ pub fn answer(v: &Json, sched: &Scheduler) -> Json {
                 ],
             )
         }
-        "run" => match parse_job(v, sched) {
-            Err(msg) => err_response(id, &msg),
-            Ok(job) => match sched.submit(job).recv() {
-                Ok(r) => ok_response(id, run_payload(&r)),
-                Err(e) => err_response(id, &e.to_string()),
-            },
-        },
+        "run" => {
+            let parse = tracer.start(rid, stage::PARSE);
+            let parsed = parse_job(v, sched);
+            parse.finish(if parsed.is_ok() { "run" } else { "error" });
+            match parsed {
+                Err(msg) => err_response(id, &msg),
+                Ok(job) => match sched.submit(job.with_request_id(rid)).recv() {
+                    Ok(r) => ok_response(id, run_payload(&r)),
+                    Err(e) => err_response(id, &e.to_string()),
+                },
+            }
+        }
         "batch" => {
+            let parse = tracer.start(rid, stage::PARSE);
             let Some(requests) = v.get("requests").and_then(Json::as_arr) else {
+                parse.finish("error");
                 return err_response(id, "batch needs a \"requests\" array");
             };
             // Parse everything up front so one bad entry fails fast with a
@@ -706,24 +912,32 @@ pub fn answer(v: &Json, sched: &Scheduler) -> Json {
             // fleet budget) through `run_batch`.
             let jobs: Vec<Result<FleetJob, String>> =
                 requests.iter().map(|r| parse_job(r, sched)).collect();
+            parse.finish(format!("batch members={}", requests.len()));
+            // Every member — parseable or not — gets its own request id,
+            // assigned in submission order so the stream stays
+            // deterministic; member results echo it alongside the
+            // client's member "id".
+            let member_ids: Vec<u64> = requests.iter().map(|_| tracer.next_request_id()).collect();
             let parsed: Vec<FleetJob> = jobs
                 .iter()
-                .filter_map(|j| j.as_ref().ok())
-                .cloned()
+                .zip(&member_ids)
+                .filter_map(|(j, &mid)| j.as_ref().ok().map(|job| job.clone().with_request_id(mid)))
                 .collect();
-            let mut answers = sched.run_batch(parsed).into_iter();
+            let mut answers = sched.run_batch_traced(parsed, rid).into_iter();
             let results: Vec<Json> = jobs
                 .iter()
                 .zip(requests)
-                .map(|(parse, reqv)| {
-                    let rid = reqv.get("id").cloned().unwrap_or(Json::Null);
-                    match parse {
+                .zip(&member_ids)
+                .map(|((parse, reqv), &mid)| {
+                    let member_id = reqv.get("id").cloned().unwrap_or(Json::Null);
+                    let result = match parse {
                         Ok(_) => match answers.next().expect("one answer per parsed job") {
-                            Ok(r) => ok_response(rid, run_payload(&r)),
-                            Err(e) => err_response(rid, &e.to_string()),
+                            Ok(r) => ok_response(member_id, run_payload(&r)),
+                            Err(e) => err_response(member_id, &e.to_string()),
                         },
-                        Err(msg) => err_response(rid, msg),
-                    }
+                        Err(msg) => err_response(member_id, msg),
+                    };
+                    with_request_id(result, mid)
                 })
                 .collect();
             ok_response(id, vec![("results", Json::Arr(results))])
@@ -746,7 +960,15 @@ pub fn serve(
         }
         let response = match Json::parse(&line) {
             Ok(v) => answer(&v, sched),
-            Err(e) => err_response(Json::Null, &format!("parse error: {e}")),
+            Err(e) => {
+                // Even unparseable lines consume a request id, so every
+                // response the daemon ever writes carries one and the
+                // trace ring shows the failed parse.
+                let tracer = sched.tracer();
+                let rid = tracer.next_request_id();
+                tracer.start(rid, stage::PARSE).finish("error");
+                with_request_id(err_response(Json::Null, &format!("parse error: {e}")), rid)
+            }
         };
         writeln!(writer, "{response}")?;
         writer.flush()?;
@@ -1534,5 +1756,275 @@ mod tests {
             Json::parse(lines[2]).unwrap().get("ok"),
             Some(&Json::Bool(false))
         );
+    }
+
+    // Auto-placed (no "gpu" pin): pinned jobs bypass the packer and
+    // budget accounting, so these tests would see empty rounds and a
+    // zero budget witness with a pin.
+    const RUN_LINE: &str =
+        r#"{"dtype": "fp32", "dim": 64, "pattern": "zeros", "seeds": 1, "lattice": 4}"#;
+    const RUN_LINE_B: &str =
+        r#"{"dtype": "fp32", "dim": 96, "pattern": "zeros", "seeds": 1, "lattice": 4}"#;
+
+    #[test]
+    fn every_response_carries_a_request_id() {
+        let s = sched();
+        let mut seen = Vec::new();
+        for line in [
+            r#"{"op": "ping"}"#,
+            RUN_LINE,
+            r#"{"op": "stats"}"#,
+            r#"{"op": "frobnicate"}"#,
+            r#"{"op": 7}"#,
+        ] {
+            let v = run_line(&s, line);
+            let rid = v
+                .get("request_id")
+                .and_then(Json::as_f64)
+                .unwrap_or_else(|| panic!("{line} -> {v}"));
+            assert!(rid >= 1.0, "{line}");
+            seen.push(rid as u64);
+        }
+        let mut sorted = seen.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), seen.len(), "ids are unique: {seen:?}");
+        // Unparseable lines get an id too, via the serve loop.
+        let mut out = Vec::new();
+        serve(&b"not json\n"[..], &mut out, &s).unwrap();
+        let resp = Json::parse(std::str::from_utf8(&out).unwrap().trim()).unwrap();
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(false)));
+        assert!(resp.get("request_id").and_then(Json::as_f64).is_some());
+    }
+
+    #[test]
+    fn stats_reports_packing_and_budget_witness() {
+        let s = sched();
+        let batch = format!(r#"{{"op": "batch", "requests": [{RUN_LINE}, {RUN_LINE_B}]}}"#);
+        let b = run_line(&s, &batch);
+        assert_eq!(b.get("ok"), Some(&Json::Bool(true)), "{b}");
+        let v = run_line(&s, r#"{"op": "stats"}"#);
+        let num = |key: &str| v.get(key).and_then(Json::as_f64).unwrap();
+        assert!(num("peak_committed_w") > 0.0, "batch={b} stats={v}");
+        assert_eq!(num("packed_batches"), 1.0);
+        assert!(num("pack_rounds") >= 1.0);
+        assert!(num("last_batch_rounds") >= 1.0);
+    }
+
+    #[test]
+    fn metrics_op_exports_json_and_prometheus() {
+        let s = sched();
+        assert_eq!(run_line(&s, RUN_LINE).get("ok"), Some(&Json::Bool(true)));
+        let v = run_line(&s, r#"{"op": "metrics"}"#);
+        assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "{v}");
+        let metrics = v.get("metrics").and_then(Json::as_arr).unwrap();
+        let find = |name: &str| {
+            metrics
+                .iter()
+                .find(|m| m.get("name").and_then(Json::as_str) == Some(name))
+                .unwrap_or_else(|| panic!("missing metric {name}"))
+        };
+        assert_eq!(
+            find("fleet_jobs_completed_total").get("value"),
+            Some(&Json::Num(1.0))
+        );
+        let latency = metrics
+            .iter()
+            .find(|m| {
+                m.get("name").and_then(Json::as_str) == Some("fleet_job_latency_us")
+                    && m.get("type").and_then(Json::as_str) == Some("histogram")
+                    && m.get("count") == Some(&Json::Num(1.0))
+            })
+            .expect("one kernel-labelled latency histogram with one observation");
+        assert!(latency.get("p50").and_then(Json::as_f64).unwrap() > 0.0);
+
+        let p = run_line(&s, r#"{"op": "metrics", "format": "prometheus"}"#);
+        assert_eq!(p.get("ok"), Some(&Json::Bool(true)));
+        let text = p.get("text").and_then(Json::as_str).unwrap();
+        assert!(text.contains("fleet_jobs_completed_total 1"), "{text}");
+        assert!(text.contains("fleet_job_latency_us"), "{text}");
+    }
+
+    #[test]
+    fn metrics_op_rejects_bad_arguments() {
+        let s = sched();
+        for (line, needle) in [
+            (
+                r#"{"op": "metrics", "format": "xml"}"#,
+                "unknown metrics format",
+            ),
+            (r#"{"op": "metrics", "format": 3}"#, "format"),
+        ] {
+            let v = run_line(&s, line);
+            assert_eq!(v.get("ok"), Some(&Json::Bool(false)), "{line}");
+            let err = v.get("error").and_then(Json::as_str).unwrap();
+            assert!(err.contains(needle), "{line} -> {err}");
+        }
+    }
+
+    #[test]
+    fn trace_op_filters_limits_and_drains() {
+        let s = sched();
+        let r1 = run_line(&s, RUN_LINE);
+        let rid = r1.get("request_id").and_then(Json::as_f64).unwrap() as u64;
+        assert_eq!(
+            run_line(&s, r#"{"op": "ping"}"#).get("ok"),
+            Some(&Json::Bool(true))
+        );
+
+        let all = run_line(&s, r#"{"op": "trace"}"#);
+        assert_eq!(all.get("ok"), Some(&Json::Bool(true)), "{all}");
+        let total = all.get("returned").and_then(Json::as_f64).unwrap();
+        assert!(total >= 7.0, "run trail + ping parse spans, got {total}");
+        assert_eq!(all.get("dropped"), Some(&Json::Num(0.0)));
+
+        let mine = run_line(&s, &format!(r#"{{"op": "trace", "request_id": {rid}}}"#));
+        let spans = mine.get("spans").and_then(Json::as_arr).unwrap();
+        let stages: Vec<&str> = spans
+            .iter()
+            .map(|sp| sp.get("stage").and_then(Json::as_str).unwrap())
+            .collect();
+        assert_eq!(
+            stages,
+            vec![
+                "parse",
+                "cache_lookup",
+                "features",
+                "pricing",
+                "placement",
+                "execute",
+                "feedback"
+            ],
+            "full fresh-run trail in lifecycle order"
+        );
+        for sp in spans {
+            assert_eq!(sp.get("request_id"), Some(&Json::Num(rid as f64)), "{sp}");
+            let start = sp.get("start_us").and_then(Json::as_f64).unwrap();
+            let end = sp.get("end_us").and_then(Json::as_f64).unwrap();
+            let dur = sp.get("duration_us").and_then(Json::as_f64).unwrap();
+            assert!(end >= start && dur == end - start, "{sp}");
+        }
+
+        let limited = run_line(&s, r#"{"op": "trace", "limit": 2}"#);
+        assert_eq!(limited.get("returned"), Some(&Json::Num(2.0)));
+
+        let drained = run_line(&s, r#"{"op": "trace", "drain": true}"#);
+        assert_eq!(drained.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(drained.get("buffered"), Some(&Json::Num(0.0)));
+        // Only this trace line's own parse span remains afterwards.
+        let after = run_line(&s, r#"{"op": "trace"}"#);
+        assert_eq!(after.get("returned"), Some(&Json::Num(1.0)), "{after}");
+    }
+
+    #[test]
+    fn trace_op_rejects_bad_arguments() {
+        let s = sched();
+        for (line, needle) in [
+            (
+                r#"{"op": "trace", "drain": true, "request_id": 1}"#,
+                "cannot be combined",
+            ),
+            (r#"{"op": "trace", "request_id": "abc"}"#, "request_id"),
+            (r#"{"op": "trace", "limit": -1}"#, "limit"),
+            (r#"{"op": "trace", "drain": "yes"}"#, "drain"),
+        ] {
+            let v = run_line(&s, line);
+            assert_eq!(v.get("ok"), Some(&Json::Bool(false)), "{line}");
+            let err = v.get("error").and_then(Json::as_str).unwrap();
+            assert!(err.contains(needle), "{line} -> {err}");
+        }
+    }
+
+    #[test]
+    fn trace_ring_overflow_keeps_serving() {
+        use crate::device::Fleet;
+        use std::sync::Arc;
+        use wm_obs::{Registry, Tracer};
+        // A deliberately tiny ring: a single run emits more spans than it
+        // holds, so eviction is guaranteed on every request.
+        let s = Scheduler::with_observability(
+            Fleet::from_catalog(),
+            2,
+            Arc::new(Registry::new()),
+            Arc::new(Tracer::new(4)),
+        );
+        for _ in 0..5 {
+            assert_eq!(run_line(&s, RUN_LINE).get("ok"), Some(&Json::Bool(true)));
+        }
+        let v = run_line(&s, r#"{"op": "trace"}"#);
+        assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "{v}");
+        assert!(v.get("returned").and_then(Json::as_f64).unwrap() <= 4.0);
+        assert!(
+            v.get("dropped").and_then(Json::as_f64).unwrap() > 0.0,
+            "evictions counted: {v}"
+        );
+    }
+
+    #[test]
+    fn batch_members_get_distinct_request_ids() {
+        let s = sched();
+        // Distinct parseable members: identical ones race for the cache
+        // (one fresh, one hit) and the hit's trail has no execute span.
+        let batch =
+            format!(r#"{{"op": "batch", "requests": [{RUN_LINE}, {{"dim": 0}}, {RUN_LINE_B}]}}"#);
+        let v = run_line(&s, &batch);
+        assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "{v}");
+        let outer = v.get("request_id").and_then(Json::as_f64).unwrap() as u64;
+        let results = v.get("results").and_then(Json::as_arr).unwrap();
+        assert_eq!(results.len(), 3);
+        let mut member_ids = Vec::new();
+        for r in results {
+            let mid = r.get("request_id").and_then(Json::as_f64).unwrap() as u64;
+            assert!(mid > outer, "members allocated after the batch line");
+            member_ids.push(mid);
+        }
+        let mut sorted = member_ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3, "distinct ids: {member_ids:?}");
+        assert_eq!(results[1].get("ok"), Some(&Json::Bool(false)));
+        // The parseable members' execute spans carry their member ids.
+        let trace = run_line(
+            &s,
+            &format!(r#"{{"op": "trace", "request_id": {}}}"#, member_ids[0]),
+        );
+        let spans = trace.get("spans").and_then(Json::as_arr).unwrap();
+        assert!(
+            spans
+                .iter()
+                .any(|sp| sp.get("stage").and_then(Json::as_str) == Some("execute")),
+            "{trace}"
+        );
+        // The batch line itself owns the pack span.
+        let pack = run_line(&s, &format!(r#"{{"op": "trace", "request_id": {outer}}}"#));
+        let spans = pack.get("spans").and_then(Json::as_arr).unwrap();
+        assert!(
+            spans
+                .iter()
+                .any(|sp| sp.get("stage").and_then(Json::as_str) == Some("pack")),
+            "{pack}"
+        );
+    }
+
+    #[test]
+    fn cache_hit_requests_show_a_shortened_trail() {
+        let s = sched();
+        assert_eq!(run_line(&s, RUN_LINE).get("ok"), Some(&Json::Bool(true)));
+        let hit = run_line(&s, RUN_LINE);
+        assert_eq!(hit.get("ok"), Some(&Json::Bool(true)));
+        let rid = hit.get("request_id").and_then(Json::as_f64).unwrap() as u64;
+        let trace = run_line(&s, &format!(r#"{{"op": "trace", "request_id": {rid}}}"#));
+        let spans = trace.get("spans").and_then(Json::as_arr).unwrap();
+        let stages: Vec<&str> = spans
+            .iter()
+            .map(|sp| sp.get("stage").and_then(Json::as_str).unwrap())
+            .collect();
+        assert_eq!(
+            stages,
+            vec!["parse", "cache_lookup"],
+            "hit short-circuits before features/pricing/execute"
+        );
+        let detail = spans[1].get("detail").and_then(Json::as_str).unwrap();
+        assert!(detail.starts_with("hit"), "{detail}");
     }
 }

@@ -1,0 +1,36 @@
+//! # wm-obs — hermetic observability for the serving stack
+//!
+//! The paper's methodology is measurement-first (100 ms DCGM sampling,
+//! warmup trimming, seed averaging); a serving system built on it has to
+//! hold itself to the same standard. This crate is the instrumented
+//! backbone: no external dependencies, deterministic output, cheap enough
+//! to stay on for every request.
+//!
+//! * [`metrics`] — a thread-safe [`Registry`] of named counters, gauges,
+//!   and histograms. Histograms are [`wm_predict::LogHistogram`]s — the
+//!   deterministic, exactly-mergeable log-bucketed sketch — so shard-local
+//!   recording merges bit-identically whatever the worker count.
+//!   Exposition is a deterministic [`Registry::snapshot`] (for JSON
+//!   encoders) or [`Registry::to_prometheus`] (text format).
+//! * [`trace`] — per-request lifecycle tracing: a [`Tracer`] hands out
+//!   monotonic request ids, stamps spans against a process-local
+//!   monotonic clock, and keeps them in a bounded ring buffer that drops
+//!   the oldest spans under pressure (observability must never wedge the
+//!   serving path). Spans snapshot/drain for a protocol `trace` op and
+//!   serialize as JSONL.
+//!
+//! `wm-fleet` threads both through the scheduler and the `wattd`
+//! protocol (`metrics`/`trace` ops); `examples/serving_bench.rs` turns
+//! the registry into `BENCH_serving.json` perf artifacts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{
+    global, Counter, Gauge, Histogram, HistogramSnapshot, MetricSnapshot, MetricValue, Registry,
+};
+pub use trace::{stage, SpanRecord, SpanTimer, Tracer};
+pub use wm_predict::LogHistogram;

@@ -1,0 +1,155 @@
+//! Property tests for the observability histogram pipeline: the
+//! [`LogHistogram`] sketch must merge exactly (associative, commutative)
+//! so per-worker shards can be folded in any order, its quantiles must be
+//! monotone and conservative, and the registry's text exposition must be
+//! bit-identical however the same observations were sharded across
+//! workers.
+
+use proptest::prelude::*;
+use wm_obs::{LogHistogram, Registry};
+
+/// Observation sets spanning many magnitudes, including zero and
+/// subnormal-adjacent values — the sketch must bucket anything
+/// non-negative and finite.
+fn arb_values() -> impl Strategy<Value = Vec<f64>> {
+    let value = prop_oneof![
+        Just(0.0f64),
+        (0.0f64..=1.0).prop_map(|u| u * 1e-6),
+        (0.0f64..=1.0).prop_map(|u| u * 100.0),
+        (0.0f64..=1.0).prop_map(|u| u * 1e7),
+    ];
+    prop::collection::vec(value, 0..120)
+}
+
+fn hist_of(values: &[f64]) -> LogHistogram {
+    let mut h = LogHistogram::new();
+    for &v in values {
+        h.observe(v);
+    }
+    h
+}
+
+/// Deterministically split `values` into `shards` interleaved slices —
+/// how round-robin workers would see one observation stream.
+fn shard(values: &[f64], shards: usize) -> Vec<Vec<f64>> {
+    let mut out = vec![Vec::new(); shards];
+    for (i, &v) in values.iter().enumerate() {
+        out[i % shards].push(v);
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn merge_is_commutative(a in arb_values(), b in arb_values()) {
+        let (ha, hb) = (hist_of(&a), hist_of(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        // PartialEq covers counts, total, and extrema exactly.
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merge_is_associative(
+        a in arb_values(),
+        b in arb_values(),
+        c in arb_values(),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        // (a ∪ b) ∪ c
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        // a ∪ (b ∪ c)
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merging_shards_equals_observing_whole(
+        values in arb_values(),
+        shards in 1usize..8,
+    ) {
+        let whole = hist_of(&values);
+        let mut merged = LogHistogram::new();
+        for part in shard(&values, shards) {
+            merged.merge(&hist_of(&part));
+        }
+        prop_assert_eq!(merged, whole);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_conservative(values in arb_values()) {
+        let h = hist_of(&values);
+        // Monotone in q...
+        let qs = [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0];
+        for pair in qs.windows(2) {
+            prop_assert!(
+                h.quantile(pair[0]) <= h.quantile(pair[1]),
+                "q{} = {} > q{} = {}",
+                pair[0],
+                h.quantile(pair[0]),
+                pair[1],
+                h.quantile(pair[1])
+            );
+        }
+        if !values.is_empty() {
+            // ...bracketed by the exact extrema: never understating
+            // (upper-edge reporting) and at most one bucket past the max.
+            let sorted = {
+                let mut s = values.clone();
+                s.sort_by(f64::total_cmp);
+                s
+            };
+            for &q in &qs {
+                let rank = ((q * values.len() as f64).ceil() as usize).max(1) - 1;
+                prop_assert!(
+                    h.quantile(q) >= sorted[rank],
+                    "q{q} = {} understates exact {}",
+                    h.quantile(q),
+                    sorted[rank]
+                );
+            }
+            prop_assert!(h.quantile(1.0) >= h.max());
+            prop_assert!(h.min() <= h.max());
+        }
+    }
+
+    #[test]
+    fn exposition_is_bit_identical_across_worker_counts(
+        values in arb_values(),
+        shards_a in 1usize..6,
+        shards_b in 1usize..6,
+    ) {
+        // Two fleets with different worker counts record the same
+        // observation stream; each worker feeds the shared handle. The
+        // rendered text must match byte for byte.
+        let render = |shards: usize| {
+            let r = Registry::new();
+            r.counter("jobs_total", &[]).store(values.len() as u64);
+            let h = r.histogram("latency_us", &[("kernel", "gemm")]);
+            for part in shard(&values, shards) {
+                for v in part {
+                    h.observe(v);
+                }
+            }
+            r.to_prometheus()
+        };
+        prop_assert_eq!(render(shards_a), render(shards_b));
+    }
+}
+
+#[test]
+fn empty_histogram_reads_zero() {
+    let h = LogHistogram::new();
+    assert_eq!(h.observations(), 0);
+    assert_eq!(h.min(), 0.0);
+    assert_eq!(h.max(), 0.0);
+    assert_eq!(h.quantile(0.5), 0.0);
+    assert_eq!(h.quantile(1.0), 0.0);
+}

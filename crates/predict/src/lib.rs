@@ -21,8 +21,9 @@
 //!   and drift detection that pulls a misbehaving model out of serving.
 //!   Compute-bound GEMM and memory-bound GEMV move power through
 //!   different units, so their observations never share coefficients.
-//! * [`sketch`] — the deterministic, exactly-mergeable
-//!   [`QuantileSketch`] behind the error percentiles.
+//! * [`sketch`] — the deterministic, exactly-mergeable quantile sketches:
+//!   [`QuantileSketch`] behind the error percentiles, and the log-bucketed
+//!   [`LogHistogram`] that `wm-obs` builds its latency/energy metrics on.
 //!
 //! `wm-fleet` wires this end to end: placement consults predictions for
 //! admission control and energy-minimal clock selection, the scheduler
@@ -43,5 +44,5 @@ pub use features::{
     extract_features, features_for_request, FeatureAccumulator, FeatureVector, FEATURE_DIM,
 };
 pub use predictor::{ModelStats, PowerPredictor, Prediction, DEFAULT_MIN_OBSERVATIONS};
-pub use sketch::QuantileSketch;
+pub use sketch::{LogHistogram, QuantileSketch};
 pub use wm_kernels::KernelClass;

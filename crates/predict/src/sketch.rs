@@ -8,6 +8,17 @@
 //! quantile reads are pure functions of the counts. The 0.25-point
 //! resolution is far finer than any decision threshold built on top (the
 //! drift detector trips at tens of points).
+//!
+//! APEs live on a known `[0, ~100]` scale, so linear bins suffice there.
+//! Latencies do not: a serving stack observes microseconds and seconds in
+//! the same stream, so the general-purpose sibling [`LogHistogram`] bins
+//! by the value's binary exponent instead — `SUBDIVISIONS` mantissa
+//! slices per power-of-two octave, giving a bounded relative error at
+//! every magnitude. It shares the sketch contract: integer counts only,
+//! exact merges (associative and commutative by construction), and
+//! quantile reads that are pure functions of the counts, so merged
+//! shard-local histograms are bit-identical to a sequential one whatever
+//! the worker count. `wm-obs` builds its metrics registry on it.
 
 /// Width of one histogram bin, in APE percentage points.
 const BIN_WIDTH_PCT: f64 = 0.25;
@@ -90,6 +101,143 @@ impl QuantileSketch {
     }
 }
 
+/// Mantissa slices per power-of-two octave in a [`LogHistogram`]: 16
+/// slices bound the bucket's upper-edge overestimate to 1/16 ≈ 6.25%
+/// relative, far finer than any latency SLO threshold built on top.
+const SUBDIVISIONS: u32 = 16;
+/// log2(SUBDIVISIONS) — how far a bucket key shifts past the f64
+/// mantissa to recover its edge bit pattern.
+const SUB_BITS: u32 = SUBDIVISIONS.trailing_zeros();
+
+/// A deterministic, exactly-mergeable log-bucketed histogram over
+/// non-negative values (latencies, watts, joules — anything spanning
+/// magnitudes).
+///
+/// Buckets are derived from the observed value's IEEE-754 bit pattern —
+/// binary exponent plus the top `log2(SUBDIVISIONS)` mantissa bits — so bucketing
+/// involves no transcendental math and is bit-stable across platforms.
+/// Counts are integers in a sparse ordered map: merging is exact
+/// (associative and commutative), and [`LogHistogram::quantile`] is a
+/// pure function of the counts, reported as the conservative upper edge
+/// of the bucket containing the rank (never understating, same contract
+/// as [`QuantileSketch::quantile_pct`]).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LogHistogram {
+    /// Sparse bucket counts keyed by `(exponent << SUB_BITS) | slice`.
+    counts: std::collections::BTreeMap<u32, u64>,
+    total: u64,
+    /// Exact extrema (order-independent, so merges stay exact).
+    min: f64,
+    max: f64,
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: std::collections::BTreeMap::new(),
+            total: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Bucket key of a non-negative finite value: the f64 bit pattern
+    /// truncated to its exponent plus the top mantissa slice. Zero (and
+    /// subnormals' low slices) land in key 0.
+    fn key(value: f64) -> u32 {
+        (value.to_bits() >> (52 - SUB_BITS)) as u32
+    }
+
+    /// Upper edge of bucket `key` — the smallest value the *next* bucket
+    /// would hold. Exact: reconstructed from the bit pattern.
+    fn upper_edge(key: u32) -> f64 {
+        f64::from_bits(((key as u64) + 1) << (52 - SUB_BITS))
+    }
+
+    /// Record one value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is negative or non-finite — observations are
+    /// physical quantities (elapsed time, energy) and a negative one is a
+    /// caller bug the sketch must not silently absorb.
+    pub fn observe(&mut self, value: f64) {
+        assert!(
+            value.is_finite() && value >= 0.0,
+            "observation must be finite and non-negative, got {value}"
+        );
+        *self.counts.entry(Self::key(value)).or_insert(0) += 1;
+        self.total += 1;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Observations recorded.
+    pub fn observations(&self) -> u64 {
+        self.total
+    }
+
+    /// Smallest observed value (0 for an empty histogram).
+    pub fn min(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observed value (0 for an empty histogram).
+    pub fn max(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// The `q`-quantile (e.g. `0.5`, `0.95`, `0.99`) as the upper edge of
+    /// the bucket containing it — conservative, never understating, and at
+    /// most `1/SUBDIVISIONS` above the true value in relative terms.
+    /// Returns 0 for an empty histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < q <= 1`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!(q > 0.0 && q <= 1.0, "quantile must be in (0, 1], got {q}");
+        if self.total == 0 {
+            return 0.0;
+        }
+        let rank = (q * self.total as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (&key, &count) in &self.counts {
+            seen += count;
+            if seen >= rank {
+                return Self::upper_edge(key);
+            }
+        }
+        unreachable!("rank <= total, so some bucket holds it");
+    }
+
+    /// Fold another histogram in (exact: integer counts add, extrema
+    /// take min/max, so merge order can never change any read).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (&key, &count) in &other.counts {
+            *self.counts.entry(key).or_insert(0) += count;
+        }
+        self.total += other.total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The non-empty buckets in ascending order, as `(upper_edge, count)`
+    /// pairs — the raw material for text exposition.
+    pub fn buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.counts.iter().map(|(&k, &c)| (Self::upper_edge(k), c))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,5 +300,74 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn negative_ape_rejected() {
         QuantileSketch::new().observe(-1.0);
+    }
+
+    #[test]
+    fn log_histogram_quantiles_bound_the_true_value() {
+        let mut h = LogHistogram::new();
+        // Latency-like spread: 10 us .. 1 s.
+        for i in 1..=1000u64 {
+            h.observe(i as f64 * 1000.0);
+        }
+        assert_eq!(h.observations(), 1000);
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        // Conservative: at or above the true quantile, within 1/16.
+        assert!(
+            (500_000.0..=500_000.0 * (1.0 + 1.0 / 16.0)).contains(&p50),
+            "{p50}"
+        );
+        assert!(
+            (990_000.0..=990_000.0 * (1.0 + 1.0 / 16.0)).contains(&p99),
+            "{p99}"
+        );
+        assert!(p50 <= h.quantile(0.95) && h.quantile(0.95) <= p99);
+        assert_eq!(h.min(), 1000.0);
+        assert_eq!(h.max(), 1_000_000.0);
+    }
+
+    #[test]
+    fn log_histogram_handles_zero_and_empty() {
+        let empty = LogHistogram::new();
+        assert_eq!(empty.quantile(0.95), 0.0);
+        assert_eq!(empty.min(), 0.0);
+        assert_eq!(empty.max(), 0.0);
+        let mut h = LogHistogram::new();
+        h.observe(0.0);
+        assert_eq!(h.observations(), 1);
+        assert_eq!(h.min(), 0.0);
+        // The zero bucket's upper edge is the smallest positive slice —
+        // conservative and tiny, never a made-up magnitude.
+        assert!(h.quantile(1.0) > 0.0 && h.quantile(1.0) < 1e-300);
+    }
+
+    #[test]
+    fn log_histogram_merge_is_exact_and_order_free() {
+        let values: Vec<f64> = (0..200)
+            .map(|i| ((i * 37) % 199) as f64 * 17.5 + 0.25)
+            .collect();
+        let mut whole = LogHistogram::new();
+        for &v in &values {
+            whole.observe(v);
+        }
+        for shards in [2usize, 3, 7] {
+            let mut parts: Vec<LogHistogram> = (0..shards).map(|_| LogHistogram::new()).collect();
+            for (i, &v) in values.iter().enumerate() {
+                parts[i % shards].observe(v);
+            }
+            // Merge back-to-front so the fold order differs from the
+            // observation order.
+            let mut merged = LogHistogram::new();
+            for p in parts.iter().rev() {
+                merged.merge(p);
+            }
+            assert_eq!(merged, whole, "{shards} shards");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn log_histogram_rejects_negatives() {
+        LogHistogram::new().observe(-0.5);
     }
 }

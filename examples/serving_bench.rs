@@ -1,0 +1,143 @@
+//! Serving macro-benchmark CLI: drive the fleet scheduler with open-loop
+//! mixed load and emit `BENCH_serving.json` from the metrics registry.
+//!
+//! ```text
+//! cargo run --release --example serving_bench                    # full sweep
+//! cargo run --release --example serving_bench -- --smoke         # CI-sized
+//! cargo run --release --example serving_bench -- --out PATH      # artifact path
+//! cargo run --release --example serving_bench -- --trace PATH    # span JSONL dump
+//! cargo run --release --example serving_bench -- --check PATH    # validate only
+//! ```
+//!
+//! `--check` parses an existing artifact, runs the same validation CI
+//! uses ([`wattmul_repro::serving_bench::validate`]), and exits non-zero
+//! on any inconsistency without running the benchmark.
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use wattmul_repro::fleet::json::Json;
+use wattmul_repro::serving_bench::{run, validate, BenchConfig};
+
+struct Args {
+    smoke: bool,
+    out: String,
+    trace: Option<String>,
+    check: Option<String>,
+}
+
+fn usage() -> &'static str {
+    "usage: serving_bench [--smoke] [--out PATH] [--trace PATH] | [--check PATH]"
+}
+
+fn parse_args(args: &[String]) -> Result<Args, String> {
+    let mut parsed = Args {
+        smoke: false,
+        out: "BENCH_serving.json".to_string(),
+        trace: None,
+        check: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_for = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--smoke" => parsed.smoke = true,
+            "--out" => parsed.out = value_for("--out")?,
+            "--trace" => parsed.trace = Some(value_for("--trace")?),
+            "--check" => parsed.check = Some(value_for("--check")?),
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown argument {other:?}\n{}", usage())),
+        }
+    }
+    Ok(parsed)
+}
+
+fn check(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{path:?} is not JSON: {e}"))?;
+    validate(&doc).map_err(|e| format!("{path:?} failed validation: {e}"))?;
+    println!("{path}: valid BENCH_serving artifact");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(path) = &args.check {
+        return match check(path) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("serving_bench: {msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let cfg = if args.smoke {
+        BenchConfig::smoke()
+    } else {
+        BenchConfig::full()
+    };
+    eprintln!(
+        "serving_bench: {} point(s) x {} requests at {:.0} rps ({} workers){}",
+        cfg.hit_ratios.len(),
+        cfg.requests_per_point,
+        cfg.arrival_rate_rps,
+        cfg.workers,
+        if cfg.smoke { " [smoke]" } else { "" }
+    );
+    let bench = run(&cfg);
+    if let Err(msg) = validate(&bench.artifact) {
+        eprintln!("serving_bench: emitted artifact failed validation: {msg}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&args.out, format!("{}\n", bench.artifact)) {
+        eprintln!("serving_bench: cannot write {:?}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    if let Some(path) = &args.trace {
+        let dump = || -> std::io::Result<()> {
+            let mut f = std::fs::File::create(path)?;
+            for line in &bench.trace_jsonl {
+                writeln!(f, "{line}")?;
+            }
+            Ok(())
+        };
+        if let Err(e) = dump() {
+            eprintln!("serving_bench: cannot write trace {path:?}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("serving_bench: {} spans -> {path}", bench.trace_jsonl.len());
+    }
+    let show = |key: &str| {
+        bench
+            .artifact
+            .get(key)
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0)
+    };
+    println!(
+        "requests {}  throughput {:.1} rps  p50 {:.0} us  p95 {:.0} us  p99 {:.0} us  \
+         hit rate {:.2}  joules {:.1}  peak {:.1} W  -> {}",
+        show("requests"),
+        show("throughput_rps"),
+        show("p50_us"),
+        show("p95_us"),
+        show("p99_us"),
+        show("cache_hit_rate"),
+        show("joules"),
+        show("peak_committed_w"),
+        args.out
+    );
+    ExitCode::SUCCESS
+}

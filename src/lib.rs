@@ -29,8 +29,17 @@
 //!   power-estimation service (work stealing, memo cache, power-capped
 //!   placement consulting the learned predictor, grouped-GEMM batch
 //!   requests priced and cached as units, first-fit-decreasing power
-//!   packing of batches under the fleet budget, `predict`/`model_stats`
-//!   protocol ops).
+//!   packing of batches under the fleet budget,
+//!   `predict`/`model_stats`/`metrics`/`trace` protocol ops).
+//! * [`obs`] — the hermetic observability layer: metrics registry
+//!   (counters, gauges, mergeable log-bucketed histograms with
+//!   deterministic Prometheus-style exposition) and request tracing
+//!   (monotonic ids, lifecycle spans, bounded ring).
+//! * [`serving_bench`] — the macro-benchmark harness behind
+//!   `examples/serving_bench.rs`: open-loop mixed load, swept cache-hit
+//!   ratio, `BENCH_serving.json` emitted from the registry itself.
+
+pub mod serving_bench;
 
 pub use wm_analysis as analysis;
 pub use wm_bits as bits;
@@ -41,6 +50,7 @@ pub use wm_gpu as gpu;
 pub use wm_kernels as kernels;
 pub use wm_matrix as matrix;
 pub use wm_numerics as numerics;
+pub use wm_obs as obs;
 pub use wm_optimizer as optimizer;
 pub use wm_patterns as patterns;
 pub use wm_power as power;

@@ -1,0 +1,184 @@
+//! End-to-end observability acceptance: a mixed-traffic session through
+//! the `wattd` protocol must leave a complete, queryable trail — every
+//! response carries a request id, `trace` returns each request's span
+//! trail (cache hits show a shortened one), the metrics latency histogram
+//! accounts for exactly the completed jobs, and the serving benchmark's
+//! artifact is internally consistent.
+
+use wattmul_repro::fleet::json::Json;
+use wattmul_repro::fleet::{serve, Fleet, Scheduler};
+use wattmul_repro::serving_bench;
+
+fn serve_lines(sched: &Scheduler, input: &str) -> Vec<Json> {
+    let mut out = Vec::new();
+    serve(input.as_bytes(), &mut out, sched).expect("in-memory serve cannot fail");
+    std::str::from_utf8(&out)
+        .expect("responses are utf-8")
+        .lines()
+        .map(|l| Json::parse(l).expect("every response line is valid JSON"))
+        .collect()
+}
+
+fn rid_of(r: &Json) -> u64 {
+    r.get("request_id")
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("response lacks request_id: {r}"))
+}
+
+fn stages(trace: &Json) -> Vec<String> {
+    trace
+        .get("spans")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .map(|s| s.get("stage").and_then(Json::as_str).unwrap().to_string())
+        .collect()
+}
+
+#[test]
+fn every_request_leaves_an_accountable_trail() {
+    let sched = Scheduler::with_workers(Fleet::from_catalog(), 2);
+    let input = [
+        // Mixed traffic: fresh runs (auto-placed square, ragged, gemv),
+        // an exact repeat (cache hit), an op, and a malformed line.
+        r#"{"id": 1, "dtype": "FP16-T", "dim": 64, "pattern": "gaussian", "seeds": 1, "lattice": 4}"#,
+        r#"{"id": 2, "dtype": "FP32", "n": 48, "m": 32, "k": 96, "pattern": "zeros", "seeds": 1, "lattice": 4}"#,
+        r#"{"id": 3, "kernel": "gemv", "dtype": "FP16-T", "n": 64, "k": 96, "pattern": "gaussian", "seeds": 1, "lattice": 4}"#,
+        r#"{"id": 4, "dtype": "FP16-T", "dim": 64, "pattern": "gaussian", "seeds": 1, "lattice": 4}"#,
+        r#"{"id": 5, "op": "stats"}"#,
+        "definitely not json",
+    ]
+    .join("\n");
+    let responses = serve_lines(&sched, &input);
+    assert_eq!(responses.len(), 6);
+
+    // 1. Every response — runs, ops, even the parse error — carries a
+    //    distinct monotonic request id.
+    let ids: Vec<u64> = responses.iter().map(rid_of).collect();
+    let mut sorted = ids.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), ids.len(), "ids must be distinct: {ids:?}");
+    for r in &responses[..4] {
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "{r}");
+    }
+    assert_eq!(responses[4].get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(responses[5].get("ok"), Some(&Json::Bool(false)));
+
+    // 2. The fresh auto-placed run has the complete lifecycle trail.
+    let fresh_trace = serve_lines(
+        &sched,
+        &format!(r#"{{"op": "trace", "request_id": {}}}"#, ids[0]),
+    );
+    assert_eq!(
+        stages(&fresh_trace[0]),
+        vec![
+            "parse",
+            "cache_lookup",
+            "features",
+            "pricing",
+            "placement",
+            "execute",
+            "feedback"
+        ],
+        "{}",
+        fresh_trace[0]
+    );
+
+    // 3. The exact repeat (id 4 = id 1's request) short-circuits: its
+    //    trail stops at the cache lookup.
+    assert_eq!(responses[3].get("cache_hit"), Some(&Json::Bool(true)));
+    let hit_trace = serve_lines(
+        &sched,
+        &format!(r#"{{"op": "trace", "request_id": {}}}"#, ids[3]),
+    );
+    assert_eq!(
+        stages(&hit_trace[0]),
+        vec!["parse", "cache_lookup"],
+        "cache hits take the shortened trail: {}",
+        hit_trace[0]
+    );
+
+    // 4. The parse error's trail is a lone failed parse span.
+    let err_trace = serve_lines(
+        &sched,
+        &format!(r#"{{"op": "trace", "request_id": {}}}"#, ids[5]),
+    );
+    assert_eq!(stages(&err_trace[0]), vec!["parse"]);
+
+    // 5. The metrics latency histograms account for exactly the
+    //    completed jobs — workers record one observation per answer.
+    let metrics = &serve_lines(&sched, r#"{"op": "metrics"}"#)[0];
+    assert_eq!(metrics.get("ok"), Some(&Json::Bool(true)), "{metrics}");
+    let entries = metrics.get("metrics").and_then(Json::as_arr).unwrap();
+    let completed = entries
+        .iter()
+        .find(|m| m.get("name").and_then(Json::as_str) == Some("fleet_jobs_completed_total"))
+        .and_then(|m| m.get("value"))
+        .and_then(Json::as_f64)
+        .unwrap();
+    assert_eq!(completed, 4.0, "{metrics}");
+    let latency_count: f64 = entries
+        .iter()
+        .filter(|m| m.get("name").and_then(Json::as_str) == Some("fleet_job_latency_us"))
+        .map(|m| m.get("count").and_then(Json::as_f64).unwrap())
+        .sum();
+    assert_eq!(
+        latency_count, completed,
+        "one latency observation per completed job"
+    );
+    // The gemv run landed in its own kernel label.
+    let gemv_count = entries
+        .iter()
+        .find(|m| {
+            m.get("name").and_then(Json::as_str) == Some("fleet_job_latency_us")
+                && format!("{m}").contains("gemv")
+        })
+        .and_then(|m| m.get("count"))
+        .and_then(Json::as_f64)
+        .unwrap();
+    assert_eq!(gemv_count, 1.0);
+
+    // 6. Prometheus exposition renders the same counters.
+    let prom = &serve_lines(&sched, r#"{"op": "metrics", "format": "prometheus"}"#)[0];
+    let text = prom.get("text").and_then(Json::as_str).unwrap();
+    assert!(text.contains("fleet_jobs_completed_total 4"), "{text}");
+    assert!(
+        text.contains("# TYPE fleet_job_latency_us histogram"),
+        "{text}"
+    );
+}
+
+#[test]
+fn serving_bench_artifact_is_positive_and_consistent() {
+    let mut cfg = serving_bench::BenchConfig::smoke();
+    cfg.requests_per_point = 16;
+    cfg.hit_ratios = vec![0.0, 0.6];
+    let bench = serving_bench::run(&cfg);
+    serving_bench::validate(&bench.artifact).expect("artifact must validate");
+
+    let num = |key: &str| bench.artifact.get(key).and_then(Json::as_f64).unwrap();
+    assert_eq!(num("requests"), 32.0, "{}", bench.artifact);
+    assert!(num("throughput_rps") > 0.0);
+    assert!(num("p95_us") > 0.0);
+    assert!(num("p50_us") <= num("p95_us") && num("p95_us") <= num("p99_us"));
+    assert!(num("joules") > 0.0);
+    assert!(
+        num("peak_committed_w") > 0.0,
+        "auto-placed jobs commit load"
+    );
+    // The second sweep point re-uses pooled requests, so hits show up.
+    let sweep = bench.artifact.get("sweep").and_then(Json::as_arr).unwrap();
+    let hit_rate = |p: &Json| p.get("cache_hit_rate").and_then(Json::as_f64).unwrap();
+    assert_eq!(hit_rate(&sweep[0]), 0.0, "point 0 is all-unique traffic");
+    assert!(
+        hit_rate(&sweep[1]) > 0.0,
+        "point 1 targets 60% repeats: {}",
+        bench.artifact
+    );
+    // Spans were recorded and drain as parseable JSONL.
+    assert!(!bench.trace_jsonl.is_empty());
+    for line in &bench.trace_jsonl {
+        assert!(Json::parse(line).is_ok(), "{line}");
+    }
+}
