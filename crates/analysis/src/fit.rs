@@ -62,6 +62,64 @@ impl RidgeFitter {
         self.n
     }
 
+    /// L2 penalty the fitter was built with.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// The accumulated `XᵀX` Gram matrix, row-major `dim × dim`.
+    pub fn xtx(&self) -> &[f64] {
+        &self.xtx
+    }
+
+    /// The accumulated `Xᵀy` vector, length `dim`.
+    pub fn xty(&self) -> &[f64] {
+        &self.xty
+    }
+
+    /// Rebuild a fitter from previously exported sufficient statistics
+    /// (the persistence path: [`Self::xtx`], [`Self::xty`],
+    /// [`Self::observations`] round-trip through here exactly).
+    ///
+    /// Returns `Err` rather than panicking on malformed state — persisted
+    /// files are external input, not caller bugs.
+    pub fn from_parts(
+        dim: usize,
+        lambda: f64,
+        xtx: Vec<f64>,
+        xty: Vec<f64>,
+        n: u64,
+    ) -> Result<Self, String> {
+        if dim == 0 {
+            return Err("dim must be positive".to_string());
+        }
+        if !(lambda.is_finite() && lambda >= 0.0) {
+            return Err(format!(
+                "lambda must be finite and non-negative, got {lambda}"
+            ));
+        }
+        if xtx.len() != dim * dim {
+            return Err(format!(
+                "xtx has {} cells, expected {}",
+                xtx.len(),
+                dim * dim
+            ));
+        }
+        if xty.len() != dim {
+            return Err(format!("xty has {} cells, expected {dim}", xty.len()));
+        }
+        if let Some(bad) = xtx.iter().chain(xty.iter()).find(|v| !v.is_finite()) {
+            return Err(format!("non-finite sufficient statistic {bad}"));
+        }
+        Ok(Self {
+            dim,
+            lambda,
+            xtx,
+            xty,
+            n,
+        })
+    }
+
     /// Accumulate one observation `(x, y)`.
     ///
     /// # Panics
@@ -266,5 +324,34 @@ mod tests {
     #[should_panic(expected = "dimension mismatch")]
     fn wrong_dimension_rejected() {
         RidgeFitter::new(3, 0.0).observe(&[1.0, 2.0], 0.0);
+    }
+
+    #[test]
+    fn from_parts_round_trips_exactly() {
+        let mut f = RidgeFitter::new(3, 1e-4);
+        for i in 0..40 {
+            let x1 = (i % 9) as f64;
+            let x2 = (i * 3 % 11) as f64;
+            f.observe(&[1.0, x1, x2], 0.7 + 1.3 * x1 - 0.2 * x2);
+        }
+        let rebuilt = RidgeFitter::from_parts(
+            f.dim(),
+            f.lambda(),
+            f.xtx().to_vec(),
+            f.xty().to_vec(),
+            f.observations(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt, f);
+        assert_eq!(rebuilt.solve(), f.solve());
+    }
+
+    #[test]
+    fn from_parts_rejects_malformed_state() {
+        assert!(RidgeFitter::from_parts(0, 0.0, vec![], vec![], 0).is_err());
+        assert!(RidgeFitter::from_parts(2, -1.0, vec![0.0; 4], vec![0.0; 2], 0).is_err());
+        assert!(RidgeFitter::from_parts(2, 0.0, vec![0.0; 3], vec![0.0; 2], 0).is_err());
+        assert!(RidgeFitter::from_parts(2, 0.0, vec![0.0; 4], vec![0.0; 1], 0).is_err());
+        assert!(RidgeFitter::from_parts(2, 0.0, vec![f64::NAN; 4], vec![0.0; 2], 0).is_err());
     }
 }

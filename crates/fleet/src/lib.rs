@@ -29,14 +29,16 @@
 //!   Grouped-GEMM requests ([`wm_core::RunRequest::with_group`]) flow
 //!   through every layer as a single unit: one hash, one cache entry,
 //!   one placement, one priced execution.
-//! * [`protocol`] / the `wattd` binary — a JSON-lines power-estimation
-//!   service over stdin/stdout, including `predict` (power without
-//!   executing), `model_stats` (predictor health), `metrics` (the
-//!   scheduler's `wm-obs` registry as JSON or Prometheus text), and
-//!   `trace` (the request-lifecycle span ring) ops. Every response
-//!   carries a monotonic `request_id`, and every request leaves a span
-//!   trail (parse → cache lookup → features → pricing → placement →
-//!   execute → feedback) in the scheduler's bounded trace ring.
+//! * [`protocol`] — a JSON-lines power-estimation service (the `wattd`
+//!   binary in `wm-serve` speaks it over stdin/stdout or TCP), including
+//!   `predict` (power without executing), `model_stats` (predictor
+//!   health), `metrics` (the scheduler's `wm-obs` registry as JSON or
+//!   Prometheus text), and `trace` (the request-lifecycle span ring) ops.
+//!   Every response carries a monotonic `request_id`, and every request
+//!   leaves a span trail (parse → cache lookup → features → pricing →
+//!   placement → execute → feedback) in the scheduler's bounded trace
+//!   ring. [`answer_streamed`] additionally streams a `batch` as one
+//!   response line per packed round.
 //! * [`par`] — an order-preserving `parallel_map` over scoped threads for
 //!   non-`RunRequest` fan-outs (the GEMV sweeps).
 //!
@@ -76,8 +78,8 @@ pub use par::parallel_map;
 pub use placement::{
     place, place_learned, probe_activity, Placement, PlacementError, PredictionSource,
 };
-pub use protocol::{answer, serve};
+pub use protocol::{answer, answer_streamed, serve};
 pub use scheduler::{
-    pack_ffd, DeviceStats, FleetError, FleetJob, FleetResponse, JobHandle, PackedRound,
+    pack_ffd, BatchRound, DeviceStats, FleetError, FleetJob, FleetResponse, JobHandle, PackedRound,
     PredictOutcome, Scheduler, SchedulerStats, DEFAULT_TRACE_CAPACITY,
 };

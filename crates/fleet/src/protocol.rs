@@ -48,7 +48,10 @@
 //!   the memo cache and **power-packed**: admitted jobs execute in
 //!   first-fit-decreasing predicted-watts order against the fleet budget
 //!   (see [`crate::scheduler::pack_ffd`]) instead of FIFO, so the budget
-//!   fills instead of trickling.
+//!   fills instead of trickling. Under [`answer_streamed`] (the TCP
+//!   serving path) a batch instead yields **one response line per packed
+//!   round** as rounds complete, closed by a `"last": true` remainder
+//!   line; `"stream": false` opts a single request back into the blob.
 //! * `"predict"` — same fields as `run`, but nothing executes: answers
 //!   the pre-execution power estimate (`predicted_w`), which device would
 //!   take the job, the `kernel` key the estimate was priced under, and
@@ -102,7 +105,7 @@ use wm_obs::{stage, MetricValue, SpanRecord};
 use wm_patterns::{PatternKind, PatternSpec};
 
 use crate::json::{obj, Json};
-use crate::scheduler::{FleetJob, FleetResponse, Scheduler};
+use crate::scheduler::{FleetError, FleetJob, FleetResponse, Scheduler};
 
 /// Fetch an optional field strictly: absent is `Ok(None)`, but *present
 /// with the wrong type* is an error. `{"seeds": "8"}` or `{"lattice":
@@ -575,6 +578,75 @@ fn run_payload(r: &FleetResponse) -> Vec<(&'static str, Json)> {
     fields
 }
 
+/// A `batch` request after parsing: per-member parse outcomes plus the
+/// submittable jobs, with every member's daemon request id assigned (in
+/// member order, so the id stream stays deterministic).
+struct ParsedBatch {
+    /// Client-side member `"id"` echo, one per member.
+    member_client_ids: Vec<Json>,
+    /// Daemon-assigned request id, one per member.
+    member_ids: Vec<u64>,
+    /// Per-member parse errors: `(member index, message)`.
+    parse_errors: Vec<(usize, String)>,
+    /// Parseable jobs in member order — the submission list; entry `s`
+    /// came from member `parsed_members[s]`.
+    parsed: Vec<FleetJob>,
+    /// Member index of each submitted job.
+    parsed_members: Vec<usize>,
+}
+
+/// Parse a batch request's `requests` array, recording the parse span
+/// under `rid` exactly as the blob path always has.
+fn parse_batch(v: &Json, sched: &Scheduler, rid: u64) -> Result<ParsedBatch, String> {
+    let tracer = sched.tracer();
+    let parse = tracer.start(rid, stage::PARSE);
+    let Some(requests) = v.get("requests").and_then(Json::as_arr) else {
+        parse.finish("error");
+        return Err("batch needs a \"requests\" array".to_string());
+    };
+    // Parse everything up front so one bad entry fails fast with a
+    // per-entry error instead of a half-executed batch; the parseable
+    // jobs then execute power-packed (FFD against the fleet budget).
+    let jobs: Vec<Result<FleetJob, String>> =
+        requests.iter().map(|r| parse_job(r, sched)).collect();
+    parse.finish(format!("batch members={}", requests.len()));
+    // Every member — parseable or not — gets its own request id, assigned
+    // in submission order so the stream stays deterministic; member
+    // results echo it alongside the client's member "id".
+    let member_ids: Vec<u64> = requests.iter().map(|_| tracer.next_request_id()).collect();
+    let member_client_ids: Vec<Json> = requests
+        .iter()
+        .map(|r| r.get("id").cloned().unwrap_or(Json::Null))
+        .collect();
+    let mut parse_errors = Vec::new();
+    let mut parsed = Vec::new();
+    let mut parsed_members = Vec::new();
+    for (m, job) in jobs.into_iter().enumerate() {
+        match job {
+            Ok(job) => {
+                parsed.push(job.with_request_id(member_ids[m]));
+                parsed_members.push(m);
+            }
+            Err(msg) => parse_errors.push((m, msg)),
+        }
+    }
+    Ok(ParsedBatch {
+        member_client_ids,
+        member_ids,
+        parse_errors,
+        parsed,
+        parsed_members,
+    })
+}
+
+/// One batch member's response object (sans request id).
+fn member_response(outcome: Result<FleetResponse, FleetError>, client_id: Json) -> Json {
+    match outcome {
+        Ok(r) => ok_response(client_id, run_payload(&r)),
+        Err(e) => err_response(client_id, &e.to_string()),
+    }
+}
+
 fn ok_response(id: Json, payload: Vec<(&str, Json)>) -> Json {
     let mut fields = vec![("id", id), ("ok", Json::Bool(true))];
     fields.extend(payload);
@@ -684,6 +756,124 @@ pub fn answer(v: &Json, sched: &Scheduler) -> Json {
         .histogram("wattd_request_latency_us", &[("op", op_label)])
         .observe(tracer.now_us().saturating_sub(t0) as f64);
     with_request_id(response, rid)
+}
+
+/// [`answer`] with **streamed batches**: a `batch` request produces one
+/// response line per packed round *as the round completes*, instead of
+/// one blob after the whole batch. Every other op (and a batch carrying
+/// `"stream": false`) emits exactly one line, identical to [`answer`].
+///
+/// Streamed framing — each line is an object with the batch's `id`,
+/// `"ok": true`, the slice's `"round"` (1-based packed round in execution
+/// order; `0` is the final remainder: cache replays, pinned jobs,
+/// placement rejections, and member parse errors), the total packed
+/// `"rounds"`, the batch's `"members"` count, a `"results"` array of
+/// member responses (each carrying its member `"index"` in the original
+/// `requests` array, the client's member `"id"`, and the member's daemon
+/// `request_id`), and `"last"` — `true` exactly on the final line, so a
+/// client reads until `"last": true` and reassembles by `"index"`.
+///
+/// `emit` is called once per line. If it fails, the batch still drains
+/// (every in-flight job is joined — a vanished client must not wedge
+/// workers) but nothing further is written, and the first error is
+/// returned.
+pub fn answer_streamed(
+    v: &Json,
+    sched: &Scheduler,
+    emit: &mut dyn FnMut(&Json) -> std::io::Result<()>,
+) -> std::io::Result<()> {
+    if !matches!(opt_str(v, "op"), Ok(Some("batch"))) {
+        return emit(&answer(v, sched));
+    }
+    let tracer = sched.tracer();
+    let rid = tracer.next_request_id();
+    let t0 = tracer.now_us();
+    let id = v.get("id").cloned().unwrap_or(Json::Null);
+    let outcome = match opt_bool(v, "stream") {
+        Err(msg) => {
+            tracer.start(rid, stage::PARSE).finish("error");
+            emit(&with_request_id(err_response(id, &msg), rid))
+        }
+        Ok(Some(false)) => emit(&with_request_id(answer_inner(v, sched, rid), rid)),
+        Ok(_) => answer_batch_streamed(v, sched, rid, id, emit),
+    };
+    sched
+        .registry()
+        .histogram("wattd_request_latency_us", &[("op", "batch")])
+        .observe(tracer.now_us().saturating_sub(t0) as f64);
+    outcome
+}
+
+/// The streaming batch path behind [`answer_streamed`]: parse once, then
+/// let [`Scheduler::run_batch_rounds`] drive one emitted line per slice.
+fn answer_batch_streamed(
+    v: &Json,
+    sched: &Scheduler,
+    rid: u64,
+    id: Json,
+    emit: &mut dyn FnMut(&Json) -> std::io::Result<()>,
+) -> std::io::Result<()> {
+    let pb = match parse_batch(v, sched, rid) {
+        Ok(pb) => pb,
+        Err(msg) => return emit(&with_request_id(err_response(id, &msg), rid)),
+    };
+    let ParsedBatch {
+        member_client_ids,
+        member_ids,
+        parse_errors,
+        parsed,
+        parsed_members,
+    } = pb;
+    let members = member_ids.len();
+    let mut io_outcome: std::io::Result<()> = Ok(());
+    sched.run_batch_rounds(parsed, rid, |round| {
+        // A failed emit (client gone) stops writing, but the callback
+        // keeps consuming rounds so every worker reply is joined.
+        if io_outcome.is_err() {
+            return;
+        }
+        let last = round.round == 0;
+        let mut results: Vec<(usize, Json)> = round
+            .results
+            .into_iter()
+            .map(|(s, outcome)| {
+                let m = parsed_members[s];
+                (m, member_response(outcome, member_client_ids[m].clone()))
+            })
+            .collect();
+        if last {
+            // The remainder line also carries the members the scheduler
+            // never saw: per-member parse errors.
+            for (m, msg) in &parse_errors {
+                results.push((*m, err_response(member_client_ids[*m].clone(), msg)));
+            }
+        }
+        results.sort_by_key(|(m, _)| *m);
+        let results: Vec<Json> = results
+            .into_iter()
+            .map(|(m, r)| match with_request_id(r, member_ids[m]) {
+                Json::Obj(mut fields) => {
+                    fields.push(("index".to_string(), Json::Num(m as f64)));
+                    Json::Obj(fields)
+                }
+                other => other,
+            })
+            .collect();
+        let line = with_request_id(
+            obj(vec![
+                ("id", id.clone()),
+                ("ok", Json::Bool(true)),
+                ("round", Json::Num(round.round as f64)),
+                ("rounds", Json::Num(round.rounds as f64)),
+                ("members", Json::Num(members as f64)),
+                ("results", Json::Arr(results)),
+                ("last", Json::Bool(last)),
+            ]),
+            rid,
+        );
+        io_outcome = emit(&line);
+    });
+    io_outcome
 }
 
 fn answer_inner(v: &Json, sched: &Scheduler, rid: u64) -> Json {
@@ -901,44 +1091,24 @@ fn answer_inner(v: &Json, sched: &Scheduler, rid: u64) -> Json {
             }
         }
         "batch" => {
-            let parse = tracer.start(rid, stage::PARSE);
-            let Some(requests) = v.get("requests").and_then(Json::as_arr) else {
-                parse.finish("error");
-                return err_response(id, "batch needs a \"requests\" array");
+            let pb = match parse_batch(v, sched, rid) {
+                Ok(pb) => pb,
+                Err(msg) => return err_response(id, &msg),
             };
-            // Parse everything up front so one bad entry fails fast with a
-            // per-entry error instead of a half-executed batch; the
-            // parseable jobs then execute power-packed (FFD against the
-            // fleet budget) through `run_batch`.
-            let jobs: Vec<Result<FleetJob, String>> =
-                requests.iter().map(|r| parse_job(r, sched)).collect();
-            parse.finish(format!("batch members={}", requests.len()));
-            // Every member — parseable or not — gets its own request id,
-            // assigned in submission order so the stream stays
-            // deterministic; member results echo it alongside the
-            // client's member "id".
-            let member_ids: Vec<u64> = requests.iter().map(|_| tracer.next_request_id()).collect();
-            let parsed: Vec<FleetJob> = jobs
-                .iter()
-                .zip(&member_ids)
-                .filter_map(|(j, &mid)| j.as_ref().ok().map(|job| job.clone().with_request_id(mid)))
-                .collect();
-            let mut answers = sched.run_batch_traced(parsed, rid).into_iter();
-            let results: Vec<Json> = jobs
-                .iter()
-                .zip(requests)
-                .zip(&member_ids)
-                .map(|((parse, reqv), &mid)| {
-                    let member_id = reqv.get("id").cloned().unwrap_or(Json::Null);
-                    let result = match parse {
-                        Ok(_) => match answers.next().expect("one answer per parsed job") {
-                            Ok(r) => ok_response(member_id, run_payload(&r)),
-                            Err(e) => err_response(member_id, &e.to_string()),
-                        },
-                        Err(msg) => err_response(member_id, msg),
-                    };
-                    with_request_id(result, mid)
-                })
+            let members = pb.member_ids.len();
+            let answers = sched.run_batch_traced(pb.parsed, rid);
+            let mut results: Vec<Option<Json>> = (0..members).map(|_| None).collect();
+            for (m, msg) in &pb.parse_errors {
+                results[*m] = Some(err_response(pb.member_client_ids[*m].clone(), msg));
+            }
+            for (s, outcome) in answers.into_iter().enumerate() {
+                let m = pb.parsed_members[s];
+                results[m] = Some(member_response(outcome, pb.member_client_ids[m].clone()));
+            }
+            let results: Vec<Json> = results
+                .into_iter()
+                .zip(&pb.member_ids)
+                .map(|(r, &mid)| with_request_id(r.expect("every member answered"), mid))
                 .collect();
             ok_response(id, vec![("results", Json::Arr(results))])
         }
@@ -1795,6 +1965,115 @@ mod tests {
         let resp = Json::parse(std::str::from_utf8(&out).unwrap().trim()).unwrap();
         assert_eq!(resp.get("ok"), Some(&Json::Bool(false)));
         assert!(resp.get("request_id").and_then(Json::as_f64).is_some());
+    }
+
+    fn stream_line(s: &Scheduler, line: &str) -> Vec<Json> {
+        let mut out = Vec::new();
+        answer_streamed(&Json::parse(line).unwrap(), s, &mut |j| {
+            out.push(j.clone());
+            Ok(())
+        })
+        .unwrap();
+        out
+    }
+
+    #[test]
+    fn streamed_batch_emits_rounds_in_order_then_remainder() {
+        let s = sched();
+        let batch = format!(
+            r#"{{"id": 9, "op": "batch", "requests": [{RUN_LINE}, {{"dim": 0}}, {RUN_LINE_B}]}}"#
+        );
+        let lines = stream_line(&s, &batch);
+        let rounds = lines[0].get("rounds").and_then(Json::as_u64).unwrap();
+        assert!(rounds >= 1);
+        assert_eq!(lines.len() as u64, rounds + 1, "{lines:?}");
+        let mut seen_members = Vec::new();
+        let mut member_rids = Vec::new();
+        for (i, line) in lines.iter().enumerate() {
+            assert_eq!(line.get("ok"), Some(&Json::Bool(true)), "{line}");
+            assert_eq!(line.get("id").and_then(Json::as_u64), Some(9));
+            assert_eq!(line.get("members").and_then(Json::as_u64), Some(3));
+            assert_eq!(line.get("rounds").and_then(Json::as_u64), Some(rounds));
+            assert!(line.get("request_id").is_some());
+            let last = i + 1 == lines.len();
+            assert_eq!(line.get("last"), Some(&Json::Bool(last)), "{line}");
+            // Packed rounds stream as 1..=R in execution order; the
+            // remainder (here: the parse-error member) closes as round 0.
+            let round = line.get("round").and_then(Json::as_u64).unwrap();
+            assert_eq!(round, if last { 0 } else { i as u64 + 1 });
+            for r in line.get("results").and_then(Json::as_arr).unwrap() {
+                let index = r.get("index").and_then(Json::as_u64).unwrap();
+                seen_members.push(index);
+                member_rids.push(r.get("request_id").and_then(Json::as_u64).unwrap());
+                let ok = r.get("ok").and_then(Json::as_bool).unwrap();
+                assert_eq!(ok, index != 1, "{r}");
+                if ok {
+                    assert!(r.get("power_w").and_then(Json::as_f64).unwrap() > 0.0);
+                }
+            }
+        }
+        seen_members.sort_unstable();
+        assert_eq!(seen_members, vec![0, 1, 2], "each member exactly once");
+        member_rids.sort_unstable();
+        member_rids.dedup();
+        assert_eq!(member_rids.len(), 3, "member request ids are distinct");
+    }
+
+    #[test]
+    fn streamed_non_batch_and_opt_out_stay_single_line() {
+        let s = sched();
+        let pong = stream_line(&s, r#"{"id": 1, "op": "ping"}"#);
+        assert_eq!(pong.len(), 1);
+        assert_eq!(pong[0].get("pong"), Some(&Json::Bool(true)));
+        let blob = stream_line(
+            &s,
+            &format!(r#"{{"op": "batch", "stream": false, "requests": [{RUN_LINE}]}}"#),
+        );
+        assert_eq!(blob.len(), 1);
+        assert_eq!(
+            blob[0].get("results").and_then(Json::as_arr).unwrap().len(),
+            1
+        );
+        assert!(blob[0].get("round").is_none(), "opt-out keeps blob framing");
+        // A wrong-typed "stream" is a strict-field error, not a default.
+        let bad = stream_line(
+            &s,
+            &format!(r#"{{"op": "batch", "stream": "yes", "requests": [{RUN_LINE}]}}"#),
+        );
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].get("ok"), Some(&Json::Bool(false)), "{:?}", bad[0]);
+    }
+
+    #[test]
+    fn streamed_batch_matches_blob_results() {
+        // The same batch answered both ways must agree member for member
+        // (modulo request ids): streaming changes framing, not answers.
+        let s = sched();
+        let batch = format!(r#"{{"op": "batch", "requests": [{RUN_LINE}, {RUN_LINE_B}]}}"#);
+        let blob = run_line(&s, &batch);
+        let blob_results = blob.get("results").and_then(Json::as_arr).unwrap();
+        let lines = stream_line(&s, &batch);
+        let mut streamed: Vec<(u64, f64, bool)> = lines
+            .iter()
+            .flat_map(|l| l.get("results").and_then(Json::as_arr).unwrap().to_vec())
+            .map(|r| {
+                (
+                    r.get("index").and_then(Json::as_u64).unwrap(),
+                    r.get("power_w").and_then(Json::as_f64).unwrap(),
+                    r.get("cache_hit").and_then(Json::as_bool).unwrap(),
+                )
+            })
+            .collect();
+        streamed.sort_by_key(|(i, _, _)| *i);
+        assert_eq!(streamed.len(), blob_results.len());
+        for (m, (_, power, cache_hit)) in streamed.iter().enumerate() {
+            assert_eq!(
+                blob_results[m].get("power_w").and_then(Json::as_f64),
+                Some(*power)
+            );
+            // The blob ran first, so the streamed repeat replays its cache.
+            assert!(*cache_hit);
+        }
     }
 
     #[test]

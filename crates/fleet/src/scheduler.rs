@@ -46,7 +46,7 @@ use wm_kernels::{ActivityRecord, KernelClass};
 use wm_obs::{stage, Histogram, Registry, Tracer};
 use wm_optimizer::DvfsPlan;
 use wm_power::{evaluate_group, group_runtime, predicted_breakdown, PowerBreakdown};
-use wm_predict::{features_for_request, FeatureVector, ModelStats, PowerPredictor};
+use wm_predict::{features_for_request, FeatureVector, ModelStats, PowerPredictor, PredictorState};
 
 /// Default span capacity of a scheduler's trace ring
 /// ([`Scheduler::with_observability`] overrides it).
@@ -483,6 +483,35 @@ impl Scheduler {
         jobs: Vec<FleetJob>,
         parent_rid: u64,
     ) -> Vec<Result<FleetResponse, FleetError>> {
+        let n = jobs.len();
+        let mut results: Vec<Option<Result<FleetResponse, FleetError>>> =
+            (0..n).map(|_| None).collect();
+        self.run_batch_rounds(jobs, parent_rid, |round| {
+            for (i, outcome) in round.results {
+                results[i] = Some(outcome);
+            }
+        });
+        results
+            .into_iter()
+            .map(|r| r.expect("every job answered"))
+            .collect()
+    }
+
+    /// The streaming core of [`Scheduler::run_batch_traced`]: identical
+    /// pricing, packing, and execution, but each completed slice of the
+    /// batch is handed to `on_round` the moment its barrier clears instead
+    /// of accumulating into one vector. Packed rounds arrive first as
+    /// rounds `1..=rounds` in execution order; the **bypass set** (cache
+    /// replays, pinned jobs, and jobs placement rejects — nothing the
+    /// packer touches) always arrives last as round `0`, even when empty,
+    /// so a consumer can treat the round-0 callback as the end-of-batch
+    /// marker. `wm-serve` streams one response line per callback.
+    pub fn run_batch_rounds(
+        &self,
+        jobs: Vec<FleetJob>,
+        parent_rid: u64,
+        mut on_round: impl FnMut(BatchRound),
+    ) {
         let inner = &*self.inner;
         let pack_span = inner.tracer.start(parent_rid, stage::PACK);
         // Price the whole batch in parallel (order-preserving fan-out;
@@ -545,8 +574,7 @@ impl Scheduler {
             priced.len(),
             bypass.len()
         ));
-        let mut results: Vec<Option<Result<FleetResponse, FleetError>>> =
-            (0..jobs.len()).map(|_| None).collect();
+        let total_rounds = rounds.len();
         // Bypass jobs first: cache replays answer instantly, pinned jobs
         // take no slot, and rejections fail fast — none of them contend
         // with the packed rounds for budget.
@@ -554,7 +582,7 @@ impl Scheduler {
             .iter()
             .map(|&i| (i, self.submit(jobs[i].clone())))
             .collect();
-        for round in &rounds {
+        for (r, round) in rounds.iter().enumerate() {
             let handles: Vec<(usize, JobHandle)> = round
                 .jobs
                 .iter()
@@ -572,17 +600,23 @@ impl Scheduler {
             // slot reservation simply delays it (degrading toward the old
             // backpressure behavior for that round), never overshooting
             // the budget.
-            for (i, handle) in handles {
-                results[i] = Some(handle.recv());
-            }
+            on_round(BatchRound {
+                round: r + 1,
+                rounds: total_rounds,
+                results: handles
+                    .into_iter()
+                    .map(|(i, handle)| (i, handle.recv()))
+                    .collect(),
+            });
         }
-        for (i, handle) in bypass_handles {
-            results[i] = Some(handle.recv());
-        }
-        results
-            .into_iter()
-            .map(|r| r.expect("every job answered"))
-            .collect()
+        on_round(BatchRound {
+            round: 0,
+            rounds: total_rounds,
+            results: bypass_handles
+                .into_iter()
+                .map(|(i, handle)| (i, handle.recv()))
+                .collect(),
+        });
     }
 
     /// Current counter snapshot.
@@ -720,6 +754,22 @@ impl Scheduler {
         lock_clean(&self.inner.predictor).stats()
     }
 
+    /// Export the shared predictor's complete state (sufficient
+    /// statistics, error sketches, drift flags) for persistence — the
+    /// graceful-drain flush in `wm-serve` writes this to disk.
+    pub fn predictor_snapshot(&self) -> PredictorState {
+        lock_clean(&self.inner.predictor).export_state()
+    }
+
+    /// Replace the shared predictor with one rebuilt from exported state —
+    /// the warm-start path after a daemon restart, skipping the training
+    /// ramp. Rejects malformed state without touching the live predictor.
+    pub fn restore_predictor(&self, state: PredictorState) -> Result<(), String> {
+        let restored = PowerPredictor::from_state(state)?;
+        *lock_clean(&self.inner.predictor) = restored;
+        Ok(())
+    }
+
     /// Predict a job's power without executing (or caching) anything:
     /// the same placement logic `submit` would run, stopping at the
     /// estimate. Learned models serve when trained and healthy; otherwise
@@ -821,6 +871,22 @@ impl Scheduler {
         lock_clean(&self.inner.predictor).observe(dev.gpu.name, req.kernel, &features, measured_w);
         Ok(())
     }
+}
+
+/// One completed slice of a streamed batch
+/// ([`Scheduler::run_batch_rounds`]): every job of one packed round (or,
+/// for `round == 0`, the bypass set) with its outcome.
+#[derive(Debug)]
+pub struct BatchRound {
+    /// 1-based packed-round index in execution order; `0` is the bypass
+    /// set (cache replays, pinned jobs, placement rejections), which is
+    /// always delivered last.
+    pub round: usize,
+    /// Number of packed rounds in the whole batch (the bypass round is
+    /// not counted).
+    pub rounds: usize,
+    /// `(submission index, outcome)` per job in this slice.
+    pub results: Vec<(usize, Result<FleetResponse, FleetError>)>,
 }
 
 /// One concurrency round produced by the first-fit-decreasing power

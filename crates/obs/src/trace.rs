@@ -35,6 +35,10 @@ pub mod stage {
     pub const FEEDBACK: &str = "feedback";
     /// Batch power-packing into concurrency rounds.
     pub const PACK: &str = "pack";
+    /// Network-session attribution: one span per request served over a
+    /// TCP session, carrying `session=<id> op=<op>` in its detail so a
+    /// request id resolves to the connection that issued it.
+    pub const SESSION: &str = "session";
 }
 
 /// One recorded lifecycle span.

@@ -43,6 +43,8 @@ pub mod sketch;
 pub use features::{
     extract_features, features_for_request, FeatureAccumulator, FeatureVector, FEATURE_DIM,
 };
-pub use predictor::{ModelStats, PowerPredictor, Prediction, DEFAULT_MIN_OBSERVATIONS};
+pub use predictor::{
+    ModelStats, PowerPredictor, Prediction, PredictorState, SavedModel, DEFAULT_MIN_OBSERVATIONS,
+};
 pub use sketch::{LogHistogram, QuantileSketch};
 pub use wm_kernels::KernelClass;

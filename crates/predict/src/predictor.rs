@@ -172,6 +172,45 @@ pub struct ModelStats {
     pub ready: bool,
 }
 
+/// One `(architecture, kernel)` model's complete persistable state: the
+/// ridge sufficient statistics, the lifetime error sketch's bin counts,
+/// and the drift bookkeeping. Plain data — `wm-serve` turns it into JSON
+/// and back; this crate stays format-agnostic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SavedModel {
+    /// Architecture key (the GPU marketing name).
+    pub arch: String,
+    /// Kernel-class key.
+    pub kernel: KernelClass,
+    /// Training observations accumulated by the fitter.
+    pub observations: u64,
+    /// Row-major `FEATURE_DIM × FEATURE_DIM` Gram matrix `XᵀX`.
+    pub xtx: Vec<f64>,
+    /// `Xᵀy` vector, length `FEATURE_DIM`.
+    pub xty: Vec<f64>,
+    /// Lifetime APE sketch bin counts ([`QuantileSketch::counts`]).
+    pub lifetime_counts: Vec<u64>,
+    /// Recent-error window, oldest first (percentage points).
+    pub window: Vec<f64>,
+    /// Whether drift currently disables this model.
+    pub degraded: bool,
+    /// Times the drift detector tripped.
+    pub drift_events: u64,
+}
+
+/// The whole predictor's persistable state ([`PowerPredictor::export_state`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictorState {
+    /// Feature dimensionality the sufficient statistics assume. A loader
+    /// must reject state whose dimension disagrees with its own
+    /// [`FEATURE_DIM`] — the Gram matrix cells would silently misalign.
+    pub feature_dim: usize,
+    /// Readiness threshold the predictor ran with.
+    pub min_observations: u64,
+    /// Every keyed model, in stable (sorted-key) order.
+    pub models: Vec<SavedModel>,
+}
+
 /// Per-`(architecture, kernel)` online power models with drift-aware
 /// serving.
 #[derive(Debug, Clone)]
@@ -328,6 +367,99 @@ impl PowerPredictor {
     pub fn observations(&self, arch: &str, kernel: KernelClass) -> u64 {
         self.model(arch, kernel)
             .map_or(0, |m| m.fitter.observations())
+    }
+
+    /// Export every model's complete state for persistence. The export is
+    /// exact: [`PowerPredictor::from_state`] on the result rebuilds a
+    /// predictor whose predictions, readiness, and health stats match the
+    /// original (coefficients are re-solved from the same sufficient
+    /// statistics).
+    pub fn export_state(&self) -> PredictorState {
+        let models = self
+            .models
+            .iter()
+            .flat_map(|(arch, kernels)| {
+                kernels.iter().map(|(kernel, m)| SavedModel {
+                    arch: arch.clone(),
+                    kernel: *kernel,
+                    observations: m.fitter.observations(),
+                    xtx: m.fitter.xtx().to_vec(),
+                    xty: m.fitter.xty().to_vec(),
+                    lifetime_counts: m.lifetime.counts().to_vec(),
+                    window: m.window.iter().copied().collect(),
+                    degraded: m.degraded,
+                    drift_events: m.drift_events,
+                })
+            })
+            .collect();
+        PredictorState {
+            feature_dim: FEATURE_DIM,
+            min_observations: self.min_observations,
+            models,
+        }
+    }
+
+    /// Rebuild a predictor from exported state — the warm-start path that
+    /// skips the training ramp after a daemon restart.
+    ///
+    /// Returns `Err` (never panics) on malformed state: wrong feature
+    /// dimension, sufficient-statistic shape mismatches, non-finite
+    /// values, or an over-long error window. Persisted files are external
+    /// input.
+    pub fn from_state(state: PredictorState) -> Result<Self, String> {
+        if state.feature_dim != FEATURE_DIM {
+            return Err(format!(
+                "state has feature_dim {}, this build uses {FEATURE_DIM}",
+                state.feature_dim
+            ));
+        }
+        if state.min_observations == 0 {
+            return Err("min_observations must be positive".to_string());
+        }
+        let mut models: BTreeMap<String, KernelModels> = BTreeMap::new();
+        for saved in state.models {
+            let key = format!("({}, {})", saved.arch, saved.kernel.label());
+            let fitter = RidgeFitter::from_parts(
+                FEATURE_DIM,
+                LAMBDA,
+                saved.xtx,
+                saved.xty,
+                saved.observations,
+            )
+            .map_err(|e| format!("model {key}: {e}"))?;
+            let lifetime = QuantileSketch::from_counts(saved.lifetime_counts)
+                .map_err(|e| format!("model {key}: {e}"))?;
+            if saved.window.len() > DRIFT_WINDOW {
+                return Err(format!(
+                    "model {key}: window has {} entries, cap is {DRIFT_WINDOW}",
+                    saved.window.len()
+                ));
+            }
+            if let Some(bad) = saved.window.iter().find(|w| !(w.is_finite() && **w >= 0.0)) {
+                return Err(format!("model {key}: bad window entry {bad}"));
+            }
+            let beta = fitter.solve();
+            let model = ArchModel {
+                fitter,
+                beta,
+                lifetime,
+                window: saved.window.into_iter().collect(),
+                degraded: saved.degraded,
+                drift_events: saved.drift_events,
+            };
+            if models
+                .entry(saved.arch.clone())
+                .or_default()
+                .insert(saved.kernel, model)
+                .is_some()
+            {
+                return Err(format!("model {key}: duplicate key"));
+            }
+        }
+        Ok(Self {
+            models,
+            min_observations: state.min_observations,
+        })
     }
 
     /// Health snapshot of every keyed model, in stable (sorted-key) order:
@@ -563,5 +695,72 @@ mod tests {
         let mut p = PowerPredictor::new();
         let f = features_for_request(&request(PatternKind::Gaussian, 1));
         p.observe(ARCH, GEMM, &f, 0.0);
+    }
+
+    #[test]
+    fn exported_state_round_trips_predictions_and_stats() {
+        let mut p = PowerPredictor::new();
+        train(&mut p, 8); // 64 observations, tracked errors past readiness
+        let restored = PowerPredictor::from_state(p.export_state()).expect("own export loads");
+        assert!(restored.ready(ARCH, GEMM));
+        assert_eq!(restored.min_observations(), p.min_observations());
+        assert_eq!(restored.stats(), p.stats());
+        let probe = features_for_request(&request(PatternKind::Sparse { sparsity: 0.3 }, 4242));
+        assert_eq!(
+            restored.predict(ARCH, GEMM, &probe),
+            p.predict(ARCH, GEMM, &probe)
+        );
+        // The restored predictor keeps learning where the original left off.
+        let f = features_for_request(&request(PatternKind::Gaussian, 31_337));
+        let mut restored = restored;
+        restored.observe(ARCH, GEMM, &f, synthetic_watts(&f));
+        assert_eq!(restored.observations(ARCH, GEMM), 65);
+    }
+
+    #[test]
+    fn degraded_flag_survives_a_round_trip() {
+        let mut p = PowerPredictor::new();
+        train(&mut p, 8);
+        for i in 0..16 {
+            let f = features_for_request(&request(PatternKind::Gaussian, 5000 + i));
+            p.observe(ARCH, GEMM, &f, synthetic_watts(&f) * 4.0);
+        }
+        assert!(!p.ready(ARCH, GEMM));
+        let restored = PowerPredictor::from_state(p.export_state()).unwrap();
+        assert!(
+            !restored.ready(ARCH, GEMM),
+            "a tripped model must not re-enter serving through persistence"
+        );
+        assert_eq!(restored.stats(), p.stats());
+    }
+
+    #[test]
+    fn malformed_state_is_rejected() {
+        let mut p = PowerPredictor::new();
+        train(&mut p, 1);
+        let good = p.export_state();
+
+        let mut wrong_dim = good.clone();
+        wrong_dim.feature_dim += 1;
+        assert!(PowerPredictor::from_state(wrong_dim).is_err());
+
+        let mut short_xtx = good.clone();
+        short_xtx.models[0].xtx.pop();
+        assert!(PowerPredictor::from_state(short_xtx).is_err());
+
+        let mut nan_stat = good.clone();
+        nan_stat.models[0].xty[0] = f64::NAN;
+        assert!(PowerPredictor::from_state(nan_stat).is_err());
+
+        let mut long_window = good.clone();
+        long_window.models[0].window = vec![1.0; DRIFT_WINDOW + 1];
+        assert!(PowerPredictor::from_state(long_window).is_err());
+
+        let mut dup = good.clone();
+        let copy = dup.models[0].clone();
+        dup.models.push(copy);
+        assert!(PowerPredictor::from_state(dup).is_err());
+
+        assert!(PowerPredictor::from_state(good).is_ok());
     }
 }

@@ -99,6 +99,27 @@ impl QuantileSketch {
         }
         self.total += other.total;
     }
+
+    /// The raw bin counts (`BINS` regular bins plus one overflow bin) —
+    /// the sketch's entire state, for persistence.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Rebuild a sketch from counts previously read via [`Self::counts`].
+    /// Exact round trip; `Err` on a bin-count length mismatch (persisted
+    /// files are external input, not caller bugs).
+    pub fn from_counts(counts: Vec<u64>) -> Result<Self, String> {
+        if counts.len() != BINS + 1 {
+            return Err(format!(
+                "sketch has {} bins, expected {}",
+                counts.len(),
+                BINS + 1
+            ));
+        }
+        let total = counts.iter().sum();
+        Ok(Self { counts, total })
+    }
 }
 
 /// Mantissa slices per power-of-two octave in a [`LogHistogram`]: 16
@@ -300,6 +321,18 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn negative_ape_rejected() {
         QuantileSketch::new().observe(-1.0);
+    }
+
+    #[test]
+    fn counts_round_trip_exactly() {
+        let mut s = QuantileSketch::new();
+        for i in 0..77 {
+            s.observe((i * 13 % 120) as f64);
+        }
+        let rebuilt = QuantileSketch::from_counts(s.counts().to_vec()).unwrap();
+        assert_eq!(rebuilt, s);
+        assert_eq!(rebuilt.observations(), 77);
+        assert!(QuantileSketch::from_counts(vec![0; 3]).is_err());
     }
 
     #[test]

@@ -1,0 +1,652 @@
+//! The concurrent TCP server: thread-per-connection sessions over one
+//! shared [`Scheduler`].
+//!
+//! Every accepted connection becomes a **session**: a numbered,
+//! stat-tracked JSON-lines conversation speaking exactly the
+//! `wm_fleet::protocol` schema, plus three serve-layer behaviors:
+//!
+//! * **Streamed batches** — requests route through
+//!   [`wm_fleet::answer_streamed`], so a `batch` yields one response line
+//!   per packed round as rounds complete (closed by `"last": true`)
+//!   instead of one blob; `"stream": false` opts a request back into the
+//!   blob.
+//! * **Session observability** — each request gets a `session` span
+//!   ([`wm_obs::stage::SESSION`]) tying its request id to the session
+//!   that issued it, and the `stats` op is augmented with the asking
+//!   session's id plus per-session request/error/byte/cache-hit counts
+//!   for every live session.
+//! * **Backpressure, not hangs** — past `max_sessions` concurrent
+//!   sessions a new connection is answered with a single clean
+//!   `busy` error line and closed; a `batch` whose member count exceeds
+//!   the per-session in-flight cap gets a `busy` error while the session
+//!   survives; a request line longer than `max_line_bytes` gets a clean
+//!   error and the oversized bytes are discarded without ever being
+//!   buffered — one client cannot OOM the daemon.
+//!
+//! **Graceful drain**: [`ServerHandle::shutdown`] (or the serve-layer
+//! `shutdown` op, or SIGTERM in the `wattd` binary) makes the accept
+//! loop stop admitting, lets every session finish the request it is
+//! currently serving, joins the session threads, flushes the predictor's
+//! state to `state_dir` (see [`crate::persist`]), and returns.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use wm_fleet::json::{obj, Json};
+use wm_fleet::{answer_streamed, Scheduler};
+use wm_obs::{stage, SpanRecord};
+
+use crate::persist::{self, LoadOutcome};
+
+/// Network-service configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `"127.0.0.1:0"` (port 0 picks a free port).
+    pub addr: String,
+    /// Concurrent-session admission cap: connection `max_sessions + 1`
+    /// gets a clean `busy` error line and is closed.
+    pub max_sessions: usize,
+    /// Per-session in-flight cap: the most batch members one session may
+    /// have executing at once (a `batch` is the only way a session runs
+    /// more than one job concurrently). Oversized batches get a `busy`
+    /// error; the session survives.
+    pub max_inflight: usize,
+    /// Request-line length cap in bytes. Longer lines are answered with
+    /// a clean error and their bytes discarded unbuffered.
+    pub max_line_bytes: usize,
+    /// Predictor-persistence directory: loaded (behind version/staleness
+    /// checks) at bind, flushed on graceful drain. `None` disables
+    /// persistence.
+    pub state_dir: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            max_sessions: 64,
+            max_inflight: 256,
+            max_line_bytes: 1 << 20,
+            state_dir: None,
+        }
+    }
+}
+
+/// Live per-session counters (atomics — written by the session thread,
+/// read by whoever answers a `stats` op).
+#[derive(Debug, Default)]
+struct SessionStats {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    cache_hits: AtomicU64,
+}
+
+/// One session's counters at a point in time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionSnapshot {
+    /// Session id (1-based, in accept order).
+    pub session: u64,
+    /// Request lines processed (including ones answered with errors).
+    pub requests: u64,
+    /// Error responses emitted (top-level and per batch member).
+    pub errors: u64,
+    /// Request bytes consumed from the socket.
+    pub bytes_in: u64,
+    /// Response bytes written to the socket.
+    pub bytes_out: u64,
+    /// Cache-hit answers observed (top-level and per batch member).
+    pub cache_hits: u64,
+}
+
+impl SessionStats {
+    fn snapshot(&self, session: u64) -> SessionSnapshot {
+        SessionSnapshot {
+            session,
+            requests: self.requests.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// State shared between the accept loop, the sessions, and handles.
+#[derive(Debug, Default)]
+struct ServerState {
+    shutdown: AtomicBool,
+    next_session: AtomicU64,
+    started: AtomicU64,
+    rejected: AtomicU64,
+    active: Mutex<HashMap<u64, Arc<SessionStats>>>,
+}
+
+/// A cloneable handle onto a running [`Server`], for triggering and
+/// observing drain from outside the accept loop (tests, signal
+/// handlers).
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    state: Arc<ServerState>,
+}
+
+impl ServerHandle {
+    /// Begin graceful drain: stop accepting, finish in-flight requests,
+    /// flush predictor state, return from [`Server::run`]. Idempotent.
+    pub fn shutdown(&self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether drain has been requested.
+    pub fn is_draining(&self) -> bool {
+        self.state.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Snapshots of every live session, in session-id order.
+    pub fn sessions(&self) -> Vec<SessionSnapshot> {
+        snapshot_sessions(&self.state)
+    }
+}
+
+fn snapshot_sessions(state: &ServerState) -> Vec<SessionSnapshot> {
+    let mut all: Vec<SessionSnapshot> = state
+        .active
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .iter()
+        .map(|(&sid, stats)| stats.snapshot(sid))
+        .collect();
+    all.sort_by_key(|s| s.session);
+    all
+}
+
+/// The bound-but-not-yet-running network service.
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    cfg: ServeConfig,
+    sched: Arc<Scheduler>,
+    state: Arc<ServerState>,
+    warm_start: Option<Result<usize, String>>,
+}
+
+impl Server {
+    /// Bind the listener and, when `state_dir` is configured, warm-start
+    /// the shared predictor from persisted state (a missing file is a
+    /// cold start; a rejected file is reported via
+    /// [`Server::warm_start`] and the predictor stays cold — never
+    /// silently wrong).
+    pub fn bind(cfg: ServeConfig, sched: Arc<Scheduler>) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let warm_start = cfg.state_dir.as_deref().and_then(|dir| {
+            match persist::load_predictor(dir, persist::unix_now_s()) {
+                LoadOutcome::Missing => None,
+                LoadOutcome::Rejected(msg) => Some(Err(msg)),
+                LoadOutcome::Loaded(state) => {
+                    let models = state.models.len();
+                    Some(sched.restore_predictor(state).map(|()| models))
+                }
+            }
+        });
+        sched
+            .registry()
+            .gauge("serve_warm_start", &[])
+            .set(matches!(warm_start, Some(Ok(_))) as u64 as f64);
+        Ok(Server {
+            listener,
+            local_addr,
+            cfg,
+            sched,
+            state: Arc::new(ServerState::default()),
+            warm_start,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The warm-start outcome: `None` for a cold start (no persistence
+    /// configured, or no state file), `Some(Ok(models))` after restoring
+    /// that many models, `Some(Err(why))` when a state file was present
+    /// but rejected.
+    pub fn warm_start(&self) -> Option<&Result<usize, String>> {
+        self.warm_start.as_ref()
+    }
+
+    /// A handle for triggering/observing drain while [`Server::run`]
+    /// blocks.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            state: Arc::clone(&self.state),
+        }
+    }
+
+    /// Accept and serve sessions until drain is requested, then finish
+    /// in-flight work, join every session, flush predictor state to
+    /// `state_dir` (when configured), and return.
+    pub fn run(self) -> std::io::Result<()> {
+        let reg = Arc::clone(self.sched.registry());
+        let mut sessions: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !self.state.shutdown.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    sessions.retain(|h| !h.is_finished());
+                    let active = self
+                        .state
+                        .active
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .len();
+                    if active >= self.cfg.max_sessions {
+                        self.state.rejected.fetch_add(1, Ordering::Relaxed);
+                        reg.counter("serve_sessions_rejected_total", &[]).inc();
+                        reject_busy(stream, self.cfg.max_sessions);
+                        continue;
+                    }
+                    let sid = self.state.next_session.fetch_add(1, Ordering::Relaxed) + 1;
+                    self.state.started.fetch_add(1, Ordering::Relaxed);
+                    reg.counter("serve_sessions_total", &[]).inc();
+                    let stats = Arc::new(SessionStats::default());
+                    self.state
+                        .active
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .insert(sid, Arc::clone(&stats));
+                    let ctx = SessionCtx {
+                        sid,
+                        stats,
+                        sched: Arc::clone(&self.sched),
+                        state: Arc::clone(&self.state),
+                        max_inflight: self.cfg.max_inflight,
+                        max_line_bytes: self.cfg.max_line_bytes,
+                    };
+                    sessions.push(std::thread::spawn(move || {
+                        ctx.serve(stream);
+                        ctx.state
+                            .active
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .remove(&ctx.sid);
+                    }));
+                    reg.gauge("serve_sessions_active", &[])
+                        .set((active + 1) as f64);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    // Transient accept failures (e.g. a connection that
+                    // aborted between accept and handshake) must not take
+                    // the whole service down.
+                    reg.counter("serve_accept_errors_total", &[]).inc();
+                }
+            }
+        }
+        for h in sessions {
+            let _ = h.join();
+        }
+        if let Some(dir) = &self.cfg.state_dir {
+            persist::save_predictor(dir, &self.sched.predictor_snapshot(), persist::unix_now_s())?;
+        }
+        reg.gauge("serve_sessions_active", &[]).set(0.0);
+        Ok(())
+    }
+}
+
+/// Answer an over-admission connection with one `busy` line and close
+/// it — backpressure is an explicit error, never a hang.
+fn reject_busy(stream: TcpStream, max_sessions: usize) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    let mut w = BufWriter::new(stream);
+    let line = obj(vec![
+        ("id", Json::Null),
+        ("ok", Json::Bool(false)),
+        ("busy", Json::Bool(true)),
+        (
+            "error",
+            Json::Str(format!(
+                "busy: {max_sessions} concurrent sessions already admitted; retry later"
+            )),
+        ),
+    ]);
+    let _ = writeln!(w, "{line}");
+    let _ = w.flush();
+}
+
+/// Everything one session thread needs.
+struct SessionCtx {
+    sid: u64,
+    stats: Arc<SessionStats>,
+    sched: Arc<Scheduler>,
+    state: Arc<ServerState>,
+    max_inflight: usize,
+    max_line_bytes: usize,
+}
+
+/// One step of bounded line reading.
+enum ReadOutcome {
+    /// A complete line landed in `buf` (without its newline).
+    Line,
+    /// `buf` exceeded the cap with no newline yet.
+    Overflow,
+    /// The read timed out — the drain-poll opportunity.
+    Timeout,
+    /// Clean end of stream.
+    Eof,
+}
+
+/// Read toward the next newline with a hard buffer cap. In `discarding`
+/// mode the bytes of an already-oversized line are consumed and dropped
+/// without ever being buffered — the cap is a memory bound, not just an
+/// error trigger. `bytes_in` counts every consumed byte.
+fn read_line_step(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut Vec<u8>,
+    cap: usize,
+    discarding: bool,
+    bytes_in: &AtomicU64,
+) -> std::io::Result<ReadOutcome> {
+    loop {
+        let available = match reader.fill_buf() {
+            Ok(b) => b,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return Ok(ReadOutcome::Timeout)
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if available.is_empty() {
+            return Ok(ReadOutcome::Eof);
+        }
+        if let Some(pos) = available.iter().position(|&b| b == b'\n') {
+            if !discarding {
+                buf.extend_from_slice(&available[..pos]);
+            }
+            reader.consume(pos + 1);
+            bytes_in.fetch_add(pos as u64 + 1, Ordering::Relaxed);
+            return Ok(ReadOutcome::Line);
+        }
+        let n = available.len();
+        if !discarding {
+            buf.extend_from_slice(available);
+        }
+        reader.consume(n);
+        bytes_in.fetch_add(n as u64, Ordering::Relaxed);
+        if !discarding && buf.len() > cap {
+            return Ok(ReadOutcome::Overflow);
+        }
+    }
+}
+
+impl SessionCtx {
+    fn serve(&self, stream: TcpStream) {
+        let _ = stream.set_nodelay(true);
+        // The read timeout is the drain-poll cadence: an idle session
+        // notices shutdown within one tick.
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+        let Ok(read_half) = stream.try_clone() else {
+            return;
+        };
+        let mut reader = BufReader::new(read_half);
+        let mut writer = BufWriter::new(stream);
+        let mut buf: Vec<u8> = Vec::new();
+        let mut discarding = false;
+        loop {
+            match read_line_step(
+                &mut reader,
+                &mut buf,
+                self.max_line_bytes,
+                discarding,
+                &self.stats.bytes_in,
+            ) {
+                Ok(ReadOutcome::Line) => {
+                    let line = std::mem::take(&mut buf);
+                    if discarding {
+                        // The tail of an oversized line, already answered.
+                        discarding = false;
+                    } else if self.handle_line(&line, &mut writer).is_err() {
+                        break;
+                    }
+                    if self.state.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                }
+                Ok(ReadOutcome::Overflow) => {
+                    buf.clear();
+                    discarding = true;
+                    if self.answer_oversized(&mut writer).is_err() {
+                        break;
+                    }
+                }
+                Ok(ReadOutcome::Timeout) => {
+                    if self.state.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                }
+                Ok(ReadOutcome::Eof) => {
+                    // A trailing unterminated line still gets answered,
+                    // matching the stdio serve loop's `lines()` behavior.
+                    if !buf.is_empty() && !discarding {
+                        let line = std::mem::take(&mut buf);
+                        let _ = self.handle_line(&line, &mut writer);
+                    }
+                    break;
+                }
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Answer one request line, streaming batches round by round.
+    fn handle_line(&self, raw: &[u8], writer: &mut BufWriter<TcpStream>) -> std::io::Result<()> {
+        let text = String::from_utf8_lossy(raw);
+        let trimmed = text.trim();
+        if trimmed.is_empty() {
+            return Ok(());
+        }
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        let tracer = Arc::clone(self.sched.tracer());
+        let t0 = tracer.now_us();
+        let v = match Json::parse(trimmed) {
+            Ok(v) => v,
+            Err(e) => {
+                let rid = tracer.next_request_id();
+                tracer.start(rid, stage::PARSE).finish("error");
+                let resp = self.error_response(Json::Null, &format!("parse error: {e}"), rid);
+                self.session_span(&tracer, rid, "parse_error", t0);
+                return self.emit(writer, &resp);
+            }
+        };
+        let op = v
+            .get("op")
+            .and_then(Json::as_str)
+            .unwrap_or("run")
+            .to_string();
+        let id = v.get("id").cloned().unwrap_or(Json::Null);
+
+        // Serve-layer op: `shutdown` triggers the same graceful drain as
+        // SIGTERM, answered before the drain takes effect.
+        if op == "shutdown" {
+            let rid = tracer.next_request_id();
+            tracer.start(rid, stage::PARSE).finish("shutdown");
+            self.state.shutdown.store(true, Ordering::SeqCst);
+            let resp = obj(vec![
+                ("id", id),
+                ("ok", Json::Bool(true)),
+                ("draining", Json::Bool(true)),
+                ("request_id", Json::Num(rid as f64)),
+            ]);
+            self.session_span(&tracer, rid, &op, t0);
+            return self.emit(writer, &resp);
+        }
+
+        // Per-session in-flight cap: a batch is the only way one session
+        // puts more than one job in flight, so the cap is a member cap.
+        if op == "batch" {
+            let members = v
+                .get("requests")
+                .and_then(Json::as_arr)
+                .map_or(0, <[Json]>::len);
+            if members > self.max_inflight {
+                let rid = tracer.next_request_id();
+                tracer.start(rid, stage::PARSE).finish("busy");
+                let resp = obj(vec![
+                    ("id", id),
+                    ("ok", Json::Bool(false)),
+                    ("busy", Json::Bool(true)),
+                    (
+                        "error",
+                        Json::Str(format!(
+                            "busy: batch of {members} members exceeds this session's \
+                             in-flight cap of {}",
+                            self.max_inflight
+                        )),
+                    ),
+                    ("request_id", Json::Num(rid as f64)),
+                ]);
+                self.session_span(&tracer, rid, &op, t0);
+                return self.emit(writer, &resp);
+            }
+        }
+
+        let mut first_rid = None;
+        let augment = op == "stats";
+        let result = answer_streamed(&v, &self.sched, &mut |resp| {
+            if first_rid.is_none() {
+                first_rid = resp.get("request_id").and_then(Json::as_u64);
+            }
+            if augment {
+                self.emit(writer, &self.augment_stats(resp))
+            } else {
+                self.emit(writer, resp)
+            }
+        });
+        if let Some(rid) = first_rid {
+            self.session_span(&tracer, rid, &op, t0);
+        }
+        result
+    }
+
+    fn answer_oversized(&self, writer: &mut BufWriter<TcpStream>) -> std::io::Result<()> {
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        let tracer = self.sched.tracer();
+        let t0 = tracer.now_us();
+        let rid = tracer.next_request_id();
+        tracer.start(rid, stage::PARSE).finish("oversized");
+        let resp = self.error_response(
+            Json::Null,
+            &format!(
+                "request line exceeds the {}-byte cap; line discarded",
+                self.max_line_bytes
+            ),
+            rid,
+        );
+        self.session_span(tracer, rid, "oversized", t0);
+        self.emit(writer, &resp)
+    }
+
+    fn error_response(&self, id: Json, message: &str, rid: u64) -> Json {
+        obj(vec![
+            ("id", id),
+            ("ok", Json::Bool(false)),
+            ("error", Json::Str(message.to_string())),
+            ("request_id", Json::Num(rid as f64)),
+        ])
+    }
+
+    /// Record the session-attribution span for one answered request.
+    fn session_span(&self, tracer: &wm_obs::Tracer, rid: u64, op: &str, start_us: u64) {
+        tracer.record(SpanRecord {
+            request_id: rid,
+            stage: stage::SESSION,
+            detail: format!("session={} op={op}", self.sid),
+            start_us,
+            end_us: tracer.now_us(),
+        });
+    }
+
+    /// Write one response line; account bytes, errors, and cache hits
+    /// from the response itself (top level and per batch member).
+    fn emit(&self, writer: &mut BufWriter<TcpStream>, resp: &Json) -> std::io::Result<()> {
+        let line = resp.to_string();
+        // Tally before the line hits the wire so a client that has seen
+        // its response always finds it reflected in `stats`.
+        self.stats
+            .bytes_out
+            .fetch_add(line.len() as u64 + 1, Ordering::Relaxed);
+        let mut errors = 0;
+        let mut hits = 0;
+        let mut tally = |v: &Json| {
+            if v.get("ok") == Some(&Json::Bool(false)) {
+                errors += 1;
+            }
+            if v.get("cache_hit") == Some(&Json::Bool(true)) {
+                hits += 1;
+            }
+        };
+        tally(resp);
+        if let Some(results) = resp.get("results").and_then(Json::as_arr) {
+            for r in results {
+                tally(r);
+            }
+        }
+        self.stats.errors.fetch_add(errors, Ordering::Relaxed);
+        self.stats.cache_hits.fetch_add(hits, Ordering::Relaxed);
+        writeln!(writer, "{line}")?;
+        writer.flush()?;
+        Ok(())
+    }
+
+    /// Append the serve layer's session view to a `stats` response: the
+    /// asking session's id, admission counters, and one entry per live
+    /// session.
+    fn augment_stats(&self, resp: &Json) -> Json {
+        let Json::Obj(fields) = resp else {
+            return resp.clone();
+        };
+        let mut fields = fields.clone();
+        let sessions: Vec<Json> = snapshot_sessions(&self.state)
+            .into_iter()
+            .map(|s| {
+                obj(vec![
+                    ("session", Json::Num(s.session as f64)),
+                    ("requests", Json::Num(s.requests as f64)),
+                    ("errors", Json::Num(s.errors as f64)),
+                    ("bytes_in", Json::Num(s.bytes_in as f64)),
+                    ("bytes_out", Json::Num(s.bytes_out as f64)),
+                    ("cache_hits", Json::Num(s.cache_hits as f64)),
+                ])
+            })
+            .collect();
+        fields.push(("session".to_string(), Json::Num(self.sid as f64)));
+        fields.push((
+            "sessions_active".to_string(),
+            Json::Num(sessions.len() as f64),
+        ));
+        fields.push((
+            "sessions_started".to_string(),
+            Json::Num(self.state.started.load(Ordering::Relaxed) as f64),
+        ));
+        fields.push((
+            "sessions_rejected".to_string(),
+            Json::Num(self.state.rejected.load(Ordering::Relaxed) as f64),
+        ));
+        fields.push(("sessions".to_string(), Json::Arr(sessions)));
+        Json::Obj(fields)
+    }
+}

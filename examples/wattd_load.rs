@@ -1,0 +1,166 @@
+//! Network load-generator CLI: spawn a loopback `wattd` TCP server (or
+//! point at a running one with `--addr`), drive it with open-loop Poisson
+//! load from N concurrent clients, and emit `BENCH_network.json`.
+//!
+//! ```text
+//! cargo run --release --example wattd_load                    # full run
+//! cargo run --release --example wattd_load -- --smoke         # CI-sized
+//! cargo run --release --example wattd_load -- --out PATH      # artifact path
+//! cargo run --release --example wattd_load -- --addr H:P      # external server
+//! cargo run --release --example wattd_load -- --check PATH    # validate only
+//! ```
+//!
+//! `--check` parses an existing artifact, runs the same validation CI
+//! uses ([`wattmul_repro::serve::validate`]), and exits non-zero on any
+//! inconsistency without generating load.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use wattmul_repro::fleet::json::Json;
+use wattmul_repro::fleet::{Fleet, Scheduler};
+use wattmul_repro::serve::{run_load, validate, LoadConfig, ServeConfig, Server};
+
+struct Args {
+    smoke: bool,
+    out: String,
+    addr: Option<String>,
+    check: Option<String>,
+}
+
+fn usage() -> &'static str {
+    "usage: wattd_load [--smoke] [--out PATH] [--addr HOST:PORT] | [--check PATH]"
+}
+
+fn parse_args(args: &[String]) -> Result<Args, String> {
+    let mut parsed = Args {
+        smoke: false,
+        out: "BENCH_network.json".to_string(),
+        addr: None,
+        check: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_for = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--smoke" => parsed.smoke = true,
+            "--out" => parsed.out = value_for("--out")?,
+            "--addr" => parsed.addr = Some(value_for("--addr")?),
+            "--check" => parsed.check = Some(value_for("--check")?),
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown argument {other:?}\n{}", usage())),
+        }
+    }
+    Ok(parsed)
+}
+
+fn check(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{path:?} is not JSON: {e}"))?;
+    validate(&doc).map_err(|e| format!("{path:?} failed validation: {e}"))?;
+    println!("{path}: valid BENCH_network artifact");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(path) = &args.check {
+        return match check(path) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("wattd_load: {msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    // Either spawn a loopback server over the catalog fleet or target a
+    // server the user already runs.
+    let (addr, spawned) = match &args.addr {
+        Some(addr) => (addr.clone(), None),
+        None => {
+            let sched = Arc::new(Scheduler::new(Fleet::from_catalog()));
+            let server = match Server::bind(ServeConfig::default(), sched) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("wattd_load: cannot bind loopback server: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let addr = server.local_addr().to_string();
+            let handle = server.handle();
+            let thread = std::thread::spawn(move || server.run());
+            (addr, Some((handle, thread)))
+        }
+    };
+
+    let cfg = if args.smoke {
+        LoadConfig::smoke(&addr)
+    } else {
+        LoadConfig::full(&addr)
+    };
+    eprintln!(
+        "wattd_load: {} client(s) x {} requests at {:.0} rps against {}{}",
+        cfg.clients,
+        cfg.requests_per_client,
+        cfg.arrival_rate_rps,
+        addr,
+        if cfg.smoke { " [smoke]" } else { "" }
+    );
+    let result = run_load(&cfg);
+    if let Some((handle, thread)) = spawned {
+        handle.shutdown();
+        if let Err(e) = thread.join().expect("server thread never panics") {
+            eprintln!("wattd_load: spawned server failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let report = match result {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("wattd_load: load generation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(msg) = validate(&report.artifact) {
+        eprintln!("wattd_load: emitted artifact failed validation: {msg}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&args.out, format!("{}\n", report.artifact)) {
+        eprintln!("wattd_load: cannot write {:?}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    let show = |key: &str| {
+        report
+            .artifact
+            .get(key)
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0)
+    };
+    println!(
+        "requests {}  ok {}  errors {}  throughput {:.1} rps  p50 {:.0} us  p95 {:.0} us  \
+         p99 {:.0} us  hits {}  lines {}  -> {}",
+        show("requests"),
+        show("ok"),
+        show("errors"),
+        show("throughput_rps"),
+        show("p50_us"),
+        show("p95_us"),
+        show("p99_us"),
+        show("cache_hits"),
+        show("response_lines"),
+        args.out
+    );
+    ExitCode::SUCCESS
+}

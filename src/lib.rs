@@ -31,6 +31,12 @@
 //!   requests priced and cached as units, first-fit-decreasing power
 //!   packing of batches under the fleet budget,
 //!   `predict`/`model_stats`/`metrics`/`trace` protocol ops).
+//! * [`serve`] — the `wattd` network service: the fleet protocol on TCP
+//!   with thread-per-connection sessions sharing one scheduler, streamed
+//!   batch responses (one line per packed round), admission backpressure,
+//!   bounded request lines, per-session stats and span attribution,
+//!   graceful drain, predictor persistence across restarts, and the
+//!   open-loop network load generator behind `BENCH_network.json`.
 //! * [`obs`] — the hermetic observability layer: metrics registry
 //!   (counters, gauges, mergeable log-bucketed histograms with
 //!   deterministic Prometheus-style exposition) and request tracing
@@ -55,6 +61,7 @@ pub use wm_optimizer as optimizer;
 pub use wm_patterns as patterns;
 pub use wm_power as power;
 pub use wm_predict as predict;
+pub use wm_serve as serve;
 pub use wm_telemetry as telemetry;
 
 pub use wm_core::prelude;

@@ -1,0 +1,410 @@
+//! End-to-end tests of the `wattd` TCP network service (`wm-serve`):
+//! real sockets against a spawned in-process server.
+//!
+//! Covered here (and gated in CI as `network_e2e`):
+//! * two concurrent TCP clients share one scheduler — client A's fresh
+//!   run is client B's memo-cache hit, under distinct request ids and
+//!   distinct session ids woven into the span trail;
+//! * a streamed `batch` answers one line per packed round, in round
+//!   order, closing with the `"last": true` remainder line;
+//! * graceful shutdown drains in-flight work and flushes predictor
+//!   state; a restarted server on the same `--state-dir` answers
+//!   `predict` from the persisted learned models without retraining;
+//! * backpressure is explicit: over-cap sessions and over-cap batches
+//!   get clean `busy` errors, oversized and malformed request lines are
+//!   isolated to their own response, and an abrupt client disconnect
+//!   mid-batch wedges nothing;
+//! * the open-loop network load generator emits a valid
+//!   `BENCH_network.json` artifact with positive throughput and p95.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use wattmul_repro::fleet::json::Json;
+use wattmul_repro::fleet::{Fleet, Scheduler};
+use wattmul_repro::serve::{run_load, validate, LoadConfig, ServeConfig, Server, ServerHandle};
+
+/// A spawned loopback server and the bits needed to talk to and stop it.
+struct TestServer {
+    addr: String,
+    handle: ServerHandle,
+    thread: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+fn spawn_server(mut cfg: ServeConfig) -> TestServer {
+    let sched = Arc::new(Scheduler::with_workers(Fleet::from_catalog(), 2));
+    cfg.addr = "127.0.0.1:0".to_string();
+    let server = Server::bind(cfg, sched).expect("bind loopback");
+    let addr = server.local_addr().to_string();
+    let handle = server.handle();
+    let thread = std::thread::spawn(move || server.run());
+    TestServer {
+        addr,
+        handle,
+        thread,
+    }
+}
+
+impl TestServer {
+    fn stop(self) {
+        self.handle.shutdown();
+        self.thread
+            .join()
+            .expect("server thread")
+            .expect("clean drain");
+    }
+}
+
+/// A line-oriented protocol client over a real TCP connection.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(120)))
+            .expect("read timeout");
+        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        Client {
+            reader,
+            writer: BufWriter::new(stream),
+        }
+    }
+
+    fn send(&mut self, line: &str) {
+        writeln!(self.writer, "{line}").expect("write request");
+        self.writer.flush().expect("flush request");
+    }
+
+    fn recv(&mut self) -> Json {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("read response");
+        assert!(n > 0, "server closed the connection unexpectedly");
+        Json::parse(line.trim()).unwrap_or_else(|e| panic!("bad response {line:?}: {e}"))
+    }
+
+    fn round_trip(&mut self, line: &str) -> Json {
+        self.send(line);
+        self.recv()
+    }
+}
+
+fn num(v: &Json, key: &str) -> f64 {
+    v.get(key)
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| panic!("missing numeric {key:?} in {v}"))
+}
+
+const RUN_A: &str =
+    r#"{"id": 1, "dtype": "fp32", "dim": 48, "pattern": "zeros", "seeds": 1, "lattice": 4}"#;
+
+#[test]
+fn concurrent_clients_share_cache_and_get_distinct_sessions() {
+    let server = spawn_server(ServeConfig::default());
+    let mut a = Client::connect(&server.addr);
+    let mut b = Client::connect(&server.addr);
+
+    // A runs fresh; B repeats the same body under its own id and must be
+    // served from the shared memo cache.
+    let ra = a.round_trip(RUN_A);
+    assert_eq!(ra.get("ok"), Some(&Json::Bool(true)), "{ra}");
+    assert_eq!(ra.get("cache_hit"), Some(&Json::Bool(false)), "{ra}");
+    let rb = b.round_trip(&RUN_A.replace("\"id\": 1", "\"id\": 2"));
+    assert_eq!(rb.get("ok"), Some(&Json::Bool(true)), "{rb}");
+    assert_eq!(
+        rb.get("cache_hit"),
+        Some(&Json::Bool(true)),
+        "B must hit the cache A warmed: {rb}"
+    );
+    let (rid_a, rid_b) = (num(&ra, "request_id"), num(&rb, "request_id"));
+    assert_ne!(rid_a, rid_b, "request ids stay distinct across sessions");
+
+    // Each session sees its own id in the augmented stats, and both are
+    // listed with their counters.
+    let sa = a.round_trip(r#"{"op": "stats"}"#);
+    let sb = b.round_trip(r#"{"op": "stats"}"#);
+    let (sid_a, sid_b) = (num(&sa, "session"), num(&sb, "session"));
+    assert_ne!(sid_a, sid_b, "two connections, two sessions");
+    assert!(num(&sa, "sessions_active") >= 2.0, "{sa}");
+    let listed = sa.get("sessions").and_then(Json::as_arr).expect("sessions");
+    assert!(listed.len() >= 2);
+    let b_entry = listed
+        .iter()
+        .find(|s| s.get("session").and_then(Json::as_f64) == Some(sid_b))
+        .expect("B is listed in A's stats view");
+    assert!(num(b_entry, "cache_hits") >= 1.0, "{b_entry}");
+
+    // The span trail ties B's request id to B's session id. The session
+    // span lands just after B's response line, so poll briefly.
+    let mut detail = None;
+    for _ in 0..100 {
+        let trace = a.round_trip(&format!(r#"{{"op": "trace", "request_id": {rid_b}}}"#));
+        let spans = trace.get("spans").and_then(Json::as_arr).expect("spans");
+        detail = spans
+            .iter()
+            .find(|s| s.get("stage").and_then(Json::as_str) == Some("session"))
+            .and_then(|s| s.get("detail").and_then(Json::as_str))
+            .map(str::to_string);
+        if detail.is_some() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let detail = detail.unwrap_or_else(|| panic!("no session span for request {rid_b}"));
+    assert!(
+        detail.contains(&format!("session={sid_b}")),
+        "span detail {detail:?} must name session {sid_b}"
+    );
+    server.stop();
+}
+
+#[test]
+fn streamed_batch_answers_one_line_per_round_in_order() {
+    let server = spawn_server(ServeConfig::default());
+    let mut c = Client::connect(&server.addr);
+    c.send(
+        r#"{"op": "batch", "id": 9, "requests": [
+            {"dtype": "fp32", "dim": 32, "pattern": "zeros", "seeds": 1, "lattice": 4},
+            {"dtype": "fp32", "dim": 48, "pattern": "gaussian", "seeds": 1, "lattice": 4},
+            {"dtype": "fp16-t", "dim": 64, "pattern": "zeros", "seeds": 1, "lattice": 4},
+            {"dtype": "nope", "dim": 32, "pattern": "zeros"}
+        ]}"#
+        .replace('\n', " ")
+        .as_str(),
+    );
+    let mut lines = Vec::new();
+    loop {
+        let line = c.recv();
+        let last = line.get("last") == Some(&Json::Bool(true));
+        lines.push(line);
+        if last {
+            break;
+        }
+    }
+    assert!(
+        lines.len() >= 2,
+        "a streamed batch emits at least one packed round plus the remainder"
+    );
+    let rounds_total = num(&lines[0], "rounds");
+    let mut seen_members = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        assert_eq!(line.get("id"), Some(&Json::Num(9.0)), "{line}");
+        assert_eq!(line.get("ok"), Some(&Json::Bool(true)), "{line}");
+        assert_eq!(num(line, "rounds"), rounds_total, "{line}");
+        let round = num(line, "round");
+        let is_last = i + 1 == lines.len();
+        if is_last {
+            // The remainder (bypass set + unparseable members) closes the
+            // stream as round 0.
+            assert_eq!(round, 0.0, "{line}");
+            assert_eq!(line.get("last"), Some(&Json::Bool(true)), "{line}");
+        } else {
+            assert_eq!(round, (i + 1) as f64, "packed rounds arrive in order");
+            assert_ne!(line.get("last"), Some(&Json::Bool(true)), "{line}");
+        }
+        for r in line.get("results").and_then(Json::as_arr).expect("results") {
+            seen_members.push(num(r, "index") as usize);
+        }
+    }
+    seen_members.sort_unstable();
+    assert_eq!(
+        seen_members,
+        vec![0, 1, 2, 3],
+        "every member answered exactly once across the stream"
+    );
+    // The member with the unknown field failed parse but the rest ran.
+    let last_line = lines.last().unwrap();
+    let remainder = last_line.get("results").and_then(Json::as_arr).unwrap();
+    assert!(
+        remainder
+            .iter()
+            .any(|r| r.get("ok") == Some(&Json::Bool(false))),
+        "the malformed member is reported in the remainder: {last_line}"
+    );
+    server.stop();
+}
+
+#[test]
+fn drain_persists_predictor_and_warm_restart_answers_without_retraining() {
+    let state_dir = std::env::temp_dir().join(format!("wm_serve_e2e_state_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&state_dir);
+    let cfg = || ServeConfig {
+        state_dir: Some(PathBuf::from(&state_dir)),
+        ..ServeConfig::default()
+    };
+
+    // Train the predictor past its serving threshold over the network:
+    // distinct pinned runs so every one is a fresh observation.
+    let server = spawn_server(cfg());
+    let mut c = Client::connect(&server.addr);
+    for seed in 0..36u64 {
+        let resp = c.round_trip(&format!(
+            r#"{{"dtype": "fp32", "dim": 32, "pattern": "gaussian", "base_seed": {seed}, "seeds": 1, "lattice": 4, "gpu": "a100"}}"#
+        ));
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp}");
+    }
+    let stats = c.round_trip(r#"{"op": "model_stats"}"#);
+    let trained_obs = stats
+        .get("models")
+        .and_then(Json::as_arr)
+        .expect("models")
+        .iter()
+        .map(|m| num(m, "observations"))
+        .sum::<f64>();
+    assert!(trained_obs >= 36.0, "{stats}");
+    // The serve-layer `shutdown` op triggers the same drain as SIGTERM.
+    let bye = c.round_trip(r#"{"op": "shutdown"}"#);
+    assert_eq!(bye.get("draining"), Some(&Json::Bool(true)), "{bye}");
+    server.thread.join().expect("server thread").expect("drain");
+    assert!(
+        state_dir.join("predictor.json").is_file(),
+        "drain flushed predictor state"
+    );
+
+    // A brand-new scheduler + server on the same state dir answers
+    // `predict` from the learned model with zero executions.
+    let restarted = spawn_server(cfg());
+    let mut c2 = Client::connect(&restarted.addr);
+    let p = c2.round_trip(
+        r#"{"op": "predict", "dtype": "fp32", "dim": 32, "pattern": "gaussian", "seeds": 1, "lattice": 4, "gpu": "a100"}"#,
+    );
+    assert_eq!(p.get("ok"), Some(&Json::Bool(true)), "{p}");
+    assert_eq!(
+        p.get("source").and_then(Json::as_str),
+        Some("learned"),
+        "warm start must serve the persisted model: {p}"
+    );
+    assert!(num(&p, "model_observations") >= 36.0, "{p}");
+    let s = c2.round_trip(r#"{"op": "stats"}"#);
+    assert_eq!(
+        num(&s, "completed"),
+        0.0,
+        "no retraining executions happened after restart: {s}"
+    );
+    restarted.stop();
+    let _ = std::fs::remove_dir_all(&state_dir);
+}
+
+#[test]
+fn oversized_and_malformed_lines_are_isolated_to_their_session() {
+    let server = spawn_server(ServeConfig {
+        max_line_bytes: 4096,
+        ..ServeConfig::default()
+    });
+    let mut c = Client::connect(&server.addr);
+
+    // An oversized line: clean error naming the cap, session survives.
+    let huge = format!(
+        r#"{{"dtype": "fp32", "dim": 48, "junk": "{}"}}"#,
+        "x".repeat(8192)
+    );
+    let resp = c.round_trip(&huge);
+    assert_eq!(resp.get("ok"), Some(&Json::Bool(false)), "{resp}");
+    assert!(
+        resp.get("error")
+            .and_then(Json::as_str)
+            .is_some_and(|e| e.contains("4096")),
+        "error names the byte cap: {resp}"
+    );
+
+    // Malformed JSON: clean error, session survives.
+    let resp = c.round_trip("this is not json");
+    assert_eq!(resp.get("ok"), Some(&Json::Bool(false)), "{resp}");
+
+    // And the very same connection still serves real work.
+    let resp = c.round_trip(RUN_A);
+    assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp}");
+
+    // A concurrent well-behaved session never noticed.
+    let mut other = Client::connect(&server.addr);
+    let resp = other.round_trip(&RUN_A.replace("\"id\": 1", "\"id\": 7"));
+    assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp}");
+    server.stop();
+}
+
+#[test]
+fn abrupt_disconnect_mid_batch_does_not_wedge_the_server() {
+    let server = spawn_server(ServeConfig::default());
+    {
+        let mut doomed = Client::connect(&server.addr);
+        doomed.send(
+            r#"{"op": "batch", "id": 1, "requests": [
+                {"dtype": "fp32", "dim": 64, "pattern": "gaussian", "seeds": 1, "lattice": 4},
+                {"dtype": "fp32", "dim": 80, "pattern": "gaussian", "seeds": 1, "lattice": 4},
+                {"dtype": "fp32", "dim": 96, "pattern": "gaussian", "seeds": 1, "lattice": 4}
+            ]}"#
+            .replace('\n', " ")
+            .as_str(),
+        );
+        // Drop both halves without reading a single response line.
+    }
+    // The scheduler keeps serving other sessions afterwards.
+    let mut c = Client::connect(&server.addr);
+    let resp = c.round_trip(RUN_A);
+    assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp}");
+    let stats = c.round_trip(r#"{"op": "stats"}"#);
+    assert!(num(&stats, "completed") >= 1.0, "{stats}");
+    server.stop();
+}
+
+#[test]
+fn admission_and_inflight_caps_reject_with_busy_errors() {
+    let server = spawn_server(ServeConfig {
+        max_sessions: 1,
+        max_inflight: 2,
+        ..ServeConfig::default()
+    });
+    let mut admitted = Client::connect(&server.addr);
+    // A full round-trip guarantees the accept loop registered us.
+    let resp = admitted.round_trip(RUN_A);
+    assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp}");
+
+    // The second session is over the cap: one busy line, then closed.
+    let mut rejected = Client::connect(&server.addr);
+    let resp = rejected.recv();
+    assert_eq!(resp.get("ok"), Some(&Json::Bool(false)), "{resp}");
+    assert_eq!(resp.get("busy"), Some(&Json::Bool(true)), "{resp}");
+
+    // A batch above the per-session in-flight cap: busy error, session
+    // survives and keeps serving.
+    let resp = admitted.round_trip(
+        r#"{"op": "batch", "id": 3, "requests": [
+            {"dtype": "fp32", "dim": 32, "pattern": "zeros", "seeds": 1, "lattice": 4},
+            {"dtype": "fp32", "dim": 48, "pattern": "zeros", "seeds": 1, "lattice": 4},
+            {"dtype": "fp32", "dim": 64, "pattern": "zeros", "seeds": 1, "lattice": 4}
+        ]}"#
+        .replace('\n', " ")
+        .as_str(),
+    );
+    assert_eq!(resp.get("ok"), Some(&Json::Bool(false)), "{resp}");
+    assert_eq!(resp.get("busy"), Some(&Json::Bool(true)), "{resp}");
+    let resp = admitted.round_trip(RUN_A);
+    assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp}");
+    let sessions = server.handle.sessions();
+    assert_eq!(sessions.len(), 1, "only the admitted session is live");
+    assert!(sessions[0].requests >= 3, "{sessions:?}");
+    server.stop();
+}
+
+#[test]
+fn load_generator_emits_a_valid_network_artifact() {
+    let server = spawn_server(ServeConfig::default());
+    let report = run_load(&LoadConfig {
+        clients: 2,
+        requests_per_client: 8,
+        arrival_rate_rps: 400.0,
+        ..LoadConfig::smoke(&server.addr)
+    })
+    .expect("load run succeeds");
+    validate(&report.artifact).expect("artifact validates");
+    assert!(num(&report.artifact, "throughput_rps") > 0.0);
+    assert!(num(&report.artifact, "p95_us") > 0.0);
+    assert_eq!(num(&report.artifact, "errors"), 0.0, "{}", report.artifact);
+    server.stop();
+}
