@@ -1,0 +1,122 @@
+//! Rule configuration: which crates, files, and documents each rule
+//! applies to.
+//!
+//! The defaults ([`AuditConfig::workspace_defaults`]) encode this
+//! workspace's invariants; the fixture tests build configs pointing at
+//! synthetic trees. Paths are workspace-root-relative with `/`
+//! separators.
+
+use std::path::{Path, PathBuf};
+
+/// The five audit rules, by canonical name.
+pub const RULE_NAMES: &[&str] = &[
+    "panic-paths",
+    "lock-hygiene",
+    "determinism",
+    "unsafe-confinement",
+    "protocol-drift",
+];
+
+/// Whether `name` names a real rule (the `audit:allow` grammar rejects
+/// unknown names so a typo cannot silently suppress nothing).
+pub fn is_rule(name: &str) -> bool {
+    RULE_NAMES.contains(&name)
+}
+
+/// Everything the audit needs to know about a workspace.
+#[derive(Debug, Clone)]
+pub struct AuditConfig {
+    /// Workspace root; every other path is relative to it.
+    pub root: PathBuf,
+    /// Crate directory names (under `crates/`) whose non-test code must
+    /// be panic-free: no `.unwrap()` / `.expect()` / `panic!` / `todo!`
+    /// / `unreachable!` / `unimplemented!`.
+    pub panic_free_crates: Vec<String>,
+    /// Files allowed to read wall clocks (`Instant::now`,
+    /// `SystemTime::now`): tracers and benchmark harnesses, where time
+    /// *is* the measurement.
+    pub clock_allowed_files: Vec<String>,
+    /// Files that produce canonical output (hashing, JSON, metrics
+    /// exposition, persistence) and therefore must not use the
+    /// iteration-order-randomized `HashMap` / `HashSet`.
+    pub canonical_output_files: Vec<String>,
+    /// Files allowed to contain the `unsafe` keyword (the wattd
+    /// binary's signal FFI, nothing else).
+    pub unsafe_allowed_files: Vec<String>,
+    /// The protocol dispatch file whose `KNOWN_OPS` list anchors the
+    /// protocol-drift rule. Empty disables the rule.
+    pub protocol_file: String,
+    /// The document carrying the ops table.
+    pub readme_file: String,
+    /// The exact heading line introducing the ops table in
+    /// [`AuditConfig::readme_file`].
+    pub readme_ops_heading: String,
+    /// Ops implemented above the core protocol (serve layer), as
+    /// `(op, file that must match the op string)` pairs; they must
+    /// appear in the README table but not in `KNOWN_OPS`.
+    pub serve_layer_ops: Vec<(String, String)>,
+    /// Rules to run (canonical names). Empty means all.
+    pub only_rules: Vec<String>,
+}
+
+impl AuditConfig {
+    /// The configuration for *this* workspace: the serving crates, the
+    /// tracer/bench clock allowlist, the canonical-output modules, the
+    /// wattd signal FFI exemption, and the protocol/README pairing.
+    pub fn workspace_defaults(root: &Path) -> Self {
+        let s = |x: &str| x.to_string();
+        AuditConfig {
+            root: root.to_path_buf(),
+            panic_free_crates: vec![s("fleet"), s("serve"), s("obs"), s("predict"), s("power")],
+            clock_allowed_files: vec![
+                // The tracer's monotonic epoch and the load/serving
+                // benches measure latency; real clocks are their job.
+                s("crates/obs/src/trace.rs"),
+                s("crates/serve/src/bench.rs"),
+                s("src/serving_bench.rs"),
+                // The hermetic criterion stand-in is a timing harness.
+                s("shims/criterion/src/lib.rs"),
+            ],
+            canonical_output_files: vec![
+                s("crates/fleet/src/hash.rs"),
+                s("crates/fleet/src/json.rs"),
+                s("crates/obs/src/metrics.rs"),
+                s("crates/predict/src/sketch.rs"),
+                s("crates/serve/src/persist.rs"),
+            ],
+            unsafe_allowed_files: vec![s("crates/serve/src/bin/wattd.rs")],
+            protocol_file: s("crates/fleet/src/protocol.rs"),
+            readme_file: s("README.md"),
+            readme_ops_heading: s("#### Protocol ops"),
+            serve_layer_ops: vec![(s("shutdown"), s("crates/serve/src/server.rs"))],
+            only_rules: Vec::new(),
+        }
+    }
+
+    /// Whether `rule` is enabled under `only_rules`.
+    pub fn rule_enabled(&self, rule: &str) -> bool {
+        self.only_rules.is_empty() || self.only_rules.iter().any(|r| r == rule)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_names_are_known() {
+        assert!(is_rule("panic-paths"));
+        assert!(is_rule("protocol-drift"));
+        assert!(!is_rule("panic_paths"));
+        assert!(!is_rule(""));
+    }
+
+    #[test]
+    fn only_rules_filters() {
+        let mut cfg = AuditConfig::workspace_defaults(Path::new("."));
+        assert!(cfg.rule_enabled("determinism"));
+        cfg.only_rules = vec!["lock-hygiene".to_string()];
+        assert!(cfg.rule_enabled("lock-hygiene"));
+        assert!(!cfg.rule_enabled("determinism"));
+    }
+}

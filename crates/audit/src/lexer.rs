@@ -1,0 +1,460 @@
+//! A small, purpose-built Rust lexer: enough syntax awareness to audit
+//! source text without parsing it.
+//!
+//! The lexer does three things the rules need and nothing more:
+//!
+//! 1. **Masking** — comments, string literals, and char literals are
+//!    blanked to spaces (newlines preserved), so byte offsets survive and
+//!    a token scan over the masked text can never match inside a doc
+//!    comment or an error-message string.
+//! 2. **Capture** — the contents of string literals and comments are
+//!    kept, with their offsets: string literals feed the protocol-drift
+//!    rule, comments feed the `audit:allow` annotation parser.
+//! 3. **Test-region mapping** — `#[cfg(test)]` / `#[test]` items are
+//!    resolved to byte ranges by brace matching, so rules that exempt
+//!    test code can ask "is this offset test code?" cheaply.
+//!
+//! Handled syntax: line and (nested) block comments, plain and raw
+//! strings (`r"…"`, `r#"…"#`, byte variants), byte strings, char and
+//! byte-char literals (distinguished from lifetimes), and attribute +
+//! item brace matching. That is the entire grammar the audit needs.
+
+/// A captured region of the original source: where it started and what
+/// it said.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Capture {
+    /// Byte offset of the region's first delimiter in the original text.
+    pub offset: usize,
+    /// The region's content, without its delimiters.
+    pub text: String,
+}
+
+/// One token of masked source: an identifier/number word or a single
+/// punctuation byte, with its byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Byte offset into the (masked) source.
+    pub offset: usize,
+    /// The token text: a `[A-Za-z0-9_]+` word or one punctuation char.
+    pub text: String,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug)]
+pub struct Lexed {
+    /// Source with comments, strings, and char literals blanked to
+    /// spaces. Same byte length as the input; newlines preserved.
+    pub masked: String,
+    /// Every string literal, in order.
+    pub strings: Vec<Capture>,
+    /// Every comment, in order (text without `//`, `/*`, `*/`).
+    pub comments: Vec<Capture>,
+    /// Byte ranges (half-open) covered by `#[cfg(test)]` / `#[test]`
+    /// items, including the attribute itself.
+    pub test_ranges: Vec<(usize, usize)>,
+    /// Byte offset of the first byte of each line (line 1 first).
+    line_starts: Vec<usize>,
+}
+
+impl Lexed {
+    /// 1-based line number of a byte offset.
+    pub fn line_of(&self, offset: usize) -> usize {
+        match self.line_starts.binary_search(&offset) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+    }
+
+    /// Whether `offset` falls inside a `#[cfg(test)]` / `#[test]` item.
+    pub fn in_test_code(&self, offset: usize) -> bool {
+        self.test_ranges
+            .iter()
+            .any(|&(lo, hi)| offset >= lo && offset < hi)
+    }
+
+    /// Tokenize the masked text: identifier/number words and single
+    /// punctuation bytes, whitespace skipped.
+    pub fn tokens(&self) -> Vec<Token> {
+        let bytes = self.masked.as_bytes();
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < bytes.len() {
+            let b = bytes[i];
+            if b.is_ascii_whitespace() {
+                i += 1;
+            } else if b == b'_' || b.is_ascii_alphanumeric() {
+                let start = i;
+                while i < bytes.len() && (bytes[i] == b'_' || bytes[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                out.push(Token {
+                    offset: start,
+                    text: self.masked[start..i].to_string(),
+                });
+            } else {
+                // Multi-byte UTF-8 only occurs inside strings/comments,
+                // which are already masked; anything left is ASCII
+                // punctuation, but skip continuation bytes defensively.
+                if b < 0x80 {
+                    out.push(Token {
+                        offset: i,
+                        text: (b as char).to_string(),
+                    });
+                }
+                i += 1;
+            }
+        }
+        out
+    }
+}
+
+/// Lex `source` (see module docs for exactly what that means).
+pub fn lex(source: &str) -> Lexed {
+    let bytes = source.as_bytes();
+    let mut masked: Vec<u8> = bytes.to_vec();
+    let mut strings = Vec::new();
+    let mut comments = Vec::new();
+
+    let blank = |masked: &mut [u8], lo: usize, hi: usize| {
+        for m in masked.iter_mut().take(hi).skip(lo) {
+            if *m != b'\n' {
+                *m = b' ';
+            }
+        }
+    };
+
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        let next = bytes.get(i + 1).copied();
+        if b == b'/' && next == Some(b'/') {
+            let start = i;
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            comments.push(Capture {
+                offset: start,
+                text: source[start + 2..i].to_string(),
+            });
+            blank(&mut masked, start, i);
+        } else if b == b'/' && next == Some(b'*') {
+            let start = i;
+            let mut depth = 1usize;
+            i += 2;
+            while i < bytes.len() && depth > 0 {
+                if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    i += 2;
+                } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            let content_end = i.saturating_sub(2).max(start + 2);
+            comments.push(Capture {
+                offset: start,
+                text: source[start + 2..content_end].to_string(),
+            });
+            blank(&mut masked, start, i);
+        } else if b == b'"' {
+            i = consume_string(source, i, &mut strings, &mut masked);
+        } else if (b == b'r' || b == b'b') && !ident_char_before(bytes, i) {
+            // r"…", r#"…"#, b"…", br#"…"#, b'…'
+            let mut j = i + 1;
+            if b == b'b' && bytes.get(j) == Some(&b'r') {
+                j += 1;
+            }
+            let mut hashes = 0usize;
+            while bytes.get(j) == Some(&b'#') {
+                hashes += 1;
+                j += 1;
+            }
+            let raw = hashes > 0 || bytes.get(i + 1) == Some(&b'r') || b == b'r';
+            if bytes.get(j) == Some(&b'"') && raw {
+                i = consume_raw_string(source, i, j, hashes, &mut strings, &mut masked);
+            } else if b == b'b' && hashes == 0 && bytes.get(i + 1) == Some(&b'"') {
+                i = consume_string(source, i + 1, &mut strings, &mut masked);
+            } else if b == b'b' && hashes == 0 && bytes.get(i + 1) == Some(&b'\'') {
+                i = consume_char(bytes, i + 1, &mut masked);
+            } else {
+                i += 1;
+            }
+        } else if b == b'\'' && !ident_char_before(bytes, i) {
+            i = consume_char(bytes, i, &mut masked);
+        } else {
+            i += 1;
+        }
+    }
+
+    // Masked text is pure ASCII in every blanked region and unchanged
+    // UTF-8 elsewhere, so this cannot fail; fall back to a fully blank
+    // string of equal length rather than panic.
+    let masked = String::from_utf8(masked).unwrap_or_else(|e| {
+        let len = e.into_bytes().len();
+        " ".repeat(len)
+    });
+
+    let mut line_starts = vec![0usize];
+    for (idx, ch) in source.bytes().enumerate() {
+        if ch == b'\n' {
+            line_starts.push(idx + 1);
+        }
+    }
+
+    let mut lexed = Lexed {
+        masked,
+        strings,
+        comments,
+        test_ranges: Vec::new(),
+        line_starts,
+    };
+    lexed.test_ranges = find_test_ranges(&lexed);
+    lexed
+}
+
+/// Whether the byte before `i` continues an identifier (so `r` / `b` /
+/// `'` at `i` is part of a name like `ptr` or a lifetime position).
+fn ident_char_before(bytes: &[u8], i: usize) -> bool {
+    i > 0 && (bytes[i - 1] == b'_' || bytes[i - 1].is_ascii_alphanumeric())
+}
+
+/// Consume a plain string starting at the `"` at `start`; returns the
+/// index just past the closing quote.
+fn consume_string(
+    source: &str,
+    start: usize,
+    strings: &mut Vec<Capture>,
+    masked: &mut [u8],
+) -> usize {
+    let bytes = source.as_bytes();
+    let mut i = start + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => {
+                i += 1;
+                break;
+            }
+            _ => i += 1,
+        }
+    }
+    let end = i.min(bytes.len());
+    let content_end = end.saturating_sub(1).max(start + 1);
+    strings.push(Capture {
+        offset: start,
+        text: source[start + 1..content_end].to_string(),
+    });
+    for m in masked.iter_mut().take(end).skip(start) {
+        if *m != b'\n' {
+            *m = b' ';
+        }
+    }
+    end
+}
+
+/// Consume a raw string whose opening quote is at `quote` with `hashes`
+/// leading `#`s; `start` is the `r`/`b`. Returns the index past the end.
+fn consume_raw_string(
+    source: &str,
+    start: usize,
+    quote: usize,
+    hashes: usize,
+    strings: &mut Vec<Capture>,
+    masked: &mut [u8],
+) -> usize {
+    let bytes = source.as_bytes();
+    let mut closer = vec![b'"'];
+    closer.extend(std::iter::repeat_n(b'#', hashes));
+    let mut i = quote + 1;
+    while i < bytes.len() && !bytes[i..].starts_with(&closer) {
+        i += 1;
+    }
+    let content_end = i.min(bytes.len());
+    let end = (i + closer.len()).min(bytes.len());
+    strings.push(Capture {
+        offset: start,
+        text: source[quote + 1..content_end].to_string(),
+    });
+    for m in masked.iter_mut().take(end).skip(start) {
+        if *m != b'\n' {
+            *m = b' ';
+        }
+    }
+    end
+}
+
+/// Consume a char literal or pass over a lifetime. `start` is the `'`.
+fn consume_char(bytes: &[u8], start: usize, masked: &mut [u8]) -> usize {
+    let next = bytes.get(start + 1).copied();
+    let is_char = match next {
+        Some(b'\\') => true,
+        Some(c) if c == b'_' || c.is_ascii_alphanumeric() => {
+            // 'x' is a char; 'x as in 'static / 'a is a lifetime.
+            bytes.get(start + 2) == Some(&b'\'')
+        }
+        Some(b'\'') => false, // '' — not valid Rust; leave alone
+        Some(_) => bytes.get(start + 2) == Some(&b'\''), // e.g. '+', ' '
+        None => false,
+    };
+    if !is_char {
+        return start + 1;
+    }
+    let mut i = start + 1;
+    if bytes.get(i) == Some(&b'\\') {
+        i += 2; // the escape lead and its head char ( \u{..} closed below )
+        while i < bytes.len() && bytes[i] != b'\'' {
+            i += 1;
+        }
+    } else {
+        // Skip one (possibly multi-byte) char.
+        i += 1;
+        while i < bytes.len() && (bytes[i] & 0xC0) == 0x80 {
+            i += 1;
+        }
+    }
+    let end = (i + 1).min(bytes.len());
+    for m in masked.iter_mut().take(end).skip(start) {
+        if *m != b'\n' {
+            *m = b' ';
+        }
+    }
+    end
+}
+
+/// Resolve `#[cfg(test)]` / `#[test]` attributes to the byte range of
+/// the item they gate, by scanning the masked token stream and matching
+/// braces. An item with no body (`mod tests;`) ends at its `;`.
+fn find_test_ranges(lexed: &Lexed) -> Vec<(usize, usize)> {
+    let toks = lexed.tokens();
+    let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let is_cfg_test = matches_seq(&texts, i, &["#", "[", "cfg", "(", "test", ")", "]"]);
+        let is_plain_test = matches_seq(&texts, i, &["#", "[", "test", "]"]);
+        if !(is_cfg_test || is_plain_test) {
+            i += 1;
+            continue;
+        }
+        let start = toks[i].offset;
+        let mut j = i + if is_cfg_test { 7 } else { 4 };
+        // Skip any further attributes between the test gate and the item.
+        while matches_seq(&texts, j, &["#", "["]) {
+            let mut depth = 0usize;
+            let mut k = j + 1;
+            while k < toks.len() {
+                match texts[k] {
+                    "[" => depth += 1,
+                    "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            j = k + 1;
+        }
+        // Find the item's end: the matching close of its first `{`, or a
+        // top-level `;` for body-less items.
+        let mut brace_depth = 0usize;
+        let mut end = toks.last().map(|t| t.offset + t.text.len()).unwrap_or(0);
+        let mut k = j;
+        while k < toks.len() {
+            match texts[k] {
+                "{" => brace_depth += 1,
+                "}" => {
+                    brace_depth = brace_depth.saturating_sub(1);
+                    if brace_depth == 0 {
+                        end = toks[k].offset + 1;
+                        break;
+                    }
+                }
+                ";" if brace_depth == 0 => {
+                    end = toks[k].offset + 1;
+                    break;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        ranges.push((start, end));
+        i = k.max(j).max(i + 1);
+    }
+    ranges
+}
+
+/// Whether `texts[i..]` starts with exactly `pat`.
+pub fn matches_seq(texts: &[&str], i: usize, pat: &[&str]) -> bool {
+    texts.len() >= i + pat.len() && texts[i..i + pat.len()] == *pat
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_comments_strings_and_chars() {
+        let src = r#"
+// a comment with .unwrap() inside
+fn f() {
+    let s = "panic!(\"not code\")";
+    let c = 'u';
+    let r = r#x; /* block .expect( comment */
+}
+"#
+        .replace("r#x", "r#\"raw .unwrap()\"#");
+        let lexed = lex(&src);
+        assert!(!lexed.masked.contains("unwrap"));
+        assert!(!lexed.masked.contains("panic"));
+        assert!(!lexed.masked.contains("expect"));
+        assert_eq!(lexed.masked.len(), src.len());
+        assert_eq!(lexed.strings.len(), 2);
+        assert!(lexed.strings[1].text.contains(".unwrap()"));
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].text.contains(".unwrap()"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'static str { x }";
+        let lexed = lex(src);
+        // `static` and `str` must survive masking.
+        assert!(lexed.masked.contains("static"));
+        assert!(lexed.masked.contains("str"));
+    }
+
+    #[test]
+    fn cfg_test_items_are_ranged() {
+        let src = "fn live() { a.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { b.unwrap(); }\n}\nfn live2() {}\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.test_ranges.len(), 1);
+        let live2 = src.find("live2").unwrap();
+        let inner = src.find("b.unwrap").unwrap();
+        assert!(lexed.in_test_code(inner));
+        assert!(!lexed.in_test_code(live2));
+        assert!(!lexed.in_test_code(0));
+    }
+
+    #[test]
+    fn test_attribute_with_should_panic_is_ranged() {
+        let src =
+            "#[test]\n#[should_panic(expected = \"x\")]\nfn t() { q.unwrap(); }\nfn live() {}\n";
+        let lexed = lex(src);
+        assert!(lexed.in_test_code(src.find("q.unwrap").unwrap()));
+        assert!(!lexed.in_test_code(src.find("fn live").unwrap()));
+    }
+
+    #[test]
+    fn line_numbers_are_one_based() {
+        let src = "a\nb\nc\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.line_of(0), 1);
+        assert_eq!(lexed.line_of(2), 2);
+        assert_eq!(lexed.line_of(4), 3);
+    }
+}

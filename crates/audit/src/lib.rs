@@ -1,0 +1,50 @@
+//! # wm-audit — hermetic static analysis for the serving stack
+//!
+//! The workspace's headline guarantees — bit-identical metrics and
+//! hashes regardless of worker count, sessions that survive malformed
+//! input, a scheduler that a panicking worker cannot wedge — were
+//! enforced by convention and spot tests. This crate machine-checks
+//! them. It is a zero-dependency static analyzer built on a small
+//! purpose-built Rust lexer ([`lexer`]): comment/string/char-literal
+//! aware, `#[cfg(test)]` aware, no external parser.
+//!
+//! The rules (all named, all configurable through [`AuditConfig`]):
+//!
+//! * **panic-paths** — no `.unwrap()` / `.expect(…)` / `panic!` /
+//!   `todo!` / `unreachable!` / `unimplemented!` in non-test code of the
+//!   serving crates (`fleet`, `serve`, `obs`, `predict`, `power`). A
+//!   request must be answered or errored, never aborted.
+//! * **lock-hygiene** — `lock().unwrap()` and `lock().expect(…)`
+//!   forbidden *everywhere*: mutex poisoning must be recovered with
+//!   `unwrap_or_else(PoisonError::into_inner)` so one panicking thread
+//!   can never wedge a shared structure.
+//! * **determinism** — wall clocks (`Instant::now` / `SystemTime::now`)
+//!   only in allowlisted tracer/bench modules, and no
+//!   iteration-order-randomized `HashMap` / `HashSet` in modules that
+//!   produce canonical output (hashing, JSON, metrics exposition,
+//!   persistence).
+//! * **unsafe-confinement** — every lib crate root carries
+//!   `#![forbid(unsafe_code)]`; the `unsafe` keyword appears only in the
+//!   wattd binary's signal FFI.
+//! * **protocol-drift** — the `"op"` strings the protocol dispatcher
+//!   knows (`KNOWN_OPS` in `protocol.rs`) must agree exactly with the
+//!   README's ops table, and serve-layer ops must exist where they claim
+//!   to be implemented.
+//!
+//! Deliberate exceptions are suppressed inline with an `audit:allow`
+//! annotation carrying the rule name and a mandatory reason (grammar in
+//! the README); a malformed annotation is itself a violation. The
+//! `wm-audit` binary exits nonzero with `file:line` diagnostics, and CI
+//! runs it on every push — the invariants hold for every future PR by
+//! construction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+pub mod workspace;
+
+pub use config::{AuditConfig, RULE_NAMES};
+pub use rules::{audit, Violation};

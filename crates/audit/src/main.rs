@@ -1,0 +1,91 @@
+//! The `wm-audit` binary: run the workspace audit, print `file:line`
+//! diagnostics, exit nonzero on any violation.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use wm_audit::{audit, AuditConfig, RULE_NAMES};
+
+fn usage() -> &'static str {
+    "usage: wm-audit [--root PATH] [--rule NAME]... [--list-rules]\n\
+     Statically audits the workspace: panic-paths, lock-hygiene, determinism,\n\
+     unsafe-confinement, protocol-drift. Suppress a deliberate exception inline\n\
+     with `audit:allow(<rule>): <reason>` (the reason is mandatory).\n\
+     Exits 0 when clean, 1 on violations, 2 on usage/io errors."
+}
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut only_rules: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                let Some(path) = args.next() else {
+                    eprintln!("--root needs a path\n{}", usage());
+                    return ExitCode::from(2);
+                };
+                root = PathBuf::from(path);
+            }
+            "--rule" => {
+                let Some(name) = args.next() else {
+                    eprintln!("--rule needs a rule name\n{}", usage());
+                    return ExitCode::from(2);
+                };
+                if !RULE_NAMES.contains(&name.as_str()) {
+                    eprintln!("unknown rule {name:?}; rules: {}", RULE_NAMES.join(", "));
+                    return ExitCode::from(2);
+                }
+                only_rules.push(name);
+            }
+            "--list-rules" => {
+                for r in RULE_NAMES {
+                    println!("{r}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if !root.join("Cargo.toml").is_file() {
+        eprintln!(
+            "wm-audit: {:?} does not look like a workspace root (no Cargo.toml)",
+            root
+        );
+        return ExitCode::from(2);
+    }
+    let mut cfg = AuditConfig::workspace_defaults(&root);
+    cfg.only_rules = only_rules;
+    match audit(&cfg) {
+        Ok((violations, files)) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            let rules = if cfg.only_rules.is_empty() {
+                RULE_NAMES.len()
+            } else {
+                cfg.only_rules.len()
+            };
+            eprintln!(
+                "wm-audit: {files} files, {rules} rule(s), {} violation(s)",
+                violations.len()
+            );
+            if violations.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("wm-audit: cannot scan {:?}: {e}", root);
+            ExitCode::from(2)
+        }
+    }
+}

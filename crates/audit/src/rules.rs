@@ -1,0 +1,450 @@
+//! The audit rules and the engine that runs them.
+//!
+//! Each rule scans the masked token stream produced by [`crate::lexer`]
+//! (so comments and string literals can never trigger it) and emits
+//! [`Violation`]s with `file:line` positions. A violation is
+//! suppressible only by an inline `audit:allow` comment — the marker,
+//! the parenthesized rule name(s), then a colon and a mandatory reason —
+//! on the same line or the line directly above. The rule name must be
+//! real and the reason must be non-empty: a malformed annotation is
+//! itself a violation, so suppressions stay auditable. (The grammar is
+//! spelled out in the README; it is not written literally here because
+//! the annotation parser reads every comment in the workspace,
+//! including this one.)
+
+use crate::config::{is_rule, AuditConfig};
+use crate::lexer::{lex, matches_seq, Lexed};
+use crate::workspace::{collect_sources, SourceFile};
+
+/// One finding: where, which rule, and what went wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Canonical rule name (or `audit-allow` for a malformed
+    /// annotation).
+    pub rule: String,
+    /// Human-readable diagnosis.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// A parsed `audit:allow` annotation.
+#[derive(Debug)]
+struct Allow {
+    line: usize,
+    rules: Vec<String>,
+}
+
+/// Parse every `audit:allow` annotation in a file's comments. A comment
+/// merely *mentioning* the marker (no opening parenthesis directly
+/// after it) is prose, not an annotation; an annotation with an unknown
+/// rule or a missing reason becomes a violation instead of silently
+/// suppressing nothing.
+fn parse_allows(file: &str, lexed: &Lexed, violations: &mut Vec<Violation>) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for c in &lexed.comments {
+        let Some(pos) = c.text.find("audit:allow") else {
+            continue;
+        };
+        let line = lexed.line_of(c.offset);
+        let rest = &c.text[pos + "audit:allow".len()..];
+        if !rest.starts_with('(') {
+            continue; // prose about the marker, not an annotation
+        }
+        let bad = |msg: &str, violations: &mut Vec<Violation>| {
+            violations.push(Violation {
+                file: file.to_string(),
+                line,
+                rule: "audit-allow".to_string(),
+                message: msg.to_string(),
+            });
+        };
+        let Some(inner) = rest.strip_prefix('(').and_then(|r| r.split_once(')')) else {
+            bad(
+                "malformed annotation: expected `audit:allow(<rule>): <reason>`",
+                violations,
+            );
+            continue;
+        };
+        let (rule_list, after) = inner;
+        let rules: Vec<String> = rule_list
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        if rules.is_empty() {
+            bad("annotation names no rule", violations);
+            continue;
+        }
+        let mut ok = true;
+        for r in &rules {
+            if !is_rule(r) {
+                bad(&format!("unknown rule {r:?} in annotation"), violations);
+                ok = false;
+            }
+        }
+        let reason_ok = after
+            .trim_start()
+            .strip_prefix(':')
+            .map(|r| !r.trim().is_empty())
+            .unwrap_or(false);
+        if !reason_ok {
+            bad(
+                "annotation must carry a reason: `audit:allow(<rule>): <reason>`",
+                violations,
+            );
+            ok = false;
+        }
+        if ok {
+            allows.push(Allow { line, rules });
+        }
+    }
+    allows
+}
+
+/// Drop violations covered by an allow on the same line or the line
+/// directly above.
+fn apply_allows(violations: Vec<Violation>, allows: &[(String, Vec<Allow>)]) -> Vec<Violation> {
+    violations
+        .into_iter()
+        .filter(|v| {
+            !allows.iter().any(|(file, file_allows)| {
+                *file == v.file
+                    && file_allows.iter().any(|a| {
+                        (a.line == v.line || a.line + 1 == v.line) && a.rules.contains(&v.rule)
+                    })
+            })
+        })
+        .collect()
+}
+
+/// The panic macros the panic-paths rule forbids.
+const PANIC_MACROS: &[&str] = &["panic", "todo", "unreachable", "unimplemented"];
+
+/// panic-paths: serving crates must not panic on non-test code paths.
+fn check_panic_paths(cfg: &AuditConfig, src: &SourceFile, lexed: &Lexed, out: &mut Vec<Violation>) {
+    if src.is_test_file || !cfg.panic_free_crates.contains(&src.crate_name) {
+        return;
+    }
+    let toks = lexed.tokens();
+    let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+    for i in 0..toks.len() {
+        if lexed.in_test_code(toks[i].offset) {
+            continue;
+        }
+        let mut hit: Option<String> = None;
+        if matches_seq(&texts, i, &[".", "unwrap", "(", ")"])
+            || matches_seq(&texts, i, &[".", "expect", "("])
+        {
+            // `.lock().unwrap()` is the lock-hygiene rule's finding;
+            // don't double-report it here.
+            let after_lock = i >= 3 && matches_seq(&texts, i - 3, &["lock", "(", ")"]);
+            if !after_lock {
+                hit = Some(format!(
+                    "`.{}(…)` on a serving path can take a worker down; \
+                     return an error or contain the failure",
+                    texts[i + 1]
+                ));
+            }
+        } else if PANIC_MACROS.contains(&texts[i]) && matches_seq(&texts, i + 1, &["!"]) {
+            hit = Some(format!(
+                "`{}!` on a serving path; serving crates must degrade, not abort",
+                texts[i]
+            ));
+        }
+        if let Some(message) = hit {
+            out.push(Violation {
+                file: src.rel.clone(),
+                line: lexed.line_of(toks[i].offset),
+                rule: "panic-paths".to_string(),
+                message,
+            });
+        }
+    }
+}
+
+/// lock-hygiene: `lock().unwrap()` / `lock().expect(…)` forbidden
+/// everywhere — a panicking thread must never wedge a shared structure.
+fn check_lock_hygiene(src: &SourceFile, lexed: &Lexed, out: &mut Vec<Violation>) {
+    let toks = lexed.tokens();
+    let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+    for i in 0..toks.len() {
+        if matches_seq(&texts, i, &["lock", "(", ")", ".", "unwrap", "("])
+            || matches_seq(&texts, i, &["lock", "(", ")", ".", "expect", "("])
+        {
+            out.push(Violation {
+                file: src.rel.clone(),
+                line: lexed.line_of(toks[i + 4].offset),
+                rule: "lock-hygiene".to_string(),
+                message: format!(
+                    "`lock().{}(…)` propagates poison; recover with \
+                     `lock().unwrap_or_else(PoisonError::into_inner)`",
+                    texts[i + 4]
+                ),
+            });
+        }
+    }
+}
+
+/// determinism: wall clocks only in allowlisted tracer/bench modules,
+/// and no iteration-order-randomized maps in canonical-output modules.
+fn check_determinism(cfg: &AuditConfig, src: &SourceFile, lexed: &Lexed, out: &mut Vec<Violation>) {
+    let toks = lexed.tokens();
+    let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+    let clock_allowed = cfg.clock_allowed_files.contains(&src.rel);
+    let canonical = cfg.canonical_output_files.contains(&src.rel);
+    for i in 0..toks.len() {
+        if src.is_test_file || lexed.in_test_code(toks[i].offset) {
+            continue;
+        }
+        if !clock_allowed
+            && (matches_seq(&texts, i, &["Instant", ":", ":", "now"])
+                || matches_seq(&texts, i, &["SystemTime", ":", ":", "now"]))
+        {
+            out.push(Violation {
+                file: src.rel.clone(),
+                line: lexed.line_of(toks[i].offset),
+                rule: "determinism".to_string(),
+                message: format!(
+                    "`{}::now()` outside the tracer/bench allowlist makes \
+                     replay nondeterministic",
+                    texts[i]
+                ),
+            });
+        }
+        if canonical && (texts[i] == "HashMap" || texts[i] == "HashSet") {
+            out.push(Violation {
+                file: src.rel.clone(),
+                line: lexed.line_of(toks[i].offset),
+                rule: "determinism".to_string(),
+                message: format!(
+                    "`{}` in a canonical-output module: iteration order is \
+                     randomized; use `BTreeMap`/`BTreeSet` or a sorted Vec",
+                    texts[i]
+                ),
+            });
+        }
+    }
+}
+
+/// unsafe-confinement: `unsafe` only in allowlisted files, and every lib
+/// crate root carries `#![forbid(unsafe_code)]`.
+fn check_unsafe(cfg: &AuditConfig, src: &SourceFile, lexed: &Lexed, out: &mut Vec<Violation>) {
+    let allowed = cfg.unsafe_allowed_files.contains(&src.rel);
+    let toks = lexed.tokens();
+    let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+    if !allowed {
+        for (i, t) in toks.iter().enumerate() {
+            if texts[i] == "unsafe" {
+                out.push(Violation {
+                    file: src.rel.clone(),
+                    line: lexed.line_of(t.offset),
+                    rule: "unsafe-confinement".to_string(),
+                    message: "`unsafe` outside the confined FFI allowlist".to_string(),
+                });
+            }
+        }
+    }
+    if src.is_lib_root {
+        let has_forbid = (0..toks.len()).any(|i| {
+            matches_seq(
+                &texts,
+                i,
+                &["#", "!", "[", "forbid", "(", "unsafe_code", ")", "]"],
+            )
+        });
+        if !has_forbid {
+            out.push(Violation {
+                file: src.rel.clone(),
+                line: 1,
+                rule: "unsafe-confinement".to_string(),
+                message: "lib crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+            });
+        }
+    }
+}
+
+/// protocol-drift: the `"op"` strings the dispatcher knows
+/// (`KNOWN_OPS`) must agree with the README ops table, and serve-layer
+/// ops must exist where they claim to be implemented.
+fn check_protocol_drift(cfg: &AuditConfig, sources: &[SourceFile], out: &mut Vec<Violation>) {
+    if cfg.protocol_file.is_empty() {
+        return;
+    }
+    let Some(proto) = sources.iter().find(|s| s.rel == cfg.protocol_file) else {
+        out.push(Violation {
+            file: cfg.protocol_file.clone(),
+            line: 1,
+            rule: "protocol-drift".to_string(),
+            message: "protocol file not found in workspace".to_string(),
+        });
+        return;
+    };
+    let lexed = lex(&proto.text);
+    let toks = lexed.tokens();
+    let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+    let Some(anchor) = (0..toks.len()).find(|&i| texts[i] == "KNOWN_OPS") else {
+        out.push(Violation {
+            file: cfg.protocol_file.clone(),
+            line: 1,
+            rule: "protocol-drift".to_string(),
+            message: "no `KNOWN_OPS` list found to anchor the op inventory".to_string(),
+        });
+        return;
+    };
+    let anchor_off = toks[anchor].offset;
+    let anchor_line = lexed.line_of(anchor_off);
+    let end_off = toks[anchor..]
+        .iter()
+        .find(|t| t.text == ";")
+        .map(|t| t.offset)
+        .unwrap_or(proto.text.len());
+    let code_ops: Vec<&str> = lexed
+        .strings
+        .iter()
+        .filter(|s| s.offset > anchor_off && s.offset < end_off)
+        .map(|s| s.text.as_str())
+        .collect();
+    if code_ops.is_empty() {
+        out.push(Violation {
+            file: cfg.protocol_file.clone(),
+            line: anchor_line,
+            rule: "protocol-drift".to_string(),
+            message: "`KNOWN_OPS` holds no op strings".to_string(),
+        });
+        return;
+    }
+
+    // The README table.
+    let readme_path = cfg.root.join(&cfg.readme_file);
+    let readme = std::fs::read_to_string(&readme_path).unwrap_or_default();
+    let mut readme_ops: Vec<(String, usize)> = Vec::new();
+    let mut heading_line = 0usize;
+    let mut in_table = false;
+    for (idx, raw) in readme.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if heading_line == 0 {
+            if line == cfg.readme_ops_heading {
+                heading_line = line_no;
+            }
+            continue;
+        }
+        if !line.starts_with('|') {
+            if in_table {
+                break; // table finished
+            }
+            continue;
+        }
+        in_table = true;
+        let cell = line.trim_matches('|').split('|').next().unwrap_or("");
+        let op = cell.trim().trim_matches('`').trim();
+        if op.is_empty() || op.chars().all(|c| c == '-' || c == ':' || c == ' ') {
+            continue; // separator row
+        }
+        if op.eq_ignore_ascii_case("op") {
+            continue; // header row
+        }
+        readme_ops.push((op.to_string(), line_no));
+    }
+    if heading_line == 0 {
+        out.push(Violation {
+            file: cfg.readme_file.clone(),
+            line: 1,
+            rule: "protocol-drift".to_string(),
+            message: format!(
+                "README has no {:?} section to check the op inventory against",
+                cfg.readme_ops_heading
+            ),
+        });
+        return;
+    }
+
+    let mut expected: Vec<&str> = code_ops.clone();
+    for (op, _) in &cfg.serve_layer_ops {
+        expected.push(op);
+    }
+    for op in &expected {
+        if !readme_ops.iter().any(|(r, _)| r == op) {
+            out.push(Violation {
+                file: cfg.readme_file.clone(),
+                line: heading_line,
+                rule: "protocol-drift".to_string(),
+                message: format!("op {op:?} is dispatched in code but missing from the ops table"),
+            });
+        }
+    }
+    for (op, line) in &readme_ops {
+        if !expected.iter().any(|e| e == op) {
+            out.push(Violation {
+                file: cfg.readme_file.clone(),
+                line: *line,
+                rule: "protocol-drift".to_string(),
+                message: format!("ops table documents {op:?}, which no dispatcher implements"),
+            });
+        }
+    }
+    // Serve-layer ops must really exist where they claim to.
+    for (op, file) in &cfg.serve_layer_ops {
+        let found = sources
+            .iter()
+            .find(|s| s.rel == *file)
+            .map(|s| lex(&s.text).strings.iter().any(|c| c.text == *op))
+            .unwrap_or(false);
+        if !found {
+            out.push(Violation {
+                file: file.clone(),
+                line: 1,
+                rule: "protocol-drift".to_string(),
+                message: format!("serve-layer op {op:?} not matched anywhere in this file"),
+            });
+        }
+    }
+}
+
+/// Run the configured audit over the workspace at `cfg.root`.
+///
+/// Returns the surviving violations (after `audit:allow` suppression),
+/// sorted by file then line, plus the number of files scanned.
+pub fn audit(cfg: &AuditConfig) -> std::io::Result<(Vec<Violation>, usize)> {
+    let sources = collect_sources(&cfg.root)?;
+    let mut violations = Vec::new();
+    let mut allows: Vec<(String, Vec<Allow>)> = Vec::new();
+    for src in &sources {
+        let lexed = lex(&src.text);
+        let file_allows = parse_allows(&src.rel, &lexed, &mut violations);
+        if !file_allows.is_empty() {
+            allows.push((src.rel.clone(), file_allows));
+        }
+        if cfg.rule_enabled("panic-paths") {
+            check_panic_paths(cfg, src, &lexed, &mut violations);
+        }
+        if cfg.rule_enabled("lock-hygiene") {
+            check_lock_hygiene(src, &lexed, &mut violations);
+        }
+        if cfg.rule_enabled("determinism") {
+            check_determinism(cfg, src, &lexed, &mut violations);
+        }
+        if cfg.rule_enabled("unsafe-confinement") {
+            check_unsafe(cfg, src, &lexed, &mut violations);
+        }
+    }
+    if cfg.rule_enabled("protocol-drift") {
+        check_protocol_drift(cfg, &sources, &mut violations);
+    }
+    let mut surviving = apply_allows(violations, &allows);
+    surviving.sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    Ok((surviving, sources.len()))
+}

@@ -1,0 +1,130 @@
+//! Workspace walking: find every Rust source file, classify it, and
+//! read it once.
+
+use std::path::{Path, PathBuf};
+
+/// One source file, read and classified.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, `/`-separated.
+    pub rel: String,
+    /// The owning crate's directory name (`fleet` for
+    /// `crates/fleet/...`, the shim name for `shims/...`, `.` for the
+    /// root crate).
+    pub crate_name: String,
+    /// Whole-file test/bench/example code: anything under a `tests/`,
+    /// `benches/`, or `examples/` directory.
+    pub is_test_file: bool,
+    /// Whether this is a crate's `src/lib.rs`.
+    pub is_lib_root: bool,
+    /// File contents.
+    pub text: String,
+}
+
+/// Recursively collect `.rs` files under `dir` into `out`.
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Collect every workspace source file: `crates/*/{src,tests,benches,
+/// examples}`, `shims/*/src`, and the root crate's `src/`, `tests/`,
+/// `examples/`, `benches/`.
+pub fn collect_sources(root: &Path) -> std::io::Result<Vec<SourceFile>> {
+    let mut paths = Vec::new();
+    for member_dir in ["crates", "shims"] {
+        let base = root.join(member_dir);
+        if !base.is_dir() {
+            continue;
+        }
+        let mut members: Vec<PathBuf> = std::fs::read_dir(&base)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        members.sort();
+        for m in members {
+            for sub in ["src", "tests", "benches", "examples"] {
+                walk(&m.join(sub), &mut paths)?;
+            }
+        }
+    }
+    for sub in ["src", "tests", "benches", "examples"] {
+        walk(&root.join(sub), &mut paths)?;
+    }
+
+    let mut out = Vec::new();
+    for path in paths {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy().into_owned())
+            .collect::<Vec<_>>()
+            .join("/");
+        let parts: Vec<&str> = rel.split('/').collect();
+        let crate_name = match parts.as_slice() {
+            ["crates", name, ..] | ["shims", name, ..] => (*name).to_string(),
+            _ => ".".to_string(),
+        };
+        let is_test_file = parts
+            .iter()
+            .any(|p| *p == "tests" || *p == "benches" || *p == "examples");
+        let is_lib_root = rel.ends_with("src/lib.rs");
+        let text = std::fs::read_to_string(&path)?;
+        out.push(SourceFile {
+            rel,
+            crate_name,
+            is_test_file,
+            is_lib_root,
+            text,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifies_this_workspace() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let sources = collect_sources(&root).expect("workspace readable");
+        let find = |rel: &str| {
+            sources
+                .iter()
+                .find(|s| s.rel == rel)
+                .unwrap_or_else(|| panic!("{rel} not collected"))
+        };
+        let lexer = find("crates/audit/src/lexer.rs");
+        assert_eq!(lexer.crate_name, "audit");
+        assert!(!lexer.is_test_file);
+        assert!(!lexer.is_lib_root);
+        let lib = find("crates/fleet/src/lib.rs");
+        assert_eq!(lib.crate_name, "fleet");
+        assert!(lib.is_lib_root);
+        let e2e = find("tests/network_e2e.rs");
+        assert_eq!(e2e.crate_name, ".");
+        assert!(e2e.is_test_file);
+        let shim = find("shims/proptest/src/lib.rs");
+        assert_eq!(shim.crate_name, "proptest");
+        assert!(shim.is_lib_root);
+    }
+}

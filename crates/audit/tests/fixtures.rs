@@ -1,0 +1,432 @@
+//! Fixture tests for every audit rule: each rule gets a synthetic
+//! workspace with a violating file (flagged at the right `file:line`),
+//! a clean file (passes), and an annotated file (`audit:allow`
+//! suppresses), plus the malformed-annotation cases and the headline
+//! guarantee — the *real* workspace passes clean.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use wm_audit::{audit, AuditConfig, Violation};
+
+/// A synthetic workspace on disk, torn down on drop.
+struct Fixture {
+    root: PathBuf,
+}
+
+static NEXT_FIXTURE: AtomicU64 = AtomicU64::new(0);
+
+impl Fixture {
+    fn new() -> Fixture {
+        let n = NEXT_FIXTURE.fetch_add(1, Ordering::Relaxed);
+        let root =
+            std::env::temp_dir().join(format!("wm_audit_fixture_{}_{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).expect("create fixture root");
+        std::fs::write(root.join("Cargo.toml"), "[workspace]\n").expect("write manifest");
+        Fixture { root }
+    }
+
+    /// Write `text` at `rel` (workspace-root-relative, `/`-separated).
+    fn file(&self, rel: &str, text: &str) -> &Self {
+        let path = self.root.join(rel);
+        std::fs::create_dir_all(path.parent().expect("parent")).expect("mkdir");
+        std::fs::write(path, text).expect("write fixture file");
+        self
+    }
+
+    /// A config over this fixture with protocol-drift disabled and no
+    /// serve-layer ops (the drift tests opt back in explicitly).
+    fn cfg(&self) -> AuditConfig {
+        let mut cfg = AuditConfig::workspace_defaults(&self.root);
+        cfg.protocol_file = String::new();
+        cfg.serve_layer_ops = Vec::new();
+        cfg
+    }
+
+    fn run(&self, cfg: &AuditConfig) -> Vec<Violation> {
+        audit(cfg).expect("fixture audit runs").0
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+/// Assert exactly one violation of `rule` at `file:line`.
+fn assert_single(violations: &[Violation], rule: &str, file: &str, line: usize) {
+    assert_eq!(
+        violations.len(),
+        1,
+        "expected exactly one violation, got: {violations:?}"
+    );
+    let v = &violations[0];
+    assert_eq!(v.rule, rule, "{v}");
+    assert_eq!(v.file, file, "{v}");
+    assert_eq!(v.line, line, "{v}");
+}
+
+// ---------------------------------------------------------------- panic-paths
+
+#[test]
+fn panic_paths_flags_unwrap_in_serving_crate() {
+    let fx = Fixture::new();
+    fx.file(
+        "crates/fleet/src/work.rs",
+        "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+    );
+    assert_single(
+        &fx.run(&fx.cfg()),
+        "panic-paths",
+        "crates/fleet/src/work.rs",
+        2,
+    );
+}
+
+#[test]
+fn panic_paths_flags_panic_macros_with_exact_lines() {
+    let fx = Fixture::new();
+    fx.file(
+        "crates/serve/src/work.rs",
+        "pub fn f(n: u32) -> u32 {\n    if n > 9 {\n        unreachable!(\"no\");\n    }\n    todo!()\n}\n",
+    );
+    let vs = fx.run(&fx.cfg());
+    assert_eq!(vs.len(), 2, "{vs:?}");
+    assert_eq!(
+        (vs[0].rule.as_str(), vs[0].line),
+        ("panic-paths", 3),
+        "{vs:?}"
+    );
+    assert_eq!(
+        (vs[1].rule.as_str(), vs[1].line),
+        ("panic-paths", 5),
+        "{vs:?}"
+    );
+}
+
+#[test]
+fn panic_paths_ignores_test_code_and_nonserving_crates() {
+    let fx = Fixture::new();
+    // Same unwrap, three exempt homes: a #[cfg(test)] module, a
+    // tests/ file, and a crate outside the serving set.
+    fx.file(
+        "crates/fleet/src/work.rs",
+        "pub fn f() -> u32 { 1 }\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        Some(3u32).unwrap();\n    }\n}\n",
+    )
+    .file(
+        "crates/fleet/tests/e2e.rs",
+        "fn main() {\n    Some(3u32).unwrap();\n}\n",
+    )
+    .file(
+        "crates/matrix/src/lib.rs",
+        "#![forbid(unsafe_code)]\npub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+    );
+    assert_eq!(fx.run(&fx.cfg()), Vec::new());
+}
+
+#[test]
+fn panic_paths_allow_annotation_suppresses_with_reason() {
+    let fx = Fixture::new();
+    fx.file(
+        "crates/fleet/src/work.rs",
+        "pub fn f(x: Option<u32>) -> u32 {\n    // audit:allow(panic-paths): startup-only, before traffic\n    x.unwrap()\n}\n",
+    );
+    assert_eq!(fx.run(&fx.cfg()), Vec::new());
+}
+
+#[test]
+fn multiline_chain_is_still_caught() {
+    let fx = Fixture::new();
+    // The unwrap is two lines below the receiver — token-level matching
+    // sees through the line break.
+    fx.file(
+        "crates/fleet/src/work.rs",
+        "pub fn f(x: Option<u32>) -> u32 {\n    x\n        .unwrap()\n}\n",
+    );
+    assert_single(
+        &fx.run(&fx.cfg()),
+        "panic-paths",
+        "crates/fleet/src/work.rs",
+        3,
+    );
+}
+
+#[test]
+fn strings_and_comments_never_false_positive() {
+    let fx = Fixture::new();
+    fx.file(
+        "crates/fleet/src/work.rs",
+        "pub fn f() -> &'static str {\n    // .unwrap() and panic! in prose are fine\n    \"call .unwrap() or panic!(now)\"\n}\n",
+    );
+    assert_eq!(fx.run(&fx.cfg()), Vec::new());
+}
+
+// --------------------------------------------------------------- lock-hygiene
+
+#[test]
+fn lock_hygiene_flags_lock_unwrap_even_in_tests() {
+    let fx = Fixture::new();
+    fx.file(
+        "crates/matrix/tests/t.rs",
+        "use std::sync::Mutex;\nfn main() {\n    let m = Mutex::new(1u32);\n    let _g = m.lock().unwrap();\n}\n",
+    );
+    assert_single(
+        &fx.run(&fx.cfg()),
+        "lock-hygiene",
+        "crates/matrix/tests/t.rs",
+        4,
+    );
+}
+
+#[test]
+fn lock_hygiene_flags_expect_and_owns_the_site() {
+    let fx = Fixture::new();
+    fx.file(
+        "crates/fleet/src/work.rs",
+        "use std::sync::Mutex;\npub fn f(m: &Mutex<u32>) -> u32 {\n    *m.lock().expect(\"poisoned\")\n}\n",
+    );
+    // One diagnostic, not two: lock-hygiene owns lock().expect sites,
+    // panic-paths skips them.
+    assert_single(
+        &fx.run(&fx.cfg()),
+        "lock-hygiene",
+        "crates/fleet/src/work.rs",
+        3,
+    );
+}
+
+#[test]
+fn lock_hygiene_poison_recovery_idiom_is_clean() {
+    let fx = Fixture::new();
+    fx.file(
+        "crates/fleet/src/work.rs",
+        "use std::sync::{Mutex, PoisonError};\npub fn f(m: &Mutex<u32>) -> u32 {\n    *m.lock().unwrap_or_else(PoisonError::into_inner)\n}\n",
+    );
+    assert_eq!(fx.run(&fx.cfg()), Vec::new());
+}
+
+// ---------------------------------------------------------------- determinism
+
+#[test]
+fn determinism_flags_clocks_outside_allowlist() {
+    let fx = Fixture::new();
+    fx.file(
+        "crates/fleet/src/work.rs",
+        "use std::time::Instant;\npub fn f() -> Instant {\n    Instant::now()\n}\n",
+    );
+    assert_single(
+        &fx.run(&fx.cfg()),
+        "determinism",
+        "crates/fleet/src/work.rs",
+        3,
+    );
+}
+
+#[test]
+fn determinism_allows_clocks_in_allowlisted_tracer() {
+    let fx = Fixture::new();
+    fx.file(
+        "crates/obs/src/trace.rs",
+        "use std::time::Instant;\npub fn f() -> Instant {\n    Instant::now()\n}\n",
+    );
+    assert_eq!(fx.run(&fx.cfg()), Vec::new());
+}
+
+#[test]
+fn determinism_flags_hashmap_in_canonical_output_module() {
+    let fx = Fixture::new();
+    fx.file(
+        "crates/fleet/src/hash.rs",
+        "use std::collections::HashMap;\npub fn f() -> HashMap<u32, u32> {\n    HashMap::new()\n}\n",
+    );
+    let vs = fx.run(&fx.cfg());
+    assert!(
+        !vs.is_empty() && vs.iter().all(|v| v.rule == "determinism"),
+        "{vs:?}"
+    );
+    assert_eq!(vs[0].line, 1, "first flag on the use line: {vs:?}");
+}
+
+#[test]
+fn determinism_btreemap_in_canonical_output_module_is_clean() {
+    let fx = Fixture::new();
+    fx.file(
+        "crates/fleet/src/hash.rs",
+        "use std::collections::BTreeMap;\npub fn f() -> BTreeMap<u32, u32> {\n    BTreeMap::new()\n}\n",
+    );
+    assert_eq!(fx.run(&fx.cfg()), Vec::new());
+}
+
+// ---------------------------------------------------------- unsafe-confinement
+
+#[test]
+fn unsafe_confinement_requires_forbid_in_lib_roots() {
+    let fx = Fixture::new();
+    fx.file("crates/matrix/src/lib.rs", "pub fn f() -> u32 { 1 }\n");
+    assert_single(
+        &fx.run(&fx.cfg()),
+        "unsafe-confinement",
+        "crates/matrix/src/lib.rs",
+        1,
+    );
+}
+
+#[test]
+fn unsafe_confinement_flags_unsafe_outside_allowlist() {
+    let fx = Fixture::new();
+    fx.file(
+        "crates/matrix/src/work.rs",
+        "pub fn f(p: *const u32) -> u32 {\n    unsafe { *p }\n}\n",
+    );
+    assert_single(
+        &fx.run(&fx.cfg()),
+        "unsafe-confinement",
+        "crates/matrix/src/work.rs",
+        2,
+    );
+}
+
+#[test]
+fn unsafe_confinement_allowlisted_ffi_file_is_clean() {
+    let fx = Fixture::new();
+    fx.file(
+        "crates/serve/src/bin/wattd.rs",
+        "fn main() {\n    let x = 1u32;\n    let _ = unsafe { *std::ptr::addr_of!(x) };\n}\n",
+    );
+    assert_eq!(fx.run(&fx.cfg()), Vec::new());
+}
+
+// --------------------------------------------------------------- audit:allow
+
+#[test]
+fn malformed_allow_unknown_rule_is_a_violation() {
+    let fx = Fixture::new();
+    fx.file(
+        "crates/matrix/src/work.rs",
+        "// audit:allow(no-such-rule): misspelled\npub fn f() -> u32 { 1 }\n",
+    );
+    assert_single(
+        &fx.run(&fx.cfg()),
+        "audit-allow",
+        "crates/matrix/src/work.rs",
+        1,
+    );
+}
+
+#[test]
+fn allow_without_reason_is_a_violation_and_suppresses_nothing() {
+    let fx = Fixture::new();
+    fx.file(
+        "crates/fleet/src/work.rs",
+        "pub fn f(x: Option<u32>) -> u32 {\n    // audit:allow(panic-paths)\n    x.unwrap()\n}\n",
+    );
+    let vs = fx.run(&fx.cfg());
+    assert_eq!(vs.len(), 2, "{vs:?}");
+    assert_eq!(vs[0].rule, "audit-allow", "{vs:?}");
+    assert_eq!(vs[1].rule, "panic-paths", "{vs:?}");
+}
+
+#[test]
+fn prose_mention_of_the_marker_is_not_an_annotation() {
+    let fx = Fixture::new();
+    fx.file(
+        "crates/matrix/src/work.rs",
+        "// Deliberate exceptions use an audit:allow annotation.\npub fn f() -> u32 { 1 }\n",
+    );
+    assert_eq!(fx.run(&fx.cfg()), Vec::new());
+}
+
+// ------------------------------------------------------------- protocol-drift
+
+/// A fixture whose protocol file dispatches `run` and `ping`.
+fn drift_fixture(readme: &str) -> Fixture {
+    let fx = Fixture::new();
+    fx.file(
+        "crates/fleet/src/protocol.rs",
+        "pub const KNOWN_OPS: &[&str] = &[\"run\", \"ping\"];\n",
+    )
+    .file("README.md", readme);
+    fx
+}
+
+fn drift_cfg(fx: &Fixture) -> AuditConfig {
+    let mut cfg = fx.cfg();
+    cfg.protocol_file = "crates/fleet/src/protocol.rs".to_string();
+    cfg.only_rules = vec!["protocol-drift".to_string()];
+    cfg
+}
+
+#[test]
+fn protocol_drift_clean_when_table_matches() {
+    let fx = drift_fixture(
+        "# Svc\n\n#### Protocol ops\n\n| Op | Meaning |\n|---|---|\n| `run` | execute |\n| `ping` | liveness |\n",
+    );
+    assert_eq!(fx.run(&drift_cfg(&fx)), Vec::new());
+}
+
+#[test]
+fn protocol_drift_flags_missing_and_undocumented_ops() {
+    let fx = drift_fixture(
+        "# Svc\n\n#### Protocol ops\n\n| Op | Meaning |\n|---|---|\n| `run` | execute |\n| `frobnicate` | nothing implements this |\n",
+    );
+    let vs = fx.run(&drift_cfg(&fx));
+    assert_eq!(vs.len(), 2, "{vs:?}");
+    assert!(
+        vs.iter().any(|v| v.message.contains("\"ping\"")),
+        "ping dispatched but undocumented: {vs:?}"
+    );
+    assert!(
+        vs.iter()
+            .any(|v| v.message.contains("\"frobnicate\"") && v.line == 8),
+        "frobnicate documented but not implemented, at its table row: {vs:?}"
+    );
+}
+
+#[test]
+fn protocol_drift_flags_missing_readme_section() {
+    let fx = drift_fixture("# Svc\n\nno ops table here\n");
+    let vs = fx.run(&drift_cfg(&fx));
+    assert_single(&vs, "protocol-drift", "README.md", 1);
+}
+
+#[test]
+fn protocol_drift_checks_serve_layer_op_exists_in_claimed_file() {
+    let fx = drift_fixture(
+        "# Svc\n\n#### Protocol ops\n\n| Op | Meaning |\n|---|---|\n| `run` | execute |\n| `ping` | liveness |\n| `shutdown` | drain |\n",
+    );
+    let mut cfg = drift_cfg(&fx);
+    cfg.serve_layer_ops = vec![(
+        "shutdown".to_string(),
+        "crates/serve/src/server.rs".to_string(),
+    )];
+    // The claimed file doesn't exist yet: flagged.
+    let vs = fx.run(&cfg);
+    assert_single(&vs, "protocol-drift", "crates/serve/src/server.rs", 1);
+    // Once the file matches on the op string, clean.
+    fx.file(
+        "crates/serve/src/server.rs",
+        "pub fn dispatch(op: &str) -> bool {\n    op == \"shutdown\"\n}\n",
+    );
+    assert_eq!(fx.run(&cfg), Vec::new());
+}
+
+// ------------------------------------------------------------- the real thing
+
+#[test]
+fn real_workspace_passes_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let cfg = AuditConfig::workspace_defaults(&root);
+    let (violations, files) = audit(&cfg).expect("workspace audit runs");
+    assert!(
+        violations.is_empty(),
+        "the workspace must stay audit-clean:\n{}",
+        violations
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(files > 100, "sanity: the real workspace has many files");
+}

@@ -9,6 +9,8 @@
 //!
 //! Shared helpers live here so the bench files stay declarative.
 
+#![forbid(unsafe_code)]
+
 use criterion::Criterion;
 use std::time::Duration;
 

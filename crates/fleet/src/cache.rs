@@ -10,7 +10,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 
 use wm_core::RunResult;
 
@@ -37,9 +37,13 @@ struct PendingGuard<'a> {
 impl Drop for PendingGuard<'_> {
     fn drop(&mut self) {
         if self.armed {
-            if let Ok(mut slots) = self.shard.slots.lock() {
-                slots.remove(&self.key);
-            }
+            let mut slots = self
+                .shard
+                .slots
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            slots.remove(&self.key);
+            drop(slots);
             self.shard.ready.notify_all();
         }
     }
@@ -84,7 +88,7 @@ impl MemoCache {
     /// without inflating the hit statistics.
     pub fn contains(&self, key: u64) -> bool {
         let shard = self.shard(key);
-        let slots = shard.slots.lock().expect("cache shard poisoned");
+        let slots = shard.slots.lock().unwrap_or_else(PoisonError::into_inner);
         matches!(slots.get(&key), Some(Slot::Ready(_)))
     }
 
@@ -93,7 +97,7 @@ impl MemoCache {
     /// to join them.
     pub fn peek(&self, key: u64) -> Option<Arc<RunResult>> {
         let shard = self.shard(key);
-        let slots = shard.slots.lock().expect("cache shard poisoned");
+        let slots = shard.slots.lock().unwrap_or_else(PoisonError::into_inner);
         match slots.get(&key) {
             Some(Slot::Ready(v)) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -117,7 +121,7 @@ impl MemoCache {
     {
         let shard = self.shard(key);
         {
-            let mut slots = shard.slots.lock().expect("cache shard poisoned");
+            let mut slots = shard.slots.lock().unwrap_or_else(PoisonError::into_inner);
             let mut joined = false;
             loop {
                 match slots.get(&key) {
@@ -130,7 +134,10 @@ impl MemoCache {
                     }
                     Some(Slot::Pending) => {
                         joined = true;
-                        slots = shard.ready.wait(slots).expect("cache shard poisoned");
+                        slots = shard
+                            .ready
+                            .wait(slots)
+                            .unwrap_or_else(PoisonError::into_inner);
                     }
                     None => {
                         slots.insert(key, Slot::Pending);
@@ -148,7 +155,7 @@ impl MemoCache {
         };
         let value = Arc::new(compute());
         {
-            let mut slots = shard.slots.lock().expect("cache shard poisoned");
+            let mut slots = shard.slots.lock().unwrap_or_else(PoisonError::into_inner);
             slots.insert(key, Slot::Ready(Arc::clone(&value)));
         }
         guard.armed = false;
@@ -164,7 +171,7 @@ impl MemoCache {
             .map(|s| {
                 s.slots
                     .lock()
-                    .expect("cache shard poisoned")
+                    .unwrap_or_else(PoisonError::into_inner)
                     .values()
                     .filter(|v| matches!(v, Slot::Ready(_)))
                     .count()

@@ -7,7 +7,7 @@
 //! uneven item costs still balance across workers.
 
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// Map `f` over `items` in parallel, preserving input order in the output.
 ///
@@ -38,12 +38,15 @@ where
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
             handles.push(scope.spawn(|| loop {
-                let next = queue.lock().expect("queue poisoned").pop_front();
+                let next = queue
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .pop_front();
                 match next {
                     None => break,
                     Some((idx, item)) => {
                         let out = f(item);
-                        results.lock().expect("results poisoned")[idx] = Some(out);
+                        results.lock().unwrap_or_else(PoisonError::into_inner)[idx] = Some(out);
                     }
                 }
             }));
@@ -57,8 +60,9 @@ where
 
     results
         .into_inner()
-        .expect("results poisoned")
+        .unwrap_or_else(PoisonError::into_inner)
         .into_iter()
+        // audit:allow(panic-paths): a panicking worker already resumed its unwind above, so every index was claimed
         .map(|r| r.expect("every index claimed exactly once"))
         .collect()
 }

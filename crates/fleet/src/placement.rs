@@ -184,8 +184,11 @@ fn select(
     let feasible: Vec<&Candidate> = cands
         .iter()
         .filter(|c| {
-            let dev = fleet.device(c.device).expect("candidate from fleet");
-            c.power_w <= dev.power_cap_w && c.power_w <= budget
+            // A candidate whose device id the fleet no longer knows is
+            // simply infeasible — don't panic on a stale id.
+            fleet
+                .device(c.device)
+                .is_some_and(|dev| c.power_w <= dev.power_cap_w && c.power_w <= budget)
         })
         .collect();
 

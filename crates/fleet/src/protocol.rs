@@ -1107,8 +1107,20 @@ fn answer_inner(v: &Json, sched: &Scheduler, rid: u64) -> Json {
             }
             let results: Vec<Json> = results
                 .into_iter()
+                .enumerate()
                 .zip(&pb.member_ids)
-                .map(|(r, &mid)| with_request_id(r.expect("every member answered"), mid))
+                .map(|((m, r), &mid)| {
+                    // Every member slot is either a parse error or a scheduler
+                    // answer; an unanswered slot is a scheduler bug, reported
+                    // to the client instead of aborting the session.
+                    let r = r.unwrap_or_else(|| {
+                        err_response(
+                            pb.member_client_ids[m].clone(),
+                            "internal: batch member was never answered",
+                        )
+                    });
+                    with_request_id(r, mid)
+                })
                 .collect();
             ok_response(id, vec![("results", Json::Arr(results))])
         }

@@ -405,6 +405,7 @@ impl Scheduler {
                 std::thread::Builder::new()
                     .name(format!("wm-fleet-worker-{i}"))
                     .spawn(move || worker_loop(&inner, i))
+                    // audit:allow(panic-paths): construction-time spawn failure, before any request is accepted
                     .expect("spawn fleet worker")
             })
             .collect();
@@ -493,7 +494,15 @@ impl Scheduler {
         });
         results
             .into_iter()
-            .map(|r| r.expect("every job answered"))
+            .map(|r| {
+                // Every index is written by exactly one round; a hole is a
+                // packer bug, surfaced as an error instead of a panic.
+                r.unwrap_or_else(|| {
+                    Err(FleetError::Internal(
+                        "batch job was never answered by any round".to_string(),
+                    ))
+                })
+            })
             .collect()
     }
 
@@ -831,7 +840,10 @@ impl Scheduler {
             }
             None => {
                 let placement = plan_placement(inner, &job.request, job.deadline_s, &features)?;
-                let dev = inner.fleet.device(placement.device).expect("placed");
+                let dev = inner
+                    .fleet
+                    .device(placement.device)
+                    .ok_or(FleetError::UnknownDevice(placement.device))?;
                 let observations = lock_clean(&inner.predictor).observations(dev.gpu.name, kernel);
                 Ok(PredictOutcome {
                     device: placement.device,
@@ -1239,7 +1251,10 @@ fn process(inner: &Inner, job: FleetJob) -> Result<FleetResponse, FleetError> {
         }
     };
 
-    let dev = inner.fleet.device(device_id).expect("validated above");
+    let dev = inner
+        .fleet
+        .device(device_id)
+        .ok_or(FleetError::UnknownDevice(device_id))?;
     let key = canonical_key(&job.request, &dev.gpu, dev.vm.id);
 
     let respond = |result: Arc<RunResult>, cache_hit: bool| {
@@ -2082,9 +2097,15 @@ mod tests {
             .unwrap();
         let inner = Arc::clone(&sched.inner);
         let _ = std::thread::spawn(move || {
-            let _accum = inner.device_accum.lock().unwrap();
-            let _probes = inner.probes.lock().unwrap();
-            let _predictor = inner.predictor.lock().unwrap();
+            let _accum = inner
+                .device_accum
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            let _probes = inner.probes.lock().unwrap_or_else(PoisonError::into_inner);
+            let _predictor = inner
+                .predictor
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             panic!("deliberately poison the scheduler locks");
         })
         .join();

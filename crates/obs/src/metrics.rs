@@ -218,6 +218,7 @@ impl Registry {
     pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
         match self.entry(name, labels, || Entry::Counter(Counter::default())) {
             Entry::Counter(c) => c.clone(),
+            // audit:allow(panic-paths): documented fail-fast on a metric type conflict, a programming error
             other => panic!("{name:?} is registered as a {}", other.kind()),
         }
     }
@@ -227,6 +228,7 @@ impl Registry {
     pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
         match self.entry(name, labels, || Entry::Gauge(Gauge::default())) {
             Entry::Gauge(g) => g.clone(),
+            // audit:allow(panic-paths): documented fail-fast on a metric type conflict, a programming error
             other => panic!("{name:?} is registered as a {}", other.kind()),
         }
     }
@@ -236,6 +238,7 @@ impl Registry {
     pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
         match self.entry(name, labels, || Entry::Histogram(Histogram::default())) {
             Entry::Histogram(h) => h.clone(),
+            // audit:allow(panic-paths): documented fail-fast on a metric type conflict, a programming error
             other => panic!("{name:?} is registered as a {}", other.kind()),
         }
     }

@@ -274,12 +274,11 @@ impl PowerPredictor {
             // Only a never-seen architecture pays for the key allocation.
             self.models.insert(arch.to_string(), KernelModels::new());
         }
-        let model = self
-            .models
-            .get_mut(arch)
-            .expect("inserted above")
-            .entry(kernel)
-            .or_insert_with(ArchModel::new);
+        let Some(models) = self.models.get_mut(arch) else {
+            // Inserted just above; defensive return rather than a panic.
+            return;
+        };
+        let model = models.entry(kernel).or_insert_with(ArchModel::new);
         if model.fitter.observations() >= min {
             if let Some(beta) = &model.beta {
                 let pred = linear_predict(beta, features.as_slice());

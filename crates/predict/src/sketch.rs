@@ -238,7 +238,13 @@ impl LogHistogram {
                 return Self::upper_edge(key);
             }
         }
-        unreachable!("rank <= total, so some bucket holds it");
+        // rank <= total, so the loop always returns; degrade to the top
+        // bucket's edge rather than aborting if that invariant ever broke.
+        self.counts
+            .keys()
+            .next_back()
+            .map(|&k| Self::upper_edge(k))
+            .unwrap_or(0.0)
     }
 
     /// Fold another histogram in (exact: integer counts add, extrema

@@ -295,6 +295,7 @@ fn run_client(cfg: &LoadConfig, client_idx: u64, reg: &Registry) -> std::io::Res
             }
         }
     }
+    // audit:allow(panic-paths): joining our own sender thread; a panic there is already a bench bug
     let send_result = sender.join().expect("sender thread never panics");
     send_result?;
     if completed < total {
@@ -349,6 +350,7 @@ pub fn run_load(cfg: &LoadConfig) -> std::io::Result<LoadReport> {
     let mut cache_hits = 0u64;
     let mut lines = 0u64;
     for w in workers {
+        // audit:allow(panic-paths): joining our own client thread; a panic there is already a bench bug
         let tally = w.join().expect("client threads never panic")?;
         ok += tally.ok;
         errors += tally.errors;
@@ -446,6 +448,7 @@ pub fn validate(v: &Json) -> Result<(), String> {
         return Err("response_lines must cover at least one line per request".to_string());
     }
     let Some(server) = v.get("server") else {
+        // audit:allow(panic-paths): require_num validated the key just above; validator-internal invariant
         unreachable!("required key checked above");
     };
     if server.get("ok") != Some(&Json::Bool(true)) {

@@ -5,7 +5,7 @@
 //! ```text
 //! wattd [fleet flags]                # legacy: JSON-lines on stdin/stdout
 //! wattd serve [fleet flags] [--addr HOST:PORT] [--max-sessions N]
-//!             [--max-inflight N] [--state-dir DIR]
+//!             [--max-inflight N] [--state-dir DIR] [--snapshot-secs N]
 //! wattd bench [fleet flags] [--smoke] [--clients N] [--requests N]
 //!             [--out PATH]
 //! ```
@@ -20,7 +20,9 @@
 //! cache, predictor, metrics, traces), batches stream one line per
 //! packed round, admission past `--max-sessions` gets a clean `busy`
 //! line, request lines are length-capped, and `--state-dir` persists the
-//! learned power models across restarts. SIGTERM/SIGINT (or the
+//! learned power models across restarts (`--snapshot-secs N` additionally
+//! flushes the predictor every N seconds while serving, bounding what a
+//! crash can lose). SIGTERM/SIGINT (or the
 //! `shutdown` op) triggers graceful drain: stop accepting, finish
 //! in-flight requests, flush predictor state, exit.
 //!
@@ -67,6 +69,7 @@ struct Options {
     max_sessions: usize,
     max_inflight: usize,
     state_dir: Option<PathBuf>,
+    snapshot_secs: Option<u64>,
     // bench
     smoke: bool,
     clients: Option<usize>,
@@ -77,7 +80,8 @@ struct Options {
 fn usage() -> &'static str {
     "usage: wattd [serve|bench] [--gpus a100,h100,...] [--budget WATTS] [--cap WATTS]\n\
      \x20            [--workers N] [--trace-cap SPANS]\n\
-     \x20      serve: [--addr HOST:PORT] [--max-sessions N] [--max-inflight N] [--state-dir DIR]\n\
+     \x20      serve: [--addr HOST:PORT] [--max-sessions N] [--max-inflight N]\n\
+     \x20             [--state-dir DIR] [--snapshot-secs N]\n\
      \x20      bench: [--smoke] [--clients N] [--requests N] [--out PATH]\n\
      Default mode serves JSON-lines power queries on stdin/stdout; `serve` binds the\n\
      same protocol to TCP with streamed batches; see wm_fleet::protocol and wm_serve docs."
@@ -96,6 +100,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         max_sessions: defaults.max_sessions,
         max_inflight: defaults.max_inflight,
         state_dir: None,
+        snapshot_secs: defaults.snapshot_secs,
         smoke: false,
         clients: None,
         requests: None,
@@ -170,6 +175,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--state-dir" if opts.mode == Mode::Serve => {
                 opts.state_dir = Some(PathBuf::from(value_for("--state-dir")?));
+            }
+            "--snapshot-secs" if opts.mode == Mode::Serve => {
+                let secs = parse_count("--snapshot-secs", value_for("--snapshot-secs")?)? as u64;
+                if secs == 0 {
+                    return Err("--snapshot-secs must be positive".to_string());
+                }
+                opts.snapshot_secs = Some(secs);
             }
             "--smoke" if opts.mode == Mode::Bench => opts.smoke = true,
             "--clients" if opts.mode == Mode::Bench => {
@@ -294,6 +306,7 @@ fn run_serve(opts: &Options, sched: Arc<Scheduler>) -> Result<(), String> {
         max_inflight: opts.max_inflight,
         max_line_bytes: ServeConfig::default().max_line_bytes,
         state_dir: opts.state_dir.clone(),
+        snapshot_secs: opts.snapshot_secs,
     };
     let server = Server::bind(cfg, Arc::clone(&sched)).map_err(|e| format!("cannot bind: {e}"))?;
     match server.warm_start() {
@@ -355,6 +368,7 @@ fn run_bench(opts: &Options, sched: Arc<Scheduler>) -> Result<(), String> {
     handle.shutdown();
     server_thread
         .join()
+        // audit:allow(panic-paths): joining the server thread at process exit; nothing left to serve
         .expect("server thread never panics")
         .map_err(|e| format!("server failed: {e}"))?;
     let report = result.map_err(|e| format!("load generation failed: {e}"))?;

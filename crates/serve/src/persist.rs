@@ -215,6 +215,7 @@ fn parse_state(doc: &Json, now_unix_s: u64) -> Result<PredictorState, String> {
 
 /// Seconds since the Unix epoch, saturating at 0 on a pre-epoch clock.
 pub fn unix_now_s() -> u64 {
+    // audit:allow(determinism): snapshot metadata timestamp only; never feeds canonical request output
     std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())

@@ -63,6 +63,12 @@ pub struct ServeConfig {
     /// checks) at bind, flushed on graceful drain. `None` disables
     /// persistence.
     pub state_dir: Option<PathBuf>,
+    /// Periodic predictor-snapshot interval in seconds. When set (and
+    /// `state_dir` is configured), a timer thread flushes
+    /// `state_dir/predictor.json` every interval while the server runs,
+    /// so a crash loses at most one interval of training — not the whole
+    /// session. `None` (the default) keeps drain-only flushing.
+    pub snapshot_secs: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -73,6 +79,7 @@ impl Default for ServeConfig {
             max_inflight: 256,
             max_line_bytes: 1 << 20,
             state_dir: None,
+            snapshot_secs: None,
         }
     }
 }
@@ -236,6 +243,7 @@ impl Server {
     /// `state_dir` (when configured), and return.
     pub fn run(self) -> std::io::Result<()> {
         let reg = Arc::clone(self.sched.registry());
+        let snapshotter = self.spawn_snapshotter(&reg);
         let mut sessions: Vec<std::thread::JoinHandle<()>> = Vec::new();
         while !self.state.shutdown.load(Ordering::SeqCst) {
             match self.listener.accept() {
@@ -296,11 +304,54 @@ impl Server {
         for h in sessions {
             let _ = h.join();
         }
+        if let Some(h) = snapshotter {
+            let _ = h.join();
+        }
         if let Some(dir) = &self.cfg.state_dir {
             persist::save_predictor(dir, &self.sched.predictor_snapshot(), persist::unix_now_s())?;
         }
         reg.gauge("serve_sessions_active", &[]).set(0.0);
         Ok(())
+    }
+
+    /// Spawn the periodic-snapshot timer when both `state_dir` and
+    /// `snapshot_secs` are configured. The thread counts slept
+    /// milliseconds instead of reading a clock (interval accuracy is not
+    /// a contract; the determinism audit rule is), flushes the predictor
+    /// each full interval, and exits on drain — `run` joins it before the
+    /// final flush, so the drain-time snapshot always wins.
+    fn spawn_snapshotter(
+        &self,
+        reg: &Arc<wm_obs::Registry>,
+    ) -> Option<std::thread::JoinHandle<()>> {
+        let dir = self.cfg.state_dir.clone()?;
+        let every_ms = self.cfg.snapshot_secs?.checked_mul(1000)?;
+        if every_ms == 0 {
+            return None;
+        }
+        let sched = Arc::clone(&self.sched);
+        let state = Arc::clone(&self.state);
+        let reg = Arc::clone(reg);
+        Some(std::thread::spawn(move || {
+            const TICK_MS: u64 = 20;
+            let mut slept_ms = 0u64;
+            while !state.shutdown.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(TICK_MS));
+                slept_ms += TICK_MS;
+                if slept_ms < every_ms {
+                    continue;
+                }
+                slept_ms = 0;
+                match persist::save_predictor(
+                    &dir,
+                    &sched.predictor_snapshot(),
+                    persist::unix_now_s(),
+                ) {
+                    Ok(_path) => reg.counter("serve_snapshots_total", &[]).inc(),
+                    Err(_) => reg.counter("serve_snapshot_errors_total", &[]).inc(),
+                }
+            }
+        }))
     }
 }
 

@@ -9,6 +9,8 @@
 //! the point is that `cargo bench` compiles and produces usable
 //! per-function wall-clock numbers.
 
+#![forbid(unsafe_code)]
+
 use std::marker::PhantomData;
 use std::time::{Duration, Instant};
 

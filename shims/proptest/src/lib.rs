@@ -13,6 +13,8 @@
 //! fixed deterministic seed sequence (fully reproducible runs), and there
 //! is no shrinking — a failure reports the case index and message only.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Deterministic generator handed to strategies (xorshift-star core).

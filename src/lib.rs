@@ -45,6 +45,8 @@
 //!   `examples/serving_bench.rs`: open-loop mixed load, swept cache-hit
 //!   ratio, `BENCH_serving.json` emitted from the registry itself.
 
+#![forbid(unsafe_code)]
+
 pub mod serving_bench;
 
 pub use wm_analysis as analysis;

@@ -292,6 +292,52 @@ fn drain_persists_predictor_and_warm_restart_answers_without_retraining() {
 }
 
 #[test]
+fn periodic_snapshots_flush_predictor_while_serving() {
+    let state_dir =
+        std::env::temp_dir().join(format!("wm_serve_e2e_snapshot_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&state_dir);
+    let server = spawn_server(ServeConfig {
+        state_dir: Some(PathBuf::from(&state_dir)),
+        snapshot_secs: Some(1),
+        ..ServeConfig::default()
+    });
+    let mut c = Client::connect(&server.addr);
+    let resp = c.round_trip(
+        r#"{"dtype": "fp32", "dim": 32, "pattern": "gaussian", "seeds": 1, "lattice": 4, "gpu": "a100"}"#,
+    );
+    assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp}");
+
+    // The snapshot file must appear while the server is still serving —
+    // periodic flushing, not the drain-time flush. Poll up to 30s (the
+    // interval is 1s; CI machines can be slow).
+    let path = state_dir.join("predictor.json");
+    let mut flushed = false;
+    for _ in 0..600 {
+        if path.is_file() {
+            flushed = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert!(flushed, "snapshot file never appeared while serving");
+    // The server is demonstrably still up after the flush.
+    let pong = c.round_trip(r#"{"op": "ping"}"#);
+    assert_eq!(pong.get("ok"), Some(&Json::Bool(true)), "{pong}");
+    let metrics = c.round_trip(r#"{"op": "metrics", "format": "prometheus"}"#);
+    let text = metrics
+        .get("text")
+        .and_then(Json::as_str)
+        .unwrap_or_default()
+        .to_string();
+    assert!(
+        text.contains("serve_snapshots_total"),
+        "snapshot counter must be exported: {text}"
+    );
+    server.stop();
+    let _ = std::fs::remove_dir_all(&state_dir);
+}
+
+#[test]
 fn oversized_and_malformed_lines_are_isolated_to_their_session() {
     let server = spawn_server(ServeConfig {
         max_line_bytes: 4096,
