@@ -31,20 +31,45 @@
 //!   README's ops table, and serve-layer ops must exist where they claim
 //!   to be implemented.
 //!
+//! On top of the token rules, three *graph-aware* analyses consume a
+//! workspace model ([`model`]) built from a lightweight item parser
+//! ([`parse`]) over the same lexer — a conservative call graph plus
+//! per-function lock and allocation facts:
+//!
+//! * **lock-order** — the lock-acquisition graph, closed transitively
+//!   through the call graph, must be acyclic; no guard may be held
+//!   across a `Condvar::wait` on a different lock or across a blocking
+//!   call. Findings carry the edge-by-edge witness path that proves
+//!   them.
+//! * **metric-drift** — metric names registered in code ⇔ the README
+//!   metrics table ⇔ the names the bench/load consumers read, three-way
+//!   cross-checked like protocol-drift.
+//! * **hot-path-alloc** — the configured hot functions (feature
+//!   extraction, operand generation, canonical hashing, pricing) and
+//!   everything they transitively call must be allocation-free, each
+//!   finding carrying its call chain from the hot root.
+//!
 //! Deliberate exceptions are suppressed inline with an `audit:allow`
 //! annotation carrying the rule name and a mandatory reason (grammar in
 //! the README); a malformed annotation is itself a violation. The
-//! `wm-audit` binary exits nonzero with `file:line` diagnostics, and CI
-//! runs it on every push — the invariants hold for every future PR by
-//! construction.
+//! `wm-audit` binary exits nonzero with `file:line` diagnostics (or a
+//! stable JSON report via `--format json`, rendered by [`report`]), and
+//! CI runs it on every push — the invariants hold for every future PR
+//! by construction.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub(crate) mod analyses;
 pub mod config;
 pub mod lexer;
+pub mod model;
+pub mod parse;
+pub mod report;
 pub mod rules;
 pub mod workspace;
 
-pub use config::{AuditConfig, RULE_NAMES};
+pub use config::{rule_description, rule_explanation, AuditConfig, RULE_INFO, RULE_NAMES};
+pub use model::WorkspaceModel;
+pub use report::render_json;
 pub use rules::{audit, Violation};

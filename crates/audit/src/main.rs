@@ -1,22 +1,26 @@
 //! The `wm-audit` binary: run the workspace audit, print `file:line`
-//! diagnostics, exit nonzero on any violation.
+//! diagnostics (or a stable JSON report), exit nonzero on any
+//! violation.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use wm_audit::{audit, AuditConfig, RULE_NAMES};
+use wm_audit::{audit, render_json, rule_description, rule_explanation, AuditConfig, RULE_NAMES};
 
 fn usage() -> &'static str {
-    "usage: wm-audit [--root PATH] [--rule NAME]... [--list-rules]\n\
+    "usage: wm-audit [--root PATH] [--rule NAME]... [--format text|json]\n\
+     \x20               [--list-rules] [--explain RULE]\n\
      Statically audits the workspace: panic-paths, lock-hygiene, determinism,\n\
-     unsafe-confinement, protocol-drift. Suppress a deliberate exception inline\n\
-     with `audit:allow(<rule>): <reason>` (the reason is mandatory).\n\
+     unsafe-confinement, protocol-drift, lock-order, metric-drift,\n\
+     hot-path-alloc. Suppress a deliberate exception inline with\n\
+     `audit:allow(<rule>): <reason>` (the reason is mandatory).\n\
      Exits 0 when clean, 1 on violations, 2 on usage/io errors."
 }
 
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut only_rules: Vec<String> = Vec::new();
+    let mut json = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -38,10 +42,46 @@ fn main() -> ExitCode {
                 }
                 only_rules.push(name);
             }
-            "--list-rules" => {
-                for r in RULE_NAMES {
-                    println!("{r}");
+            "--format" => {
+                let Some(fmt) = args.next() else {
+                    eprintln!("--format needs `text` or `json`\n{}", usage());
+                    return ExitCode::from(2);
+                };
+                match fmt.as_str() {
+                    "json" => json = true,
+                    "text" => json = false,
+                    other => {
+                        eprintln!("unknown format {other:?}; use `text` or `json`");
+                        return ExitCode::from(2);
+                    }
                 }
+            }
+            "--list-rules" => {
+                let width = RULE_NAMES.iter().map(|r| r.len()).max().unwrap_or(0);
+                for r in RULE_NAMES {
+                    println!("{r:width$}  {}", rule_description(r));
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--explain" => {
+                let Some(name) = args.next() else {
+                    eprintln!("--explain needs a rule name\n{}", usage());
+                    return ExitCode::from(2);
+                };
+                if !RULE_NAMES.contains(&name.as_str()) {
+                    eprintln!("unknown rule {name:?}; rules: {}", RULE_NAMES.join(", "));
+                    return ExitCode::from(2);
+                }
+                println!("{name} — {}", rule_description(&name));
+                println!();
+                println!("{}", rule_explanation(&name));
+                println!();
+                println!(
+                    "Suppress a deliberate exception on the offending line (or the\n\
+                     line above) with: audit:allow({name}): <reason>\n\
+                     The reason is mandatory; an unknown rule name or a missing\n\
+                     reason is itself a violation."
+                );
                 return ExitCode::SUCCESS;
             }
             "--help" | "-h" => {
@@ -65,16 +105,24 @@ fn main() -> ExitCode {
     cfg.only_rules = only_rules;
     match audit(&cfg) {
         Ok((violations, files)) => {
-            for v in &violations {
-                println!("{v}");
-            }
-            let rules = if cfg.only_rules.is_empty() {
-                RULE_NAMES.len()
+            let active: Vec<&str> = if cfg.only_rules.is_empty() {
+                RULE_NAMES.to_vec()
             } else {
-                cfg.only_rules.len()
+                cfg.only_rules.iter().map(String::as_str).collect()
             };
+            if json {
+                println!("{}", render_json(&violations, files, &active));
+            } else {
+                for v in &violations {
+                    println!("{v}");
+                    for step in &v.witness {
+                        println!("    {step}");
+                    }
+                }
+            }
             eprintln!(
-                "wm-audit: {files} files, {rules} rule(s), {} violation(s)",
+                "wm-audit: {files} files, {} rule(s), {} violation(s)",
+                active.len(),
                 violations.len()
             );
             if violations.is_empty() {

@@ -1,0 +1,779 @@
+//! The workspace model: a conservative intra-workspace call graph plus
+//! per-function lock-acquisition and effect facts.
+//!
+//! Built once per audit from the parsed functions ([`crate::parse`]),
+//! the model answers the questions the graph-aware rules ask:
+//!
+//! * **Calls** — who may call whom. Resolution is name-based and
+//!   deliberately conservative: `Type::method` calls resolve type-scoped
+//!   when the type is a workspace `impl` target, free calls resolve to
+//!   free functions, and `.method()` calls resolve *receiver-agnostic*
+//!   to every workspace method of that name (the model would rather
+//!   overlink than miss an edge). Method calls named `lock` resolve
+//!   same-file only: `self.lock()` is the guard-helper idiom, and
+//!   linking it across crates would alias every mutex in the workspace.
+//! * **Locks** — which `Mutex` fields a function acquires
+//!   (`field.lock()` or a configured guard helper such as
+//!   `lock_clean(&x.field)`), with a liveness span per acquisition:
+//!   a `let`-bound guard lives to the end of its enclosing block (or an
+//!   explicit `drop(guard)`), an `if let` / `while let` guard to the end
+//!   of its block, and a temporary guard to the end of its statement
+//!   (extended through the block when the statement opens one, as in
+//!   `if let Some(v) = lock_clean(&x.f).get(k) { … }`).
+//! * **Waits** — `condvar.wait(guard)` / `wait_timeout(guard, …)`
+//!   sites with the guard argument, so a rule can check that no *other*
+//!   guard is live across the wait.
+//! * **Allocations** — heap-allocation sites (`Vec::new`, `vec!`,
+//!   `.to_vec()`, `.clone()`, `format!`, `String::from`, `.collect()`),
+//!   for the hot-path rule.
+//!
+//! Lock identity is the *field name*: two types with a field `slots`
+//! alias in the model. That is the conservative trade the name-based
+//! design makes everywhere; the suppression machinery absorbs the rare
+//! false positive. All containers are ordered (`BTreeMap` / sorted
+//! `Vec`), so model construction — and every diagnostic derived from it
+//! — is byte-identical across runs.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{lex, Token};
+use crate::parse::{innermost_fn, is_keyword, parse_fns};
+use crate::workspace::SourceFile;
+
+/// One call site inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    /// The called name (last path segment / method name).
+    pub name: String,
+    /// `Type` of a `Type::name(…)` call, if any.
+    pub qualifier: Option<String>,
+    /// Whether this was a `.name(…)` method call.
+    pub is_method: bool,
+    /// Byte offset of the name token.
+    pub offset: usize,
+    /// 1-based line.
+    pub line: usize,
+}
+
+/// One heap-allocation site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllocSite {
+    /// What allocated (`vec!`, `.clone()`, …).
+    pub what: String,
+    /// Byte offset of the site.
+    pub offset: usize,
+    /// 1-based line.
+    pub line: usize,
+}
+
+/// One lock acquisition, with the span its guard is live.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockSite {
+    /// The lock's field name.
+    pub lock: String,
+    /// The guard variable, when `let`-bound.
+    pub guard: Option<String>,
+    /// Byte offset of the acquisition.
+    pub offset: usize,
+    /// Byte offset the guard is live until (exclusive).
+    pub live_end: usize,
+    /// 1-based line.
+    pub line: usize,
+}
+
+/// One `Condvar::wait` / `wait_timeout` site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WaitSite {
+    /// The condvar's field name.
+    pub condvar: String,
+    /// The guard variable passed to the wait.
+    pub guard_arg: Option<String>,
+    /// Byte offset of the wait.
+    pub offset: usize,
+    /// 1-based line.
+    pub line: usize,
+}
+
+/// One function with its facts.
+#[derive(Debug, Clone)]
+pub struct ModelFn {
+    /// Function name.
+    pub name: String,
+    /// Innermost `impl` type, if any.
+    pub impl_type: Option<String>,
+    /// Whether the function takes `self`.
+    pub has_self: bool,
+    /// Workspace-relative file.
+    pub file: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Whether this is live (non-test) code.
+    pub is_live: bool,
+    /// Call sites, in source order.
+    pub calls: Vec<CallSite>,
+    /// Allocation sites, in source order.
+    pub allocs: Vec<AllocSite>,
+    /// Lock acquisitions, in source order.
+    pub locks: Vec<LockSite>,
+    /// Condvar waits, in source order.
+    pub waits: Vec<WaitSite>,
+}
+
+impl ModelFn {
+    /// `Type::name` when in an impl, else just the name.
+    pub fn qualified_name(&self) -> String {
+        match &self.impl_type {
+            Some(t) => format!("{t}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// The allocating method names (matched as `.name(`).
+const ALLOC_METHODS: &[&str] = &["to_vec", "clone", "collect"];
+
+/// The whole-workspace model.
+#[derive(Debug)]
+pub struct WorkspaceModel {
+    /// Every function, sorted by (file, declaration offset).
+    pub fns: Vec<ModelFn>,
+    by_name: BTreeMap<String, Vec<usize>>,
+}
+
+impl WorkspaceModel {
+    /// Build the model over `sources`. `lock_helpers` names the
+    /// guard-returning helper functions whose first argument is the
+    /// lock (`lock_clean(&x.field)`).
+    pub fn build(sources: &[SourceFile], lock_helpers: &[String]) -> WorkspaceModel {
+        let mut fns = Vec::new();
+        for src in sources {
+            extract_file(src, lock_helpers, &mut fns);
+        }
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (i, f) in fns.iter().enumerate() {
+            by_name.entry(f.name.clone()).or_default().push(i);
+        }
+        WorkspaceModel { fns, by_name }
+    }
+
+    /// Indices of the functions a call site may reach (conservative,
+    /// name-based; see module docs). `caller` scopes the same-file
+    /// special case for `lock`.
+    pub fn resolve(&self, call: &CallSite, caller: usize) -> Vec<usize> {
+        let Some(candidates) = self.by_name.get(&call.name) else {
+            return Vec::new();
+        };
+        let caller_file = &self.fns[caller].file;
+        if let Some(q) = &call.qualifier {
+            let typed: Vec<usize> = candidates
+                .iter()
+                .copied()
+                .filter(|&i| self.fns[i].impl_type.as_deref() == Some(q.as_str()))
+                .collect();
+            if !typed.is_empty() {
+                return typed;
+            }
+            // Unknown qualifier (std type, module path): free functions
+            // of that name only.
+            return candidates
+                .iter()
+                .copied()
+                .filter(|&i| self.fns[i].impl_type.is_none() && !self.fns[i].has_self)
+                .collect();
+        }
+        if call.is_method {
+            return candidates
+                .iter()
+                .copied()
+                .filter(|&i| {
+                    self.fns[i].has_self
+                        && (call.name != "lock" || self.fns[i].file == *caller_file)
+                })
+                .collect();
+        }
+        candidates
+            .iter()
+            .copied()
+            .filter(|&i| self.fns[i].impl_type.is_none() && !self.fns[i].has_self)
+            .collect()
+    }
+
+    /// Per-function transitive lock sets: every lock a function may
+    /// acquire itself or through any (conservatively resolved) callee,
+    /// computed to fixpoint over the call graph.
+    pub fn transitive_locks(&self) -> Vec<BTreeSet<String>> {
+        let mut sets: Vec<BTreeSet<String>> = self
+            .fns
+            .iter()
+            .map(|f| f.locks.iter().map(|l| l.lock.clone()).collect())
+            .collect();
+        let callees: Vec<Vec<usize>> = self
+            .fns
+            .iter()
+            .enumerate()
+            .map(|(i, f)| {
+                let mut cs: Vec<usize> = f.calls.iter().flat_map(|c| self.resolve(c, i)).collect();
+                cs.sort_unstable();
+                cs.dedup();
+                cs
+            })
+            .collect();
+        loop {
+            let mut changed = false;
+            for i in 0..sets.len() {
+                for &g in &callees[i] {
+                    if g == i {
+                        continue;
+                    }
+                    let add: Vec<String> = sets[g].difference(&sets[i]).cloned().collect();
+                    if !add.is_empty() {
+                        sets[i].extend(add);
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                return sets;
+            }
+        }
+    }
+}
+
+/// Extract every function and its facts from one source file.
+fn extract_file(src: &SourceFile, lock_helpers: &[String], out: &mut Vec<ModelFn>) {
+    let lexed = lex(&src.text);
+    let items = parse_fns(&lexed);
+    if items.is_empty() {
+        return;
+    }
+    let toks = lexed.tokens();
+    let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+    let idx_pairs = brace_index_pairs(&toks, &texts);
+    let eof = toks.last().map(|t| t.offset + t.text.len()).unwrap_or(0);
+
+    let base = out.len();
+    for it in &items {
+        out.push(ModelFn {
+            name: it.name.clone(),
+            impl_type: it.impl_type.clone(),
+            has_self: it.has_self,
+            file: src.rel.clone(),
+            line: lexed.line_of(it.decl_offset),
+            is_live: src.is_live(&lexed, it.decl_offset),
+            calls: Vec::new(),
+            allocs: Vec::new(),
+            locks: Vec::new(),
+            waits: Vec::new(),
+        });
+    }
+
+    // A stack of open-brace token indices, to find the enclosing block
+    // of a `let`-bound guard.
+    let mut open_braces: Vec<usize> = Vec::new();
+    let word = |i: usize| -> bool {
+        texts
+            .get(i)
+            .and_then(|t| t.chars().next())
+            .map(|c| c.is_ascii_alphanumeric() || c == '_')
+            .unwrap_or(false)
+    };
+
+    for i in 0..toks.len() {
+        match texts[i] {
+            "{" => open_braces.push(i),
+            "}" => {
+                open_braces.pop();
+            }
+            _ => {}
+        }
+        if !word(i) || texts.get(i + 1) != Some(&"(") && texts.get(i + 1) != Some(&"!") {
+            // Also catch `Vec::new` / `String::from` without a direct
+            // paren? They are always called, so the paren form covers
+            // the workspace; skip everything else.
+            continue;
+        }
+        let Some(fi) = innermost_fn(&items, toks[i].offset) else {
+            continue;
+        };
+        let f = &mut out[base + fi];
+        let off = toks[i].offset;
+        let line = lexed.line_of(off);
+        let prev = if i > 0 { texts[i - 1] } else { "" };
+        let is_macro = texts.get(i + 1) == Some(&"!");
+
+        if is_macro {
+            if texts[i] == "vec" || texts[i] == "format" {
+                f.allocs.push(AllocSite {
+                    what: format!("{}!", texts[i]),
+                    offset: off,
+                    line,
+                });
+            }
+            continue;
+        }
+
+        // From here on: `name (`.
+        let name = texts[i];
+        if is_keyword(name) || prev == "fn" {
+            continue;
+        }
+        if prev == "." {
+            if ALLOC_METHODS.contains(&name) {
+                f.allocs.push(AllocSite {
+                    what: format!(".{name}()"),
+                    offset: off,
+                    line,
+                });
+                continue;
+            }
+            if name == "lock" && texts.get(i + 2) == Some(&")") {
+                // `x.field.lock()`: an acquisition when the receiver is
+                // a field access; `self.lock()` is a helper method call
+                // (falls through); a bare local (`m.lock()`) is a
+                // generic helper body — no nameable lock.
+                let recv_is_field = i >= 3 && word(i - 2) && texts[i - 3] == ".";
+                if recv_is_field {
+                    let (guard, live_end) =
+                        guard_liveness(&toks, &texts, &idx_pairs, &open_braces, i, i + 2, eof);
+                    f.locks.push(LockSite {
+                        lock: texts[i - 2].to_string(),
+                        guard,
+                        offset: off,
+                        live_end,
+                        line,
+                    });
+                    continue;
+                }
+                if i >= 2 && texts[i - 2] != "self" {
+                    continue;
+                }
+            }
+            if (name == "wait" || name == "wait_timeout") && i >= 2 && word(i - 2) {
+                let mut guard_arg = None;
+                let stop = toks.len().min(i + 6);
+                for (k, t) in texts.iter().enumerate().take(stop).skip(i + 2) {
+                    if *t == ")" || *t == "," {
+                        break;
+                    }
+                    if word(k) && *t != "mut" {
+                        guard_arg = Some((*t).to_string());
+                        break;
+                    }
+                }
+                f.waits.push(WaitSite {
+                    condvar: texts[i - 2].to_string(),
+                    guard_arg,
+                    offset: off,
+                    line,
+                });
+                continue;
+            }
+            f.calls.push(CallSite {
+                name: name.to_string(),
+                qualifier: None,
+                is_method: true,
+                offset: off,
+                line,
+            });
+            continue;
+        }
+        if prev == ":" && i >= 2 && texts[i - 2] == ":" {
+            let qualifier = if i >= 3 && word(i - 3) {
+                Some(texts[i - 3].to_string())
+            } else {
+                None
+            };
+            if qualifier.as_deref() == Some("Vec") && name == "new"
+                || qualifier.as_deref() == Some("String") && name == "from"
+            {
+                f.allocs.push(AllocSite {
+                    what: format!("{}::{name}", texts[i - 3]),
+                    offset: off,
+                    line,
+                });
+                continue;
+            }
+            f.calls.push(CallSite {
+                name: name.to_string(),
+                qualifier,
+                is_method: false,
+                offset: off,
+                line,
+            });
+            continue;
+        }
+        // Plain `name(` call.
+        if lock_helpers.iter().any(|h| h == name) {
+            // `lock_clean(&x.field)`: the helper returns the guard; the
+            // lock is the last dotted field in the argument.
+            let close = match_paren(&texts, i + 1);
+            let mut lock = None;
+            for (k, t) in texts.iter().enumerate().take(close).skip(i + 2) {
+                if word(k) && texts[k - 1] == "." {
+                    lock = Some((*t).to_string());
+                }
+            }
+            if lock.is_none() {
+                for (k, t) in texts.iter().enumerate().take(close).skip(i + 2) {
+                    if word(k) && *t != "mut" {
+                        lock = Some((*t).to_string());
+                    }
+                }
+            }
+            if let Some(lock) = lock {
+                let (guard, live_end) =
+                    guard_liveness(&toks, &texts, &idx_pairs, &open_braces, i, close, eof);
+                f.locks.push(LockSite {
+                    lock,
+                    guard,
+                    offset: off,
+                    live_end,
+                    line,
+                });
+            }
+            continue;
+        }
+        f.calls.push(CallSite {
+            name: name.to_string(),
+            qualifier: None,
+            is_method: false,
+            offset: off,
+            line,
+        });
+    }
+}
+
+/// Token index of the `)` matching the `(` at `open` (or the last token
+/// if unbalanced).
+fn match_paren(texts: &[&str], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (k, t) in texts.iter().enumerate().skip(open) {
+        match *t {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    return k;
+                }
+            }
+            _ => {}
+        }
+    }
+    texts.len().saturating_sub(1)
+}
+
+/// Map each `{` token index to its matching `}` token index.
+fn brace_index_pairs(_toks: &[Token], texts: &[&str]) -> BTreeMap<usize, usize> {
+    let mut pairs = BTreeMap::new();
+    let mut stack = Vec::new();
+    for (i, t) in texts.iter().enumerate() {
+        match *t {
+            "{" => stack.push(i),
+            "}" => {
+                if let Some(open) = stack.pop() {
+                    pairs.insert(open, i);
+                }
+            }
+            _ => {}
+        }
+    }
+    pairs
+}
+
+/// Compute the guard binding and liveness end (byte offset, exclusive)
+/// of the acquisition whose name token is at `start` and whose closing
+/// `)` is at `close`. See the module docs for the heuristic.
+fn guard_liveness(
+    toks: &[Token],
+    texts: &[&str],
+    idx_pairs: &BTreeMap<usize, usize>,
+    open_braces: &[usize],
+    start: usize,
+    close: usize,
+    eof: usize,
+) -> (Option<String>, usize) {
+    let tok_end = |k: usize| -> usize {
+        toks.get(k)
+            .map(|t| t.offset + t.text.len())
+            .unwrap_or(eof)
+            .min(eof)
+    };
+    // Skip the poison-recovery chain: `.unwrap_or_else(…)`, `.unwrap()`,
+    // `.expect(…)` still produce the guard.
+    let mut c = close;
+    while texts.get(c + 1) == Some(&".")
+        && matches!(
+            texts.get(c + 2).copied(),
+            Some("unwrap_or_else") | Some("unwrap") | Some("expect")
+        )
+        && texts.get(c + 3) == Some(&"(")
+    {
+        c = match_paren(texts, c + 3);
+    }
+
+    // Temporary guard: the acquisition is dereferenced inline.
+    if texts.get(c + 1) == Some(&".") {
+        return (None, temporary_end(toks, texts, idx_pairs, c, eof));
+    }
+
+    // Statement start: nearest `;` / `{` / `}` before the acquisition.
+    let mut s = start;
+    while s > 0 {
+        match texts[s - 1] {
+            ";" | "{" | "}" => break,
+            _ => s -= 1,
+        }
+    }
+    let stmt = &texts[s..start];
+    let let_pos = stmt.iter().position(|t| *t == "let");
+    if let Some(lp) = let_pos {
+        let conditional = stmt[..lp].iter().any(|t| *t == "if" || *t == "while");
+        if conditional {
+            // `if let` / `while let`: the guard lives through the block
+            // the condition opens.
+            return (
+                bound_name(&stmt[lp..]),
+                block_after(toks, texts, idx_pairs, c, eof),
+            );
+        }
+        // Plain `let`: live to the end of the enclosing block, or an
+        // explicit `drop(guard)`.
+        let guard = bound_name(&stmt[lp..]);
+        let mut end = open_braces
+            .last()
+            .and_then(|open| idx_pairs.get(open))
+            .map(|&cl| tok_end(cl))
+            .unwrap_or(eof);
+        if let Some(g) = &guard {
+            let mut k = c + 1;
+            while k + 3 < texts.len() && tok_end(k) < end {
+                if texts[k] == "drop"
+                    && texts[k + 1] == "("
+                    && texts[k + 2] == g.as_str()
+                    && texts[k + 3] == ")"
+                {
+                    end = toks[k].offset;
+                    break;
+                }
+                k += 1;
+            }
+        }
+        return (guard, end);
+    }
+    (None, temporary_end(toks, texts, idx_pairs, c, eof))
+}
+
+/// The bound variable of a `let` statement slice (starting at `let`):
+/// the last identifier before `=` that is not a binding keyword or a
+/// pattern constructor.
+fn bound_name(stmt: &[&str]) -> Option<String> {
+    let eq = stmt.iter().position(|t| *t == "=")?;
+    stmt[1..eq]
+        .iter()
+        .rfind(|t| {
+            let head = t.chars().next().unwrap_or(' ');
+            (head.is_ascii_alphabetic() || head == '_')
+                && !matches!(**t, "mut" | "ref" | "Some" | "Ok" | "Err" | "Box")
+        })
+        .map(|t| (*t).to_string())
+}
+
+/// End of a temporary guard's statement: the next `;` at nesting depth
+/// zero, extended through a block the statement opens (`if let … { … }`).
+fn temporary_end(
+    toks: &[Token],
+    texts: &[&str],
+    idx_pairs: &BTreeMap<usize, usize>,
+    c: usize,
+    eof: usize,
+) -> usize {
+    let mut depth = 0isize;
+    let mut k = c + 1;
+    while k < texts.len() {
+        match texts[k] {
+            "(" | "[" => depth += 1,
+            ")" | "]" => {
+                depth -= 1;
+                if depth < 0 {
+                    return toks[k].offset;
+                }
+            }
+            "{" if depth == 0 => {
+                return idx_pairs
+                    .get(&k)
+                    .map(|&cl| toks[cl].offset + 1)
+                    .unwrap_or(eof);
+            }
+            ";" | "}" if depth == 0 => return toks[k].offset,
+            _ => {}
+        }
+        k += 1;
+    }
+    eof
+}
+
+/// End (byte, exclusive) of the block the condition at `c` opens: the
+/// match of the first `{` after `c` at depth zero.
+fn block_after(
+    toks: &[Token],
+    texts: &[&str],
+    idx_pairs: &BTreeMap<usize, usize>,
+    c: usize,
+    eof: usize,
+) -> usize {
+    let mut depth = 0isize;
+    let mut k = c + 1;
+    while k < texts.len() {
+        match texts[k] {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "{" if depth == 0 => {
+                return idx_pairs
+                    .get(&k)
+                    .map(|&cl| toks[cl].offset + 1)
+                    .unwrap_or(eof);
+            }
+            ";" if depth == 0 => return toks[k].offset,
+            _ => {}
+        }
+        k += 1;
+    }
+    eof
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model_of(text: &str) -> WorkspaceModel {
+        let src = SourceFile {
+            rel: "crates/x/src/lib.rs".to_string(),
+            crate_name: "x".to_string(),
+            is_test_file: false,
+            is_lib_root: true,
+            text: text.to_string(),
+        };
+        WorkspaceModel::build(std::slice::from_ref(&src), &["lock_clean".to_string()])
+    }
+
+    fn fn_named<'m>(m: &'m WorkspaceModel, name: &str) -> &'m ModelFn {
+        m.fns
+            .iter()
+            .find(|f| f.name == name)
+            .unwrap_or_else(|| panic!("no fn {name}"))
+    }
+
+    #[test]
+    fn call_graph_resolves_free_method_and_qualified_calls() {
+        let m = model_of(
+            "struct S;\n\
+             impl S {\n    fn helper(&self) {}\n    fn build() -> S { S }\n}\n\
+             fn free() {}\n\
+             fn caller(s: &S) {\n    free();\n    s.helper();\n    S::build();\n}\n",
+        );
+        let caller = m.fns.iter().position(|f| f.name == "caller").unwrap();
+        let f = &m.fns[caller];
+        assert_eq!(f.calls.len(), 3, "{:?}", f.calls);
+        let resolved: Vec<String> = f
+            .calls
+            .iter()
+            .flat_map(|c| m.resolve(c, caller))
+            .map(|i| m.fns[i].qualified_name())
+            .collect();
+        assert_eq!(resolved, ["free", "S::helper", "S::build"]);
+    }
+
+    #[test]
+    fn let_bound_guard_lives_to_block_end_or_drop() {
+        let m = model_of(
+            "struct S;\nimpl S {\n\
+             fn a(&self) {\n    let g = self.inner.lock().unwrap_or_else(e);\n    use_it(&g);\n}\n\
+             fn b(&self) {\n    let g = self.inner.lock().unwrap_or_else(e);\n    drop(g);\n    tail();\n}\n}\n",
+        );
+        let a = fn_named(&m, "a");
+        assert_eq!(a.locks.len(), 1);
+        assert_eq!(a.locks[0].lock, "inner");
+        assert_eq!(a.locks[0].guard.as_deref(), Some("g"));
+        // Lives past the use_it call.
+        assert!(a.calls.iter().any(|c| c.name == "use_it"
+            && c.offset > a.locks[0].offset
+            && c.offset < a.locks[0].live_end));
+        let b = fn_named(&m, "b");
+        // drop(g) truncates before tail().
+        let tail = b.calls.iter().find(|c| c.name == "tail").unwrap();
+        assert!(tail.offset > b.locks[0].live_end, "{:?}", b.locks[0]);
+    }
+
+    #[test]
+    fn temporary_guard_ends_at_statement_unless_it_opens_a_block() {
+        let m = model_of(
+            "fn a(x: &X) {\n    lock_clean(&x.map).insert(1);\n    after();\n}\n\
+             fn b(x: &X) {\n    if let Some(v) = lock_clean(&x.map).get(&1) { inside(v); }\n    after();\n}\n",
+        );
+        let a = fn_named(&m, "a");
+        assert_eq!(a.locks[0].lock, "map");
+        assert!(a.locks[0].guard.is_none());
+        let after = a.calls.iter().find(|c| c.name == "after").unwrap();
+        assert!(after.offset > a.locks[0].live_end);
+        let b = fn_named(&m, "b");
+        let inside = b.calls.iter().find(|c| c.name == "inside").unwrap();
+        let after = b.calls.iter().find(|c| c.name == "after").unwrap();
+        assert!(inside.offset < b.locks[0].live_end, "if-let extends");
+        assert!(after.offset > b.locks[0].live_end, "but not past the block");
+    }
+
+    #[test]
+    fn waits_capture_condvar_and_guard() {
+        let m = model_of(
+            "fn w(x: &X) {\n    let mut g = x.state.lock().unwrap_or_else(e);\n    \
+             g = x.ready.wait(g).unwrap_or_else(e);\n}\n",
+        );
+        let w = fn_named(&m, "w");
+        assert_eq!(w.locks.len(), 1);
+        assert_eq!(w.waits.len(), 1);
+        assert_eq!(w.waits[0].condvar, "ready");
+        assert_eq!(w.waits[0].guard_arg.as_deref(), Some("g"));
+    }
+
+    #[test]
+    fn alloc_sites_cover_the_configured_tokens() {
+        let m = model_of(
+            "fn a() {\n    let v = Vec::new();\n    let w = vec![1];\n    let s = format!(\"x\");\n    \
+             let t = String::from(\"y\");\n    let u = z.to_vec();\n    let c = z.clone();\n    \
+             let k: Vec<u32> = it.collect();\n}\n",
+        );
+        let a = fn_named(&m, "a");
+        let whats: Vec<&str> = a.allocs.iter().map(|s| s.what.as_str()).collect();
+        assert_eq!(
+            whats,
+            [
+                "Vec::new",
+                "vec!",
+                "format!",
+                "String::from",
+                ".to_vec()",
+                ".clone()",
+                ".collect()"
+            ]
+        );
+    }
+
+    #[test]
+    fn transitive_locks_flow_through_the_call_graph() {
+        let m = model_of(
+            "fn leaf(x: &X) {\n    lock_clean(&x.inner_lock).touch();\n}\n\
+             fn mid(x: &X) {\n    leaf(x);\n}\n\
+             fn root(x: &X) {\n    mid(x);\n}\n",
+        );
+        let sets = m.transitive_locks();
+        let root = m.fns.iter().position(|f| f.name == "root").unwrap();
+        assert!(sets[root].contains("inner_lock"), "{:?}", sets[root]);
+    }
+
+    #[test]
+    fn test_code_is_marked_not_live() {
+        let m = model_of("fn live() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\n");
+        assert!(fn_named(&m, "live").is_live);
+        assert!(!fn_named(&m, "helper").is_live);
+    }
+}

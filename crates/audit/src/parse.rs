@@ -1,0 +1,353 @@
+//! A lightweight item parser on top of the masking lexer: enough
+//! structure to build a call graph, no more.
+//!
+//! The parser extracts `fn` items (name, enclosing `impl` type, whether
+//! the first parameter is `self`, and the byte span of the body) by
+//! scanning the masked token stream and matching braces. It does not
+//! build an AST: every downstream analysis works on "which function
+//! does this byte offset belong to", answered by
+//! [`innermost_fn`] over the body spans, plus a matching-brace map
+//! ([`brace_pairs`]) for liveness scans.
+//!
+//! `impl` blocks are tracked so `Type::method` calls can be resolved
+//! type-scoped: each function remembers the innermost `impl` type it
+//! is defined on (trait impls record the *implementing* type, i.e. the
+//! path after `for`).
+
+use std::collections::BTreeMap;
+
+use crate::lexer::{Lexed, Token};
+
+/// One `fn` item found in a file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// The innermost enclosing `impl` block's type name, if any (for
+    /// `impl Trait for Type`, the `Type`).
+    pub impl_type: Option<String>,
+    /// Whether the parameter list starts with a `self` receiver.
+    pub has_self: bool,
+    /// Byte offset of the `fn` keyword.
+    pub decl_offset: usize,
+    /// Half-open byte span of the body, including its braces. A
+    /// body-less declaration (trait method signature) spans `(end, end)`
+    /// at its `;`.
+    pub body: (usize, usize),
+}
+
+impl FnItem {
+    /// Whether `offset` falls inside this function's body.
+    pub fn contains(&self, offset: usize) -> bool {
+        offset >= self.body.0 && offset < self.body.1
+    }
+}
+
+/// Map from each `{` token's byte offset to its matching `}` token's
+/// byte offset, by straightforward stack pairing over the masked token
+/// stream. Unbalanced braces pair with end-of-file.
+pub fn brace_pairs(tokens: &[Token]) -> BTreeMap<usize, usize> {
+    let mut pairs = BTreeMap::new();
+    let mut stack: Vec<usize> = Vec::new();
+    let eof = tokens.last().map(|t| t.offset + t.text.len()).unwrap_or(0);
+    for t in tokens {
+        match t.text.as_str() {
+            "{" => stack.push(t.offset),
+            "}" => {
+                if let Some(open) = stack.pop() {
+                    pairs.insert(open, t.offset + 1);
+                }
+            }
+            _ => {}
+        }
+    }
+    for open in stack {
+        pairs.insert(open, eof);
+    }
+    pairs
+}
+
+/// Keywords that can directly precede a parenthesis without being a
+/// function name, and item keywords `fn` scanning must not mistake for
+/// names.
+const KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "in", "let", "mut", "ref", "move",
+    "fn", "pub", "use", "mod", "impl", "struct", "enum", "trait", "where", "unsafe", "async",
+    "const", "static", "type", "dyn", "as", "break", "continue",
+];
+
+/// Whether `word` is a Rust keyword the parser treats as structure.
+pub fn is_keyword(word: &str) -> bool {
+    KEYWORDS.contains(&word)
+}
+
+/// Extract every `fn` item in `lexed`, in source order.
+///
+/// Nested functions are extracted too; use [`innermost_fn`] to
+/// attribute an offset to the tightest enclosing body.
+pub fn parse_fns(lexed: &Lexed) -> Vec<FnItem> {
+    let toks = lexed.tokens();
+    let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+    let pairs = brace_pairs(&toks);
+    let eof = toks.last().map(|t| t.offset + t.text.len()).unwrap_or(0);
+
+    // Impl contexts: (body byte span, type name).
+    let impls = parse_impls(&toks, &texts, &pairs, eof);
+
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if texts[i] != "fn" {
+            i += 1;
+            continue;
+        }
+        // `fn` in a function-pointer type (`fn(`, `fn (`) has no name.
+        let Some(name_tok) = toks.get(i + 1) else {
+            break;
+        };
+        let name = name_tok.text.clone();
+        if !name
+            .chars()
+            .next()
+            .map(|c| c.is_ascii_alphabetic() || c == '_')
+            .unwrap_or(false)
+            || is_keyword(&name)
+        {
+            i += 1;
+            continue;
+        }
+        let decl_offset = toks[i].offset;
+
+        // Find the parameter list: the first `(` after the name, skipping
+        // a generic parameter list `<...>` if present.
+        let mut j = i + 2;
+        if texts.get(j) == Some(&"<") {
+            let mut angle = 0isize;
+            while j < toks.len() {
+                match texts[j] {
+                    "<" => angle += 1,
+                    ">" if j > 0 && texts[j - 1] != "-" => {
+                        angle -= 1;
+                        if angle == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        if texts.get(j) != Some(&"(") {
+            i += 1;
+            continue;
+        }
+        // Scan the parameter list; `self` at paren depth 1 means a
+        // method receiver.
+        let mut depth = 0usize;
+        let mut has_self = false;
+        while j < toks.len() {
+            match texts[j] {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                "self" if depth == 1 => has_self = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        // The body is the first `{` after the parameters (skipping the
+        // return type and any `where` clause); a `;` first means a
+        // body-less trait signature.
+        let mut k = j + 1;
+        let mut body = (eof, eof);
+        while k < toks.len() {
+            match texts[k] {
+                "{" => {
+                    let open = toks[k].offset;
+                    body = (open, *pairs.get(&open).unwrap_or(&eof));
+                    break;
+                }
+                ";" => {
+                    body = (toks[k].offset, toks[k].offset);
+                    break;
+                }
+                _ => k += 1,
+            }
+        }
+        let impl_type = impls
+            .iter()
+            .filter(|(span, _)| decl_offset >= span.0 && decl_offset < span.1)
+            .min_by_key(|(span, _)| span.1 - span.0)
+            .map(|(_, ty)| ty.clone());
+        out.push(FnItem {
+            name,
+            impl_type,
+            has_self,
+            decl_offset,
+            body,
+        });
+        i = k.max(i + 1);
+    }
+    out
+}
+
+/// Parse `impl` block headers: the body span and the implementing type
+/// (`impl Foo` → `Foo`; `impl<T> Trait for Bar<T>` → `Bar`).
+fn parse_impls(
+    toks: &[Token],
+    texts: &[&str],
+    pairs: &BTreeMap<usize, usize>,
+    eof: usize,
+) -> Vec<((usize, usize), String)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if texts[i] != "impl" {
+            i += 1;
+            continue;
+        }
+        let mut ty = String::new();
+        let mut angle = 0isize;
+        let mut j = i + 1;
+        while j < toks.len() {
+            match texts[j] {
+                "<" => angle += 1,
+                ">" if texts[j - 1] != "-" => angle = (angle - 1).max(0),
+                "{" if angle == 0 => break,
+                "where" if angle == 0 => {
+                    // Type name is settled; skip ahead to the body.
+                    while j < toks.len() && texts[j] != "{" {
+                        j += 1;
+                    }
+                    break;
+                }
+                "for" if angle == 0 => ty.clear(),
+                w if angle == 0 => {
+                    let head = w.chars().next().unwrap_or(' ');
+                    if head.is_ascii_alphabetic() || head == '_' {
+                        ty = w.to_string();
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if j < toks.len() && texts[j] == "{" {
+            let open = toks[j].offset;
+            let close = *pairs.get(&open).unwrap_or(&eof);
+            if !ty.is_empty() {
+                out.push(((open, close), ty));
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Index (into `fns`) of the innermost function whose body contains
+/// `offset`, if any.
+pub fn innermost_fn(fns: &[FnItem], offset: usize) -> Option<usize> {
+    fns.iter()
+        .enumerate()
+        .filter(|(_, f)| f.contains(offset))
+        .min_by_key(|(_, f)| f.body.1 - f.body.0)
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn extracts_free_fns_methods_and_impl_types() {
+        let src = "\
+fn free(x: u32) -> u32 { x }
+struct S;
+impl S {
+    pub fn method(&self) -> u32 { free(1) }
+    fn assoc() -> S { S }
+}
+impl Clone for S {
+    fn clone(&self) -> S { S }
+}
+";
+        let lexed = lex(src);
+        let fns = parse_fns(&lexed);
+        assert_eq!(fns.len(), 4, "{fns:?}");
+        assert_eq!(fns[0].name, "free");
+        assert_eq!(fns[0].impl_type, None);
+        assert!(!fns[0].has_self);
+        assert_eq!(fns[1].name, "method");
+        assert_eq!(fns[1].impl_type.as_deref(), Some("S"));
+        assert!(fns[1].has_self);
+        assert_eq!(fns[2].name, "assoc");
+        assert!(!fns[2].has_self);
+        assert_eq!(fns[3].name, "clone");
+        assert_eq!(fns[3].impl_type.as_deref(), Some("S"), "trait impl type");
+    }
+
+    #[test]
+    fn body_spans_enclose_their_code_and_nothing_else() {
+        let src = "fn a() { inner(); }\nfn b() { other(); }\n";
+        let lexed = lex(src);
+        let fns = parse_fns(&lexed);
+        let inner = src.find("inner").unwrap();
+        let other = src.find("other").unwrap();
+        assert_eq!(innermost_fn(&fns, inner), Some(0));
+        assert_eq!(innermost_fn(&fns, other), Some(1));
+        assert_eq!(innermost_fn(&fns, 0), None, "the `fn` keyword itself");
+    }
+
+    #[test]
+    fn nested_fns_attribute_to_the_innermost_body() {
+        let src = "fn outer() {\n    fn inner() { deep(); }\n    shallow();\n}\n";
+        let lexed = lex(src);
+        let fns = parse_fns(&lexed);
+        assert_eq!(fns.len(), 2);
+        let deep = src.find("deep").unwrap();
+        let shallow = src.find("shallow").unwrap();
+        assert_eq!(fns[innermost_fn(&fns, deep).unwrap()].name, "inner");
+        assert_eq!(fns[innermost_fn(&fns, shallow).unwrap()].name, "outer");
+    }
+
+    #[test]
+    fn generic_fns_and_where_clauses_parse() {
+        let src = "fn g<T: Clone>(x: T) -> Vec<T>\nwhere\n    T: Send,\n{ body() }\n";
+        let lexed = lex(src);
+        let fns = parse_fns(&lexed);
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].name, "g");
+        assert!(fns[0].contains(src.find("body").unwrap()));
+    }
+
+    #[test]
+    fn trait_signatures_have_empty_bodies() {
+        let src =
+            "trait T {\n    fn sig(&self) -> u32;\n    fn with_default(&self) -> u32 { 1 }\n}\n";
+        let lexed = lex(src);
+        let fns = parse_fns(&lexed);
+        assert_eq!(fns.len(), 2);
+        assert_eq!(fns[0].name, "sig");
+        assert_eq!(fns[0].body.0, fns[0].body.1, "no body span");
+        assert_eq!(fns[1].name, "with_default");
+        assert!(fns[1].body.1 > fns[1].body.0);
+    }
+
+    #[test]
+    fn brace_pairs_match() {
+        let src = "fn a() { if x { y(); } }";
+        let lexed = lex(src);
+        let toks = lexed.tokens();
+        let pairs = brace_pairs(&toks);
+        let outer_open = src.find('{').unwrap();
+        assert_eq!(pairs.get(&outer_open), Some(&src.len()));
+    }
+}

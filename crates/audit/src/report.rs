@@ -1,0 +1,96 @@
+//! Rendering audit results for machines.
+//!
+//! The JSON schema is stable and versioned (`wm-audit/v1`) so CI
+//! artifacts and editor integrations can parse it without tracking the
+//! binary:
+//!
+//! ```json
+//! {
+//!   "schema": "wm-audit/v1",
+//!   "files": 64,
+//!   "rules": ["panic-paths", "..."],
+//!   "violations": [
+//!     {"file": "...", "line": 7, "rule": "...", "message": "...",
+//!      "witness": ["..."]}
+//!   ]
+//! }
+//! ```
+//!
+//! Violations appear in the audit's sorted order; `witness` is always
+//! present (empty for token findings). The renderer is hand-rolled —
+//! the crate is zero-dependency by design — and deterministic:
+//! byte-identical output for identical findings.
+
+use crate::rules::Violation;
+
+/// Escape `s` as a JSON string body (no surrounding quotes).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render one `["a", "b"]` string array.
+fn string_array(items: &[String]) -> String {
+    let body: Vec<String> = items.iter().map(|w| format!("\"{}\"", escape(w))).collect();
+    format!("[{}]", body.join(", "))
+}
+
+/// Render the full `wm-audit/v1` report.
+pub fn render_json(violations: &[Violation], files: usize, rules: &[&str]) -> String {
+    let rule_names: Vec<String> = rules.iter().map(|r| (*r).to_string()).collect();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"wm-audit/v1\",\n");
+    out.push_str(&format!("  \"files\": {files},\n"));
+    out.push_str(&format!("  \"rules\": {},\n", string_array(&rule_names)));
+    if violations.is_empty() {
+        out.push_str("  \"violations\": []\n");
+    } else {
+        out.push_str("  \"violations\": [\n");
+        for (i, v) in violations.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \
+                 \"message\": \"{}\", \"witness\": {}}}{}\n",
+                escape(&v.file),
+                v.line,
+                escape(&v.rule),
+                escape(&v.message),
+                string_array(&v.witness),
+                if i + 1 < violations.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n");
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_json_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn empty_report_is_stable() {
+        let json = render_json(&[], 3, &["panic-paths"]);
+        assert!(json.contains("\"schema\": \"wm-audit/v1\""));
+        assert!(json.contains("\"files\": 3"));
+        assert!(json.contains("\"violations\": []"));
+    }
+}

@@ -28,6 +28,34 @@ pub struct Violation {
     pub rule: String,
     /// Human-readable diagnosis.
     pub message: String,
+    /// For graph findings, the proof path (one formatted step per
+    /// entry: a lock-order edge, or a call chain from a hot root).
+    /// Empty for token findings.
+    pub witness: Vec<String>,
+}
+
+impl Violation {
+    /// A witness-less violation.
+    pub fn new(
+        file: impl Into<String>,
+        line: usize,
+        rule: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Violation {
+        Violation {
+            file: file.into(),
+            line,
+            rule: rule.into(),
+            message: message.into(),
+            witness: Vec::new(),
+        }
+    }
+
+    /// Attach the proof path.
+    pub fn with_witness(mut self, witness: Vec<String>) -> Violation {
+        self.witness = witness;
+        self
+    }
 }
 
 impl std::fmt::Display for Violation {
@@ -42,9 +70,9 @@ impl std::fmt::Display for Violation {
 
 /// A parsed `audit:allow` annotation.
 #[derive(Debug)]
-struct Allow {
-    line: usize,
-    rules: Vec<String>,
+pub(crate) struct Allow {
+    pub(crate) line: usize,
+    pub(crate) rules: Vec<String>,
 }
 
 /// Parse every `audit:allow` annotation in a file's comments. A comment
@@ -69,6 +97,7 @@ fn parse_allows(file: &str, lexed: &Lexed, violations: &mut Vec<Violation>) -> V
                 line,
                 rule: "audit-allow".to_string(),
                 message: msg.to_string(),
+                witness: Vec::new(),
             });
         };
         let Some(inner) = rest.strip_prefix('(').and_then(|r| r.split_once(')')) else {
@@ -135,13 +164,13 @@ const PANIC_MACROS: &[&str] = &["panic", "todo", "unreachable", "unimplemented"]
 
 /// panic-paths: serving crates must not panic on non-test code paths.
 fn check_panic_paths(cfg: &AuditConfig, src: &SourceFile, lexed: &Lexed, out: &mut Vec<Violation>) {
-    if src.is_test_file || !cfg.panic_free_crates.contains(&src.crate_name) {
+    if !cfg.panic_free_crates.contains(&src.crate_name) {
         return;
     }
     let toks = lexed.tokens();
     let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
     for i in 0..toks.len() {
-        if lexed.in_test_code(toks[i].offset) {
+        if !src.is_live(lexed, toks[i].offset) {
             continue;
         }
         let mut hit: Option<String> = None;
@@ -170,6 +199,7 @@ fn check_panic_paths(cfg: &AuditConfig, src: &SourceFile, lexed: &Lexed, out: &m
                 line: lexed.line_of(toks[i].offset),
                 rule: "panic-paths".to_string(),
                 message,
+                witness: Vec::new(),
             });
         }
     }
@@ -193,6 +223,7 @@ fn check_lock_hygiene(src: &SourceFile, lexed: &Lexed, out: &mut Vec<Violation>)
                      `lock().unwrap_or_else(PoisonError::into_inner)`",
                     texts[i + 4]
                 ),
+                witness: Vec::new(),
             });
         }
     }
@@ -206,7 +237,7 @@ fn check_determinism(cfg: &AuditConfig, src: &SourceFile, lexed: &Lexed, out: &m
     let clock_allowed = cfg.clock_allowed_files.contains(&src.rel);
     let canonical = cfg.canonical_output_files.contains(&src.rel);
     for i in 0..toks.len() {
-        if src.is_test_file || lexed.in_test_code(toks[i].offset) {
+        if !src.is_live(lexed, toks[i].offset) {
             continue;
         }
         if !clock_allowed
@@ -222,6 +253,7 @@ fn check_determinism(cfg: &AuditConfig, src: &SourceFile, lexed: &Lexed, out: &m
                      replay nondeterministic",
                     texts[i]
                 ),
+                witness: Vec::new(),
             });
         }
         if canonical && (texts[i] == "HashMap" || texts[i] == "HashSet") {
@@ -234,6 +266,7 @@ fn check_determinism(cfg: &AuditConfig, src: &SourceFile, lexed: &Lexed, out: &m
                      randomized; use `BTreeMap`/`BTreeSet` or a sorted Vec",
                     texts[i]
                 ),
+                witness: Vec::new(),
             });
         }
     }
@@ -248,12 +281,12 @@ fn check_unsafe(cfg: &AuditConfig, src: &SourceFile, lexed: &Lexed, out: &mut Ve
     if !allowed {
         for (i, t) in toks.iter().enumerate() {
             if texts[i] == "unsafe" {
-                out.push(Violation {
-                    file: src.rel.clone(),
-                    line: lexed.line_of(t.offset),
-                    rule: "unsafe-confinement".to_string(),
-                    message: "`unsafe` outside the confined FFI allowlist".to_string(),
-                });
+                out.push(Violation::new(
+                    &src.rel,
+                    lexed.line_of(t.offset),
+                    "unsafe-confinement",
+                    "`unsafe` outside the confined FFI allowlist",
+                ));
             }
         }
     }
@@ -266,12 +299,12 @@ fn check_unsafe(cfg: &AuditConfig, src: &SourceFile, lexed: &Lexed, out: &mut Ve
             )
         });
         if !has_forbid {
-            out.push(Violation {
-                file: src.rel.clone(),
-                line: 1,
-                rule: "unsafe-confinement".to_string(),
-                message: "lib crate root is missing `#![forbid(unsafe_code)]`".to_string(),
-            });
+            out.push(Violation::new(
+                &src.rel,
+                1,
+                "unsafe-confinement",
+                "lib crate root is missing `#![forbid(unsafe_code)]`",
+            ));
         }
     }
 }
@@ -284,24 +317,24 @@ fn check_protocol_drift(cfg: &AuditConfig, sources: &[SourceFile], out: &mut Vec
         return;
     }
     let Some(proto) = sources.iter().find(|s| s.rel == cfg.protocol_file) else {
-        out.push(Violation {
-            file: cfg.protocol_file.clone(),
-            line: 1,
-            rule: "protocol-drift".to_string(),
-            message: "protocol file not found in workspace".to_string(),
-        });
+        out.push(Violation::new(
+            &cfg.protocol_file,
+            1,
+            "protocol-drift",
+            "protocol file not found in workspace",
+        ));
         return;
     };
     let lexed = lex(&proto.text);
     let toks = lexed.tokens();
     let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
     let Some(anchor) = (0..toks.len()).find(|&i| texts[i] == "KNOWN_OPS") else {
-        out.push(Violation {
-            file: cfg.protocol_file.clone(),
-            line: 1,
-            rule: "protocol-drift".to_string(),
-            message: "no `KNOWN_OPS` list found to anchor the op inventory".to_string(),
-        });
+        out.push(Violation::new(
+            &cfg.protocol_file,
+            1,
+            "protocol-drift",
+            "no `KNOWN_OPS` list found to anchor the op inventory",
+        ));
         return;
     };
     let anchor_off = toks[anchor].offset;
@@ -318,12 +351,12 @@ fn check_protocol_drift(cfg: &AuditConfig, sources: &[SourceFile], out: &mut Vec
         .map(|s| s.text.as_str())
         .collect();
     if code_ops.is_empty() {
-        out.push(Violation {
-            file: cfg.protocol_file.clone(),
-            line: anchor_line,
-            rule: "protocol-drift".to_string(),
-            message: "`KNOWN_OPS` holds no op strings".to_string(),
-        });
+        out.push(Violation::new(
+            &cfg.protocol_file,
+            anchor_line,
+            "protocol-drift",
+            "`KNOWN_OPS` holds no op strings",
+        ));
         return;
     }
 
@@ -368,6 +401,7 @@ fn check_protocol_drift(cfg: &AuditConfig, sources: &[SourceFile], out: &mut Vec
                 "README has no {:?} section to check the op inventory against",
                 cfg.readme_ops_heading
             ),
+            witness: Vec::new(),
         });
         return;
     }
@@ -378,12 +412,12 @@ fn check_protocol_drift(cfg: &AuditConfig, sources: &[SourceFile], out: &mut Vec
     }
     for op in &expected {
         if !readme_ops.iter().any(|(r, _)| r == op) {
-            out.push(Violation {
-                file: cfg.readme_file.clone(),
-                line: heading_line,
-                rule: "protocol-drift".to_string(),
-                message: format!("op {op:?} is dispatched in code but missing from the ops table"),
-            });
+            out.push(Violation::new(
+                &cfg.readme_file,
+                heading_line,
+                "protocol-drift",
+                format!("op {op:?} is dispatched in code but missing from the ops table"),
+            ));
         }
     }
     for (op, line) in &readme_ops {
@@ -393,6 +427,7 @@ fn check_protocol_drift(cfg: &AuditConfig, sources: &[SourceFile], out: &mut Vec
                 line: *line,
                 rule: "protocol-drift".to_string(),
                 message: format!("ops table documents {op:?}, which no dispatcher implements"),
+                witness: Vec::new(),
             });
         }
     }
@@ -404,12 +439,12 @@ fn check_protocol_drift(cfg: &AuditConfig, sources: &[SourceFile], out: &mut Vec
             .map(|s| lex(&s.text).strings.iter().any(|c| c.text == *op))
             .unwrap_or(false);
         if !found {
-            out.push(Violation {
-                file: file.clone(),
-                line: 1,
-                rule: "protocol-drift".to_string(),
-                message: format!("serve-layer op {op:?} not matched anywhere in this file"),
-            });
+            out.push(Violation::new(
+                file,
+                1,
+                "protocol-drift",
+                format!("serve-layer op {op:?} not matched anywhere in this file"),
+            ));
         }
     }
 }
@@ -443,6 +478,18 @@ pub fn audit(cfg: &AuditConfig) -> std::io::Result<(Vec<Violation>, usize)> {
     }
     if cfg.rule_enabled("protocol-drift") {
         check_protocol_drift(cfg, &sources, &mut violations);
+    }
+    if cfg.rule_enabled("metric-drift") {
+        crate::analyses::check_metric_drift(cfg, &sources, &mut violations);
+    }
+    if cfg.rule_enabled("lock-order") || cfg.rule_enabled("hot-path-alloc") {
+        let model = crate::model::WorkspaceModel::build(&sources, &cfg.lock_helpers);
+        if cfg.rule_enabled("lock-order") {
+            crate::analyses::check_lock_order(cfg, &model, &mut violations);
+        }
+        if cfg.rule_enabled("hot-path-alloc") {
+            crate::analyses::check_hot_path_alloc(cfg, &model, &allows, &mut violations);
+        }
     }
     let mut surviving = apply_allows(violations, &allows);
     surviving.sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));

@@ -21,6 +21,17 @@ pub struct SourceFile {
     pub text: String,
 }
 
+impl SourceFile {
+    /// Whether `offset` is live (non-test) code: the file itself must
+    /// not be a test/bench/example file, and the offset must not fall
+    /// in a `#[cfg(test)]` region of `lexed`. Every pass — token rules
+    /// and the graph model alike — answers "is this test code?" through
+    /// this one method, so they can never drift.
+    pub fn is_live(&self, lexed: &crate::lexer::Lexed, offset: usize) -> bool {
+        !self.is_test_file && !lexed.in_test_code(offset)
+    }
+}
+
 /// Recursively collect `.rs` files under `dir` into `out`.
 fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     if !dir.is_dir() {

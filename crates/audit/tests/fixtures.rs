@@ -7,7 +7,8 @@
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use wm_audit::{audit, AuditConfig, Violation};
+use proptest::prelude::*;
+use wm_audit::{audit, render_json, AuditConfig, Violation, RULE_NAMES};
 
 /// A synthetic workspace on disk, torn down on drop.
 struct Fixture {
@@ -35,12 +36,17 @@ impl Fixture {
         self
     }
 
-    /// A config over this fixture with protocol-drift disabled and no
-    /// serve-layer ops (the drift tests opt back in explicitly).
+    /// A config over this fixture with the document-anchored and
+    /// graph-anchored workspace specifics disabled — no protocol file,
+    /// no serve-layer ops, no metrics heading, no hot functions — so
+    /// each rule's tests opt back in explicitly.
     fn cfg(&self) -> AuditConfig {
         let mut cfg = AuditConfig::workspace_defaults(&self.root);
         cfg.protocol_file = String::new();
         cfg.serve_layer_ops = Vec::new();
+        cfg.metric_readme_heading = String::new();
+        cfg.metric_consumer_files = Vec::new();
+        cfg.hot_path_functions = Vec::new();
         cfg
     }
 
@@ -412,12 +418,389 @@ fn protocol_drift_checks_serve_layer_op_exists_in_claimed_file() {
     assert_eq!(fx.run(&cfg), Vec::new());
 }
 
+// ----------------------------------------------------------------- lock-order
+
+#[test]
+fn lock_order_catches_a_seeded_two_lock_cycle_with_witness() {
+    let fx = Fixture::new();
+    fx.file(
+        "crates/matrix/src/locks.rs",
+        "use std::sync::{Mutex, PoisonError};\n\
+         pub struct S {\n    a: Mutex<u32>,\n    b: Mutex<u32>,\n}\n\
+         impl S {\n\
+         \x20   pub fn ab(&self) -> u32 {\n\
+         \x20       let g = self.a.lock().unwrap_or_else(PoisonError::into_inner);\n\
+         \x20       let h = self.b.lock().unwrap_or_else(PoisonError::into_inner);\n\
+         \x20       *g + *h\n\
+         \x20   }\n\
+         \x20   pub fn ba(&self) -> u32 {\n\
+         \x20       let g = self.b.lock().unwrap_or_else(PoisonError::into_inner);\n\
+         \x20       let h = self.a.lock().unwrap_or_else(PoisonError::into_inner);\n\
+         \x20       *g + *h\n\
+         \x20   }\n\
+         }\n",
+    );
+    let vs = fx.run(&fx.cfg());
+    // Reported once, at the first edge of the cycle (`a -> b`, i.e. the
+    // `b` acquisition under `a`'s guard on line 9).
+    assert_single(&vs, "lock-order", "crates/matrix/src/locks.rs", 9);
+    assert!(vs[0].message.contains("lock-order cycle"), "{}", vs[0]);
+    assert_eq!(vs[0].witness.len(), 2, "{:?}", vs[0].witness);
+    assert!(
+        vs[0].witness[0].contains("crates/matrix/src/locks.rs:9 (in S::ab)"),
+        "{:?}",
+        vs[0].witness
+    );
+    assert!(
+        vs[0].witness[1].contains("crates/matrix/src/locks.rs:14 (in S::ba)"),
+        "{:?}",
+        vs[0].witness
+    );
+}
+
+#[test]
+fn lock_order_sees_cycles_through_the_call_graph() {
+    let fx = Fixture::new();
+    // `top` holds `outer` while calling `low`, which locks `inner`; `rev`
+    // nests them the other way — a cycle no single function exhibits.
+    fx.file(
+        "crates/matrix/src/locks.rs",
+        "use std::sync::{Mutex, PoisonError};\n\
+         pub struct S {\n    outer: Mutex<u32>,\n    inner: Mutex<u32>,\n}\n\
+         impl S {\n\
+         \x20   pub fn top(&self) -> u32 {\n\
+         \x20       let g = self.outer.lock().unwrap_or_else(PoisonError::into_inner);\n\
+         \x20       self.low() + *g\n\
+         \x20   }\n\
+         \x20   pub fn low(&self) -> u32 {\n\
+         \x20       *self.inner.lock().unwrap_or_else(PoisonError::into_inner)\n\
+         \x20   }\n\
+         \x20   pub fn rev(&self) -> u32 {\n\
+         \x20       let g = self.inner.lock().unwrap_or_else(PoisonError::into_inner);\n\
+         \x20       let h = self.outer.lock().unwrap_or_else(PoisonError::into_inner);\n\
+         \x20       *g + *h\n\
+         \x20   }\n\
+         }\n",
+    );
+    let vs = fx.run(&fx.cfg());
+    assert_eq!(vs.len(), 1, "{vs:?}");
+    assert!(vs[0].message.contains("lock-order cycle"), "{}", vs[0]);
+    assert!(
+        vs[0].witness.iter().any(|w| w.contains("via S::low")),
+        "the indirect edge names its callee: {:?}",
+        vs[0].witness
+    );
+}
+
+#[test]
+fn lock_order_flags_guard_held_across_wait_on_a_different_lock() {
+    let fx = Fixture::new();
+    fx.file(
+        "crates/matrix/src/waits.rs",
+        "use std::sync::{Condvar, Mutex, PoisonError};\n\
+         pub struct S {\n    stats: Mutex<u32>,\n    slot: Mutex<u32>,\n    ready: Condvar,\n}\n\
+         impl S {\n\
+         \x20   pub fn bad(&self) -> u32 {\n\
+         \x20       let stats = self.stats.lock().unwrap_or_else(PoisonError::into_inner);\n\
+         \x20       let mut slot = self.slot.lock().unwrap_or_else(PoisonError::into_inner);\n\
+         \x20       slot = self.ready.wait(slot).unwrap_or_else(PoisonError::into_inner);\n\
+         \x20       *stats + *slot\n\
+         \x20   }\n\
+         \x20   pub fn good(&self) -> u32 {\n\
+         \x20       let mut slot = self.slot.lock().unwrap_or_else(PoisonError::into_inner);\n\
+         \x20       slot = self.ready.wait(slot).unwrap_or_else(PoisonError::into_inner);\n\
+         \x20       *slot\n\
+         \x20   }\n\
+         }\n",
+    );
+    let vs = fx.run(&fx.cfg());
+    // `good` passes its own guard to the wait — sanctioned. `bad` holds
+    // `stats` across a wait that can only release `slot`.
+    assert_single(&vs, "lock-order", "crates/matrix/src/waits.rs", 11);
+    assert!(
+        vs[0].message.contains("held across `Condvar::wait`"),
+        "{}",
+        vs[0]
+    );
+    assert!(
+        vs[0].witness[0].contains("`stats` acquired at"),
+        "{:?}",
+        vs[0].witness
+    );
+}
+
+#[test]
+fn lock_order_flags_guard_held_across_blocking_call() {
+    let fx = Fixture::new();
+    fx.file(
+        "crates/matrix/src/blocking.rs",
+        "use std::io::Write;\n\
+         use std::sync::{Mutex, PoisonError};\n\
+         pub struct S {\n    stats: Mutex<u32>,\n}\n\
+         impl S {\n\
+         \x20   pub fn bad(&self, w: &mut impl Write) {\n\
+         \x20       let g = self.stats.lock().unwrap_or_else(PoisonError::into_inner);\n\
+         \x20       let _ = w.write_all(&[1u8]);\n\
+         \x20       drop(g);\n\
+         \x20   }\n\
+         }\n",
+    );
+    let vs = fx.run(&fx.cfg());
+    assert_single(&vs, "lock-order", "crates/matrix/src/blocking.rs", 9);
+    assert!(
+        vs[0].message.contains("blocking call `.write_all"),
+        "{}",
+        vs[0]
+    );
+}
+
+// --------------------------------------------------------------- metric-drift
+
+/// A fixture with one well-documented metric, plus a config that points
+/// metric-drift at its README and consumer file.
+fn metric_cfg(fx: &Fixture) -> AuditConfig {
+    let mut cfg = fx.cfg();
+    cfg.metric_readme_heading = "#### Metrics".to_string();
+    cfg.metric_consumer_files = vec!["src/bench.rs".to_string()];
+    cfg.only_rules = vec!["metric-drift".to_string()];
+    cfg
+}
+
+#[test]
+fn metric_drift_flags_all_three_directions() {
+    let fx = Fixture::new();
+    fx.file(
+        "crates/matrix/src/m.rs",
+        "pub fn record(reg: &Registry) {\n\
+         \x20   reg.counter(\"good_total\", &[]).inc();\n\
+         \x20   reg.counter(\"rogue_total\", &[]).inc();\n\
+         }\n",
+    )
+    .file(
+        "src/bench.rs",
+        "pub fn check(reg: &Registry) {\n\
+         \x20   let _ = reg.counter(\"good_total\", &[]);\n\
+         \x20   let _ = reg.counter(\"phantom_total\", &[]);\n\
+         }\n",
+    )
+    .file(
+        "README.md",
+        "# T\n\n#### Metrics\n\n| Metric | Kind | Meaning |\n|---|---|---|\n\
+         | `good_total` | counter | fine |\n\
+         | `ghost_total` | counter | documented only |\n",
+    );
+    let vs = fx.run(&metric_cfg(&fx));
+    assert_eq!(vs.len(), 3, "{vs:?}");
+    // Documented but never registered, at its table row.
+    assert_eq!(
+        (vs[0].file.as_str(), vs[0].line),
+        ("README.md", 8),
+        "{vs:?}"
+    );
+    assert!(vs[0].message.contains("\"ghost_total\""), "{}", vs[0]);
+    // Registered but undocumented, at the registration site.
+    assert_eq!(
+        (vs[1].file.as_str(), vs[1].line),
+        ("crates/matrix/src/m.rs", 3),
+        "{vs:?}"
+    );
+    assert!(vs[1].message.contains("\"rogue_total\""), "{}", vs[1]);
+    // Consumed but never produced, at the consumer site.
+    assert_eq!(
+        (vs[2].file.as_str(), vs[2].line),
+        ("src/bench.rs", 3),
+        "{vs:?}"
+    );
+    assert!(vs[2].message.contains("\"phantom_total\""), "{}", vs[2]);
+}
+
+#[test]
+fn metric_drift_clean_when_all_three_agree() {
+    let fx = Fixture::new();
+    fx.file(
+        "crates/matrix/src/m.rs",
+        "pub fn record(reg: &Registry) {\n\
+         \x20   reg.counter(\"good_total\", &[]).inc();\n\
+         }\n",
+    )
+    .file(
+        "src/bench.rs",
+        "pub fn check(reg: &Registry) {\n\
+         \x20   let _ = reg.counter(\"good_total\", &[]);\n\
+         }\n",
+    )
+    .file(
+        "README.md",
+        "# T\n\n#### Metrics\n\n| Metric | Kind | Meaning |\n|---|---|---|\n\
+         | `good_total` | counter | fine |\n",
+    );
+    assert_eq!(fx.run(&metric_cfg(&fx)), Vec::new());
+}
+
+#[test]
+fn metric_drift_flags_missing_readme_section() {
+    let fx = Fixture::new();
+    fx.file(
+        "crates/matrix/src/m.rs",
+        "pub fn record(reg: &Registry) {\n\
+         \x20   reg.counter(\"good_total\", &[]).inc();\n\
+         }\n",
+    )
+    .file("README.md", "# T\n\nno metrics table\n");
+    let vs = fx.run(&metric_cfg(&fx));
+    assert_single(&vs, "metric-drift", "README.md", 1);
+}
+
+// ------------------------------------------------------------- hot-path-alloc
+
+/// Three-deep call chain: the allocation sits two calls below the
+/// configured hot root.
+const HOT_SRC: &str = "pub fn hot_root(n: usize) -> u64 {\n\
+                       \x20   mid(n)\n\
+                       }\n\
+                       fn mid(n: usize) -> u64 {\n\
+                       \x20   leaf(n)\n\
+                       }\n\
+                       fn leaf(n: usize) -> u64 {\n\
+                       \x20   let v = vec![0u8; n];\n\
+                       \x20   v.len() as u64\n\
+                       }\n";
+
+fn hot_cfg(fx: &Fixture) -> AuditConfig {
+    let mut cfg = fx.cfg();
+    cfg.hot_path_functions = vec!["hot_root".to_string()];
+    cfg.only_rules = vec!["hot-path-alloc".to_string()];
+    cfg
+}
+
+#[test]
+fn hot_path_alloc_flags_transitive_allocation_two_calls_deep() {
+    let fx = Fixture::new();
+    fx.file("crates/matrix/src/hot.rs", HOT_SRC);
+    let vs = fx.run(&hot_cfg(&fx));
+    assert_single(&vs, "hot-path-alloc", "crates/matrix/src/hot.rs", 8);
+    assert!(vs[0].message.contains("`vec!` allocates"), "{}", vs[0]);
+    assert_eq!(
+        vs[0].witness,
+        [
+            "hot_root (crates/matrix/src/hot.rs:1)",
+            "mid (crates/matrix/src/hot.rs:4)",
+            "leaf (crates/matrix/src/hot.rs:7)"
+        ],
+        "the witness walks the call chain from the root"
+    );
+}
+
+#[test]
+fn hot_path_alloc_suppressed_on_the_callee_line() {
+    let fx = Fixture::new();
+    // The allow sits on the allocation line deep in the callee — the
+    // transitive finding at the caller's root is silenced by it.
+    fx.file(
+        "crates/matrix/src/hot.rs",
+        &HOT_SRC.replace(
+            "    let v = vec![0u8; n];",
+            "    // audit:allow(hot-path-alloc): scratch reused by the caller\n    let v = vec![0u8; n];",
+        ),
+    );
+    assert_eq!(fx.run(&hot_cfg(&fx)), Vec::new());
+}
+
+#[test]
+fn hot_path_alloc_fn_decl_allow_cuts_the_subtree() {
+    let fx = Fixture::new();
+    // Sanctioning `mid` stops the walk: `leaf`'s allocation is never
+    // visited through it.
+    fx.file(
+        "crates/matrix/src/hot.rs",
+        &HOT_SRC.replace(
+            "fn mid(n: usize) -> u64 {",
+            "// audit:allow(hot-path-alloc): mid's subtree builds the product\nfn mid(n: usize) -> u64 {",
+        ),
+    );
+    assert_eq!(fx.run(&hot_cfg(&fx)), Vec::new());
+}
+
+#[test]
+fn hot_path_alloc_flags_a_missing_configured_root() {
+    let fx = Fixture::new();
+    fx.file(
+        "crates/matrix/src/hot.rs",
+        "pub fn unrelated() -> u32 { 1 }\n",
+    );
+    let vs = fx.run(&hot_cfg(&fx));
+    assert_eq!(vs.len(), 1, "{vs:?}");
+    assert!(
+        vs[0].message.contains("`hot_root` was not found"),
+        "{}",
+        vs[0]
+    );
+}
+
+// -------------------------------------------------- JSON output (satellite 1)
+
+#[test]
+fn json_report_snapshot() {
+    let fx = Fixture::new();
+    fx.file("crates/matrix/src/hot.rs", HOT_SRC);
+    let cfg = hot_cfg(&fx);
+    let (vs, files) = audit(&cfg).expect("fixture audit runs");
+    let json = render_json(&vs, files, &["hot-path-alloc"]);
+    let expected = "{\n\
+        \x20 \"schema\": \"wm-audit/v1\",\n\
+        \x20 \"files\": 1,\n\
+        \x20 \"rules\": [\"hot-path-alloc\"],\n\
+        \x20 \"violations\": [\n\
+        \x20   {\"file\": \"crates/matrix/src/hot.rs\", \"line\": 8, \"rule\": \"hot-path-alloc\", \
+        \"message\": \"`vec!` allocates on the hot path rooted at `hot_root (crates/matrix/src/hot.rs:1)`\", \
+        \"witness\": [\"hot_root (crates/matrix/src/hot.rs:1)\", \"mid (crates/matrix/src/hot.rs:4)\", \"leaf (crates/matrix/src/hot.rs:7)\"]}\n\
+        \x20 ]\n\
+        }";
+    assert_eq!(json, expected);
+}
+
+// ------------------------------------------------ determinism (satellite 4)
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The call-graph builder and every analysis on top of it use only
+    /// ordered containers: the same workspace must produce byte-identical
+    /// diagnostics (including witness paths) run after run.
+    #[test]
+    fn graph_diagnostics_are_deterministic(locks in 2usize..5) {
+        let fx = Fixture::new();
+        // A ring of `locks` functions, each nesting lock `i` then lock
+        // `(i + 1) % locks` — one seeded cycle.
+        let mut src = String::from("pub struct S;\n");
+        for i in 0..locks {
+            src.push_str(&format!(
+                "pub fn f{i}(s: &S) -> u32 {{\n    let g = lock_clean(&s.l{i});\n    let h = lock_clean(&s.l{});\n    *g + *h\n}}\n",
+                (i + 1) % locks
+            ));
+        }
+        fx.file("crates/matrix/src/ring.rs", &src);
+        let cfg = fx.cfg();
+        let (v1, f1) = audit(&cfg).expect("first run");
+        let (v2, f2) = audit(&cfg).expect("second run");
+        prop_assert!(!v1.is_empty(), "the seeded ring must be caught");
+        prop_assert!(v1.iter().any(|v| v.rule == "lock-order"), "{v1:?}");
+        prop_assert_eq!(
+            render_json(&v1, f1, RULE_NAMES),
+            render_json(&v2, f2, RULE_NAMES)
+        );
+    }
+}
+
 // ------------------------------------------------------------- the real thing
 
 #[test]
 fn real_workspace_passes_clean() {
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     let cfg = AuditConfig::workspace_defaults(&root);
+    // All eight rules run: nothing in the defaults narrows the set.
+    assert_eq!(RULE_NAMES.len(), 8);
+    assert!(cfg.only_rules.is_empty());
     let (violations, files) = audit(&cfg).expect("workspace audit runs");
     assert!(
         violations.is_empty(),

@@ -61,6 +61,7 @@ pub fn first_seed_group_operands(req: &RunRequest) -> Vec<(Matrix, Matrix)> {
         .iter()
         .enumerate()
         .map(|(i, &m)| generate_member_operands(req, m, i as u64, &mut root))
+        // audit:allow(hot-path-alloc): the operand pairs are this function's product
         .collect()
 }
 
@@ -264,6 +265,7 @@ impl RunRequest {
     /// streams, execution order — must agree they are the same request.
     /// For GEMM the raw canonical order already is the effective order
     /// and the sort is a no-op.
+    // audit:allow(hot-path-alloc): the member list is the product, bounded by group size
     pub fn member_dims(&self) -> Vec<GemmDims> {
         if self.group.is_empty() {
             return vec![self.dims()];

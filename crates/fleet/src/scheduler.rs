@@ -931,6 +931,7 @@ pub struct PackedRound {
 /// decreasing order fills each round's remainder with the biggest jobs
 /// that still fit (the classic bin-packing result — the in-crate
 /// regression test pins the comparison).
+// audit:allow(hot-path-alloc): the packed rounds are the product; scratch is bounded by jobs admitted per tick
 pub fn pack_ffd(budget_w: f64, priced: &[(usize, f64)]) -> Vec<PackedRound> {
     let mut order: Vec<usize> = (0..priced.len()).collect();
     order.sort_by(|&a, &b| priced[b].1.total_cmp(&priced[a].1).then(a.cmp(&b)));

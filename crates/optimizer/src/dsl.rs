@@ -192,6 +192,7 @@ impl PatternProgram {
     }
 
     /// Generate a matrix by running the pipeline.
+    // audit:allow(hot-path-alloc): generators build the operand matrices they return
     pub fn generate(
         &self,
         dtype: DType,

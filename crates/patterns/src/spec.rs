@@ -123,6 +123,7 @@ impl PatternSpec {
     /// The caller supplies the RNG; experiments fork decorrelated streams
     /// for the A and B operands from a per-seed root (the paper: "The A and
     /// B matrices use different seeds").
+    // audit:allow(hot-path-alloc): generators build the operand matrices they return
     pub fn generate(
         &self,
         dtype: DType,

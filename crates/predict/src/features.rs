@@ -100,7 +100,9 @@ pub struct FeatureAccumulator {
     first_word: Option<u64>,
     last_word: Option<u64>,
     byte_hist: ByteHistogram,
-    value_hist: Vec<u64>,
+    /// Fixed-size so a fresh accumulator costs zero heap allocations on
+    /// the per-request extraction path (hot-path-alloc audited).
+    value_hist: [u64; VALUE_BINS],
     /// Exact extrema of the quantized absolute values.
     max_abs: f32,
     min_nonzero_abs: f32,
@@ -128,7 +130,7 @@ impl FeatureAccumulator {
             first_word: None,
             last_word: None,
             byte_hist: ByteHistogram::new(),
-            value_hist: vec![0; VALUE_BINS],
+            value_hist: [0; VALUE_BINS],
             max_abs: 0.0,
             min_nonzero_abs: f32::INFINITY,
         }

@@ -116,6 +116,7 @@ pub struct Just<T: Clone>(pub T);
 
 impl<T: Clone> Strategy for Just<T> {
     type Value = T;
+    // audit:allow(hot-path-alloc): test-only shim, never on a serving path
     fn generate(&self, _rng: &mut TestRng) -> T {
         self.0.clone()
     }
@@ -327,6 +328,7 @@ pub mod prop {
 
         impl<S: Strategy> Strategy for VecStrategy<S> {
             type Value = Vec<S::Value>;
+            // audit:allow(hot-path-alloc): test-only shim, never on a serving path
             fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
                 let span = self.size.hi_inclusive - self.size.lo + 1;
                 let len = self.size.lo + rng.below(span as u64) as usize;
@@ -352,6 +354,7 @@ pub mod prop {
 
         impl<T: Clone> Strategy for Select<T> {
             type Value = T;
+            // audit:allow(hot-path-alloc): test-only shim, never on a serving path
             fn generate(&self, rng: &mut TestRng) -> T {
                 let i = rng.below(self.options.len() as u64) as usize;
                 self.options[i].clone()
