@@ -17,7 +17,12 @@
 /// let mut b = Xoshiro256pp::seed_from_u64(42);
 /// assert_eq!(a.next_u64(), b.next_u64()); // deterministic
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// `Copy` is deliberate: the lab's seed derivation snapshots stream
+/// roots (`let a_root = root;`) so that member operand streams can be
+/// re-derived independently of position — a copy is an explicit stream
+/// snapshot, never an accident, because every advancing method takes
+/// `&mut self`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Xoshiro256pp {
     s: [u64; 4],
 }

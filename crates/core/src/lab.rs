@@ -9,7 +9,7 @@ use wm_kernels::{
 use wm_matrix::Matrix;
 use wm_numerics::DType;
 use wm_patterns::PatternSpec;
-use wm_power::{evaluate_group, PowerBreakdown};
+use wm_power::{evaluate_group_refs, PowerBreakdown};
 use wm_telemetry::{measure, Measurement, MeasurementConfig, VmInstance};
 
 /// Seed-stream separator (golden-ratio increment, as in SplitMix64).
@@ -19,6 +19,71 @@ const SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
 /// `base_seed ^ 1`.
 fn seed_root(base_seed: u64, s: u64) -> Xoshiro256pp {
     Xoshiro256pp::seed_from_u64(base_seed ^ (s.wrapping_mul(SEED_STRIDE).wrapping_add(s + 1)))
+}
+
+/// One seed's fixed operand-stream roots and measurement seed, derived
+/// *before* any member draws: the A root is the seed root as seeded, the
+/// B root is the seed root advanced one draw, and the measurement seed is
+/// the seed root's third draw.
+///
+/// Because the three are fixed up front, a member's operands and the
+/// telemetry seed no longer depend on how many members a request carries
+/// or on which members were freshly generated — a plain request draws
+/// exactly what it always did (`fork(0)` of draw 1, `fork(1)` of draw 2,
+/// measurement from draw 3), and every group member of ordinal 0 draws
+/// exactly what its own plain request would. That identity is what makes
+/// member-level memo reuse sound: a single-request cache entry *is* the
+/// group-member computation.
+#[derive(Debug, Clone, Copy)]
+struct SeedStreams {
+    a_root: Xoshiro256pp,
+    b_root: Xoshiro256pp,
+    measure_seed: u64,
+}
+
+fn seed_streams(base_seed: u64, s: u64) -> SeedStreams {
+    let mut root = seed_root(base_seed, s);
+    let a_root = root;
+    root.next_u64();
+    let b_root = root;
+    root.next_u64();
+    SeedStreams {
+        a_root,
+        b_root,
+        measure_seed: root.next_u64(),
+    }
+}
+
+/// The duplicate ordinal of canonical member `i`: how many members with
+/// identical effective dims precede it. Canonical order sorts equal dims
+/// adjacent, so a backward run scan suffices. Ordinals — not list
+/// positions — feed the operand fork tags, so a member's data depends
+/// only on its own shape and its rank among identical twins: member
+/// `(dims, ordinal 0)` draws exactly what the plain request of `dims`
+/// draws, while twin members still get decorrelated streams.
+fn ordinal_at(members: &[GemmDims], i: usize) -> u64 {
+    let mut ord = 0u64;
+    let mut j = i;
+    while j > 0 && members[j - 1] == members[i] {
+        ord += 1;
+        j -= 1;
+    }
+    ord
+}
+
+/// The canonical member walk of a request: every effective member with
+/// its duplicate ordinal, in execution order. This is the unit list that
+/// member-level caching keys off — `(dims, ordinal)` plus the request's
+/// shared knobs fully determine a member's operand streams.
+// audit:allow(hot-path-alloc): the walk list is the product, bounded by group size
+pub fn member_ordinals(req: &RunRequest) -> Vec<(GemmDims, u64)> {
+    let members = req.member_dims();
+    members
+        .iter()
+        .enumerate()
+        .map(|(i, &m)| (m, ordinal_at(&members, i)))
+        // audit:allow(hot-path-alloc): the walk list is the product
+        .collect()
 }
 
 /// Generate the operands of a request's **first seed** (seed index 0) —
@@ -36,7 +101,7 @@ fn seed_root(base_seed: u64, s: u64) -> Xoshiro256pp {
 /// operands, so any change to the seed derivation here automatically
 /// propagates to every consumer instead of silently diverging.
 pub fn first_seed_operands(req: &RunRequest) -> (Matrix, Matrix) {
-    let mut root = seed_root(req.base_seed, 0);
+    let streams = seed_streams(req.base_seed, 0);
     // The first member in *effective* canonical order — what the run
     // actually executes as member 0. (`dims()` would hand back the raw
     // canonical head, which can differ for grouped GEMV requests whose
@@ -46,47 +111,90 @@ pub fn first_seed_operands(req: &RunRequest) -> (Matrix, Matrix) {
     } else {
         req.dims()
     };
-    generate_member_operands(req, member, 0, &mut root)
+    generate_member_operands(req, member, 0, &streams)
+}
+
+/// Generate the first seed's operand pair of **one member**, addressed by
+/// its effective dims and duplicate ordinal (see [`member_ordinals`]) —
+/// the member-granular slice of [`first_seed_group_operands`], used to
+/// build per-member feature chunks that cache across requests. A member
+/// of ordinal 0 yields exactly [`first_seed_operands`] of the equivalent
+/// plain request.
+pub fn first_seed_member_operands(
+    req: &RunRequest,
+    member: GemmDims,
+    ordinal: u64,
+) -> (Matrix, Matrix) {
+    let streams = seed_streams(req.base_seed, 0);
+    generate_member_operands(req, member, ordinal, &streams)
 }
 
 /// Generate the first seed's operand pairs of **every member** of a
 /// request, in member order — the group generalization of
 /// [`first_seed_operands`] (for a plain request: one pair, identical to
-/// it). Member `i` draws from its own pair of decorrelated streams
-/// (forks `2i` and `2i + 1` of the seed root), so members never share
-/// data even when their shapes coincide.
+/// it). Each member draws from its own pair of streams tagged by its
+/// duplicate *ordinal* (forks `2o` and `2o + 1` of the fixed A/B roots),
+/// so twin members never share data while every ordinal-0 member draws
+/// what its own plain request would.
 pub fn first_seed_group_operands(req: &RunRequest) -> Vec<(Matrix, Matrix)> {
-    let mut root = seed_root(req.base_seed, 0);
-    req.member_dims()
+    let streams = seed_streams(req.base_seed, 0);
+    let members = req.member_dims();
+    members
         .iter()
         .enumerate()
-        .map(|(i, &m)| generate_member_operands(req, m, i as u64, &mut root))
+        .map(|(i, &m)| generate_member_operands(req, m, ordinal_at(&members, i), &streams))
         // audit:allow(hot-path-alloc): the operand pairs are this function's product
         .collect()
 }
 
-/// Generate one member's operand pair from the seed's RNG root (A from
-/// fork `2 * index`, the B matrix — or GEMV's x vector — from fork
-/// `2 * index + 1`; a plain request is member 0, so its forks are the
-/// historical 0 and 1).
+/// Generate one member's operand pair from the seed's fixed stream roots
+/// (A from fork `2 * ordinal` of the A root, the B matrix — or GEMV's x
+/// vector — from fork `2 * ordinal + 1` of the B root; a plain request is
+/// ordinal 0, so its forks are the historical 0 and 1 of the historical
+/// draws).
 fn generate_member_operands(
     req: &RunRequest,
     member: GemmDims,
-    index: u64,
-    root: &mut Xoshiro256pp,
+    ordinal: u64,
+    streams: &SeedStreams,
 ) -> (Matrix, Matrix) {
+    let mut a_root = streams.a_root;
     let a = req
         .pattern_a
-        .generate(req.dtype, member.n, member.k, &mut root.fork(2 * index));
+        .generate(req.dtype, member.n, member.k, &mut a_root.fork(2 * ordinal));
     let (b_rows, b_cols) = match req.kernel {
         KernelClass::Gemm if req.b_transposed => (member.m, member.k),
         KernelClass::Gemm => (member.k, member.m),
         KernelClass::Gemv => (member.k, 1),
     };
+    let mut b_root = streams.b_root;
     let b = req
         .pattern_b
-        .generate(req.dtype, b_rows, b_cols, &mut root.fork(2 * index + 1));
+        .generate(req.dtype, b_rows, b_cols, &mut b_root.fork(2 * ordinal + 1));
     (a, b)
+}
+
+/// Simulate one member's activity for **every seed** of `req` — the unit
+/// of member-level memo caching (`per_member[s]` is seed `s`'s record).
+///
+/// The records are bit-identical to what [`PowerLab::run`] simulates for
+/// this member, and device-independent (activity simulation never reads
+/// the GPU spec), so one cached entry answers the member on every device
+/// and VM instance. The entry is keyed by the request's shared knobs plus
+/// `(member, ordinal)`; notably a plain request is `(dims, 0)`, so single
+/// requests warm the cache for the groups that contain them.
+pub fn member_seed_activities(
+    req: &RunRequest,
+    member: GemmDims,
+    ordinal: u64,
+) -> Vec<ActivityRecord> {
+    (0..req.seeds)
+        .map(|s| {
+            let streams = seed_streams(req.base_seed, s);
+            let (a, b) = generate_member_operands(req, member, ordinal, &streams);
+            simulate_member_activity(req, member, &a, &b)
+        })
+        .collect()
 }
 
 /// Simulate one seed's kernel execution and return its activity record
@@ -509,32 +617,59 @@ impl PowerLab {
         &self.vm
     }
 
-    /// Execute a request: per seed, generate every member's operands,
-    /// simulate, evaluate power (a grouped request's members run
-    /// back-to-back as one unit — energies and runtimes sum, the governor
-    /// resolves once), and measure through telemetry; then average.
+    /// Execute a request: per member, generate every seed's operands and
+    /// simulate ([`member_seed_activities`]); then evaluate and measure
+    /// through [`PowerLab::run_from_activities`] (a grouped request's
+    /// members run back-to-back as one unit — energies and runtimes sum,
+    /// the governor resolves once), and average over seeds.
     pub fn run(&self, req: &RunRequest) -> RunResult {
         let members = req.member_dims();
+        let per_member: Vec<Vec<ActivityRecord>> = members
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| member_seed_activities(req, m, ordinal_at(&members, i)))
+            .collect();
+        let refs: Vec<&[ActivityRecord]> = per_member.iter().map(Vec::as_slice).collect();
+        self.run_from_activities(req, &refs)
+    }
+
+    /// Assemble a [`RunResult`] from precomputed per-member, per-seed
+    /// activity records (`per_member[i][s]`: canonical member `i`, seed
+    /// `s`) — the evaluate/measure half of [`PowerLab::run`] with the
+    /// O(bytes) simulation half factored out, so members answered from the
+    /// member-level memo cache skip straight here. Feeding it the records
+    /// [`member_seed_activities`] produces (fresh or cached — they are the
+    /// same records) yields a result bit-identical to [`PowerLab::run`]:
+    /// the measurement seed is fixed per seed index, independent of which
+    /// members were freshly simulated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_member` is empty or any member's record count
+    /// differs from `req.seeds`.
+    pub fn run_from_activities(
+        &self,
+        req: &RunRequest,
+        per_member: &[&[ActivityRecord]],
+    ) -> RunResult {
+        assert!(!per_member.is_empty(), "at least one member required");
+        assert!(
+            per_member.iter().all(|m| m.len() == req.seeds as usize),
+            "every member needs one activity record per seed"
+        );
         let mut powers = Vec::with_capacity(req.seeds as usize);
         let mut energies = Vec::with_capacity(req.seeds as usize);
         let mut runtimes = Vec::with_capacity(req.seeds as usize);
         let mut measurements = Vec::with_capacity(req.seeds as usize);
-        let mut merged: Vec<Option<ActivityRecord>> = vec![None; members.len()];
+        let mut merged: Vec<Option<ActivityRecord>> = vec![None; per_member.len()];
         let mut first_breakdown: Option<PowerBreakdown> = None;
         let mut throttled = false;
         let mut util_sum = 0.0;
 
         for s in 0..req.seeds {
-            let mut root = seed_root(req.base_seed, s);
-            let activities: Vec<ActivityRecord> = members
-                .iter()
-                .enumerate()
-                .map(|(i, &m)| {
-                    let (a, b) = generate_member_operands(req, m, i as u64, &mut root);
-                    simulate_member_activity(req, m, &a, &b)
-                })
-                .collect();
-            let breakdown = evaluate_group(&self.gpu, &activities);
+            let activities: Vec<&ActivityRecord> =
+                per_member.iter().map(|m| &m[s as usize]).collect();
+            let breakdown = evaluate_group_refs(&self.gpu, &activities);
             let iterations = req.iterations.unwrap_or_else(|| {
                 // Auto-size: ~1.6 s of simulated run, comfortably beyond
                 // the 0.5 s warmup trim.
@@ -545,7 +680,7 @@ impl PowerLab {
                 &breakdown,
                 iterations,
                 &self.vm,
-                root.next_u64(),
+                seed_streams(req.base_seed, s).measure_seed,
                 &self.measurement,
             );
             powers.push(m.mean_power_w);
@@ -554,10 +689,10 @@ impl PowerLab {
             util_sum += m.utilization_pct;
             throttled |= m.throttled;
             measurements.push(m);
-            for (slot, activity) in merged.iter_mut().zip(activities) {
+            for (slot, activity) in merged.iter_mut().zip(&activities) {
                 *slot = Some(match slot.take() {
-                    None => activity,
-                    Some(prev) => prev.merge(&activity),
+                    None => (*activity).clone(),
+                    Some(prev) => prev.merge(activity),
                 });
             }
             if first_breakdown.is_none() {
@@ -933,5 +1068,124 @@ mod tests {
         });
         assert_eq!(legacy.dims(), explicit.dims());
         assert_eq!(first_seed_operands(&legacy), first_seed_operands(&explicit));
+    }
+
+    #[test]
+    fn member_ordinals_count_equal_dims_in_canonical_order() {
+        let req = quick(DType::Fp16Tensor, PatternKind::Gaussian).with_group(vec![
+            GemmDims::square(64),
+            GemmDims::square(32),
+            GemmDims::square(64),
+            GemmDims::square(64),
+        ]);
+        let ords = member_ordinals(&req);
+        // Canonical order sorts the twins adjacent; ordinals restart at 0
+        // for each distinct shape.
+        assert_eq!(
+            ords,
+            vec![
+                (GemmDims::square(32), 0),
+                (GemmDims::square(64), 0),
+                (GemmDims::square(64), 1),
+                (GemmDims::square(64), 2),
+            ]
+        );
+        // A plain request is a 1-member walk at ordinal 0.
+        let plain = quick(DType::Fp16Tensor, PatternKind::Gaussian);
+        assert_eq!(member_ordinals(&plain), vec![(plain.dims(), 0)]);
+    }
+
+    #[test]
+    fn ordinal_zero_member_equals_the_plain_request() {
+        // Cache-reuse soundness: the first occurrence of a shape inside a
+        // group draws exactly the operands (and therefore simulates exactly
+        // the activity) of the plain single request of that shape. This is
+        // what lets a single-request memo entry answer a group member.
+        let members = vec![
+            GemmDims {
+                n: 96,
+                m: 32,
+                k: 160,
+            },
+            GemmDims::square(64),
+        ];
+        let grouped = quick(DType::Fp16Tensor, PatternKind::Gaussian)
+            .with_seeds(2)
+            .with_group(members.clone());
+        for &m in &members {
+            let plain = grouped.clone().with_group(vec![m]);
+            assert!(!plain.is_grouped());
+            assert_eq!(
+                first_seed_member_operands(&grouped, m, 0),
+                first_seed_operands(&plain),
+                "group member {m:?} at ordinal 0 must draw the plain request's operands"
+            );
+            assert_eq!(
+                member_seed_activities(&grouped, m, 0),
+                member_seed_activities(&plain, m, 0),
+                "activity records are request-shape independent for {m:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn member_seed_activities_are_what_run_executes() {
+        // The per-member unit of caching: walking `member_ordinals` through
+        // `member_seed_activities` reproduces the per-member activities a
+        // grouped run merges and reports.
+        let req = quick(DType::Fp16Tensor, PatternKind::Gaussian)
+            .with_seeds(1)
+            .with_group(vec![
+                GemmDims::square(64),
+                GemmDims {
+                    n: 32,
+                    m: 64,
+                    k: 96,
+                },
+            ]);
+        let r = PowerLab::new(a100_pcie()).run(&req);
+        let walked: Vec<ActivityRecord> = member_ordinals(&req)
+            .into_iter()
+            .map(|(m, ord)| member_seed_activities(&req, m, ord).remove(0))
+            .collect();
+        assert_eq!(r.member_activities, walked);
+    }
+
+    #[test]
+    fn run_from_activities_is_bit_identical_to_run() {
+        let lab = PowerLab::new(a100_pcie());
+        for req in [
+            quick(DType::Fp16Tensor, PatternKind::Gaussian),
+            quick(DType::Int8, PatternKind::Sparse { sparsity: 0.5 }).with_group(vec![
+                GemmDims::square(64),
+                GemmDims::square(64),
+                GemmDims {
+                    n: 96,
+                    m: 32,
+                    k: 160,
+                },
+            ]),
+        ] {
+            let cold = lab.run(&req);
+            let per_member: Vec<Vec<ActivityRecord>> = member_ordinals(&req)
+                .into_iter()
+                .map(|(m, ord)| member_seed_activities(&req, m, ord))
+                .collect();
+            let refs: Vec<&[ActivityRecord]> = per_member.iter().map(Vec::as_slice).collect();
+            let replayed = lab.run_from_activities(&req, &refs);
+            assert_eq!(
+                cold, replayed,
+                "replay from cached activities must be bit-identical"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one activity record per seed")]
+    fn run_from_activities_rejects_seed_mismatch() {
+        let req = quick(DType::Fp32, PatternKind::Gaussian).with_seeds(2);
+        let one_seed = member_seed_activities(&req.clone().with_seeds(1), req.dims(), 0);
+        let refs: Vec<&[ActivityRecord]> = vec![&one_seed];
+        let _ = PowerLab::new(a100_pcie()).run_from_activities(&req, &refs);
     }
 }

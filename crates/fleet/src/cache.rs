@@ -7,34 +7,48 @@
 //! (waits on the shard's condvar) instead of recomputing: identical
 //! queries never run `simulate` twice, which is the scheduler's
 //! acceptance-criterion counter.
+//!
+//! Two stores share the machinery:
+//!
+//! * the **result store** (`canonical_key -> Arc<RunResult>`): whole
+//!   requests, device- and VM-specific;
+//! * the **member store** (`member_activity_key -> Arc<Vec<ActivityRecord>>`):
+//!   one canonical group member's per-seed activity records, the unit the
+//!   O(bytes) simulation actually produces. Activity is device-independent,
+//!   so one member entry serves every device, and — because the seed
+//!   derivation fixes a member's operand streams by `(dims, ordinal)`
+//!   alone — a plain single request and a group containing the same member
+//!   share the entry. A grouped request answers covered members from here
+//!   and simulates only the *residue*.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 
 use wm_core::RunResult;
+use wm_kernels::ActivityRecord;
 
-enum Slot {
+enum Slot<T> {
     /// A worker is computing this entry; waiters sleep on the shard condvar.
     Pending,
-    /// The finished result.
-    Ready(Arc<RunResult>),
+    /// The finished value.
+    Ready(Arc<T>),
 }
 
-struct Shard {
-    slots: Mutex<HashMap<u64, Slot>>,
+struct Shard<T> {
+    slots: Mutex<HashMap<u64, Slot<T>>>,
     ready: Condvar,
 }
 
 /// Removes a stranded `Pending` slot if the owning computation unwinds,
 /// so waiters wake up and retry instead of blocking forever.
-struct PendingGuard<'a> {
-    shard: &'a Shard,
+struct PendingGuard<'a, T> {
+    shard: &'a Shard<T>,
     key: u64,
     armed: bool,
 }
 
-impl Drop for PendingGuard<'_> {
+impl<T> Drop for PendingGuard<'_, T> {
     fn drop(&mut self) {
         if self.armed {
             let mut slots = self
@@ -49,17 +63,23 @@ impl Drop for PendingGuard<'_> {
     }
 }
 
-/// Sharded memo cache: `key -> Arc<RunResult>`.
-pub struct MemoCache {
-    shards: Vec<Shard>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    joins: AtomicU64,
+/// How a [`ShardSet::get_or_compute`] call was served.
+enum Fetch {
+    /// The entry was ready on arrival.
+    Hit,
+    /// The caller waited on an in-flight computation, then took its result.
+    Joined,
+    /// The caller ran the computation itself.
+    Computed,
 }
 
-impl MemoCache {
-    /// A cache with `shards` shards (rounded up to a power of two).
-    pub fn new(shards: usize) -> Self {
+/// One keyed store: power-of-two shards of `key -> Pending | Ready(Arc<T>)`.
+struct ShardSet<T> {
+    shards: Vec<Shard<T>>,
+}
+
+impl<T> ShardSet<T> {
+    fn new(shards: usize) -> Self {
         let n = shards.max(1).next_power_of_two();
         Self {
             shards: (0..n)
@@ -68,13 +88,10 @@ impl MemoCache {
                     ready: Condvar::new(),
                 })
                 .collect(),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            joins: AtomicU64::new(0),
         }
     }
 
-    fn shard(&self, key: u64) -> &Shard {
+    fn shard(&self, key: u64) -> &Shard<T> {
         // Fold the high half into the low bits so shard choice mixes the
         // whole key and works for any power-of-two shard count.
         let mixed = key ^ (key >> 32);
@@ -82,42 +99,48 @@ impl MemoCache {
         &self.shards[idx]
     }
 
-    /// Whether `key` holds a *ready* entry. A probe, not a read: unlike
-    /// [`MemoCache::peek`] it counts nothing, so callers can classify
-    /// (e.g. the batch packer sifting cached repeats out of the rounds)
-    /// without inflating the hit statistics.
-    pub fn contains(&self, key: u64) -> bool {
+    fn contains(&self, key: u64) -> bool {
         let shard = self.shard(key);
         let slots = shard.slots.lock().unwrap_or_else(PoisonError::into_inner);
         matches!(slots.get(&key), Some(Slot::Ready(_)))
     }
 
-    /// Non-blocking lookup: `Some` (counted as a hit) iff the entry is
-    /// ready. Pending entries read as misses — use [`Self::get_or_compute`]
-    /// to join them.
-    pub fn peek(&self, key: u64) -> Option<Arc<RunResult>> {
+    /// Non-blocking, uncounted read of a ready entry.
+    fn peek(&self, key: u64) -> Option<Arc<T>> {
         let shard = self.shard(key);
         let slots = shard.slots.lock().unwrap_or_else(PoisonError::into_inner);
         match slots.get(&key) {
-            Some(Slot::Ready(v)) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(Arc::clone(v))
-            }
+            Some(Slot::Ready(v)) => Some(Arc::clone(v)),
             _ => None,
         }
     }
 
-    /// Look up `key`; on a miss, run `compute` (without holding the shard
-    /// lock) and publish the result. Returns the cached value and whether
-    /// this call was served from cache (`true`) or computed (`false`).
-    /// Concurrent callers with the same key block until the first finishes
-    /// and then count as cache hits (they never recompute). If `compute`
-    /// panics, the pending entry is removed and waiters are woken (one of
-    /// them will retry the computation); the panic propagates to the
-    /// caller.
-    pub fn get_or_compute<F>(&self, key: u64, compute: F) -> (Arc<RunResult>, bool)
+    /// Blocking read: wait out a `Pending` entry, return the ready value,
+    /// or `None` if the key is absent (including a computation that
+    /// unwound while we waited — the caller falls back to computing).
+    /// The bool is whether the caller actually waited.
+    fn wait_ready(&self, key: u64) -> Option<(Arc<T>, bool)> {
+        let shard = self.shard(key);
+        let mut slots = shard.slots.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut waited = false;
+        loop {
+            match slots.get(&key) {
+                Some(Slot::Ready(v)) => return Some((Arc::clone(v), waited)),
+                Some(Slot::Pending) => {
+                    waited = true;
+                    slots = shard
+                        .ready
+                        .wait(slots)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+                None => return None,
+            }
+        }
+    }
+
+    fn get_or_compute<F>(&self, key: u64, compute: F) -> (Arc<T>, Fetch)
     where
-        F: FnOnce() -> RunResult,
+        F: FnOnce() -> T,
     {
         let shard = self.shard(key);
         {
@@ -126,11 +149,8 @@ impl MemoCache {
             loop {
                 match slots.get(&key) {
                     Some(Slot::Ready(v)) => {
-                        self.hits.fetch_add(1, Ordering::Relaxed);
-                        if joined {
-                            self.joins.fetch_add(1, Ordering::Relaxed);
-                        }
-                        return (Arc::clone(v), true);
+                        let fetch = if joined { Fetch::Joined } else { Fetch::Hit };
+                        return (Arc::clone(v), fetch);
                     }
                     Some(Slot::Pending) => {
                         joined = true;
@@ -160,12 +180,10 @@ impl MemoCache {
         }
         guard.armed = false;
         shard.ready.notify_all();
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        (value, false)
+        (value, Fetch::Computed)
     }
 
-    /// Number of *ready* entries across all shards.
-    pub fn len(&self) -> usize {
+    fn ready_len(&self) -> usize {
         self.shards
             .iter()
             .map(|s| {
@@ -178,10 +196,147 @@ impl MemoCache {
             })
             .sum()
     }
+}
 
-    /// Whether the cache holds no ready entries.
+/// Sharded memo cache: whole-request results plus the member-granular
+/// activity index grouped requests draw partial reuse from.
+pub struct MemoCache {
+    results: ShardSet<RunResult>,
+    members: ShardSet<Vec<ActivityRecord>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    joins: AtomicU64,
+    member_hits: AtomicU64,
+    member_residues: AtomicU64,
+}
+
+impl MemoCache {
+    /// A cache with `shards` shards (rounded up to a power of two) in each
+    /// of the result and member stores.
+    pub fn new(shards: usize) -> Self {
+        Self {
+            results: ShardSet::new(shards),
+            members: ShardSet::new(shards),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            joins: AtomicU64::new(0),
+            member_hits: AtomicU64::new(0),
+            member_residues: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether `key` holds a *ready* entry. A probe, not a read: unlike
+    /// [`MemoCache::peek`] it counts nothing, so callers can classify
+    /// (e.g. the batch packer sifting cached repeats out of the rounds)
+    /// without inflating the hit statistics.
+    pub fn contains(&self, key: u64) -> bool {
+        self.results.contains(key)
+    }
+
+    /// Non-blocking lookup: `Some` (counted as a hit) iff the entry is
+    /// ready. Pending entries read as misses — use [`Self::get_or_compute`]
+    /// to join them.
+    pub fn peek(&self, key: u64) -> Option<Arc<RunResult>> {
+        let v = self.results.peek(key)?;
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(v)
+    }
+
+    /// Blocking lookup that waits out an in-flight computation: `Some`
+    /// (counted as a hit, and as a join if it actually waited) once the
+    /// entry is ready, `None` if the key is absent — including an owner
+    /// that unwound while we waited, in which case the caller proceeds to
+    /// [`Self::get_or_compute`] and retries the computation.
+    pub fn wait_ready(&self, key: u64) -> Option<Arc<RunResult>> {
+        let (v, waited) = self.results.wait_ready(key)?;
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        if waited {
+            self.joins.fetch_add(1, Ordering::Relaxed);
+        }
+        Some(v)
+    }
+
+    /// Look up `key`; on a miss, run `compute` (without holding the shard
+    /// lock) and publish the result. Returns the cached value and whether
+    /// this call was served from cache (`true`) or computed (`false`).
+    /// Concurrent callers with the same key block until the first finishes
+    /// and then count as cache hits (they never recompute). If `compute`
+    /// panics, the pending entry is removed and waiters are woken (one of
+    /// them will retry the computation); the panic propagates to the
+    /// caller.
+    pub fn get_or_compute<F>(&self, key: u64, compute: F) -> (Arc<RunResult>, bool)
+    where
+        F: FnOnce() -> RunResult,
+    {
+        let (value, fetch) = self.results.get_or_compute(key, compute);
+        match fetch {
+            Fetch::Computed => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                (value, false)
+            }
+            Fetch::Hit => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                (value, true)
+            }
+            Fetch::Joined => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.joins.fetch_add(1, Ordering::Relaxed);
+                (value, true)
+            }
+        }
+    }
+
+    /// Whether a member's activity unit is ready. Uncounted, like
+    /// [`Self::contains`].
+    pub fn member_contains(&self, key: u64) -> bool {
+        self.members.contains(key)
+    }
+
+    /// Non-blocking member lookup: `Some` (counted as a member hit) iff
+    /// the activity unit is ready.
+    pub fn member_peek(&self, key: u64) -> Option<Arc<Vec<ActivityRecord>>> {
+        let v = self.members.peek(key)?;
+        self.member_hits.fetch_add(1, Ordering::Relaxed);
+        Some(v)
+    }
+
+    /// Member-granular [`Self::get_or_compute`]: answer a canonical group
+    /// member's per-seed activity records from cache, or simulate the
+    /// *residue job* and publish it. Concurrent callers — a single request
+    /// and a group sharing the member, or two overlapping groups — dedup
+    /// exactly like result entries: one simulation, everyone else joins
+    /// and counts as a member hit. Returns the unit and whether it was
+    /// served from cache.
+    pub fn member_get_or_compute<F>(&self, key: u64, compute: F) -> (Arc<Vec<ActivityRecord>>, bool)
+    where
+        F: FnOnce() -> Vec<ActivityRecord>,
+    {
+        let (value, fetch) = self.members.get_or_compute(key, compute);
+        match fetch {
+            Fetch::Computed => {
+                self.member_residues.fetch_add(1, Ordering::Relaxed);
+                (value, false)
+            }
+            Fetch::Hit | Fetch::Joined => {
+                self.member_hits.fetch_add(1, Ordering::Relaxed);
+                (value, true)
+            }
+        }
+    }
+
+    /// Number of *ready* result entries across all shards.
+    pub fn len(&self) -> usize {
+        self.results.ready_len()
+    }
+
+    /// Whether the cache holds no ready result entries.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Number of *ready* member activity units across all shards.
+    pub fn member_len(&self) -> usize {
+        self.members.ready_len()
     }
 
     /// Calls served from cache (including in-flight joins).
@@ -198,24 +353,41 @@ impl MemoCache {
     pub fn joins(&self) -> u64 {
         self.joins.load(Ordering::Relaxed)
     }
+
+    /// Member lookups answered from a prior request's activity unit.
+    pub fn member_hits(&self) -> u64 {
+        self.member_hits.load(Ordering::Relaxed)
+    }
+
+    /// Member units that had to be simulated (residue jobs).
+    pub fn member_residues(&self) -> u64 {
+        self.member_residues.load(Ordering::Relaxed)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicUsize;
-    use wm_core::{PowerLab, RunRequest};
+    use wm_core::{member_seed_activities, PowerLab, RunRequest};
     use wm_gpu::spec::a100_pcie;
     use wm_kernels::Sampling;
     use wm_numerics::DType;
     use wm_patterns::{PatternKind, PatternSpec};
 
+    fn quick_request() -> RunRequest {
+        RunRequest::new(DType::Int8, 64, PatternSpec::new(PatternKind::Zeros))
+            .with_seeds(1)
+            .with_sampling(Sampling::Lattice { rows: 4, cols: 4 })
+    }
+
     fn quick_result() -> RunResult {
-        PowerLab::new(a100_pcie()).run(
-            &RunRequest::new(DType::Int8, 64, PatternSpec::new(PatternKind::Zeros))
-                .with_seeds(1)
-                .with_sampling(Sampling::Lattice { rows: 4, cols: 4 }),
-        )
+        PowerLab::new(a100_pcie()).run(&quick_request())
+    }
+
+    fn quick_unit() -> Vec<ActivityRecord> {
+        let req = quick_request();
+        member_seed_activities(&req, req.dims(), 0)
     }
 
     #[test]
@@ -272,5 +444,86 @@ mod tests {
         assert!(means.windows(2).all(|w| w[0] == w[1]));
         assert_eq!(cache.misses(), 1);
         assert_eq!(cache.hits(), 7);
+    }
+
+    #[test]
+    fn member_store_counts_residues_and_hits_independently() {
+        let cache = MemoCache::new(8);
+        let (a, hit_a) = cache.member_get_or_compute(11, quick_unit);
+        let (b, hit_b) = cache.member_get_or_compute(11, quick_unit);
+        assert!(!hit_a, "first member lookup is a residue job");
+        assert!(hit_b, "second member lookup reuses the unit");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.member_residues(), 1);
+        assert_eq!(cache.member_hits(), 1);
+        assert_eq!(cache.member_len(), 1);
+        assert!(cache.member_contains(11));
+        assert!(!cache.member_contains(12));
+        // member_peek counts; member_contains does not.
+        assert!(cache.member_peek(11).is_some());
+        assert_eq!(cache.member_hits(), 2);
+        // The member store never touches the result-store counters and
+        // vice versa.
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), 0);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn concurrent_member_lookups_simulate_once() {
+        let cache = Arc::new(MemoCache::new(8));
+        let computed = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..6 {
+            let cache = Arc::clone(&cache);
+            let computed = Arc::clone(&computed);
+            handles.push(std::thread::spawn(move || {
+                let (v, _) = cache.member_get_or_compute(3, || {
+                    computed.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    quick_unit()
+                });
+                v.len()
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 1, "one record per seed");
+        }
+        assert_eq!(computed.load(Ordering::Relaxed), 1, "member dedup failed");
+        assert_eq!(cache.member_residues(), 1);
+        assert_eq!(cache.member_hits(), 5);
+    }
+
+    #[test]
+    fn wait_ready_joins_an_in_flight_computation() {
+        let cache = Arc::new(MemoCache::new(4));
+        assert!(cache.wait_ready(9).is_none(), "absent key returns at once");
+        assert_eq!(cache.hits(), 0, "an absent wait counts nothing");
+        let owner = {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || {
+                cache.get_or_compute(9, || {
+                    std::thread::sleep(std::time::Duration::from_millis(30));
+                    quick_result()
+                })
+            })
+        };
+        // Spin until the owner has published its Pending slot, then wait
+        // it out.
+        let waiter = {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || loop {
+                if let Some(v) = cache.wait_ready(9) {
+                    return v.power.mean;
+                }
+                std::thread::yield_now();
+            })
+        };
+        let (owned, owner_hit) = owner.join().unwrap();
+        let waited_mean = waiter.join().unwrap();
+        assert!(!owner_hit);
+        assert_eq!(owned.power.mean, waited_mean);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1, "the waiter counts as one hit");
     }
 }

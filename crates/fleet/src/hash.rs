@@ -8,7 +8,7 @@
 //! the property test in `tests/cache_properties.rs` exercises this.
 
 use wm_core::RunRequest;
-use wm_gpu::{GpuSpec, MemoryKind};
+use wm_gpu::{GemmDims, GpuSpec, MemoryKind};
 use wm_kernels::{KernelClass, Sampling};
 use wm_numerics::DType;
 use wm_patterns::{PatternKind, PatternSpec};
@@ -268,6 +268,63 @@ pub fn canonical_key(req: &RunRequest, gpu: &GpuSpec, vm_id: u64) -> u64 {
     write_request(&mut h, req);
     write_gpu(&mut h, gpu);
     h.write_u64(vm_id);
+    h.finish()
+}
+
+// Leading domain tags keep the member-granular keys from ever colliding
+// with each other or with the request-level folds above (which start with
+// a 0/1 kernel tag byte).
+const MEMBER_REQUEST_DOMAIN: u8 = 0xA1;
+const MEMBER_ACTIVITY_DOMAIN: u8 = 0xA2;
+
+/// Fold the knobs that determine one canonical member's operand streams:
+/// the request-wide data shapers (kernel, dtype, patterns, transpose,
+/// base seed, sampling) plus the member's *effective* dims and its
+/// ordinal among equal-dims members in canonical order. Deliberately no
+/// group-structure fields: the seed derivation fixes each member's
+/// streams by `(dims, ordinal)` alone, so the same member inside any
+/// group — or standing alone as a plain request (ordinal 0) — draws the
+/// same data and may share one cache entry.
+fn write_member_fields(h: &mut CanonicalHasher, req: &RunRequest, member: GemmDims, ordinal: u64) {
+    h.write_u8(match req.kernel {
+        KernelClass::Gemm => 0,
+        KernelClass::Gemv => 1,
+    });
+    h.write_u8(dtype_tag(req.dtype));
+    h.write_usize(member.n);
+    h.write_usize(member.m);
+    h.write_usize(member.k);
+    h.write_u64(ordinal);
+    write_pattern(h, &req.pattern_a);
+    write_pattern(h, &req.pattern_b);
+    h.write_bool(req.b_transposed);
+    h.write_u64(req.base_seed);
+    write_sampling(h, req.sampling);
+}
+
+/// Device-independent key of one canonical member's first-seed operand
+/// stream, used for the member-granular feature-chunk cache. No `seeds`
+/// fold — feature extraction walks only the first seed, so requests
+/// differing only in seed count share each member's chunk. A plain
+/// request's single member is `(req.dims(), 0)` and hashes identically
+/// to a group member of those dims at ordinal 0: that aliasing is the
+/// point — single-request work answers group members and vice versa.
+pub fn member_request_key(req: &RunRequest, member: GemmDims, ordinal: u64) -> u64 {
+    let mut h = CanonicalHasher::new();
+    h.write_u8(MEMBER_REQUEST_DOMAIN);
+    write_member_fields(&mut h, req, member, ordinal);
+    h.finish()
+}
+
+/// Key of one canonical member's full per-seed activity unit (one
+/// [`wm_kernels::ActivityRecord`] per seed): the member stream fields
+/// plus `seeds`. Device-independent — simulation never reads the
+/// `GpuSpec` — so one entry serves every device and VM in the fleet.
+pub fn member_activity_key(req: &RunRequest, member: GemmDims, ordinal: u64) -> u64 {
+    let mut h = CanonicalHasher::new();
+    h.write_u8(MEMBER_ACTIVITY_DOMAIN);
+    write_member_fields(&mut h, req, member, ordinal);
+    h.write_u64(req.seeds);
     h.finish()
 }
 
@@ -555,6 +612,88 @@ mod tests {
         let with_device_a = canonical_key(&req(), &a100_pcie(), 0);
         let with_device_b = canonical_key(&req(), &v100_sxm2(), 0);
         assert_ne!(with_device_a, with_device_b);
+    }
+
+    #[test]
+    fn member_keys_alias_plain_and_group_spellings() {
+        // The load-bearing aliasing: a plain request's single member and
+        // the same dims at ordinal 0 inside any group share both member
+        // keys, so single-request cache entries answer group members.
+        let dims = GemmDims {
+            n: 256,
+            m: 64,
+            k: 512,
+        };
+        let plain = req().with_shape(dims);
+        let grouped = req().with_group(vec![dims, GemmDims::square(128)]);
+        assert_eq!(
+            member_request_key(&plain, dims, 0),
+            member_request_key(&grouped, dims, 0)
+        );
+        assert_eq!(
+            member_activity_key(&plain, dims, 0),
+            member_activity_key(&grouped, dims, 0)
+        );
+        // Group structure is invisible: a different sibling set changes
+        // nothing about this member's keys.
+        let other_group = req().with_group(vec![dims, GemmDims::square(32)]);
+        assert_eq!(
+            member_activity_key(&grouped, dims, 0),
+            member_activity_key(&other_group, dims, 0)
+        );
+    }
+
+    #[test]
+    fn member_keys_are_ordinal_and_field_sensitive() {
+        let dims = GemmDims::square(256);
+        let base_rk = member_request_key(&req(), dims, 0);
+        let base_ak = member_activity_key(&req(), dims, 0);
+        // Twin members (same dims, higher ordinal) draw different data.
+        assert_ne!(base_rk, member_request_key(&req(), dims, 1));
+        assert_ne!(base_ak, member_activity_key(&req(), dims, 1));
+        // Every data-shaping knob moves both keys.
+        for (rk, ak) in [
+            (
+                member_request_key(&req().with_base_seed(1), dims, 0),
+                member_activity_key(&req().with_base_seed(1), dims, 0),
+            ),
+            (
+                member_request_key(&req().with_b_transposed(false), dims, 0),
+                member_activity_key(&req().with_b_transposed(false), dims, 0),
+            ),
+            (
+                member_request_key(&req(), GemmDims::square(255), 0),
+                member_activity_key(&req(), GemmDims::square(255), 0),
+            ),
+            (
+                member_request_key(
+                    &req().with_pattern_b(PatternSpec::new(PatternKind::Zeros)),
+                    dims,
+                    0,
+                ),
+                member_activity_key(
+                    &req().with_pattern_b(PatternSpec::new(PatternKind::Zeros)),
+                    dims,
+                    0,
+                ),
+            ),
+        ] {
+            assert_ne!(base_rk, rk);
+            assert_ne!(base_ak, ak);
+        }
+        // Seeds: invisible to the chunk key (first-seed walk), load-bearing
+        // for the activity unit (one record per seed).
+        assert_ne!(base_ak, member_activity_key(&req().with_seeds(3), dims, 0));
+        assert_eq!(base_rk, member_request_key(&req().with_seeds(3), dims, 0));
+        // Iterations are a repeat count; activities never depend on them.
+        assert_eq!(
+            base_ak,
+            member_activity_key(&req().with_iterations(100), dims, 0)
+        );
+        // Domain separation: the two member folds never alias each other
+        // or the request-level keys on identical inputs.
+        assert_ne!(base_rk, base_ak);
+        assert_ne!(base_rk, request_key(&req()));
     }
 
     #[test]

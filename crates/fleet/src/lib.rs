@@ -73,12 +73,14 @@ pub mod scheduler;
 
 pub use cache::MemoCache;
 pub use device::{Fleet, FleetBuilder, FleetDevice};
-pub use hash::{canonical_key, request_key, CanonicalHasher};
+pub use hash::{
+    canonical_key, member_activity_key, member_request_key, request_key, CanonicalHasher,
+};
 pub use par::parallel_map;
 pub use placement::{
     place, place_learned, probe_activity, Placement, PlacementError, PredictionSource,
 };
-pub use protocol::{answer, answer_streamed, serve};
+pub use protocol::{answer, answer_streamed, answer_streamed_with_default, serve};
 pub use scheduler::{
     pack_ffd, BatchRound, DeviceStats, FleetError, FleetJob, FleetResponse, JobHandle, PackedRound,
     PredictOutcome, Scheduler, SchedulerStats, DEFAULT_TRACE_CAPACITY,

@@ -528,16 +528,37 @@ fn run_payload(r: &FleetResponse) -> Vec<(&'static str, Json)> {
         ]);
     } else {
         // A grouped run echoes its canonical member list instead of a
-        // single shape: the group executed as one unit.
+        // single shape: the group executed as one unit. Each member also
+        // carries its cache provenance — `true` members were answered
+        // from a previously simulated activity unit (the whole-result
+        // replay case is all-`true`), `false` members were this run's
+        // residue jobs.
+        let member_objs: Vec<Json> = r
+            .result
+            .member_activities
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                obj(vec![
+                    ("n", Json::Num(a.dims.n as f64)),
+                    ("m", Json::Num(a.dims.m as f64)),
+                    ("k", Json::Num(a.dims.k as f64)),
+                    (
+                        "cached",
+                        r.member_cached
+                            .get(i)
+                            .map(|&c| Json::Bool(c))
+                            .unwrap_or(Json::Null),
+                    ),
+                ])
+            })
+            .collect();
         fields.extend([
             (
                 "members",
                 Json::Num(r.result.member_activities.len() as f64),
             ),
-            (
-                "group",
-                group_json(r.result.member_activities.iter().map(|a| a.dims)),
-            ),
+            ("group", Json::Arr(member_objs)),
         ]);
     }
     fields.extend(vec![
@@ -575,6 +596,16 @@ fn run_payload(r: &FleetResponse) -> Vec<(&'static str, Json)> {
         ("measured_w", Json::Num(r.measured_w)),
         ("cache_hit", Json::Bool(r.cache_hit)),
     ]);
+    if let Some(d) = r.deadline_s {
+        // Echo the deadline the run carried, and be honest about whether
+        // execution consulted it. `predicted_w` is `None` exactly when the
+        // run skipped DVFS planning — a pinned job or a whole-result cache
+        // replay — so the deadline never influenced the outcome. Note the
+        // batch *packer* ignores deadlines fleet-wide regardless (see
+        // ROADMAP: deadline-aware packing).
+        fields.push(("deadline_us", Json::Num(d * 1e6)));
+        fields.push(("deadline_ignored", Json::Bool(r.predicted_w.is_none())));
+    }
     fields
 }
 
@@ -782,6 +813,20 @@ pub fn answer_streamed(
     sched: &Scheduler,
     emit: &mut dyn FnMut(&Json) -> std::io::Result<()>,
 ) -> std::io::Result<()> {
+    answer_streamed_with_default(v, sched, true, emit)
+}
+
+/// [`answer_streamed`] with an explicit default for a batch that omits
+/// `"stream"`: the TCP service streams by default (`true`), the stdio
+/// loop stays a blob by default (`false`) so existing one-line-per-request
+/// clients are unaffected — either transport honors an explicit
+/// `"stream"` flag, with identical round framing.
+pub fn answer_streamed_with_default(
+    v: &Json,
+    sched: &Scheduler,
+    default_stream: bool,
+    emit: &mut dyn FnMut(&Json) -> std::io::Result<()>,
+) -> std::io::Result<()> {
     if !matches!(opt_str(v, "op"), Ok(Some("batch"))) {
         return emit(&answer(v, sched));
     }
@@ -794,7 +839,9 @@ pub fn answer_streamed(
             tracer.start(rid, stage::PARSE).finish("error");
             emit(&with_request_id(err_response(id, &msg), rid))
         }
-        Ok(Some(false)) => emit(&with_request_id(answer_inner(v, sched, rid), rid)),
+        Ok(flag) if !flag.unwrap_or(default_stream) => {
+            emit(&with_request_id(answer_inner(v, sched, rid), rid))
+        }
         Ok(_) => answer_batch_streamed(v, sched, rid, id, emit),
     };
     sched
@@ -925,6 +972,14 @@ fn answer_inner(v: &Json, sched: &Scheduler, rid: u64) -> Json {
                     ("cache_hits", Json::Num(s.cache_hits as f64)),
                     ("cache_misses", Json::Num(s.cache_misses as f64)),
                     ("dedup_joins", Json::Num(s.dedup_joins as f64)),
+                    // Member-granular memo accounting: how many group
+                    // members were answered from previously simulated
+                    // activity units vs simulated fresh as residue jobs.
+                    ("member_cache_hits", Json::Num(s.member_cache_hits as f64)),
+                    (
+                        "member_residue_jobs",
+                        Json::Num(s.member_residue_jobs as f64),
+                    ),
                     ("steals", Json::Num(s.steals as f64)),
                     ("cached_results", Json::Num(sched.cached_results() as f64)),
                     // The budget-compliance witness and the packer's
@@ -1130,6 +1185,11 @@ fn answer_inner(v: &Json, sched: &Scheduler, rid: u64) -> Json {
 
 /// Serve JSON-lines requests from `reader` to `writer` until EOF. Blank
 /// lines are ignored; malformed JSON yields an error response.
+///
+/// A `batch` request answers as a single blob by default, but honors an
+/// explicit `"stream": true` with the TCP service's round framing — one
+/// line per packed round, terminated by `"last": true` — so stdio clients
+/// can opt into incremental results without a socket.
 pub fn serve(
     reader: impl BufRead,
     mut writer: impl Write,
@@ -1140,8 +1200,14 @@ pub fn serve(
         if line.trim().is_empty() {
             continue;
         }
-        let response = match Json::parse(&line) {
-            Ok(v) => answer(&v, sched),
+        match Json::parse(&line) {
+            Ok(v) => {
+                let mut emit = |resp: &Json| -> std::io::Result<()> {
+                    writeln!(writer, "{resp}")?;
+                    writer.flush()
+                };
+                answer_streamed_with_default(&v, sched, false, &mut emit)?;
+            }
             Err(e) => {
                 // Even unparseable lines consume a request id, so every
                 // response the daemon ever writes carries one and the
@@ -1149,11 +1215,12 @@ pub fn serve(
                 let tracer = sched.tracer();
                 let rid = tracer.next_request_id();
                 tracer.start(rid, stage::PARSE).finish("error");
-                with_request_id(err_response(Json::Null, &format!("parse error: {e}")), rid)
+                let response =
+                    with_request_id(err_response(Json::Null, &format!("parse error: {e}")), rid);
+                writeln!(writer, "{response}")?;
+                writer.flush()?;
             }
-        };
-        writeln!(writer, "{response}")?;
-        writer.flush()?;
+        }
     }
     Ok(())
 }
@@ -2085,6 +2152,103 @@ mod tests {
             );
             // The blob ran first, so the streamed repeat replays its cache.
             assert!(*cache_hit);
+        }
+    }
+
+    #[test]
+    fn grouped_runs_report_per_member_cache_provenance() {
+        let s = sched();
+        // Warm the 64-dim member with a plain single request: the member
+        // memo is spelling-agnostic, so a later group reuses it.
+        let single = r#"{"dtype": "fp16-t", "dim": 64, "pattern": "gaussian", "seeds": 1, "lattice": 4, "gpu": "a100"}"#;
+        assert_eq!(run_line(&s, single).get("ok"), Some(&Json::Bool(true)));
+        let group_line = r#"{"dtype": "fp16-t", "group": [{"dim": 96}, {"dim": 64}], "pattern": "gaussian", "seeds": 1, "lattice": 4, "gpu": "a100"}"#;
+        let first = run_line(&s, group_line);
+        assert_eq!(first.get("ok"), Some(&Json::Bool(true)), "{first}");
+        assert_eq!(first.get("cache_hit"), Some(&Json::Bool(false)));
+        let members = first.get("group").unwrap().as_arr().unwrap();
+        assert_eq!(members.len(), 2);
+        // Canonical member order: 64 before 96. The warmed member is a
+        // hit, the unseen one is this run's residue.
+        assert_eq!(members[0].get("n").unwrap().as_u64(), Some(64));
+        assert_eq!(members[0].get("cached"), Some(&Json::Bool(true)));
+        assert_eq!(members[1].get("n").unwrap().as_u64(), Some(96));
+        assert_eq!(members[1].get("cached"), Some(&Json::Bool(false)));
+        // A repeat is a whole-result replay: all members report cached.
+        let again = run_line(&s, group_line);
+        assert_eq!(again.get("cache_hit"), Some(&Json::Bool(true)));
+        for m in again.get("group").unwrap().as_arr().unwrap() {
+            assert_eq!(m.get("cached"), Some(&Json::Bool(true)), "{m}");
+        }
+        // Stats surface the member-granular counters.
+        let v = run_line(&s, r#"{"op": "stats"}"#);
+        let num = |key: &str| v.get(key).and_then(Json::as_f64).unwrap();
+        assert!(num("member_cache_hits") >= 1.0, "{v}");
+        assert!(num("member_residue_jobs") >= 1.0, "{v}");
+        // Plain (ungrouped) responses never echo per-member provenance.
+        assert!(run_line(&s, single).get("group").is_none());
+    }
+
+    #[test]
+    fn deadline_echo_reports_when_execution_ignored_it() {
+        let s = sched();
+        // Auto-placed with a deadline: DVFS planning consults it, so the
+        // response echoes the deadline as honored.
+        let auto_line = r#"{"dtype": "fp32", "dim": 64, "pattern": "zeros", "seeds": 1, "lattice": 4, "deadline_us": 50000}"#;
+        let v = run_line(&s, auto_line);
+        assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "{v}");
+        let us = v.get("deadline_us").and_then(Json::as_f64).unwrap();
+        assert!((us - 50000.0).abs() < 1e-6, "{v}");
+        assert_eq!(v.get("deadline_ignored"), Some(&Json::Bool(false)), "{v}");
+        // A cache replay never re-plans, so the deadline was ignored.
+        let replay = run_line(&s, auto_line);
+        assert_eq!(replay.get("cache_hit"), Some(&Json::Bool(true)));
+        assert_eq!(replay.get("deadline_ignored"), Some(&Json::Bool(true)));
+        // Pinned jobs run at boost without planning: ignored too.
+        let pinned = run_line(
+            &s,
+            r#"{"dtype": "fp32", "dim": 96, "pattern": "zeros", "seeds": 1, "lattice": 4, "gpu": "a100", "deadline_us": 50000}"#,
+        );
+        assert_eq!(pinned.get("ok"), Some(&Json::Bool(true)), "{pinned}");
+        assert_eq!(pinned.get("deadline_ignored"), Some(&Json::Bool(true)));
+        // No deadline, no echo.
+        let plain = run_line(&s, RUN_LINE);
+        assert!(plain.get("deadline_us").is_none());
+        assert!(plain.get("deadline_ignored").is_none());
+    }
+
+    #[test]
+    fn stdio_serve_streams_batches_on_explicit_opt_in() {
+        let s = sched();
+        let input = format!(
+            concat!(
+                r#"{{"id": 1, "op": "batch", "requests": [{run}]}}"#,
+                "\n",
+                r#"{{"id": 2, "op": "batch", "stream": true, "requests": [{run}, {run_b}]}}"#,
+                "\n",
+            ),
+            run = RUN_LINE,
+            run_b = RUN_LINE_B,
+        );
+        let mut out = Vec::new();
+        serve(input.as_bytes(), &mut out, &s).unwrap();
+        let lines: Vec<Json> = std::str::from_utf8(&out)
+            .unwrap()
+            .lines()
+            .map(|l| Json::parse(l).unwrap())
+            .collect();
+        // Default stays the single blob a one-line-per-request client
+        // expects; "stream": true opts into the TCP round framing.
+        assert!(lines.len() >= 3, "blob + at least two streamed lines");
+        assert_eq!(lines[0].get("id").and_then(Json::as_u64), Some(1));
+        assert!(lines[0].get("results").is_some(), "{:?}", lines[0]);
+        assert!(lines[0].get("round").is_none(), "{:?}", lines[0]);
+        let streamed = &lines[1..];
+        for (i, line) in streamed.iter().enumerate() {
+            assert_eq!(line.get("id").and_then(Json::as_u64), Some(2));
+            assert!(line.get("round").is_some(), "{line}");
+            let last = i + 1 == streamed.len();
+            assert_eq!(line.get("last"), Some(&Json::Bool(last)), "{line}");
         }
     }
 

@@ -40,13 +40,16 @@ use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use wm_core::{PowerLab, RunRequest, RunResult};
+use wm_core::{member_ordinals, member_seed_activities, PowerLab, RunRequest, RunResult};
 use wm_gpu::GemmDims;
 use wm_kernels::{ActivityRecord, KernelClass};
 use wm_obs::{stage, Histogram, Registry, Tracer};
 use wm_optimizer::DvfsPlan;
 use wm_power::{evaluate_group, group_runtime, predicted_breakdown, PowerBreakdown};
-use wm_predict::{features_for_request, FeatureVector, ModelStats, PowerPredictor, PredictorState};
+use wm_predict::{
+    features_from_member_chunks, member_feature_chunk, FeatureAccumulator, FeatureVector,
+    ModelStats, PowerPredictor, PredictorState,
+};
 
 /// Default span capacity of a scheduler's trace ring
 /// ([`Scheduler::with_observability`] overrides it).
@@ -65,7 +68,7 @@ fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 
 use crate::cache::MemoCache;
 use crate::device::Fleet;
-use crate::hash::{canonical_key, request_key};
+use crate::hash::{canonical_key, member_activity_key, member_request_key, request_key};
 use crate::placement::{
     place, place_learned, probe_activity, Placement, PlacementError, PredictionSource,
 };
@@ -147,6 +150,16 @@ pub struct FleetResponse {
     pub measured_w: f64,
     /// Whether the result came from the memo cache (or an in-flight join).
     pub cache_hit: bool,
+    /// Per-member cache provenance of a grouped request, in canonical
+    /// [`RunRequest::member_dims`] order: `true` for members answered
+    /// from a previously simulated activity unit (by a single request or
+    /// another group), `false` for residue jobs this run simulated. Empty
+    /// for plain requests; all-`true` when the whole result replayed from
+    /// the memo cache.
+    pub member_cached: Vec<bool>,
+    /// The job's DVFS deadline, echoed back so callers can audit what the
+    /// planner was (or was not) constrained by. `None` when unset.
+    pub deadline_s: Option<f64>,
     /// The measurement. Shared: identical queries return the *same*
     /// allocation, so equality is bit-exact by construction.
     pub result: Arc<RunResult>,
@@ -192,6 +205,11 @@ pub struct SchedulerStats {
     pub cache_misses: u64,
     /// Cache hits that waited on an identical in-flight computation.
     pub dedup_joins: u64,
+    /// Canonical group members answered from a prior request's cached
+    /// activity unit instead of re-simulating.
+    pub member_cache_hits: u64,
+    /// Canonical group members that had to be simulated (residue jobs).
+    pub member_residue_jobs: u64,
     /// Tasks a worker stole from a peer's deque.
     pub steals: u64,
     /// Batches that went through the FFD power packer (`run_batch`).
@@ -280,6 +298,13 @@ struct Inner {
     /// too, and one extraction serves placement, prediction, and the
     /// training feedback of every repeat.
     features: Mutex<HashMap<u64, Arc<FeatureVector>>>,
+    /// Member-keyed feature-chunk cache backing the request-keyed one:
+    /// one accumulated [`FeatureAccumulator`] per canonical member
+    /// operand stream ([`member_request_key`]), shared across every
+    /// request spelling that contains the member — a grouped request
+    /// whose members were featured before (alone or in other groups)
+    /// composes its vector without touching operand bytes.
+    feature_chunks: Mutex<HashMap<u64, Arc<FeatureAccumulator>>>,
     /// The shared online power predictor, trained from completed runs.
     predictor: Mutex<PowerPredictor>,
     /// Per-device execution accumulators (fresh computes only).
@@ -377,6 +402,7 @@ impl Scheduler {
             cache: MemoCache::new(16),
             probes: Mutex::new(HashMap::new()),
             features: Mutex::new(HashMap::new()),
+            feature_chunks: Mutex::new(HashMap::new()),
             predictor: Mutex::new(PowerPredictor::new()),
             device_accum: Mutex::new(vec![DeviceAccum::default(); n_devices]),
             queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
@@ -534,7 +560,11 @@ impl Scheduler {
                     return None;
                 }
                 // A repeat whose answer any device already caches replays
-                // without running: no draw, nothing to pack.
+                // without running: no draw, nothing to pack. This stays a
+                // whole-result check deliberately — a group whose members
+                // are all covered by the *member* store still evaluates
+                // and measures as a fresh run (committing its planned
+                // draw and training the predictor), so it must be packed.
                 for dev in inner.fleet.devices() {
                     if inner
                         .cache
@@ -637,6 +667,8 @@ impl Scheduler {
             cache_hits: self.inner.cache.hits(),
             cache_misses: self.inner.cache.misses(),
             dedup_joins: self.inner.cache.joins(),
+            member_cache_hits: self.inner.cache.member_hits(),
+            member_residue_jobs: self.inner.cache.member_residues(),
             steals: self.inner.steals.load(Ordering::Relaxed),
             packed_batches: self.inner.packed_batches.load(Ordering::Relaxed),
             pack_rounds: self.inner.pack_rounds.load(Ordering::Relaxed),
@@ -663,6 +695,10 @@ impl Scheduler {
             .store(s.cache_misses);
         reg.counter("fleet_cache_dedup_joins_total", &[])
             .store(s.dedup_joins);
+        reg.counter("fleet_member_cache_hits_total", &[])
+            .store(s.member_cache_hits);
+        reg.counter("fleet_member_residue_jobs_total", &[])
+            .store(s.member_residue_jobs);
         reg.counter("fleet_steals_total", &[]).store(s.steals);
         reg.counter("fleet_packed_batches_total", &[])
             .store(s.packed_batches);
@@ -1060,16 +1096,80 @@ fn probe(inner: &Inner, req: &RunRequest) -> Arc<Vec<ActivityRecord>> {
         .clone()
 }
 
+/// One canonical member's feature chunk, from the member-keyed chunk
+/// cache or a fresh accumulation over that member's first-seed operands.
+fn member_chunk(
+    inner: &Inner,
+    req: &RunRequest,
+    member: GemmDims,
+    ordinal: u64,
+) -> Arc<FeatureAccumulator> {
+    let key = member_request_key(req, member, ordinal);
+    if let Some(c) = lock_clean(&inner.feature_chunks).get(&key) {
+        return Arc::clone(c);
+    }
+    let chunk = Arc::new(member_feature_chunk(req, member, ordinal));
+    lock_clean(&inner.feature_chunks)
+        .entry(key)
+        .or_insert(chunk)
+        .clone()
+}
+
 fn request_features(inner: &Inner, req: &RunRequest) -> Arc<FeatureVector> {
     let key = request_key(req);
     if let Some(f) = lock_clean(&inner.features).get(&key) {
         return Arc::clone(f);
     }
-    let features = Arc::new(features_for_request(req));
+    // Compose from per-member chunks: members featured before (alone or
+    // inside other groups) are Arc clones out of the chunk cache; only
+    // the residue walks operand bytes, and a multi-member residue walks
+    // them chunk-parallel. Merging chunks in canonical member order is
+    // bit-identical to the sequential full-stream extraction — the
+    // mergeable-accumulator contract charges the chunk-boundary toggles.
+    let chunks: Vec<Arc<FeatureAccumulator>> =
+        crate::par::parallel_map(member_ordinals(req), |(m, ord)| {
+            member_chunk(inner, req, m, ord)
+        });
+    let refs: Vec<&FeatureAccumulator> = chunks.iter().map(Arc::as_ref).collect();
+    let features = Arc::new(features_from_member_chunks(req, &refs));
     lock_clean(&inner.features)
         .entry(key)
         .or_insert(features)
         .clone()
+}
+
+/// Execute a request at member granularity: answer each canonical member
+/// from the fleet-wide member activity store when a prior request — a
+/// single of the same shape, or another group sharing the member —
+/// already simulated it, simulate only the *residue* (chunk-parallel for
+/// multi-member groups), and assemble the run through
+/// [`PowerLab::run_from_activities`]. Bit-identical to a cold
+/// [`PowerLab::run`]: member operand streams and the per-seed measurement
+/// seed are fixed by the request alone, independent of which members were
+/// freshly simulated. Returns the result and the per-member cached flags
+/// in canonical member order.
+fn run_with_member_reuse(
+    inner: &Inner,
+    req: &RunRequest,
+    gpu: wm_gpu::GpuSpec,
+    vm_id: u64,
+) -> (RunResult, Vec<bool>) {
+    let units: Vec<(Arc<Vec<ActivityRecord>>, bool)> =
+        crate::par::parallel_map(member_ordinals(req), |(m, ord)| {
+            inner
+                .cache
+                .member_get_or_compute(member_activity_key(req, m, ord), || {
+                    member_seed_activities(req, m, ord)
+                })
+        });
+    let flags = units.iter().map(|(_, hit)| *hit).collect();
+    let refs: Vec<&[ActivityRecord]> = units.iter().map(|(u, _)| u.as_slice()).collect();
+    (
+        PowerLab::new(gpu)
+            .with_vm(vm_id)
+            .run_from_activities(req, &refs),
+        flags,
+    )
 }
 
 /// Placement with the request's canonical key as the tie salt: the
@@ -1198,18 +1298,26 @@ fn process(inner: &Inner, job: FleetJob) -> Result<FleetResponse, FleetError> {
             // re-placing. The learned model changes between calls, and a
             // model-nudged re-placement could route an identical repeat
             // to a different device — computing the same query twice and
-            // answering it twice differently.
+            // answering it twice differently. `wait_ready` also joins a
+            // twin still in flight on some device: the hit path must not
+            // fall through to feature extraction and placement it would
+            // throw away once the twin publishes.
             let lookup = tracer.start(rid, stage::CACHE_LOOKUP);
             let mut hit = None;
             for dev in inner.fleet.devices() {
                 let key = canonical_key(&job.request, &dev.gpu, dev.vm.id);
-                if let Some(result) = inner.cache.peek(key) {
+                if let Some(result) = inner.cache.wait_ready(key) {
                     hit = Some((dev, result));
                     break;
                 }
             }
             if let Some((dev, result)) = hit {
                 lookup.finish(format!("hit device={}", dev.id));
+                let member_cached = if job.request.is_grouped() {
+                    vec![true; job.request.member_dims().len()]
+                } else {
+                    Vec::new()
+                };
                 return Ok(FleetResponse {
                     request_id: rid,
                     device: dev.id,
@@ -1220,6 +1328,8 @@ fn process(inner: &Inner, job: FleetJob) -> Result<FleetResponse, FleetError> {
                     prediction: None,
                     measured_w: result.power.mean,
                     cache_hit: true,
+                    member_cached,
+                    deadline_s: job.deadline_s,
                     result,
                 });
             }
@@ -1258,7 +1368,16 @@ fn process(inner: &Inner, job: FleetJob) -> Result<FleetResponse, FleetError> {
         .ok_or(FleetError::UnknownDevice(device_id))?;
     let key = canonical_key(&job.request, &dev.gpu, dev.vm.id);
 
-    let respond = |result: Arc<RunResult>, cache_hit: bool| {
+    // Grouped responses carry per-member provenance; a whole-result
+    // replay means every member came from cache.
+    let all_members_cached = || {
+        if job.request.is_grouped() {
+            vec![true; job.request.member_dims().len()]
+        } else {
+            Vec::new()
+        }
+    };
+    let respond = |result: Arc<RunResult>, cache_hit: bool, member_cached: Vec<bool>| {
         let clock_scale = plan
             .as_ref()
             .and_then(|p| p.plan.as_ref())
@@ -1274,6 +1393,8 @@ fn process(inner: &Inner, job: FleetJob) -> Result<FleetResponse, FleetError> {
             prediction: plan.as_ref().map(|p| p.source),
             measured_w: result.power.mean,
             cache_hit,
+            member_cached,
+            deadline_s: job.deadline_s,
             result,
         }
     };
@@ -1286,11 +1407,11 @@ fn process(inner: &Inner, job: FleetJob) -> Result<FleetResponse, FleetError> {
         let lookup = tracer.start(rid, stage::CACHE_LOOKUP);
         if let Some(result) = inner.cache.peek(key) {
             lookup.finish(format!("hit device={device_id}"));
-            return Ok(respond(result, true));
+            return Ok(respond(result, true, all_members_cached()));
         }
         lookup.finish("miss");
     } else if let Some(result) = inner.cache.peek(key) {
-        return Ok(respond(result, true));
+        return Ok(respond(result, true, all_members_cached()));
     }
 
     // Reserve the planned draw for auto-placed jobs while computing
@@ -1305,13 +1426,24 @@ fn process(inner: &Inner, job: FleetJob) -> Result<FleetResponse, FleetError> {
     let gpu = dev.gpu.clone();
     let vm_id = dev.vm.id;
     let req = job.request.clone();
-    let (result, cache_hit) = inner
-        .cache
-        .get_or_compute(key, move || PowerLab::new(gpu).with_vm(vm_id).run(&req));
+    // Fresh computes report which members the member store answered; the
+    // side channel stays `None` on a join (the closure never ran — the
+    // twin that computed the result covered every member for us).
+    let mut fresh_member_flags: Option<Vec<bool>> = None;
+    let (result, cache_hit) = inner.cache.get_or_compute(key, || {
+        let (res, flags) = run_with_member_reuse(inner, &req, gpu, vm_id);
+        fresh_member_flags = Some(flags);
+        res
+    });
     exec.finish(format!(
         "{} device={device_id}",
         if cache_hit { "join" } else { "fresh" }
     ));
+    let member_cached = match fresh_member_flags {
+        Some(flags) if job.request.is_grouped() => flags,
+        Some(_) => Vec::new(),
+        None => all_members_cached(),
+    };
 
     if !cache_hit {
         // Fresh compute: account the device's execution and close the
@@ -1340,7 +1472,7 @@ fn process(inner: &Inner, job: FleetJob) -> Result<FleetResponse, FleetError> {
         );
         feedback.finish(format!("{} {}", dev.gpu.name, job.request.kernel.label()));
     }
-    Ok(respond(result, cache_hit))
+    Ok(respond(result, cache_hit, member_cached))
 }
 
 #[cfg(test)]
@@ -2052,6 +2184,92 @@ mod tests {
         // The grouped request trains its kernel's model like any other
         // fresh run (one observation per *group*, not per member).
         assert_eq!(sched.model_stats()[0].observations, 2);
+    }
+
+    #[test]
+    fn singles_warm_a_group_that_executes_only_the_residue() {
+        let sched = Scheduler::with_workers(Fleet::homogeneous(a100_pcie(), 2), 2);
+        // Warm two member shapes with plain singles. Each is itself one
+        // residue job in the member store; plain responses never carry
+        // member flags.
+        for d in [64, 96] {
+            let r = sched
+                .submit(FleetJob::new(
+                    quick(PatternKind::Gaussian, 42).with_shape(GemmDims::square(d)),
+                ))
+                .recv()
+                .unwrap();
+            assert!(r.member_cached.is_empty(), "plain runs carry no flags");
+        }
+        let s = sched.stats();
+        assert_eq!((s.member_cache_hits, s.member_residue_jobs), (0, 2));
+        // The group overlaps both singles: only the 128 member runs.
+        let warm = sched
+            .submit(FleetJob::new(quick(PatternKind::Gaussian, 42).with_group(
+                vec![
+                    GemmDims::square(128),
+                    GemmDims::square(64),
+                    GemmDims::square(96),
+                ],
+            )))
+            .recv()
+            .unwrap();
+        assert!(!warm.cache_hit);
+        assert_eq!(
+            warm.member_cached,
+            vec![true, true, false],
+            "canonical member order is 64, 96, 128"
+        );
+        let s = sched.stats();
+        assert_eq!((s.member_cache_hits, s.member_residue_jobs), (2, 3));
+        // Full overlap: a distinct group spelled entirely from warmed
+        // members misses the whole-result cache but simulates nothing.
+        let full = sched
+            .submit(FleetJob::new(
+                quick(PatternKind::Gaussian, 42)
+                    .with_group(vec![GemmDims::square(96), GemmDims::square(64)]),
+            ))
+            .recv()
+            .unwrap();
+        assert!(!full.cache_hit, "distinct group: no whole-result entry");
+        assert_eq!(full.member_cached, vec![true, true]);
+        let s = sched.stats();
+        assert_eq!(
+            (s.member_cache_hits, s.member_residue_jobs),
+            (4, 3),
+            "zero new member simulations on full overlap"
+        );
+        // A repeat of the first group replays the whole result, and the
+        // replay reports every member as cached.
+        let replay = sched
+            .submit(FleetJob::new(quick(PatternKind::Gaussian, 42).with_group(
+                vec![
+                    GemmDims::square(64),
+                    GemmDims::square(96),
+                    GemmDims::square(128),
+                ],
+            )))
+            .recv()
+            .unwrap();
+        assert!(replay.cache_hit);
+        assert_eq!(replay.member_cached, vec![true, true, true]);
+        // Reuse must be invisible in the numbers: a cold scheduler's
+        // fresh run of the same group is bit-identical.
+        let cold = Scheduler::with_workers(Fleet::homogeneous(a100_pcie(), 2), 2);
+        let fresh = cold
+            .submit(FleetJob::new(quick(PatternKind::Gaussian, 42).with_group(
+                vec![
+                    GemmDims::square(96),
+                    GemmDims::square(128),
+                    GemmDims::square(64),
+                ],
+            )))
+            .recv()
+            .unwrap();
+        assert_eq!(
+            *fresh.result, *warm.result,
+            "partial member reuse changed the answer"
+        );
     }
 
     #[test]

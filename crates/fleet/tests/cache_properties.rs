@@ -4,8 +4,11 @@
 
 use proptest::prelude::*;
 use std::sync::Arc;
-use wm_core::RunRequest;
-use wm_fleet::{canonical_key, request_key, Fleet, FleetJob, MemoCache, Scheduler};
+use wm_core::{member_ordinals, RunRequest};
+use wm_fleet::{
+    canonical_key, member_activity_key, member_request_key, request_key, Fleet, FleetJob,
+    MemoCache, Scheduler,
+};
 use wm_gpu::spec::{a100_pcie, h100_sxm5, rtx6000, v100_sxm2};
 use wm_gpu::{GemmDims, GpuSpec};
 use wm_kernels::Sampling;
@@ -138,6 +141,46 @@ proptest! {
     }
 
     #[test]
+    fn member_keys_are_spelling_invariant(
+        req in arb_request(),
+        members in arb_members(),
+        perm_seed in any::<u64>(),
+    ) {
+        // The canonical member decomposition — and with it every member
+        // key — is invariant under permutation of the spelled list, and
+        // an ordinal-0 member aliases the plain request of its shape (the
+        // reuse edge between single and grouped traffic).
+        let base = req.clone().with_group(members.clone());
+        let mut shuffled = members;
+        let mut state = perm_seed | 1;
+        for i in (1..shuffled.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            shuffled.swap(i, (state >> 33) as usize % (i + 1));
+        }
+        let permuted = req.clone().with_group(shuffled);
+        let keys = |r: &RunRequest| -> Vec<(u64, u64)> {
+            member_ordinals(r)
+                .into_iter()
+                .map(|(m, o)| (member_request_key(r, m, o), member_activity_key(r, m, o)))
+                .collect()
+        };
+        prop_assert_eq!(keys(&base), keys(&permuted));
+        for (m, o) in member_ordinals(&base) {
+            if o == 0 {
+                let plain = req.clone().with_shape(m);
+                prop_assert_eq!(
+                    member_request_key(&plain, m, 0),
+                    member_request_key(&base, m, 0)
+                );
+                prop_assert_eq!(
+                    member_activity_key(&plain, m, 0),
+                    member_activity_key(&base, m, 0)
+                );
+            }
+        }
+    }
+
+    #[test]
     fn distinct_devices_never_share_keys(req in arb_request()) {
         let keys: Vec<u64> = [a100_pcie(), v100_sxm2(), h100_sxm5(), rtx6000()]
             .iter()
@@ -167,6 +210,46 @@ proptest! {
         // ...and field-wise equality holds too (RunResult: PartialEq).
         prop_assert_eq!(&*first.result, &*second.result);
         prop_assert_eq!(first.device, second.device);
+    }
+
+    #[test]
+    fn partial_member_reuse_is_invariant_to_warm_set_and_order(
+        req in arb_request(),
+        members in arb_members(),
+        mask in any::<u64>(),
+        perm_seed in any::<u64>(),
+    ) {
+        // Whatever subset of a group's members was warmed by earlier
+        // plain singles, and in whatever order the group is spelled, the
+        // grouped answer must be bit-identical to a cold scheduler's
+        // fresh run — partial reuse merges are order-insensitive and
+        // never change the numbers.
+        let warm = Scheduler::with_workers(Fleet::homogeneous(a100_pcie(), 1), 2);
+        for (i, m) in members.iter().enumerate() {
+            if mask >> (i % 64) & 1 == 1 {
+                warm.submit(FleetJob::new(req.clone().with_shape(*m)))
+                    .recv()
+                    .unwrap();
+            }
+        }
+        let mut shuffled = members.clone();
+        let mut state = perm_seed | 1;
+        for i in (1..shuffled.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            shuffled.swap(i, (state >> 33) as usize % (i + 1));
+        }
+        let warmed = warm
+            .submit(FleetJob::new(req.clone().with_group(shuffled)))
+            .recv()
+            .unwrap();
+        let cold = Scheduler::with_workers(Fleet::homogeneous(a100_pcie(), 1), 2);
+        let fresh = cold
+            .submit(FleetJob::new(req.clone().with_group(members.clone())))
+            .recv()
+            .unwrap();
+        prop_assert!(!warmed.cache_hit, "distinct group spelling never whole-result hits");
+        prop_assert_eq!(warmed.member_cached.len(), members.len());
+        prop_assert_eq!(&*warmed.result, &*fresh.result);
     }
 }
 

@@ -40,6 +40,7 @@ pub use coefficients::{
     PipelineCoefficients,
 };
 pub use model::{
-    evaluate, evaluate_group, group_runtime, kernel_runtime, predicted_breakdown, PowerBreakdown,
+    evaluate, evaluate_group, evaluate_group_refs, group_runtime, kernel_runtime,
+    predicted_breakdown, PowerBreakdown,
 };
 pub use reference::{reference_activity, ReferenceActivity};

@@ -195,10 +195,34 @@ pub fn evaluate(spec: &GpuSpec, activity: &ActivityRecord) -> PowerBreakdown {
 ///
 /// Panics if `members` is empty.
 pub fn evaluate_group(spec: &GpuSpec, members: &[ActivityRecord]) -> PowerBreakdown {
-    assert!(!members.is_empty(), "a group needs at least one member");
-    if members.len() == 1 {
-        return evaluate(spec, &members[0]);
-    }
+    evaluate_group_iter(spec, members.iter())
+}
+
+/// [`evaluate_group`] over *borrowed* member records — the residual-reuse
+/// path: a partially-cached group's seed evaluation mixes records owned by
+/// the memo cache with freshly simulated ones, and evaluating through
+/// references keeps that merge copy-free. Bit-identical to
+/// [`evaluate_group`] over the same records by construction (both are the
+/// shared iterator core).
+///
+/// # Panics
+///
+/// Panics if `members` is empty.
+pub fn evaluate_group_refs(spec: &GpuSpec, members: &[&ActivityRecord]) -> PowerBreakdown {
+    evaluate_group_iter(spec, members.iter().copied())
+}
+
+/// The shared core of [`evaluate_group`] / [`evaluate_group_refs`]. The
+/// single-member case must return exactly [`evaluate`]'s breakdown — the
+/// general accumulate-then-divide path would perturb it by a ulp
+/// (`p * t / t != p` in floating point), and plain-request results are a
+/// bit-identity contract.
+fn evaluate_group_iter<'a, I>(spec: &GpuSpec, members: I) -> PowerBreakdown
+where
+    I: ExactSizeIterator<Item = &'a ActivityRecord>,
+{
+    let count = members.len();
+    assert!(count > 0, "a group needs at least one member");
     let mut t_total = 0.0;
     let mut t_launch = 0.0;
     let mut e = BoostPowers {
@@ -210,6 +234,9 @@ pub fn evaluate_group(spec: &GpuSpec, members: &[ActivityRecord]) -> PowerBreakd
     for activity in members {
         let rt = kernel_runtime(spec, activity.kernel, activity.dims, activity.dtype);
         let p = boost_powers(spec, activity, &rt);
+        if count == 1 {
+            return resolve_breakdown(spec, &p, rt.t_iter_s, rt.t_launch_s);
+        }
         // Component energies over this member's boost runtime; divided by
         // the group's total time below, they become the group's
         // time-weighted mean component powers.

@@ -371,6 +371,57 @@ pub fn features_for_request(req: &RunRequest) -> FeatureVector {
     acc.finish_group(req.kernel, &req.member_dims())
 }
 
+/// Accumulate one canonical group member's first-seed operand pair (A
+/// then B, the member's slice of the request's operand stream) into a
+/// standalone accumulator — the member-granular unit of feature work.
+/// Because a member's operand streams are fixed by `(dims, ordinal)`
+/// alone, the chunk is shareable across requests: a plain request's chunk
+/// (`(req.dims(), 0)`) is bit-identical to the same member's chunk inside
+/// any group, and merging every member's chunk in canonical member order
+/// ([`features_from_member_chunks`]) reproduces [`features_for_request`]
+/// exactly — the accumulator's merge contract charges the chunk-boundary
+/// toggle.
+pub fn member_feature_chunk(
+    req: &RunRequest,
+    member: GemmDims,
+    ordinal: u64,
+) -> FeatureAccumulator {
+    let (a, b) = wm_core::first_seed_member_operands(req, member, ordinal);
+    let mut acc = FeatureAccumulator::new(req.dtype);
+    acc.add_matrix(&a);
+    acc.add_matrix(&b);
+    acc
+}
+
+/// Compose a request's feature vector from precomputed per-member chunks
+/// (one per canonical member, in [`wm_core::member_ordinals`] order).
+/// Bit-identical to [`features_for_request`]: fold order matches the
+/// sequential stream order, and the mergeable-accumulator contract makes
+/// chunked accumulation exact. This is the hit path of the fleet's
+/// member-granular feature cache — only missing chunks cost a walk over
+/// operand bytes.
+///
+/// # Panics
+///
+/// Panics if `chunks` is empty, its length differs from the request's
+/// member count, or a chunk's dtype differs from the request's.
+pub fn features_from_member_chunks(
+    req: &RunRequest,
+    chunks: &[&FeatureAccumulator],
+) -> FeatureVector {
+    let members = req.member_dims();
+    assert_eq!(
+        chunks.len(),
+        members.len(),
+        "one feature chunk per canonical member"
+    );
+    let mut acc = FeatureAccumulator::new(req.dtype);
+    for chunk in chunks {
+        acc.merge(chunk);
+    }
+    acc.finish_group(req.kernel, &members)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -622,6 +673,83 @@ mod tests {
         assert_ne!(fr, f_small);
         assert_ne!(fr, f_big);
         assert!(sr.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn member_chunks_compose_to_the_request_features_exactly() {
+        use wm_core::{member_ordinals, RunRequest};
+        // Grouped (with twins, so ordinals matter) and plain requests:
+        // chunked member extraction merged in canonical order must be
+        // bit-identical to the sequential full-stream pass.
+        let twin = GemmDims {
+            n: 32,
+            m: 16,
+            k: 64,
+        };
+        let reqs = [
+            RunRequest::new(
+                DType::Fp16Tensor,
+                48,
+                PatternSpec::new(PatternKind::Gaussian),
+            ),
+            RunRequest::new(
+                DType::Fp16Tensor,
+                32,
+                PatternSpec::new(PatternKind::Sparse { sparsity: 0.3 }),
+            )
+            .with_group(vec![twin, GemmDims::square(48), twin]),
+        ];
+        for req in reqs {
+            let chunks: Vec<FeatureAccumulator> = member_ordinals(&req)
+                .into_iter()
+                .map(|(m, ord)| member_feature_chunk(&req, m, ord))
+                .collect();
+            let refs: Vec<&FeatureAccumulator> = chunks.iter().collect();
+            assert_eq!(
+                features_from_member_chunks(&req, &refs),
+                features_for_request(&req)
+            );
+        }
+    }
+
+    #[test]
+    fn member_chunks_are_shareable_across_request_spellings() {
+        use wm_core::RunRequest;
+        // The chunk a plain request computes is the chunk a group
+        // containing the same member at ordinal 0 needs — the cache-reuse
+        // contract at the feature layer.
+        let dims = GemmDims {
+            n: 48,
+            m: 24,
+            k: 96,
+        };
+        let template = RunRequest::new(
+            DType::Fp16Tensor,
+            48,
+            PatternSpec::new(PatternKind::Gaussian),
+        );
+        let plain = template.clone().with_shape(dims);
+        let group = template
+            .clone()
+            .with_group(vec![dims, GemmDims::square(32)]);
+        assert_eq!(
+            member_feature_chunk(&plain, dims, 0),
+            member_feature_chunk(&group, dims, 0)
+        );
+        // Twin chunks differ: the ordinal decorrelates their streams.
+        assert_ne!(
+            member_feature_chunk(&group, dims, 0),
+            member_feature_chunk(&group, dims, 1)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one feature chunk per canonical member")]
+    fn chunk_count_mismatch_rejected() {
+        use wm_core::RunRequest;
+        let req = RunRequest::new(DType::Fp32, 32, PatternSpec::new(PatternKind::Gaussian));
+        let chunk = member_feature_chunk(&req, req.dims(), 0);
+        let _ = features_from_member_chunks(&req, &[&chunk, &chunk]);
     }
 
     #[test]

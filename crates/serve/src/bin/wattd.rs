@@ -22,7 +22,8 @@
 //! line, request lines are length-capped, and `--state-dir` persists the
 //! learned power models across restarts (`--snapshot-secs N` additionally
 //! flushes the predictor every N seconds while serving, bounding what a
-//! crash can lose). SIGTERM/SIGINT (or the
+//! crash can lose; `--snapshot-secs 0` explicitly disables the periodic
+//! timer and keeps drain-only flushing). SIGTERM/SIGINT (or the
 //! `shutdown` op) triggers graceful drain: stop accepting, finish
 //! in-flight requests, flush predictor state, exit.
 //!
@@ -177,10 +178,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.state_dir = Some(PathBuf::from(value_for("--state-dir")?));
             }
             "--snapshot-secs" if opts.mode == Mode::Serve => {
-                let secs = parse_count("--snapshot-secs", value_for("--snapshot-secs")?)? as u64;
-                if secs == 0 {
-                    return Err("--snapshot-secs must be positive".to_string());
-                }
+                // 0 is the explicit "disabled" spelling: drain-only
+                // flushing, same as omitting the flag, but overriding any
+                // wrapper script that injects a default interval — so this
+                // flag takes any count, not `parse_count`'s positive ones.
+                let secs = value_for("--snapshot-secs")?
+                    .parse::<u64>()
+                    .map_err(|_| "--snapshot-secs needs a non-negative count".to_string())?;
                 opts.snapshot_secs = Some(secs);
             }
             "--smoke" if opts.mode == Mode::Bench => opts.smoke = true,

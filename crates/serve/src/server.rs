@@ -67,7 +67,11 @@ pub struct ServeConfig {
     /// `state_dir` is configured), a timer thread flushes
     /// `state_dir/predictor.json` every interval while the server runs,
     /// so a crash loses at most one interval of training — not the whole
-    /// session. `None` (the default) keeps drain-only flushing.
+    /// session. `None` (the default) keeps drain-only flushing, and
+    /// `Some(0)` is the *explicit* disabled spelling — identical
+    /// semantics to `None` (no timer thread, no periodic writes, the
+    /// drain-time flush still runs), so `wattd serve --snapshot-secs 0`
+    /// can override an interval a wrapper injected.
     pub snapshot_secs: Option<u64>,
 }
 
@@ -327,6 +331,8 @@ impl Server {
         let dir = self.cfg.state_dir.clone()?;
         let every_ms = self.cfg.snapshot_secs?.checked_mul(1000)?;
         if every_ms == 0 {
+            // Some(0) is the explicit "disabled" spelling: no timer
+            // thread, so `serve_snapshots_total` never advances.
             return None;
         }
         let sched = Arc::clone(&self.sched);

@@ -46,6 +46,8 @@ pub const REQUIRED_KEYS: &[&str] = &[
     "p99_us",
     "joules",
     "cache_hit_rate",
+    "member_cache_hits",
+    "member_residue_jobs",
     "peak_committed_w",
     "sweep",
 ];
@@ -61,6 +63,8 @@ const POINT_KEYS: &[&str] = &[
     "p99_us",
     "joules",
     "cache_hit_rate",
+    "member_cache_hits",
+    "member_residue_jobs",
     "peak_committed_w",
     "trace_spans",
 ];
@@ -179,6 +183,40 @@ fn mixed_request(rng: &mut Rng, unique_seed: u64) -> wm_core::RunRequest {
     }
 }
 
+/// The deliberate member-overlap phase of a sweep point: two plain
+/// singles warm member shapes, a group overlapping them executes only
+/// its residue, and a second group spelled entirely from warmed members
+/// executes nothing. All four share one `base_seed` — the member memo
+/// includes it, and the rest of the mix gives every unique request its
+/// own seed precisely so *only* this phase exercises member reuse.
+fn overlap_requests(point_idx: u64) -> Vec<wm_core::RunRequest> {
+    // High in the per-point seed space, far above the unique counter.
+    let shared_seed = (point_idx << 32) | 0x00FF_0000;
+    let a = GemmDims::square(48);
+    let b = GemmDims {
+        n: 64,
+        m: 32,
+        k: 96,
+    };
+    let c = GemmDims::square(96);
+    let base = || {
+        wm_core::RunRequest::new(
+            DType::Fp16Tensor,
+            64,
+            PatternSpec::new(PatternKind::Gaussian),
+        )
+        .with_seeds(1)
+        .with_base_seed(shared_seed)
+        .with_sampling(Sampling::Lattice { rows: 4, cols: 4 })
+    };
+    vec![
+        base().with_shape(a),
+        base().with_shape(b),
+        base().with_group(vec![a, b, c]),
+        base().with_group(vec![b, a]),
+    ]
+}
+
 /// Latency quantiles of the merged per-kernel histograms, straight from
 /// the registry the workers recorded into.
 fn latency_sketch(sched: &Scheduler) -> LogHistogram {
@@ -217,6 +255,8 @@ struct PointOutcome {
     joules: f64,
     hits: u64,
     lookups: u64,
+    member_hits: u64,
+    member_residues: u64,
     peak_committed_w: f64,
     trace_jsonl: Vec<String>,
 }
@@ -234,23 +274,29 @@ fn run_point(cfg: &BenchConfig, target_hit_ratio: f64, point_idx: u64) -> PointO
     // Request plan: a bounded pool of repeatable requests supplies the
     // hit fraction; everything else is unique. Repeats of an in-flight
     // twin dedup-join instead of hitting, so the measured ratio is
-    // reported alongside the target rather than asserted equal.
+    // reported alongside the target rather than asserted equal. Points
+    // large enough to afford it open with the member-overlap phase
+    // (singles warming group members), carved out of — not added to —
+    // the request budget.
+    let mut plan: Vec<wm_core::RunRequest> = if cfg.requests_per_point >= 8 {
+        overlap_requests(point_idx)
+    } else {
+        Vec::new()
+    };
     let mut pool: Vec<wm_core::RunRequest> = Vec::new();
     let mut unique = 0u64;
-    let plan: Vec<wm_core::RunRequest> = (0..cfg.requests_per_point)
-        .map(|_| {
-            if !pool.is_empty() && rng.unit() < target_hit_ratio {
-                pool[(rng.next_u64() % pool.len() as u64) as usize].clone()
-            } else {
-                unique += 1;
-                let req = mixed_request(&mut rng, (point_idx << 32) | unique);
-                if pool.len() < 8 {
-                    pool.push(req.clone());
-                }
-                req
+    plan.extend((plan.len()..cfg.requests_per_point).map(|_| {
+        if !pool.is_empty() && rng.unit() < target_hit_ratio {
+            pool[(rng.next_u64() % pool.len() as u64) as usize].clone()
+        } else {
+            unique += 1;
+            let req = mixed_request(&mut rng, (point_idx << 32) | unique);
+            if pool.len() < 8 {
+                pool.push(req.clone());
             }
-        })
-        .collect();
+            req
+        }
+    }));
 
     // Open loop: absolute submission times drawn up front (exponential
     // interarrivals), never adjusted by completions.
@@ -288,6 +334,8 @@ fn run_point(cfg: &BenchConfig, target_hit_ratio: f64, point_idx: u64) -> PointO
     let requests = reg.counter("fleet_jobs_completed_total", &[]).get();
     let hits = reg.counter("fleet_cache_hits_total", &[]).get();
     let misses = reg.counter("fleet_cache_misses_total", &[]).get();
+    let member_hits = reg.counter("fleet_member_cache_hits_total", &[]).get();
+    let member_residues = reg.counter("fleet_member_residue_jobs_total", &[]).get();
     let joules = gauge_family_sum(&sched, "device_energy_j");
     let peak_committed_w = reg.gauge("fleet_peak_committed_w", &[]).get();
     let latency = latency_sketch(&sched);
@@ -321,6 +369,8 @@ fn run_point(cfg: &BenchConfig, target_hit_ratio: f64, point_idx: u64) -> PointO
         ("p99_us", Json::Num(q(0.99))),
         ("joules", Json::Num(joules)),
         ("cache_hit_rate", Json::Num(hit_rate)),
+        ("member_cache_hits", Json::Num(member_hits as f64)),
+        ("member_residue_jobs", Json::Num(member_residues as f64)),
         ("peak_committed_w", Json::Num(peak_committed_w)),
         ("trace_spans", Json::Num(trace_jsonl.len() as f64)),
     ]);
@@ -332,6 +382,8 @@ fn run_point(cfg: &BenchConfig, target_hit_ratio: f64, point_idx: u64) -> PointO
         joules,
         hits,
         lookups,
+        member_hits,
+        member_residues,
         peak_committed_w,
         trace_jsonl,
     }
@@ -356,6 +408,7 @@ pub fn run(cfg: &BenchConfig) -> BenchRun {
     let mut points = Vec::new();
     let mut merged = LogHistogram::new();
     let (mut requests, mut hits, mut lookups) = (0u64, 0u64, 0u64);
+    let (mut member_hits, mut member_residues) = (0u64, 0u64);
     let (mut wall_s, mut joules, mut peak_w) = (0.0f64, 0.0f64, 0.0f64);
     let mut trace_jsonl = Vec::new();
     for (i, &ratio) in cfg.hit_ratios.iter().enumerate() {
@@ -364,6 +417,8 @@ pub fn run(cfg: &BenchConfig) -> BenchRun {
         requests += p.requests;
         hits += p.hits;
         lookups += p.lookups;
+        member_hits += p.member_hits;
+        member_residues += p.member_residues;
         wall_s += p.wall_s;
         joules += p.joules;
         peak_w = peak_w.max(p.peak_committed_w);
@@ -395,6 +450,8 @@ pub fn run(cfg: &BenchConfig) -> BenchRun {
                 hits as f64 / lookups as f64
             }),
         ),
+        ("member_cache_hits", Json::Num(member_hits as f64)),
+        ("member_residue_jobs", Json::Num(member_residues as f64)),
         ("peak_committed_w", Json::Num(peak_w)),
         ("sweep", Json::Arr(points)),
     ]);
@@ -466,7 +523,15 @@ pub fn validate(v: &Json) -> Result<(), String> {
     if sweep.is_empty() {
         return Err("\"sweep\" must hold at least one point".to_string());
     }
+    let member_hits = require_num(v, "member_cache_hits")?;
+    let member_residues = require_num(v, "member_residue_jobs")?;
+    if member_hits < 0.0 || member_residues < 0.0 {
+        return Err(format!(
+            "member counters must be non-negative: hits {member_hits}, residues {member_residues}"
+        ));
+    }
     let mut point_requests = 0.0;
+    let (mut point_member_hits, mut point_member_residues) = (0.0, 0.0);
     for (i, point) in sweep.iter().enumerate() {
         for &key in POINT_KEYS {
             if point.get(key).is_none() {
@@ -474,10 +539,23 @@ pub fn validate(v: &Json) -> Result<(), String> {
             }
         }
         point_requests += require_num(point, "requests")?;
+        point_member_hits += require_num(point, "member_cache_hits")?;
+        point_member_residues += require_num(point, "member_residue_jobs")?;
     }
     if (point_requests - requests).abs() > 0.5 {
         return Err(format!(
             "sweep points account for {point_requests} requests, top level says {requests}"
+        ));
+    }
+    // Each point runs a fresh scheduler, so the member counters sum
+    // exactly like the request counts do.
+    if (point_member_hits - member_hits).abs() > 0.5
+        || (point_member_residues - member_residues).abs() > 0.5
+    {
+        return Err(format!(
+            "member counters inconsistent with sweep points: \
+             hits {member_hits} vs {point_member_hits}, \
+             residues {member_residues} vs {point_member_residues}"
         ));
     }
     Ok(())
@@ -501,6 +579,17 @@ mod tests {
             "{}",
             run.artifact
         );
+        // The member-overlap phase guarantees member-level reuse: its
+        // two groups are answered from (or joined with) the singles that
+        // warmed their shapes.
+        let num = |key: &str| {
+            run.artifact
+                .get(key)
+                .and_then(Json::as_f64)
+                .unwrap_or_else(|| panic!("missing {key}: {}", run.artifact))
+        };
+        assert!(num("member_cache_hits") > 0.0, "{}", run.artifact);
+        assert!(num("member_residue_jobs") > 0.0, "{}", run.artifact);
         assert!(!run.trace_jsonl.is_empty(), "spans were recorded");
         for line in &run.trace_jsonl {
             assert!(wm_fleet::json::Json::parse(line).is_ok(), "{line}");
@@ -520,6 +609,8 @@ mod tests {
             ("p99_us", Json::Num(30.0)),
             ("joules", Json::Num(1.5)),
             ("cache_hit_rate", Json::Num(0.5)),
+            ("member_cache_hits", Json::Num(3.0)),
+            ("member_residue_jobs", Json::Num(4.0)),
             ("peak_committed_w", Json::Num(100.0)),
             (
                 "sweep",
@@ -533,6 +624,8 @@ mod tests {
                     ("p99_us", Json::Num(30.0)),
                     ("joules", Json::Num(1.5)),
                     ("cache_hit_rate", Json::Num(0.5)),
+                    ("member_cache_hits", Json::Num(3.0)),
+                    ("member_residue_jobs", Json::Num(4.0)),
                     ("peak_committed_w", Json::Num(100.0)),
                     ("trace_spans", Json::Num(40.0)),
                 ])]),
@@ -556,6 +649,18 @@ mod tests {
             "p50 > p95"
         );
         assert!(validate(&broken("cache_hit_rate", Json::Num(1.5))).is_err());
+        assert!(
+            validate(&broken("member_cache_hits", Json::Num(-1.0))).is_err(),
+            "negative member counter"
+        );
+        assert!(
+            validate(&broken("member_residue_jobs", Json::Num(99.0))).is_err(),
+            "member counters inconsistent with sweep points"
+        );
+        assert!(
+            validate(&broken("member_cache_hits", Json::Str("3".into()))).is_err(),
+            "non-numeric member counter"
+        );
         assert!(
             validate(&broken("requests", Json::Num(99.0))).is_err(),
             "sweep mismatch"

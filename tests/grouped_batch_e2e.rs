@@ -201,3 +201,117 @@ fn grouped_prefill_and_decode_traffic_end_to_end() {
     let stats = serve_lines(&sched, "{\"op\": \"stats\"}\n");
     assert_eq!(stats[0].get("failed").unwrap().as_u64(), Some(0));
 }
+
+/// A single request spelling one member shape, sharing `base_seed` with
+/// the grouped traffic so its member memo is reusable.
+fn single_line(id: u64, n: usize, m: usize, k: usize, base_seed: u64) -> String {
+    format!(
+        r#"{{"id": {id}, "dtype": "FP16-T", "n": {n}, "m": {m}, "k": {k}, "pattern": "gaussian", "seeds": 1, "lattice": 4, "base_seed": {base_seed}}}"#
+    )
+}
+
+#[test]
+fn warm_singles_cover_group_members_and_only_the_residue_executes() {
+    const SEED: u64 = 0xC0FFEE;
+    let sched = Scheduler::with_workers(Fleet::builder().device(a100_pcie()).build(), 2);
+
+    // --- Warm two of the three member shapes with plain singles. The
+    // member memo is spelling-agnostic: a plain request and a group
+    // member of the same shape share one activity unit. -----------------
+    for (id, (n, m, k)) in [(1, (256, 256, 256)), (2, (512, 256, 512))] {
+        let r = &serve_lines(&sched, &format!("{}\n", single_line(id, n, m, k, SEED)))[0];
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "{r}");
+        assert_eq!(r.get("cache_hit"), Some(&Json::Bool(false)), "{r}");
+    }
+
+    // --- The group overlaps both singles: only the unseen member is a
+    // residue job, and each member reports its provenance. ---------------
+    let group = &serve_lines(
+        &sched,
+        &format!("{}\n", prefill_line(3, MEMBERS, "gaussian", "", SEED)),
+    )[0];
+    assert_eq!(group.get("ok"), Some(&Json::Bool(true)), "{group}");
+    assert_eq!(group.get("cache_hit"), Some(&Json::Bool(false)), "{group}");
+    let members = group.get("group").unwrap().as_arr().unwrap();
+    assert_eq!(members.len(), 3);
+    for m in members {
+        let n = m.get("n").unwrap().as_u64().unwrap();
+        let cached = m.get("cached").unwrap().as_bool().unwrap();
+        // The 384-member was never seen as a single: it is the residue.
+        assert_eq!(cached, n != 384, "{m}");
+    }
+    let stats = &serve_lines(&sched, "{\"op\": \"stats\"}\n")[0];
+    assert_eq!(stats.get("member_cache_hits").unwrap().as_u64(), Some(2));
+    // Each warming single was itself one residue job, plus the group's
+    // fresh member: 3 simulations total for 5 members served.
+    assert_eq!(stats.get("member_residue_jobs").unwrap().as_u64(), Some(3));
+
+    // --- Full overlap: a distinct group spelled entirely from warmed
+    // members misses the whole-result cache but simulates nothing. -------
+    let covered = &serve_lines(
+        &sched,
+        &format!(
+            "{}\n",
+            prefill_line(
+                4,
+                r#"{"dim": 256}, {"n": 512, "m": 256, "k": 512}"#,
+                "gaussian",
+                "",
+                SEED
+            )
+        ),
+    )[0];
+    assert_eq!(
+        covered.get("cache_hit"),
+        Some(&Json::Bool(false)),
+        "{covered}"
+    );
+    for m in covered.get("group").unwrap().as_arr().unwrap() {
+        assert_eq!(m.get("cached"), Some(&Json::Bool(true)), "{m}");
+    }
+    let stats = &serve_lines(&sched, "{\"op\": \"stats\"}\n")[0];
+    assert_eq!(stats.get("member_cache_hits").unwrap().as_u64(), Some(4));
+    assert_eq!(
+        stats.get("member_residue_jobs").unwrap().as_u64(),
+        Some(3),
+        "full overlap must execute zero residue jobs: {stats}"
+    );
+
+    // --- The counters flow through the metrics export too. --------------
+    let metrics = &serve_lines(&sched, "{\"op\": \"metrics\"}\n")[0];
+    let find = |name: &str| {
+        metrics
+            .get("metrics")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .find(|m| m.get("name").and_then(Json::as_str) == Some(name))
+            .unwrap_or_else(|| panic!("missing metric {name}"))
+            .get("value")
+            .unwrap()
+            .as_f64()
+            .unwrap()
+    };
+    assert_eq!(find("fleet_member_cache_hits_total"), 4.0);
+    assert_eq!(find("fleet_member_residue_jobs_total"), 3.0);
+
+    // --- Member reuse must be invisible in the numbers: a cold scheduler
+    // answering the same group fresh reports bit-identical power. --------
+    let cold = Scheduler::with_workers(Fleet::builder().device(a100_pcie()).build(), 2);
+    let fresh = &serve_lines(
+        &cold,
+        &format!(
+            "{}\n",
+            prefill_line(5, MEMBERS_PERMUTED, "gaussian", "", SEED)
+        ),
+    )[0];
+    assert_eq!(fresh.get("ok"), Some(&Json::Bool(true)), "{fresh}");
+    for key in ["power_w", "power_std_w", "energy_per_iter_mj", "runtime_us"] {
+        assert_eq!(
+            fresh.get(key).unwrap().as_f64(),
+            group.get(key).unwrap().as_f64(),
+            "{key} must be bit-identical between cold and member-reused runs"
+        );
+    }
+}

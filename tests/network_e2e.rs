@@ -338,6 +338,59 @@ fn periodic_snapshots_flush_predictor_while_serving() {
 }
 
 #[test]
+fn snapshot_secs_zero_explicitly_disables_periodic_snapshots() {
+    // `--snapshot-secs 0` (ServeConfig { snapshot_secs: Some(0) }) is the
+    // explicit disabled spelling: no timer thread, no periodic writes,
+    // `serve_snapshots_total` never advances — but the drain-time flush
+    // still runs.
+    let state_dir =
+        std::env::temp_dir().join(format!("wm_serve_e2e_nosnapshot_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&state_dir);
+    let server = spawn_server(ServeConfig {
+        state_dir: Some(PathBuf::from(&state_dir)),
+        snapshot_secs: Some(0),
+        ..ServeConfig::default()
+    });
+    let mut c = Client::connect(&server.addr);
+    let resp = c.round_trip(
+        r#"{"dtype": "fp32", "dim": 32, "pattern": "gaussian", "seeds": 1, "lattice": 4, "gpu": "a100"}"#,
+    );
+    assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp}");
+
+    // Give a buggy timer ample opportunity to fire (the smallest real
+    // interval is 1s), then confirm nothing was written while serving.
+    std::thread::sleep(Duration::from_millis(1500));
+    let pong = c.round_trip(r#"{"op": "ping"}"#);
+    assert_eq!(pong.get("ok"), Some(&Json::Bool(true)), "{pong}");
+    assert!(
+        !state_dir.join("predictor.json").is_file(),
+        "snapshot file must not appear while serving with snapshots disabled"
+    );
+    let metrics = c.round_trip(r#"{"op": "metrics", "format": "prometheus"}"#);
+    let text = metrics
+        .get("text")
+        .and_then(Json::as_str)
+        .unwrap_or_default()
+        .to_string();
+    for counter in ["serve_snapshots_total", "serve_snapshot_errors_total"] {
+        for line in text.lines().filter(|l| l.starts_with(counter)) {
+            assert!(
+                line.ends_with(" 0"),
+                "{counter} advanced with snapshots disabled: {line}"
+            );
+        }
+    }
+
+    // Drain-only flushing is intact: stopping the server persists state.
+    server.stop();
+    assert!(
+        state_dir.join("predictor.json").is_file(),
+        "drain flush must still run with periodic snapshots disabled"
+    );
+    let _ = std::fs::remove_dir_all(&state_dir);
+}
+
+#[test]
 fn oversized_and_malformed_lines_are_isolated_to_their_session() {
     let server = spawn_server(ServeConfig {
         max_line_bytes: 4096,
